@@ -1,0 +1,160 @@
+(* Benchmark harness: regenerates every table and figure of the paper's
+   evaluation (printing the same rows/series), then times the pipeline
+   behind each experiment with Bechamel — one Test.make per table/figure.
+
+   Usage:  dune exec bench/main.exe [-- --loops N] [--no-bench]
+   N defaults to 50 (the paper's benchmark size). *)
+
+open Bechamel
+open Toolkit
+
+let machine = Simd.Machine.default
+
+let loops, run_bench =
+  let loops = ref 50 in
+  let bench = ref true in
+  let rec parse = function
+    | [] -> ()
+    | "--loops" :: n :: rest ->
+      loops := int_of_string n;
+      parse rest
+    | "--no-bench" :: rest ->
+      bench := false;
+      parse rest
+    | _ :: rest -> parse rest
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  (!loops, !bench)
+
+(* ------------------------------------------------------------------ *)
+(* Regenerate the paper's tables and figures                           *)
+(* ------------------------------------------------------------------ *)
+
+let spec = Simd.Synth.default_spec
+
+let () =
+  Format.printf
+    "=== Figure 11: OPD per scheme (S1*L6, int32), OffsetReassoc OFF ===@.";
+  Format.printf "%a@." Simd.Suite.pp_opd_figure
+    (Simd.Suite.opd_figure ~machine ~spec ~count:loops ~reassoc:false);
+  Format.printf
+    "=== Figure 12: OPD per scheme (S1*L6, int32), OffsetReassoc ON ===@.";
+  Format.printf "%a@." Simd.Suite.pp_opd_figure
+    (Simd.Suite.opd_figure ~machine ~spec ~count:loops ~reassoc:true);
+  Format.printf "=== Table 1: speedups, 4 ints per vector ===@.";
+  Format.printf "%a@." Simd.Suite.pp_speedup_table
+    (Simd.Suite.speedup_table ~machine ~elem:Simd.Ast.I32 ~count:loops ());
+  Format.printf "=== Table 2: speedups, 8 shorts per vector ===@.";
+  Format.printf "%a@." Simd.Suite.pp_speedup_table
+    (Simd.Suite.speedup_table ~machine ~elem:Simd.Ast.I16 ~count:loops ());
+  Format.printf "=== Coverage (§5.4) ===@.";
+  Format.printf "%a@." Simd.Suite.pp_coverage
+    (Simd.Suite.coverage ~machine ~loops:(max 100 loops) ())
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel micro-benchmarks: the pipeline behind each experiment      *)
+(* ------------------------------------------------------------------ *)
+
+let fig_program = Simd.Synth.generate ~machine spec
+
+let table1_program =
+  Simd.Synth.generate ~machine
+    { spec with Simd.Synth.stmts = 4; loads_per_stmt = 8 }
+
+let table2_program =
+  Simd.Synth.generate ~machine
+    { spec with Simd.Synth.stmts = 4; loads_per_stmt = 4; elem = Simd.Ast.I16 }
+
+let coverage_program =
+  Simd.Synth.generate ~machine
+    { spec with Simd.Synth.stmts = 2; loads_per_stmt = 4 }
+
+let config policy reuse =
+  { Simd.Driver.default with Simd.Driver.machine; policy; reuse }
+
+let measure_once ~config program = ignore (Simd.Measure.run ~config program)
+
+let tests =
+  [
+    (* Figure 11: simdize + simulate one S1*L6 loop under headline schemes
+       (reassociation off). *)
+    Test.make ~name:"fig11/dominant-sp"
+      (Staged.stage (fun () ->
+           measure_once
+             ~config:
+               (config Simd.Policy.Dominant Simd.Driver.Software_pipelining)
+             fig_program));
+    Test.make ~name:"fig11/zero-sp"
+      (Staged.stage (fun () ->
+           measure_once
+             ~config:(config Simd.Policy.Zero Simd.Driver.Software_pipelining)
+             fig_program));
+    (* Figure 12: the reassociated variant. *)
+    Test.make ~name:"fig12/lazy-pc+reassoc"
+      (Staged.stage (fun () ->
+           measure_once
+             ~config:
+               {
+                 (config Simd.Policy.Lazy Simd.Driver.Predictive_commoning) with
+                 Simd.Driver.reassoc = true;
+               }
+             fig_program));
+    (* Table 1: the S4*L8 int32 row's winning scheme. *)
+    Test.make ~name:"table1/S4L8-dominant-pc"
+      (Staged.stage (fun () ->
+           measure_once
+             ~config:
+               (config Simd.Policy.Dominant Simd.Driver.Predictive_commoning)
+             table1_program));
+    (* Table 2: the S4*L4 int16 row. *)
+    Test.make ~name:"table2/S4L4-int16-dominant-sp"
+      (Staged.stage (fun () ->
+           measure_once
+             ~config:
+               (config Simd.Policy.Dominant Simd.Driver.Software_pipelining)
+             table2_program));
+    (* Coverage: one full differential verification (scalar run + simdized
+       run + whole-arena compare). *)
+    Test.make ~name:"coverage/verify-one-loop"
+      (Staged.stage (fun () ->
+           match
+             Simd.Measure.verify
+               ~config:(config Simd.Policy.Lazy Simd.Driver.Software_pipelining)
+               coverage_program
+           with
+           | Ok () -> ()
+           | Error m -> failwith m));
+    (* The simdizer alone (no simulation): compile-time cost. *)
+    Test.make ~name:"simdize-only/S4L8"
+      (Staged.stage (fun () ->
+           ignore
+             (Simd.Driver.simdize
+                (config Simd.Policy.Dominant Simd.Driver.Software_pipelining)
+                table1_program)));
+  ]
+
+let benchmark () =
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.25) () in
+  let raw =
+    Benchmark.all cfg instances (Test.make_grouped ~name:"experiments" tests)
+  in
+  List.map (fun instance -> Analyze.all ols instance raw) instances
+
+let () =
+  if run_bench then begin
+    Format.printf "=== Bechamel timings (monotonic clock) ===@.";
+    List.iter
+      (fun tbl ->
+        Hashtbl.iter
+          (fun test_name result ->
+            match Analyze.OLS.estimates result with
+            | Some [ est ] ->
+              Format.printf "%-40s %12.0f ns/run@." test_name est
+            | Some _ | None -> Format.printf "%-40s (no estimate)@." test_name)
+          tbl)
+      (benchmark ())
+  end

@@ -1,0 +1,193 @@
+(* simdize — command-line front end to the alignment-handling simdizer.
+
+   Reads a loop program, simdizes it under the selected policy and
+   optimizations, and prints the vector IR, emits C, simulates, and/or
+   differentially verifies the result. *)
+
+open Cmdliner
+
+let read_input = function
+  | "-" ->
+    let buf = Buffer.create 4096 in
+    (try
+       while true do
+         Buffer.add_channel buf stdin 4096
+       done
+     with End_of_file -> ());
+    Buffer.contents buf
+  | path ->
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+
+let policy_conv =
+  let parse s =
+    match Simd.Policy.of_name s with
+    | Some p -> Ok p
+    | None -> Error (`Msg (Printf.sprintf "unknown policy %S" s))
+  in
+  Arg.conv (parse, fun fmt p -> Format.pp_print_string fmt (Simd.Policy.name p))
+
+let reuse_conv =
+  let parse = function
+    | "plain" | "none" -> Ok Simd.Driver.No_reuse
+    | "pc" -> Ok Simd.Driver.Predictive_commoning
+    | "sp" -> Ok Simd.Driver.Software_pipelining
+    | s -> Error (`Msg (Printf.sprintf "unknown reuse strategy %S" s))
+  in
+  Arg.conv
+    (parse, fun fmt r -> Format.pp_print_string fmt (Simd.Driver.reuse_name r))
+
+let emit_conv =
+  let parse = function
+    | "vir" -> Ok `Vir
+    | "c" | "portable" -> Ok `Portable
+    | "altivec" -> Ok `Altivec
+    | "sse" -> Ok `Sse
+    | "graph" -> Ok `Graph
+    | s -> Error (`Msg (Printf.sprintf "unknown output kind %S" s))
+  in
+  Arg.conv
+    ( parse,
+      fun fmt k ->
+        Format.pp_print_string fmt
+          (match k with
+          | `Vir -> "vir"
+          | `Portable -> "c"
+          | `Altivec -> "altivec"
+          | `Sse -> "sse"
+          | `Graph -> "graph") )
+
+let run file policy reuse memnorm reassoc peel unroll vector_len emit simulate
+    verify trip =
+  let src = read_input file in
+  match Simd.parse src with
+  | Error msg ->
+    Format.eprintf "%s@." msg;
+    1
+  | Ok program -> (
+    let machine = Simd.Machine.create ~vector_len in
+    let config =
+      {
+        Simd.Driver.default with
+        Simd.Driver.machine;
+        policy;
+        reuse;
+        memnorm;
+        reassoc;
+        unroll;
+        peel_baseline = peel;
+      }
+    in
+    match Simd.simdize ~config program with
+    | Simd.Driver.Scalar reason ->
+      Format.eprintf "left scalar: %a@." Simd.Driver.pp_reason reason;
+      1
+    | Simd.Driver.Simdized o ->
+      let ok = ref 0 in
+      (match emit with
+      | `Vir -> print_string (Simd.Vir_prog.to_string o.Simd.Driver.prog)
+      | `Graph ->
+        List.iter
+          (fun (_, g) -> Format.printf "%a@." Simd.Graph.pp g)
+          o.Simd.Driver.graphs
+      | `Portable -> print_string (Simd.Emit_portable.unit o.Simd.Driver.prog)
+      | `Altivec -> print_string (Simd.Emit_altivec.unit o.Simd.Driver.prog)
+      | `Sse -> print_string (Simd.Emit_sse.unit o.Simd.Driver.prog));
+      if simulate then begin
+        match Simd.measure ~config ?trip program with
+        | sample, opd, speedup ->
+          Format.printf "// counts: %s@." (Simd.Exec.show_counts sample.Simd.Measure.counts);
+          Format.printf "// operations per datum: %.3f (LB %.3f, SEQ %.3f)@." opd
+            (Simd.Lb.opd sample.Simd.Measure.lb)
+            (Simd.Lb.seq_opd ~analysis:o.Simd.Driver.analysis);
+          Format.printf "// speedup vs ideal scalar: %.2fx@." speedup
+        | exception Simd.Measure.Not_simdized m -> Format.eprintf "simulate: %s@." m
+      end;
+      if verify then begin
+        match Simd.verify ~config ?trip program with
+        | Ok () -> Format.printf "// verify: OK (simdized == scalar)@."
+        | Error m ->
+          Format.eprintf "verify FAILED: %s@." m;
+          ok := 1
+      end;
+      !ok)
+
+let cmd =
+  let file =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"FILE" ~doc:"Loop program to simdize ('-' for stdin).")
+  in
+  let policy =
+    Arg.(
+      value
+      & opt policy_conv Simd.Policy.Dominant
+      & info [ "p"; "policy" ] ~docv:"POLICY"
+          ~doc:"Shift placement policy: zero, eager, lazy, dominant.")
+  in
+  let reuse =
+    Arg.(
+      value
+      & opt reuse_conv Simd.Driver.Software_pipelining
+      & info [ "r"; "reuse" ] ~docv:"REUSE"
+          ~doc:"Cross-iteration reuse: plain, pc, sp.")
+  in
+  let memnorm =
+    Arg.(value & opt bool true & info [ "memnorm" ] ~doc:"Memory normalization.")
+  in
+  let reassoc =
+    Arg.(
+      value & flag & info [ "reassoc" ] ~doc:"Common-offset reassociation.")
+  in
+  let peel =
+    Arg.(
+      value & flag
+      & info [ "peel-baseline" ]
+          ~doc:"Use the prior-work loop-peeling baseline (fails on mixed \
+                alignments).")
+  in
+  let unroll =
+    Arg.(
+      value & opt int 1
+      & info [ "u"; "unroll" ] ~docv:"FACTOR"
+          ~doc:"Steady-loop unroll factor (removes pipelining copies).")
+  in
+  let vector_len =
+    Arg.(
+      value & opt int 16
+      & info [ "V"; "vector-len" ] ~docv:"BYTES" ~doc:"Vector register length.")
+  in
+  let emit =
+    Arg.(
+      value & opt emit_conv `Vir
+      & info [ "e"; "emit" ] ~docv:"KIND"
+          ~doc:"Output: vir, graph, c (portable), altivec, sse.")
+  in
+  let simulate =
+    Arg.(
+      value & flag
+      & info [ "s"; "simulate" ]
+          ~doc:"Simulate and report dynamic counts, OPD and speedup.")
+  in
+  let verify =
+    Arg.(
+      value & flag
+      & info [ "verify" ] ~doc:"Differentially verify against the scalar loop.")
+  in
+  let trip =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "trip" ] ~docv:"N" ~doc:"Trip count for runtime-bound loops.")
+  in
+  Cmd.v
+    (Cmd.info "simdize" ~version:"1.0"
+       ~doc:"Vectorize loops for SIMD architectures with alignment constraints")
+    Term.(
+      const run $ file $ policy $ reuse $ memnorm $ reassoc $ peel $ unroll
+      $ vector_len $ emit $ simulate $ verify $ trip)
+
+let () = exit (Cmd.eval' cmd)

@@ -1,0 +1,1 @@
+examples/deinterleave.ml: Format List Simd

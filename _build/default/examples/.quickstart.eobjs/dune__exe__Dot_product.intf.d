@@ -1,0 +1,1 @@
+examples/dot_product.mli:

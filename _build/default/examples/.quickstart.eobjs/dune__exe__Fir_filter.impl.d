@@ -1,0 +1,1 @@
+examples/fir_filter.ml: Format List Simd

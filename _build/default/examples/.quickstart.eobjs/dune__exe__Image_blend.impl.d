@@ -1,0 +1,1 @@
+examples/image_blend.ml: Format Simd

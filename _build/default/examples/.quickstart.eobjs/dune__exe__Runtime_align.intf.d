@@ -1,0 +1,1 @@
+examples/runtime_align.mli:

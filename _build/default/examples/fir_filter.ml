@@ -1,0 +1,87 @@
+(* FIR filter: y[i] = c0*x[i] + c1*x[i+1] + c2*x[i+2] + c3*x[i+3].
+
+   The four taps read the same array at four consecutive offsets — four
+   misaligned streams over the same data. This is the workload where the
+   paper's reuse machinery shines: memory normalization makes the loads of
+   one 16-byte chunk syntactically identical, CSE merges them within an
+   iteration, and software pipelining / predictive commoning carry them
+   across iterations, so each chunk of x is loaded exactly once for the
+   whole loop ("never load the same data twice").
+
+   Run with:  dune exec examples/fir_filter.exe *)
+
+let source =
+  {|
+int32 y[1100] @ 0;
+int32 x[1100] @ 4;   // input deliberately misaligned by one element
+param c0;
+param c1;
+param c2;
+param c3;
+for (i = 0; i < 1000; i++) {
+  y[i] = c0 * x[i] + c1 * x[i+1] + c2 * x[i+2] + c3 * x[i+3];
+}
+|}
+
+let measure ~reuse ~memnorm program =
+  let config =
+    {
+      Simd.Driver.default with
+      Simd.Driver.policy = Simd.Policy.Dominant;
+      reuse;
+      memnorm;
+    }
+  in
+  let sample, opd, speedup = Simd.measure ~config program in
+  (config, sample, opd, speedup)
+
+let () =
+  let program = Simd.parse_exn source in
+  Format.printf "=== 4-tap FIR over a misaligned input ===@.%s@."
+    (Simd.Pp.program_to_string program);
+  let variants =
+    [
+      ("no reuse, no memnorm", Simd.Driver.No_reuse, false);
+      ("no reuse, memnorm+cse", Simd.Driver.No_reuse, true);
+      ("predictive commoning", Simd.Driver.Predictive_commoning, true);
+      ("software pipelining ", Simd.Driver.Software_pipelining, true);
+    ]
+  in
+  Format.printf "%-24s %8s %8s %8s %9s@." "variant" "vloads" "vshifts" "opd"
+    "speedup";
+  List.iter
+    (fun (label, reuse, memnorm) ->
+      let config, sample, opd, speedup = measure ~reuse ~memnorm program in
+      (match Simd.verify ~config program with
+      | Ok () -> ()
+      | Error m -> failwith ("verification failed: " ^ m));
+      Format.printf "%-24s %8d %8d %8.3f %8.2fx@." label
+        sample.Simd.Measure.counts.Simd.Exec.vloads
+        sample.Simd.Measure.counts.Simd.Exec.vshifts opd speedup)
+    variants;
+  (* The headline guarantee: with predictive commoning the steady-state loop
+     loads each aligned chunk of x exactly once across all four taps —
+     software pipelining alone guarantees this per static access (paper
+     §1), and the general cross-access reuse is what MemNorm + PC add. *)
+  let config, _, _, _ =
+    measure ~reuse:Simd.Driver.Predictive_commoning ~memnorm:true program
+  in
+  let o = Simd.simdize_exn ~config program in
+  let setup = Simd.Sim_run.prepare ~machine:config.Simd.Driver.machine program in
+  let r = Simd.Sim_run.run_simd ~tracing:true setup o.Simd.Driver.prog in
+  let steady_loads =
+    List.filter
+      (fun (t : Simd.Exec.trace_entry) ->
+        t.Simd.Exec.segment = `Steady && t.Simd.Exec.array = "x")
+      r.Simd.Sim_run.trace
+  in
+  let distinct =
+    Simd.Util.dedup
+      (List.map (fun (t : Simd.Exec.trace_entry) -> t.Simd.Exec.effective_addr)
+         steady_loads)
+  in
+  Format.printf
+    "@.steady-state loads of x: %d, distinct chunks touched: %d — every chunk \
+     loaded exactly once: %b@."
+    (List.length steady_loads) (List.length distinct)
+    (List.length steady_loads = List.length distinct)

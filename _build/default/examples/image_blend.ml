@@ -1,0 +1,71 @@
+(* Alpha blending of two image rows — the multimedia workload class that
+   motivated SIMD extensions (paper §1).
+
+   out = alpha*src + (wmax - alpha)*dst on 16-bit pixels, 8 per vector. The
+   rows come from different images whose strides leave every row with a
+   different, nonzero misalignment — the exact situation where
+   peeling-based vectorizers give up and this paper's scheme reaches near
+   peak speedup. The loop-invariant weights exercise vsplat handling.
+
+   Run with:  dune exec examples/image_blend.exe *)
+
+let source =
+  {|
+// One row of a 16-bit image blend. Base alignments model rows taken from
+// the middle of differently-strided images (all misaligned differently).
+int16 out[2100]  @ 6;
+int16 srcp[2100] @ 2;
+int16 dstp[2100] @ 12;
+param alpha;
+param walpha;     // wmax - alpha, precomputed by the caller
+for (i = 0; i < 2048; i++) {
+  out[i] = alpha * srcp[i+1] + walpha * dstp[i+2];
+}
+|}
+
+let () =
+  let program = Simd.parse_exn source in
+  Format.printf "=== 16-bit alpha blend, all rows misaligned ===@.%s@."
+    (Simd.Pp.program_to_string program);
+  let config =
+    { Simd.Driver.default with Simd.Driver.policy = Simd.Policy.Lazy }
+  in
+  (* Blend weights: alpha in [0, 256]. *)
+  let params = [ ("alpha", 80L); ("walpha", 176L) ] in
+  (match
+     Simd.simdize ~config program
+   with
+  | Simd.Driver.Scalar r ->
+    Format.printf "left scalar: %a@." Simd.Driver.pp_reason r
+  | Simd.Driver.Simdized o ->
+    let setup =
+      Simd.Sim_run.prepare ~params ~machine:config.Simd.Driver.machine program
+    in
+    (match Simd.Sim_run.verify setup o.Simd.Driver.prog with
+    | Ok () -> Format.printf "verify: simdized blend == scalar blend@."
+    | Error m -> Format.printf "verify FAILED: %a@." Simd.Sim_run.pp_mismatch m);
+    let r = Simd.Sim_run.run_simd setup o.Simd.Driver.prog in
+    let c = r.Simd.Sim_run.counts in
+    Format.printf
+      "dynamic ops: %d loads, %d stores, %d arith, %d splats, %d shifts@."
+      c.Simd.Exec.vloads c.Simd.Exec.vstores c.Simd.Exec.vops c.Simd.Exec.vsplats
+      c.Simd.Exec.vshifts;
+    let sample, opd, speedup = Simd.measure ~config program in
+    Format.printf "ops/datum %.3f (peak speedup %d, achieved %.2fx, LB bound %.2fx)@."
+      opd
+      (Simd.Machine.blocking_factor config.Simd.Driver.machine ~elem:2)
+      speedup
+      (Simd.Measure.lb_speedup sample);
+    (* Show a few blended pixels from the simulated memory. *)
+    let layout = setup.Simd.Sim_run.layout in
+    let mem = r.Simd.Sim_run.final_mem in
+    Format.printf "first blended pixels:";
+    for i = 0 to 7 do
+      let addr = Simd.Layout.addr layout ~elem:2 ~name:"out" ~index:i in
+      Format.printf " %Ld" (Simd.Mem.peek_scalar mem ~elem:2 addr)
+    done;
+    Format.printf "@.");
+  (* And the AltiVec rendition, as the paper's compiler would emit. *)
+  let o = Simd.simdize_exn ~config program in
+  Format.printf "@.=== AltiVec kernel ===@.%s@."
+    (Simd.Emit_altivec.unit o.Simd.Driver.prog)

@@ -1,0 +1,70 @@
+(* Quickstart: the paper's Figure 1 loop, end to end.
+
+   a[i+3] = b[i+1] + c[i+2] is trivially vectorizable on machines without
+   alignment constraints, but no amount of loop peeling can align more than
+   one of its three references. This example simdizes it under each shift
+   placement policy, verifies every result against the scalar loop,
+   and shows the generated vector IR and portable C.
+
+   Run with:  dune exec examples/quickstart.exe *)
+
+let source =
+  {|
+// The paper's running example (Figure 1), with all arrays 16-byte aligned:
+// the references b[i+1], c[i+2], a[i+3] then have stream offsets 4, 8, 12.
+int32 a[128] @ 0;
+int32 b[128] @ 0;
+int32 c[128] @ 0;
+for (i = 0; i < 100; i++) {
+  a[i+3] = b[i+1] + c[i+2];
+}
+|}
+
+let () =
+  let program = Simd.parse_exn source in
+  Format.printf "=== Input loop ===@.%s@." (Simd.Pp.program_to_string program);
+
+  (* Alignment analysis: every reference is misaligned. *)
+  let analysis = Simd.Analysis.check_exn ~machine:Simd.Machine.default program in
+  Format.printf "Stream offsets:@.";
+  List.iter
+    (fun (r, o) ->
+      Format.printf "  %-8s -> %a@." (Simd.Pp.mem_ref_to_string r) Simd.Align.pp o)
+    analysis.Simd.Analysis.offsets;
+  Format.printf "misaligned references: %.0f%%@.@."
+    (100.0 *. Simd.Analysis.misaligned_fraction analysis);
+
+  (* Loop peeling (the prior-work baseline) cannot handle this loop. *)
+  Format.printf "Loop-peeling baseline: %a@.@." Simd.Peel.pp_verdict
+    (Simd.Peel.check analysis);
+
+  (* Simdize under each policy; verify each against the scalar loop. *)
+  List.iter
+    (fun policy ->
+      let config =
+        { Simd.Driver.default with Simd.Driver.policy; reassoc = false }
+      in
+      let sample, opd, speedup = Simd.measure ~config program in
+      let verified =
+        match Simd.verify ~config program with Ok () -> "OK" | Error m -> m
+      in
+      Format.printf
+        "%-9s: %2d stream shifts in the graph; %.2f ops/datum; speedup %.2fx; \
+         verify %s@."
+        (Simd.Policy.name policy)
+        (Simd.Util.sum_by
+           (fun (_, g) -> Simd.Graph.graph_shift_count g)
+           (match Simd.simdize ~config program with
+           | Simd.Driver.Simdized o -> o.Simd.Driver.graphs
+           | Simd.Driver.Scalar _ -> []))
+        opd speedup verified;
+      ignore sample)
+    Simd.Policy.all;
+
+  (* Show the best code. *)
+  let config = { Simd.Driver.default with Simd.Driver.policy = Simd.Policy.Lazy } in
+  let o = Simd.simdize_exn ~config program in
+  Format.printf "@.=== Vector IR (lazy-shift + software pipelining) ===@.%s@."
+    (Simd.Vir_prog.to_string o.Simd.Driver.prog);
+  Format.printf "=== Portable C (kernel only; see --emit altivec/sse too) ===@.%s@."
+    (Simd.Emit_portable.kernel o.Simd.Driver.prog)

@@ -1,0 +1,1 @@
+lib/bench_infra/lb.pp.ml: Align Analysis Ast List Ppx_deriving_runtime Simd_dreorg Simd_loopir Simd_support

@@ -1,0 +1,1 @@
+lib/bench_infra/lb.pp.mli: Analysis Ast Ppx_deriving_runtime Simd_dreorg Simd_loopir

@@ -1,0 +1,1 @@
+lib/bench_infra/measure.pp.ml: Analysis Ast Format Interp Lb List Simd_codegen Simd_dreorg Simd_loopir Simd_sim

@@ -1,0 +1,1 @@
+lib/bench_infra/measure.pp.mli: Ast Interp Lb Simd_codegen Simd_dreorg Simd_loopir Simd_sim

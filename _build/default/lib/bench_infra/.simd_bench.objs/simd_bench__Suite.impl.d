@@ -1,0 +1,1 @@
+lib/bench_infra/suite.pp.ml: Analysis Array Ast Float Format Lb List Measure Printf Simd_codegen Simd_dreorg Simd_loopir Simd_machine Simd_support String Synth

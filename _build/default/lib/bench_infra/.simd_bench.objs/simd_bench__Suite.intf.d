@@ -1,0 +1,1 @@
+lib/bench_infra/suite.pp.mli: Ast Format Simd_codegen Simd_dreorg Simd_loopir Simd_machine Synth

@@ -1,0 +1,1 @@
+lib/bench_infra/synth.pp.ml: Ast List Ppx_deriving_runtime Printf Prng Simd_loopir Simd_machine Simd_support Util

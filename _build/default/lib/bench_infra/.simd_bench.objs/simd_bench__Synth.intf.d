@@ -1,0 +1,1 @@
+lib/bench_infra/synth.pp.mli: Ast Ppx_deriving_runtime Simd_loopir Simd_machine

@@ -1,0 +1,164 @@
+(** The analytic lower bound of §5.3.
+
+    "The lower bound is computed based on parameters (l, s, n, b, r). It
+    includes each distinct 16-byte aligned load and store in the loop. The
+    bound also accounts for a minimum number of data reorganizations per
+    statement … for a statement with accesses of n distinct alignments, a
+    minimum of n−1 vshiftpair operations are required. Note that for the
+    shift-zero policy, the number of vshiftpair operations is fully
+    deterministic, namely one for each of the m misaligned memory streams.
+    For that policy only, LB reflects m instead of n−1. The bound also
+    includes the data computations in the loop, but explicitly ignores all
+    architecture- and compiler-dependent factors such as address
+    computation, constant generation, and loop overhead." *)
+
+open Simd_loopir
+module Policy = Simd_dreorg.Policy
+
+type t = {
+  distinct_load_streams : int;
+      (** distinct 16-byte-aligned load streams per simdized iteration *)
+  store_streams : int;  (** one vstore per statement *)
+  min_shifts : int;  (** minimum reorganization ops per simdized iteration *)
+  vops : int;  (** data computations per simdized iteration *)
+  block : int;
+  stmts : int;
+}
+[@@deriving show { with_path = false }, eq]
+
+(** Chunk identity of a load stream: two static loads of one array address
+    the same aligned vectors exactly when their normalized element offsets
+    agree ([c - o/D]); with runtime alignment we conservatively key on the
+    raw offset. *)
+let stream_key ~(analysis : Analysis.t) (r : Ast.mem_ref) =
+  match Analysis.offset_of analysis r with
+  | Align.Known o ->
+    ( r.Ast.ref_array,
+      (r.Ast.ref_offset - (o / analysis.Analysis.elem), r.Ast.ref_stride) )
+  | Align.Runtime -> (r.Ast.ref_array, (r.Ast.ref_offset, r.Ast.ref_stride))
+
+(** [compute ~analysis ~policy] — the bound's components for this loop
+    under the given placement policy. *)
+let compute ~(analysis : Analysis.t) ~(policy : Policy.t) : t =
+  let program = analysis.Analysis.program in
+  let body = program.Ast.loop.Ast.body in
+  let loads = List.concat_map (fun (s : Ast.stmt) -> Ast.expr_loads s.Ast.rhs) body in
+  (* A stride-s gather consumes s chunks of its array per simdized
+     iteration (extension). *)
+  let distinct_load_streams =
+    Simd_support.Util.sum_by
+      (fun key -> snd (snd key))
+      (Simd_support.Util.dedup (List.map (stream_key ~analysis) loads))
+  in
+  (* Reductions (extension) store nothing per iteration. *)
+  let store_streams =
+    List.length (List.filter (fun (s : Ast.stmt) -> not (Ast.is_reduction s)) body)
+  in
+  let min_shifts =
+    match policy with
+    | Policy.Zero ->
+      (* m: one shift per misaligned stream (runtime offsets always shift). *)
+      let stream_misaligned refs =
+        let keyed =
+          Simd_support.Util.dedup (List.map (fun r -> (stream_key ~analysis r, r)) refs)
+        in
+        List.length
+          (List.filter
+             (fun (_, (r : Ast.mem_ref)) ->
+               (* gathered streams arrive at offset 0: never stream-shifted
+                  (their window shifts are charged separately below) *)
+               r.Ast.ref_stride = 1
+               &&
+               match Analysis.offset_of analysis r with
+               | Align.Known 0 -> false
+               | Align.Known _ | Align.Runtime -> true)
+             keyed)
+      in
+      let load_shifts = stream_misaligned loads in
+      let store_shifts =
+        List.length
+          (List.filter
+             (fun (s : Ast.stmt) ->
+               (* a reduction's target is offset 0: no root shift under
+                  zero-shift (extension) *)
+               (not (Ast.is_reduction s))
+               &&
+               match Analysis.offset_of analysis s.Ast.lhs with
+               | Align.Known 0 -> false
+               | Align.Known _ | Align.Runtime -> true)
+             body)
+      in
+      load_shifts + store_shifts
+    | Policy.Eager | Policy.Lazy | Policy.Dominant ->
+      (* n−1 per statement, n = distinct alignments among the statement's
+         references (loads and store; a reduction's target is offset 0). *)
+      Simd_support.Util.sum_by
+        (fun (s : Ast.stmt) ->
+          let offs =
+            List.map
+              (fun (r : Ast.mem_ref) ->
+                if r.Ast.ref_stride > 1 then Align.Known 0
+                else Analysis.offset_of analysis r)
+              (Ast.stmt_refs s)
+          in
+          let offs =
+            if Ast.is_reduction s then Align.Known 0 :: offs else offs
+          in
+          max 0 (List.length (Simd_support.Util.dedup offs) - 1))
+        body
+  in
+  (* Strided gathers need their pack trees regardless of policy:
+     (s-1) vpacks, plus s window shifts when misaligned (extension). *)
+  let gather_ops =
+    Simd_support.Util.sum_by
+      (fun (r : Ast.mem_ref) ->
+        if r.Ast.ref_stride <= 1 then 0
+        else
+          let s = r.Ast.ref_stride in
+          let shifts =
+            match Analysis.offset_of analysis r with
+            | Align.Known 0 -> 0
+            | Align.Known _ | Align.Runtime -> s
+          in
+          s - 1 + shifts)
+      (Simd_support.Util.dedup loads)
+  in
+  let min_shifts = min_shifts + gather_ops in
+  let vops =
+    (* a reduction additionally pays one accumulate per simdized iteration *)
+    Simd_support.Util.sum_by
+      (fun (s : Ast.stmt) ->
+        Ast.expr_op_count s.Ast.rhs + if Ast.is_reduction s then 1 else 0)
+      body
+  in
+  {
+    distinct_load_streams;
+    store_streams;
+    min_shifts;
+    vops;
+    block = analysis.Analysis.block;
+    stmts = List.length body;
+  }
+
+(** [shifts_per_datum t] — the shift component alone (for the figure
+    breakdowns). *)
+let shifts_per_datum t =
+  float_of_int t.min_shifts /. float_of_int (t.stmts * t.block)
+
+(** [opd t] — the bound as operations per datum: per simdized iteration the
+    loop needs at least the counted operations, and produces [s*B] data. *)
+let opd t =
+  float_of_int (t.distinct_load_streams + t.store_streams + t.min_shifts + t.vops)
+  /. float_of_int (t.stmts * t.block)
+
+(** [seq_opd ~analysis] — the non-simdized reference: ideal scalar
+    operations per datum (loads + arithmetic + store, per statement). *)
+let seq_opd ~(analysis : Analysis.t) =
+  let body = analysis.Analysis.program.Ast.loop.Ast.body in
+  let ops =
+    Simd_support.Util.sum_by
+      (fun (s : Ast.stmt) ->
+        List.length (Ast.expr_loads s.Ast.rhs) + Ast.expr_op_count s.Ast.rhs + 1)
+      body
+  in
+  float_of_int ops /. float_of_int (List.length body)

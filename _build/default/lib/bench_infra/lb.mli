@@ -1,0 +1,30 @@
+(** The analytic lower bound of §5.3: distinct 16-byte-aligned loads and
+    stores, a minimum reorganization count ((n−1) per statement for the
+    optimized policies; the deterministic m misaligned streams for
+    zero-shift), and the data computations — explicitly excluding address
+    computation and loop overhead. *)
+
+open Simd_loopir
+module Policy = Simd_dreorg.Policy
+
+type t = {
+  distinct_load_streams : int;
+  store_streams : int;
+  min_shifts : int;
+  vops : int;
+  block : int;
+  stmts : int;
+}
+[@@deriving show, eq]
+
+val stream_key : analysis:Analysis.t -> Ast.mem_ref -> string * (int * int)
+(** Chunk identity of a load stream (normalized element offset). *)
+
+val compute : analysis:Analysis.t -> policy:Policy.t -> t
+
+val shifts_per_datum : t -> float
+val opd : t -> float
+(** The bound in operations per datum. *)
+
+val seq_opd : analysis:Analysis.t -> float
+(** The non-simdized reference: ideal scalar operations per datum. *)

@@ -1,0 +1,168 @@
+(** Synthesized loop benchmarks (paper §5.3).
+
+    "The loop benchmarks are synthesized based on a set of parameters: s,
+    the number of statements, l, the number of load references per
+    statement, and n, the iteration count. … The alignment of each memory
+    reference is randomly selected, with a possible bias b toward a single,
+    randomly selected alignment. Each memory reference within a single
+    statement accesses a distinct array, but different statements can
+    contain accesses to the same array. The amount of array reuse r among
+    multiple statements is also parameterized."
+
+    All draws come from a seeded SplitMix64 stream: a spec generates exactly
+    one program, reproducibly. *)
+
+open Simd_loopir
+open Simd_support
+
+type spec = {
+  stmts : int;  (** s *)
+  loads_per_stmt : int;  (** l *)
+  trip : int;  (** n *)
+  elem : Ast.elem_ty;
+  bias : float;  (** b: probability of the biased alignment *)
+  reuse : float;  (** r: probability a load reuses an earlier statement's ref *)
+  stride_prob : float;
+      (** extension: probability a load is a stride-2/4 gather (0 for the
+          paper's benchmarks) *)
+  reduce_prob : float;
+      (** extension: probability a statement is a reduction (0 for the
+          paper's benchmarks) *)
+  seed : int;
+}
+[@@deriving show { with_path = false }, eq]
+
+let default_spec =
+  {
+    stmts = 1;
+    loads_per_stmt = 6;
+    trip = 1000;
+    elem = Ast.I32;
+    bias = 0.3;
+    reuse = 0.3;
+    stride_prob = 0.0;
+    reduce_prob = 0.0;
+    seed = 42;
+  }
+
+(** [generate ~machine spec] — one synthesized loop program.
+
+    Alignment of a reference [x\[i + c\]] is realized by choosing the index
+    offset [c] uniformly in [\[0, 4\]] and then declaring the array base
+    alignment [k = (target - c*D) mod V], so the reference's stream offset
+    is exactly the drawn target. *)
+let generate ~machine (spec : spec) : Ast.program =
+  if spec.stmts < 1 || spec.loads_per_stmt < 1 then
+    invalid_arg "Synth.generate: need at least one statement and one load";
+  let prng = Prng.create ~seed:spec.seed in
+  let d = Ast.elem_width spec.elem in
+  let v = Simd_machine.Config.vector_len machine in
+  let align_choices = List.init (v / d) (fun k -> k * d) in
+  let biased_target = Prng.pick prng align_choices in
+  let draw_alignment () =
+    if Prng.chance prng spec.bias then biased_target
+    else Prng.pick prng align_choices
+  in
+  let max_offset = 4 in
+  let arrays = ref [] (* reversed decl list *) in
+  let fresh_array ?(stride = 1) ?len prefix idx =
+    let name = Printf.sprintf "%s%d" prefix idx in
+    let target = draw_alignment () in
+    let c = Prng.int prng ~bound:(max_offset + 1) in
+    let base = Util.pos_mod (target - (c * d)) v in
+    let arr_len =
+      match len with
+      | Some n -> n
+      | None -> (stride * spec.trip) + max_offset + 8
+    in
+    arrays :=
+      { Ast.arr_name = name; arr_ty = spec.elem; arr_len; arr_align = Ast.Known base }
+      :: !arrays;
+    { Ast.ref_array = name; ref_offset = c; ref_stride = stride }
+  in
+  (* All load refs generated so far, for cross-statement reuse. *)
+  let prior_loads = ref [] in
+  let counter = ref 0 in
+  let gen_stmt si =
+    let used = ref [] in
+    let gen_load () =
+      let reusable =
+        List.filter
+          (fun (r : Ast.mem_ref) -> not (List.mem r.Ast.ref_array !used))
+          !prior_loads
+      in
+      let r =
+        if si > 0 && reusable <> [] && Prng.chance prng spec.reuse then
+          Prng.pick prng reusable
+        else begin
+          incr counter;
+          let stride =
+            if Prng.chance prng spec.stride_prob then Prng.pick prng [ 2; 4 ]
+            else 1
+          in
+          fresh_array ~stride "x" !counter
+        end
+      in
+      used := r.Ast.ref_array :: !used;
+      prior_loads := r :: !prior_loads;
+      r
+    in
+    let loads = List.init spec.loads_per_stmt (fun _ -> gen_load ()) in
+    let rhs =
+      match List.map (fun r -> Ast.Load r) loads with
+      | [] -> assert false
+      | e :: rest -> List.fold_left (fun acc x -> Ast.Binop (Ast.Add, acc, x)) e rest
+    in
+    incr counter;
+    if Prng.chance prng spec.reduce_prob then begin
+      let acc = fresh_array ~len:1 "acc" !counter in
+      let op = Prng.pick prng [ Ast.Add; Ast.Min; Ast.Max; Ast.Or; Ast.Xor ] in
+      { Ast.lhs = { acc with Ast.ref_offset = 0 }; rhs; kind = Ast.Reduce op }
+    end
+    else
+      let lhs = fresh_array "y" !counter in
+      { Ast.lhs; rhs; kind = Ast.Assign }
+  in
+  let body = List.init spec.stmts gen_stmt in
+  {
+    Ast.arrays = List.rev !arrays;
+    params = [];
+    loop = { Ast.counter = "i"; trip = Ast.Trip_const spec.trip; body };
+  }
+
+(** [hide_alignments program] — the same loop compiled without alignment
+    information: every array's base alignment becomes a runtime value. Used
+    for the paper's "align at runtime" measurement columns. The simulator's
+    placement still realizes the original alignments only if the caller
+    keeps the original layout; by default placement draws fresh random
+    (naturally aligned) bases, which follows the same distribution. *)
+let hide_alignments (p : Ast.program) : Ast.program =
+  {
+    p with
+    Ast.arrays =
+      List.map (fun d -> { d with Ast.arr_align = Ast.Unknown }) p.Ast.arrays;
+  }
+
+(** [hide_trip program] — the same loop with an unknown (runtime) trip
+    count, exercising §4.4's unknown-loop-bound path. The original constant
+    is recovered at simulation time via [Run.prepare ~trip]. *)
+let hide_trip (p : Ast.program) : Ast.program =
+  let param = "n" in
+  if List.mem param p.Ast.params then p
+  else
+    {
+      p with
+      Ast.params = p.Ast.params @ [ param ];
+      loop = { p.Ast.loop with Ast.trip = Ast.Trip_param param };
+    }
+
+(** [const_trip_exn p] — the trip count of a constant-bound program. *)
+let const_trip_exn (p : Ast.program) =
+  match p.Ast.loop.Ast.trip with
+  | Ast.Trip_const n -> n
+  | Ast.Trip_param _ -> invalid_arg "Synth.const_trip_exn: runtime trip"
+
+(** [benchmark ~machine ~spec ~count] — a family of [count] loops sharing
+    [spec]'s shape but distinct seeds (the paper's 50-loop benchmarks). *)
+let benchmark ~machine ~(spec : spec) ~count : Ast.program list =
+  List.init count (fun k -> generate ~machine { spec with seed = spec.seed + (1000 * k) })

@@ -1,0 +1,38 @@
+(** Synthesized loop benchmarks (paper §5.3), parameterized by
+    (l, s, n, b, r): loads per statement, statements, trip count, alignment
+    bias, and cross-statement array reuse. Fully deterministic per seed. *)
+
+open Simd_loopir
+
+type spec = {
+  stmts : int;  (** s *)
+  loads_per_stmt : int;  (** l *)
+  trip : int;  (** n *)
+  elem : Ast.elem_ty;
+  bias : float;  (** b *)
+  reuse : float;  (** r *)
+  stride_prob : float;  (** extension: stride-2/4 gather probability *)
+  reduce_prob : float;  (** extension: reduction-statement probability *)
+  seed : int;
+}
+[@@deriving show, eq]
+
+val default_spec : spec
+(** S1*L6, int32, trip 1000, bias = reuse = 0.3 (the paper's Figure 11
+    benchmark shape). *)
+
+val generate : machine:Simd_machine.Config.t -> spec -> Ast.program
+
+val hide_alignments : Ast.program -> Ast.program
+(** The same loop compiled without alignment information (the "align at
+    runtime" measurement columns). *)
+
+val hide_trip : Ast.program -> Ast.program
+(** The same loop with a runtime trip count (§4.4's unknown bounds). *)
+
+val const_trip_exn : Ast.program -> int
+
+val benchmark :
+  machine:Simd_machine.Config.t -> spec:spec -> count:int -> Ast.program list
+(** [count] loops sharing the spec's shape, distinct seeds (the paper's
+    50-loop benchmarks). *)

@@ -1,0 +1,1 @@
+lib/codegen/driver.pp.ml: Analysis Ast Format Gen List Names Passes Peel Ppx_deriving_runtime Prog Simd_dreorg Simd_loopir Simd_machine Simd_vir

@@ -1,0 +1,1 @@
+lib/codegen/driver.pp.mli: Analysis Ast Format Peel Ppx_deriving_runtime Prog Simd_dreorg Simd_loopir Simd_machine Simd_vir

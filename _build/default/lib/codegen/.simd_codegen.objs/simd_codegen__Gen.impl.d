@@ -1,0 +1,1 @@
+lib/codegen/gen.pp.ml: Addr Align Analysis Ast Expr Format List Names Ppx_deriving_runtime Prog Rexpr Simd_dreorg Simd_loopir Simd_machine Simd_support Simd_vir

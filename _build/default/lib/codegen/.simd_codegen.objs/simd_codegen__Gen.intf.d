@@ -1,0 +1,1 @@
+lib/codegen/gen.pp.mli: Analysis Ast Expr Format Names Ppx_deriving_runtime Prog Simd_dreorg Simd_loopir Simd_vir

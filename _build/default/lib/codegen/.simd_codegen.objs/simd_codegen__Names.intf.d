@@ -1,0 +1,1 @@
+lib/codegen/names.pp.mli:

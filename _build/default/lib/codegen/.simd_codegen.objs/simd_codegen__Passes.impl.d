@@ -1,0 +1,1 @@
+lib/codegen/passes.pp.ml: Addr Align Analysis Array Ast Expr Hashtbl List Names Option Pp Printf Rexpr Simd_loopir Simd_machine Simd_support Simd_vir

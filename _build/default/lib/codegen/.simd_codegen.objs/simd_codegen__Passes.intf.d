@@ -1,0 +1,1 @@
+lib/codegen/passes.pp.mli: Analysis Expr Names Rexpr Simd_loopir Simd_vir

@@ -1,0 +1,1 @@
+lib/codegen/peel.pp.ml: Align Analysis Ast Format List Simd_loopir Simd_machine Simd_support

@@ -1,0 +1,1 @@
+lib/codegen/peel.pp.mli: Format Simd_loopir

@@ -1,0 +1,200 @@
+(** The simdization driver: analysis → (reassociation) → shift placement →
+    code generation → optimization passes → epilogue derivation.
+
+    This is the top of the compilation scheme the paper describes in §1:
+    simdize as if unconstrained, insert reorganization via a policy, then
+    generate and optimize SIMD code. *)
+
+open Simd_loopir
+open Simd_vir
+module Policy = Simd_dreorg.Policy
+module Graph = Simd_dreorg.Graph
+module Reassoc = Simd_dreorg.Reassoc
+
+(** Cross-iteration reuse strategy (§5.5): none, predictive commoning (a
+    post-pass on standard code), or software-pipelined generation. *)
+type reuse = No_reuse | Predictive_commoning | Software_pipelining
+[@@deriving show { with_path = false }, eq]
+
+let reuse_name = function
+  | No_reuse -> "plain"
+  | Predictive_commoning -> "pc"
+  | Software_pipelining -> "sp"
+
+type config = {
+  machine : Simd_machine.Config.t;
+  policy : Policy.t;
+  reuse : reuse;
+  memnorm : bool;  (** normalize load addresses to aligned chunks *)
+  reassoc : bool;  (** common-offset reassociation *)
+  cse : bool;  (** local value numbering (traditional redundancy elim.) *)
+  hoist_splats : bool;
+  unroll : int;
+      (** steady-loop unroll factor (≥ 1); 2 removes depth-1 pipelining
+          copies by modulo variable expansion (§4.5) *)
+  specialize_epilogue : bool;
+      (** fold the guarded epilogue for compile-time trip counts *)
+  peel_baseline : bool;
+      (** simdize only if loop peeling (prior work) is applicable — the
+          baseline scheme; the policy is forced to eager *)
+}
+
+let default =
+  {
+    machine = Simd_machine.Config.default;
+    policy = Policy.Dominant;
+    reuse = Software_pipelining;
+    memnorm = true;
+    reassoc = false;
+    cse = true;
+    hoist_splats = true;
+    unroll = 1;
+    specialize_epilogue = true;
+    peel_baseline = false;
+  }
+
+(** Why a loop was left scalar. *)
+type reason =
+  | Illegal of Analysis.error
+  | Trip_too_small of { trip : int; needed : int }
+  | Peeling_inapplicable of Peel.verdict
+
+let pp_reason fmt = function
+  | Illegal e -> Format.fprintf fmt "not simdizable: %a" Analysis.pp_error e
+  | Trip_too_small { trip; needed } ->
+    Format.fprintf fmt "trip count %d too small (need > %d)" trip needed
+  | Peeling_inapplicable v ->
+    Format.fprintf fmt "peeling baseline: %a" Peel.pp_verdict v
+
+type outcome = {
+  prog : Prog.t;
+  analysis : Analysis.t;
+  graphs : (Ast.stmt * Graph.t) list;
+  policies_used : Policy.t list;
+      (** per statement; differs from the requested policy when runtime
+          alignments forced the zero-shift fallback (§4.4) *)
+  config : config;
+}
+
+type result = Simdized of outcome | Scalar of reason
+
+(* ------------------------------------------------------------------ *)
+
+let place_with_fallback config ~analysis stmt =
+  match Policy.place config.policy ~analysis stmt with
+  | Ok g -> (g, config.policy)
+  | Error (Policy.Requires_compile_time_alignment _) ->
+    (Policy.place_exn Policy.Zero ~analysis stmt, Policy.Zero)
+
+let run_passes config ~analysis (prog : Prog.t) : Prog.t =
+  let names = Names.create () in
+  let prologue = ref prog.Prog.prologue in
+  let body = ref prog.Prog.body in
+  if config.hoist_splats then begin
+    let p, b = Passes.hoist_splats ~names ~prologue:!prologue ~body:!body in
+    prologue := p;
+    body := b
+  end;
+  if config.memnorm then begin
+    body := Passes.memnorm ~analysis !body;
+    prologue := Passes.memnorm ~analysis !prologue
+  end;
+  if config.cse then body := Passes.cse ~names !body;
+  (if config.reuse = Predictive_commoning then begin
+     let inits, b =
+       Passes.predictive_commoning ~block:prog.Prog.block ~lb:prog.Prog.lower
+         ~prologue:!prologue
+         (if config.cse then !body else Passes.cse ~names !body)
+     in
+     body := b;
+     prologue := !prologue @ inits
+   end);
+  if config.cse then prologue := Passes.cse ~names !prologue;
+  (* Rebuild the per-iteration epilogue template from the optimized (but
+     not yet unrolled) body; the epilogue always advances one block at a
+     time regardless of unrolling. *)
+  let template =
+    Gen.derive_epilogue ~analysis ~reductions:prog.Prog.reductions !body
+  in
+  let unroll = max 1 config.unroll in
+  if unroll > 1 then body := Passes.unroll ~block:prog.Prog.block ~factor:unroll !body;
+  let trip_const =
+    match prog.Prog.source.Ast.loop.Ast.trip with
+    | Ast.Trip_const n -> Some n
+    | Ast.Trip_param _ -> None
+  in
+  let n_virtual = unroll + 1 in
+  let prog_shape = { prog with Prog.body = !body; unroll } in
+  let epilogues =
+    match (config.specialize_epilogue, trip_const) with
+    | true, Some trip ->
+      let exit = Prog.exit_counter prog_shape ~trip in
+      List.init n_virtual (fun k ->
+          Passes.specialize ~analysis ~trip:(Some trip)
+            ~i:(Some (exit + (k * prog.Prog.block)))
+            template)
+    | _ ->
+      let t = Passes.specialize ~analysis ~trip:trip_const ~i:None template in
+      List.init n_virtual (fun _ -> t)
+  in
+  (* Reduction finalization (horizontal combine + scalar write-back) runs
+     once, after the last virtual epilogue iteration. *)
+  let epilogues =
+    match (prog.Prog.reductions, List.rev epilogues) with
+    | [], _ | _, [] -> epilogues
+    | reds, last :: earlier ->
+      List.rev ((last @ Gen.finalize_reductions ~analysis ~names reds) :: earlier)
+  in
+  let epilogues = Passes.dce epilogues in
+  { prog_shape with Prog.prologue = !prologue; epilogues }
+
+(** [simdize config program] — the whole pipeline. *)
+let simdize (config : config) (program : Ast.program) : result =
+  match Analysis.check ~machine:config.machine program with
+  | Error e -> Scalar (Illegal e)
+  | Ok analysis -> (
+    let program, analysis =
+      if config.reassoc then begin
+        let program' = Reassoc.apply_program ~analysis program in
+        (program', Analysis.check_exn ~machine:config.machine program')
+      end
+      else (program, analysis)
+    in
+    match
+      if config.peel_baseline then
+        match Peel.check analysis with
+        | Peel.Applicable -> Ok { config with policy = Policy.Eager }
+        | v -> Error (Peeling_inapplicable v)
+      else Ok config
+    with
+    | Error r -> Scalar r
+    | Ok config -> (
+      let placed =
+        List.map
+          (fun stmt ->
+            let g, p = place_with_fallback config ~analysis stmt in
+            (stmt, g, p))
+          program.Ast.loop.Ast.body
+      in
+      let graphs = List.map (fun (s, g, _) -> (s, g)) placed in
+      let policies_used = List.map (fun (_, _, p) -> p) placed in
+      let mode =
+        match config.reuse with
+        | Software_pipelining -> Gen.Pipelined
+        | No_reuse | Predictive_commoning -> Gen.Standard
+      in
+      let names = Names.create () in
+      match Gen.generate ~analysis ~names ~mode graphs with
+      | Error (Gen.Trip_too_small { trip; needed }) ->
+        Scalar (Trip_too_small { trip; needed })
+      | Error (Gen.Unsupported_shift msg) ->
+        invalid_arg ("Driver.simdize: unexpected shift failure: " ^ msg)
+      | Ok prog ->
+        let prog = run_passes config ~analysis prog in
+        Simdized { prog; analysis; graphs; policies_used; config }))
+
+(** [simdize_exn] — [simdize] that raises on scalar fallback (tests). *)
+let simdize_exn config program =
+  match simdize config program with
+  | Simdized o -> o
+  | Scalar r -> invalid_arg (Format.asprintf "Driver.simdize_exn: %a" pp_reason r)

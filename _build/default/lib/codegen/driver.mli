@@ -1,0 +1,53 @@
+(** The simdization driver: analysis → (reassociation) → shift placement →
+    code generation → optimization passes → epilogue derivation. *)
+
+open Simd_loopir
+open Simd_vir
+module Policy = Simd_dreorg.Policy
+module Graph = Simd_dreorg.Graph
+module Reassoc = Simd_dreorg.Reassoc
+
+(** Cross-iteration reuse strategy (§5.5). *)
+type reuse = No_reuse | Predictive_commoning | Software_pipelining
+[@@deriving show, eq]
+
+val reuse_name : reuse -> string
+
+type config = {
+  machine : Simd_machine.Config.t;
+  policy : Policy.t;
+  reuse : reuse;
+  memnorm : bool;
+  reassoc : bool;
+  cse : bool;
+  hoist_splats : bool;
+  unroll : int;  (** ≥ 1; 2 removes depth-1 pipelining copies (§4.5) *)
+  specialize_epilogue : bool;
+  peel_baseline : bool;  (** prior-work baseline: require peeling applicability *)
+}
+
+val default : config
+(** 16-byte machine, dominant-shift, software pipelining, MemNorm + CSE +
+    splat hoisting on, no reassociation, no unrolling. *)
+
+type reason =
+  | Illegal of Analysis.error
+  | Trip_too_small of { trip : int; needed : int }
+  | Peeling_inapplicable of Peel.verdict
+
+val pp_reason : Format.formatter -> reason -> unit
+
+type outcome = {
+  prog : Prog.t;
+  analysis : Analysis.t;
+  graphs : (Ast.stmt * Graph.t) list;
+  policies_used : Policy.t list;
+      (** per statement; [Zero] where runtime alignments forced the
+          fallback (§4.4) *)
+  config : config;
+}
+
+type result = Simdized of outcome | Scalar of reason
+
+val simdize : config -> Ast.program -> result
+val simdize_exn : config -> Ast.program -> outcome

@@ -1,0 +1,604 @@
+(** SIMD code generation from data reorganization graphs (paper §4).
+
+    Two generation modes:
+    - {b Standard} (Fig. 7): a stream shift at offset [from]→[to] lowers to
+      one [Shiftpair] combining the current register of the source stream
+      with its next register (left shift, [from > to]) or its previous one
+      (right shift, [from < to]). "Next"/"previous" registers are the same
+      expression at iteration [i ± B] (the paper's [Substitute(i → i ± B)]).
+    - {b Pipelined} (Fig. 10): the value flowing into each shift from the
+      larger iteration ("second") is computed into a fresh [new] temporary
+      and carried across iterations through an [old] temporary, so the
+      steady-state loop never reloads data already loaded — the paper's
+      never-load-the-same-data-twice guarantee.
+
+    Statement handling (Fig. 9): the first simdized iteration is peeled into
+    a prologue whose store splices the new value into the original memory
+    content from byte [ProSplice = addr(0) mod V]; the steady-state loop
+    issues full (truncating) vector stores; the epilogue re-executes the
+    body at the loop exit counter (and once more at [exit + B]) with every
+    store guarded by the remaining byte count
+
+    {v  L = (ub - i)*D + corr  v}
+
+    storing a full vector while [L >= V] and splicing the final [L] bytes
+    otherwise. [corr] is the store alignment for blocked bounds (stores are
+    truncation-adjusted) and 0 for per-store bounds (stores are exactly
+    aligned). This one guarded form subsumes Eqs. 8/9/14/16: evaluated at
+    [i = exit] and [i = exit + B] it performs exactly the full-plus-partial
+    (or single partial) epilogue stores the paper derives. *)
+
+open Simd_loopir
+open Simd_vir
+module Graph = Simd_dreorg.Graph
+module Offset = Simd_dreorg.Offset
+
+type mode = Standard | Pipelined [@@deriving show { with_path = false }, eq]
+
+(* Bounds are always the "blocked" scheme of §4.3/4.4: LB = B (Eq. 12) and
+   the steady counter stays a multiple of B, with stores relying on address
+   truncation. This is deliberate: the Fig.-7 lowering of a stream shift
+   pairs the registers of iterations i and i±B, and the chunk a truncating
+   load/store touches at counter value i only lines up with the i = 0 stream
+   pictures when i ≡ 0 (mod B). A steady loop entered at Eq. 10's
+   LB = (V - ProSplice)/D would evaluate the same expressions at a shifted
+   phase and combine the wrong chunks; Eq. 12 is the paper's own refinement
+   that removes the phase dependence (see DESIGN.md). The single-statement
+   Eqs. 10/11 are still honored through Eq. 13's compile-time upper bound,
+   which degenerates to Eq. 11 for one statement. *)
+
+type error =
+  | Trip_too_small of { trip : int; needed : int }
+      (** compile-time trip count cannot fill prologue+steady+epilogue *)
+  | Unsupported_shift of string
+      (** a stream shift whose direction is not compile-time decidable —
+          cannot happen for graphs produced by the provided policies *)
+
+let pp_error fmt = function
+  | Trip_too_small { trip; needed } ->
+    Format.fprintf fmt "trip count %d too small to simdize (need > %d)" trip needed
+  | Unsupported_shift msg -> Format.fprintf fmt "unsupported stream shift: %s" msg
+
+exception Failed of error
+
+(* ------------------------------------------------------------------ *)
+(* Generation context                                                  *)
+(* ------------------------------------------------------------------ *)
+
+type ctx = {
+  analysis : Analysis.t;
+  names : Names.t;
+  v : int;  (** vector length *)
+  elem : int;
+  block : int;
+  lb : int;  (** steady-loop lower bound (needed for pipelining inits) *)
+  mutable prologue_inits : Expr.stmt list;  (** reversed *)
+  mutable body_pre : Expr.stmt list;  (** reversed; per-statement, flushed *)
+  mutable body_copies : Expr.stmt list;  (** reversed; per-statement, flushed *)
+}
+
+let push_init ctx s = ctx.prologue_inits <- s :: ctx.prologue_inits
+let push_pre ctx s = ctx.body_pre <- s :: ctx.body_pre
+let push_copy ctx s = ctx.body_copies <- s :: ctx.body_copies
+
+let take_pre ctx =
+  let r = List.rev ctx.body_pre in
+  ctx.body_pre <- [];
+  r
+
+let take_copies ctx =
+  let r = List.rev ctx.body_copies in
+  ctx.body_copies <- [];
+  r
+
+(* ------------------------------------------------------------------ *)
+(* Offsets as runtime expressions                                      *)
+(* ------------------------------------------------------------------ *)
+
+(** Stream offsets are loop invariants: for a stride-one reference the
+    address advances by [B*D = V] bytes per simdized iteration, so
+    [addr & (V-1)] is the same at every counter value the generated code
+    evaluates it at (multiples of [B], including the prologue's 0). *)
+let rexpr_of_offset (o : Offset.t) : Rexpr.t =
+  match o with
+  | Offset.Known k -> Rexpr.Const k
+  | Offset.Runtime r -> Rexpr.Offset_of (Addr.of_ref r)
+  | Offset.Any -> invalid_arg "Gen.rexpr_of_offset: ⊥ offset"
+
+(** Shift direction, decidable at compile time (paper §4.4: under the
+    zero-shift policy loads shift left to 0 and stores shift right from 0
+    even when the offsets themselves are runtime values). *)
+type direction = Left | Right
+
+let direction ~(from : Offset.t) ~(to_ : Offset.t) : direction option =
+  match (from, to_) with
+  | Offset.Known f, Offset.Known t ->
+    if f > t then Some Left else if f < t then Some Right else None
+  | Offset.Runtime _, Offset.Known 0 -> Some Left
+  | Offset.Known 0, Offset.Runtime _ -> Some Right
+  | _ ->
+    raise
+      (Failed
+         (Unsupported_shift
+            (Format.asprintf "from %a to %a" Offset.pp from Offset.pp to_)))
+
+(** Shift amounts (see {!Simd_machine.Vec.shiftpair} for the [0..V] domain):
+    left shifts use [(from - to) mod V]; right shifts use
+    [V - ((to - from) mod V)] so that a runtime-aligned store ([to = 0])
+    yields shift [V] (select the second operand) rather than 0. *)
+let left_shift_amount ctx ~from ~to_ =
+  Rexpr.mod_const (Rexpr.sub (rexpr_of_offset from) (rexpr_of_offset to_)) ctx.v
+
+let right_shift_amount ctx ~from ~to_ =
+  Rexpr.sub (Rexpr.Const ctx.v)
+    (Rexpr.mod_const (Rexpr.sub (rexpr_of_offset to_) (rexpr_of_offset from)) ctx.v)
+
+(* ------------------------------------------------------------------ *)
+(* Expression generation                                               *)
+(* ------------------------------------------------------------------ *)
+
+(** [gen_gather ctx ~disp r] — lower a strided load (extension). For stride
+    [s], the [B] gathered elements span [s] aligned windows of the array:
+    window [j] holds elements [s·i + c + jB .. +B), obtained as
+    [vshiftpair(chunk_j, chunk_{j+1}, o)] (plain loads when the reference is
+    aligned; the shift amount may be a runtime offset). A [log2 s]-level
+    [vpack] tree then selects every [s]-th element, delivering the gathered
+    stream contiguously at offset 0. Adjacent windows share chunks (CSE) and
+    consecutive iterations share the boundary chunk (predictive
+    commoning). *)
+let gen_gather ctx ~disp (r : Ast.mem_ref) : Expr.vexpr =
+  let s = r.Ast.ref_stride in
+  let base = Addr.shift_iter (Addr.of_ref r) ~by:disp in
+  let o = Analysis.offset_of ctx.analysis r in
+  let chunk j =
+    Expr.Load { base with Addr.offset = base.Addr.offset + (j * ctx.block) }
+  in
+  let window j =
+    match o with
+    | Align.Known 0 -> chunk j
+    | Align.Known k -> Expr.Shiftpair (chunk j, chunk (j + 1), Rexpr.Const k)
+    | Align.Runtime ->
+      Expr.Shiftpair (chunk j, chunk (j + 1), Rexpr.Offset_of base)
+  in
+  let rec tree = function
+    | [ w ] -> w
+    | ws ->
+      let rec pair_up = function
+        | a :: b :: rest -> Expr.Pack (a, b) :: pair_up rest
+        | rest -> rest
+      in
+      tree (pair_up ws)
+  in
+  tree (List.init s window)
+
+(** [gen_std ctx ~disp node] — standard generation (paper Fig. 7) of the
+    stream value at iteration [i + disp]. *)
+let rec gen_std ctx ~disp (n : Graph.node) : Expr.vexpr =
+  match n with
+  | Graph.Load r -> Expr.Load (Addr.shift_iter (Addr.of_ref r) ~by:disp)
+  | Graph.Strided r -> gen_gather ctx ~disp r
+  | Graph.Splat e -> Expr.Splat e
+  | Graph.Op (op, a, b) -> Expr.Op (op, gen_std ctx ~disp a, gen_std ctx ~disp b)
+  | Graph.Shift (src, from, to_) -> (
+    match direction ~from ~to_ with
+    | None -> gen_std ctx ~disp src (* no-op shift *)
+    | Some Left ->
+      let curr = gen_std ctx ~disp src in
+      let next = gen_std ctx ~disp:(disp + ctx.block) src in
+      Expr.Shiftpair (curr, next, left_shift_amount ctx ~from ~to_)
+    | Some Right ->
+      let prev = gen_std ctx ~disp:(disp - ctx.block) src in
+      let curr = gen_std ctx ~disp src in
+      Expr.Shiftpair (prev, curr, right_shift_amount ctx ~from ~to_))
+
+(** [gen_sp ctx ~disp node] — software-pipelined generation (paper Fig. 10).
+    Emits, per shift: a prologue initialization of the [old] carry (the
+    "first" value at the first steady iteration), a body assignment of the
+    "second" value to [new], and a bottom-of-body copy [old := new]. *)
+let rec gen_sp ctx ~disp (n : Graph.node) : Expr.vexpr =
+  match n with
+  | Graph.Load r -> Expr.Load (Addr.shift_iter (Addr.of_ref r) ~by:disp)
+  | Graph.Strided r ->
+    (* gathers are not pipelined (their cross-iteration chunk reuse is the
+       predictive-commoning pass's job) *)
+    gen_gather ctx ~disp r
+  | Graph.Splat e -> Expr.Splat e
+  | Graph.Op (op, a, b) -> Expr.Op (op, gen_sp ctx ~disp a, gen_sp ctx ~disp b)
+  | Graph.Shift (src, from, to_) -> (
+    match direction ~from ~to_ with
+    | None -> gen_sp ctx ~disp src
+    | Some dir ->
+      let first, second, shift =
+        match dir with
+        | Left ->
+          ( gen_std ctx ~disp src,
+            gen_sp ctx ~disp:(disp + ctx.block) src,
+            left_shift_amount ctx ~from ~to_ )
+        | Right ->
+          ( gen_std ctx ~disp:(disp - ctx.block) src,
+            gen_sp ctx ~disp src,
+            right_shift_amount ctx ~from ~to_ )
+      in
+      let old_t, new_t = Names.fresh_pair ctx.names in
+      (* The carry must hold "first" as seen by the first steady iteration
+         i = LB; the prologue executes at i = 0, so advance by LB. *)
+      push_init ctx (Expr.Assign (old_t, Expr.shift_iter first ~by:ctx.lb));
+      push_pre ctx (Expr.Assign (new_t, second));
+      push_copy ctx (Expr.Assign (old_t, Expr.Temp new_t));
+      Expr.Shiftpair (Expr.Temp old_t, Expr.Temp new_t, shift))
+
+(* ------------------------------------------------------------------ *)
+(* Bounds                                                              *)
+(* ------------------------------------------------------------------ *)
+
+(** Per-statement epilogue-leftover correction (see module doc). *)
+type store_info = {
+  store_addr : Addr.t;
+  store_offset_rexpr : Rexpr.t;
+  leftover_corr : Rexpr.t;
+}
+
+type bounds = { lower : int; upper : Prog.bound }
+
+let epi_splice_elems ~v ~elem ~store_off ~trip =
+  (* floor(EpiSplice / D) with EpiSplice = (o + ub*D) mod V   (Eq. 9) *)
+  Simd_support.Util.pos_mod (store_off + (trip * elem)) v / elem
+
+let compute_bounds ctx ~(stmts : Ast.stmt list) : bounds =
+  let analysis = ctx.analysis in
+  let trip_const =
+    match analysis.Analysis.program.Ast.loop.Ast.trip with
+    | Ast.Trip_const n -> Some n
+    | Ast.Trip_param _ -> None
+  in
+  (* A reduction's value stream is shifted to offset 0 (its "store
+     alignment" for bound purposes); an Assign uses its store address
+     alignment. *)
+  let store_offsets =
+    List.map
+      (fun (s : Ast.stmt) ->
+        match s.Ast.kind with
+        | Ast.Reduce _ -> Align.Known 0
+        | Ast.Assign -> Analysis.offset_of analysis s.Ast.lhs)
+      stmts
+  in
+  let all_store_known = List.for_all Align.is_known store_offsets in
+  (* Eq. 12: LB = B. Upper bound: Eq. 13 when everything is compile-time
+     (degenerates to Eq. 11 for a single statement), Eq. 15 otherwise. *)
+  let lower = ctx.block in
+  let upper =
+    match trip_const with
+    | Some trip when all_store_known ->
+      let max_epi =
+        List.fold_left
+          (fun acc o ->
+            max acc
+              (epi_splice_elems ~v:ctx.v ~elem:ctx.elem
+                 ~store_off:(Align.known_exn o) ~trip))
+          0 store_offsets
+      in
+      Prog.B_const (trip - max_epi)
+    | _ -> Prog.B_trip_minus (ctx.block - 1) (* UB = ub - B + 1   (Eq. 15) *)
+  in
+  { lower; upper }
+
+(* ------------------------------------------------------------------ *)
+(* Statements                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let store_info ctx (stmt : Ast.stmt) : store_info =
+  let store_addr = Addr.of_ref stmt.Ast.lhs in
+  let o = Analysis.offset_of ctx.analysis stmt.Ast.lhs in
+  let store_offset_rexpr =
+    match o with
+    | Align.Known k -> Rexpr.Const k
+    | Align.Runtime -> Rexpr.Offset_of store_addr
+  in
+  { store_addr; store_offset_rexpr; leftover_corr = store_offset_rexpr }
+
+(** Per-statement codegen plan: ordinary store or reduction (extension). *)
+type plan = Store_plan of store_info | Reduce_plan of Prog.reduction
+
+let make_plan ctx (stmt : Ast.stmt) : plan =
+  match stmt.Ast.kind with
+  | Ast.Assign -> Store_plan (store_info ctx stmt)
+  | Ast.Reduce op ->
+    let acc_temp = Names.fresh ctx.names ~prefix:"acc" in
+    let ident_temp = Names.fresh ctx.names ~prefix:"ident" in
+    Reduce_plan
+      { Prog.acc_temp; ident_temp; red_op = op; acc_ref = stmt.Ast.lhs }
+
+let identity_const ctx (op : Ast.binop) : Ast.expr =
+  match
+    Ast.reduction_identity op ~ty:(Ast.elem_ty_of_width ctx.elem)
+  with
+  | Some v -> Ast.Const v
+  | None -> invalid_arg "Gen.identity_const: operator has no identity"
+
+(** Prologue statement (Fig. 9, GenSimdStmt-Prologue). For a store: splice
+    the new value into the original memory from byte [ProSplice]; a
+    compile-time-aligned store needs no splice. For a reduction: initialize
+    the identity-splat and vector-accumulator temporaries, then fold in the
+    i = 0 block (which is entirely valid — the stream was shifted to offset
+    0 and the guard assures trip > 3B ≥ B). Values are always generated
+    with the standard (non-pipelined) generator, as in the paper. *)
+let gen_prologue_stmt ctx ~(plan : plan) (graph : Graph.t) : Expr.stmt list =
+  let value = gen_std ctx ~disp:0 graph.Graph.root in
+  match plan with
+  | Store_plan info -> (
+    match info.store_offset_rexpr with
+    | Rexpr.Const 0 -> [ Expr.Store (info.store_addr, value) ]
+    | point ->
+      [
+        Expr.Store
+          (info.store_addr, Expr.Splice (Expr.Load info.store_addr, value, point));
+      ])
+  | Reduce_plan r ->
+    [
+      Expr.Assign (r.Prog.ident_temp, Expr.Splat (identity_const ctx r.Prog.red_op));
+      Expr.Assign (r.Prog.acc_temp, Expr.Temp r.Prog.ident_temp);
+      Expr.Assign
+        ( r.Prog.acc_temp,
+          Expr.Op (r.Prog.red_op, Expr.Temp r.Prog.acc_temp, value) );
+    ]
+
+(** Steady-state statement (Fig. 9, GenSimdStmt-Steady), plus any
+    pipelining pre-assignments and bottom copies. *)
+let gen_steady_stmt ctx ~mode ~(plan : plan) (graph : Graph.t) :
+    Expr.stmt list =
+  let value =
+    match mode with
+    | Standard -> gen_std ctx ~disp:0 graph.Graph.root
+    | Pipelined -> gen_sp ctx ~disp:0 graph.Graph.root
+  in
+  let core =
+    match plan with
+    | Store_plan info -> Expr.Store (info.store_addr, value)
+    | Reduce_plan r ->
+      Expr.Assign
+        (r.Prog.acc_temp, Expr.Op (r.Prog.red_op, Expr.Temp r.Prog.acc_temp, value))
+  in
+  take_pre ctx @ [ core ] @ take_copies ctx
+
+(** [leftover info] — remaining store-stream bytes at the current counter:
+    [L = (ub - i)*D + corr]. *)
+let leftover ctx (info : store_info) : Rexpr.t =
+  Rexpr.add
+    (Rexpr.mul_const (Rexpr.sub Rexpr.Trip Rexpr.Counter) ctx.elem)
+    info.leftover_corr
+
+(** [guard_stores ctx ~infos ~reductions body] — the epilogue template: the
+    steady body with every store guarded by its remaining byte count, and
+    every reduction accumulation guarded by its remaining element count
+    [L = ub - i] (a full block while [L ≥ B]; the final partial block masks
+    lanes ≥ L with the operator's identity before accumulating). *)
+let guard_stores ctx ~(infos : (string * store_info) list)
+    ~(reductions : Prog.reduction list) (body : Expr.stmt list) :
+    Expr.stmt list =
+  let rec guard s =
+    match (s : Expr.stmt) with
+    | Expr.Assign (x, Expr.Op (op, Expr.Temp x', value))
+      when x = x'
+           && List.exists (fun r -> r.Prog.acc_temp = x) reductions ->
+      let r = List.find (fun r -> r.Prog.acc_temp = x) reductions in
+      let l_elems = Rexpr.sub Rexpr.Trip Rexpr.Counter in
+      Expr.If
+        ( Rexpr.Ge (l_elems, Rexpr.Const ctx.block),
+          [ Expr.Assign (x, Expr.Op (op, Expr.Temp x, value)) ],
+          [
+            Expr.If
+              ( Rexpr.Gt (l_elems, Rexpr.Const 0),
+                [
+                  Expr.Assign
+                    ( x,
+                      Expr.Op
+                        ( op,
+                          Expr.Temp x,
+                          Expr.Splice
+                            ( value,
+                              Expr.Temp r.Prog.ident_temp,
+                              Rexpr.mul_const l_elems ctx.elem ) ) );
+                ],
+                [] );
+          ] )
+    | Expr.Assign _ -> s
+    | Expr.If (c, t, e) -> Expr.If (c, List.map guard t, List.map guard e)
+    | Expr.Store (addr, value) ->
+      let info =
+        match List.assoc_opt addr.Addr.array infos with
+        | Some i -> i
+        | None -> invalid_arg "Gen.guard_stores: store to unknown array"
+      in
+      let l = leftover ctx info in
+      Expr.If
+        ( Rexpr.Ge (l, Rexpr.Const ctx.v),
+          [ Expr.Store (addr, value) ],
+          [
+            Expr.If
+              ( Rexpr.Gt (l, Rexpr.Const 0),
+                [ Expr.Store (addr, Expr.Splice (value, Expr.Load addr, l)) ],
+                [] );
+          ] )
+  in
+  List.map guard body
+
+let dummy_ctx ~(analysis : Analysis.t) =
+  let machine = analysis.Analysis.machine in
+  {
+    analysis;
+    names = Names.create ();
+    v = Simd_machine.Config.vector_len machine;
+    elem = analysis.Analysis.elem;
+    block = analysis.Analysis.block;
+    lb = analysis.Analysis.block;
+    prologue_inits = [];
+    body_pre = [];
+    body_copies = [];
+  }
+
+(** [derive_epilogue ~analysis ~reductions body] — rebuild the guarded
+    epilogue template from a (possibly optimized) steady body. Used by the
+    driver after the optimization passes rewrite the body. *)
+let derive_epilogue ~(analysis : Analysis.t)
+    ~(reductions : Prog.reduction list) (body : Expr.stmt list) :
+    Expr.stmt list =
+  let ctx = dummy_ctx ~analysis in
+  let infos =
+    List.filter_map
+      (fun (s : Ast.stmt) ->
+        match s.Ast.kind with
+        | Ast.Assign -> Some (s.Ast.lhs.Ast.ref_array, store_info ctx s)
+        | Ast.Reduce _ -> None)
+      analysis.Analysis.program.Ast.loop.Ast.body
+  in
+  guard_stores ctx ~infos ~reductions body
+
+(** [finalize_reductions ~analysis ~names reductions] — the statements run
+    once after the last epilogue iteration, per reduction:
+
+    + horizontal reduction: [log2 B] rotate-and-combine rounds
+      ([vshiftpair(acc, acc, h)] for h = V/2, V/4, …, D) leave the total in
+      {e every} lane;
+    + merge with the accumulator cell's initial memory value (the scalar
+      semantics is [acc = acc ⊕ Σ]), lane-wise against the loaded chunk;
+    + write back only the accumulator's D bytes via two [vsplice]s, so
+      neighbouring memory is untouched. *)
+let finalize_reductions ~(analysis : Analysis.t) ~(names : Names.t)
+    (reductions : Prog.reduction list) : Expr.stmt list =
+  let v = Simd_machine.Config.vector_len analysis.Analysis.machine in
+  let elem = analysis.Analysis.elem in
+  List.concat_map
+    (fun (r : Prog.reduction) ->
+      let acc = r.Prog.acc_temp in
+      let addr =
+        {
+          Addr.array = r.Prog.acc_ref.Ast.ref_array;
+          offset = r.Prog.acc_ref.Ast.ref_offset;
+          scale = 0;
+        }
+      in
+      let off : Rexpr.t =
+        match Analysis.offset_of analysis r.Prog.acc_ref with
+        | Align.Known k -> Rexpr.Const k
+        | Align.Runtime -> Rexpr.Offset_of addr
+      in
+      let rec rounds h acc_stmts =
+        if h < elem then List.rev acc_stmts
+        else
+          rounds (h / 2)
+            (Expr.Assign
+               ( acc,
+                 Expr.Op
+                   ( r.Prog.red_op,
+                     Expr.Temp acc,
+                     Expr.Shiftpair (Expr.Temp acc, Expr.Temp acc, Rexpr.Const h)
+                   ) )
+            :: acc_stmts)
+      in
+      let horizontal = rounds (v / 2) [] in
+      let t_old = Names.fresh names ~prefix:"red" in
+      let t_comb = Names.fresh names ~prefix:"red" in
+      let t_mask = Names.fresh names ~prefix:"red" in
+      horizontal
+      @ [
+          Expr.Assign (t_old, Expr.Load addr);
+          Expr.Assign
+            (t_comb, Expr.Op (r.Prog.red_op, Expr.Temp t_old, Expr.Temp acc));
+          Expr.Assign
+            (t_mask, Expr.Splice (Expr.Temp t_old, Expr.Temp t_comb, off));
+          Expr.Store
+            ( addr,
+              Expr.Splice
+                (Expr.Temp t_mask, Expr.Temp t_old, Rexpr.add off (Rexpr.Const elem))
+            );
+        ])
+    reductions
+
+(* ------------------------------------------------------------------ *)
+(* Entry point                                                         *)
+(* ------------------------------------------------------------------ *)
+
+(** [generate ~analysis ~names ~mode graphs] — produce the simdized program
+    for the analyzed loop, one data reorganization graph per body statement
+    (in order). The epilogue is left as the guarded body template;
+    {!Passes.specialize_epilogue} can fold it for compile-time trip counts.
+
+    Fails with [Trip_too_small] when a compile-time trip count cannot cover
+    prologue + one steady iteration + epilogue (trip must exceed [3B],
+    §4.4). *)
+let generate ~(analysis : Analysis.t) ~(names : Names.t) ~(mode : mode)
+    (graphs : (Ast.stmt * Graph.t) list) : (Prog.t, error) result =
+  let program = analysis.Analysis.program in
+  let machine = analysis.Analysis.machine in
+  let v = Simd_machine.Config.vector_len machine in
+  let min_trip = 3 * analysis.Analysis.block in
+  try
+    (match program.Ast.loop.Ast.trip with
+    | Ast.Trip_const n when n <= min_trip ->
+      raise (Failed (Trip_too_small { trip = n; needed = min_trip }))
+    | _ -> ());
+    let ctx =
+      {
+        analysis;
+        names;
+        v;
+        elem = analysis.Analysis.elem;
+        block = analysis.Analysis.block;
+        lb = 0 (* patched below once bounds are known *);
+        prologue_inits = [];
+        body_pre = [];
+        body_copies = [];
+      }
+    in
+    let stmts = List.map fst graphs in
+    let b = compute_bounds ctx ~stmts in
+    let ctx = { ctx with lb = b.lower } in
+    let plans =
+      List.map
+        (fun (s : Ast.stmt) -> (s.Ast.lhs.Ast.ref_array, make_plan ctx s))
+        stmts
+    in
+    let plan_of (s : Ast.stmt) = List.assoc s.Ast.lhs.Ast.ref_array plans in
+    let infos =
+      List.filter_map
+        (fun (name, p) ->
+          match p with Store_plan i -> Some (name, i) | Reduce_plan _ -> None)
+        plans
+    in
+    let reductions =
+      List.filter_map
+        (fun (_, p) ->
+          match p with Reduce_plan r -> Some r | Store_plan _ -> None)
+        plans
+    in
+    (* Prologue statements (standard generation, i = 0). *)
+    let prologue_stmts =
+      List.concat_map
+        (fun (s, g) -> gen_prologue_stmt ctx ~plan:(plan_of s) g)
+        graphs
+    in
+    (* Steady body (flushes pipelining pre/copies per statement, and collects
+       pipelining prologue inits in ctx). *)
+    let body =
+      List.concat_map
+        (fun (s, g) -> gen_steady_stmt ctx ~mode ~plan:(plan_of s) g)
+        graphs
+    in
+    let prologue = prologue_stmts @ List.rev ctx.prologue_inits in
+    let epilogue = guard_stores ctx ~infos ~reductions body in
+    Ok
+      {
+        Prog.source = program;
+        machine;
+        elem = ctx.elem;
+        block = ctx.block;
+        unroll = 1;
+        prologue;
+        lower = b.lower;
+        upper = b.upper;
+        body;
+        epilogues = [ epilogue; epilogue ];
+        min_trip;
+        reductions;
+      }
+  with Failed e -> Error e

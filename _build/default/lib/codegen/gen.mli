@@ -1,0 +1,40 @@
+(** SIMD code generation from data reorganization graphs (paper §4):
+    standard (Fig. 7) and software-pipelined (Fig. 10) stream-shift
+    lowering, prologue/steady/epilogue statement generation (Fig. 9),
+    blocked steady-loop bounds (Eqs. 12/13/15), guarded epilogue templates
+    subsuming Eqs. 8/9/14/16, and the reduction extension's epilogue
+    masking and finalization. See the implementation header for details. *)
+
+open Simd_loopir
+open Simd_vir
+
+type mode = Standard | Pipelined [@@deriving show, eq]
+
+type error =
+  | Trip_too_small of { trip : int; needed : int }
+  | Unsupported_shift of string
+
+val pp_error : Format.formatter -> error -> unit
+
+val generate :
+  analysis:Analysis.t ->
+  names:Names.t ->
+  mode:mode ->
+  (Ast.stmt * Simd_dreorg.Graph.t) list ->
+  (Prog.t, error) result
+(** Produce the simdized program, one graph per body statement in order.
+    The epilogue is the guarded body template, duplicated for two virtual
+    iterations; the driver re-derives it after optimization passes. *)
+
+val derive_epilogue :
+  analysis:Analysis.t ->
+  reductions:Prog.reduction list ->
+  Expr.stmt list ->
+  Expr.stmt list
+(** Guard a (possibly optimized) steady body's stores and reduction
+    accumulations by their remaining byte/element counts. *)
+
+val finalize_reductions :
+  analysis:Analysis.t -> names:Names.t -> Prog.reduction list -> Expr.stmt list
+(** Horizontal combine + masked scalar write-back, run once after the last
+    epilogue iteration. *)

@@ -1,0 +1,20 @@
+(** Fresh vector-temporary names.
+
+    Names are made unique by a per-generation counter; prefixes keep the
+    printed code readable ([old3], [new3], [cse7], [pc2], [splat1]). *)
+
+type t = { mutable counter : int }
+
+let create () = { counter = 0 }
+
+let fresh t ~prefix =
+  let n = t.counter in
+  t.counter <- n + 1;
+  Printf.sprintf "%s%d" prefix n
+
+(** Paired names for one software-pipelined stream shift (paper Fig. 10's
+    [old]/[new] registers). *)
+let fresh_pair t =
+  let n = t.counter in
+  t.counter <- n + 1;
+  (Printf.sprintf "old%d" n, Printf.sprintf "new%d" n)

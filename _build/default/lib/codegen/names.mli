@@ -1,0 +1,10 @@
+(** Fresh vector-temporary names (per-generation counter; readable
+    prefixes). *)
+
+type t
+
+val create : unit -> t
+val fresh : t -> prefix:string -> string
+
+val fresh_pair : t -> string * string
+(** [(old, new)] pair for one software-pipelined stream shift (Fig. 10). *)

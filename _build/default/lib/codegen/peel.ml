@@ -1,0 +1,54 @@
+(** Loop-peeling baseline (prior work: Larsen et al. [3], Bik et al. [4];
+    paper §1 and §6).
+
+    The pre-existing approach to misalignment: peel scalar iterations off
+    the front of the loop until the memory references become aligned, then
+    simdize the all-aligned remainder. Peeling can align {e at most one}
+    alignment class — it is applicable only when every reference in the
+    loop has the same misalignment. The paper observes the scheme "is
+    equivalent to the eager-shift policy with the restriction that all
+    memory references in the loop must have the same misalignment", with
+    its own prologue/epilogue falling out of peeling from the simdized
+    loop. We implement it exactly that way: an applicability check, then
+    eager-shift simdization (which inserts zero stream shifts in the
+    applicable case). *)
+
+open Simd_loopir
+
+type verdict =
+  | Applicable  (** all references share one compile-time misalignment *)
+  | Mixed_alignments  (** more than one alignment class: peeling cannot help *)
+  | Runtime_alignment  (** peel amount not computable at compile time *)
+
+let pp_verdict fmt = function
+  | Applicable -> Format.pp_print_string fmt "applicable"
+  | Mixed_alignments ->
+    Format.pp_print_string fmt "not applicable: multiple distinct alignments"
+  | Runtime_alignment ->
+    Format.pp_print_string fmt "not applicable: runtime alignments"
+
+(** [check analysis] — can loop peeling simdize this loop? *)
+let check (analysis : Analysis.t) : verdict =
+  let offsets = List.map snd analysis.Analysis.offsets in
+  let has_stride =
+    List.exists
+      (fun (r : Ast.mem_ref) -> r.Ast.ref_stride > 1)
+      (Ast.program_refs analysis.Analysis.program)
+  in
+  if has_stride then Mixed_alignments (* peeling cannot gather *)
+  else if not (List.for_all Align.is_known offsets) then Runtime_alignment
+  else
+    match Simd_support.Util.dedup offsets with
+    | [] | [ _ ] -> Applicable
+    | _ -> Mixed_alignments
+
+(** [peel_amount analysis] — the number of scalar iterations to peel so the
+    (uniform) misalignment [o] becomes 0: [(V - o)/D mod B]. Only meaningful
+    when {!check} returns [Applicable]. *)
+let peel_amount (analysis : Analysis.t) : int =
+  match analysis.Analysis.offsets with
+  | [] -> 0
+  | (_, o) :: _ ->
+    let o = Align.known_exn o in
+    let v = Simd_machine.Config.vector_len analysis.Analysis.machine in
+    if o = 0 then 0 else (v - o) / analysis.Analysis.elem

@@ -1,0 +1,11 @@
+(** Loop-peeling baseline (prior work [3, 4]; paper §1/§6): applicable only
+    when every reference shares one compile-time misalignment, in which
+    case it is equivalent to eager-shift. *)
+
+type verdict = Applicable | Mixed_alignments | Runtime_alignment
+
+val pp_verdict : Format.formatter -> verdict -> unit
+val check : Simd_loopir.Analysis.t -> verdict
+
+val peel_amount : Simd_loopir.Analysis.t -> int
+(** Scalar iterations to peel so the uniform misalignment reaches 0. *)

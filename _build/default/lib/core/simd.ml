@@ -1,0 +1,122 @@
+(** Public API of the alignment-constrained simdization library.
+
+    This facade re-exports every subsystem under one namespace and provides
+    the handful of one-call entry points a downstream user needs:
+
+    {[
+      let program = Simd.parse_exn source in
+      match Simd.simdize program with
+      | Simd.Driver.Simdized o ->
+        print_string (Simd.Vir_prog.to_string o.prog);
+        print_string (Simd.Emit_portable.unit o.prog)
+      | Simd.Driver.Scalar reason -> ...
+    ]}
+
+    Subsystem map (see DESIGN.md):
+    - {!Ast}/{!Parse}/{!Pp}/{!Analysis}: the scalar loop language;
+    - {!Machine}/{!Vec}/{!Mem}: the SIMD machine model;
+    - {!Offset}/{!Graph}/{!Policy}/{!Reassoc}: data reorganization graphs;
+    - {!Gen}/{!Passes}/{!Driver}/{!Peel}: code generation;
+    - {!Vir_expr}/{!Vir_prog}: the vector IR;
+    - {!Exec}/{!Sim_run}: the simulator;
+    - {!Emit_portable}/{!Emit_altivec}/{!Emit_sse}: C backends;
+    - {!Synth}/{!Lb}/{!Measure}/{!Suite}: the evaluation harness. *)
+
+(* Support *)
+module Prng = Simd_support.Prng
+module Util = Simd_support.Util
+
+(* Machine model *)
+module Machine = Simd_machine.Config
+module Lane = Simd_machine.Lane
+module Vec = Simd_machine.Vec
+module Mem = Simd_machine.Mem
+
+(* Loop IR *)
+module Ast = Simd_loopir.Ast
+module Parse = Simd_loopir.Parse
+module Pp = Simd_loopir.Pp
+module Align = Simd_loopir.Align
+module Analysis = Simd_loopir.Analysis
+module Layout = Simd_loopir.Layout
+module Interp = Simd_loopir.Interp
+
+(* Data reorganization *)
+module Offset = Simd_dreorg.Offset
+module Graph = Simd_dreorg.Graph
+module Policy = Simd_dreorg.Policy
+module Reassoc = Simd_dreorg.Reassoc
+
+(* Vector IR *)
+module Vir_addr = Simd_vir.Addr
+module Vir_rexpr = Simd_vir.Rexpr
+module Vir_expr = Simd_vir.Expr
+module Vir_prog = Simd_vir.Prog
+
+(* Code generation *)
+module Names = Simd_codegen.Names
+module Gen = Simd_codegen.Gen
+module Passes = Simd_codegen.Passes
+module Peel = Simd_codegen.Peel
+module Driver = Simd_codegen.Driver
+
+(* Simulation *)
+module Exec = Simd_sim.Exec
+module Sim_run = Simd_sim.Run
+
+(* Emission *)
+module Emit_portable = Simd_emit.Portable
+module Emit_altivec = Simd_emit.Altivec
+module Emit_sse = Simd_emit.Sse
+module C_syntax = Simd_emit.C_syntax
+
+(* Evaluation harness *)
+module Synth = Simd_bench.Synth
+module Lb = Simd_bench.Lb
+module Measure = Simd_bench.Measure
+module Suite = Simd_bench.Suite
+
+(* ------------------------------------------------------------------ *)
+(* Convenience entry points                                            *)
+(* ------------------------------------------------------------------ *)
+
+(** [parse source] — parse a loop program from concrete syntax. *)
+let parse = Parse.program_of_string_result
+
+(** [parse_exn source] — like {!parse}, raising on malformed input. *)
+let parse_exn = Parse.program_of_string
+
+(** [simdize ?config program] — analyze, place shifts, generate and optimize
+    SIMD code (defaults: 16-byte machine, dominant-shift policy, software
+    pipelining, MemNorm + CSE on). *)
+let simdize ?(config = Driver.default) program = Driver.simdize config program
+
+(** [simdize_exn ?config program] — like {!simdize}, raising when the loop
+    stays scalar. *)
+let simdize_exn ?(config = Driver.default) program =
+  Driver.simdize_exn config program
+
+(** [verify ?config ?seed ?trip program] — simdize and differentially test
+    against the scalar interpreter on noise-filled memory. *)
+let verify ?(config = Driver.default) ?(seed = 0x5EED) ?trip program =
+  Measure.verify ~config ~setup_seed:seed ?trip program
+
+(** [emit_c ?config ?backend program] — simdize and pretty-print a complete
+    C translation unit ([`Portable] compiles anywhere; [`Altivec]/[`Sse]
+    target those ISAs). *)
+let emit_c ?(config = Driver.default) ?(backend = `Portable) program =
+  match Driver.simdize config program with
+  | Driver.Scalar r -> Error (Format.asprintf "%a" Driver.pp_reason r)
+  | Driver.Simdized o ->
+    Ok
+      (match backend with
+      | `Portable -> Emit_portable.unit o.Driver.prog
+      | `Altivec -> Emit_altivec.unit o.Driver.prog
+      | `Sse -> Emit_sse.unit o.Driver.prog)
+
+(** [measure ?config ?trip program] — simdize, simulate, and report the
+    dynamic operation counts, operations per datum, and speedup over the
+    ideal scalar execution. *)
+let measure ?(config = Driver.default) ?trip program =
+  let sample = Measure.run ~config ?trip program in
+  (sample, Measure.opd sample, Measure.speedup sample)

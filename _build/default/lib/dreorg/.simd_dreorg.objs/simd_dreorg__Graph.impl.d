@@ -1,0 +1,1 @@
+lib/dreorg/graph.pp.ml: Analysis Ast Format Offset Pp Ppx_deriving_runtime Simd_loopir Simd_machine

@@ -1,0 +1,1 @@
+lib/dreorg/graph.pp.mli: Format Offset Ppx_deriving_runtime Simd_loopir

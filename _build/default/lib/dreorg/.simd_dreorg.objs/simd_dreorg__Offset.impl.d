@@ -1,0 +1,1 @@
+lib/dreorg/offset.pp.ml: Format Ppx_deriving_runtime Simd_loopir Simd_support

@@ -1,0 +1,1 @@
+lib/dreorg/offset.pp.mli: Format Ppx_deriving_runtime Simd_loopir

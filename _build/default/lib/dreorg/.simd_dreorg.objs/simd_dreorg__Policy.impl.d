@@ -1,0 +1,1 @@
+lib/dreorg/policy.pp.ml: Align Analysis Ast Format Graph List Offset Option Ppx_deriving_runtime Simd_loopir Simd_support

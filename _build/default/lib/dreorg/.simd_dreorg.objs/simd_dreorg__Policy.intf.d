@@ -1,0 +1,1 @@
+lib/dreorg/policy.pp.mli: Format Graph Offset Ppx_deriving_runtime Simd_loopir

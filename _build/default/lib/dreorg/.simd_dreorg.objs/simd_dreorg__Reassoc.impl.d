@@ -1,0 +1,1 @@
+lib/dreorg/reassoc.pp.ml: Align Analysis Ast List Simd_loopir Simd_machine Simd_support

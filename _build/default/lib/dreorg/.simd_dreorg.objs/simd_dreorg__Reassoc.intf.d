@@ -1,0 +1,1 @@
+lib/dreorg/reassoc.pp.mli: Simd_loopir

@@ -1,0 +1,143 @@
+(** The data reorganization graph (paper §3.3).
+
+    An expression tree augmented with data reordering nodes. Node kinds and
+    their stream offsets:
+
+    - [Load r] — a [vload] stream; offset = alignment of [addr(i=0)] (Eq. 1).
+    - [Op (op, a, b)] — a [vop]; operand offsets must match (C.3); the node's
+      offset is the uniform operand offset (Eq. 4).
+    - [Splat e] — a [vsplat] of a loop invariant; offset ⊥ (Eq. 6).
+    - [Shift (src, from, to_)] — a [vshiftstream]; re-offsets the stream from
+      [from] (which must equal [src]'s offset) to [to_] (Eq. 5); [to_] must
+      be loop invariant and never ⊥.
+
+    A graph is one statement's tree plus its store: the store requires the
+    root offset to equal the store address alignment (C.2). *)
+
+open Simd_loopir
+
+type node =
+  | Load of Ast.mem_ref
+  | Strided of Ast.mem_ref
+      (** strided-gather leaf (extension): the lowered shift-window-pack
+          sequence delivers the values contiguously at stream offset 0 *)
+  | Op of Ast.binop * node * node
+  | Splat of Ast.expr
+  | Shift of node * Offset.t * Offset.t  (** (source, from, to) *)
+[@@deriving show { with_path = false }, eq]
+
+type t = {
+  store : Ast.mem_ref;
+  store_offset : Offset.t;  (** never [Any] *)
+  root : node;
+  block : int;  (** blocking factor, for runtime-offset congruence *)
+}
+
+(* ------------------------------------------------------------------ *)
+(* Construction                                                        *)
+(* ------------------------------------------------------------------ *)
+
+(** [is_invariant e] — no loads: the whole subtree is loop invariant and can
+    become a single [Splat]. *)
+let rec is_invariant (e : Ast.expr) =
+  match e with
+  | Ast.Load _ -> false
+  | Ast.Param _ | Ast.Const _ -> true
+  | Ast.Binop (_, a, b) -> is_invariant a && is_invariant b
+
+(** [of_expr e] — the bare graph of an expression, with {e no} reordering
+    nodes: the "simdize as if there were no alignment constraints" step.
+    Maximal loop-invariant subtrees become single [Splat] nodes. *)
+let rec of_expr (e : Ast.expr) : node =
+  if is_invariant e then Splat e
+  else
+    match e with
+    | Ast.Load r when r.Ast.ref_stride > 1 -> Strided r
+    | Ast.Load r -> Load r
+    | Ast.Binop (op, a, b) -> Op (op, of_expr a, of_expr b)
+    | Ast.Param _ | Ast.Const _ -> assert false (* invariant, handled above *)
+
+(* ------------------------------------------------------------------ *)
+(* Offsets and validity                                                *)
+(* ------------------------------------------------------------------ *)
+
+exception Invalid of string
+
+(** [offset_of ~analysis node] — the node's stream offset, raising
+    {!Invalid} if a [vop]'s operands (or a shift's source) violate the
+    constraints. *)
+let rec offset_of ~(analysis : Analysis.t) (n : node) : Offset.t =
+  match n with
+  | Load r -> Offset.of_align (Analysis.offset_of analysis r) ~ref_:r
+  | Strided _ -> Offset.Known 0 (* packed contiguously by construction *)
+  | Splat _ -> Offset.Any
+  | Op (op, a, b) ->
+    let oa = offset_of ~analysis a in
+    let ob = offset_of ~analysis b in
+    if not (Offset.matches ~block:analysis.Analysis.block oa ob) then
+      raise
+        (Invalid
+           (Format.asprintf "operands of %s at offsets %a vs %a violate (C.3)"
+              (Simd_machine.Lane.binop_name op)
+              Offset.pp oa Offset.pp ob));
+    Offset.merge ~block:analysis.Analysis.block oa ob
+  | Shift (src, from, to_) ->
+    let os = offset_of ~analysis src in
+    if Offset.is_any from || Offset.is_any to_ then
+      raise (Invalid "vshiftstream with ⊥ endpoint");
+    if not (Offset.matches ~block:analysis.Analysis.block os from) then
+      raise
+        (Invalid
+           (Format.asprintf "vshiftstream 'from' %a does not match source offset %a"
+              Offset.pp from Offset.pp os));
+    to_
+
+(** [validate ~analysis g] — check (C.2) and (C.3) for the whole graph. *)
+let validate ~(analysis : Analysis.t) (g : t) : (unit, string) result =
+  match offset_of ~analysis g.root with
+  | o ->
+    if Offset.matches ~block:g.block o g.store_offset then Ok ()
+    else
+      Error
+        (Format.asprintf "root offset %a does not match store alignment %a (C.2)"
+           Offset.pp o Offset.pp g.store_offset)
+  | exception Invalid msg -> Error msg
+
+(* ------------------------------------------------------------------ *)
+(* Measures                                                            *)
+(* ------------------------------------------------------------------ *)
+
+(** [shift_count n] — number of [vshiftstream] nodes (what the policies
+    minimize). *)
+let rec shift_count = function
+  | Load _ | Strided _ | Splat _ -> 0
+  | Op (_, a, b) -> shift_count a + shift_count b
+  | Shift (src, _, _) -> 1 + shift_count src
+
+let graph_shift_count g = shift_count g.root
+
+(** [leaf_offsets ~analysis n] — offsets of all [Load] leaves, left to
+    right. *)
+let rec leaf_offsets ~analysis = function
+  | Load r -> [ Offset.of_align (Analysis.offset_of analysis r) ~ref_:r ]
+  | Strided _ -> [ Offset.Known 0 ]
+  | Splat _ -> []
+  | Op (_, a, b) -> leaf_offsets ~analysis a @ leaf_offsets ~analysis b
+  | Shift (src, _, _) -> leaf_offsets ~analysis src
+
+let rec pp_node fmt = function
+  | Load r -> Format.fprintf fmt "vload(%s)" (Pp.mem_ref_to_string r)
+  | Strided r -> Format.fprintf fmt "vgather(%s)" (Pp.mem_ref_to_string r)
+  | Op (op, a, b) ->
+    Format.fprintf fmt "v%s(%a, %a)" (Simd_machine.Lane.binop_name op) pp_node a
+      pp_node b
+  | Splat e -> Format.fprintf fmt "vsplat(%a)" Pp.pp_expr e
+  | Shift (src, from, to_) ->
+    Format.fprintf fmt "vshiftstream(%a, %a, %a)" pp_node src Offset.pp from
+      Offset.pp to_
+
+let pp fmt g =
+  Format.fprintf fmt "vstore(%s @@ %a, %a)" (Pp.mem_ref_to_string g.store) Offset.pp
+    g.store_offset pp_node g.root
+
+let to_string g = Format.asprintf "%a" pp g

@@ -1,0 +1,42 @@
+(** The data reorganization graph (paper §3.3): an expression tree
+    augmented with stream offsets and [vshiftstream] nodes, subject to the
+    validity constraints (C.2) (root offset = store alignment) and (C.3)
+    (operand offsets match). *)
+
+type node =
+  | Load of Simd_loopir.Ast.mem_ref  (** offset = alignment of addr(0), Eq. 1 *)
+  | Strided of Simd_loopir.Ast.mem_ref
+      (** strided-gather leaf (extension); stream offset 0 by construction *)
+  | Op of Simd_loopir.Ast.binop * node * node
+  | Splat of Simd_loopir.Ast.expr  (** offset ⊥, Eq. 6 *)
+  | Shift of node * Offset.t * Offset.t  (** vshiftstream (src, from, to), Eq. 5 *)
+[@@deriving show, eq]
+
+type t = {
+  store : Simd_loopir.Ast.mem_ref;
+  store_offset : Offset.t;  (** never [Any] *)
+  root : node;
+  block : int;
+}
+
+val is_invariant : Simd_loopir.Ast.expr -> bool
+
+val of_expr : Simd_loopir.Ast.expr -> node
+(** The bare graph with no reordering nodes — "simdize as if there were no
+    alignment constraints". Maximal invariant subtrees become [Splat]s. *)
+
+exception Invalid of string
+
+val offset_of : analysis:Simd_loopir.Analysis.t -> node -> Offset.t
+(** A node's stream offset; raises {!Invalid} on constraint violations. *)
+
+val validate : analysis:Simd_loopir.Analysis.t -> t -> (unit, string) result
+(** Check (C.2) and (C.3) for the whole graph. *)
+
+val shift_count : node -> int
+val graph_shift_count : t -> int
+val leaf_offsets : analysis:Simd_loopir.Analysis.t -> node -> Offset.t list
+
+val pp_node : Format.formatter -> node -> unit
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

@@ -1,0 +1,51 @@
+(** Stream offsets as graph node properties (paper §3.3).
+
+    Each node of a data reorganization graph carries a stream offset: a
+    compile-time byte constant, a runtime value (identified by the memory
+    reference whose i=0 address computes it, [addr & (V-1)]), or [Any] (⊥)
+    for [vsplat] nodes, which satisfy any offset constraint because the same
+    value occupies every register slot. *)
+
+type t =
+  | Known of int  (** compile-time byte offset in [\[0, V)] *)
+  | Runtime of Simd_loopir.Ast.mem_ref
+      (** runtime offset, computed from this reference's address *)
+  | Any  (** ⊥: splats match every offset *)
+[@@deriving show { with_path = false }, eq, ord]
+
+let of_align (a : Simd_loopir.Align.t) ~(ref_ : Simd_loopir.Ast.mem_ref) =
+  match a with
+  | Simd_loopir.Align.Known k -> Known k
+  | Simd_loopir.Align.Runtime -> Runtime ref_
+
+(** [matches ~block a b] — constraint (C.3): do two operand streams provably
+    reside at the same byte offset? [Any] matches everything. Two runtime
+    offsets match only when provably equal: same array with index offsets
+    congruent modulo the blocking factor [block] (their addresses then differ
+    by a multiple of V). *)
+let matches ~block a b =
+  match (a, b) with
+  | Any, _ | _, Any -> true
+  | Known x, Known y -> x = y
+  | Runtime r1, Runtime r2 ->
+    r1.Simd_loopir.Ast.ref_array = r2.Simd_loopir.Ast.ref_array
+    && Simd_support.Util.pos_mod
+         (r1.Simd_loopir.Ast.ref_offset - r2.Simd_loopir.Ast.ref_offset)
+         block
+       = 0
+  | Known _, Runtime _ | Runtime _, Known _ -> false
+
+(** [merge ~block a b] — the offset of a [vop] node given two matching
+    operand offsets (Eq. 4: the uniform operand offset; ⊥ absorbs). *)
+let merge ~block a b =
+  if not (matches ~block a b) then
+    invalid_arg "Offset.merge: offsets do not match";
+  match (a, b) with Any, o | o, _ -> o
+
+let is_any = function Any -> true | _ -> false
+let is_known = function Known _ -> true | _ -> false
+
+let pp fmt = function
+  | Known k -> Format.pp_print_int fmt k
+  | Runtime r -> Format.fprintf fmt "rt(%s)" (Simd_loopir.Pp.mem_ref_to_string r)
+  | Any -> Format.pp_print_string fmt "⊥"

@@ -1,0 +1,24 @@
+(** Stream offsets as data-reorganization-graph node properties (paper
+    §3.3): compile-time constants, runtime values identified by the
+    reference whose address computes them, or ⊥ for splats (which satisfy
+    every constraint). *)
+
+type t =
+  | Known of int
+  | Runtime of Simd_loopir.Ast.mem_ref
+  | Any  (** ⊥ *)
+[@@deriving show, eq, ord]
+
+val of_align : Simd_loopir.Align.t -> ref_:Simd_loopir.Ast.mem_ref -> t
+
+val matches : block:int -> t -> t -> bool
+(** Constraint (C.3): provably equal byte offsets. Two runtime offsets
+    match when they come from one array with index offsets congruent mod
+    the blocking factor. *)
+
+val merge : block:int -> t -> t -> t
+(** The offset of a [vop] given matching operand offsets (Eq. 4). *)
+
+val is_any : t -> bool
+val is_known : t -> bool
+val pp : Format.formatter -> t -> unit

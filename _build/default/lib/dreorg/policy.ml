@@ -1,0 +1,235 @@
+(** Stream-shift placement policies (paper §3.4).
+
+    Given one statement's bare expression tree, each policy inserts
+    [vshiftstream] nodes so that the resulting data reorganization graph is
+    valid — constraints (C.2)/(C.3) hold — while trying to minimize the
+    number of shifts:
+
+    - {b Zero-shift}: shift every misaligned load stream to offset 0 right
+      after the load, and shift the root stream from 0 to the store
+      alignment. Least optimized, but the only policy whose shift
+      {e directions} are compile-time even when alignments are runtime
+      values (loads always shift left to 0, stores always shift right from
+      0) — hence the policy used whenever alignment is unknown (§4.4), and
+      the one prior work [6]/VAST [7] corresponds to.
+    - {b Eager-shift}: shift each misaligned load directly to the store
+      alignment; requires compile-time alignments.
+    - {b Lazy-shift}: delay shifts while operand streams are relatively
+      aligned; when an operation's operands disagree, meet at one operand's
+      offset (preferring the store alignment when it is a candidate, so the
+      final store shift can be elided); shift the root to the store
+      alignment at the end.
+    - {b Dominant-shift}: lazy placement, but disagreeing operands meet at
+      the globally most frequent stream offset when it is a candidate — the
+      paper notes this policy "is most effective if applied after the
+      lazy-shift policy", which is exactly this formulation. *)
+
+open Simd_loopir
+
+type t = Zero | Eager | Lazy | Dominant
+[@@deriving show { with_path = false }, eq, ord]
+
+let all = [ Zero; Eager; Lazy; Dominant ]
+
+let name = function
+  | Zero -> "zero"
+  | Eager -> "eager"
+  | Lazy -> "lazy"
+  | Dominant -> "dominant"
+
+let of_name = function
+  | "zero" -> Some Zero
+  | "eager" -> Some Eager
+  | "lazy" -> Some Lazy
+  | "dominant" | "dom" -> Some Dominant
+  | _ -> None
+
+type error =
+  | Requires_compile_time_alignment of t
+      (** eager/lazy/dominant need every stream offset at compile time *)
+
+let pp_error fmt (Requires_compile_time_alignment p) =
+  Format.fprintf fmt
+    "policy %s requires compile-time alignments (use the zero-shift policy)"
+    (name p)
+
+(* ------------------------------------------------------------------ *)
+(* Helpers                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let load_offset ~(analysis : Analysis.t) r =
+  Offset.of_align (Analysis.offset_of analysis r) ~ref_:r
+
+(* The offset the statement's value stream must reach. For a store it is
+   the store address alignment (constraint C.2); for a reduction it is 0:
+   the accumulated stream is shifted so that block [i] holds exactly the
+   values of original iterations [i, i+B), which makes epilogue masking a
+   prefix splice and the prologue block entirely valid. *)
+let target_offset ~(analysis : Analysis.t) (stmt : Ast.stmt) =
+  match stmt.Ast.kind with
+  | Ast.Reduce _ -> Offset.Known 0
+  | Ast.Assign ->
+    Offset.of_align (Analysis.offset_of analysis stmt.Ast.lhs) ~ref_:stmt.Ast.lhs
+
+(** Insert a shift unless the stream is already at the target. [Any]
+    (splat-only) streams satisfy every constraint and are never shifted. *)
+let shift_to ~block node ~from ~target =
+  if Offset.is_any from then node
+  else if Offset.matches ~block from target then node
+  else Graph.Shift (node, from, target)
+
+(** All-known check: eager/lazy/dominant precondition. Strided references
+    are exempt — their gathered streams sit at offset 0 regardless of the
+    (possibly runtime) base alignment. *)
+let stmt_offsets_known ~(analysis : Analysis.t) (stmt : Ast.stmt) =
+  List.for_all
+    (fun (r : Ast.mem_ref) ->
+      r.Ast.ref_stride > 1 || Align.is_known (Analysis.offset_of analysis r))
+    (Ast.stmt_refs stmt)
+
+(* ------------------------------------------------------------------ *)
+(* Zero-shift                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let place_zero ~(analysis : Analysis.t) (stmt : Ast.stmt) : Graph.t =
+  let block = analysis.Analysis.block in
+  let zero = Offset.Known 0 in
+  let rec go (n : Graph.node) : Graph.node * Offset.t =
+    match n with
+    | Graph.Load r ->
+      let from = load_offset ~analysis r in
+      (shift_to ~block n ~from ~target:zero, if Offset.is_any from then Offset.Any else zero)
+    | Graph.Strided _ -> (n, zero)
+    | Graph.Splat _ -> (n, Offset.Any)
+    | Graph.Op (op, a, b) ->
+      let a', _ = go a in
+      let b', _ = go b in
+      (Graph.Op (op, a', b'), zero)
+    | Graph.Shift _ -> assert false (* bare tree has no shifts *)
+  in
+  let root, root_off = go (Graph.of_expr stmt.Ast.rhs) in
+  let store_offset = target_offset ~analysis stmt in
+  let root = shift_to ~block root ~from:root_off ~target:store_offset in
+  { Graph.store = stmt.Ast.lhs; store_offset; root; block }
+
+(* ------------------------------------------------------------------ *)
+(* Eager-shift                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let place_eager ~(analysis : Analysis.t) (stmt : Ast.stmt) : Graph.t =
+  let block = analysis.Analysis.block in
+  let store_offset = target_offset ~analysis stmt in
+  let rec go (n : Graph.node) : Graph.node =
+    match n with
+    | Graph.Load r ->
+      shift_to ~block n ~from:(load_offset ~analysis r) ~target:store_offset
+    | Graph.Strided _ ->
+      shift_to ~block n ~from:(Offset.Known 0) ~target:store_offset
+    | Graph.Splat _ -> n
+    | Graph.Op (op, a, b) -> Graph.Op (op, go a, go b)
+    | Graph.Shift _ -> assert false
+  in
+  let root = go (Graph.of_expr stmt.Ast.rhs) in
+  { Graph.store = stmt.Ast.lhs; store_offset; root; block }
+
+(* ------------------------------------------------------------------ *)
+(* Lazy- and dominant-shift                                            *)
+(* ------------------------------------------------------------------ *)
+
+(** Shared meet-based placement. [preferred] optionally names an offset to
+    meet at whenever it is one of the two candidates (the global dominant
+    offset for the dominant policy; the store offset is always a secondary
+    preference because meeting there elides the final store shift). *)
+let place_meet ~(analysis : Analysis.t) ~preferred (stmt : Ast.stmt) : Graph.t =
+  let block = analysis.Analysis.block in
+  let store_offset = target_offset ~analysis stmt in
+  let choose_target oa ob =
+    let candidates = [ oa; ob ] in
+    let is_pref o = match preferred with Some p -> Offset.equal o p | None -> false in
+    if List.exists is_pref candidates then Option.get preferred
+    else if List.exists (Offset.equal store_offset) candidates then store_offset
+    else oa (* leftmost *)
+  in
+  let rec go (n : Graph.node) : Graph.node * Offset.t =
+    match n with
+    | Graph.Load r -> (n, load_offset ~analysis r)
+    | Graph.Strided _ -> (n, Offset.Known 0)
+    | Graph.Splat _ -> (n, Offset.Any)
+    | Graph.Op (op, a, b) ->
+      let a', oa = go a in
+      let b', ob = go b in
+      if Offset.matches ~block oa ob then
+        (Graph.Op (op, a', b'), Offset.merge ~block oa ob)
+      else begin
+        let target = choose_target oa ob in
+        let a' = shift_to ~block a' ~from:oa ~target in
+        let b' = shift_to ~block b' ~from:ob ~target in
+        (Graph.Op (op, a', b'), target)
+      end
+    | Graph.Shift _ -> assert false
+  in
+  let root, root_off = go (Graph.of_expr stmt.Ast.rhs) in
+  let root = shift_to ~block root ~from:root_off ~target:store_offset in
+  { Graph.store = stmt.Ast.lhs; store_offset; root; block }
+
+(** The dominant stream offset of a statement: the most frequent offset
+    among all load leaves and the store. Ties break toward the store
+    alignment (saving the root shift), then toward the smallest byte
+    offset (determinism). *)
+let dominant_offset ~(analysis : Analysis.t) (stmt : Ast.stmt) : Offset.t =
+  let store_offset = target_offset ~analysis stmt in
+  let offsets =
+    store_offset
+    :: List.map
+         (fun (r : Ast.mem_ref) ->
+           if r.Ast.ref_stride > 1 then Offset.Known 0
+           else load_offset ~analysis r)
+         (Ast.expr_loads stmt.Ast.rhs)
+  in
+  let offsets = List.filter (fun o -> not (Offset.is_any o)) offsets in
+  let counted = Simd_support.Util.group_count offsets in
+  let best =
+    List.fold_left
+      (fun acc (o, c) ->
+        match acc with
+        | None -> Some (o, c)
+        | Some (bo, bc) ->
+          if
+            c > bc
+            || (c = bc && Offset.equal o store_offset && not (Offset.equal bo store_offset))
+            || c = bc
+               && (not (Offset.equal bo store_offset))
+               && Offset.compare o bo < 0
+          then Some (o, c)
+          else acc)
+      None counted
+  in
+  match best with Some (o, _) -> o | None -> store_offset
+
+(* ------------------------------------------------------------------ *)
+(* Entry point                                                         *)
+(* ------------------------------------------------------------------ *)
+
+(** [place policy ~analysis stmt] — build the statement's valid data
+    reorganization graph under [policy]. *)
+let place (policy : t) ~(analysis : Analysis.t) (stmt : Ast.stmt) :
+    (Graph.t, error) result =
+  match policy with
+  | Zero -> Ok (place_zero ~analysis stmt)
+  | Eager | Lazy | Dominant ->
+    if not (stmt_offsets_known ~analysis stmt) then
+      Error (Requires_compile_time_alignment policy)
+    else
+      Ok
+        (match policy with
+        | Eager -> place_eager ~analysis stmt
+        | Lazy -> place_meet ~analysis ~preferred:None stmt
+        | Dominant ->
+          place_meet ~analysis ~preferred:(Some (dominant_offset ~analysis stmt)) stmt
+        | Zero -> assert false)
+
+(** [place_exn] — [place], raising on policy/alignment mismatch. *)
+let place_exn policy ~analysis stmt =
+  match place policy ~analysis stmt with
+  | Ok g -> g
+  | Error e -> invalid_arg (Format.asprintf "Policy.place_exn: %a" pp_error e)

@@ -1,0 +1,33 @@
+(** Stream-shift placement policies (paper §3.4): zero-shift (the only
+    policy usable under runtime alignments; prior work/VAST equivalent),
+    eager-shift, lazy-shift, and dominant-shift. See the implementation
+    header for the full description. *)
+
+type t = Zero | Eager | Lazy | Dominant [@@deriving show, eq, ord]
+
+val all : t list
+val name : t -> string
+val of_name : string -> t option
+
+type error = Requires_compile_time_alignment of t
+
+val pp_error : Format.formatter -> error -> unit
+
+val target_offset : analysis:Simd_loopir.Analysis.t -> Simd_loopir.Ast.stmt -> Offset.t
+(** The offset a statement's value stream must reach: the store alignment
+    (C.2) for assignments, offset 0 for reductions. *)
+
+val dominant_offset :
+  analysis:Simd_loopir.Analysis.t -> Simd_loopir.Ast.stmt -> Offset.t
+(** Most frequent offset among loads and store; ties prefer the store
+    alignment, then the smallest value. *)
+
+val place :
+  t ->
+  analysis:Simd_loopir.Analysis.t ->
+  Simd_loopir.Ast.stmt ->
+  (Graph.t, error) result
+(** Build the statement's valid data reorganization graph under the
+    policy. *)
+
+val place_exn : t -> analysis:Simd_loopir.Analysis.t -> Simd_loopir.Ast.stmt -> Graph.t

@@ -1,0 +1,103 @@
+(** Common-offset reassociation (paper §5.5, "OffsetReassoc").
+
+    Uses associativity and commutativity to regroup chains of one operator
+    so that operands with identical stream offsets are combined first. After
+    regrouping, each same-offset group forms a shift-free subtree, so the
+    lazy/dominant policies only pay one stream shift per {e distinct}
+    offset (minus one), which is the analytic minimum the paper's LB model
+    charges — this is what makes those policies reach "on average no shift
+    overhead over LB" in Figure 12.
+
+    Group ordering: the group whose offset equals the store alignment is
+    placed first (the lazy meet then targets it and the final store shift is
+    elided); remaining groups follow by decreasing size, ties by first
+    appearance. Only chains of associative-commutative operators are
+    touched; [Sub] and mixed-operator trees are left alone. *)
+
+open Simd_loopir
+
+(** [flatten op e] — operands of the maximal [op]-chain rooted at [e]
+    (left-to-right). *)
+let rec flatten (op : Ast.binop) (e : Ast.expr) : Ast.expr list =
+  match e with
+  | Ast.Binop (op', a, b) when op' = op && Simd_machine.Lane.binop_associative op ->
+    flatten op a @ flatten op b
+  | _ -> [ e ]
+
+(** [rebuild op es] — left-leaning chain. *)
+let rebuild (op : Ast.binop) (es : Ast.expr list) : Ast.expr =
+  match es with
+  | [] -> invalid_arg "Reassoc.rebuild: empty operand list"
+  | e :: rest -> List.fold_left (fun acc x -> Ast.Binop (op, acc, x)) e rest
+
+(** Offset key of an operand subtree for grouping: the uniform compile-time
+    offset of its loads if it has one, [`Any] if it is invariant, [`Mixed]
+    otherwise (mixed or runtime subtrees are never regrouped with others). *)
+let operand_key ~(analysis : Analysis.t) (e : Ast.expr) =
+  let loads = Ast.expr_loads e in
+  if loads = [] then `Any
+  else
+    let offs =
+      List.map
+        (fun (r : Ast.mem_ref) ->
+          (* a strided gather delivers its stream at offset 0 *)
+          if r.Ast.ref_stride > 1 then Align.Known 0
+          else Analysis.offset_of analysis r)
+        loads
+    in
+    match offs with
+    | [] -> `Any
+    | o :: rest ->
+      if List.for_all (Align.equal o) rest then
+        match o with Align.Known k -> `Known k | Align.Runtime -> `Mixed
+      else `Mixed
+
+(** [apply ~analysis stmt] — reassociate the statement's right-hand side.
+    The transformation is semantics-preserving for the wrap-around machine
+    arithmetic we model (all regrouped operators are associative and
+    commutative on every lane width). *)
+let apply ~(analysis : Analysis.t) (stmt : Ast.stmt) : Ast.stmt =
+  let store_off = Analysis.offset_of analysis stmt.Ast.lhs in
+  let rec rewrite (e : Ast.expr) : Ast.expr =
+    match e with
+    | Ast.Load _ | Ast.Param _ | Ast.Const _ -> e
+    | Ast.Binop (op, _, _) when Simd_machine.Lane.binop_commutative op -> (
+      let operands = flatten op e in
+      match operands with
+      | [ _ ] | [] -> e
+      | _ ->
+        let operands = List.map rewrite operands in
+        (* Group by offset key, preserving first-appearance order. *)
+        let keys =
+          Simd_support.Util.dedup (List.map (operand_key ~analysis) operands)
+        in
+        let groups =
+          List.map
+            (fun k ->
+              (k, List.filter (fun o -> operand_key ~analysis o = k) operands))
+            keys
+        in
+        let store_key =
+          match store_off with Align.Known k -> `Known k | Align.Runtime -> `Mixed
+        in
+        (* Store-aligned group first, then by decreasing size (stable). *)
+        let score (k, members) =
+          let first = if k = store_key && k <> `Mixed then 0 else 1 in
+          (first, -List.length members)
+        in
+        let groups = List.stable_sort (fun a b -> compare (score a) (score b)) groups in
+        rebuild op (List.map (fun (_, members) -> rebuild op members) groups))
+    | Ast.Binop (op, a, b) -> Ast.Binop (op, rewrite a, rewrite b)
+  in
+  { stmt with Ast.rhs = rewrite stmt.Ast.rhs }
+
+(** [apply_program ~analysis program] — reassociate every statement. *)
+let apply_program ~(analysis : Analysis.t) (program : Ast.program) : Ast.program =
+  {
+    program with
+    Ast.loop =
+      {
+        program.Ast.loop with
+        Ast.body = List.map (apply ~analysis) program.Ast.loop.body;
+      };
+  }

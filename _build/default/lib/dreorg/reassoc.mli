@@ -1,0 +1,11 @@
+(** Common-offset reassociation (paper §5.5, "OffsetReassoc"): regroup
+    chains of one associative-commutative operator so operands with
+    identical stream offsets combine first, letting lazy/dominant placement
+    reach the analytic shift minimum. *)
+
+val flatten : Simd_loopir.Ast.binop -> Simd_loopir.Ast.expr -> Simd_loopir.Ast.expr list
+val rebuild : Simd_loopir.Ast.binop -> Simd_loopir.Ast.expr list -> Simd_loopir.Ast.expr
+
+val apply : analysis:Simd_loopir.Analysis.t -> Simd_loopir.Ast.stmt -> Simd_loopir.Ast.stmt
+val apply_program :
+  analysis:Simd_loopir.Analysis.t -> Simd_loopir.Ast.program -> Simd_loopir.Ast.program

@@ -1,0 +1,1 @@
+lib/emit/altivec.ml: Ast C_syntax Fun List Portable Printf Simd_loopir Simd_machine Simd_vir String

@@ -1,0 +1,1 @@
+lib/emit/altivec.mli: Simd_loopir Simd_vir

@@ -1,0 +1,1 @@
+lib/emit/c_syntax.ml: Addr Ast Buffer List Printf Rexpr Simd_loopir Simd_vir String

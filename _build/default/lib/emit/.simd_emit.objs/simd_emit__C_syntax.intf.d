@@ -1,0 +1,1 @@
+lib/emit/c_syntax.mli: Addr Ast Rexpr Simd_loopir Simd_vir

@@ -1,0 +1,1 @@
+lib/emit/portable.ml: Ast Buffer C_syntax Expr Layout List Printf Prog Simd_loopir Simd_machine Simd_support Simd_vir String

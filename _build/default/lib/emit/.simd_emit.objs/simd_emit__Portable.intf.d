@@ -1,0 +1,1 @@
+lib/emit/portable.mli: Simd_loopir Simd_vir

@@ -1,0 +1,1 @@
+lib/emit/sse.mli: Simd_loopir Simd_vir

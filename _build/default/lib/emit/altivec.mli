@@ -1,0 +1,8 @@
+(** AltiVec/VMX backend: the same kernels over a prelude implementing the
+    generic operations with AltiVec intrinsics per §2.2 ([vec_ld]/[vec_st],
+    [vec_perm] with a [vsplat((char)sh) + iota] permute vector, [vec_sel]
+    with a comparison mask, [vec_splats]). *)
+
+val vec_ctype : Simd_loopir.Ast.elem_ty -> string
+val prelude : v:int -> ty:Simd_loopir.Ast.elem_ty -> string
+val unit : Simd_vir.Prog.t -> string

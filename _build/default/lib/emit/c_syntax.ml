@@ -1,0 +1,176 @@
+(** Shared C-source fragments: scalar types and expressions, addresses,
+    runtime offset computations, and the plain scalar rendition of the
+    original loop (used both as the guard fallback and as the reference
+    kernel in generated self-checking harnesses). *)
+
+open Simd_loopir
+open Simd_vir
+
+let ctype (ty : Ast.elem_ty) =
+  match ty with
+  | Ast.I8 -> "int8_t"
+  | Ast.I16 -> "int16_t"
+  | Ast.I32 -> "int32_t"
+  | Ast.I64 -> "int64_t"
+
+let binop_is_infix (op : Ast.binop) =
+  match op with
+  | Ast.Add | Ast.Sub | Ast.Mul | Ast.And | Ast.Or | Ast.Xor -> true
+  | Ast.Min | Ast.Max -> false
+
+let binop_c (op : Ast.binop) =
+  match op with
+  | Ast.Add -> "+"
+  | Ast.Sub -> "-"
+  | Ast.Mul -> "*"
+  | Ast.And -> "&"
+  | Ast.Or -> "|"
+  | Ast.Xor -> "^"
+  | Ast.Min -> "MINV"
+  | Ast.Max -> "MAXV"
+
+(** Scalar expression at iteration variable [iv] (C identifier). Casting
+    every operation back to the element type reproduces the machine's
+    wrap-at-width arithmetic in C. *)
+let scalar_index ~iv (r : Ast.mem_ref) =
+  let base =
+    if r.Ast.ref_stride = 1 then iv
+    else Printf.sprintf "%d * %s" r.Ast.ref_stride iv
+  in
+  if r.Ast.ref_offset = 0 then base
+  else Printf.sprintf "%s + %d" base r.Ast.ref_offset
+
+let rec scalar_expr ~ty ~iv (e : Ast.expr) : string =
+  match e with
+  | Ast.Load r -> Printf.sprintf "%s[%s]" r.Ast.ref_array (scalar_index ~iv r)
+  | Ast.Param x -> x
+  | Ast.Const c -> Printf.sprintf "(%s)%LdLL" (ctype ty) c
+  | Ast.Binop (op, a, b) ->
+    let sa = scalar_expr ~ty ~iv a and sb = scalar_expr ~ty ~iv b in
+    if binop_is_infix op then
+      Printf.sprintf "(%s)((%s) %s (%s))" (ctype ty) sa (binop_c op) sb
+    else Printf.sprintf "(%s)%s((%s), (%s))" (ctype ty) (binop_c op) sa sb
+
+(** Invariant expression (no loads): same printer, loads rejected upstream. *)
+let invariant_expr ~ty (e : Ast.expr) : string = scalar_expr ~ty ~iv:"0" e
+
+(** [fresh_ident ~program base] — [base], suffixed with underscores until it
+    collides with no array or parameter name. *)
+let rec fresh_ident ~(program : Ast.program) base =
+  let taken =
+    List.map (fun (d : Ast.array_decl) -> d.Ast.arr_name) program.Ast.arrays
+    @ program.Ast.params
+  in
+  if List.mem base taken then fresh_ident ~program (base ^ "_") else base
+
+(** The original scalar loop as plain C, writing through the declared
+    pointers; [iv] is the loop-variable name (use {!fresh_ident} to avoid
+    clashing with arrays and parameters). *)
+let scalar_loop ~(program : Ast.program) ~(ub : string) ~(iv : string)
+    ~(indent : string) : string =
+  let ty = Ast.elem_ty_of_program program in
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf
+    (Printf.sprintf "%sfor (long %s = 0; %s < %s; %s++) {\n" indent iv iv ub iv);
+  List.iter
+    (fun (s : Ast.stmt) ->
+      match s.Ast.kind with
+      | Ast.Assign ->
+        let lhs =
+          Printf.sprintf "%s[%s]" s.Ast.lhs.Ast.ref_array
+            (scalar_index ~iv s.Ast.lhs)
+        in
+        Buffer.add_string buf
+          (Printf.sprintf "%s  %s = %s;\n" indent lhs
+             (scalar_expr ~ty ~iv s.Ast.rhs))
+      | Ast.Reduce op ->
+        (* accumulate in memory: same final state as the register form *)
+        let cell = Printf.sprintf "%s[0]" s.Ast.lhs.Ast.ref_array in
+        let rhs = scalar_expr ~ty ~iv s.Ast.rhs in
+        let combined =
+          if binop_is_infix op then
+            Printf.sprintf "(%s)((%s) %s (%s))" (ctype ty) cell (binop_c op) rhs
+          else Printf.sprintf "(%s)%s((%s), (%s))" (ctype ty) (binop_c op) cell rhs
+        in
+        Buffer.add_string buf
+          (Printf.sprintf "%s  %s = %s;\n" indent cell combined))
+    program.Ast.loop.Ast.body;
+  Buffer.add_string buf (Printf.sprintf "%s}\n" indent);
+  Buffer.contents buf
+
+(** C address of a VIR address at iteration variable [iv]. *)
+let addr ~iv (a : Addr.t) : string =
+  match a.Addr.scale with
+  | 0 -> Printf.sprintf "&%s[%d]" a.Addr.array a.Addr.offset
+  | 1 ->
+    if a.Addr.offset = 0 then Printf.sprintf "&%s[%s]" a.Addr.array iv
+    else Printf.sprintf "&%s[%s + (%d)]" a.Addr.array iv a.Addr.offset
+  | s ->
+    if a.Addr.offset = 0 then Printf.sprintf "&%s[%d * %s]" a.Addr.array s iv
+    else Printf.sprintf "&%s[%d * %s + (%d)]" a.Addr.array s iv a.Addr.offset
+
+(** Runtime integer expression; [v] is the vector length. *)
+let rec rexpr ~iv ~ub ~v (r : Rexpr.t) : string =
+  match r with
+  | Rexpr.Const c -> string_of_int c
+  | Rexpr.Trip -> ub
+  | Rexpr.Counter -> iv
+  | Rexpr.Offset_of a ->
+    Printf.sprintf "(long)((uintptr_t)(%s) & %d)" (addr ~iv a) (v - 1)
+  | Rexpr.Add (a, b) ->
+    Printf.sprintf "(%s + %s)" (rexpr ~iv ~ub ~v a) (rexpr ~iv ~ub ~v b)
+  | Rexpr.Sub (a, b) ->
+    Printf.sprintf "(%s - %s)" (rexpr ~iv ~ub ~v a) (rexpr ~iv ~ub ~v b)
+  | Rexpr.Mul_const (a, k) -> Printf.sprintf "(%s * %d)" (rexpr ~iv ~ub ~v a) k
+  | Rexpr.Mod_const (a, m) ->
+    (* Operands are non-negative by construction; C % suffices. *)
+    Printf.sprintf "(%s %% %d)" (rexpr ~iv ~ub ~v a) m
+
+let cond ~iv ~ub ~v (c : Rexpr.cond) : string =
+  match c with
+  | Rexpr.Ge (a, b) -> Printf.sprintf "%s >= %s" (rexpr ~iv ~ub ~v a) (rexpr ~iv ~ub ~v b)
+  | Rexpr.Gt (a, b) -> Printf.sprintf "%s > %s" (rexpr ~iv ~ub ~v a) (rexpr ~iv ~ub ~v b)
+  | Rexpr.Le (a, b) -> Printf.sprintf "%s <= %s" (rexpr ~iv ~ub ~v a) (rexpr ~iv ~ub ~v b)
+  | Rexpr.Lt (a, b) -> Printf.sprintf "%s < %s" (rexpr ~iv ~ub ~v a) (rexpr ~iv ~ub ~v b)
+
+(** The trip-count parameter name, dodging user identifiers. *)
+let ub_name (program : Ast.program) = fresh_ident ~program "ub"
+
+(** A prefix that, prepended to generated temporary names, cannot collide
+    with any array or parameter name: one underscore more than the longest
+    leading-underscore run among the program's identifiers (our temporaries
+    never begin with an underscore themselves). *)
+let temp_prefix (program : Ast.program) : string =
+  let leading s =
+    let n = ref 0 in
+    while !n < String.length s && s.[!n] = '_' do
+      incr n
+    done;
+    !n
+  in
+  let names =
+    List.map (fun (d : Ast.array_decl) -> d.Ast.arr_name) program.Ast.arrays
+    @ program.Ast.params
+  in
+  String.make (1 + List.fold_left (fun m s -> max m (leading s)) 0 names) '_'
+
+(** Kernel parameter list: one pointer per array, the trip count, then the
+    scalar parameters. *)
+let kernel_params (program : Ast.program) : string =
+  let ty = ctype (Ast.elem_ty_of_program program) in
+  String.concat ", "
+    (List.map (fun (d : Ast.array_decl) -> Printf.sprintf "%s *%s" ty d.Ast.arr_name)
+       program.Ast.arrays
+    @ [ "long " ^ ub_name program ]
+    @ List.map (fun p -> Printf.sprintf "%s %s" ty p) program.Ast.params)
+
+let kernel_args (program : Ast.program) : string =
+  String.concat ", "
+    (List.map (fun (d : Ast.array_decl) -> d.Ast.arr_name) program.Ast.arrays
+    @ [ ub_name program ]
+    @ program.Ast.params)
+
+(** MIN/MAX helper macros, included by every backend prelude. *)
+let minmax_macros =
+  "#define MINV(a, b) ((a) < (b) ? (a) : (b))\n\
+   #define MAXV(a, b) ((a) > (b) ? (a) : (b))\n"

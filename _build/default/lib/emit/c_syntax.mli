@@ -1,0 +1,36 @@
+(** Shared C-source fragments: scalar types/expressions, addresses, runtime
+    offset computations, and the plain scalar rendition of the original
+    loop (guard fallback + reference kernel in generated harnesses). *)
+
+open Simd_loopir
+open Simd_vir
+
+val ctype : Ast.elem_ty -> string
+val binop_is_infix : Ast.binop -> bool
+val binop_c : Ast.binop -> string
+
+val scalar_expr : ty:Ast.elem_ty -> iv:string -> Ast.expr -> string
+(** Expression at iteration variable [iv], wrapping at the element width. *)
+
+val invariant_expr : ty:Ast.elem_ty -> Ast.expr -> string
+
+val fresh_ident : program:Ast.program -> string -> string
+(** Suffix with underscores until free of array/parameter collisions. *)
+
+val scalar_loop :
+  program:Ast.program -> ub:string -> iv:string -> indent:string -> string
+(** The original loop (stores and reductions) as plain C. *)
+
+val addr : iv:string -> Addr.t -> string
+val rexpr : iv:string -> ub:string -> v:int -> Rexpr.t -> string
+val cond : iv:string -> ub:string -> v:int -> Rexpr.cond -> string
+
+val ub_name : Ast.program -> string
+(** Collision-free trip-count parameter name. *)
+
+val temp_prefix : Ast.program -> string
+(** Underscore prefix making generated temporaries collision-free. *)
+
+val kernel_params : Ast.program -> string
+val kernel_args : Ast.program -> string
+val minmax_macros : string

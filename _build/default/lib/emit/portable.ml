@@ -1,0 +1,316 @@
+(** Portable-C backend.
+
+    Emits the simdized program as plain C11 with a generic vector type
+    (a [V]-byte struct) and reference implementations of the machine's
+    operations, including the address-truncating load/store semantics. The
+    output compiles with any C compiler — the integration tests build it
+    with gcc and diff the result against the scalar loop, closing the loop
+    between the OCaml simulator's semantics and real execution. *)
+
+open Simd_loopir
+open Simd_vir
+
+let prelude ~v ~(ty : Ast.elem_ty) : string =
+  let d = Ast.elem_width ty in
+  let lanes = v / d in
+  let ct = C_syntax.ctype ty in
+  String.concat "\n"
+    [
+      "#include <stdint.h>";
+      "#include <string.h>";
+      "";
+      C_syntax.minmax_macros;
+      Printf.sprintf "#define VLEN %d" v;
+      Printf.sprintf "#define LANES %d" lanes;
+      Printf.sprintf "typedef %s elem_t;" ct;
+      "typedef struct { uint8_t b[VLEN]; } vec_t;";
+      "";
+      "/* Truncating vector load/store: the low address bits are ignored,";
+      "   as on AltiVec (lvx/stvx). */";
+      "static inline vec_t vload(const void *p) {";
+      "  vec_t r;";
+      "  memcpy(r.b, (const uint8_t *)((uintptr_t)p & ~(uintptr_t)(VLEN - 1)), VLEN);";
+      "  return r;";
+      "}";
+      "static inline void vstore(void *p, vec_t v) {";
+      "  memcpy((uint8_t *)((uintptr_t)p & ~(uintptr_t)(VLEN - 1)), v.b, VLEN);";
+      "}";
+      "";
+      "/* vshiftpair: bytes [sh, sh+VLEN) of the concatenation a ++ b;";
+      "   0 <= sh <= VLEN (sh == VLEN selects b entirely). */";
+      "static inline vec_t vshiftpair(vec_t a, vec_t b, long sh) {";
+      "  vec_t r;";
+      "  for (int k = 0; k < VLEN; k++) {";
+      "    long s = k + sh;";
+      "    r.b[k] = s < VLEN ? a.b[s] : b.b[s - VLEN];";
+      "  }";
+      "  return r;";
+      "}";
+      "";
+      "/* vsplice: first p bytes of a, remaining bytes of b. */";
+      "static inline vec_t vsplice(vec_t a, vec_t b, long p) {";
+      "  vec_t r;";
+      "  for (int k = 0; k < VLEN; k++) r.b[k] = k < p ? a.b[k] : b.b[k];";
+      "  return r;";
+      "}";
+      "";
+      "/* vpack_even: even-indexed elements of the 2V concatenation";
+      "   (strided-gather extension). */";
+      "static inline vec_t vpack_even(vec_t a, vec_t b) {";
+      "  vec_t r;";
+      "  for (int k = 0; k < LANES; k++) {";
+      "    int src = 2 * k;";
+      "    const uint8_t *from = src < LANES ? a.b : b.b;";
+      "    int lane = src < LANES ? src : src - LANES;";
+      "    memcpy(r.b + k * sizeof(elem_t), from + lane * sizeof(elem_t), sizeof(elem_t));";
+      "  }";
+      "  return r;";
+      "}";
+      "";
+      "static inline vec_t vsplat(elem_t x) {";
+      "  vec_t r;";
+      "  for (int k = 0; k < LANES; k++) memcpy(r.b + k * sizeof(elem_t), &x, sizeof(elem_t));";
+      "  return r;";
+      "}";
+      "";
+      "#define DEFINE_LANEOP(name, expr) \\";
+      "  static inline vec_t name(vec_t a, vec_t b) { \\";
+      "    vec_t r; \\";
+      "    for (int k = 0; k < LANES; k++) { \\";
+      "      elem_t x, y, z; \\";
+      "      memcpy(&x, a.b + k * sizeof(elem_t), sizeof(elem_t)); \\";
+      "      memcpy(&y, b.b + k * sizeof(elem_t), sizeof(elem_t)); \\";
+      "      z = (elem_t)(expr); \\";
+      "      memcpy(r.b + k * sizeof(elem_t), &z, sizeof(elem_t)); \\";
+      "    } \\";
+      "    return r; \\";
+      "  }";
+      "DEFINE_LANEOP(vadd, x + y)";
+      "DEFINE_LANEOP(vsub, x - y)";
+      "DEFINE_LANEOP(vmul, x * y)";
+      "DEFINE_LANEOP(vmin, MINV(x, y))";
+      "DEFINE_LANEOP(vmax, MAXV(x, y))";
+      "DEFINE_LANEOP(vand, x & y)";
+      "DEFINE_LANEOP(vor, x | y)";
+      "DEFINE_LANEOP(vxor, x ^ y)";
+      "";
+    ]
+
+let vop_name (op : Ast.binop) = "v" ^ Simd_machine.Lane.binop_name op
+
+let rec vexpr ~iv ~ub ~v ~ty (e : Expr.vexpr) : string =
+  match e with
+  | Expr.Load a -> Printf.sprintf "vload(%s)" (C_syntax.addr ~iv a)
+  | Expr.Op (op, a, b) ->
+    Printf.sprintf "%s(%s, %s)" (vop_name op) (vexpr ~iv ~ub ~v ~ty a)
+      (vexpr ~iv ~ub ~v ~ty b)
+  | Expr.Splat s -> Printf.sprintf "vsplat(%s)" (C_syntax.invariant_expr ~ty s)
+  | Expr.Shiftpair (a, b, sh) ->
+    Printf.sprintf "vshiftpair(%s, %s, %s)" (vexpr ~iv ~ub ~v ~ty a)
+      (vexpr ~iv ~ub ~v ~ty b)
+      (C_syntax.rexpr ~iv ~ub ~v sh)
+  | Expr.Splice (a, b, p) ->
+    Printf.sprintf "vsplice(%s, %s, %s)" (vexpr ~iv ~ub ~v ~ty a)
+      (vexpr ~iv ~ub ~v ~ty b)
+      (C_syntax.rexpr ~iv ~ub ~v p)
+  | Expr.Pack (a, b) ->
+    Printf.sprintf "vpack_even(%s, %s)" (vexpr ~iv ~ub ~v ~ty a)
+      (vexpr ~iv ~ub ~v ~ty b)
+  | Expr.Temp x -> x
+
+let rec stmt ~buf ~indent ~iv ~ub ~v ~ty (s : Expr.stmt) : unit =
+  match s with
+  | Expr.Store (a, e) ->
+    Buffer.add_string buf
+      (Printf.sprintf "%svstore(%s, %s);\n" indent (C_syntax.addr ~iv a)
+         (vexpr ~iv ~ub ~v ~ty e))
+  | Expr.Assign (x, e) ->
+    Buffer.add_string buf
+      (Printf.sprintf "%s%s = %s;\n" indent x (vexpr ~iv ~ub ~v ~ty e))
+  | Expr.If (c, th, el) ->
+    Buffer.add_string buf
+      (Printf.sprintf "%sif (%s) {\n" indent (C_syntax.cond ~iv ~ub ~v c));
+    List.iter (stmt ~buf ~indent:(indent ^ "  ") ~iv ~ub ~v ~ty) th;
+    if el <> [] then begin
+      Buffer.add_string buf (Printf.sprintf "%s} else {\n" indent);
+      List.iter (stmt ~buf ~indent:(indent ^ "  ") ~iv ~ub ~v ~ty) el
+    end;
+    Buffer.add_string buf (Printf.sprintf "%s}\n" indent)
+
+let upper_bound ~ub (b : Prog.bound) =
+  match b with
+  | Prog.B_const n -> string_of_int n
+  | Prog.B_trip_minus k -> Printf.sprintf "(%s - %d)" ub k
+
+(** [kernel prog] — the simdized kernel as a C function [kernel_simd], with
+    the scalar fallback for trips below the guard, plus the scalar
+    reference [kernel_scalar]. Does not include the prelude. *)
+let kernel (prog : Prog.t) : string =
+  let program = prog.Prog.source in
+  let ty = Ast.elem_ty_of_program program in
+  let v = Simd_machine.Config.vector_len prog.Prog.machine in
+  let ub = C_syntax.ub_name program in
+  let iv = C_syntax.fresh_ident ~program "i" in
+  let siv = C_syntax.fresh_ident ~program "s" in
+  (* Generated temporaries get a collision-free underscore prefix. *)
+  let tp = C_syntax.temp_prefix program in
+  let rec rename_expr (e : Expr.vexpr) =
+    match e with
+    | Expr.Temp x -> Expr.Temp (tp ^ x)
+    | Expr.Load _ | Expr.Splat _ -> e
+    | Expr.Op (op, a, b) -> Expr.Op (op, rename_expr a, rename_expr b)
+    | Expr.Shiftpair (a, b, s) -> Expr.Shiftpair (rename_expr a, rename_expr b, s)
+    | Expr.Splice (a, b, p) -> Expr.Splice (rename_expr a, rename_expr b, p)
+    | Expr.Pack (a, b) -> Expr.Pack (rename_expr a, rename_expr b)
+  in
+  let rec rename_stmt (s : Expr.stmt) =
+    match s with
+    | Expr.Store (a, e) -> Expr.Store (a, rename_expr e)
+    | Expr.Assign (x, e) -> Expr.Assign (tp ^ x, rename_expr e)
+    | Expr.If (c, t, e) ->
+      Expr.If (c, List.map rename_stmt t, List.map rename_stmt e)
+  in
+  let prog =
+    {
+      prog with
+      Prog.prologue = List.map rename_stmt prog.Prog.prologue;
+      body = List.map rename_stmt prog.Prog.body;
+      epilogues = List.map (List.map rename_stmt) prog.Prog.epilogues;
+    }
+  in
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    (Printf.sprintf "void kernel_scalar(%s) {\n" (C_syntax.kernel_params program));
+  (List.iter (fun p -> Buffer.add_string buf (Printf.sprintf "  (void)%s;\n" p)))
+    (List.map (fun (d : Ast.array_decl) -> d.Ast.arr_name) program.Ast.arrays
+    @ program.Ast.params);
+  Buffer.add_string buf (C_syntax.scalar_loop ~program ~ub ~iv:siv ~indent:"  ");
+  Buffer.add_string buf "}\n\n";
+  Buffer.add_string buf
+    (Printf.sprintf "void kernel_simd(%s) {\n" (C_syntax.kernel_params program));
+  Buffer.add_string buf
+    (Printf.sprintf "  if (%s <= %d) { /* trip-count guard: scalar fallback */\n"
+       ub prog.Prog.min_trip);
+  Buffer.add_string buf (C_syntax.scalar_loop ~program ~ub ~iv:siv ~indent:"    ");
+  Buffer.add_string buf "    return;\n  }\n";
+  (* Vector temporaries. *)
+  let temps =
+    Simd_support.Util.dedup
+      (Expr.temps_written prog.Prog.prologue
+      @ Expr.temps_written prog.Prog.body
+      @ List.concat_map Expr.temps_written prog.Prog.epilogues)
+  in
+  if temps <> [] then
+    Buffer.add_string buf
+      (Printf.sprintf "  vec_t %s;\n" (String.concat ", " temps));
+  Buffer.add_string buf (Printf.sprintf "  long %s = 0;\n" iv);
+  Buffer.add_string buf "  /* prologue: peeled first simdized iteration */\n";
+  List.iter (stmt ~buf ~indent:"  " ~iv ~ub ~v ~ty) prog.Prog.prologue;
+  Buffer.add_string buf "  /* steady state */\n";
+  (if prog.Prog.unroll = 1 then
+     Buffer.add_string buf
+       (Printf.sprintf "  for (%s = %d; %s < %s; %s += %d) {\n" iv prog.Prog.lower
+          iv
+          (upper_bound ~ub prog.Prog.upper)
+          iv prog.Prog.block)
+   else
+     Buffer.add_string buf
+       (Printf.sprintf "  for (%s = %d; %s + %d < %s; %s += %d) { /* unrolled x%d */\n"
+          iv prog.Prog.lower iv
+          ((prog.Prog.unroll - 1) * prog.Prog.block)
+          (upper_bound ~ub prog.Prog.upper)
+          iv (Prog.step prog) prog.Prog.unroll));
+  List.iter (stmt ~buf ~indent:"    " ~iv ~ub ~v ~ty) prog.Prog.body;
+  Buffer.add_string buf "  }\n";
+  Buffer.add_string buf "  /* epilogue (guarded residual stores) */\n";
+  List.iteri
+    (fun k stmts ->
+      (* keep the counter in sync even across empty virtual iterations *)
+      if k > 0 then
+        Buffer.add_string buf (Printf.sprintf "  %s += %d;\n" iv prog.Prog.block);
+      List.iter (stmt ~buf ~indent:"  " ~iv ~ub ~v ~ty) stmts)
+    prog.Prog.epilogues;
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf
+
+(** [unit prog] — prelude + kernels: a complete translation unit exposing
+    [kernel_scalar] and [kernel_simd]. *)
+let unit (prog : Prog.t) : string =
+  let ty = Ast.elem_ty_of_program prog.Prog.source in
+  let v = Simd_machine.Config.vector_len prog.Prog.machine in
+  prelude ~v ~ty ^ "\n" ^ kernel prog
+
+(** [harness ~layout ~params ~trip prog] — a self-checking [main]: two
+    identical noise-filled arenas, scalar kernel on one, simdized kernel on
+    the other, byte-compare. Exit code 0 and "OK" on agreement. The array
+    placement mirrors the simulator's layout exactly (same base offsets
+    relative to a [V]-aligned arena), so the run exercises the very
+    alignments the loop was compiled for. *)
+let harness ~(layout : Layout.t) ~(params : (string * int64) list) ~(trip : int)
+    (prog : Prog.t) : string =
+  let program = prog.Prog.source in
+  let ty = Ast.elem_ty_of_program program in
+  let ct = C_syntax.ctype ty in
+  let size = layout.Layout.arena_size in
+  let v = Simd_machine.Config.vector_len prog.Prog.machine in
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf (unit prog);
+  Buffer.add_string buf "\n#include <stdio.h>\n\n";
+  Buffer.add_string buf
+    "static uint64_t sm64_state;\n\
+     static uint64_t sm64_next(void) {\n\
+    \  uint64_t z = (sm64_state += 0x9E3779B97F4A7C15ULL);\n\
+    \  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;\n\
+    \  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;\n\
+    \  return z ^ (z >> 31);\n\
+     }\n\n";
+  Buffer.add_string buf
+    (Printf.sprintf
+       "static uint8_t arena_a[%d] __attribute__((aligned(%d)));\n\
+        static uint8_t arena_b[%d] __attribute__((aligned(%d)));\n\n"
+       size v size v);
+  Buffer.add_string buf "int main(void) {\n";
+  Buffer.add_string buf
+    (Printf.sprintf
+       "  sm64_state = 0x5EEDULL;\n\
+       \  for (int k = 0; k < %d; k++) arena_a[k] = (uint8_t)(sm64_next() & 0xff);\n\
+       \  memcpy(arena_b, arena_a, %d);\n"
+       size size);
+  Buffer.add_string buf (Printf.sprintf "  long ub = %d;\n" trip);
+  List.iter
+    (fun p ->
+      let value = try List.assoc p params with Not_found -> 1L in
+      Buffer.add_string buf (Printf.sprintf "  %s %s = (%s)%LdLL;\n" ct p ct value))
+    program.Ast.params;
+  let ptrs arena =
+    List.iter
+      (fun (d : Ast.array_decl) ->
+        Buffer.add_string buf
+          (Printf.sprintf "  %s *%s = (%s *)(%s + %d);\n" ct d.Ast.arr_name ct arena
+             (Layout.base layout d.Ast.arr_name)))
+      program.Ast.arrays
+  in
+  Buffer.add_string buf "  {\n";
+  ptrs "arena_a";
+  Buffer.add_string buf
+    (Printf.sprintf "  kernel_scalar(%s);\n" (C_syntax.kernel_args program));
+  Buffer.add_string buf "  }\n  {\n";
+  ptrs "arena_b";
+  Buffer.add_string buf
+    (Printf.sprintf "  kernel_simd(%s);\n" (C_syntax.kernel_args program));
+  Buffer.add_string buf "  }\n";
+  Buffer.add_string buf
+    (Printf.sprintf
+       "  if (memcmp(arena_a, arena_b, %d) != 0) {\n\
+       \    for (int k = 0; k < %d; k++)\n\
+       \      if (arena_a[k] != arena_b[k]) {\n\
+       \        printf(\"MISMATCH at byte %%d: scalar %%02x simd %%02x\\n\", k,\n\
+       \               arena_a[k], arena_b[k]);\n\
+       \        return 1;\n\
+       \      }\n\
+       \  }\n\
+       \  puts(\"OK\");\n\
+       \  return 0;\n}\n"
+       size size)
+  ;
+  Buffer.contents buf

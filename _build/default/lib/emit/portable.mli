@@ -1,0 +1,24 @@
+(** Portable-C backend: plain C11 with a generic [V]-byte vector struct and
+    reference implementations of the machine operations (including the
+    address-truncating load/store). Compiled and differentially tested with
+    gcc in the integration tests. *)
+
+val prelude : v:int -> ty:Simd_loopir.Ast.elem_ty -> string
+
+val kernel : Simd_vir.Prog.t -> string
+(** [kernel_scalar] (the original loop) and [kernel_simd] (guarded simdized
+    code), without the prelude. Generated temporaries are renamed with a
+    collision-free prefix. *)
+
+val unit : Simd_vir.Prog.t -> string
+(** Prelude + kernels: a complete translation unit. *)
+
+val harness :
+  layout:Simd_loopir.Layout.t ->
+  params:(string * int64) list ->
+  trip:int ->
+  Simd_vir.Prog.t ->
+  string
+(** Self-checking [main]: scalar and simdized kernels on identical
+    noise-filled arenas (placed exactly like the simulator's layout),
+    byte-compared; prints "OK" and exits 0 on agreement. *)

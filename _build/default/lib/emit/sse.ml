@@ -1,0 +1,147 @@
+(** SSE (x86) backend.
+
+    x86's 16-byte loads do not truncate addresses, so [vload]/[vstore]
+    truncate explicitly before using the aligned [_mm_load_si128] /
+    [_mm_store_si128] forms — exactly the normalization the paper's machine
+    performs in hardware. [vshiftpair] with a runtime shift uses SSSE3
+    [_mm_shuffle_epi8] on both operands (index vector [{sh, …, sh+15}]
+    masked into each source); [vsplice] is a byte blend through a computed
+    mask. Requires [-mssse3]. *)
+
+open Simd_loopir
+
+let prelude ~v ~(ty : Ast.elem_ty) : string =
+  if v <> 16 then invalid_arg "Sse.prelude: SSE vectors are 16 bytes";
+  let ct = C_syntax.ctype ty in
+  let suffix =
+    match ty with
+    | Ast.I8 -> "epi8"
+    | Ast.I16 -> "epi16"
+    | Ast.I32 -> "epi32"
+    | Ast.I64 -> "epi64"
+  in
+  let lanes = 16 / Ast.elem_width ty in
+  let lane_fallback name op =
+    Printf.sprintf
+      "static inline vec_t %s(vec_t a, vec_t b) {\n\
+      \  union { vec_t v; elem_t e[%d]; } ua, ub, ur;\n\
+      \  ua.v = a; ub.v = b;\n\
+      \  for (int k = 0; k < %d; k++) ur.e[k] = (elem_t)(%s);\n\
+      \  return ur.v;\n\
+       }" name lanes lanes op
+  in
+  String.concat "\n"
+    [
+      "#include <tmmintrin.h> /* SSSE3: _mm_shuffle_epi8 */";
+      "#include <stdint.h>";
+      "#include <string.h>";
+      "";
+      C_syntax.minmax_macros;
+      Printf.sprintf "typedef %s elem_t;" ct;
+      "typedef __m128i vec_t;";
+      "";
+      "/* Truncate the address, then use the aligned load/store forms:";
+      "   this reproduces the AltiVec-style memory unit on x86. */";
+      "static inline vec_t vload(const void *p) {";
+      "  return _mm_load_si128((const __m128i *)((uintptr_t)p & ~(uintptr_t)15));";
+      "}";
+      "static inline void vstore(void *p, vec_t v) {";
+      "  _mm_store_si128((__m128i *)((uintptr_t)p & ~(uintptr_t)15), v);";
+      "}";
+      "";
+      "static inline vec_t v_iota(void) {";
+      "  return _mm_setr_epi8(0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15);";
+      "}";
+      "";
+      "/* vshiftpair: idx = {sh..sh+15}; bytes with idx < 16 come from a";
+      "   (pshufb keeps them, high-bit set lanes zero out), bytes with";
+      "   idx >= 16 come from b via idx - 16. */";
+      "static inline vec_t vshiftpair(vec_t a, vec_t b, long sh) {";
+      "  vec_t idx = _mm_add_epi8(_mm_set1_epi8((char)sh), v_iota());";
+      "  vec_t in_a = _mm_cmplt_epi8(idx, _mm_set1_epi8(16));";
+      "  vec_t from_a = _mm_shuffle_epi8(a, _mm_or_si128(idx, _mm_andnot_si128(in_a, _mm_set1_epi8((char)0x80))));";
+      "  vec_t idx_b = _mm_sub_epi8(idx, _mm_set1_epi8(16));";
+      "  vec_t from_b = _mm_shuffle_epi8(b, _mm_or_si128(idx_b, _mm_and_si128(in_a, _mm_set1_epi8((char)0x80))));";
+      "  return _mm_or_si128(from_a, from_b);";
+      "}";
+      "";
+      "/* vsplice: mask = iota < p selects a. */";
+      "static inline vec_t vsplice(vec_t a, vec_t b, long p) {";
+      "  vec_t mask = _mm_cmplt_epi8(v_iota(), _mm_set1_epi8((char)p));";
+      "  return _mm_or_si128(_mm_and_si128(mask, a), _mm_andnot_si128(mask, b));";
+      "}";
+      "";
+      "/* vpack_even: even-indexed elements of the 2V concatenation";
+      "   (strided-gather extension): pshufb each source with a static";
+      "   mask (0x80 lanes zero out), then or. */";
+      Printf.sprintf
+        "static inline vec_t vpack_even(vec_t a, vec_t b) {\n\
+        \  static const char m1[16] = { %s };\n\
+        \  static const char m2[16] = { %s };\n\
+        \  vec_t idx1, idx2;\n\
+        \  memcpy(&idx1, m1, 16);\n\
+        \  memcpy(&idx2, m2, 16);\n\
+        \  return _mm_or_si128(_mm_shuffle_epi8(a, idx1), _mm_shuffle_epi8(b, idx2));\n\
+         }"
+        (let d = Ast.elem_width ty in
+         let lanes = 16 / d in
+         String.concat ", "
+           (List.concat_map
+              (fun k ->
+                List.init d (fun byte ->
+                    let src = 2 * k * d in
+                    if src < 16 then string_of_int (src + byte) else "(char)0x80"))
+              (List.init lanes Fun.id)))
+        (let d = Ast.elem_width ty in
+         let lanes = 16 / d in
+         String.concat ", "
+           (List.concat_map
+              (fun k ->
+                List.init d (fun byte ->
+                    let src = 2 * k * d in
+                    if src >= 16 then string_of_int (src - 16 + byte)
+                    else "(char)0x80"))
+              (List.init lanes Fun.id)));
+      "static inline vec_t vsplat(elem_t x) {";
+      (match ty with
+      | Ast.I8 -> "  return _mm_set1_epi8((char)x);"
+      | Ast.I16 -> "  return _mm_set1_epi16((short)x);"
+      | Ast.I32 -> "  return _mm_set1_epi32((int)x);"
+      | Ast.I64 -> "  return _mm_set1_epi64x((long long)x);");
+      "}";
+      "";
+      Printf.sprintf
+        "static inline vec_t vadd(vec_t a, vec_t b) { return _mm_add_%s(a, b); }"
+        suffix;
+      Printf.sprintf
+        "static inline vec_t vsub(vec_t a, vec_t b) { return _mm_sub_%s(a, b); }"
+        suffix;
+      "static inline vec_t vand(vec_t a, vec_t b) { return _mm_and_si128(a, b); }";
+      "static inline vec_t vor(vec_t a, vec_t b) { return _mm_or_si128(a, b); }";
+      "static inline vec_t vxor(vec_t a, vec_t b) { return _mm_xor_si128(a, b); }";
+      "/* Widths without a direct SSE instruction fall back to lanes. */";
+      lane_fallback "vmul" "ua.e[k] * ub.e[k]";
+      lane_fallback "vmin" "MINV(ua.e[k], ub.e[k])";
+      lane_fallback "vmax" "MAXV(ua.e[k], ub.e[k])";
+      "";
+    ]
+
+(** [unit prog] — full SSE translation unit (prelude + both kernels). *)
+let unit (prog : Simd_vir.Prog.t) : string =
+  let ty = Ast.elem_ty_of_program prog.Simd_vir.Prog.source in
+  let v = Simd_machine.Config.vector_len prog.Simd_vir.Prog.machine in
+  prelude ~v ~ty ^ "\n" ^ Portable.kernel prog
+
+(** [harness ~layout ~params ~trip prog] — self-checking main over the SSE
+    unit (compilable on any x86-64 with SSSE3; exercised by integration
+    tests when the host compiler supports it). *)
+let harness ~layout ~params ~trip (prog : Simd_vir.Prog.t) : string =
+  (* Reuse the portable harness scaffolding but with the SSE prelude: the
+     portable harness text starts with the portable unit; swap it. *)
+  let portable = Portable.harness ~layout ~params ~trip prog in
+  let portable_unit = Portable.unit prog in
+  let sse_unit = unit prog in
+  let plen = String.length portable_unit in
+  if String.length portable >= plen && String.sub portable 0 plen = portable_unit
+  then sse_unit ^ String.sub portable plen (String.length portable - plen)
+  else invalid_arg "Sse.harness: unexpected harness layout"

@@ -1,0 +1,16 @@
+(** SSE (x86) backend: explicit address truncation before the aligned
+    [_mm_load_si128]/[_mm_store_si128] forms reproduces the paper's memory
+    unit; runtime [vshiftpair] via SSSE3 [_mm_shuffle_epi8] on both
+    operands. Requires [-mssse3]. *)
+
+val prelude : v:int -> ty:Simd_loopir.Ast.elem_ty -> string
+val unit : Simd_vir.Prog.t -> string
+
+val harness :
+  layout:Simd_loopir.Layout.t ->
+  params:(string * int64) list ->
+  trip:int ->
+  Simd_vir.Prog.t ->
+  string
+(** The portable harness scaffolding over the SSE unit (compilable on
+    x86-64 with SSSE3; exercised by integration tests). *)

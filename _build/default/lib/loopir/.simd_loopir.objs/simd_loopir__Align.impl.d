@@ -1,0 +1,1 @@
+lib/loopir/align.pp.ml: Ast Format Ppx_deriving_runtime Simd_machine Simd_support

@@ -1,0 +1,1 @@
+lib/loopir/align.pp.mli: Ast Format Ppx_deriving_runtime Simd_machine

@@ -1,0 +1,1 @@
+lib/loopir/analysis.pp.ml: Align Ast Format List Pp Printf Simd_machine Simd_support

@@ -1,0 +1,1 @@
+lib/loopir/analysis.pp.mli: Align Ast Format Simd_machine

@@ -1,0 +1,1 @@
+lib/loopir/ast.pp.ml: List Ppx_deriving_runtime Printf Simd_machine Simd_support

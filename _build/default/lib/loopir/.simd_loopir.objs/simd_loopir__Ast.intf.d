@@ -1,0 +1,1 @@
+lib/loopir/ast.pp.mli: Ppx_deriving_runtime Simd_machine

@@ -1,0 +1,1 @@
+lib/loopir/interp.pp.ml: Ast Hashtbl Layout List Printf Simd_machine Simd_support Util

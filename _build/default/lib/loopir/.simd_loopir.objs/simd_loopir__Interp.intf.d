@@ -1,0 +1,1 @@
+lib/loopir/interp.pp.mli: Ast Layout Simd_machine Simd_support

@@ -1,0 +1,1 @@
+lib/loopir/layout.pp.ml: Align Ast Format List Printf Prng Simd_machine Simd_support Util

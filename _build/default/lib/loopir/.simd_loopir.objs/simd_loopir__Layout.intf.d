@@ -1,0 +1,1 @@
+lib/loopir/layout.pp.mli: Ast Format Simd_machine Simd_support

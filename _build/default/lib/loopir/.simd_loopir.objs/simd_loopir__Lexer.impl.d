@@ -1,0 +1,1 @@
+lib/loopir/lexer.pp.ml: Ast Format Int64 List Printf Simd_machine String

@@ -1,0 +1,1 @@
+lib/loopir/lexer.pp.mli: Ast Format

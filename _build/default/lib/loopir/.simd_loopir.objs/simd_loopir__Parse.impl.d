@@ -1,0 +1,1 @@
+lib/loopir/parse.pp.ml: Ast Format Int64 Lexer List

@@ -1,0 +1,1 @@
+lib/loopir/parse.pp.mli: Ast Lexer

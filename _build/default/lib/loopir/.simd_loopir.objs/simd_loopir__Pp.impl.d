@@ -1,0 +1,1 @@
+lib/loopir/pp.pp.ml: Ast Format Int64 List Printf

@@ -1,0 +1,1 @@
+lib/loopir/pp.pp.mli: Ast Format

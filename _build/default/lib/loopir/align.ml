@@ -1,0 +1,42 @@
+(** Alignments and stream offsets.
+
+    The paper's key quantity is the {e stream offset} of a memory stream: the
+    byte offset, within a [V]-byte chunk, of the first desired value (§3.2).
+    For a stride-one reference [a\[i + c\]] it equals
+    [(base(a) + c*D) mod V] — a compile-time constant when the base alignment
+    is declared, or a runtime value (computed by anding the address with
+    [V-1]) otherwise. *)
+
+type t =
+  | Known of int  (** compile-time byte offset in [\[0, V)] *)
+  | Runtime  (** known only at runtime *)
+[@@deriving show { with_path = false }, eq, ord]
+
+let is_known = function Known _ -> true | Runtime -> false
+
+let known_exn = function
+  | Known k -> k
+  | Runtime -> invalid_arg "Align.known_exn: runtime offset"
+
+(** [of_ref ~machine ~program r] — the stream offset of reference [r]. *)
+let of_ref ~machine ~(program : Ast.program) (r : Ast.mem_ref) =
+  let decl = Ast.find_array_exn program r.ref_array in
+  let d = Ast.elem_width decl.arr_ty in
+  match decl.arr_align with
+  | Ast.Unknown -> Runtime
+  | Ast.Known base ->
+    Known
+      (Simd_support.Util.pos_mod
+         (base + (r.ref_offset * d))
+         (Simd_machine.Config.vector_len machine))
+
+(** [concrete ~machine ~base ~elem ~offset] — the actual stream offset of a
+    reference once the array's base address is fixed (used by the simulator
+    and by runtime-alignment codegen tests). *)
+let concrete ~machine ~base ~elem ~offset =
+  Simd_support.Util.pos_mod (base + (offset * elem))
+    (Simd_machine.Config.vector_len machine)
+
+let pp fmt = function
+  | Known k -> Format.pp_print_int fmt k
+  | Runtime -> Format.pp_print_string fmt "?"

@@ -1,0 +1,21 @@
+(** Stream offsets (paper §3.2): the byte offset, within a [V]-byte chunk,
+    of the first desired value of a memory stream — compile-time when the
+    base alignment is declared, runtime otherwise. *)
+
+type t =
+  | Known of int  (** compile-time byte offset in [\[0, V)] *)
+  | Runtime  (** known only at runtime ([addr & (V-1)]) *)
+[@@deriving show, eq, ord]
+
+val is_known : t -> bool
+val known_exn : t -> int
+
+val of_ref : machine:Simd_machine.Config.t -> program:Ast.program -> Ast.mem_ref -> t
+(** The stream offset of a reference: [(base + offset*D) mod V], or
+    [Runtime] for undeclared base alignments. *)
+
+val concrete :
+  machine:Simd_machine.Config.t -> base:int -> elem:int -> offset:int -> int
+(** The realized offset once the base address is fixed (simulator side). *)
+
+val pp : Format.formatter -> t -> unit

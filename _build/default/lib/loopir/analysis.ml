@@ -1,0 +1,220 @@
+(** Legality analysis: checks the paper's simdization assumptions (§4.1) and
+    a conservative dependence test, and computes per-reference stream
+    offsets.
+
+    The §4.1 assumptions are:
+    - all memory references are loop invariant or stride-one array
+      references (guaranteed syntactically by the parser);
+    - the base address of an array is naturally aligned to its element
+      width (checked against the declared alignment here; enforced by the
+      simulator's placement for runtime alignments);
+    - the loop counter appears only in address computations (syntactic);
+    - all references access data of one uniform length — no conversions.
+
+    Beyond §4.1 we conservatively require that no stored array is referenced
+    by any other access, so reordering stores within a vector block cannot
+    violate a dependence; the paper's synthesized benchmarks satisfy this by
+    construction. *)
+
+type error =
+  | Mixed_element_widths of { a : string; b : string }
+  | Bad_base_alignment of { array : string; align : int; reason : string }
+  | Negative_offset of Ast.mem_ref
+  | Store_conflict of { array : string; detail : string }
+  | Out_of_bounds of { r : Ast.mem_ref; trip : int; len : int }
+  | Bad_reduction of { array : string; reason : string }
+  | Empty_body
+
+let pp_error fmt = function
+  | Mixed_element_widths { a; b } ->
+    Format.fprintf fmt "arrays %S and %S have different element widths" a b
+  | Bad_base_alignment { array; align; reason } ->
+    Format.fprintf fmt "array %S has invalid base alignment %d: %s" array align reason
+  | Negative_offset r ->
+    Format.fprintf fmt "reference %s has a negative offset" (Pp.mem_ref_to_string r)
+  | Store_conflict { array; detail } ->
+    Format.fprintf fmt "array %S: %s" array detail
+  | Out_of_bounds { r; trip; len } ->
+    Format.fprintf fmt "reference %s overruns its array (trip %d, length %d)"
+      (Pp.mem_ref_to_string r) trip len
+  | Bad_reduction { array; reason } ->
+    Format.fprintf fmt "reduction into %S: %s" array reason
+  | Empty_body -> Format.pp_print_string fmt "loop body is empty"
+
+let error_to_string e = Format.asprintf "%a" pp_error e
+
+exception Illegal of error
+
+(** Analysis summary attached to a legal program. *)
+type t = {
+  program : Ast.program;
+  machine : Simd_machine.Config.t;
+  elem : int;  (** uniform element width D *)
+  block : int;  (** blocking factor B = V/D (paper Eq. 7) *)
+  offsets : (Ast.mem_ref * Align.t) list;
+      (** stream offset of every distinct reference *)
+  all_known : bool;  (** every offset is a compile-time constant *)
+}
+
+let offset_of t (r : Ast.mem_ref) =
+  match List.assoc_opt r t.offsets with
+  | Some o -> o
+  | None -> Align.of_ref ~machine:t.machine ~program:t.program r
+
+(** [check ~machine program] — validate and summarize, or report the first
+    violation. *)
+let check ~machine (program : Ast.program) : (t, error) result =
+  let open Ast in
+  try
+    if program.loop.body = [] then raise (Illegal Empty_body);
+    (* Uniform element width. *)
+    let elem =
+      match program.arrays with
+      | [] -> raise (Illegal Empty_body)
+      | d0 :: rest ->
+        List.iter
+          (fun d ->
+            if not (equal_elem_ty d.arr_ty d0.arr_ty) then
+              raise
+                (Illegal (Mixed_element_widths { a = d0.arr_name; b = d.arr_name })))
+          rest;
+        elem_width d0.arr_ty
+    in
+    let v = Simd_machine.Config.vector_len machine in
+    if v mod elem <> 0 then
+      raise
+        (Illegal
+           (Bad_base_alignment
+              { array = (List.hd program.arrays).arr_name; align = 0;
+                reason = "element width does not divide the vector length" }));
+    let block = v / elem in
+    (* Base alignments: in range and naturally aligned. *)
+    List.iter
+      (fun d ->
+        match d.arr_align with
+        | Unknown -> ()
+        | Known k ->
+          if k < 0 || k >= v then
+            raise
+              (Illegal
+                 (Bad_base_alignment
+                    { array = d.arr_name; align = k; reason =
+                        Printf.sprintf "must lie in [0, %d)" v }));
+          if k mod elem <> 0 then
+            raise
+              (Illegal
+                 (Bad_base_alignment
+                    { array = d.arr_name; align = k; reason =
+                        "must be a multiple of the element width (natural alignment)"
+                    })))
+      program.arrays;
+    (* Non-negative reference offsets (normalized loops start at 0), and
+       stride restrictions: strides must be supported, and only loads may
+       be strided (strided stores would need scatter; future work, as in
+       the paper). *)
+    let refs = program_refs program in
+    List.iter
+      (fun r -> if r.ref_offset < 0 then raise (Illegal (Negative_offset r)))
+      refs;
+    List.iter
+      (fun r ->
+        if not (List.mem r.ref_stride Ast.supported_strides) then
+          raise
+            (Illegal
+               (Store_conflict
+                  { array = r.ref_array;
+                    detail = Printf.sprintf "unsupported stride %d" r.ref_stride })))
+      refs;
+    List.iter
+      (fun s ->
+        if s.lhs.ref_stride <> 1 then
+          raise
+            (Illegal
+               (Store_conflict
+                  { array = s.lhs.ref_array;
+                    detail = "strided stores are not supported (scatter)" })))
+      program.loop.body;
+    (* Bounds, when the trip count is a compile-time constant. *)
+    (match program.loop.trip with
+    | Trip_param _ -> ()
+    | Trip_const n ->
+      List.iter
+        (fun r ->
+          let decl = find_array_exn program r.ref_array in
+          if (r.ref_stride * (n - 1)) + r.ref_offset + 1 > decl.arr_len then
+            raise (Illegal (Out_of_bounds { r; trip = n; len = decl.arr_len })))
+        refs);
+    (* Reductions: the operator must be associative-commutative with an
+       identity (guaranteed for parser-produced programs, checked for
+       programmatic ones). *)
+    List.iter
+      (fun s ->
+        match s.kind with
+        | Assign -> ()
+        | Reduce op -> (
+          match
+            Ast.reduction_identity op ~ty:(elem_ty_of_program program)
+          with
+          | Some _ -> ()
+          | None ->
+            raise
+              (Illegal
+                 (Bad_reduction
+                    { array = s.lhs.ref_array;
+                      reason = "operator has no identity (not \
+                                associative-commutative)" }))))
+      program.loop.body;
+    (* Conservative dependences: a stored array (or accumulator) is written
+       by exactly one statement and never loaded. *)
+    let stores = List.map (fun s -> s.lhs) program.loop.body in
+    let store_names = List.map (fun r -> r.ref_array) stores in
+    List.iter
+      (fun (name, count) ->
+        if count > 1 then
+          raise
+            (Illegal
+               (Store_conflict
+                  { array = name; detail = "stored by more than one statement" })))
+      (Simd_support.Util.group_count store_names);
+    List.iter
+      (fun s ->
+        List.iter
+          (fun r ->
+            if List.mem r.ref_array store_names then
+              raise
+                (Illegal
+                   (Store_conflict
+                      { array = r.ref_array;
+                        detail = "loaded while also being a store target" })))
+          (expr_loads s.rhs))
+      program.loop.body;
+    (* Stream offsets. *)
+    let offsets =
+      List.map (fun r -> (r, Align.of_ref ~machine ~program r))
+        (Simd_support.Util.dedup refs)
+    in
+    let all_known = List.for_all (fun (_, o) -> Align.is_known o) offsets in
+    Ok { program; machine; elem; block; offsets; all_known }
+  with Illegal e -> Error e
+
+let check_exn ~machine program =
+  match check ~machine program with
+  | Ok t -> t
+  | Error e ->
+    invalid_arg (Printf.sprintf "Analysis.check_exn: %s" (error_to_string e))
+
+(** [misaligned_fraction t] — fraction of static references whose stream
+    offset is nonzero or unknown; the paper reports its benchmarks have 75%+
+    misaligned references. *)
+let misaligned_fraction t =
+  let refs = Ast.program_refs t.program in
+  let mis =
+    List.length
+      (List.filter
+         (fun r -> match offset_of t r with Align.Known 0 -> false | _ -> true)
+         refs)
+  in
+  float_of_int mis /. float_of_int (List.length refs)
+
+(** [distinct_store_alignment t stmt] — the store stream offset of [stmt]. *)
+let store_offset t (stmt : Ast.stmt) = offset_of t stmt.lhs

@@ -1,0 +1,37 @@
+(** Legality analysis: the paper's §4.1 assumptions (uniform element width,
+    natural base alignment, stride-one references), a conservative
+    dependence test (no stored or accumulated array referenced elsewhere),
+    and per-reference stream offsets. *)
+
+type error =
+  | Mixed_element_widths of { a : string; b : string }
+  | Bad_base_alignment of { array : string; align : int; reason : string }
+  | Negative_offset of Ast.mem_ref
+  | Store_conflict of { array : string; detail : string }
+  | Out_of_bounds of { r : Ast.mem_ref; trip : int; len : int }
+  | Bad_reduction of { array : string; reason : string }
+  | Empty_body
+
+val pp_error : Format.formatter -> error -> unit
+val error_to_string : error -> string
+
+(** Analysis summary attached to a legal program. *)
+type t = {
+  program : Ast.program;
+  machine : Simd_machine.Config.t;
+  elem : int;  (** uniform element width D *)
+  block : int;  (** blocking factor B = V/D (paper Eq. 7) *)
+  offsets : (Ast.mem_ref * Align.t) list;
+  all_known : bool;  (** every offset is compile-time *)
+}
+
+val offset_of : t -> Ast.mem_ref -> Align.t
+
+val check : machine:Simd_machine.Config.t -> Ast.program -> (t, error) result
+val check_exn : machine:Simd_machine.Config.t -> Ast.program -> t
+
+val misaligned_fraction : t -> float
+(** Fraction of static references with nonzero or unknown offsets (the
+    paper's benchmarks have 75%+). *)
+
+val store_offset : t -> Ast.stmt -> Align.t

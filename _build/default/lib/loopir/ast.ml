@@ -1,0 +1,181 @@
+(** Abstract syntax of the scalar loop language.
+
+    This is the paper's input domain (§4.1): a normalized innermost loop
+    [for (i = 0; i < ub; i++) { ... }] whose statements store to and load
+    from stride-one array references [a\[i + c\]], plus loop-invariant scalar
+    parameters. All memory references in a loop access data of one uniform
+    element width.
+
+    A program also carries the array declarations, because alignment analysis
+    needs each array's compile-time base alignment (or the fact that it is
+    unknown until runtime). *)
+
+type elem_ty = I8 | I16 | I32 | I64 [@@deriving show { with_path = false }, eq, ord]
+
+let elem_width = function I8 -> 1 | I16 -> 2 | I32 -> 4 | I64 -> 8
+
+let elem_ty_of_width = function
+  | 1 -> I8
+  | 2 -> I16
+  | 4 -> I32
+  | 8 -> I64
+  | w -> invalid_arg (Printf.sprintf "Ast.elem_ty_of_width: %d" w)
+
+let elem_ty_name = function
+  | I8 -> "int8"
+  | I16 -> "int16"
+  | I32 -> "int32"
+  | I64 -> "int64"
+
+(** Compile-time knowledge of an array's base alignment modulo the vector
+    length. [Known k] means [base ≡ k (mod V)]; [Unknown] means the
+    alignment is only discoverable at runtime (e.g. the array is a function
+    parameter). The paper's "natural alignment" assumption ([base mod D = 0])
+    is enforced by the legality analysis and by the simulator's placement. *)
+type base_align = Known of int | Unknown
+[@@deriving show { with_path = false }, eq, ord]
+
+type array_decl = {
+  arr_name : string;
+  arr_ty : elem_ty;
+  arr_len : int;  (** extent in elements; used for placement and verification *)
+  arr_align : base_align;
+}
+[@@deriving show { with_path = false }, eq, ord]
+
+(** An array reference [a\[stride*i + offset\]]. The loop counter appears
+    only here (paper assumption: "the loop counter can only appear in the
+    address computation of stride-one references"). The paper handles
+    stride 1 only; strides 2 and 4 on {e loads} are our gather extension
+    (its future-work item "alignment handling of loops with non-unit stride
+    accesses"). *)
+type mem_ref = { ref_array : string; ref_offset : int; ref_stride : int }
+[@@deriving show { with_path = false }, eq, ord]
+
+let mem_ref ?(stride = 1) array offset =
+  { ref_array = array; ref_offset = offset; ref_stride = stride }
+
+let supported_strides = [ 1; 2; 4 ]
+
+type binop = Simd_machine.Lane.binop = Add | Sub | Mul | Min | Max | And | Or | Xor
+[@@deriving show { with_path = false }, eq, ord]
+
+type expr =
+  | Load of mem_ref  (** [a\[i + c\]] *)
+  | Param of string  (** loop-invariant scalar parameter *)
+  | Const of int64  (** integer literal *)
+  | Binop of binop * expr * expr
+[@@deriving show { with_path = false }, eq, ord]
+
+(** Statement kind. [Assign] is the paper's store statement
+    [a\[i+c\] = rhs]. [Reduce op] is our reduction extension
+    [acc op= rhs] — the paper's "accesses to scalar variables … occurring
+    in non-address computation" future-work item — where [lhs] names a
+    one-element accumulator array addressed absolutely (not by the loop
+    counter) and [op] is an associative-commutative operator with an
+    identity. *)
+type stmt_kind = Assign | Reduce of binop
+[@@deriving show { with_path = false }, eq, ord]
+
+(** One loop-body statement: [a\[i+c\] = rhs] or [acc op= rhs]. *)
+type stmt = { lhs : mem_ref; rhs : expr; kind : stmt_kind }
+[@@deriving show { with_path = false }, eq, ord]
+
+let is_reduction (s : stmt) = s.kind <> Assign
+
+(** [reduction_ops] — operators usable in reductions, with their
+    identities (the value that masks out-of-range lanes). *)
+let reduction_identity (op : binop) ~(ty : elem_ty) : int64 option =
+  let d = elem_width ty in
+  match op with
+  | Add | Or | Xor -> Some 0L
+  | Mul -> Some 1L
+  | And -> Some (-1L)
+  | Min -> Some (Simd_machine.Lane.max_value d)
+  | Max -> Some (Simd_machine.Lane.min_value d)
+  | Sub -> None (* not associative-commutative *)
+
+(** Loop trip count: a compile-time constant or a runtime parameter (the
+    paper's "unknown loop bounds" case). *)
+type trip = Trip_const of int | Trip_param of string
+[@@deriving show { with_path = false }, eq, ord]
+
+type loop = {
+  counter : string;  (** induction variable, normalized [0 .. ub-1] step 1 *)
+  trip : trip;
+  body : stmt list;
+}
+[@@deriving show { with_path = false }, eq, ord]
+
+type program = {
+  arrays : array_decl list;
+  params : string list;  (** scalar parameter names (loop invariants) *)
+  loop : loop;
+}
+[@@deriving show { with_path = false }, eq, ord]
+
+(* ------------------------------------------------------------------ *)
+(* Accessors and traversals                                            *)
+(* ------------------------------------------------------------------ *)
+
+let find_array program name =
+  List.find_opt (fun d -> d.arr_name = name) program.arrays
+
+let find_array_exn program name =
+  match find_array program name with
+  | Some d -> d
+  | None -> invalid_arg (Printf.sprintf "Ast.find_array_exn: no array %S" name)
+
+(** [fold_expr_loads f acc e] folds over every [Load] in [e], left to right. *)
+let rec fold_expr_loads f acc = function
+  | Load r -> f acc r
+  | Param _ | Const _ -> acc
+  | Binop (_, a, b) -> fold_expr_loads f (fold_expr_loads f acc a) b
+
+(** [expr_loads e] lists the memory references loaded by [e] in evaluation
+    order (duplicates preserved). *)
+let expr_loads e = List.rev (fold_expr_loads (fun acc r -> r :: acc) [] e)
+
+(** [stmt_refs s] lists every stream memory reference of [s]: all loads,
+    then the store for [Assign] statements (a reduction's accumulator is an
+    absolute scalar cell, not a stream). *)
+let stmt_refs s =
+  expr_loads s.rhs @ (match s.kind with Assign -> [ s.lhs ] | Reduce _ -> [])
+
+(** [program_refs p] lists every static memory reference in the loop body. *)
+let program_refs p = List.concat_map stmt_refs p.loop.body
+
+(** [fold_expr_params f acc e] folds over every [Param] occurrence. *)
+let rec fold_expr_params f acc = function
+  | Param x -> f acc x
+  | Load _ | Const _ -> acc
+  | Binop (_, a, b) -> fold_expr_params f (fold_expr_params f acc a) b
+
+let expr_params e =
+  Simd_support.Util.dedup (List.rev (fold_expr_params (fun acc x -> x :: acc) [] e))
+
+(** [expr_op_count e] counts arithmetic operations in [e] — the paper's
+    "ideal scalar instruction count" charges one op per arithmetic node, one
+    per load, and one per store; this is the arithmetic part. *)
+let rec expr_op_count = function
+  | Load _ | Param _ | Const _ -> 0
+  | Binop (_, a, b) -> 1 + expr_op_count a + expr_op_count b
+
+(** [expr_size e] — total node count, used as a complexity measure. *)
+let rec expr_size = function
+  | Load _ | Param _ | Const _ -> 1
+  | Binop (_, a, b) -> 1 + expr_size a + expr_size b
+
+(** [map_expr_refs f e] rewrites every memory reference in [e]. *)
+let rec map_expr_refs f = function
+  | Load r -> Load (f r)
+  | (Param _ | Const _) as e -> e
+  | Binop (op, a, b) -> Binop (op, map_expr_refs f a, map_expr_refs f b)
+
+(** [elem_ty_of_program p] — the uniform element type of all references
+    (guaranteed by the legality analysis). Raises if the program has no
+    arrays. *)
+let elem_ty_of_program p =
+  match p.arrays with
+  | [] -> invalid_arg "Ast.elem_ty_of_program: no arrays"
+  | d :: _ -> d.arr_ty

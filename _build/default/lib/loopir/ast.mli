@@ -1,0 +1,91 @@
+(** Abstract syntax of the scalar loop language — the paper's input domain
+    (§4.1): a normalized innermost loop whose statements store to (or, as
+    our extension, reduce into) stride-one array references, plus
+    loop-invariant scalar parameters. *)
+
+type elem_ty = I8 | I16 | I32 | I64 [@@deriving show, eq, ord]
+
+val elem_width : elem_ty -> int
+val elem_ty_of_width : int -> elem_ty
+val elem_ty_name : elem_ty -> string
+
+(** Compile-time knowledge of an array's base alignment modulo the vector
+    length: [Known k] means [base ≡ k (mod V)]; [Unknown] defers to
+    runtime. *)
+type base_align = Known of int | Unknown [@@deriving show, eq, ord]
+
+type array_decl = {
+  arr_name : string;
+  arr_ty : elem_ty;
+  arr_len : int;  (** extent in elements *)
+  arr_align : base_align;
+}
+[@@deriving show, eq, ord]
+
+(** An array reference [a\[stride*i + offset\]]; stride 1 is the paper's
+    case, strides 2 and 4 on loads are the gather extension. *)
+type mem_ref = { ref_array : string; ref_offset : int; ref_stride : int }
+[@@deriving show, eq, ord]
+
+val mem_ref : ?stride:int -> string -> int -> mem_ref
+val supported_strides : int list
+
+type binop = Simd_machine.Lane.binop = Add | Sub | Mul | Min | Max | And | Or | Xor
+[@@deriving show, eq, ord]
+
+type expr =
+  | Load of mem_ref
+  | Param of string  (** loop-invariant scalar parameter *)
+  | Const of int64
+  | Binop of binop * expr * expr
+[@@deriving show, eq, ord]
+
+(** [Assign] is the paper's store statement; [Reduce op] is the reduction
+    extension [acc op= rhs] (the accumulator is element 0 of a one-element
+    array, addressed absolutely). *)
+type stmt_kind = Assign | Reduce of binop [@@deriving show, eq, ord]
+
+type stmt = { lhs : mem_ref; rhs : expr; kind : stmt_kind }
+[@@deriving show, eq, ord]
+
+val is_reduction : stmt -> bool
+
+val reduction_identity : binop -> ty:elem_ty -> int64 option
+(** The operator's identity (masks invalid lanes), or [None] when the
+    operator is unusable in reductions ([Sub]). *)
+
+type trip = Trip_const of int | Trip_param of string [@@deriving show, eq, ord]
+
+type loop = { counter : string; trip : trip; body : stmt list }
+[@@deriving show, eq, ord]
+
+type program = { arrays : array_decl list; params : string list; loop : loop }
+[@@deriving show, eq, ord]
+
+(** {2 Accessors and traversals} *)
+
+val find_array : program -> string -> array_decl option
+val find_array_exn : program -> string -> array_decl
+
+val fold_expr_loads : ('a -> mem_ref -> 'a) -> 'a -> expr -> 'a
+
+val expr_loads : expr -> mem_ref list
+(** Loads in evaluation order, duplicates preserved. *)
+
+val stmt_refs : stmt -> mem_ref list
+(** All stream references: loads, then the store for [Assign] (a
+    reduction's accumulator cell is not a stream). *)
+
+val program_refs : program -> mem_ref list
+
+val fold_expr_params : ('a -> string -> 'a) -> 'a -> expr -> 'a
+val expr_params : expr -> string list
+
+val expr_op_count : expr -> int
+(** Arithmetic node count (the ideal scalar cost's arithmetic part). *)
+
+val expr_size : expr -> int
+val map_expr_refs : (mem_ref -> mem_ref) -> expr -> expr
+
+val elem_ty_of_program : program -> elem_ty
+(** The uniform element type (legality-checked); raises without arrays. *)

@@ -1,0 +1,124 @@
+(** Reference scalar interpreter.
+
+    Executes a loop program directly, statement by statement, iteration by
+    iteration — the semantic oracle every simdization is differentially
+    tested against. It also produces the paper's "ideal scalar instruction
+    count": one operation per load, per store, and per arithmetic node,
+    explicitly excluding address computation and loop overhead (§5.3: the
+    scalar reference is idealized; the simdized code is charged its real
+    overhead). *)
+
+open Simd_support
+
+(** Runtime environment: where arrays live and what the invariants are. *)
+type env = {
+  layout : Layout.t;
+  params : int64 Util.String_map.t;
+  trip : int;  (** actual trip count (resolves [Trip_param]) *)
+}
+
+let make_env ~layout ?(params = []) ~trip () =
+  {
+    layout;
+    params =
+      List.fold_left (fun m (k, v) -> Util.String_map.add k v m)
+        Util.String_map.empty params;
+    trip;
+  }
+
+let param_value env name =
+  match Util.String_map.find_opt name env.params with
+  | Some v -> v
+  | None -> invalid_arg (Printf.sprintf "Interp.param_value: unbound param %S" name)
+
+let trip_count env (loop : Ast.loop) =
+  match loop.trip with
+  | Ast.Trip_const n -> n
+  | Ast.Trip_param _ -> env.trip
+
+(** Dynamic operation counters for the ideal scalar execution. *)
+type counts = { loads : int; stores : int; ariths : int }
+
+let total_ops { loads; stores; ariths } = loads + stores + ariths
+
+(** [run ~mem ~env program] — execute the whole loop on [mem], returning the
+    ideal scalar operation counts. *)
+let run ~mem ~env (program : Ast.program) : counts =
+  let elem =
+    match program.arrays with
+    | [] -> invalid_arg "Interp.run: program has no arrays"
+    | d :: _ -> Ast.elem_width d.arr_ty
+  in
+  let ariths = ref 0 in
+  let ref_addr (r : Ast.mem_ref) i =
+    Layout.addr env.layout ~elem ~name:r.ref_array
+      ~index:((r.ref_stride * i) + r.ref_offset)
+  in
+  let rec eval i (e : Ast.expr) =
+    match e with
+    | Ast.Load r -> Simd_machine.Mem.load_scalar mem ~elem (ref_addr r i)
+    | Ast.Param x -> param_value env x
+    | Ast.Const c -> Simd_machine.Lane.canonicalize elem c
+    | Ast.Binop (op, a, b) ->
+      let va = eval i a in
+      let vb = eval i b in
+      incr ariths;
+      Simd_machine.Lane.apply elem op va vb
+  in
+  let n = trip_count env program.loop in
+  Simd_machine.Mem.reset_counters mem;
+  (* Accumulators live in registers across the loop (the idealized scalar
+     code the paper compares against would keep them there): load once,
+     accumulate per iteration, store once. *)
+  let acc_addr (s : Ast.stmt) =
+    Layout.addr env.layout ~elem ~name:s.lhs.Ast.ref_array ~index:0
+  in
+  let accs = Hashtbl.create 4 in
+  List.iter
+    (fun (s : Ast.stmt) ->
+      if Ast.is_reduction s then
+        Hashtbl.replace accs s.lhs.Ast.ref_array
+          (Simd_machine.Mem.load_scalar mem ~elem (acc_addr s)))
+    program.loop.body;
+  for i = 0 to n - 1 do
+    List.iter
+      (fun (s : Ast.stmt) ->
+        let v = eval i s.rhs in
+        match s.kind with
+        | Ast.Assign ->
+          Simd_machine.Mem.store_scalar mem ~elem (ref_addr s.lhs i) v
+        | Ast.Reduce op ->
+          incr ariths;
+          Hashtbl.replace accs s.lhs.Ast.ref_array
+            (Simd_machine.Lane.apply elem op
+               (Hashtbl.find accs s.lhs.Ast.ref_array)
+               v))
+      program.loop.body
+  done;
+  List.iter
+    (fun (s : Ast.stmt) ->
+      if Ast.is_reduction s then
+        Simd_machine.Mem.store_scalar mem ~elem (acc_addr s)
+          (Hashtbl.find accs s.lhs.Ast.ref_array))
+    program.loop.body;
+  let c = Simd_machine.Mem.counters mem in
+  { loads = c.scalar_loads; stores = c.scalar_stores; ariths = !ariths }
+
+(** [ideal_scalar_ops program ~trip] — the ideal count without executing:
+    per iteration, each store statement costs (#loads + #ariths + 1 store);
+    a reduction costs (#loads + #ariths + 1 accumulate) with the
+    accumulator's own load/store hoisted outside the loop. *)
+let ideal_scalar_ops (program : Ast.program) ~trip =
+  let per_iter =
+    Util.sum_by
+      (fun (s : Ast.stmt) ->
+        List.length (Ast.expr_loads s.rhs) + Ast.expr_op_count s.rhs + 1)
+      program.loop.body
+  in
+  let acc_io = 2 * List.length (List.filter Ast.is_reduction program.loop.body) in
+  (per_iter * trip) + acc_io
+
+(** [data_stored program ~trip] — total number of stored elements ("data"),
+    the denominator of the operations-per-datum metric. *)
+let data_stored (program : Ast.program) ~trip =
+  List.length program.loop.body * trip

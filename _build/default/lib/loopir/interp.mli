@@ -1,0 +1,29 @@
+(** Reference scalar interpreter — the semantic oracle every simdization is
+    differentially tested against — with the paper's "ideal scalar
+    instruction count" (one op per load, store, and arithmetic node;
+    accumulators register-hoisted; no address or loop overhead). *)
+
+type env = {
+  layout : Layout.t;
+  params : int64 Simd_support.Util.String_map.t;
+  trip : int;
+}
+
+val make_env :
+  layout:Layout.t -> ?params:(string * int64) list -> trip:int -> unit -> env
+
+val param_value : env -> string -> int64
+val trip_count : env -> Ast.loop -> int
+
+type counts = { loads : int; stores : int; ariths : int }
+
+val total_ops : counts -> int
+
+val run : mem:Simd_machine.Mem.t -> env:env -> Ast.program -> counts
+(** Execute the whole loop; returns the ideal scalar operation counts. *)
+
+val ideal_scalar_ops : Ast.program -> trip:int -> int
+(** The ideal count, computed without executing. *)
+
+val data_stored : Ast.program -> trip:int -> int
+(** Stored/accumulated elements — the OPD denominator. *)

@@ -1,0 +1,77 @@
+(** Placement of arrays into the simulator's memory arena.
+
+    Each array receives a contiguous region whose base address realizes its
+    declared alignment: [base ≡ k (mod V)] for [Known k], or an arbitrary
+    naturally-aligned address (drawn from a PRNG) for [Unknown]. Every array
+    is surrounded by at least [2V] bytes of guard padding because the
+    simdized code may issue truncated vector loads that reach up to one
+    vector before the first element (right-shift prologues) or past the last
+    (epilogue splice loads); the guards make those accesses well-defined
+    without ever being visible in results. *)
+
+open Simd_support
+
+type t = {
+  bases : int Util.String_map.t;  (** array name → base byte address *)
+  arena_size : int;
+}
+
+let base t name =
+  match Util.String_map.find_opt name t.bases with
+  | Some b -> b
+  | None -> invalid_arg (Printf.sprintf "Layout.base: unknown array %S" name)
+
+(** [addr t ~elem ~name ~index] — byte address of element [index]. *)
+let addr t ~elem ~name ~index = base t name + (index * elem)
+
+(** [create ~machine ~prng program] — place every array. [prng] supplies
+    alignments for [Unknown] arrays (deterministic given the seed). *)
+let create ~machine ?prng (program : Ast.program) =
+  let v = Simd_machine.Config.vector_len machine in
+  (* Strided gathers (and their epilogue virtual iterations) over-read
+     proportionally to the stride; scale the guard zones accordingly. *)
+  let max_stride =
+    List.fold_left
+      (fun m (r : Ast.mem_ref) -> max m r.Ast.ref_stride)
+      1
+      (Ast.program_refs program)
+  in
+  let guard = 2 * v * max_stride * 4 in
+  let cursor = ref guard in
+  let bases = ref Util.String_map.empty in
+  List.iter
+    (fun (d : Ast.array_decl) ->
+      let elem = Ast.elem_width d.arr_ty in
+      let align_target =
+        match d.arr_align with
+        | Ast.Known k -> k
+        | Ast.Unknown -> (
+          match prng with
+          | Some p -> Prng.int p ~bound:(v / elem) * elem
+          | None -> 0)
+      in
+      (* Advance to the next address ≡ align_target (mod V). *)
+      let base =
+        let c = !cursor in
+        let rounded = Util.round_up c v + align_target in
+        if rounded >= c then rounded else rounded + v
+      in
+      bases := Util.String_map.add d.arr_name base !bases;
+      cursor := base + (d.arr_len * elem) + guard)
+    program.arrays;
+  { bases = !bases; arena_size = Util.round_up (!cursor + guard) v }
+
+(** [actual_offset t ~machine ~elem r] — the realized stream offset of
+    reference [r] under this layout (always concrete, even for arrays
+    declared [Unknown]). *)
+let actual_offset t ~machine ~elem (r : Ast.mem_ref) =
+  Align.concrete ~machine ~base:(base t r.ref_array) ~elem ~offset:r.ref_offset
+
+(** [array_region t ~program name] — [(addr, len_bytes)] of the array's data,
+    for memory diffing in differential tests. *)
+let array_region t ~(program : Ast.program) name =
+  let d = Ast.find_array_exn program name in
+  (base t name, d.arr_len * Ast.elem_width d.arr_ty)
+
+let pp fmt t =
+  Util.String_map.iter (fun name b -> Format.fprintf fmt "%s@@%d " name b) t.bases

@@ -1,0 +1,28 @@
+(** Placement of arrays into the simulator's memory arena, honoring each
+    declared base alignment (runtime-unknown alignments are drawn from a
+    PRNG, naturally aligned), with ≥2V-byte guard zones around every array
+    so truncated out-of-range vector accesses stay well-defined. *)
+
+type t = {
+  bases : int Simd_support.Util.String_map.t;  (** array name → base address *)
+  arena_size : int;
+}
+
+val base : t -> string -> int
+val addr : t -> elem:int -> name:string -> index:int -> int
+
+val create :
+  machine:Simd_machine.Config.t ->
+  ?prng:Simd_support.Prng.t ->
+  Ast.program ->
+  t
+
+val actual_offset :
+  t -> machine:Simd_machine.Config.t -> elem:int -> Ast.mem_ref -> int
+(** The realized stream offset under this layout (concrete even for
+    [Unknown] declarations). *)
+
+val array_region : t -> program:Ast.program -> string -> int * int
+(** [(addr, len_bytes)] of an array's data, for memory diffing. *)
+
+val pp : Format.formatter -> t -> unit

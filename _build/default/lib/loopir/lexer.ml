@@ -1,0 +1,222 @@
+(** Hand-written lexer for the loop language.
+
+    Menhir/ocamllex are deliberately not used: the language is tiny and a
+    hand lexer gives precise, located error messages with no build-time
+    dependencies. *)
+
+type pos = { line : int; col : int }
+
+let pp_pos fmt { line; col } = Format.fprintf fmt "line %d, column %d" line col
+
+type token =
+  | IDENT of string
+  | INT of int64
+  | KW_PARAM
+  | KW_FOR
+  | KW_MIN
+  | KW_MAX
+  | KW_TYPE of Ast.elem_ty
+  | LBRACKET
+  | RBRACKET
+  | LPAREN
+  | RPAREN
+  | LBRACE
+  | RBRACE
+  | SEMI
+  | COMMA
+  | EQ
+  | PLUS
+  | PLUSPLUS
+  | MINUS
+  | STAR
+  | AMP
+  | BAR
+  | CARET
+  | LT
+  | AT
+  | QUESTION
+  | OPEQ of Ast.binop  (** compound assignment: [+=], [*=], [&=], [|=], [^=] *)
+  | EOF
+
+let token_name = function
+  | IDENT s -> Printf.sprintf "identifier %S" s
+  | INT n -> Printf.sprintf "integer %Ld" n
+  | KW_PARAM -> "'param'"
+  | KW_FOR -> "'for'"
+  | KW_MIN -> "'min'"
+  | KW_MAX -> "'max'"
+  | KW_TYPE t -> Printf.sprintf "'%s'" (Ast.elem_ty_name t)
+  | LBRACKET -> "'['"
+  | RBRACKET -> "']'"
+  | LPAREN -> "'('"
+  | RPAREN -> "')'"
+  | LBRACE -> "'{'"
+  | RBRACE -> "'}'"
+  | SEMI -> "';'"
+  | COMMA -> "','"
+  | EQ -> "'='"
+  | PLUS -> "'+'"
+  | PLUSPLUS -> "'++'"
+  | MINUS -> "'-'"
+  | STAR -> "'*'"
+  | AMP -> "'&'"
+  | BAR -> "'|'"
+  | CARET -> "'^'"
+  | LT -> "'<'"
+  | AT -> "'@'"
+  | QUESTION -> "'?'"
+  | OPEQ op -> Printf.sprintf "'%s='" (Simd_machine.Lane.binop_name op)
+  | EOF -> "end of input"
+
+exception Error of pos * string
+
+type t = {
+  src : string;
+  mutable idx : int;
+  mutable line : int;
+  mutable col : int;
+}
+
+let create src = { src; idx = 0; line = 1; col = 1 }
+
+let pos t = { line = t.line; col = t.col }
+
+let peek_char t = if t.idx < String.length t.src then Some t.src.[t.idx] else None
+
+let advance t =
+  (match peek_char t with
+  | Some '\n' ->
+    t.line <- t.line + 1;
+    t.col <- 1
+  | Some _ -> t.col <- t.col + 1
+  | None -> ());
+  t.idx <- t.idx + 1
+
+let error t msg = raise (Error (pos t, msg))
+
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+let is_ident_char c = is_ident_start c || (c >= '0' && c <= '9')
+let is_digit c = c >= '0' && c <= '9'
+
+let rec skip_ws_and_comments t =
+  match peek_char t with
+  | Some (' ' | '\t' | '\r' | '\n') ->
+    advance t;
+    skip_ws_and_comments t
+  | Some '/' when t.idx + 1 < String.length t.src && t.src.[t.idx + 1] = '/' ->
+    while peek_char t <> None && peek_char t <> Some '\n' do
+      advance t
+    done;
+    skip_ws_and_comments t
+  | Some '/' when t.idx + 1 < String.length t.src && t.src.[t.idx + 1] = '*' ->
+    let start = pos t in
+    advance t;
+    advance t;
+    let rec close () =
+      match peek_char t with
+      | None -> raise (Error (start, "unterminated comment"))
+      | Some '*' when t.idx + 1 < String.length t.src && t.src.[t.idx + 1] = '/' ->
+        advance t;
+        advance t
+      | Some _ ->
+        advance t;
+        close ()
+    in
+    close ();
+    skip_ws_and_comments t
+  | _ -> ()
+
+let lex_ident t =
+  let start = t.idx in
+  while
+    match peek_char t with Some c when is_ident_char c -> true | _ -> false
+  do
+    advance t
+  done;
+  let s = String.sub t.src start (t.idx - start) in
+  match s with
+  | "param" -> KW_PARAM
+  | "for" -> KW_FOR
+  | "min" -> KW_MIN
+  | "max" -> KW_MAX
+  | "int8" -> KW_TYPE Ast.I8
+  | "int16" -> KW_TYPE Ast.I16
+  | "int32" -> KW_TYPE Ast.I32
+  | "int64" -> KW_TYPE Ast.I64
+  | _ -> IDENT s
+
+let lex_int t =
+  let start = t.idx in
+  while match peek_char t with Some c when is_digit c -> true | _ -> false do
+    advance t
+  done;
+  let s = String.sub t.src start (t.idx - start) in
+  match Int64.of_string_opt s with
+  | Some n -> INT n
+  | None -> error t (Printf.sprintf "integer literal %s out of range" s)
+
+(** [next t] — the next token together with its starting position. *)
+let next t : pos * token =
+  skip_ws_and_comments t;
+  let p = pos t in
+  match peek_char t with
+  | None -> (p, EOF)
+  | Some c when is_ident_start c -> (p, lex_ident t)
+  | Some c when is_digit c -> (p, lex_int t)
+  | Some '+' ->
+    advance t;
+    if peek_char t = Some '+' then begin
+      advance t;
+      (p, PLUSPLUS)
+    end
+    else if peek_char t = Some '=' then begin
+      advance t;
+      (p, OPEQ Ast.Add)
+    end
+    else (p, PLUS)
+  | Some (('*' | '&' | '|' | '^') as c) when t.idx + 1 < String.length t.src
+                                             && t.src.[t.idx + 1] = '=' ->
+    advance t;
+    advance t;
+    let op =
+      match c with
+      | '*' -> Ast.Mul
+      | '&' -> Ast.And
+      | '|' -> Ast.Or
+      | _ -> Ast.Xor
+    in
+    (p, OPEQ op)
+  | Some c ->
+    advance t;
+    let tok =
+      match c with
+      | '[' -> LBRACKET
+      | ']' -> RBRACKET
+      | '(' -> LPAREN
+      | ')' -> RPAREN
+      | '{' -> LBRACE
+      | '}' -> RBRACE
+      | ';' -> SEMI
+      | ',' -> COMMA
+      | '=' -> EQ
+      | '-' -> MINUS
+      | '*' -> STAR
+      | '&' -> AMP
+      | '|' -> BAR
+      | '^' -> CARET
+      | '<' -> LT
+      | '@' -> AT
+      | '?' -> QUESTION
+      | _ -> raise (Error (p, Printf.sprintf "unexpected character %C" c))
+    in
+    (p, tok)
+
+(** [tokenize src] — the full token stream (positions included), ending with
+    [EOF]. *)
+let tokenize src =
+  let t = create src in
+  let rec go acc =
+    let ((_, tok) as item) = next t in
+    if tok = EOF then List.rev (item :: acc) else go (item :: acc)
+  in
+  go []

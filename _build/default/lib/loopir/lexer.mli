@@ -1,0 +1,51 @@
+(** Hand-written lexer for the loop language (positions, C-style comments,
+    compound-assignment tokens for the reduction extension). *)
+
+type pos = { line : int; col : int }
+
+val pp_pos : Format.formatter -> pos -> unit
+
+type token =
+  | IDENT of string
+  | INT of int64
+  | KW_PARAM
+  | KW_FOR
+  | KW_MIN
+  | KW_MAX
+  | KW_TYPE of Ast.elem_ty
+  | LBRACKET
+  | RBRACKET
+  | LPAREN
+  | RPAREN
+  | LBRACE
+  | RBRACE
+  | SEMI
+  | COMMA
+  | EQ
+  | PLUS
+  | PLUSPLUS
+  | MINUS
+  | STAR
+  | AMP
+  | BAR
+  | CARET
+  | LT
+  | AT
+  | QUESTION
+  | OPEQ of Ast.binop  (** [+=], [*=], [&=], [|=], [^=] *)
+  | EOF
+
+val token_name : token -> string
+
+exception Error of pos * string
+
+type t
+
+val create : string -> t
+val pos : t -> pos
+
+val next : t -> pos * token
+(** The next token with its starting position. *)
+
+val tokenize : string -> (pos * token) list
+(** The full stream, ending with [EOF]. *)

@@ -1,0 +1,330 @@
+(** Recursive-descent parser for the loop language.
+
+    Grammar (EBNF):
+    {v
+      program   ::= decl* loop
+      decl      ::= type IDENT '[' INT ']' ('@' (INT | '?'))? ';'
+                  | 'param' IDENT ';'
+      loop      ::= 'for' '(' IDENT '=' '0' ';' IDENT '<' bound ';' IDENT '++' ')'
+                    '{' stmt* '}'
+      bound     ::= INT | IDENT
+      stmt      ::= ref '=' expr ';'
+      ref       ::= IDENT '[' IDENT (('+'|'-') INT)? ']'
+      expr      ::= or_expr
+      or_expr   ::= xor_expr ('|' xor_expr)*
+      xor_expr  ::= and_expr ('^' and_expr)*
+      and_expr  ::= add_expr ('&' add_expr)*
+      add_expr  ::= mul_expr (('+'|'-') mul_expr)*
+      mul_expr  ::= atom ('*' atom)*
+      atom      ::= ref | IDENT | INT | '(' expr ')'
+                  | ('min'|'max') '(' expr ',' expr ')'
+    v}
+
+    An [IDENT] atom resolves to a scalar parameter; array names may only
+    appear in references. The parser performs that resolution using the
+    declarations seen so far, so declarations must precede the loop. *)
+
+exception Error of Lexer.pos * string
+
+let error pos fmt = Format.kasprintf (fun msg -> raise (Error (pos, msg))) fmt
+
+type state = {
+  mutable toks : (Lexer.pos * Lexer.token) list;
+  mutable arrays : Ast.array_decl list;  (* reversed *)
+  mutable params : string list;  (* reversed *)
+}
+
+let peek st =
+  match st.toks with
+  | [] -> assert false (* stream always ends with EOF *)
+  | t :: _ -> t
+
+let advance st = match st.toks with [] -> assert false | _ :: rest -> st.toks <- rest
+
+let next st =
+  let t = peek st in
+  advance st;
+  t
+
+let expect st tok =
+  let pos, got = next st in
+  if got <> tok then
+    error pos "expected %s but found %s" (Lexer.token_name tok) (Lexer.token_name got)
+
+let expect_ident st =
+  match next st with
+  | _, Lexer.IDENT s -> s
+  | pos, got -> error pos "expected identifier but found %s" (Lexer.token_name got)
+
+let expect_int st =
+  match next st with
+  | pos, Lexer.INT n ->
+    if Int64.compare n (Int64.of_int max_int) > 0 then error pos "integer too large";
+    Int64.to_int n
+  | pos, got -> error pos "expected integer but found %s" (Lexer.token_name got)
+
+let is_array st name = List.exists (fun d -> d.Ast.arr_name = name) st.arrays
+let is_param st name = List.mem name st.params
+
+let check_fresh st pos name =
+  if is_array st name || is_param st name then
+    error pos "duplicate declaration of %S" name
+
+(* --- declarations ------------------------------------------------- *)
+
+let parse_array_decl st ty =
+  let pos, _ = peek st in
+  let name = expect_ident st in
+  check_fresh st pos name;
+  expect st Lexer.LBRACKET;
+  let len = expect_int st in
+  if len <= 0 then error pos "array %S must have positive length" name;
+  expect st Lexer.RBRACKET;
+  let align =
+    match peek st with
+    | _, Lexer.AT ->
+      advance st;
+      (match next st with
+      | _, Lexer.INT n -> Ast.Known (Int64.to_int n)
+      | _, Lexer.QUESTION -> Ast.Unknown
+      | p, got ->
+        error p "expected alignment (integer or '?') but found %s"
+          (Lexer.token_name got))
+    | _ -> Ast.Known 0
+  in
+  expect st Lexer.SEMI;
+  st.arrays <-
+    { Ast.arr_name = name; arr_ty = ty; arr_len = len; arr_align = align }
+    :: st.arrays
+
+let parse_param_decl st =
+  let pos, _ = peek st in
+  let name = expect_ident st in
+  check_fresh st pos name;
+  expect st Lexer.SEMI;
+  st.params <- name :: st.params
+
+(* --- expressions --------------------------------------------------- *)
+
+let parse_ref st ~counter name =
+  (* [name '['] already consumed up to '['; index forms are [i±c] and the
+     strided-gather extension [s*i±c] with s ∈ {2, 4}. *)
+  let pos, _ = peek st in
+  let stride =
+    match peek st with
+    | _, Lexer.INT n ->
+      advance st;
+      expect st Lexer.STAR;
+      let s = Int64.to_int n in
+      if not (List.mem s Ast.supported_strides) then
+        error pos "unsupported stride %d (supported: 1, 2, 4)" s;
+      s
+    | _ -> 1
+  in
+  let idx = expect_ident st in
+  if idx <> counter then
+    error pos "index must be the loop counter %S (affine references only), got %S"
+      counter idx;
+  let offset =
+    match peek st with
+    | _, Lexer.PLUS ->
+      advance st;
+      expect_int st
+    | _, Lexer.MINUS ->
+      advance st;
+      -expect_int st
+    | _ -> 0
+  in
+  expect st Lexer.RBRACKET;
+  { Ast.ref_array = name; ref_offset = offset; ref_stride = stride }
+
+let rec parse_expr st ~counter = parse_or st ~counter
+
+and parse_binop_chain st ~counter ~sub ~ops =
+  let lhs = ref (sub st ~counter) in
+  let rec go () =
+    match peek st with
+    | _, tok -> (
+      match List.assoc_opt tok ops with
+      | Some op ->
+        advance st;
+        let rhs = sub st ~counter in
+        lhs := Ast.Binop (op, !lhs, rhs);
+        go ()
+      | None -> ())
+  in
+  go ();
+  !lhs
+
+and parse_or st ~counter =
+  parse_binop_chain st ~counter ~sub:parse_xor ~ops:[ (Lexer.BAR, Ast.Or) ]
+
+and parse_xor st ~counter =
+  parse_binop_chain st ~counter ~sub:parse_and ~ops:[ (Lexer.CARET, Ast.Xor) ]
+
+and parse_and st ~counter =
+  parse_binop_chain st ~counter ~sub:parse_add ~ops:[ (Lexer.AMP, Ast.And) ]
+
+and parse_add st ~counter =
+  parse_binop_chain st ~counter ~sub:parse_mul
+    ~ops:[ (Lexer.PLUS, Ast.Add); (Lexer.MINUS, Ast.Sub) ]
+
+and parse_mul st ~counter =
+  parse_binop_chain st ~counter ~sub:parse_atom ~ops:[ (Lexer.STAR, Ast.Mul) ]
+
+and parse_atom st ~counter =
+  match next st with
+  | _, Lexer.INT n -> Ast.Const n
+  | _, Lexer.LPAREN ->
+    let e = parse_expr st ~counter in
+    expect st Lexer.RPAREN;
+    e
+  | _, Lexer.KW_MIN ->
+    expect st Lexer.LPAREN;
+    let a = parse_expr st ~counter in
+    expect st Lexer.COMMA;
+    let b = parse_expr st ~counter in
+    expect st Lexer.RPAREN;
+    Ast.Binop (Ast.Min, a, b)
+  | _, Lexer.KW_MAX ->
+    expect st Lexer.LPAREN;
+    let a = parse_expr st ~counter in
+    expect st Lexer.COMMA;
+    let b = parse_expr st ~counter in
+    expect st Lexer.RPAREN;
+    Ast.Binop (Ast.Max, a, b)
+  | pos, Lexer.MINUS -> (
+    (* negative literal *)
+    match next st with
+    | _, Lexer.INT n -> Ast.Const (Int64.neg n)
+    | _, got ->
+      error pos "expected integer after unary '-' but found %s" (Lexer.token_name got))
+  | pos, Lexer.IDENT name -> (
+    match peek st with
+    | _, Lexer.LBRACKET ->
+      if not (is_array st name) then error pos "undeclared array %S" name;
+      advance st;
+      Ast.Load (parse_ref st ~counter name)
+    | _ ->
+      if is_array st name then
+        error pos "array %S used without an index" name
+      else if is_param st name then Ast.Param name
+      else error pos "undeclared identifier %S" name)
+  | pos, got -> error pos "expected expression but found %s" (Lexer.token_name got)
+
+(* --- statements and loop ------------------------------------------- *)
+
+let parse_stmt st ~counter =
+  let pos, tok = next st in
+  match tok with
+  | Lexer.IDENT name -> (
+    if not (is_array st name) then error pos "undeclared array %S in store" name;
+    let finish_reduction op =
+      let rhs = parse_expr st ~counter in
+      expect st Lexer.SEMI;
+      {
+        Ast.lhs = { Ast.ref_array = name; ref_offset = 0; ref_stride = 1 };
+        rhs;
+        kind = Ast.Reduce op;
+      }
+    in
+    match peek st with
+    | _, Lexer.LBRACKET ->
+      advance st;
+      let lhs = parse_ref st ~counter name in
+      expect st Lexer.EQ;
+      let rhs = parse_expr st ~counter in
+      expect st Lexer.SEMI;
+      { Ast.lhs; rhs; kind = Ast.Assign }
+    | _, Lexer.OPEQ op ->
+      advance st;
+      finish_reduction op
+    | _, Lexer.KW_MIN ->
+      advance st;
+      expect st Lexer.EQ;
+      finish_reduction Ast.Min
+    | _, Lexer.KW_MAX ->
+      advance st;
+      expect st Lexer.EQ;
+      finish_reduction Ast.Max
+    | p, got ->
+      error p "expected '[', '+=', '*=', '&=', '|=', '^=', 'min=' or 'max=' \
+               after %S but found %s" name (Lexer.token_name got))
+  | got -> error pos "expected a statement but found %s" (Lexer.token_name got)
+
+let parse_loop st =
+  expect st Lexer.KW_FOR;
+  expect st Lexer.LPAREN;
+  let pos_c, _ = peek st in
+  let counter = expect_ident st in
+  if is_array st counter || is_param st counter then
+    error pos_c "loop counter %S clashes with a declaration" counter;
+  expect st Lexer.EQ;
+  let pos0, _ = peek st in
+  let zero = expect_int st in
+  if zero <> 0 then error pos0 "loops must be normalized: lower bound must be 0";
+  expect st Lexer.SEMI;
+  let pos_c2, _ = peek st in
+  let c2 = expect_ident st in
+  if c2 <> counter then error pos_c2 "condition must test the loop counter %S" counter;
+  expect st Lexer.LT;
+  let trip =
+    match next st with
+    | _, Lexer.INT n -> Ast.Trip_const (Int64.to_int n)
+    | pos, Lexer.IDENT x ->
+      if not (is_param st x) then error pos "trip count %S is not a declared param" x;
+      Ast.Trip_param x
+    | pos, got ->
+      error pos "expected trip count (integer or param) but found %s"
+        (Lexer.token_name got)
+  in
+  expect st Lexer.SEMI;
+  let pos_c3, _ = peek st in
+  let c3 = expect_ident st in
+  if c3 <> counter then error pos_c3 "increment must update the loop counter %S" counter;
+  expect st Lexer.PLUSPLUS;
+  expect st Lexer.RPAREN;
+  expect st Lexer.LBRACE;
+  let rec stmts acc =
+    match peek st with
+    | _, Lexer.RBRACE ->
+      advance st;
+      List.rev acc
+    | _ -> stmts (parse_stmt st ~counter :: acc)
+  in
+  let body = stmts [] in
+  { Ast.counter; trip; body }
+
+let parse_program st =
+  let rec decls () =
+    match peek st with
+    | _, Lexer.KW_TYPE ty ->
+      advance st;
+      parse_array_decl st ty;
+      decls ()
+    | _, Lexer.KW_PARAM ->
+      advance st;
+      parse_param_decl st;
+      decls ()
+    | _ -> ()
+  in
+  decls ();
+  let loop = parse_loop st in
+  expect st Lexer.EOF;
+  { Ast.arrays = List.rev st.arrays; params = List.rev st.params; loop }
+
+(** [program_of_string src] parses a full program.
+    Raises {!Error} or {!Lexer.Error} with a position on malformed input. *)
+let program_of_string src =
+  let st = { toks = Lexer.tokenize src; arrays = []; params = [] } in
+  parse_program st
+
+(** [program_of_string_result src] — same, as a [result] with a rendered
+    message. *)
+let program_of_string_result src =
+  match program_of_string src with
+  | p -> Ok p
+  | exception Error (pos, msg) ->
+    Error (Format.asprintf "parse error at %a: %s" Lexer.pp_pos pos msg)
+  | exception Lexer.Error (pos, msg) ->
+    Error (Format.asprintf "lex error at %a: %s" Lexer.pp_pos pos msg)

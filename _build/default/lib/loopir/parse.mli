@@ -1,0 +1,11 @@
+(** Recursive-descent parser for the loop language (see the .ml for the
+    grammar). Declarations must precede the loop; array names resolve to
+    references, other identifiers to parameters. *)
+
+exception Error of Lexer.pos * string
+
+val program_of_string : string -> Ast.program
+(** Raises {!Error} or {!Lexer.Error} with a position on malformed input. *)
+
+val program_of_string_result : string -> (Ast.program, string) result
+(** Same, with a rendered error message. *)

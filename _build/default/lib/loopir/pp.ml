@@ -1,0 +1,89 @@
+(** Pretty-printing of loop programs to concrete syntax.
+
+    The output is valid input for {!Parse.program_of_string}; the round trip
+    is property-tested. Operator precedence follows C ([*] over [+]/[-] over
+    [&] over [^] over [|]); [min]/[max] print as calls. *)
+
+open Ast
+
+let binop_symbol = function
+  | Add -> "+"
+  | Sub -> "-"
+  | Mul -> "*"
+  | And -> "&"
+  | Or -> "|"
+  | Xor -> "^"
+  | Min | Max -> assert false (* printed as calls *)
+
+(* Precedence levels, higher binds tighter. *)
+let binop_prec = function
+  | Mul -> 5
+  | Add | Sub -> 4
+  | And -> 3
+  | Xor -> 2
+  | Or -> 1
+  | Min | Max -> 6
+
+let pp_mem_ref fmt { ref_array; ref_offset; ref_stride } =
+  let idx = if ref_stride = 1 then "i" else Printf.sprintf "%d*i" ref_stride in
+  if ref_offset = 0 then Format.fprintf fmt "%s[%s]" ref_array idx
+  else if ref_offset > 0 then
+    Format.fprintf fmt "%s[%s+%d]" ref_array idx ref_offset
+  else Format.fprintf fmt "%s[%s-%d]" ref_array idx (-ref_offset)
+
+let rec pp_expr_prec prec fmt e =
+  match e with
+  | Load r -> pp_mem_ref fmt r
+  | Param x -> Format.pp_print_string fmt x
+  | Const c ->
+    if Int64.compare c 0L < 0 then Format.fprintf fmt "(%Ld)" c
+    else Format.fprintf fmt "%Ld" c
+  | Binop ((Min | Max) as op, a, b) ->
+    Format.fprintf fmt "%s(%a, %a)"
+      (match op with Min -> "min" | _ -> "max")
+      (pp_expr_prec 0) a (pp_expr_prec 0) b
+  | Binop (op, a, b) ->
+    let p = binop_prec op in
+    let needs_parens = p < prec in
+    if needs_parens then Format.pp_print_string fmt "(";
+    (* Left-associative: the right operand needs strictly higher precedence. *)
+    Format.fprintf fmt "%a %s %a" (pp_expr_prec p) a (binop_symbol op)
+      (pp_expr_prec (p + 1)) b;
+    if needs_parens then Format.pp_print_string fmt ")"
+
+let pp_expr fmt e = pp_expr_prec 0 fmt e
+
+let pp_stmt fmt { lhs; rhs; kind } =
+  match kind with
+  | Assign -> Format.fprintf fmt "%a = %a;" pp_mem_ref lhs pp_expr rhs
+  | Reduce ((Min | Max) as op) ->
+    Format.fprintf fmt "%s %s= %a;" lhs.ref_array
+      (match op with Min -> "min" | _ -> "max")
+      pp_expr rhs
+  | Reduce op ->
+    Format.fprintf fmt "%s %s= %a;" lhs.ref_array (binop_symbol op) pp_expr rhs
+
+let pp_align fmt = function
+  | Known k -> Format.pp_print_int fmt k
+  | Unknown -> Format.pp_print_string fmt "?"
+
+let pp_array_decl fmt { arr_name; arr_ty; arr_len; arr_align } =
+  Format.fprintf fmt "%s %s[%d] @@ %a;" (elem_ty_name arr_ty) arr_name arr_len
+    pp_align arr_align
+
+let pp_trip fmt = function
+  | Trip_const n -> Format.pp_print_int fmt n
+  | Trip_param x -> Format.pp_print_string fmt x
+
+let pp_program fmt (p : program) =
+  List.iter (fun d -> Format.fprintf fmt "%a@\n" pp_array_decl d) p.arrays;
+  List.iter (fun x -> Format.fprintf fmt "param %s;@\n" x) p.params;
+  Format.fprintf fmt "for (%s = 0; %s < %a; %s++) {@\n" p.loop.counter
+    p.loop.counter pp_trip p.loop.trip p.loop.counter;
+  List.iter (fun s -> Format.fprintf fmt "  %a@\n" pp_stmt s) p.loop.body;
+  Format.fprintf fmt "}@\n"
+
+let program_to_string p = Format.asprintf "%a" pp_program p
+let expr_to_string e = Format.asprintf "%a" pp_expr e
+let stmt_to_string s = Format.asprintf "%a" pp_stmt s
+let mem_ref_to_string r = Format.asprintf "%a" pp_mem_ref r

@@ -1,0 +1,20 @@
+(** Pretty-printing of loop programs to concrete syntax; output re-parses
+    to an equal program (property-tested). *)
+
+val binop_symbol : Ast.binop -> string
+(** Infix symbol; raises on [Min]/[Max] (printed as calls). *)
+
+val binop_prec : Ast.binop -> int
+
+val pp_mem_ref : Format.formatter -> Ast.mem_ref -> unit
+val pp_expr : Format.formatter -> Ast.expr -> unit
+val pp_stmt : Format.formatter -> Ast.stmt -> unit
+val pp_align : Format.formatter -> Ast.base_align -> unit
+val pp_array_decl : Format.formatter -> Ast.array_decl -> unit
+val pp_trip : Format.formatter -> Ast.trip -> unit
+val pp_program : Format.formatter -> Ast.program -> unit
+
+val program_to_string : Ast.program -> string
+val expr_to_string : Ast.expr -> string
+val stmt_to_string : Ast.stmt -> string
+val mem_ref_to_string : Ast.mem_ref -> string

@@ -1,0 +1,1 @@
+lib/machine/config.ml: Format Simd_support

@@ -1,0 +1,1 @@
+lib/machine/lane.ml: Format Int64 Printf

@@ -1,0 +1,1 @@
+lib/machine/lane.mli: Format

@@ -1,0 +1,1 @@
+lib/machine/mem.ml: Bytes Char Config Int64 Lane Printf Simd_support Vec

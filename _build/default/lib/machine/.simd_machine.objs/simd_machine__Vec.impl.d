@@ -1,0 +1,1 @@
+lib/machine/vec.ml: Bytes Char Format Int64 Lane List

@@ -1,0 +1,1 @@
+lib/machine/vec.mli: Format Lane

@@ -1,0 +1,41 @@
+(** Target-machine description.
+
+    The paper targets "generic 16-byte wide SIMD units that are representative
+    of most SIMD architectures currently available" whose load-store unit
+    supports only [V]-byte aligned loads and stores (AltiVec semantics: the
+    low bits of the address are silently ignored). We keep the vector length
+    configurable so that tests can exercise 8- and 32-byte machines as well. *)
+
+type t = {
+  vector_len : int;  (** [V]: vector register length in bytes; a power of two. *)
+}
+
+let create ~vector_len =
+  if not (Simd_support.Util.is_pow2 vector_len) then
+    invalid_arg "Config.create: vector_len must be a power of two";
+  if vector_len < 4 || vector_len > 64 then
+    invalid_arg "Config.create: vector_len out of supported range [4, 64]";
+  { vector_len }
+
+(** The paper's machine: V = 16 bytes (AltiVec / VMX / SSE class). *)
+let default = create ~vector_len:16
+
+let vector_len t = t.vector_len
+
+(** [blocking_factor t ~elem] is [B = V/D] (paper Eq. 7): the number of data
+    of width [elem] packed in one vector register. *)
+let blocking_factor t ~elem =
+  if elem <= 0 || t.vector_len mod elem <> 0 then
+    invalid_arg "Config.blocking_factor: element width must divide V";
+  t.vector_len / elem
+
+(** [truncate_addr t addr] models the memory unit: the effective address of a
+    vector load or store is [addr] with its low [log2 V] bits ignored. *)
+let truncate_addr t addr = addr land lnot (t.vector_len - 1)
+
+(** [alignment t addr] is [addr mod V]: the byte offset of [addr] within its
+    enclosing [V]-byte chunk. This is what the paper calls the (mis)alignment
+    of a memory reference. *)
+let alignment t addr = addr land (t.vector_len - 1)
+
+let pp fmt t = Format.fprintf fmt "machine(V=%d)" t.vector_len

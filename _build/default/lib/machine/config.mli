@@ -1,0 +1,27 @@
+(** Target-machine description: a SIMD unit with [V]-byte vector registers
+    whose loads and stores silently truncate addresses to [V]-byte
+    boundaries (AltiVec semantics; paper §1/§2.1). *)
+
+type t
+
+val create : vector_len:int -> t
+(** [create ~vector_len] — a machine with [V = vector_len] bytes per vector
+    register; must be a power of two in [\[4, 64\]]. *)
+
+val default : t
+(** The paper's machine: V = 16 bytes (AltiVec / VMX / SSE class). *)
+
+val vector_len : t -> int
+
+val blocking_factor : t -> elem:int -> int
+(** [B = V/D] (paper Eq. 7): data of width [elem] per vector register. *)
+
+val truncate_addr : t -> int -> int
+(** The effective address of a vector memory access: low [log2 V] bits
+    cleared. *)
+
+val alignment : t -> int -> int
+(** [addr mod V]: the byte offset of an address within its enclosing chunk
+    — the paper's (mis)alignment of a reference. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,159 @@
+(** Byte-addressed memory with the paper's truncating vector access semantics.
+
+    Memory is a flat byte arena. Vector loads and stores ignore the low
+    [log2 V] address bits, exactly as AltiVec's [lvx]/[stvx] do (paper §1:
+    "a load instruction loads 16-byte contiguous memory from 16-byte aligned
+    memory, ignoring the last 4 bits of the memory address"). Scalar accesses
+    are byte-exact. The simulator places arrays with guard padding so that
+    truncated accesses just past either end of an array stay in bounds. *)
+
+type t = {
+  config : Config.t;
+  data : Bytes.t;
+  mutable scalar_loads : int;
+  mutable scalar_stores : int;
+  mutable vector_loads : int;
+  mutable vector_stores : int;
+}
+
+let create config ~size =
+  if size <= 0 then invalid_arg "Mem.create: non-positive size";
+  {
+    config;
+    data = Bytes.make size '\000';
+    scalar_loads = 0;
+    scalar_stores = 0;
+    vector_loads = 0;
+    vector_stores = 0;
+  }
+
+let size t = Bytes.length t.data
+let config t = t.config
+
+let copy t =
+  {
+    config = t.config;
+    data = Bytes.copy t.data;
+    scalar_loads = t.scalar_loads;
+    scalar_stores = t.scalar_stores;
+    vector_loads = t.vector_loads;
+    vector_stores = t.vector_stores;
+  }
+
+let check_range t addr len what =
+  if addr < 0 || addr + len > Bytes.length t.data then
+    invalid_arg
+      (Printf.sprintf "Mem.%s: address %d (+%d) out of arena [0, %d)" what addr
+         len (Bytes.length t.data))
+
+(** [load_vector t addr] — truncating vector load; counts one dynamic vector
+    load. *)
+let load_vector t addr =
+  let v = Config.vector_len t.config in
+  let base = Config.truncate_addr t.config addr in
+  check_range t base v "load_vector";
+  t.vector_loads <- t.vector_loads + 1;
+  Vec.of_bytes (Bytes.sub t.data base v)
+
+(** [effective_vector_addr t addr] — the address a vector access actually
+    touches (for never-load-twice instrumentation). *)
+let effective_vector_addr t addr = Config.truncate_addr t.config addr
+
+(** [store_vector t addr vec] — truncating vector store; counts one dynamic
+    vector store. *)
+let store_vector t addr vec =
+  let v = Config.vector_len t.config in
+  if Vec.length vec <> v then invalid_arg "Mem.store_vector: wrong vector length";
+  let base = Config.truncate_addr t.config addr in
+  check_range t base v "store_vector";
+  t.vector_stores <- t.vector_stores + 1;
+  Bytes.blit (Vec.to_bytes vec) 0 t.data base v
+
+(** [load_scalar t ~elem addr] — byte-exact scalar load of an [elem]-byte
+    little-endian signed value; counts one dynamic scalar load. *)
+let load_scalar t ~elem addr =
+  Lane.check_width elem;
+  check_range t addr elem "load_scalar";
+  t.scalar_loads <- t.scalar_loads + 1;
+  let raw = ref 0L in
+  for k = elem - 1 downto 0 do
+    raw :=
+      Int64.logor (Int64.shift_left !raw 8)
+        (Int64.of_int (Char.code (Bytes.get t.data (addr + k))))
+  done;
+  Lane.canonicalize elem !raw
+
+(** [store_scalar t ~elem addr v] — byte-exact scalar store; counts one
+    dynamic scalar store. *)
+let store_scalar t ~elem addr v =
+  Lane.check_width elem;
+  check_range t addr elem "store_scalar";
+  t.scalar_stores <- t.scalar_stores + 1;
+  let x = ref v in
+  for k = 0 to elem - 1 do
+    Bytes.set t.data (addr + k) (Char.chr (Int64.to_int (Int64.logand !x 0xFFL)));
+    x := Int64.shift_right_logical !x 8
+  done
+
+(** [peek_bytes t addr len] — inspection without counting (for test oracles
+    and memory diffing). *)
+let peek_bytes t addr len =
+  check_range t addr len "peek_bytes";
+  Bytes.sub t.data addr len
+
+(** [peek_scalar t ~elem addr] — inspection without counting. *)
+let peek_scalar t ~elem addr =
+  Lane.check_width elem;
+  check_range t addr elem "peek_scalar";
+  let raw = ref 0L in
+  for k = elem - 1 downto 0 do
+    raw :=
+      Int64.logor (Int64.shift_left !raw 8)
+        (Int64.of_int (Char.code (Bytes.get t.data (addr + k))))
+  done;
+  Lane.canonicalize elem !raw
+
+(** [poke_scalar t ~elem addr v] — initialization without counting. *)
+let poke_scalar t ~elem addr v =
+  Lane.check_width elem;
+  check_range t addr elem "poke_scalar";
+  let x = ref v in
+  for k = 0 to elem - 1 do
+    Bytes.set t.data (addr + k) (Char.chr (Int64.to_int (Int64.logand !x 0xFFL)));
+    x := Int64.shift_right_logical !x 8
+  done
+
+(** [fill_random t prng] — fill the whole arena with deterministic noise so
+    that "garbage" bytes around arrays are distinguishable from zeros in
+    differential tests. *)
+let fill_random t prng =
+  for i = 0 to Bytes.length t.data - 1 do
+    Bytes.set t.data i (Char.chr (Simd_support.Prng.int prng ~bound:256))
+  done
+
+type counters = {
+  scalar_loads : int;
+  scalar_stores : int;
+  vector_loads : int;
+  vector_stores : int;
+}
+
+let counters (t : t) : counters =
+  {
+    scalar_loads = t.scalar_loads;
+    scalar_stores = t.scalar_stores;
+    vector_loads = t.vector_loads;
+    vector_stores = t.vector_stores;
+  }
+
+let reset_counters (t : t) =
+  t.scalar_loads <- 0;
+  t.scalar_stores <- 0;
+  t.vector_loads <- 0;
+  t.vector_stores <- 0
+
+(** [equal_region a b ~addr ~len] — compare a byte range across two arenas. *)
+let equal_region a b ~addr ~len =
+  check_range a addr len "equal_region";
+  check_range b addr len "equal_region";
+  Bytes.equal (Bytes.sub a.data addr len) (Bytes.sub b.data addr len)

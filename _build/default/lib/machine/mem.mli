@@ -1,0 +1,48 @@
+(** Byte-addressed memory with the paper's truncating vector access
+    semantics ("a load instruction loads 16-byte contiguous memory from
+    16-byte aligned memory, ignoring the last 4 bits of the address").
+    Counts dynamic accesses by class. *)
+
+type t
+
+val create : Config.t -> size:int -> t
+val size : t -> int
+val config : t -> Config.t
+val copy : t -> t
+
+val load_vector : t -> int -> Vec.t
+(** Truncating vector load; counts one dynamic vector load. *)
+
+val effective_vector_addr : t -> int -> int
+(** The address a vector access actually touches (for load tracing). *)
+
+val store_vector : t -> int -> Vec.t -> unit
+(** Truncating vector store; counts one dynamic vector store. *)
+
+val load_scalar : t -> elem:int -> int -> int64
+(** Byte-exact scalar load (little-endian, signed); counted. *)
+
+val store_scalar : t -> elem:int -> int -> int64 -> unit
+(** Byte-exact scalar store; counted. *)
+
+val peek_bytes : t -> int -> int -> bytes
+(** Inspection without counting. *)
+
+val peek_scalar : t -> elem:int -> int -> int64
+val poke_scalar : t -> elem:int -> int -> int64 -> unit
+
+val fill_random : t -> Simd_support.Prng.t -> unit
+(** Fill the arena with deterministic noise (differential-test worlds). *)
+
+type counters = {
+  scalar_loads : int;
+  scalar_stores : int;
+  vector_loads : int;
+  vector_stores : int;
+}
+
+val counters : t -> counters
+val reset_counters : t -> unit
+
+val equal_region : t -> t -> addr:int -> len:int -> bool
+(** Compare a byte range across two arenas. *)

@@ -1,0 +1,145 @@
+(** Vector register values and the generic data-reorganization operations.
+
+    A vector value is an immutable array of [V] bytes. Lanes of width [D] are
+    laid out at ascending byte offsets — lane [k] occupies bytes
+    [k*D .. (k+1)*D - 1] — and are encoded little-endian so that the
+    simulator, the portable-C emitter output (run on x86-64 in tests) and the
+    scalar interpreter all agree on memory contents.
+
+    The three generic reorganization operations are the ones of paper §2.2:
+    [splat], [shiftpair] and [splice]. *)
+
+type t = Bytes.t
+(* Invariant: never mutated after construction; length = V of the machine. *)
+
+let length = Bytes.length
+
+let check_same_len v1 v2 =
+  if Bytes.length v1 <> Bytes.length v2 then
+    invalid_arg "Vec: vector length mismatch"
+
+let zero ~vector_len = Bytes.make vector_len '\000'
+
+let of_bytes b = Bytes.copy b
+let to_bytes v = Bytes.copy v
+
+let get_byte v i = Char.code (Bytes.get v i)
+
+let init ~vector_len f =
+  Bytes.init vector_len (fun i -> Char.chr (f i land 0xff))
+
+let equal = Bytes.equal
+
+(** [read_lane v ~elem ~lane] reads lane [lane] of width [elem], sign-extended
+    (little-endian byte order). *)
+let read_lane v ~elem ~lane =
+  Lane.check_width elem;
+  let base = lane * elem in
+  if base < 0 || base + elem > Bytes.length v then
+    invalid_arg "Vec.read_lane: lane out of range";
+  let raw = ref 0L in
+  for k = elem - 1 downto 0 do
+    raw := Int64.logor (Int64.shift_left !raw 8) (Int64.of_int (get_byte v (base + k)))
+  done;
+  Lane.canonicalize elem !raw
+
+(** [write_lane b ~elem ~lane value] writes into a mutable scratch buffer. *)
+let write_lane b ~elem ~lane value =
+  Lane.check_width elem;
+  let base = lane * elem in
+  if base < 0 || base + elem > Bytes.length b then
+    invalid_arg "Vec.write_lane: lane out of range";
+  let v = ref value in
+  for k = 0 to elem - 1 do
+    Bytes.set b (base + k) (Char.chr (Int64.to_int (Int64.logand !v 0xFFL)));
+    v := Int64.shift_right_logical !v 8
+  done
+
+(** [of_lanes ~vector_len ~elem lanes] builds a vector from [V/D] lane
+    values. *)
+let of_lanes ~vector_len ~elem lanes =
+  if List.length lanes * elem <> vector_len then
+    invalid_arg "Vec.of_lanes: wrong number of lanes";
+  let b = Bytes.make vector_len '\000' in
+  List.iteri (fun lane v -> write_lane b ~elem ~lane v) lanes;
+  b
+
+(** [to_lanes v ~elem] reads out all lanes. *)
+let to_lanes v ~elem =
+  let n = Bytes.length v / elem in
+  List.init n (fun lane -> read_lane v ~elem ~lane)
+
+(** [splat ~vector_len ~elem x] replicates the scalar [x] across all lanes —
+    paper §2.2 [vsplat], AltiVec [vec_splat]. *)
+let splat ~vector_len ~elem x =
+  let b = Bytes.make vector_len '\000' in
+  for lane = 0 to (vector_len / elem) - 1 do
+    write_lane b ~elem ~lane x
+  done;
+  b
+
+(** [shiftpair v1 v2 ~shift] selects bytes [shift .. shift+V-1] from the
+    double-length concatenation [v1 ++ v2] — paper §2.2 [vshiftpair],
+    implementable with AltiVec [vec_perm]. Requires [0 <= shift <= V]
+    ([shift = 0] copies [v1]; [shift = V] copies [v2] — the latter arises in
+    runtime right-shift code when the store turns out to be aligned, where
+    the shift amount is computed as [V - offset] with [offset = 0]). *)
+let shiftpair v1 v2 ~shift =
+  check_same_len v1 v2;
+  let v = Bytes.length v1 in
+  if shift < 0 || shift > v then invalid_arg "Vec.shiftpair: shift out of range";
+  Bytes.init v (fun i ->
+      let src = i + shift in
+      if src < v then Bytes.get v1 src else Bytes.get v2 (src - v))
+
+(** [splice v1 v2 ~point] concatenates the first [point] bytes of [v1] with
+    the last [V - point] bytes of [v2]: [out.(j) = if j < point then v1.(j)
+    else v2.(j)] — paper §2.2 [vsplice], implementable with AltiVec
+    [vec_sel]. [point = 0] copies [v2]; [point = V] copies [v1]. *)
+let splice v1 v2 ~point =
+  check_same_len v1 v2;
+  let v = Bytes.length v1 in
+  if point < 0 || point > v then invalid_arg "Vec.splice: point out of range";
+  Bytes.init v (fun i -> if i < point then Bytes.get v1 i else Bytes.get v2 i)
+
+(** [binop ~elem op v1 v2] applies [op] lane-wise at width [elem]. *)
+let binop ~elem op v1 v2 =
+  check_same_len v1 v2;
+  Lane.check_width elem;
+  let vl = Bytes.length v1 in
+  if vl mod elem <> 0 then invalid_arg "Vec.binop: width does not divide V";
+  let out = Bytes.make vl '\000' in
+  for lane = 0 to (vl / elem) - 1 do
+    let a = read_lane v1 ~elem ~lane and b = read_lane v2 ~elem ~lane in
+    write_lane out ~elem ~lane (Lane.apply elem op a b)
+  done;
+  out
+
+let pp ?(elem = 4) fmt v =
+  let lanes = to_lanes v ~elem in
+  Format.fprintf fmt "<%a>"
+    (Format.pp_print_list
+       ~pp_sep:(fun f () -> Format.pp_print_string f ", ")
+       (fun f x -> Format.fprintf f "%Ld" x))
+    lanes
+
+(** [pack_even ~elem v1 v2] selects the even-indexed elements of the
+    2V-byte concatenation [v1 ++ v2]: output lane [k] is concat lane [2k].
+    This is the gather step of the strided-load extension, implementable
+    with AltiVec [vec_perm] (compile-time mask) or SSSE3 [pshufb]. *)
+let pack_even ~elem v1 v2 =
+  check_same_len v1 v2;
+  Lane.check_width elem;
+  let vl = Bytes.length v1 in
+  if vl mod elem <> 0 then invalid_arg "Vec.pack_even: width does not divide V";
+  let lanes = vl / elem in
+  let out = Bytes.make vl '\000' in
+  for k = 0 to lanes - 1 do
+    let src = 2 * k in
+    let value =
+      if src < lanes then read_lane v1 ~elem ~lane:src
+      else read_lane v2 ~elem ~lane:(src - lanes)
+    in
+    write_lane out ~elem ~lane:k value
+  done;
+  out

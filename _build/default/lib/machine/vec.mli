@@ -1,0 +1,50 @@
+(** Vector register values and the generic data-reorganization operations
+    of paper §2.2 ([vsplat], [vshiftpair], [vsplice]).
+
+    A value is an immutable [V]-byte register; lanes of width [D] occupy
+    ascending byte offsets, little-endian (so the simulator agrees with the
+    C the emitter produces on x86-64). *)
+
+type t
+
+val length : t -> int
+
+val zero : vector_len:int -> t
+val of_bytes : bytes -> t
+val to_bytes : t -> bytes
+val get_byte : t -> int -> int
+
+val init : vector_len:int -> (int -> int) -> t
+(** [init ~vector_len f] — byte [k] is [f k land 0xff]. *)
+
+val equal : t -> t -> bool
+
+val read_lane : t -> elem:int -> lane:int -> int64
+(** Sign-extended lane read. *)
+
+val write_lane : bytes -> elem:int -> lane:int -> int64 -> unit
+(** Write into a mutable scratch buffer. *)
+
+val of_lanes : vector_len:int -> elem:int -> int64 list -> t
+val to_lanes : t -> elem:int -> int64 list
+
+val splat : vector_len:int -> elem:int -> int64 -> t
+(** Replicate a scalar across all lanes ([vsplat]). *)
+
+val shiftpair : t -> t -> shift:int -> t
+(** Bytes [\[shift, shift+V)] of the concatenation ([vshiftpair],
+    AltiVec [vec_perm]). Domain [0 ≤ shift ≤ V]; [V] selects the second
+    operand entirely (needed by runtime right-shifts of aligned stores). *)
+
+val splice : t -> t -> point:int -> t
+(** First [point] bytes of the first operand, rest of the second
+    ([vsplice], AltiVec [vec_sel]). Domain [0 ≤ point ≤ V]. *)
+
+val binop : elem:int -> Lane.binop -> t -> t -> t
+(** Lane-wise operation at the given width. *)
+
+val pp : ?elem:int -> Format.formatter -> t -> unit
+
+val pack_even : elem:int -> t -> t -> t
+(** Even-indexed elements of the 2V concatenation — the gather step of the
+    strided-load extension (AltiVec [vec_perm] / SSSE3 [pshufb] class). *)

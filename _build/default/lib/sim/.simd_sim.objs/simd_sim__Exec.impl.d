@@ -1,0 +1,1 @@
+lib/sim/exec.pp.ml: Addr Ast Config Expr Hashtbl Lane Layout List Mem Ppx_deriving_runtime Printf Prog Rexpr Simd_loopir Simd_machine Simd_support Simd_vir Vec

@@ -1,0 +1,1 @@
+lib/sim/exec.pp.mli: Layout Ppx_deriving_runtime Prog Simd_loopir Simd_machine Simd_vir

@@ -1,0 +1,1 @@
+lib/sim/run.pp.ml: Ast Bytes Char Config Exec Format Int64 Interp Layout List Mem Printf Simd_loopir Simd_machine Simd_support Simd_vir

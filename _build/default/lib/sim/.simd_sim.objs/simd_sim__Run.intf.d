@@ -1,0 +1,1 @@
+lib/sim/run.pp.mli: Ast Exec Format Interp Layout Simd_loopir Simd_machine Simd_vir

@@ -1,0 +1,262 @@
+(** Execution of simdized programs on the machine model.
+
+    The executor is the stand-in for the paper's cycle-accurate simulator:
+    it runs a {!Simd_vir.Prog.t} against a byte arena with AltiVec-style
+    truncating vector memory operations and counts every dynamic operation
+    by class. It also records, per vector load, the effective (truncated)
+    address touched, which the never-load-the-same-data-twice property test
+    inspects. *)
+
+open Simd_loopir
+open Simd_vir
+open Simd_machine
+
+(** Dynamic operation counts, by class. Vector load/store counts come from
+    the memory model; the rest are counted here. [steady_iterations] lets
+    cost models charge per-iteration loop overhead (§5.3 charges the real
+    code's loop overhead against the idealized scalar bound). *)
+type counts = {
+  vloads : int;
+  vstores : int;
+  vops : int;
+  vsplats : int;
+  vshifts : int;
+  vsplices : int;
+  vpacks : int;  (** strided-gather packs (extension) *)
+  copies : int;
+  scalar_ops : int;  (** scalar arithmetic feeding splats *)
+  steady_iterations : int;
+}
+[@@deriving show { with_path = false }, eq]
+
+let zero_counts =
+  {
+    vloads = 0;
+    vstores = 0;
+    vops = 0;
+    vsplats = 0;
+    vsplices = 0;
+    vshifts = 0;
+    vpacks = 0;
+    copies = 0;
+    scalar_ops = 0;
+    steady_iterations = 0;
+  }
+
+(** Total vector-unit operations (the paper's operation count: every
+    dynamically executed instruction of the simdized loop). *)
+let total t =
+  t.vloads + t.vstores + t.vops + t.vsplats + t.vshifts + t.vsplices + t.vpacks
+  + t.copies
+
+type trace_entry = {
+  segment : [ `Prologue | `Steady | `Epilogue ];
+  array : string;
+  site : string;
+      (** static identity of the load: its printed address expression; after
+          CSE each static access has one load site *)
+  effective_addr : int;
+}
+
+type env = {
+  mem : Mem.t;
+  layout : Layout.t;
+  params : int64 Simd_support.Util.String_map.t;
+  trip : int;
+  elem : int;
+  v : int;
+  temps : (string, Vec.t) Hashtbl.t;
+  mutable counter : int;  (** current simdized loop counter value *)
+  mutable segment : [ `Prologue | `Steady | `Epilogue ];
+  mutable vops : int;
+  mutable vsplats : int;
+  mutable vshifts : int;
+  mutable vsplices : int;
+  mutable vpacks : int;
+  mutable copies : int;
+  mutable scalar_ops : int;
+  mutable steady_iterations : int;
+  mutable trace : trace_entry list;  (** reversed; only when tracing *)
+  tracing : bool;
+}
+
+let make_env ~mem ~layout ~params ~trip ~elem ~tracing =
+  {
+    mem;
+    layout;
+    params =
+      List.fold_left
+        (fun m (k, v) -> Simd_support.Util.String_map.add k v m)
+        Simd_support.Util.String_map.empty params;
+    trip;
+    elem;
+    v = Config.vector_len (Mem.config mem);
+    temps = Hashtbl.create 32;
+    counter = 0;
+    segment = `Prologue;
+    vops = 0;
+    vsplats = 0;
+    vshifts = 0;
+    vsplices = 0;
+    vpacks = 0;
+    copies = 0;
+    scalar_ops = 0;
+    steady_iterations = 0;
+    trace = [];
+    tracing;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Evaluation                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let addr_value env (a : Addr.t) : int =
+  let index = Addr.at_iteration a ~i:env.counter in
+  Layout.addr env.layout ~elem:env.elem ~name:a.Addr.array ~index
+
+let rec rexpr_value env (r : Rexpr.t) : int =
+  match r with
+  | Rexpr.Const c -> c
+  | Rexpr.Trip -> env.trip
+  | Rexpr.Counter -> env.counter
+  | Rexpr.Offset_of a -> addr_value env a land (env.v - 1)
+  | Rexpr.Add (a, b) -> rexpr_value env a + rexpr_value env b
+  | Rexpr.Sub (a, b) -> rexpr_value env a - rexpr_value env b
+  | Rexpr.Mul_const (a, k) -> rexpr_value env a * k
+  | Rexpr.Mod_const (a, m) -> Simd_support.Util.pos_mod (rexpr_value env a) m
+
+let cond_value env (c : Rexpr.cond) : bool =
+  match c with
+  | Rexpr.Ge (a, b) -> rexpr_value env a >= rexpr_value env b
+  | Rexpr.Gt (a, b) -> rexpr_value env a > rexpr_value env b
+  | Rexpr.Le (a, b) -> rexpr_value env a <= rexpr_value env b
+  | Rexpr.Lt (a, b) -> rexpr_value env a < rexpr_value env b
+
+(** Scalar evaluation of a loop-invariant expression (splat payloads). Each
+    arithmetic node counts as one scalar op — these execute once in the
+    prologue after splat hoisting, matching real code. *)
+let rec scalar_value env (e : Ast.expr) : int64 =
+  match e with
+  | Ast.Load _ -> invalid_arg "Exec.scalar_value: load in invariant expression"
+  | Ast.Const c -> Lane.canonicalize env.elem c
+  | Ast.Param x -> (
+    match Simd_support.Util.String_map.find_opt x env.params with
+    | Some v -> Lane.canonicalize env.elem v
+    | None -> invalid_arg (Printf.sprintf "Exec.scalar_value: unbound param %S" x))
+  | Ast.Binop (op, a, b) ->
+    let va = scalar_value env a in
+    let vb = scalar_value env b in
+    env.scalar_ops <- env.scalar_ops + 1;
+    Lane.apply env.elem op va vb
+
+let rec vexpr_value env (e : Expr.vexpr) : Vec.t =
+  match e with
+  | Expr.Load a ->
+    let addr = addr_value env a in
+    if env.tracing then
+      env.trace <-
+        {
+          segment = env.segment;
+          array = a.Addr.array;
+          site = Addr.to_string a;
+          effective_addr = Mem.effective_vector_addr env.mem addr;
+        }
+        :: env.trace;
+    Mem.load_vector env.mem addr
+  | Expr.Splat s ->
+    let x = scalar_value env s in
+    env.vsplats <- env.vsplats + 1;
+    Vec.splat ~vector_len:env.v ~elem:env.elem x
+  | Expr.Op (op, a, b) ->
+    let va = vexpr_value env a in
+    let vb = vexpr_value env b in
+    env.vops <- env.vops + 1;
+    Vec.binop ~elem:env.elem op va vb
+  | Expr.Shiftpair (a, b, s) ->
+    let va = vexpr_value env a in
+    let vb = vexpr_value env b in
+    let shift = rexpr_value env s in
+    env.vshifts <- env.vshifts + 1;
+    Vec.shiftpair va vb ~shift
+  | Expr.Splice (a, b, p) ->
+    let va = vexpr_value env a in
+    let vb = vexpr_value env b in
+    let point = rexpr_value env p in
+    env.vsplices <- env.vsplices + 1;
+    Vec.splice va vb ~point
+  | Expr.Pack (a, b) ->
+    let va = vexpr_value env a in
+    let vb = vexpr_value env b in
+    env.vpacks <- env.vpacks + 1;
+    Vec.pack_even ~elem:env.elem va vb
+  | Expr.Temp x -> (
+    match Hashtbl.find_opt env.temps x with
+    | Some v -> v
+    | None -> invalid_arg (Printf.sprintf "Exec.vexpr_value: unbound temp %S" x))
+
+let rec exec_stmt env (s : Expr.stmt) : unit =
+  match s with
+  | Expr.Store (a, e) ->
+    let value = vexpr_value env e in
+    Mem.store_vector env.mem (addr_value env a) value
+  | Expr.Assign (x, Expr.Temp y) ->
+    (* Register copy (pipelining carry): counted separately — the paper
+       removes these by unrolling + copy propagation, so cost models may
+       weight them to 0. *)
+    let value = vexpr_value env (Expr.Temp y) in
+    env.copies <- env.copies + 1;
+    Hashtbl.replace env.temps x value
+  | Expr.Assign (x, e) ->
+    let value = vexpr_value env e in
+    Hashtbl.replace env.temps x value
+  | Expr.If (c, th, el) ->
+    if cond_value env c then List.iter (exec_stmt env) th
+    else List.iter (exec_stmt env) el
+
+(* ------------------------------------------------------------------ *)
+(* Whole-program execution                                             *)
+(* ------------------------------------------------------------------ *)
+
+(** [run ~mem ~layout ~params ~trip ?tracing prog] — execute the simdized
+    program (the caller is responsible for the [trip > min_trip] guard; see
+    {!Run}). Returns the dynamic counts and, when [tracing], the vector-load
+    trace in execution order. *)
+let run ~mem ~layout ~params ~trip ?(tracing = false) (prog : Prog.t) :
+    counts * trace_entry list =
+  let env = make_env ~mem ~layout ~params ~trip ~elem:prog.Prog.elem ~tracing in
+  Mem.reset_counters mem;
+  (* Prologue at i = 0. *)
+  env.segment <- `Prologue;
+  env.counter <- 0;
+  List.iter (exec_stmt env) prog.Prog.prologue;
+  (* Steady state (the body may be unrolled: step = unroll * B). *)
+  env.segment <- `Steady;
+  let upper = Prog.resolve_upper prog ~trip in
+  let i = ref prog.Prog.lower in
+  while Prog.continue_cond prog ~upper !i do
+    env.counter <- !i;
+    List.iter (exec_stmt env) prog.Prog.body;
+    env.steady_iterations <- env.steady_iterations + 1;
+    i := !i + Prog.step prog
+  done;
+  (* Virtual epilogue iterations at i = exit + k*B. *)
+  env.segment <- `Epilogue;
+  List.iteri
+    (fun k stmts ->
+      env.counter <- !i + (k * prog.Prog.block);
+      List.iter (exec_stmt env) stmts)
+    prog.Prog.epilogues;
+  let mc = Mem.counters mem in
+  ( {
+      vloads = mc.Mem.vector_loads;
+      vstores = mc.Mem.vector_stores;
+      vops = env.vops;
+      vsplats = env.vsplats;
+      vshifts = env.vshifts;
+      vsplices = env.vsplices;
+      vpacks = env.vpacks;
+      copies = env.copies;
+      scalar_ops = env.scalar_ops;
+      steady_iterations = env.steady_iterations;
+    },
+    List.rev env.trace )

@@ -1,0 +1,44 @@
+(** Execution of simdized programs on the machine model — the stand-in for
+    the paper's cycle-accurate simulator: truncating vector memory
+    operations, dynamic operation counts by class, and per-load effective
+    address tracing for the never-load-twice property. *)
+
+open Simd_loopir
+open Simd_vir
+
+type counts = {
+  vloads : int;
+  vstores : int;
+  vops : int;
+  vsplats : int;
+  vshifts : int;
+  vsplices : int;
+  vpacks : int;  (** strided-gather packs (extension) *)
+  copies : int;  (** register copies (pipelining carries) *)
+  scalar_ops : int;  (** scalar arithmetic feeding splats *)
+  steady_iterations : int;
+}
+[@@deriving show, eq]
+
+val zero_counts : counts
+
+val total : counts -> int
+(** Total vector-unit operations. *)
+
+type trace_entry = {
+  segment : [ `Prologue | `Steady | `Epilogue ];
+  array : string;
+  site : string;  (** static identity: the printed address expression *)
+  effective_addr : int;
+}
+
+val run :
+  mem:Simd_machine.Mem.t ->
+  layout:Layout.t ->
+  params:(string * int64) list ->
+  trip:int ->
+  ?tracing:bool ->
+  Prog.t ->
+  counts * trace_entry list
+(** Execute the simdized program (the caller enforces the trip guard; see
+    {!Run.run_simd}). *)

@@ -1,0 +1,156 @@
+(** High-level simulation entry points: array placement, memory
+    initialization, scalar and simdized execution, and the differential
+    verifier used throughout the test suite and by §5.4's coverage
+    experiment ("the generated binaries were simulated on a cycle-accurate
+    simulator, and the results were verified"). *)
+
+open Simd_loopir
+open Simd_machine
+
+(** A prepared execution environment: the layout and initial memory image
+    are fixed once so scalar and simdized runs see identical worlds. *)
+type setup = {
+  program : Ast.program;
+  machine : Config.t;
+  layout : Layout.t;
+  params : (string * int64) list;
+  trip : int;
+  init_image : Mem.t;  (** pristine memory; runs execute on copies *)
+}
+
+(** [prepare ?seed ?params ?trip ~machine program] — place arrays (runtime
+    alignments drawn from [seed]) and fill the arena with deterministic
+    noise. [trip] must be given when the trip count is a runtime parameter;
+    parameters default to small deterministic values if not supplied. *)
+let prepare ?(seed = 0x5EED) ?(params = []) ?trip ~machine
+    (program : Ast.program) : setup =
+  let prng = Simd_support.Prng.create ~seed in
+  let layout = Layout.create ~machine ~prng program in
+  let trip =
+    match (program.Ast.loop.Ast.trip, trip) with
+    | Ast.Trip_const n, None -> n
+    | Ast.Trip_const n, Some t ->
+      if t <> n then
+        invalid_arg "Run.prepare: trip override conflicts with constant bound";
+      n
+    | Ast.Trip_param _, Some t -> t
+    | Ast.Trip_param x, None ->
+      invalid_arg (Printf.sprintf "Run.prepare: runtime trip %S needs ~trip" x)
+  in
+  (* Bind every declared param; unspecified ones get deterministic values.
+     A param used as the trip count is bound to it. *)
+  let trip_param =
+    match program.Ast.loop.Ast.trip with
+    | Ast.Trip_param x -> Some x
+    | Ast.Trip_const _ -> None
+  in
+  let params =
+    List.map
+      (fun name ->
+        match List.assoc_opt name params with
+        | Some v -> (name, v)
+        | None when trip_param = Some name -> (name, Int64.of_int trip)
+        | None ->
+          (name, Int64.of_int (1 + Simd_support.Prng.int prng ~bound:100)))
+      program.Ast.params
+  in
+  let mem = Mem.create machine ~size:layout.Layout.arena_size in
+  Mem.fill_random mem prng;
+  { program; machine; layout; params; trip; init_image = mem }
+
+(** [fresh_mem setup] — a pristine copy of the initial memory image. *)
+let fresh_mem setup = Mem.copy setup.init_image
+
+(** [run_scalar setup] — execute the original loop; returns ideal scalar
+    counts and the final memory. *)
+let run_scalar setup : Interp.counts * Mem.t =
+  let mem = fresh_mem setup in
+  let env =
+    Interp.make_env ~layout:setup.layout ~params:setup.params ~trip:setup.trip ()
+  in
+  let counts = Interp.run ~mem ~env setup.program in
+  (counts, mem)
+
+(** Result of a simdized execution. [fallback_counts] is set when the
+    [trip > 3B] guard failed and the scalar original ran instead (§4.4). *)
+type simd_run = {
+  counts : Exec.counts;
+  fallback_counts : Interp.counts option;
+  trace : Exec.trace_entry list;
+  final_mem : Mem.t;
+}
+
+(** [run_simd ?tracing setup prog] — execute the simdized program, honoring
+    its trip-count guard. *)
+let run_simd ?(tracing = false) setup (prog : Simd_vir.Prog.t) : simd_run =
+  let mem = fresh_mem setup in
+  if setup.trip <= prog.Simd_vir.Prog.min_trip then begin
+    let env =
+      Interp.make_env ~layout:setup.layout ~params:setup.params ~trip:setup.trip
+        ()
+    in
+    let counts = Interp.run ~mem ~env setup.program in
+    {
+      counts = Exec.zero_counts;
+      fallback_counts = Some counts;
+      trace = [];
+      final_mem = mem;
+    }
+  end
+  else begin
+    let counts, trace =
+      Exec.run ~mem ~layout:setup.layout ~params:setup.params ~trip:setup.trip
+        ~tracing prog
+    in
+    { counts; fallback_counts = None; trace; final_mem = mem }
+  end
+
+(** A verification failure: the simdized execution produced different
+    memory than the scalar one. *)
+type mismatch = {
+  byte_addr : int;
+  scalar_byte : int;
+  simd_byte : int;
+  in_array : string option;
+}
+
+let pp_mismatch fmt m =
+  Format.fprintf fmt "byte %d differs: scalar %#x vs simd %#x%s" m.byte_addr
+    m.scalar_byte m.simd_byte
+    (match m.in_array with
+    | Some a -> Printf.sprintf " (inside array %S)" a
+    | None -> " (outside all arrays — simdized code clobbered guard bytes)")
+
+(** [verify setup prog] — differential test: run both versions on identical
+    memory and require byte-for-byte equal arenas. Equality of the {e whole}
+    arena (not just array regions) additionally proves the simdized code
+    never clobbers guard bytes — partial stores must splice correctly. *)
+let verify setup (prog : Simd_vir.Prog.t) : (unit, mismatch) result =
+  let _, scalar_mem = run_scalar setup in
+  let simd = run_simd setup prog in
+  let size = Mem.size scalar_mem in
+  let a = Mem.peek_bytes scalar_mem 0 size in
+  let b = Mem.peek_bytes simd.final_mem 0 size in
+  if Bytes.equal a b then Ok ()
+  else begin
+    let idx = ref 0 in
+    while Bytes.get a !idx = Bytes.get b !idx do
+      incr idx
+    done;
+    let in_array =
+      List.find_map
+        (fun (d : Ast.array_decl) ->
+          let base, len =
+            Layout.array_region setup.layout ~program:setup.program d.Ast.arr_name
+          in
+          if !idx >= base && !idx < base + len then Some d.Ast.arr_name else None)
+        setup.program.Ast.arrays
+    in
+    Error
+      {
+        byte_addr = !idx;
+        scalar_byte = Char.code (Bytes.get a !idx);
+        simd_byte = Char.code (Bytes.get b !idx);
+        in_array;
+      }
+  end

@@ -1,0 +1,55 @@
+(** High-level simulation: array placement, deterministic memory
+    initialization, scalar and simdized execution, and the whole-arena
+    differential verifier (§5.4's methodology). *)
+
+open Simd_loopir
+
+type setup = {
+  program : Ast.program;
+  machine : Simd_machine.Config.t;
+  layout : Layout.t;
+  params : (string * int64) list;
+  trip : int;
+  init_image : Simd_machine.Mem.t;  (** pristine; runs execute on copies *)
+}
+
+val prepare :
+  ?seed:int ->
+  ?params:(string * int64) list ->
+  ?trip:int ->
+  machine:Simd_machine.Config.t ->
+  Ast.program ->
+  setup
+(** Place arrays (runtime alignments drawn from [seed]) and fill the arena
+    with noise. [trip] is required for runtime trip counts; unspecified
+    parameters get deterministic values (a trip-count parameter is bound to
+    the trip). *)
+
+val fresh_mem : setup -> Simd_machine.Mem.t
+
+val run_scalar : setup -> Interp.counts * Simd_machine.Mem.t
+
+type simd_run = {
+  counts : Exec.counts;
+  fallback_counts : Interp.counts option;
+      (** set when the [trip > 3B] guard sent execution to the scalar
+          original (§4.4) *)
+  trace : Exec.trace_entry list;
+  final_mem : Simd_machine.Mem.t;
+}
+
+val run_simd : ?tracing:bool -> setup -> Simd_vir.Prog.t -> simd_run
+
+type mismatch = {
+  byte_addr : int;
+  scalar_byte : int;
+  simd_byte : int;
+  in_array : string option;
+      (** [None]: the simdized code clobbered guard bytes *)
+}
+
+val pp_mismatch : Format.formatter -> mismatch -> unit
+
+val verify : setup -> Simd_vir.Prog.t -> (unit, mismatch) result
+(** Run both versions on identical memory; require byte-for-byte equal
+    arenas (including guard zones — partial stores must splice exactly). *)

@@ -1,0 +1,1 @@
+lib/support/prng.ml: Array Int64 List

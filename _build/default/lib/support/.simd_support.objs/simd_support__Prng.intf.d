@@ -1,0 +1,1 @@
+lib/support/prng.mli:

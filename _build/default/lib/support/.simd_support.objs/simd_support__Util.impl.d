@@ -1,0 +1,1 @@
+lib/support/util.ml: Hashtbl Int List Map Set String

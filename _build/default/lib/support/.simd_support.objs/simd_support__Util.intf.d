@@ -1,0 +1,1 @@
+lib/support/util.mli: Map Set

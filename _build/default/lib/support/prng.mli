@@ -1,0 +1,44 @@
+(** Deterministic pseudo-random number generation (SplitMix64).
+
+    All randomness in this repository flows through this generator so that
+    every experiment is reproducible from a seed. *)
+
+type t
+(** Mutable generator state. *)
+
+val create : seed:int -> t
+(** [create ~seed] — a generator with the given seed. *)
+
+val copy : t -> t
+(** [copy t] — an independent clone at the current state. *)
+
+val next_int64 : t -> int64
+(** One raw SplitMix64 output; advances the state. *)
+
+val int : t -> bound:int -> int
+(** [int t ~bound] — uniform in [\[0, bound)]; rejection-sampled (no modulo
+    bias). Requires [bound > 0]. *)
+
+val bool : t -> bool
+(** A fair coin. *)
+
+val float : t -> float
+(** Uniform in [\[0, 1)]. *)
+
+val chance : t -> float -> bool
+(** [chance t p] — true with probability [p]. *)
+
+val pick : t -> 'a list -> 'a
+(** Uniform element of a non-empty list. *)
+
+val pick_array : t -> 'a array -> 'a
+(** Uniform element of a non-empty array. *)
+
+val range : t -> lo:int -> hi:int -> int
+(** [range t ~lo ~hi] — uniform in the inclusive range [\[lo, hi\]]. *)
+
+val split : t -> t
+(** Derive an independent generator, advancing [t]. *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher–Yates shuffle. *)

@@ -1,0 +1,113 @@
+(** Small general-purpose helpers shared across the libraries. *)
+
+(** [floor_div a b] is mathematical floor division for [b > 0], correct for
+    negative [a] (OCaml's [/] truncates toward zero). *)
+let floor_div a b =
+  if b <= 0 then invalid_arg "Util.floor_div: non-positive divisor";
+  if a >= 0 then a / b else -(((-a) + b - 1) / b)
+
+(** [pos_mod a b] is the mathematical modulus in [\[0, b)] for [b > 0]. *)
+let pos_mod a b =
+  if b <= 0 then invalid_arg "Util.pos_mod: non-positive modulus";
+  let r = a mod b in
+  if r < 0 then r + b else r
+
+(** [round_down a b] rounds [a] down to a multiple of [b]. *)
+let round_down a b = floor_div a b * b
+
+(** [round_up a b] rounds [a] up to a multiple of [b]. *)
+let round_up a b = round_down (a + b - 1) b
+
+(** [is_pow2 n] holds when [n] is a positive power of two. *)
+let is_pow2 n = n > 0 && n land (n - 1) = 0
+
+(** [log2 n] is the base-2 logarithm of a positive power of two. *)
+let log2 n =
+  if not (is_pow2 n) then invalid_arg "Util.log2: not a power of two";
+  let rec go acc n = if n = 1 then acc else go (acc + 1) (n lsr 1) in
+  go 0 n
+
+(** [gcd a b] on non-negative arguments. *)
+let rec gcd a b = if b = 0 then a else gcd b (a mod b)
+
+(** [clamp ~lo ~hi x] restricts [x] to [\[lo, hi\]]. *)
+let clamp ~lo ~hi x = if x < lo then lo else if x > hi then hi else x
+
+(** [list_init n f] is [List.init] with a friendlier argument order. *)
+let list_init n f = List.init n f
+
+(** [sum xs] sums an int list. *)
+let sum xs = List.fold_left ( + ) 0 xs
+
+(** [sum_by f xs] sums [f x] over [xs]. *)
+let sum_by f xs = List.fold_left (fun acc x -> acc + f x) 0 xs
+
+(** [sum_float xs] sums a float list. *)
+let sum_float xs = List.fold_left ( +. ) 0.0 xs
+
+(** [mean xs] is the arithmetic mean of a non-empty float list. *)
+let mean xs =
+  match xs with
+  | [] -> invalid_arg "Util.mean: empty list"
+  | _ -> sum_float xs /. float_of_int (List.length xs)
+
+(** [harmonic_mean xs] is the harmonic mean of a non-empty list of positive
+    floats — the aggregation the paper uses over its 50-loop benchmarks. *)
+let harmonic_mean xs =
+  match xs with
+  | [] -> invalid_arg "Util.harmonic_mean: empty list"
+  | _ ->
+    let n = float_of_int (List.length xs) in
+    let denom =
+      List.fold_left
+        (fun acc x ->
+          if x <= 0.0 then invalid_arg "Util.harmonic_mean: non-positive element";
+          acc +. (1.0 /. x))
+        0.0 xs
+    in
+    n /. denom
+
+(** [max_by f xs] is the element of non-empty [xs] maximizing [f]. *)
+let max_by f xs =
+  match xs with
+  | [] -> invalid_arg "Util.max_by: empty list"
+  | x :: rest ->
+    fst
+      (List.fold_left
+         (fun (best, bv) y ->
+           let fy = f y in
+           if fy > bv then (y, fy) else (best, bv))
+         (x, f x) rest)
+
+(** [group_count xs] counts occurrences, returning (value, count) pairs in
+    first-appearance order. *)
+let group_count xs =
+  let tbl = Hashtbl.create 16 in
+  let order = ref [] in
+  List.iter
+    (fun x ->
+      match Hashtbl.find_opt tbl x with
+      | Some n -> Hashtbl.replace tbl x (n + 1)
+      | None ->
+        Hashtbl.add tbl x 1;
+        order := x :: !order)
+    xs;
+  List.rev_map (fun x -> (x, Hashtbl.find tbl x)) !order
+
+(** [dedup xs] removes duplicates, keeping first occurrences in order. *)
+let dedup xs =
+  let seen = Hashtbl.create 16 in
+  List.filter
+    (fun x ->
+      if Hashtbl.mem seen x then false
+      else begin
+        Hashtbl.add seen x ();
+        true
+      end)
+    xs
+
+(** [String_map] and [Int_map] are ready-made map instances. *)
+module String_map = Map.Make (String)
+module Int_map = Map.Make (Int)
+module Int_set = Set.Make (Int)
+module String_set = Set.Make (String)

@@ -1,0 +1,52 @@
+(** Small general-purpose helpers shared across the libraries. *)
+
+val floor_div : int -> int -> int
+(** Mathematical floor division for a positive divisor (correct for
+    negative dividends, unlike OCaml's truncating [/]). *)
+
+val pos_mod : int -> int -> int
+(** Mathematical modulus in [\[0, b)] for [b > 0]. *)
+
+val round_down : int -> int -> int
+(** [round_down a b] — [a] rounded down to a multiple of [b]. *)
+
+val round_up : int -> int -> int
+(** [round_up a b] — [a] rounded up to a multiple of [b]. *)
+
+val is_pow2 : int -> bool
+(** Positive power of two? *)
+
+val log2 : int -> int
+(** Base-2 logarithm of a positive power of two. *)
+
+val gcd : int -> int -> int
+(** Greatest common divisor of non-negative arguments. *)
+
+val clamp : lo:int -> hi:int -> int -> int
+(** Restrict to [\[lo, hi\]]. *)
+
+val list_init : int -> (int -> 'a) -> 'a list
+val sum : int list -> int
+val sum_by : ('a -> int) -> 'a list -> int
+val sum_float : float list -> float
+
+val mean : float list -> float
+(** Arithmetic mean of a non-empty list. *)
+
+val harmonic_mean : float list -> float
+(** Harmonic mean of a non-empty list of positive floats — the aggregation
+    the paper uses over its 50-loop benchmarks. *)
+
+val max_by : ('a -> 'b) -> 'a list -> 'a
+(** Element of a non-empty list maximizing the measure. *)
+
+val group_count : 'a list -> ('a * int) list
+(** Occurrence counts, in first-appearance order. *)
+
+val dedup : 'a list -> 'a list
+(** Remove duplicates, keeping first occurrences in order. *)
+
+module String_map : Map.S with type key = string
+module Int_map : Map.S with type key = int
+module Int_set : Set.S with type elt = int
+module String_set : Set.S with type elt = string

@@ -1,0 +1,1 @@
+lib/vir/addr.pp.ml: Format Ppx_deriving_runtime Printf Simd_loopir

@@ -1,0 +1,1 @@
+lib/vir/addr.pp.mli: Format Ppx_deriving_runtime Simd_loopir

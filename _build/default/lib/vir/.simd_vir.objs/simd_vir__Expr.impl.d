@@ -1,0 +1,1 @@
+lib/vir/expr.pp.ml: Addr List Ppx_deriving_runtime Rexpr Simd_loopir

@@ -1,0 +1,1 @@
+lib/vir/expr.pp.mli: Addr Ppx_deriving_runtime Rexpr Simd_loopir

@@ -1,0 +1,1 @@
+lib/vir/prog.pp.ml: Addr Expr Format List Ppx_deriving_runtime Rexpr Simd_loopir Simd_machine String

@@ -1,0 +1,1 @@
+lib/vir/prog.pp.mli: Expr Format Ppx_deriving_runtime Simd_loopir Simd_machine

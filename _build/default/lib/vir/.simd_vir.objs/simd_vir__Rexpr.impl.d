@@ -1,0 +1,1 @@
+lib/vir/rexpr.pp.ml: Addr Format Ppx_deriving_runtime Simd_loopir Simd_support

@@ -1,0 +1,1 @@
+lib/vir/rexpr.pp.mli: Addr Format Ppx_deriving_runtime Simd_loopir

@@ -1,0 +1,52 @@
+(** Addresses in the vector IR.
+
+    Every address denotes the byte address of an array element:
+    [&array\[scale*i + offset\]] where [i] is the loop counter. [scale] is
+    the reference's stride (1 for the paper's stride-one references, 2/4
+    for the strided-gather extension) or 0 for counter-free addresses
+    (prologue/epilogue-specialized code, accumulator cells). Offsets are in
+    elements, not bytes.
+
+    Because references are affine in [i], the only address transformation
+    codegen needs is the paper's [Substitute(n, i → i ± B)], which is
+    {!shift_iter}. *)
+
+type t = {
+  array : string;
+  offset : int;  (** element offset; may be negative (guard-zone reads) *)
+  scale : int;  (** counter multiplier; 0 = counter-free *)
+}
+[@@deriving show { with_path = false }, eq, ord]
+
+let of_ref (r : Simd_loopir.Ast.mem_ref) =
+  { array = r.ref_array; offset = r.ref_offset; scale = r.ref_stride }
+
+let with_counter t = t.scale <> 0
+
+(** [shift_iter t ~by] implements [Substitute(i → i + by)]: the address at
+    iteration [i + by] is the address at [i] advanced [scale * by]
+    elements. No-op on counter-free addresses. *)
+let shift_iter t ~by =
+  if t.scale = 0 then t else { t with offset = t.offset + (t.scale * by) }
+
+(** [at_iteration t ~i] resolves the counter: the concrete element index is
+    [scale*i + offset]. *)
+let at_iteration t ~i = (t.scale * i) + t.offset
+
+(** [freeze t ~i] turns a counter-carrying address into the counter-free
+    address it denotes at iteration [i]. *)
+let freeze t ~i = { t with offset = at_iteration t ~i; scale = 0 }
+
+let pp fmt t =
+  let idx =
+    match t.scale with
+    | 0 -> ""
+    | 1 -> "i"
+    | s -> Printf.sprintf "%d*i" s
+  in
+  if t.scale = 0 then Format.fprintf fmt "&%s[%d]" t.array t.offset
+  else if t.offset = 0 then Format.fprintf fmt "&%s[%s]" t.array idx
+  else if t.offset > 0 then Format.fprintf fmt "&%s[%s+%d]" t.array idx t.offset
+  else Format.fprintf fmt "&%s[%s-%d]" t.array idx (-t.offset)
+
+let to_string t = Format.asprintf "%a" pp t

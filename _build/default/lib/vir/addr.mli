@@ -1,0 +1,23 @@
+(** Addresses in the vector IR: the byte address of
+    [array\[scale*i + offset\]] — [scale] is the reference's stride (0 for
+    counter-free addresses used by prologue/epilogue-specialized code and
+    accumulator cells). Offsets are in elements. *)
+
+type t = {
+  array : string;
+  offset : int;  (** element offset; may be negative (guard-zone reads) *)
+  scale : int;  (** counter multiplier; 0 = counter-free *)
+}
+[@@deriving show, eq, ord]
+
+val of_ref : Simd_loopir.Ast.mem_ref -> t
+val with_counter : t -> bool
+
+val shift_iter : t -> by:int -> t
+(** The paper's [Substitute(i → i + by)]: advance [scale * by] elements. *)
+
+val at_iteration : t -> i:int -> int
+val freeze : t -> i:int -> t
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

@@ -1,0 +1,144 @@
+(** Vector expressions and statements of the vector IR.
+
+    This is the code-level counterpart of the data reorganization graph:
+    stream-level [vshiftstream] nodes have been lowered to register-level
+    [Shiftpair] operations, and partial stores appear as [Splice]d stores.
+
+    Statements execute in list order. [Assign] binds a named vector
+    temporary (single static assignment is {e not} required — software
+    pipelining deliberately overwrites its carried temporaries). *)
+
+type vexpr =
+  | Load of Addr.t  (** truncating vector load *)
+  | Op of Simd_loopir.Ast.binop * vexpr * vexpr  (** lane-wise operation *)
+  | Splat of Simd_loopir.Ast.expr
+      (** replicate a loop-invariant scalar (no [Load]s inside) *)
+  | Shiftpair of vexpr * vexpr * Rexpr.t
+      (** bytes [sh .. sh+V-1] of the concatenation (paper §2.2) *)
+  | Splice of vexpr * vexpr * Rexpr.t
+      (** first [p] bytes of the first operand, rest of the second *)
+  | Pack of vexpr * vexpr
+      (** even-indexed elements of the 2V concatenation — the gather step
+          of the strided-load extension *)
+  | Temp of string  (** read a vector temporary *)
+[@@deriving show { with_path = false }, eq, ord]
+
+type stmt =
+  | Store of Addr.t * vexpr  (** truncating vector store *)
+  | Assign of string * vexpr  (** vector temporary definition *)
+  | If of Rexpr.cond * stmt list * stmt list
+      (** runtime guard (epilogue leftover handling, §4.4) *)
+[@@deriving show { with_path = false }, eq, ord]
+
+(* ------------------------------------------------------------------ *)
+(* Substitution i → i + by (paper's Substitute(n, i → i ± B))          *)
+(* ------------------------------------------------------------------ *)
+
+let rec shift_iter_rexpr (r : Rexpr.t) ~by : Rexpr.t =
+  match r with
+  | Rexpr.Const _ | Rexpr.Trip | Rexpr.Counter -> r
+  | Rexpr.Offset_of a -> Rexpr.Offset_of (Addr.shift_iter a ~by)
+  | Rexpr.Add (a, b) -> Rexpr.Add (shift_iter_rexpr a ~by, shift_iter_rexpr b ~by)
+  | Rexpr.Sub (a, b) -> Rexpr.Sub (shift_iter_rexpr a ~by, shift_iter_rexpr b ~by)
+  | Rexpr.Mul_const (a, k) -> Rexpr.Mul_const (shift_iter_rexpr a ~by, k)
+  | Rexpr.Mod_const (a, m) -> Rexpr.Mod_const (shift_iter_rexpr a ~by, m)
+
+(** [shift_iter e ~by] rewrites every counter-carrying address in [e] so
+    that evaluating the result at iteration [i] equals evaluating [e] at
+    [i + by]. Temporaries are left untouched (their values are
+    iteration-bound; callers must not shift expressions containing live
+    temporaries — asserted here). *)
+let rec shift_iter (e : vexpr) ~by : vexpr =
+  match e with
+  | Load a -> Load (Addr.shift_iter a ~by)
+  | Op (op, x, y) -> Op (op, shift_iter x ~by, shift_iter y ~by)
+  | Splat s -> Splat s
+  | Shiftpair (x, y, sh) ->
+    Shiftpair (shift_iter x ~by, shift_iter y ~by, shift_iter_rexpr sh ~by)
+  | Splice (x, y, p) ->
+    Splice (shift_iter x ~by, shift_iter y ~by, shift_iter_rexpr p ~by)
+  | Pack (x, y) -> Pack (shift_iter x ~by, shift_iter y ~by)
+  | Temp _ -> invalid_arg "Expr.shift_iter: expression contains a temporary"
+
+(** [freeze e ~i] resolves the loop counter to the constant [i] in every
+    address of [e] (for prologue/epilogue code). *)
+let rec freeze (e : vexpr) ~i : vexpr =
+  match e with
+  | Load a -> Load (Addr.freeze a ~i)
+  | Op (op, x, y) -> Op (op, freeze x ~i, freeze y ~i)
+  | Splat s -> Splat s
+  | Shiftpair (x, y, sh) -> Shiftpair (freeze x ~i, freeze y ~i, freeze_rexpr sh ~i)
+  | Splice (x, y, p) -> Splice (freeze x ~i, freeze y ~i, freeze_rexpr p ~i)
+  | Pack (x, y) -> Pack (freeze x ~i, freeze y ~i)
+  | Temp t -> Temp t
+
+and freeze_rexpr (r : Rexpr.t) ~i : Rexpr.t =
+  match r with
+  | Rexpr.Const _ | Rexpr.Trip -> r
+  | Rexpr.Counter -> Rexpr.Const i
+  | Rexpr.Offset_of a -> Rexpr.Offset_of (Addr.freeze a ~i)
+  | Rexpr.Add (a, b) -> Rexpr.add (freeze_rexpr a ~i) (freeze_rexpr b ~i)
+  | Rexpr.Sub (a, b) -> Rexpr.sub (freeze_rexpr a ~i) (freeze_rexpr b ~i)
+  | Rexpr.Mul_const (a, k) -> Rexpr.mul_const (freeze_rexpr a ~i) k
+  | Rexpr.Mod_const (a, m) -> Rexpr.mod_const (freeze_rexpr a ~i) m
+
+(* ------------------------------------------------------------------ *)
+(* Traversals                                                          *)
+(* ------------------------------------------------------------------ *)
+
+(** [fold_vexpr f acc e] folds over every node of [e], children first. *)
+let rec fold_vexpr f acc e =
+  match e with
+  | Load _ | Splat _ | Temp _ -> f acc e
+  | Op (_, x, y) | Shiftpair (x, y, _) | Splice (x, y, _) | Pack (x, y) ->
+    f (fold_vexpr f (fold_vexpr f acc x) y) e
+
+(** [fold_stmts f acc stmts] folds [f] over every vector expression
+    (outermost nodes) appearing in [stmts], in execution order. *)
+let rec fold_stmts f acc stmts =
+  List.fold_left
+    (fun acc s ->
+      match s with
+      | Store (_, e) | Assign (_, e) -> f acc e
+      | If (_, t, e) -> fold_stmts f (fold_stmts f acc t) e)
+    acc stmts
+
+(** [map_stmts_exprs f stmts] rewrites the top-level expression of every
+    statement. *)
+let rec map_stmts_exprs f stmts =
+  List.map
+    (fun s ->
+      match s with
+      | Store (a, e) -> Store (a, f e)
+      | Assign (x, e) -> Assign (x, f e)
+      | If (c, t, e) -> If (c, map_stmts_exprs f t, map_stmts_exprs f e))
+    stmts
+
+(** [loads_of_stmts stmts] — every [Load] address in the statements,
+    in occurrence order (duplicates preserved). *)
+let loads_of_stmts stmts =
+  List.rev
+    (fold_stmts
+       (fun acc e ->
+         fold_vexpr
+           (fun acc n -> match n with Load a -> a :: acc | _ -> acc)
+           acc e)
+       [] stmts)
+
+(** [count_nodes pred stmts] — count expression nodes satisfying [pred]. *)
+let count_nodes pred stmts =
+  fold_stmts
+    (fun acc e -> fold_vexpr (fun acc n -> if pred n then acc + 1 else acc) acc e)
+    0 stmts
+
+let is_shift = function Shiftpair _ -> true | _ -> false
+let is_load = function Load _ -> true | _ -> false
+
+(** [temps_written stmts] — names assigned anywhere in [stmts]. *)
+let rec temps_written stmts =
+  List.concat_map
+    (function
+      | Assign (x, _) -> [ x ]
+      | Store _ -> []
+      | If (_, t, e) -> temps_written t @ temps_written e)
+    stmts

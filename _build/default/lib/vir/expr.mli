@@ -1,0 +1,44 @@
+(** Vector expressions and statements of the vector IR — the code-level
+    counterpart of the data reorganization graph, with stream shifts
+    lowered to register-level [Shiftpair]s and partial stores to [Splice]d
+    stores. *)
+
+type vexpr =
+  | Load of Addr.t  (** truncating vector load *)
+  | Op of Simd_loopir.Ast.binop * vexpr * vexpr
+  | Splat of Simd_loopir.Ast.expr  (** loop-invariant scalar, replicated *)
+  | Shiftpair of vexpr * vexpr * Rexpr.t  (** paper §2.2 *)
+  | Splice of vexpr * vexpr * Rexpr.t
+  | Pack of vexpr * vexpr
+      (** even-lane gather of the 2V concatenation (strided-load extension) *)
+  | Temp of string
+[@@deriving show, eq, ord]
+
+type stmt =
+  | Store of Addr.t * vexpr  (** truncating vector store *)
+  | Assign of string * vexpr
+  | If of Rexpr.cond * stmt list * stmt list  (** runtime guard (§4.4) *)
+[@@deriving show, eq, ord]
+
+val shift_iter_rexpr : Rexpr.t -> by:int -> Rexpr.t
+
+val shift_iter : vexpr -> by:int -> vexpr
+(** Rewrite counter-carrying addresses so that evaluating at iteration [i]
+    equals evaluating the original at [i + by]. Raises on temporaries
+    (their values are iteration-bound). *)
+
+val freeze : vexpr -> i:int -> vexpr
+(** Resolve the loop counter to a constant everywhere (temps are kept). *)
+
+val freeze_rexpr : Rexpr.t -> i:int -> Rexpr.t
+
+val fold_vexpr : ('a -> vexpr -> 'a) -> 'a -> vexpr -> 'a
+(** Children-first fold over every node. *)
+
+val fold_stmts : ('a -> vexpr -> 'a) -> 'a -> stmt list -> 'a
+val map_stmts_exprs : (vexpr -> vexpr) -> stmt list -> stmt list
+val loads_of_stmts : stmt list -> Addr.t list
+val count_nodes : (vexpr -> bool) -> stmt list -> int
+val is_shift : vexpr -> bool
+val is_load : vexpr -> bool
+val temps_written : stmt list -> string list

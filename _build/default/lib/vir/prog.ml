@@ -1,0 +1,198 @@
+(** Simdized programs.
+
+    The shape mirrors the paper's code-generation output (§4.2–4.5):
+
+    {v
+      if (ub > min_trip) {
+        <prologue>                       // executed with i = 0
+        for (i = lower; i < upper; i += block)
+          <body>
+        <epilogue>                       // executed with i = loop exit value
+      } else {
+        <original scalar loop>           // unknown-bound guard fallback
+      }
+    v}
+
+    The prologue handles the peeled first simdized iteration (partial store
+    via [Splice]) and initializes software-pipelining / predictive-commoning
+    temporaries. The epilogue finishes each statement's store stream: at most
+    one full store plus one partial store (EpiLeftOver < 2V, paper §4.3). *)
+
+type bound =
+  | B_const of int  (** compile-time upper bound *)
+  | B_trip_minus of int  (** [ub - k] for runtime trip counts (Eq. 15) *)
+[@@deriving show { with_path = false }, eq]
+
+(** Metadata for one reduction statement (extension; see
+    {!Simd_loopir.Ast.stmt_kind}): the vector accumulator temporary, the
+    identity-splat temporary used for prologue initialization and epilogue
+    lane masking, the operator, and the scalar accumulator cell. The
+    epilogue derivation and finalization passes consume this. *)
+type reduction = {
+  acc_temp : string;
+  ident_temp : string;
+  red_op : Simd_loopir.Ast.binop;
+  acc_ref : Simd_loopir.Ast.mem_ref;  (** absolute: element 0 of the array *)
+}
+[@@deriving show { with_path = false }, eq]
+
+type t = {
+  source : Simd_loopir.Ast.program;  (** original loop (scalar fallback, decls) *)
+  machine : Simd_machine.Config.t;
+  elem : int;  (** D *)
+  block : int;  (** B = V/D *)
+  unroll : int;
+      (** steady-body unroll factor: the body covers [unroll] simdized
+          iterations, the counter steps by [unroll * block], and the loop
+          runs while [i + (unroll-1)*block < upper] so every instance stays
+          in bounds; 1 = no unrolling *)
+  prologue : Expr.stmt list;
+  lower : int;  (** LB; always compile-time (Eqs. 10/12) *)
+  upper : bound;  (** UB (Eqs. 11/13/15) *)
+  body : Expr.stmt list;
+  epilogues : Expr.stmt list list;
+      (** virtual epilogue iterations: element [k] executes once with
+          [i = exit_counter + k*block]. Guarded stores make each virtual
+          iteration store exactly the still-missing bytes; without
+          unrolling two suffice (EpiLeftOver < 2V, §4.3), with unrolling up
+          to [unroll + 1]. *)
+  min_trip : int;
+      (** simdized path requires [trip > min_trip]; otherwise scalar
+          fallback (§4.4: "guarded by a test of ub > 3B") *)
+  reductions : reduction list;  (** one per [Reduce] statement, in order *)
+}
+
+(** [resolve_upper t ~trip] — the concrete steady-loop upper bound. *)
+let resolve_upper t ~trip =
+  match t.upper with B_const n -> n | B_trip_minus k -> trip - k
+
+(** [step t] — counter increment per steady iteration. *)
+let step t = t.unroll * t.block
+
+(** [continue_cond t ~upper i] — may the (possibly unrolled) body run at
+    counter [i]? Every unrolled instance must stay below [upper]. *)
+let continue_cond t ~upper i = i + ((t.unroll - 1) * t.block) < upper
+
+(** [exit_counter t ~trip] — the value of [i] after the steady loop. *)
+let exit_counter t ~trip =
+  let upper = resolve_upper t ~trip in
+  let rec go i = if continue_cond t ~upper i then go (i + step t) else i in
+  go t.lower
+
+(** [steady_iterations t ~trip] — how many times the body executes. *)
+let steady_iterations t ~trip =
+  let upper = resolve_upper t ~trip in
+  let rec go i n = if continue_cond t ~upper i then go (i + step t) (n + 1) else n in
+  go t.lower 0
+
+(* ------------------------------------------------------------------ *)
+(* Pretty-printing                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let rec pp_vexpr fmt (e : Expr.vexpr) =
+  match e with
+  | Expr.Load a -> Format.fprintf fmt "vload(%a)" Addr.pp a
+  | Expr.Op (op, x, y) ->
+    Format.fprintf fmt "v%s(%a, %a)" (Simd_machine.Lane.binop_name op) pp_vexpr x
+      pp_vexpr y
+  | Expr.Splat s -> Format.fprintf fmt "vsplat(%a)" Simd_loopir.Pp.pp_expr s
+  | Expr.Shiftpair (x, y, sh) ->
+    Format.fprintf fmt "vshiftpair(%a, %a, %a)" pp_vexpr x pp_vexpr y Rexpr.pp sh
+  | Expr.Splice (x, y, p) ->
+    Format.fprintf fmt "vsplice(%a, %a, %a)" pp_vexpr x pp_vexpr y Rexpr.pp p
+  | Expr.Pack (x, y) -> Format.fprintf fmt "vpack(%a, %a)" pp_vexpr x pp_vexpr y
+  | Expr.Temp x -> Format.pp_print_string fmt x
+
+let rec pp_stmt ~indent fmt (s : Expr.stmt) =
+  let pad = String.make indent ' ' in
+  match s with
+  | Expr.Store (a, e) -> Format.fprintf fmt "%svstore(%a, %a)@\n" pad Addr.pp a pp_vexpr e
+  | Expr.Assign (x, e) -> Format.fprintf fmt "%s%s := %a@\n" pad x pp_vexpr e
+  | Expr.If (c, t, e) ->
+    Format.fprintf fmt "%sif (%a) {@\n" pad Rexpr.pp_cond c;
+    List.iter (pp_stmt ~indent:(indent + 2) fmt) t;
+    if e <> [] then begin
+      Format.fprintf fmt "%s} else {@\n" pad;
+      List.iter (pp_stmt ~indent:(indent + 2) fmt) e
+    end;
+    Format.fprintf fmt "%s}@\n" pad
+
+let pp_bound fmt = function
+  | B_const n -> Format.pp_print_int fmt n
+  | B_trip_minus k -> Format.fprintf fmt "ub - %d" k
+
+let pp fmt t =
+  Format.fprintf fmt "// simdized: V=%d D=%d B=%d (guard: ub > %d)@\n"
+    (Simd_machine.Config.vector_len t.machine)
+    t.elem t.block t.min_trip;
+  Format.fprintf fmt "prologue (i = 0):@\n";
+  List.iter (pp_stmt ~indent:2 fmt) t.prologue;
+  if t.unroll = 1 then
+    Format.fprintf fmt "for (i = %d; i < %a; i += %d) {@\n" t.lower pp_bound
+      t.upper t.block
+  else
+    Format.fprintf fmt "for (i = %d; i + %d < %a; i += %d) {  // unrolled x%d@\n"
+      t.lower
+      ((t.unroll - 1) * t.block)
+      pp_bound t.upper (step t) t.unroll;
+  List.iter (pp_stmt ~indent:2 fmt) t.body;
+  Format.fprintf fmt "}@\n";
+  List.iteri
+    (fun k stmts ->
+      if stmts <> [] then begin
+        if k = 0 then Format.fprintf fmt "epilogue (i = exit):@\n"
+        else Format.fprintf fmt "epilogue (i = exit + %d):@\n" (k * t.block);
+        List.iter (pp_stmt ~indent:2 fmt) stmts
+      end)
+    t.epilogues
+
+let to_string t = Format.asprintf "%a" pp t
+
+(* ------------------------------------------------------------------ *)
+(* Static operation summary                                            *)
+(* ------------------------------------------------------------------ *)
+
+(** Static counts of body operations, used to sanity-check policies (e.g.
+    the paper's shift counts for Figures 4–6). Conditionals count both
+    branches (they never appear in steady-state bodies). *)
+type static_counts = {
+  loads : int;
+  stores : int;
+  ops : int;
+  splats : int;
+  shifts : int;
+  splices : int;
+  packs : int;
+  copies : int;
+}
+
+let static_counts_of_stmts stmts =
+  let incr_expr acc (e : Expr.vexpr) =
+    Expr.fold_vexpr
+      (fun acc n ->
+        match n with
+        | Expr.Load _ -> { acc with loads = acc.loads + 1 }
+        | Expr.Op _ -> { acc with ops = acc.ops + 1 }
+        | Expr.Splat _ -> { acc with splats = acc.splats + 1 }
+        | Expr.Shiftpair _ -> { acc with shifts = acc.shifts + 1 }
+        | Expr.Splice _ -> { acc with splices = acc.splices + 1 }
+        | Expr.Pack _ -> { acc with packs = acc.packs + 1 }
+        | Expr.Temp _ -> acc)
+      acc e
+  in
+  let rec go acc stmts =
+    List.fold_left
+      (fun acc s ->
+        match (s : Expr.stmt) with
+        | Expr.Store (_, e) -> incr_expr { acc with stores = acc.stores + 1 } e
+        | Expr.Assign (_, Expr.Temp _) -> { acc with copies = acc.copies + 1 }
+        | Expr.Assign (_, e) -> incr_expr acc e
+        | Expr.If (_, t, e) -> go (go acc t) e)
+      acc stmts
+  in
+  go
+    { loads = 0; stores = 0; ops = 0; splats = 0; shifts = 0; splices = 0;
+      packs = 0; copies = 0 }
+    stmts
+
+let body_counts t = static_counts_of_stmts t.body

@@ -1,0 +1,60 @@
+(** Simdized programs (paper §4.2–4.5): a trip-guarded prologue / steady
+    loop / guarded-epilogue structure, with optional unrolling and
+    reduction metadata. See the implementation header for the full shape. *)
+
+type bound =
+  | B_const of int
+  | B_trip_minus of int  (** [ub - k], runtime trip counts (Eq. 15) *)
+[@@deriving show, eq]
+
+(** Metadata for one reduction statement (extension). *)
+type reduction = {
+  acc_temp : string;
+  ident_temp : string;
+  red_op : Simd_loopir.Ast.binop;
+  acc_ref : Simd_loopir.Ast.mem_ref;
+}
+[@@deriving show, eq]
+
+type t = {
+  source : Simd_loopir.Ast.program;
+  machine : Simd_machine.Config.t;
+  elem : int;  (** D *)
+  block : int;  (** B = V/D *)
+  unroll : int;  (** body covers [unroll] simdized iterations *)
+  prologue : Expr.stmt list;  (** executed with i = 0 *)
+  lower : int;  (** LB (Eq. 12) *)
+  upper : bound;  (** UB (Eqs. 11/13/15) *)
+  body : Expr.stmt list;
+  epilogues : Expr.stmt list list;
+      (** virtual iterations: element [k] runs at [i = exit + k*B] *)
+  min_trip : int;  (** guard: simdized path requires [trip > min_trip] *)
+  reductions : reduction list;
+}
+
+val resolve_upper : t -> trip:int -> int
+val step : t -> int
+val continue_cond : t -> upper:int -> int -> bool
+val exit_counter : t -> trip:int -> int
+val steady_iterations : t -> trip:int -> int
+
+val pp_vexpr : Format.formatter -> Expr.vexpr -> unit
+val pp_stmt : indent:int -> Format.formatter -> Expr.stmt -> unit
+val pp_bound : Format.formatter -> bound -> unit
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+
+(** Static operation counts (policy sanity checks, tests). *)
+type static_counts = {
+  loads : int;
+  stores : int;
+  ops : int;
+  splats : int;
+  shifts : int;
+  splices : int;
+  packs : int;
+  copies : int;
+}
+
+val static_counts_of_stmts : Expr.stmt list -> static_counts
+val body_counts : t -> static_counts

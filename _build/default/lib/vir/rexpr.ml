@@ -1,0 +1,79 @@
+(** Compile-time-or-runtime integer expressions.
+
+    Shift amounts, splice points and epilogue-leftover counts are ordinary
+    integers when every alignment and the trip count are compile-time
+    constants, but must be computed at runtime otherwise (paper §4.4). This
+    little expression language covers exactly what the code generator needs:
+    stream offsets obtained by anding an address with [V-1], the runtime trip
+    count, the steady-loop exit counter, and affine arithmetic on them. *)
+
+type t =
+  | Const of int
+  | Offset_of of Addr.t
+      (** [addr mod V] — the runtime stream offset of a (counter-free or
+          counter-carrying, evaluated at the current iteration) address *)
+  | Trip  (** the runtime trip count [ub] *)
+  | Counter  (** the current value of the (simdized) loop counter [i] *)
+  | Add of t * t
+  | Sub of t * t
+  | Mul_const of t * int
+  | Mod_const of t * int  (** modulo a positive compile-time constant *)
+[@@deriving show { with_path = false }, eq, ord]
+
+let is_const = function Const _ -> true | _ -> false
+
+let const_exn = function
+  | Const c -> c
+  | e -> invalid_arg ("Rexpr.const_exn: " ^ show e)
+
+(* Constant-folding smart constructors: compile-time cases stay [Const]. *)
+let add a b =
+  match (a, b) with
+  | Const x, Const y -> Const (x + y)
+  | Const 0, e | e, Const 0 -> e
+  | _ -> Add (a, b)
+
+let sub a b =
+  match (a, b) with
+  | Const x, Const y -> Const (x - y)
+  | e, Const 0 -> e
+  | _ -> Sub (a, b)
+
+let mul_const a k =
+  match a with
+  | Const x -> Const (x * k)
+  | _ -> if k = 1 then a else Mul_const (a, k)
+
+let mod_const a m =
+  if m <= 0 then invalid_arg "Rexpr.mod_const: non-positive modulus";
+  match a with
+  | Const x -> Const (Simd_support.Util.pos_mod x m)
+  | _ -> Mod_const (a, m)
+
+(** [of_align a ~addr] — lift an analysis-level stream offset: compile-time
+    offsets become constants, runtime ones become [addr & (V-1)]
+    computations on the reference's address. *)
+let of_align (a : Simd_loopir.Align.t) ~addr =
+  match a with
+  | Simd_loopir.Align.Known k -> Const k
+  | Simd_loopir.Align.Runtime -> Offset_of addr
+
+(** Comparisons for guard statements. *)
+type cond = Ge of t * t | Gt of t * t | Le of t * t | Lt of t * t
+[@@deriving show { with_path = false }, eq, ord]
+
+let rec pp fmt = function
+  | Const c -> Format.pp_print_int fmt c
+  | Offset_of a -> Format.fprintf fmt "offset(%a)" Addr.pp a
+  | Trip -> Format.pp_print_string fmt "ub"
+  | Counter -> Format.pp_print_string fmt "i"
+  | Add (a, b) -> Format.fprintf fmt "(%a + %a)" pp a pp b
+  | Sub (a, b) -> Format.fprintf fmt "(%a - %a)" pp a pp b
+  | Mul_const (a, k) -> Format.fprintf fmt "(%a * %d)" pp a k
+  | Mod_const (a, m) -> Format.fprintf fmt "(%a mod %d)" pp a m
+
+let pp_cond fmt = function
+  | Ge (a, b) -> Format.fprintf fmt "%a >= %a" pp a pp b
+  | Gt (a, b) -> Format.fprintf fmt "%a > %a" pp a pp b
+  | Le (a, b) -> Format.fprintf fmt "%a <= %a" pp a pp b
+  | Lt (a, b) -> Format.fprintf fmt "%a < %a" pp a pp b

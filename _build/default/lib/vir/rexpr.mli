@@ -1,0 +1,35 @@
+(** Compile-time-or-runtime integer expressions: shift amounts, splice
+    points and leftover counts that become runtime computations when
+    alignments or the trip count are unknown (paper §4.4). *)
+
+type t =
+  | Const of int
+  | Offset_of of Addr.t  (** [addr mod V] at the current iteration *)
+  | Trip  (** the runtime trip count [ub] *)
+  | Counter  (** the current simdized loop counter [i] *)
+  | Add of t * t
+  | Sub of t * t
+  | Mul_const of t * int
+  | Mod_const of t * int
+[@@deriving show, eq, ord]
+
+val is_const : t -> bool
+val const_exn : t -> int
+
+(** Constant-folding smart constructors. *)
+
+val add : t -> t -> t
+val sub : t -> t -> t
+val mul_const : t -> int -> t
+val mod_const : t -> int -> t
+
+val of_align : Simd_loopir.Align.t -> addr:Addr.t -> t
+(** Lift an analysis-level offset: constants stay constants, runtime ones
+    become [addr & (V-1)] computations. *)
+
+(** Comparisons for guard statements. *)
+type cond = Ge of t * t | Gt of t * t | Le of t * t | Lt of t * t
+[@@deriving show, eq, ord]
+
+val pp : Format.formatter -> t -> unit
+val pp_cond : Format.formatter -> cond -> unit

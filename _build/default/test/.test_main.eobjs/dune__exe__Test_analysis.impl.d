@@ -1,0 +1,1 @@
+test/test_analysis.ml: Alcotest Align Analysis Ast List Machine Parse Printf Simd

@@ -1,0 +1,1 @@
+test/test_bench.ml: Alcotest Analysis Ast Driver Lb List Machine Measure Parse Policy Simd String Suite Synth Util

@@ -1,0 +1,1 @@
+test/test_codegen.ml: Alcotest Ast Driver Format List Machine Measure Parse Policy Printf QCheck QCheck_alcotest Simd Vir_expr Vir_prog

@@ -1,0 +1,1 @@
+test/test_corpus.ml: Alcotest Array Ast Driver Emit_portable Filename Format Fun List Measure Option Parse Policy Pp Simd String Sys

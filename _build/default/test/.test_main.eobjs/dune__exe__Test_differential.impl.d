@@ -1,0 +1,1 @@
+test/test_differential.ml: Alcotest Ast Driver Exec Format Hashtbl List Machine Measure Option Parse Policy Printf QCheck QCheck_alcotest Sim_run Simd String Synth Util

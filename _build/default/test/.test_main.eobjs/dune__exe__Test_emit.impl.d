@@ -1,0 +1,1 @@
+test/test_emit.ml: Alcotest Ast C_syntax Driver Emit_altivec Emit_portable Emit_sse Filename List Parse Policy Printf Sim_run Simd String Sys

@@ -1,0 +1,1 @@
+test/test_layout_interp.ml: Alcotest Ast Int64 Interp Layout List Machine Mem Parse Printf Prng Sim_run Simd Util

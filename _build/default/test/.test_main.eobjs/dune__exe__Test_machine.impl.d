@@ -1,0 +1,1 @@
+test/test_machine.ml: Alcotest Array Fun Gen Int64 Lane List Machine Mem Printf QCheck QCheck_alcotest Simd Vec

@@ -1,0 +1,1 @@
+test/test_parse.ml: Alcotest Ast Int64 List Parse Pp Printf QCheck QCheck_alcotest Simd String

@@ -1,0 +1,1 @@
+test/test_passes.ml: Alcotest Analysis Ast Driver List Machine Measure Names Parse Passes Printf Simd Sys Vir_addr Vir_expr Vir_prog Vir_rexpr

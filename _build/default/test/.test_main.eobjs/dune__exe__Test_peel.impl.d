@@ -1,0 +1,1 @@
+test/test_peel.ml: Alcotest Analysis Driver Machine Measure Parse Peel Simd Vir_prog

@@ -1,0 +1,1 @@
+test/test_policies.ml: Alcotest Analysis Ast Fun Graph Lb List Machine Offset Parse Policy Printf QCheck QCheck_alcotest Result Simd String

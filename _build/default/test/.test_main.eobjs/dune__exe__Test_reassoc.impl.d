@@ -1,0 +1,1 @@
+test/test_reassoc.ml: Alcotest Analysis Ast Driver Fun Graph List Machine Measure Parse Policy Printf QCheck QCheck_alcotest Reassoc Simd String Util

@@ -1,0 +1,1 @@
+test/test_reduce.ml: Alcotest Analysis Ast Driver Format Int64 Interp Lane Layout Lb List Machine Measure Mem Parse Policy Pp Printf Sim_run Simd Vir_expr Vir_prog

@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Driver Exec Format Interp List Machine Parse Sim_run Simd Vir_addr Vir_expr Vir_prog Vir_rexpr

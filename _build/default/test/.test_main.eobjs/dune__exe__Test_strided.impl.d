@@ -1,0 +1,1 @@
+test/test_strided.ml: Alcotest Analysis Ast Driver Exec Format Int64 List Machine Measure Parse Peel Policy Pp Printf Sim_run Simd String Util Vec Vir_prog

@@ -1,0 +1,1 @@
+test/test_support.ml: Alcotest Array Fun List Prng QCheck QCheck_alcotest Simd Util

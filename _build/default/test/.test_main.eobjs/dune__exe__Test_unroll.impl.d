@@ -1,0 +1,1 @@
+test/test_unroll.ml: Alcotest Driver Exec List Machine Measure Parse Printf QCheck QCheck_alcotest Sim_run Simd Synth Vir_prog

@@ -1,0 +1,1 @@
+test/test_vir.ml: Alcotest Ast Driver List Parse Printf Simd String Vir_addr Vir_expr Vir_prog Vir_rexpr

@@ -1,0 +1,135 @@
+(* Legality analysis and alignment (stream offset) computation tests. *)
+
+open Simd
+
+let machine = Machine.default
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let parse = Parse.program_of_string
+
+let analyze src = Analysis.check ~machine (parse src)
+
+let expect_error src pred name =
+  match analyze src with
+  | Ok _ -> Alcotest.failf "expected %s error" name
+  | Error e -> check_bool name true (pred e)
+
+let test_offsets () =
+  let a =
+    Analysis.check_exn ~machine
+      (parse
+         "int32 a[64] @ 0;\nint32 b[64] @ 4;\nint32 c[64] @ ?;\n\
+          for (i = 0; i < 32; i++) { a[i+3] = b[i+1] + c[i+2]; }")
+  in
+  check_int "elem" 4 a.Analysis.elem;
+  check_int "block" 4 a.Analysis.block;
+  let off r = Analysis.offset_of a r in
+  check_bool "a[i+3] @ 12" true (off { Ast.ref_array = "a"; ref_offset = 3; ref_stride = 1 } = Align.Known 12);
+  check_bool "b[i+1] @ 8" true (off { Ast.ref_array = "b"; ref_offset = 1; ref_stride = 1 } = Align.Known 8);
+  check_bool "c runtime" true (off { Ast.ref_array = "c"; ref_offset = 2; ref_stride = 1 } = Align.Runtime);
+  check_bool "not all known" false a.Analysis.all_known
+
+let test_offsets_wrap () =
+  let a =
+    Analysis.check_exn ~machine
+      (parse "int16 a[64] @ 14;\nint16 b[64] @ 0;\nfor (i = 0; i < 32; i++) { a[i+2] = b[i]; }")
+  in
+  (* (14 + 2*2) mod 16 = 2 *)
+  check_bool "wraps mod V" true
+    (Analysis.offset_of a { Ast.ref_array = "a"; ref_offset = 2; ref_stride = 1 } = Align.Known 2);
+  check_int "block 8" 8 a.Analysis.block
+
+let test_misaligned_fraction () =
+  let a =
+    Analysis.check_exn ~machine
+      (parse
+         "int32 a[64] @ 0;\nint32 b[64] @ 0;\nint32 c[64] @ 0;\n\
+          for (i = 0; i < 32; i++) { a[i+3] = b[i+1] + c[i+2]; }")
+  in
+  Alcotest.(check (float 1e-9)) "all 3 misaligned" 1.0 (Analysis.misaligned_fraction a);
+  let a2 =
+    Analysis.check_exn ~machine
+      (parse
+         "int32 a[64] @ 0;\nint32 b[64] @ 0;\n\
+          for (i = 0; i < 32; i++) { a[i] = b[i+1]; }")
+  in
+  Alcotest.(check (float 1e-9)) "half" 0.5 (Analysis.misaligned_fraction a2)
+
+let test_mixed_widths_rejected () =
+  expect_error "int32 a[64];\nint16 b[64];\nfor (i = 0; i < 8; i++) { a[i] = b[i]; }"
+    (function Analysis.Mixed_element_widths _ -> true | _ -> false)
+    "mixed widths"
+
+let test_bad_alignment_rejected () =
+  expect_error "int32 a[64] @ 17;\nfor (i = 0; i < 8; i++) { a[i] = 1; }"
+    (function Analysis.Bad_base_alignment _ -> true | _ -> false)
+    "align out of range";
+  expect_error "int32 a[64] @ 2;\nfor (i = 0; i < 8; i++) { a[i] = 1; }"
+    (function Analysis.Bad_base_alignment _ -> true | _ -> false)
+    "not naturally aligned"
+
+let test_negative_offset_rejected () =
+  expect_error "int32 a[64];\nint32 b[64];\nfor (i = 0; i < 8; i++) { a[i] = b[i-1]; }"
+    (function Analysis.Negative_offset _ -> true | _ -> false)
+    "negative offset"
+
+let test_oob_rejected () =
+  expect_error "int32 a[8];\nfor (i = 0; i < 8; i++) { a[i+3] = 1; }"
+    (function Analysis.Out_of_bounds _ -> true | _ -> false)
+    "out of bounds"
+
+let test_dependences_rejected () =
+  expect_error
+    "int32 a[64];\nint32 b[64];\n\
+     for (i = 0; i < 8; i++) { a[i] = b[i]; a[i+1] = b[i+1]; }"
+    (function Analysis.Store_conflict _ -> true | _ -> false)
+    "double store";
+  expect_error
+    "int32 a[64];\nfor (i = 0; i < 8; i++) { a[i] = a[i+1]; }"
+    (function Analysis.Store_conflict _ -> true | _ -> false)
+    "store+load same array";
+  expect_error
+    "int32 a[64];\nint32 b[64];\n\
+     for (i = 0; i < 8; i++) { a[i] = b[i]; b[i] = a[i+1]; }"
+    (function Analysis.Store_conflict _ -> true | _ -> false)
+    "cross statement"
+
+let test_runtime_trip_ok () =
+  match
+    analyze
+      "int32 a[4096];\nint32 b[4096];\nparam n;\n\
+       for (i = 0; i < n; i++) { a[i] = b[i+1]; }"
+  with
+  | Ok a -> check_bool "legal" true (a.Analysis.block = 4)
+  | Error e -> Alcotest.failf "unexpected: %s" (Analysis.error_to_string e)
+
+let test_elem_widths_all_supported () =
+  List.iter
+    (fun (ty, block) ->
+      let src =
+        Printf.sprintf "%s a[128];\n%s b[128];\nfor (i = 0; i < 64; i++) { a[i] = b[i+1]; }"
+          ty ty
+      in
+      match analyze src with
+      | Ok a -> check_int (ty ^ " block") block a.Analysis.block
+      | Error e -> Alcotest.failf "%s rejected: %s" ty (Analysis.error_to_string e))
+    [ ("int8", 16); ("int16", 8); ("int32", 4); ("int64", 2) ]
+
+let suite =
+  [
+    ( "analysis",
+      [
+        Alcotest.test_case "stream offsets" `Quick test_offsets;
+        Alcotest.test_case "offsets wrap mod V" `Quick test_offsets_wrap;
+        Alcotest.test_case "misaligned fraction" `Quick test_misaligned_fraction;
+        Alcotest.test_case "mixed widths rejected" `Quick test_mixed_widths_rejected;
+        Alcotest.test_case "bad alignments rejected" `Quick test_bad_alignment_rejected;
+        Alcotest.test_case "negative offsets rejected" `Quick
+          test_negative_offset_rejected;
+        Alcotest.test_case "bounds checked" `Quick test_oob_rejected;
+        Alcotest.test_case "dependences rejected" `Quick test_dependences_rejected;
+        Alcotest.test_case "runtime trip legal" `Quick test_runtime_trip_ok;
+        Alcotest.test_case "all element widths" `Quick test_elem_widths_all_supported;
+      ] );
+  ]

@@ -1,0 +1,253 @@
+(* Code-generation structure tests: steady-loop bounds (Eqs. 12/13/15),
+   the trip-count guard, prologue/epilogue shape, and coverage of the
+   store streams (every stream byte stored exactly by the right segment). *)
+
+open Simd
+
+let machine = Machine.default
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let parse = Parse.program_of_string
+
+let simdize ?(config = Driver.default) src =
+  Driver.simdize_exn config (parse src)
+
+let fig1 ?(trip = 100) () =
+  Printf.sprintf
+    "int32 a[%d] @ 0;\nint32 b[%d] @ 0;\nint32 c[%d] @ 0;\n\
+     for (i = 0; i < %d; i++) { a[i+3] = b[i+1] + c[i+2]; }"
+    (trip + 8) (trip + 8) (trip + 8) trip
+
+let test_bounds_eq13 () =
+  (* trip 100, store offset 12: EpiSplice = (12 + 400) mod 16 = 12, so
+     UB = 100 - 3 = 97 (Eq. 13 via Eq. 9); LB = B = 4 (Eq. 12). *)
+  let o = simdize (fig1 ()) in
+  let p = o.Driver.prog in
+  check_int "lower = B" 4 p.Vir_prog.lower;
+  check_bool "upper = 97" true (p.Vir_prog.upper = Vir_prog.B_const 97);
+  check_int "exit = 100" 100 (Vir_prog.exit_counter p ~trip:100);
+  check_int "steady iterations" 24 (Vir_prog.steady_iterations p ~trip:100)
+
+let test_bounds_eq15_runtime_trip () =
+  let src =
+    "int32 a[4096] @ 0;\nint32 b[4096] @ 4;\nparam n;\n\
+     for (i = 0; i < n; i++) { a[i+3] = b[i+1]; }"
+  in
+  let o = simdize src in
+  let p = o.Driver.prog in
+  check_int "lower = B" 4 p.Vir_prog.lower;
+  check_bool "upper = ub - B + 1" true (p.Vir_prog.upper = Vir_prog.B_trip_minus 3);
+  check_int "guard = 3B" 12 p.Vir_prog.min_trip
+
+let test_bounds_eq15_runtime_align () =
+  let src =
+    "int32 a[256] @ ?;\nint32 b[256] @ 0;\n\
+     for (i = 0; i < 200; i++) { a[i] = b[i+1]; }"
+  in
+  let o = simdize src in
+  check_bool "runtime align uses Eq. 15" true
+    (o.Driver.prog.Vir_prog.upper = Vir_prog.B_trip_minus 3)
+
+let test_trip_guard () =
+  (* trip <= 3B stays scalar *)
+  (match Driver.simdize Driver.default (parse (fig1 ~trip:12 ())) with
+  | Driver.Scalar (Driver.Trip_too_small { trip = 12; needed = 12 }) -> ()
+  | _ -> Alcotest.fail "trip 12 should stay scalar");
+  match Driver.simdize Driver.default (parse (fig1 ~trip:13 ())) with
+  | Driver.Simdized _ -> ()
+  | Driver.Scalar r ->
+    Alcotest.failf "trip 13 should simdize: %s"
+      (Format.asprintf "%a" Driver.pp_reason r)
+
+let test_prologue_has_splice_store () =
+  (* misaligned store: prologue must splice into original memory *)
+  let o = simdize (fig1 ()) in
+  (* after CSE the splice may be bound to a temporary first; count nodes *)
+  let counts = Vir_prog.static_counts_of_stmts o.Driver.prog.Vir_prog.prologue in
+  check_bool "prologue splices" true (counts.Vir_prog.splices >= 1)
+
+let test_prologue_aligned_store_plain () =
+  let src =
+    "int32 a[128] @ 0;\nint32 b[128] @ 0;\n\
+     for (i = 0; i < 100; i++) { a[i] = b[i+1]; }"
+  in
+  let o = simdize src in
+  let plain =
+    List.exists
+      (function
+        | Vir_expr.Store (_, e) -> not (Vir_expr.is_shift e) && (match e with Vir_expr.Splice _ -> false | _ -> true)
+        | _ -> false)
+      o.Driver.prog.Vir_prog.prologue
+  in
+  check_bool "aligned store needs no splice" true plain
+
+let test_steady_body_stores () =
+  let src =
+    "int32 a[128] @ 0;\nint32 b[128] @ 4;\nint32 x[128] @ 8;\nint32 y[128] @ 0;\n\
+     for (i = 0; i < 100; i++) { a[i+1] = b[i+2]; x[i] = y[i+3]; }"
+  in
+  let o = simdize src in
+  let counts = Vir_prog.body_counts o.Driver.prog in
+  check_int "two stores per iteration" 2 counts.Vir_prog.stores;
+  check_int "no splices in steady state" 0 counts.Vir_prog.splices
+
+(* Store-stream coverage: simulate and additionally recompute, per
+   statement, which bytes each segment must store; the union must be
+   exactly [0, trip*D) with no overlap... this is implied by the
+   differential test, so here we only check the epilogue folds for nice
+   compile-time cases. *)
+let test_epilogue_specialized_empty_when_exact () =
+  (* store aligned and trip a multiple of B: nothing left over. *)
+  let src =
+    "int32 a[128] @ 0;\nint32 b[128] @ 4;\n\
+     for (i = 0; i < 96; i++) { a[i] = b[i+1]; }"
+  in
+  let o = simdize src in
+  let p = o.Driver.prog in
+  List.iteri
+    (fun k stmts ->
+      check_int
+        (Printf.sprintf "no epilogue stores (segment %d)" k)
+        0
+        (Vir_prog.static_counts_of_stmts stmts).Vir_prog.stores)
+    p.Vir_prog.epilogues
+
+let test_epilogue_two_partial_stores_when_large_leftover () =
+  (* Single-statement Eq. 13 bounds are tight (leftover < V), so a second
+     epilogue store needs differing store alignments: with trip 102, the
+     aligned statement has EpiSplice 8 (2 elements) while the offset-12 one
+     has 4, so UB = 100, exit = 100, and the offset-12 statement's leftover
+     is (102-100)*4 + 12 = 20 >= 16: a full store at exit plus a partial
+     store of 4 bytes at exit+B. *)
+  let src =
+    "int32 a[128] @ 0;\nint32 x[128] @ 0;\nint32 b[128] @ 4;\nint32 c[128] @ 8;\n\
+     for (i = 0; i < 102; i++) { a[i] = b[i+1]; x[i+3] = c[i+2]; }"
+  in
+  let o = simdize src in
+  let p = o.Driver.prog in
+  let epi k =
+    (Vir_prog.static_counts_of_stmts (List.nth p.Vir_prog.epilogues k))
+      .Vir_prog.stores
+  in
+  check_int "partial(a) + full(x) at exit" 2 (epi 0);
+  check_int "partial(x) at exit+B" 1 (epi 1);
+  (* and of course it still verifies *)
+  match Measure.verify ~config:Driver.default (parse src) with
+  | Ok () -> ()
+  | Error m -> Alcotest.failf "verify: %s" m
+
+let test_runtime_epilogue_guarded () =
+  let src =
+    "int32 a[4096] @ 0;\nint32 b[4096] @ 4;\nparam n;\n\
+     for (i = 0; i < n; i++) { a[i+3] = b[i+1]; }"
+  in
+  let o = simdize src in
+  let has_if =
+    List.exists
+      (function Vir_expr.If _ -> true | _ -> false)
+      (List.hd o.Driver.prog.Vir_prog.epilogues)
+  in
+  check_bool "guarded epilogue" true has_if
+
+let test_sp_body_structure () =
+  (* software pipelining: body contains carries old := new and exactly one
+     load per misaligned stream *)
+  let o =
+    simdize
+      ~config:{ Driver.default with Driver.policy = Policy.Zero }
+      (fig1 ())
+  in
+  let body = o.Driver.prog.Vir_prog.body in
+  let copies =
+    List.length
+      (List.filter
+         (function Vir_expr.Assign (_, Vir_expr.Temp _) -> true | _ -> false)
+         body)
+  in
+  check_bool "has carries" true (copies >= 2);
+  let counts = Vir_prog.static_counts_of_stmts body in
+  check_int "one load per load stream" 2 counts.Vir_prog.loads
+
+let test_pc_inits_in_prologue () =
+  let config =
+    { Driver.default with Driver.reuse = Driver.Predictive_commoning }
+  in
+  let o = simdize ~config (fig1 ()) in
+  let body_loads = (Vir_prog.body_counts o.Driver.prog).Vir_prog.loads in
+  check_int "pc: one load per stream" 2 body_loads
+
+let test_splat_hoisted () =
+  let src =
+    "int32 a[128] @ 4;\nparam x;\nparam y;\n\
+     for (i = 0; i < 100; i++) { a[i] = x * y + 3; }"
+  in
+  let o = simdize src in
+  let p = o.Driver.prog in
+  check_int "no splats in body" 0 (Vir_prog.body_counts p).Vir_prog.splats;
+  let prologue_splats =
+    (Vir_prog.static_counts_of_stmts p.Vir_prog.prologue).Vir_prog.splats
+  in
+  check_int "one splat in prologue" 1 prologue_splats
+
+let test_min_trip_is_3b () =
+  List.iter
+    (fun (ty, b) ->
+      let src =
+        Printf.sprintf
+          "%s a[256] @ 0;\n%s q[256] @ %d;\nfor (i = 0; i < 200; i++) { a[i] = q[i+1]; }"
+          ty ty (Ast.elem_width (Ast.elem_ty_of_width b) * 0)
+      in
+      ignore ty;
+      let o = simdize src in
+      check_int
+        (Printf.sprintf "%s guard" ty)
+        (3 * (16 / b))
+        o.Driver.prog.Vir_prog.min_trip)
+    [ ("int8", 1); ("int16", 2); ("int32", 4); ("int64", 8) ]
+
+(* Property: exit counter lands in [UB, UB + B) ∩ multiples of B, i.e.
+   within (ub - B, ub] for the runtime bound — the window that makes
+   EpiLeftOver < 2V (§4.3/4.4). *)
+let prop_exit_window =
+  QCheck.Test.make ~count:300 ~name:"exit counter window"
+    QCheck.(pair (int_range 13 2000) (int_range 0 3))
+    (fun (trip, salign) ->
+      let src =
+        Printf.sprintf
+          "int32 a[2100] @ %d;\nint32 b[2100] @ 4;\nparam n;\n\
+           for (i = 0; i < n; i++) { a[i+%d] = b[i+1]; }"
+          0 salign
+      in
+      let o = Driver.simdize_exn Driver.default (parse src) in
+      let p = o.Driver.prog in
+      let exit = Vir_prog.exit_counter p ~trip in
+      exit mod p.Vir_prog.block = 0 && exit > trip - p.Vir_prog.block && exit <= trip)
+
+let suite =
+  [
+    ( "codegen",
+      [
+        Alcotest.test_case "bounds Eq.12/13" `Quick test_bounds_eq13;
+        Alcotest.test_case "bounds Eq.15 (runtime trip)" `Quick
+          test_bounds_eq15_runtime_trip;
+        Alcotest.test_case "bounds Eq.15 (runtime align)" `Quick
+          test_bounds_eq15_runtime_align;
+        Alcotest.test_case "ub > 3B guard" `Quick test_trip_guard;
+        Alcotest.test_case "prologue splice store" `Quick test_prologue_has_splice_store;
+        Alcotest.test_case "prologue aligned store plain" `Quick
+          test_prologue_aligned_store_plain;
+        Alcotest.test_case "steady body stores" `Quick test_steady_body_stores;
+        Alcotest.test_case "epilogue empty when exact" `Quick
+          test_epilogue_specialized_empty_when_exact;
+        Alcotest.test_case "epilogue full+partial" `Quick
+          test_epilogue_two_partial_stores_when_large_leftover;
+        Alcotest.test_case "runtime epilogue guarded" `Quick
+          test_runtime_epilogue_guarded;
+        Alcotest.test_case "sp body structure" `Quick test_sp_body_structure;
+        Alcotest.test_case "pc load counts" `Quick test_pc_inits_in_prologue;
+        Alcotest.test_case "splats hoisted" `Quick test_splat_hoisted;
+        Alcotest.test_case "guard is 3B for all widths" `Quick test_min_trip_is_3b;
+        QCheck_alcotest.to_alcotest prop_exit_window;
+      ] );
+  ]

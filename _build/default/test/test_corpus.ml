@@ -1,0 +1,96 @@
+(* Regression corpus: every program in corpus/ must parse, round-trip
+   through the printer, simdize under a spread of configurations, verify
+   differentially, and emit compilable-shaped C. Runtime-trip programs are
+   exercised at several trip counts including the guard region. *)
+
+open Simd
+
+let check_bool = Alcotest.(check bool)
+
+(* The corpus directory relative to the test executable's cwd (dune runs
+   tests in _build/default/test); fall back to the source tree. *)
+let corpus_dir =
+  List.find_opt Sys.file_exists
+    [ "../corpus"; "corpus"; "../../corpus"; "../../../corpus" ]
+  |> Option.value ~default:"../corpus"
+
+let corpus_files () =
+  Sys.readdir corpus_dir |> Array.to_list
+  |> List.filter (fun f -> Filename.check_suffix f ".simd")
+  |> List.sort compare
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let configs =
+  [
+    ("default", Driver.default);
+    ("zero-plain", { Driver.default with Driver.policy = Policy.Zero;
+                     reuse = Driver.No_reuse });
+    ("lazy-pc-reassoc", { Driver.default with Driver.policy = Policy.Lazy;
+                          reuse = Driver.Predictive_commoning; reassoc = true });
+    ("eager-sp-unroll2", { Driver.default with Driver.policy = Policy.Eager;
+                           unroll = 2 });
+    ("dom-pc-unroll4", { Driver.default with Driver.policy = Policy.Dominant;
+                         reuse = Driver.Predictive_commoning; unroll = 4 });
+  ]
+
+let trips_for (p : Ast.program) =
+  match p.Ast.loop.Ast.trip with
+  | Ast.Trip_const _ -> [ None ]
+  | Ast.Trip_param _ -> [ Some 7; Some 13; Some 100; Some 1000 ]
+
+let test_corpus_file file () =
+  let src = read_file (Filename.concat corpus_dir file) in
+  let program =
+    match Parse.program_of_string_result src with
+    | Ok p -> p
+    | Error m -> Alcotest.failf "%s: %s" file m
+  in
+  (* printer round trip *)
+  check_bool
+    (file ^ " round trips")
+    true
+    (Ast.equal_program program (Parse.program_of_string (Pp.program_to_string program)));
+  (* differential verification across configs and trips *)
+  List.iter
+    (fun (cname, config) ->
+      List.iter
+        (fun trip ->
+          match Measure.verify ~config ?trip program with
+          | Ok () -> ()
+          | Error m ->
+            (* the guard keeping tiny runtime trips scalar is fine *)
+            let is_guard =
+              String.length m >= 10 && String.sub m 0 10 = "not simdiz"
+            in
+            if not (is_guard && trip <> None && Option.get trip <= 48) then
+              Alcotest.failf "%s / %s / trip %s: %s" file cname
+                (match trip with None -> "-" | Some t -> string_of_int t)
+                m)
+        (trips_for program))
+    configs;
+  (* the portable C unit contains both kernels *)
+  match Driver.simdize Driver.default program with
+  | Driver.Simdized o ->
+    let c = Emit_portable.unit o.Driver.prog in
+    List.iter
+      (fun frag ->
+        let n = String.length frag in
+        let rec go i = i + n <= String.length c && (String.sub c i n = frag || go (i + 1)) in
+        check_bool (file ^ " C has " ^ frag) true (go 0))
+      [ "kernel_scalar"; "kernel_simd" ]
+  | Driver.Scalar r ->
+    Alcotest.failf "%s: default config left scalar: %s" file
+      (Format.asprintf "%a" Driver.pp_reason r)
+
+let suite =
+  [
+    ( "corpus",
+      List.map
+        (fun f -> Alcotest.test_case f `Quick (test_corpus_file f))
+        (corpus_files ()) );
+  ]

@@ -1,0 +1,218 @@
+(* C emission tests: structural checks on all three backends, and
+   gcc-compiled differential integration tests for the portable and SSE
+   backends (skipped when no C compiler is available). *)
+
+open Simd
+
+let check_bool = Alcotest.(check bool)
+let parse = Parse.program_of_string
+
+let contains ~sub s =
+  let n = String.length sub in
+  let rec go i = i + n <= String.length s && (String.sub s i n = sub || go (i + 1)) in
+  go 0
+
+let assert_contains what s frags =
+  List.iter
+    (fun f -> check_bool (Printf.sprintf "%s contains %S" what f) true (contains ~sub:f s))
+    frags
+
+let fig1 =
+  "int32 a[128] @ 0;\nint32 b[128] @ 4;\nint32 c[128] @ 8;\nparam k;\n\
+   for (i = 0; i < 100; i++) { a[i+3] = b[i+1] + c[i+2] * k; }"
+
+let simdized ?(config = Driver.default) src = Driver.simdize_exn config (parse src)
+
+let test_portable_structure () =
+  let o = simdized fig1 in
+  let c = Emit_portable.unit o.Driver.prog in
+  assert_contains "portable" c
+    [
+      "typedef struct { uint8_t b[VLEN]; } vec_t;";
+      "(uintptr_t)p & ~(uintptr_t)(VLEN - 1)";
+      "void kernel_scalar(int32_t *a, int32_t *b, int32_t *c, long ub, int32_t k)";
+      "void kernel_simd(";
+      "if (ub <= 12)";
+      "vshiftpair";
+      "vsplice";
+      "vsplat(k)";
+      "for (i = 4; i <";
+    ]
+
+let test_altivec_structure () =
+  let o = simdized fig1 in
+  let c = Emit_altivec.unit o.Driver.prog in
+  assert_contains "altivec" c
+    [
+      "#include <altivec.h>";
+      "vec_ld";
+      "vec_st";
+      "vec_perm";
+      "vec_sel";
+      "vec_splats";
+      "typedef vector signed int vec_t;";
+    ]
+
+let test_sse_structure () =
+  let o = simdized fig1 in
+  let c = Emit_sse.unit o.Driver.prog in
+  assert_contains "sse" c
+    [
+      "#include <tmmintrin.h>";
+      "_mm_load_si128";
+      "_mm_store_si128";
+      "_mm_shuffle_epi8";
+      "_mm_add_epi32";
+      "~(uintptr_t)15";
+    ]
+
+let test_scalar_loop_c () =
+  let program = parse fig1 in
+  let c = C_syntax.scalar_loop ~program ~ub:"ub" ~iv:"s" ~indent:"" in
+  assert_contains "scalar loop" c
+    [ "for (long s = 0; s < ub; s++)"; "a[s + 3] ="; "b[s + 1]"; "c[s + 2]" ]
+
+let test_widths_ctypes () =
+  List.iter
+    (fun (ty, ct) ->
+      let src =
+        Printf.sprintf "%s a[256] @ 0;\n%s b[256] @ %d;\nfor (i = 0; i < 200; i++) { a[i] = b[i+1]; }"
+          ty ty (Ast.elem_width (match ty with
+            | "int8" -> Ast.I8 | "int16" -> Ast.I16 | "int32" -> Ast.I32 | _ -> Ast.I64))
+      in
+      let o = simdized src in
+      let c = Emit_portable.unit o.Driver.prog in
+      check_bool (ty ^ " elem type") true (contains ~sub:("typedef " ^ ct ^ " elem_t;") c))
+    [ ("int8", "int8_t"); ("int16", "int16_t"); ("int32", "int32_t"); ("int64", "int64_t") ]
+
+(* --- gcc integration ---------------------------------------------------- *)
+
+let cc = if Sys.command "command -v gcc >/dev/null 2>&1" = 0 then Some "gcc" else None
+
+let run_c ~flags c_source name =
+  match cc with
+  | None -> `Skipped
+  | Some cc ->
+    let dir = Filename.temp_file "simd_emit" "" in
+    Sys.remove dir;
+    Sys.mkdir dir 0o755;
+    let src = Filename.concat dir (name ^ ".c") in
+    let exe = Filename.concat dir name in
+    let oc = open_out src in
+    output_string oc c_source;
+    close_out oc;
+    let cmd = Printf.sprintf "%s %s -o %s %s 2>%s/cc.log" cc flags exe src dir in
+    if Sys.command cmd <> 0 then `Compile_failed dir
+    else if Sys.command (Printf.sprintf "%s >%s/run.log 2>&1" exe dir) <> 0 then
+      `Run_failed dir
+    else `Ok
+
+let gcc_case ~backend ~flags ~config src seed =
+  let program = parse src in
+  match Driver.simdize config program with
+  | Driver.Scalar r -> Alcotest.failf "not simdized: %a" Driver.pp_reason r
+  | Driver.Simdized o ->
+    let trip =
+      match program.Ast.loop.Ast.trip with
+      | Ast.Trip_const _ -> None
+      | Ast.Trip_param _ -> Some 203
+    in
+    let setup = Sim_run.prepare ~seed ?trip ~machine:config.Driver.machine program in
+    let harness =
+      match backend with
+      | `Portable ->
+        Emit_portable.harness ~layout:setup.Sim_run.layout
+          ~params:setup.Sim_run.params ~trip:setup.Sim_run.trip o.Driver.prog
+      | `Sse ->
+        Emit_sse.harness ~layout:setup.Sim_run.layout ~params:setup.Sim_run.params
+          ~trip:setup.Sim_run.trip o.Driver.prog
+    in
+    (match run_c ~flags harness "t" with
+    | `Ok -> ()
+    | `Skipped -> ()
+    | `Compile_failed d -> Alcotest.failf "gcc failed (logs in %s)" d
+    | `Run_failed d -> Alcotest.failf "C harness mismatch (logs in %s)" d)
+
+let test_gcc_portable_matrix () =
+  (* a representative matrix: policies × reuse × widths × runtime align *)
+  let cases =
+    [
+      (fig1, Driver.default);
+      (fig1, { Driver.default with Driver.policy = Policy.Zero });
+      (fig1, { Driver.default with Driver.reuse = Driver.No_reuse });
+      (fig1, { Driver.default with Driver.reuse = Driver.Predictive_commoning });
+      ( "int16 a[256] @ 2;\nint16 b[256] @ 6;\nint16 c[256] @ 0;\n\
+         for (i = 0; i < 200; i++) { a[i+1] = min(b[i+3], c[i+2]); }",
+        Driver.default );
+      ( "int8 a[256] @ 3;\nint8 b[256] @ 9;\n\
+         for (i = 0; i < 200; i++) { a[i+1] = b[i+3] ^ 7; }",
+        Driver.default );
+      ( "int64 a[256] @ 8;\nint64 b[256] @ 0;\n\
+         for (i = 0; i < 200; i++) { a[i+1] = b[i+2] * 3; }",
+        Driver.default );
+      ( "int32 a[256] @ ?;\nint32 b[256] @ ?;\n\
+         for (i = 0; i < 200; i++) { a[i+1] = b[i+2]; }",
+        Driver.default );
+      ( "int32 a[256] @ 4;\nint32 b[256] @ 8;\nint32 x[256] @ 0;\nint32 yy[256] @ 12;\n\
+         for (i = 0; i < 197; i++) { a[i+2] = b[i+1]; x[i+3] = yy[i+1] + b[i+2]; }",
+        Driver.default );
+      (* reduction extension: dot product + max, misaligned inputs *)
+      ( "int32 s[1] @ 12;\nint32 m[1] @ 4;\nint32 p[256] @ 4;\nint32 q[256] @ 8;\n\
+         for (i = 0; i < 203; i++) { s += p[i+1] * q[i+3]; m max= q[i+2]; }",
+        Driver.default );
+      (* reduction + unrolling *)
+      ( "int32 s[1] @ 0;\nint32 p[4200] @ ?;\nparam n;\n\
+         for (i = 0; i < n; i++) { s += p[i+1]; }",
+        { Driver.default with Driver.unroll = 2 } );
+      (* strided gathers: deinterleave (stride 2) and stride 4, misaligned *)
+      ( "int32 re[256] @ 0;\nint32 im[256] @ 4;\nint32 x[600] @ 8;\n\
+         for (i = 0; i < 199; i++) { re[i] = x[2*i]; im[i+1] = x[2*i+1]; }",
+        Driver.default );
+      ( "int16 y[256] @ 2;\nint16 x[900] @ 6;\n\
+         for (i = 0; i < 200; i++) { y[i+1] = x[4*i+3] + 7; }",
+        { Driver.default with Driver.reuse = Driver.Predictive_commoning } );
+    ]
+  in
+  List.iteri
+    (fun k (src, config) -> gcc_case ~backend:`Portable ~flags:"-O1 -Wall" ~config src (k + 1))
+    cases
+
+let test_gcc_sse () =
+  (* SSE needs SSSE3; probe once with a trivial program. *)
+  let probe =
+    "#include <tmmintrin.h>\nint main(void){__m128i a=_mm_set1_epi8(1);a=_mm_shuffle_epi8(a,a);return _mm_cvtsi128_si32(a)==16843009?0:1;}"
+  in
+  match run_c ~flags:"-O1 -mssse3" probe "probe" with
+  | `Skipped | `Compile_failed _ | `Run_failed _ -> () (* host lacks SSSE3 *)
+  | `Ok ->
+    List.iteri
+      (fun k (src, config) ->
+        gcc_case ~backend:`Sse ~flags:"-O2 -mssse3 -Wall" ~config src (100 + k))
+      [
+        (fig1, Driver.default);
+        (fig1, { Driver.default with Driver.policy = Policy.Zero });
+        ( "int16 a[256] @ 2;\nint16 b[256] @ 6;\n\
+           for (i = 0; i < 200; i++) { a[i+1] = b[i+3] + 5; }",
+          Driver.default );
+        ( "int32 a[256] @ ?;\nint32 b[256] @ ?;\n\
+           for (i = 0; i < 200; i++) { a[i+1] = b[i+2]; }",
+          Driver.default );
+        (* strided gather through pshufb masks *)
+        ( "int32 re[256] @ 0;\nint32 x[600] @ 4;\n\
+           for (i = 0; i < 200; i++) { re[i+1] = x[2*i+1]; }",
+          Driver.default );
+      ]
+
+let suite =
+  [
+    ( "emit",
+      [
+        Alcotest.test_case "portable structure" `Quick test_portable_structure;
+        Alcotest.test_case "altivec structure" `Quick test_altivec_structure;
+        Alcotest.test_case "sse structure" `Quick test_sse_structure;
+        Alcotest.test_case "scalar loop C" `Quick test_scalar_loop_c;
+        Alcotest.test_case "element C types" `Quick test_widths_ctypes;
+        Alcotest.test_case "gcc portable matrix" `Slow test_gcc_portable_matrix;
+        Alcotest.test_case "gcc sse" `Slow test_gcc_sse;
+      ] );
+  ]

@@ -1,0 +1,160 @@
+(* Array placement and the reference scalar interpreter. *)
+
+open Simd
+
+let machine = Machine.default
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_i64 = Alcotest.(check int64)
+
+let parse = Parse.program_of_string
+
+let test_layout_alignments () =
+  let p =
+    parse
+      "int32 a[64] @ 0;\nint32 b[64] @ 4;\nint32 c[64] @ 12;\n\
+       for (i = 0; i < 32; i++) { a[i] = b[i] + c[i]; }"
+  in
+  let l = Layout.create ~machine p in
+  check_int "a base mod 16" 0 (Layout.base l "a" mod 16);
+  check_int "b base mod 16" 4 (Layout.base l "b" mod 16);
+  check_int "c base mod 16" 12 (Layout.base l "c" mod 16);
+  (* Guard space between arrays: at least 2V. *)
+  let regions =
+    List.map (fun (d : Ast.array_decl) -> Layout.array_region l ~program:p d.Ast.arr_name)
+      p.Ast.arrays
+    |> List.sort compare
+  in
+  let rec gaps = function
+    | (b1, len1) :: ((b2, _) :: _ as rest) ->
+      check_bool "gap >= 2V" true (b2 - (b1 + len1) >= 32);
+      gaps rest
+    | _ -> ()
+  in
+  gaps regions;
+  check_bool "leading guard" true (fst (List.hd regions) >= 32);
+  check_bool "arena covers" true
+    (l.Layout.arena_size
+    >= (let b, len = List.nth regions 2 in
+        b + len + 32))
+
+let test_layout_runtime_natural () =
+  let p =
+    parse "int16 a[64] @ ?;\nint16 b[64] @ ?;\nfor (i = 0; i < 32; i++) { a[i] = b[i]; }"
+  in
+  (* Runtime alignments drawn from a PRNG are naturally aligned and vary
+     with the seed. *)
+  let offsets =
+    List.map
+      (fun seed ->
+        let prng = Prng.create ~seed in
+        let l = Layout.create ~machine ~prng p in
+        check_int "natural" 0 (Layout.base l "a" mod 2);
+        Layout.base l "a" mod 16)
+      [ 1; 2; 3; 4; 5; 6; 7; 8; 9; 10 ]
+  in
+  check_bool "alignments vary" true (List.length (Util.dedup offsets) > 1)
+
+let test_layout_addr () =
+  let p = parse "int32 a[64] @ 8;\nfor (i = 0; i < 32; i++) { a[i] = 1; }" in
+  let l = Layout.create ~machine p in
+  check_int "addr arithmetic"
+    (Layout.base l "a" + 12)
+    (Layout.addr l ~elem:4 ~name:"a" ~index:3);
+  check_int "actual offset"
+    ((8 + 12) mod 16)
+    (Layout.actual_offset l ~machine ~elem:4 { Ast.ref_array = "a"; ref_offset = 3; ref_stride = 1 })
+
+let run_interp src ?(params = []) ?trip () =
+  let p = parse src in
+  let setup = Sim_run.prepare ~machine ~params ?trip p in
+  let counts, mem = Sim_run.run_scalar setup in
+  (p, setup, counts, mem)
+
+let test_interp_values () =
+  (* a[i] = b[i] + 2*c[i+1] with known contents *)
+  let p, setup, _, mem =
+    run_interp
+      "int32 a[16] @ 0;\nint32 b[16] @ 4;\nint32 c[16] @ 8;\n\
+       for (i = 0; i < 8; i++) { a[i] = b[i] + 2 * c[i+1]; }"
+      ()
+  in
+  (* overwrite inputs with known values, re-run *)
+  let mem2 = Sim_run.fresh_mem setup in
+  for k = 0 to 15 do
+    Mem.poke_scalar mem2 ~elem:4 (Layout.addr setup.Sim_run.layout ~elem:4 ~name:"b" ~index:k)
+      (Int64.of_int (10 * k));
+    Mem.poke_scalar mem2 ~elem:4 (Layout.addr setup.Sim_run.layout ~elem:4 ~name:"c" ~index:k)
+      (Int64.of_int k)
+  done;
+  let env = Interp.make_env ~layout:setup.Sim_run.layout ~trip:8 () in
+  ignore (Interp.run ~mem:mem2 ~env p);
+  for k = 0 to 7 do
+    check_i64
+      (Printf.sprintf "a[%d]" k)
+      (Int64.of_int ((10 * k) + (2 * (k + 1))))
+      (Mem.peek_scalar mem2 ~elem:4
+         (Layout.addr setup.Sim_run.layout ~elem:4 ~name:"a" ~index:k))
+  done;
+  ignore mem
+
+let test_interp_counts () =
+  let _, _, counts, _ =
+    run_interp
+      "int32 a[64] @ 0;\nint32 b[64] @ 4;\nint32 c[64] @ 8;\n\
+       for (i = 0; i < 10; i++) { a[i] = b[i] + c[i+1] + 7; }"
+      ()
+  in
+  check_int "loads" 20 counts.Interp.loads;
+  check_int "stores" 10 counts.Interp.stores;
+  check_int "ariths" 20 counts.Interp.ariths;
+  check_int "total" 50 (Interp.total_ops counts)
+
+let test_interp_ideal_formula () =
+  let p =
+    parse
+      "int32 a[64] @ 0;\nint32 b[64] @ 4;\nint32 c[64] @ 8;\n\
+       for (i = 0; i < 10; i++) { a[i] = b[i] + c[i+1] + 7; }"
+  in
+  check_int "formula matches run" 50 (Interp.ideal_scalar_ops p ~trip:10);
+  check_int "data" 10 (Interp.data_stored p ~trip:10)
+
+let test_interp_params_and_widths () =
+  let _, setup, _, mem =
+    run_interp "int16 a[16] @ 0;\nparam w;\nfor (i = 0; i < 8; i++) { a[i] = w * w; }"
+      ~params:[ ("w", 300L) ] ()
+  in
+  (* 300*300 = 90000 wraps mod 2^16 to 90000 - 65536 = 24464 *)
+  check_i64 "wrap in interp" 24464L
+    (Mem.peek_scalar mem ~elem:2 (Layout.addr setup.Sim_run.layout ~elem:2 ~name:"a" ~index:0))
+
+let test_interp_runtime_trip () =
+  let _, setup, counts, _ =
+    run_interp "int32 a[64] @ 0;\nparam n;\nfor (i = 0; i < n; i++) { a[i] = 1; }"
+      ~trip:13 ()
+  in
+  check_int "13 stores" 13 counts.Interp.stores;
+  check_int "trip recorded" 13 setup.Sim_run.trip
+
+let test_prepare_binds_trip_param () =
+  let p = parse "int32 a[64] @ 0;\nparam n;\nfor (i = 0; i < n; i++) { a[i] = 1; }" in
+  let setup = Sim_run.prepare ~machine ~trip:9 p in
+  check_bool "n bound to trip" true (List.assoc "n" setup.Sim_run.params = 9L)
+
+let suite =
+  [
+    ( "layout+interp",
+      [
+        Alcotest.test_case "placement honors alignments" `Quick test_layout_alignments;
+        Alcotest.test_case "runtime placement natural+varied" `Quick
+          test_layout_runtime_natural;
+        Alcotest.test_case "address arithmetic" `Quick test_layout_addr;
+        Alcotest.test_case "interp computes correct values" `Quick test_interp_values;
+        Alcotest.test_case "interp ideal counts" `Quick test_interp_counts;
+        Alcotest.test_case "ideal count formula" `Quick test_interp_ideal_formula;
+        Alcotest.test_case "params + width wrap" `Quick test_interp_params_and_widths;
+        Alcotest.test_case "runtime trip" `Quick test_interp_runtime_trip;
+        Alcotest.test_case "prepare binds trip param" `Quick
+          test_prepare_binds_trip_param;
+      ] );
+  ]

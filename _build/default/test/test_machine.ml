@@ -1,0 +1,215 @@
+(* Tests for the machine model: lane arithmetic, vector values, the three
+   generic reorganization operations, and truncating memory. *)
+
+open Simd
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_i64 = Alcotest.(check int64)
+
+let v16 = Machine.default
+
+(* --- Config --------------------------------------------------------- *)
+
+let test_config () =
+  check_int "V" 16 (Machine.vector_len v16);
+  check_int "B int32" 4 (Machine.blocking_factor v16 ~elem:4);
+  check_int "B int16" 8 (Machine.blocking_factor v16 ~elem:2);
+  check_int "trunc 0x1001" 0x1000 (Machine.truncate_addr v16 0x1001);
+  check_int "trunc 0x100F" 0x1000 (Machine.truncate_addr v16 0x100F);
+  check_int "trunc 0x1010" 0x1010 (Machine.truncate_addr v16 0x1010);
+  check_int "align 0x100B" 0xB (Machine.alignment v16 0x100B);
+  Alcotest.check_raises "V must be pow2"
+    (Invalid_argument "Config.create: vector_len must be a power of two")
+    (fun () -> ignore (Machine.create ~vector_len:12))
+
+(* --- Lane arithmetic ------------------------------------------------- *)
+
+let test_lane_canonicalize () =
+  check_i64 "i8 wrap" (-128L) (Lane.canonicalize 1 128L);
+  check_i64 "i8 -1" (-1L) (Lane.canonicalize 1 255L);
+  check_i64 "i16 wrap" (-32768L) (Lane.canonicalize 2 32768L);
+  check_i64 "i32 id" 2147483647L (Lane.canonicalize 4 2147483647L);
+  check_i64 "i32 wrap" (-2147483648L) (Lane.canonicalize 4 2147483648L);
+  check_i64 "i64 id" Int64.min_int (Lane.canonicalize 8 Int64.min_int)
+
+let test_lane_ops () =
+  check_i64 "add wrap i8" (-126L) (Lane.apply 1 Lane.Add 100L 30L);
+  check_i64 "sub i16" (-1L) (Lane.apply 2 Lane.Sub 0L 1L);
+  check_i64 "mul wrap i16" 0L (Lane.apply 2 Lane.Mul 256L 256L);
+  check_i64 "min signed" (-5L) (Lane.apply 4 Lane.Min (-5L) 3L);
+  check_i64 "max signed" 3L (Lane.apply 4 Lane.Max (-5L) 3L);
+  check_i64 "and" 0b1000L (Lane.apply 4 Lane.And 0b1100L 0b1010L);
+  check_i64 "or" 0b1110L (Lane.apply 4 Lane.Or 0b1100L 0b1010L);
+  check_i64 "xor" 0b0110L (Lane.apply 4 Lane.Xor 0b1100L 0b1010L)
+
+let prop_lane_add_wraps =
+  QCheck.Test.make ~count:500 ~name:"lane add = mod-2^8D add"
+    QCheck.(triple (oneofl [ 1; 2; 4 ]) int64 int64)
+    (fun (d, a, b) ->
+      let r = Lane.apply d Lane.Add a b in
+      Lane.canonicalize d r = r
+      && Int64.rem (Int64.sub (Int64.add a b) r) (Int64.shift_left 1L (8 * d)) = 0L)
+
+let prop_lane_commutative =
+  QCheck.Test.make ~count:500 ~name:"commutative ops commute"
+    QCheck.(quad (oneofl [ 1; 2; 4; 8 ]) (oneofl Lane.all_binops) int64 int64)
+    (fun (d, op, a, b) ->
+      (not (Lane.binop_commutative op)) || Lane.apply d op a b = Lane.apply d op b a)
+
+(* --- Vec ------------------------------------------------------------- *)
+
+let vec_of_ints xs = Vec.of_lanes ~vector_len:16 ~elem:4 (List.map Int64.of_int xs)
+let ints_of_vec v = List.map Int64.to_int (Vec.to_lanes v ~elem:4)
+
+let test_vec_lanes_roundtrip () =
+  let v = vec_of_ints [ 1; -2; 3; -4 ] in
+  Alcotest.(check (list int)) "roundtrip" [ 1; -2; 3; -4 ] (ints_of_vec v)
+
+let test_vec_splat () =
+  let v = Vec.splat ~vector_len:16 ~elem:4 7L in
+  Alcotest.(check (list int)) "splat" [ 7; 7; 7; 7 ] (ints_of_vec v);
+  let v8 = Vec.splat ~vector_len:16 ~elem:2 (-1L) in
+  check_int "8 lanes" 8 (List.length (Vec.to_lanes v8 ~elem:2))
+
+let test_vec_shiftpair () =
+  let a = vec_of_ints [ 0; 1; 2; 3 ] in
+  let b = vec_of_ints [ 4; 5; 6; 7 ] in
+  Alcotest.(check (list int)) "shift 0 = a" [ 0; 1; 2; 3 ]
+    (ints_of_vec (Vec.shiftpair a b ~shift:0));
+  Alcotest.(check (list int)) "shift 4" [ 1; 2; 3; 4 ]
+    (ints_of_vec (Vec.shiftpair a b ~shift:4));
+  Alcotest.(check (list int)) "shift 8" [ 2; 3; 4; 5 ]
+    (ints_of_vec (Vec.shiftpair a b ~shift:8));
+  Alcotest.(check (list int)) "shift 12" [ 3; 4; 5; 6 ]
+    (ints_of_vec (Vec.shiftpair a b ~shift:12));
+  Alcotest.(check (list int)) "shift 16 = b" [ 4; 5; 6; 7 ]
+    (ints_of_vec (Vec.shiftpair a b ~shift:16));
+  Alcotest.check_raises "shift 17 rejected"
+    (Invalid_argument "Vec.shiftpair: shift out of range") (fun () ->
+      ignore (Vec.shiftpair a b ~shift:17))
+
+let test_vec_splice () =
+  let a = vec_of_ints [ 0; 1; 2; 3 ] in
+  let b = vec_of_ints [ 4; 5; 6; 7 ] in
+  Alcotest.(check (list int)) "splice 0 = b" [ 4; 5; 6; 7 ]
+    (ints_of_vec (Vec.splice a b ~point:0));
+  Alcotest.(check (list int)) "splice 8" [ 0; 1; 6; 7 ]
+    (ints_of_vec (Vec.splice a b ~point:8));
+  Alcotest.(check (list int)) "splice 16 = a" [ 0; 1; 2; 3 ]
+    (ints_of_vec (Vec.splice a b ~point:16))
+
+let test_vec_binop () =
+  let a = vec_of_ints [ 1; 2; 3; 4 ] in
+  let b = vec_of_ints [ 10; 20; 30; 40 ] in
+  Alcotest.(check (list int)) "vadd" [ 11; 22; 33; 44 ]
+    (ints_of_vec (Vec.binop ~elem:4 Lane.Add a b));
+  (* 2-byte lanes on the same bytes behave independently *)
+  let ones16 = Vec.splat ~vector_len:16 ~elem:2 1L in
+  let sums = Vec.binop ~elem:2 Lane.Add ones16 ones16 in
+  Alcotest.(check (list int64)) "8-lane add"
+    (List.init 8 (fun _ -> 2L))
+    (Vec.to_lanes sums ~elem:2)
+
+(* shiftpair(a,b,s1) then shifting the result against a consistently shifted
+   next window equals a direct shift by s1+s2 over the concatenation — the
+   algebra behind stream-shift composition. *)
+let prop_shiftpair_window =
+  QCheck.Test.make ~count:200 ~name:"shiftpair = 32-byte window"
+    QCheck.(pair (int_range 0 16) (list_of_size (Gen.return 32) (int_range 0 255)))
+    (fun (sh, bytes) ->
+      let arr = Array.of_list bytes in
+      let a = Vec.init ~vector_len:16 (fun i -> arr.(i)) in
+      let b = Vec.init ~vector_len:16 (fun i -> arr.(16 + i)) in
+      let r = Vec.shiftpair a b ~shift:sh in
+      List.for_all
+        (fun k -> Vec.get_byte r k = arr.(k + sh) land 0xff)
+        (List.init 16 Fun.id))
+
+let prop_splice_select =
+  QCheck.Test.make ~count:200 ~name:"splice selects bytewise"
+    QCheck.(int_range 0 16)
+    (fun p ->
+      let a = Vec.init ~vector_len:16 (fun i -> i) in
+      let b = Vec.init ~vector_len:16 (fun i -> 100 + i) in
+      let r = Vec.splice a b ~point:p in
+      List.for_all
+        (fun k -> Vec.get_byte r k = if k < p then k else 100 + k)
+        (List.init 16 Fun.id))
+
+(* --- Mem ------------------------------------------------------------- *)
+
+let test_mem_truncating_load () =
+  let mem = Mem.create v16 ~size:64 in
+  for i = 0 to 63 do
+    Mem.poke_scalar mem ~elem:1 i (Int64.of_int (i land 0x7f))
+  done;
+  (* loads at 16..31 all return the same chunk *)
+  let base = Mem.load_vector mem 16 in
+  for a = 17 to 31 do
+    check_bool (Printf.sprintf "load %d truncates" a) true
+      (Vec.equal base (Mem.load_vector mem a))
+  done;
+  check_bool "next chunk differs" false (Vec.equal base (Mem.load_vector mem 32))
+
+let test_mem_truncating_store () =
+  let mem = Mem.create v16 ~size:64 in
+  let v = Vec.splat ~vector_len:16 ~elem:1 0x5AL in
+  Mem.store_vector mem 19 v;
+  (* store went to [16, 32), not [19, 35) *)
+  check_i64 "byte 16 written" 0x5AL (Mem.peek_scalar mem ~elem:1 16);
+  check_i64 "byte 31 written" 0x5AL (Mem.peek_scalar mem ~elem:1 31);
+  check_i64 "byte 32 untouched" 0L (Mem.peek_scalar mem ~elem:1 32);
+  check_i64 "byte 15 untouched" 0L (Mem.peek_scalar mem ~elem:1 15)
+
+let test_mem_counters () =
+  let mem = Mem.create v16 ~size:64 in
+  ignore (Mem.load_vector mem 0);
+  ignore (Mem.load_vector mem 16);
+  Mem.store_vector mem 0 (Vec.zero ~vector_len:16);
+  ignore (Mem.load_scalar mem ~elem:4 4);
+  Mem.store_scalar mem ~elem:4 8 42L;
+  let c = Mem.counters mem in
+  check_int "vloads" 2 c.Mem.vector_loads;
+  check_int "vstores" 1 c.Mem.vector_stores;
+  check_int "sloads" 1 c.Mem.scalar_loads;
+  check_int "sstores" 1 c.Mem.scalar_stores;
+  Mem.reset_counters mem;
+  check_int "reset" 0 (Mem.counters mem).Mem.vector_loads
+
+let test_mem_scalar_signed () =
+  let mem = Mem.create v16 ~size:64 in
+  Mem.store_scalar mem ~elem:2 0 (-2L);
+  check_i64 "signed roundtrip" (-2L) (Mem.load_scalar mem ~elem:2 0);
+  Mem.store_scalar mem ~elem:1 8 200L;
+  check_i64 "i8 wraps" (-56L) (Mem.load_scalar mem ~elem:1 8)
+
+let test_mem_bounds () =
+  let mem = Mem.create v16 ~size:32 in
+  Alcotest.check_raises "oob load"
+    (Invalid_argument "Mem.load_vector: address 32 (+16) out of arena [0, 32)")
+    (fun () -> ignore (Mem.load_vector mem 40))
+
+let suite =
+  [
+    ( "machine",
+      [
+        Alcotest.test_case "config" `Quick test_config;
+        Alcotest.test_case "lane canonicalize" `Quick test_lane_canonicalize;
+        Alcotest.test_case "lane ops" `Quick test_lane_ops;
+        QCheck_alcotest.to_alcotest prop_lane_add_wraps;
+        QCheck_alcotest.to_alcotest prop_lane_commutative;
+        Alcotest.test_case "vec lanes roundtrip" `Quick test_vec_lanes_roundtrip;
+        Alcotest.test_case "vec splat" `Quick test_vec_splat;
+        Alcotest.test_case "vec shiftpair" `Quick test_vec_shiftpair;
+        Alcotest.test_case "vec splice" `Quick test_vec_splice;
+        Alcotest.test_case "vec binop" `Quick test_vec_binop;
+        QCheck_alcotest.to_alcotest prop_shiftpair_window;
+        QCheck_alcotest.to_alcotest prop_splice_select;
+        Alcotest.test_case "mem truncating load" `Quick test_mem_truncating_load;
+        Alcotest.test_case "mem truncating store" `Quick test_mem_truncating_store;
+        Alcotest.test_case "mem counters" `Quick test_mem_counters;
+        Alcotest.test_case "mem scalar signed" `Quick test_mem_scalar_signed;
+        Alcotest.test_case "mem bounds" `Quick test_mem_bounds;
+      ] );
+  ]

@@ -1,0 +1,27 @@
+(* Aggregate test runner. Each test module contributes a [suite] value. *)
+
+let () =
+  Alcotest.run "simd_align"
+    (List.concat
+       [
+         Test_support.suite;
+         Test_machine.suite;
+         Test_parse.suite;
+         Test_analysis.suite;
+         Test_layout_interp.suite;
+         Test_policies.suite;
+         Test_reassoc.suite;
+         Test_codegen.suite;
+         Test_vir.suite;
+         Test_passes.suite;
+         Test_unroll.suite;
+         Test_reduce.suite;
+         Test_strided.suite;
+         Test_sim.suite;
+         Test_peel.suite;
+         Test_emit.suite;
+         Test_bench.suite;
+         Test_corpus.suite;
+         Test_facade.suite;
+         Test_differential.suite;
+       ])

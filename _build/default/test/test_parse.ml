@@ -1,0 +1,218 @@
+(* Parser and pretty-printer tests: concrete syntax, error reporting, and
+   the print→parse round trip (including a qcheck property over random
+   programs). *)
+
+open Simd
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let parse_ok src =
+  match Parse.program_of_string_result src with
+  | Ok p -> p
+  | Error m -> Alcotest.failf "unexpected parse error: %s" m
+
+let parse_err src =
+  match Parse.program_of_string_result src with
+  | Ok _ -> Alcotest.failf "expected parse error for %S" src
+  | Error m -> m
+
+let fig1 =
+  {|
+int32 a[128] @ 0;
+int32 b[128] @ 4;
+int32 c[128] @ ?;
+param alpha;
+for (i = 0; i < 100; i++) {
+  a[i+3] = b[i+1] + c[i+2] * alpha;
+}
+|}
+
+let test_basic () =
+  let p = parse_ok fig1 in
+  check_int "arrays" 3 (List.length p.Ast.arrays);
+  check_int "params" 1 (List.length p.Ast.params);
+  check_int "stmts" 1 (List.length p.Ast.loop.Ast.body);
+  Alcotest.(check string) "counter" "i" p.Ast.loop.Ast.counter;
+  check_bool "trip" true (p.Ast.loop.Ast.trip = Ast.Trip_const 100);
+  let b = Ast.find_array_exn p "b" in
+  check_bool "b align" true (b.Ast.arr_align = Ast.Known 4);
+  let c = Ast.find_array_exn p "c" in
+  check_bool "c runtime" true (c.Ast.arr_align = Ast.Unknown)
+
+let test_default_align () =
+  let p = parse_ok "int32 a[8];\nfor (i = 0; i < 4; i++) { a[i] = 1; }" in
+  check_bool "default @0" true
+    ((Ast.find_array_exn p "a").Ast.arr_align = Ast.Known 0)
+
+let test_negative_offset_and_literals () =
+  let p =
+    parse_ok
+      "int32 a[8];\nint32 b[8];\nfor (i = 0; i < 4; i++) { a[i] = b[i-1] + (-3); }"
+  in
+  match (List.hd p.Ast.loop.Ast.body).Ast.rhs with
+  | Ast.Binop (Ast.Add, Ast.Load r, Ast.Const c) ->
+    check_int "offset -1" (-1) r.Ast.ref_offset;
+    check_bool "const -3" true (c = -3L)
+  | e -> Alcotest.failf "unexpected rhs %s" (Ast.show_expr e)
+
+let test_precedence () =
+  let p =
+    parse_ok
+      "int32 a[8];\nparam x;\nparam y;\nparam z;\n\
+       for (i = 0; i < 4; i++) { a[i] = x + y * z; }"
+  in
+  (match (List.hd p.Ast.loop.Ast.body).Ast.rhs with
+  | Ast.Binop (Ast.Add, Ast.Param "x", Ast.Binop (Ast.Mul, Ast.Param "y", Ast.Param "z"))
+    ->
+    ()
+  | e -> Alcotest.failf "mul should bind tighter: %s" (Ast.show_expr e));
+  let p2 =
+    parse_ok
+      "int32 a[8];\nparam x;\nparam y;\n\
+       for (i = 0; i < 4; i++) { a[i] = x | y & x; }"
+  in
+  match (List.hd p2.Ast.loop.Ast.body).Ast.rhs with
+  | Ast.Binop (Ast.Or, _, Ast.Binop (Ast.And, _, _)) -> ()
+  | e -> Alcotest.failf "and should bind tighter than or: %s" (Ast.show_expr e)
+
+let test_minmax_and_parens () =
+  let p =
+    parse_ok
+      "int16 a[8];\nint16 b[8];\n\
+       for (i = 0; i < 4; i++) { a[i] = min(b[i], 3) + max(b[i+1], (1 + 2)); }"
+  in
+  check_int "2 loads" 2 (List.length (Ast.expr_loads (List.hd p.Ast.loop.Ast.body).Ast.rhs))
+
+let test_comments () =
+  let p =
+    parse_ok
+      "// leading\nint32 a[8]; /* inline */ int32 b[8];\n\
+       for (i = 0; i < 4; i++) { a[i] = b[i]; /* trailing */ }\n// eof"
+  in
+  check_int "arrays" 2 (List.length p.Ast.arrays)
+
+let contains ~sub s =
+  let n = String.length sub in
+  let rec go i = i + n <= String.length s && (String.sub s i n = sub || go (i + 1)) in
+  go 0
+
+let expect_error_containing src fragment =
+  let m = parse_err src in
+  check_bool (Printf.sprintf "error mentions %S (got %S)" fragment m) true
+    (contains ~sub:fragment m)
+
+let test_errors () =
+  expect_error_containing "int32 a[8]\nfor" "expected ';'";
+  expect_error_containing
+    "int32 a[8];\nfor (i = 1; i < 4; i++) { a[i] = 1; }" "normalized";
+  expect_error_containing
+    "int32 a[8];\nfor (i = 0; j < 4; i++) { a[i] = 1; }" "loop counter";
+  expect_error_containing
+    "int32 a[8];\nfor (i = 0; i < 4; j++) { a[i] = 1; }" "loop counter";
+  expect_error_containing
+    "int32 a[8];\nfor (i = 0; i < 4; i++) { b[i] = 1; }" "undeclared array";
+  expect_error_containing
+    "int32 a[8];\nfor (i = 0; i < 4; i++) { a[j] = 1; }" "affine references";
+  expect_error_containing
+    "int32 a[8];\nfor (i = 0; i < 4; i++) { a[i] = x; }" "undeclared identifier";
+  expect_error_containing
+    "int32 a[8];\nfor (i = 0; i < 4; i++) { a[i] = a; }" "without an index";
+  expect_error_containing
+    "int32 a[8];\nint32 a[8];\nfor (i = 0; i < 4; i++) { a[i] = 1; }" "duplicate";
+  expect_error_containing
+    "int32 a[8];\nfor (i = 0; i < n; i++) { a[i] = 1; }" "not a declared param";
+  expect_error_containing "int32 a[0];\nfor (i = 0; i < 4; i++) { a[i] = 1; }"
+    "positive length";
+  expect_error_containing "int32 a[8]; $" "unexpected character";
+  expect_error_containing "/* unterminated" "unterminated comment";
+  expect_error_containing
+    "int32 i[8];\nfor (i = 0; i < 4; i++) { i[i] = 1; }" "clashes"
+
+let test_roundtrip_fig1 () =
+  let p = parse_ok fig1 in
+  let p' = parse_ok (Pp.program_to_string p) in
+  check_bool "round trip" true (Ast.equal_program p p')
+
+(* Random program generator for the round-trip property. *)
+let gen_program : Ast.program QCheck.Gen.t =
+  let open QCheck.Gen in
+  let* ty = oneofl [ Ast.I8; Ast.I16; Ast.I32; Ast.I64 ] in
+  let* n_arrays = int_range 1 5 in
+  let arrays =
+    List.init n_arrays (fun k ->
+        {
+          Ast.arr_name = Printf.sprintf "a%d" k;
+          arr_ty = ty;
+          arr_len = 64;
+          arr_align = (if k mod 3 = 2 then Ast.Unknown else Ast.Known (4 * k mod 16));
+        })
+  in
+  let* n_params = int_range 0 2 in
+  let params = List.init n_params (fun k -> Printf.sprintf "p%d" k) in
+  let rec gen_expr depth =
+    if depth = 0 then
+      let* k = int_range 0 2 in
+      match k with
+      | 0 ->
+        let* a = int_range 0 (n_arrays - 1) in
+        let* off = int_range 0 4 in
+        return (Ast.Load { Ast.ref_array = Printf.sprintf "a%d" a; ref_offset = off; ref_stride = 1 })
+      | 1 when params <> [] ->
+        let* p = oneofl params in
+        return (Ast.Param p)
+      | _ ->
+        let* c = int_range (-100) 100 in
+        return (Ast.Const (Int64.of_int c))
+    else
+      let* op =
+        oneofl [ Ast.Add; Ast.Sub; Ast.Mul; Ast.Min; Ast.Max; Ast.And; Ast.Or; Ast.Xor ]
+      in
+      let* a = gen_expr (depth - 1) in
+      let* b = gen_expr (depth - 1) in
+      return (Ast.Binop (op, a, b))
+  in
+  let* depth = int_range 0 3 in
+  let* rhs = gen_expr depth in
+  let* store_off = int_range 0 4 in
+  let body =
+    [
+      {
+        Ast.lhs = { Ast.ref_array = "a0"; ref_offset = store_off; ref_stride = 1 };
+        rhs;
+        kind = Ast.Assign;
+      };
+    ]
+  in
+  let* trip = int_range 1 50 in
+  return
+    {
+      Ast.arrays;
+      params;
+      loop = { Ast.counter = "i"; trip = Ast.Trip_const trip; body };
+    }
+
+let prop_roundtrip =
+  QCheck.Test.make ~count:300 ~name:"print/parse round trip"
+    (QCheck.make ~print:Pp.program_to_string gen_program)
+    (fun p ->
+      match Parse.program_of_string_result (Pp.program_to_string p) with
+      | Ok p' -> Ast.equal_program p p'
+      | Error m -> QCheck.Test.fail_reportf "re-parse failed: %s" m)
+
+let suite =
+  [
+    ( "parse",
+      [
+        Alcotest.test_case "basic program" `Quick test_basic;
+        Alcotest.test_case "default alignment" `Quick test_default_align;
+        Alcotest.test_case "negative offsets/literals" `Quick
+          test_negative_offset_and_literals;
+        Alcotest.test_case "precedence" `Quick test_precedence;
+        Alcotest.test_case "min/max/parens" `Quick test_minmax_and_parens;
+        Alcotest.test_case "comments" `Quick test_comments;
+        Alcotest.test_case "error messages" `Quick test_errors;
+        Alcotest.test_case "round trip fig1" `Quick test_roundtrip_fig1;
+        QCheck_alcotest.to_alcotest prop_roundtrip;
+      ] );
+  ]

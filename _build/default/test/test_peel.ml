@@ -1,0 +1,87 @@
+(* Loop-peeling baseline tests (prior work, §1/§6). *)
+
+open Simd
+
+let machine = Machine.default
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let parse = Parse.program_of_string
+let analyze src = Analysis.check_exn ~machine (parse src)
+
+let test_applicable_uniform () =
+  (* every reference misaligned by the same 4 bytes *)
+  let a =
+    analyze
+      "int32 a[128] @ 4;\nint32 b[128] @ 4;\n\
+       for (i = 0; i < 100; i++) { a[i] = b[i]; }"
+  in
+  check_bool "applicable" true (Peel.check a = Peel.Applicable);
+  check_int "peel 3 iterations" 3 (Peel.peel_amount a)
+
+let test_applicable_aligned () =
+  let a =
+    analyze
+      "int32 a[128] @ 0;\nint32 b[128] @ 0;\n\
+       for (i = 0; i < 100; i++) { a[i] = b[i]; }"
+  in
+  check_bool "applicable" true (Peel.check a = Peel.Applicable);
+  check_int "no peel needed" 0 (Peel.peel_amount a)
+
+let test_mixed_not_applicable () =
+  let a =
+    analyze
+      "int32 a[128] @ 0;\nint32 b[128] @ 0;\nint32 c[128] @ 0;\n\
+       for (i = 0; i < 100; i++) { a[i+3] = b[i+1] + c[i+2]; }"
+  in
+  check_bool "mixed" true (Peel.check a = Peel.Mixed_alignments)
+
+let test_runtime_not_applicable () =
+  let a =
+    analyze
+      "int32 a[128] @ ?;\nint32 b[128] @ 4;\n\
+       for (i = 0; i < 100; i++) { a[i] = b[i]; }"
+  in
+  check_bool "runtime" true (Peel.check a = Peel.Runtime_alignment)
+
+let test_driver_baseline_refuses_mixed () =
+  let config = { Driver.default with Driver.peel_baseline = true } in
+  let program =
+    parse
+      "int32 a[128] @ 0;\nint32 b[128] @ 0;\nint32 c[128] @ 0;\n\
+       for (i = 0; i < 100; i++) { a[i+3] = b[i+1] + c[i+2]; }"
+  in
+  match Driver.simdize config program with
+  | Driver.Scalar (Driver.Peeling_inapplicable Peel.Mixed_alignments) -> ()
+  | _ -> Alcotest.fail "baseline must refuse the Figure-1 loop"
+
+let test_driver_baseline_simdizes_uniform () =
+  let config = { Driver.default with Driver.peel_baseline = true } in
+  let program =
+    parse
+      "int32 a[128] @ 8;\nint32 b[128] @ 8;\n\
+       for (i = 0; i < 100; i++) { a[i] = b[i]; }"
+  in
+  match Driver.simdize config program with
+  | Driver.Simdized o ->
+    (* equivalent to eager-shift: with uniform alignment, no stream shifts *)
+    check_int "no shifts" 0 (Vir_prog.body_counts o.Driver.prog).Vir_prog.shifts;
+    (match Measure.verify ~config program with
+    | Ok () -> ()
+    | Error m -> Alcotest.failf "verify: %s" m)
+  | Driver.Scalar _ -> Alcotest.fail "uniform misalignment should peel"
+
+let suite =
+  [
+    ( "peel",
+      [
+        Alcotest.test_case "uniform misalignment applicable" `Quick
+          test_applicable_uniform;
+        Alcotest.test_case "aligned applicable" `Quick test_applicable_aligned;
+        Alcotest.test_case "mixed not applicable" `Quick test_mixed_not_applicable;
+        Alcotest.test_case "runtime not applicable" `Quick test_runtime_not_applicable;
+        Alcotest.test_case "driver refuses fig1" `Quick test_driver_baseline_refuses_mixed;
+        Alcotest.test_case "driver peels uniform" `Quick
+          test_driver_baseline_simdizes_uniform;
+      ] );
+  ]

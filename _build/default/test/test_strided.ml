@@ -1,0 +1,225 @@
+(* Strided-load (gather) extension tests: the paper's "non-unit stride
+   accesses" future-work item. Parsing, legality, the pack-tree lowering,
+   chunk-reuse properties, and differential correctness across the
+   configuration space. *)
+
+open Simd
+
+let machine = Machine.default
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let parse = Parse.program_of_string
+
+let deinterleave =
+  "int32 re[256] @ 0;\nint32 im[256] @ 4;\nint32 x[600] @ 0;\n\
+   for (i = 0; i < 200; i++) { re[i] = x[2*i]; im[i+1] = x[2*i+1]; }"
+
+(* --- front end ---------------------------------------------------------- *)
+
+let test_parse_strides () =
+  let p = parse deinterleave in
+  let strides =
+    List.concat_map
+      (fun (s : Ast.stmt) ->
+        List.map (fun r -> r.Ast.ref_stride) (Ast.expr_loads s.Ast.rhs))
+      p.Ast.loop.Ast.body
+  in
+  Alcotest.(check (list int)) "strides" [ 2; 2 ] strides;
+  (* round trip *)
+  check_bool "round trip" true (Ast.equal_program p (parse (Pp.program_to_string p)))
+
+let test_unsupported_stride_rejected () =
+  match
+    Parse.program_of_string_result
+      "int32 y[64];\nint32 x[256];\nfor (i = 0; i < 32; i++) { y[i] = x[3*i]; }"
+  with
+  | Error m ->
+    check_bool "mentions stride" true
+      (let sub = "unsupported stride" in
+       let n = String.length sub in
+       let rec go i = i + n <= String.length m && (String.sub m i n = sub || go (i + 1)) in
+       go 0)
+  | Ok _ -> Alcotest.fail "stride 3 must be rejected"
+
+let test_strided_store_rejected () =
+  match
+    Analysis.check ~machine
+      (parse "int32 y[256];\nint32 x[64];\nfor (i = 0; i < 32; i++) { y[2*i] = x[i]; }")
+  with
+  | Error (Analysis.Store_conflict _) -> ()
+  | _ -> Alcotest.fail "strided stores must be rejected (scatter)"
+
+let test_bounds_account_for_stride () =
+  (* 4*31 + 1 = 125 > 124: out of bounds *)
+  match
+    Analysis.check ~machine
+      (parse "int32 y[64];\nint32 x[124];\nfor (i = 0; i < 32; i++) { y[i] = x[4*i]; }")
+  with
+  | Error (Analysis.Out_of_bounds _) -> ()
+  | _ -> Alcotest.fail "strided bounds check"
+
+(* --- lowering structure --------------------------------------------------- *)
+
+let test_pack_tree_shape () =
+  (* aligned stride 2: per iteration 2 loads + 1 pack, no shifts *)
+  let o =
+    Driver.simdize_exn Driver.default
+      (parse
+         "int32 y[256] @ 0;\nint32 x[600] @ 0;\n\
+          for (i = 0; i < 200; i++) { y[i] = x[2*i]; }")
+  in
+  let c = Vir_prog.body_counts o.Driver.prog in
+  check_int "2 loads" 2 c.Vir_prog.loads;
+  check_int "1 pack" 1 c.Vir_prog.packs;
+  check_int "no shifts" 0 c.Vir_prog.shifts;
+  (* misaligned stride 4: 4 windows (2 shifts each... 4 shifts) + 3 packs;
+     loads shared across windows and carried by PC *)
+  let o4 =
+    Driver.simdize_exn
+      { Driver.default with Driver.reuse = Driver.Predictive_commoning }
+      (parse
+         "int32 y[256] @ 0;\nint32 x[900] @ 4;\n\
+          for (i = 0; i < 200; i++) { y[i] = x[4*i+1]; }")
+  in
+  let c4 = Vir_prog.body_counts o4.Driver.prog in
+  check_int "3 packs" 3 c4.Vir_prog.packs;
+  check_int "4 window shifts" 4 c4.Vir_prog.shifts;
+  check_bool "<= 4 fresh loads with reuse" true (c4.Vir_prog.loads <= 4)
+
+let test_pack_semantics () =
+  let v1 = Vec.of_lanes ~vector_len:16 ~elem:4 [ 0L; 1L; 2L; 3L ] in
+  let v2 = Vec.of_lanes ~vector_len:16 ~elem:4 [ 4L; 5L; 6L; 7L ] in
+  Alcotest.(check (list int64)) "evens of int32 concat" [ 0L; 2L; 4L; 6L ]
+    (Vec.to_lanes (Vec.pack_even ~elem:4 v1 v2) ~elem:4);
+  let w1 = Vec.of_lanes ~vector_len:16 ~elem:2 (List.init 8 Int64.of_int) in
+  let w2 =
+    Vec.of_lanes ~vector_len:16 ~elem:2 (List.init 8 (fun k -> Int64.of_int (8 + k)))
+  in
+  Alcotest.(check (list int64)) "evens of int16 concat"
+    [ 0L; 2L; 4L; 6L; 8L; 10L; 12L; 14L ]
+    (Vec.to_lanes (Vec.pack_even ~elem:2 w1 w2) ~elem:2)
+
+let test_chunk_reuse () =
+  (* stride 2 with PC: each chunk of x loaded exactly once in steady state *)
+  let program =
+    parse
+      "int32 y[256] @ 8;\nint32 x[600] @ 4;\n\
+       for (i = 0; i < 200; i++) { y[i+2] = x[2*i+1]; }"
+  in
+  let config = { Driver.default with Driver.reuse = Driver.Predictive_commoning } in
+  let o = Driver.simdize_exn config program in
+  let setup = Sim_run.prepare ~machine program in
+  let r = Sim_run.run_simd ~tracing:true setup o.Driver.prog in
+  let steady =
+    List.filter
+      (fun (t : Exec.trace_entry) -> t.Exec.segment = `Steady && t.Exec.array = "x")
+      r.Sim_run.trace
+  in
+  let addrs = List.map (fun (t : Exec.trace_entry) -> t.Exec.effective_addr) steady in
+  check_bool "each chunk loaded once" true
+    (List.length addrs = List.length (Util.dedup addrs));
+  (* stride 2 consumes 2 chunks per block of 4 outputs *)
+  check_int "2 loads per iteration"
+    (2 * r.Sim_run.counts.Exec.steady_iterations)
+    (List.length addrs)
+
+(* --- differential ---------------------------------------------------------- *)
+
+let verify_or_fail ~config ?trip program label =
+  match Measure.verify ~config ?trip program with
+  | Ok () -> ()
+  | Error m -> Alcotest.failf "%s: %s" label m
+
+let test_differential_matrix () =
+  List.iteri
+    (fun k src ->
+      let program = parse src in
+      List.iter
+        (fun policy ->
+          List.iter
+            (fun reuse ->
+              let config = { Driver.default with Driver.policy; reuse } in
+              verify_or_fail ~config program
+                (Printf.sprintf "case %d %s/%s" k (Policy.name policy)
+                   (Driver.reuse_name reuse)))
+            [ Driver.No_reuse; Driver.Predictive_commoning;
+              Driver.Software_pipelining ])
+        Policy.all)
+    [
+      deinterleave;
+      (* strided feeding a misaligned store, mixed with stride-1 *)
+      "int32 y[256] @ 8;\nint32 x[900] @ 4;\nint32 z[256] @ 12;\n\
+       for (i = 0; i < 200; i++) { y[i+2] = x[4*i+3] + z[i+1]; }";
+      (* stride 2 over 16-bit data *)
+      "int16 y[256] @ 2;\nint16 x[600] @ 6;\n\
+       for (i = 0; i < 200; i++) { y[i+1] = x[2*i+1] + 5; }";
+      (* stride 4 over 8-bit data (B = 16) *)
+      "int8 y[256] @ 3;\nint8 x[900] @ 1;\n\
+       for (i = 0; i < 200; i++) { y[i+1] = x[4*i+2]; }";
+      (* reduction over a strided load *)
+      "int32 s[1] @ 4;\nint32 x[600] @ 4;\n\
+       for (i = 0; i < 200; i++) { s += x[2*i+1]; }";
+    ]
+
+let test_runtime_alignment_and_trip () =
+  let src =
+    "int32 y[1200] @ ?;\nint32 x[2400] @ ?;\nparam n;\n\
+     for (i = 0; i < n; i++) { y[i+1] = x[2*i+1]; }"
+  in
+  let program = parse src in
+  let o = Driver.simdize_exn Driver.default program in
+  List.iter
+    (fun seed ->
+      List.iter
+        (fun trip ->
+          let setup = Sim_run.prepare ~seed ~machine ~trip program in
+          match Sim_run.verify setup o.Driver.prog with
+          | Ok () -> ()
+          | Error m ->
+            Alcotest.failf "seed %d trip %d: %s" seed trip
+              (Format.asprintf "%a" Sim_run.pp_mismatch m))
+        [ 5; 13; 50; 99; 100; 997 ])
+    [ 1; 2; 3; 4; 5 ]
+
+let test_trip_remainders_and_unroll () =
+  List.iter
+    (fun trip ->
+      List.iter
+        (fun unroll ->
+          let src =
+            Printf.sprintf
+              "int32 y[256] @ 12;\nint32 x[600] @ 8;\n\
+               for (i = 0; i < %d; i++) { y[i+3] = x[2*i+1]; }"
+              trip
+          in
+          verify_or_fail
+            ~config:{ Driver.default with Driver.unroll }
+            (parse src)
+            (Printf.sprintf "trip %d unroll %d" trip unroll))
+        [ 1; 2; 4 ])
+    [ 13; 14; 15; 16; 97; 98; 99; 100 ]
+
+let test_peeling_refuses_strides () =
+  let a = Analysis.check_exn ~machine (parse deinterleave) in
+  check_bool "peeling inapplicable" true (Peel.check a = Peel.Mixed_alignments)
+
+let suite =
+  [
+    ( "strided",
+      [
+        Alcotest.test_case "parse strides" `Quick test_parse_strides;
+        Alcotest.test_case "unsupported stride rejected" `Quick
+          test_unsupported_stride_rejected;
+        Alcotest.test_case "strided store rejected" `Quick test_strided_store_rejected;
+        Alcotest.test_case "strided bounds" `Quick test_bounds_account_for_stride;
+        Alcotest.test_case "pack tree shape" `Quick test_pack_tree_shape;
+        Alcotest.test_case "pack semantics" `Quick test_pack_semantics;
+        Alcotest.test_case "chunk reuse" `Quick test_chunk_reuse;
+        Alcotest.test_case "differential matrix" `Quick test_differential_matrix;
+        Alcotest.test_case "runtime align+trip" `Quick test_runtime_alignment_and_trip;
+        Alcotest.test_case "trip remainders x unroll" `Quick
+          test_trip_remainders_and_unroll;
+        Alcotest.test_case "peeling refuses strides" `Quick test_peeling_refuses_strides;
+      ] );
+  ]

@@ -1,0 +1,155 @@
+(* Unit and property tests for the support library (PRNG, integer/stat
+   helpers). *)
+
+open Simd
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* --- PRNG ----------------------------------------------------------- *)
+
+let test_prng_deterministic () =
+  let a = Prng.create ~seed:123 in
+  let b = Prng.create ~seed:123 in
+  for _ = 1 to 100 do
+    check_int "same stream" (Prng.int a ~bound:1000) (Prng.int b ~bound:1000)
+  done
+
+let test_prng_seed_sensitivity () =
+  let a = Prng.create ~seed:1 in
+  let b = Prng.create ~seed:2 in
+  let same = ref 0 in
+  for _ = 1 to 50 do
+    if Prng.int a ~bound:1_000_000 = Prng.int b ~bound:1_000_000 then incr same
+  done;
+  check_bool "streams differ" true (!same < 5)
+
+let test_prng_bounds () =
+  let p = Prng.create ~seed:7 in
+  for _ = 1 to 10_000 do
+    let x = Prng.int p ~bound:13 in
+    check_bool "in range" true (x >= 0 && x < 13)
+  done
+
+let test_prng_range () =
+  let p = Prng.create ~seed:9 in
+  let seen = Array.make 5 false in
+  for _ = 1 to 1000 do
+    let x = Prng.range p ~lo:10 ~hi:14 in
+    check_bool "in [10,14]" true (x >= 10 && x <= 14);
+    seen.(x - 10) <- true
+  done;
+  check_bool "all values hit" true (Array.for_all Fun.id seen)
+
+let test_prng_chance () =
+  let p = Prng.create ~seed:11 in
+  let hits = ref 0 in
+  let n = 20_000 in
+  for _ = 1 to n do
+    if Prng.chance p 0.3 then incr hits
+  done;
+  let f = float_of_int !hits /. float_of_int n in
+  check_bool "≈0.3" true (f > 0.27 && f < 0.33)
+
+let test_prng_uniformity () =
+  let p = Prng.create ~seed:13 in
+  let buckets = Array.make 4 0 in
+  let n = 40_000 in
+  for _ = 1 to n do
+    let k = Prng.int p ~bound:4 in
+    buckets.(k) <- buckets.(k) + 1
+  done;
+  Array.iter
+    (fun c ->
+      let f = float_of_int c /. float_of_int n in
+      check_bool "bucket ≈ 1/4" true (f > 0.23 && f < 0.27))
+    buckets
+
+let test_prng_split_independent () =
+  let p = Prng.create ~seed:17 in
+  let q = Prng.split p in
+  (* q's stream should not equal p's continued stream *)
+  let same = ref 0 in
+  for _ = 1 to 50 do
+    if Prng.int p ~bound:1_000_000 = Prng.int q ~bound:1_000_000 then incr same
+  done;
+  check_bool "independent" true (!same < 5)
+
+let test_prng_pick_shuffle () =
+  let p = Prng.create ~seed:19 in
+  check_bool "pick member" true (List.mem (Prng.pick p [ 1; 2; 3 ]) [ 1; 2; 3 ]);
+  let a = Array.init 10 Fun.id in
+  Prng.shuffle p a;
+  let sorted = Array.copy a in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "permutation" (Array.init 10 Fun.id) sorted
+
+(* --- Util ----------------------------------------------------------- *)
+
+let test_floor_div_pos_mod () =
+  check_int "floor_div -1 4" (-1) (Util.floor_div (-1) 4);
+  check_int "floor_div -4 4" (-1) (Util.floor_div (-4) 4);
+  check_int "floor_div -5 4" (-2) (Util.floor_div (-5) 4);
+  check_int "floor_div 7 4" 1 (Util.floor_div 7 4);
+  check_int "pos_mod -1 16" 15 (Util.pos_mod (-1) 16);
+  check_int "pos_mod 16 16" 0 (Util.pos_mod 16 16);
+  check_int "pos_mod -17 16" 15 (Util.pos_mod (-17) 16)
+
+let prop_div_mod =
+  QCheck.Test.make ~count:500 ~name:"a = floor_div*b + pos_mod"
+    QCheck.(pair (int_range (-10_000) 10_000) (int_range 1 64))
+    (fun (a, b) ->
+      let q = Util.floor_div a b and r = Util.pos_mod a b in
+      (q * b) + r = a && r >= 0 && r < b)
+
+let test_round () =
+  check_int "round_down 17 16" 16 (Util.round_down 17 16);
+  check_int "round_up 17 16" 32 (Util.round_up 17 16);
+  check_int "round_up 16 16" 16 (Util.round_up 16 16);
+  check_int "round_down -1 16" (-16) (Util.round_down (-1) 16)
+
+let test_pow2_log2 () =
+  check_bool "16 pow2" true (Util.is_pow2 16);
+  check_bool "12 not pow2" false (Util.is_pow2 12);
+  check_bool "0 not pow2" false (Util.is_pow2 0);
+  check_int "log2 16" 4 (Util.log2 16);
+  check_int "log2 1" 0 (Util.log2 1)
+
+let test_means () =
+  Alcotest.(check (float 1e-9)) "mean" 2.0 (Util.mean [ 1.0; 2.0; 3.0 ]);
+  Alcotest.(check (float 1e-9))
+    "hmean" (12.0 /. 7.0)
+    (Util.harmonic_mean [ 1.0; 2.0; 4.0 ]);
+  Alcotest.check_raises "hmean empty" (Invalid_argument "Util.harmonic_mean: empty list")
+    (fun () -> ignore (Util.harmonic_mean []))
+
+let test_group_count_dedup () =
+  Alcotest.(check (list (pair int int)))
+    "group_count" [ (3, 2); (1, 1); (2, 1) ]
+    (Util.group_count [ 3; 1; 3; 2 ]);
+  Alcotest.(check (list int)) "dedup" [ 3; 1; 2 ] (Util.dedup [ 3; 1; 3; 2; 1 ])
+
+let test_max_by () =
+  check_int "max_by" (-5) (Util.max_by abs [ 1; -5; 3 ])
+
+let suite =
+  [
+    ( "support",
+      [
+        Alcotest.test_case "prng deterministic" `Quick test_prng_deterministic;
+        Alcotest.test_case "prng seed sensitivity" `Quick test_prng_seed_sensitivity;
+        Alcotest.test_case "prng bounds" `Quick test_prng_bounds;
+        Alcotest.test_case "prng range" `Quick test_prng_range;
+        Alcotest.test_case "prng chance" `Quick test_prng_chance;
+        Alcotest.test_case "prng uniformity" `Quick test_prng_uniformity;
+        Alcotest.test_case "prng split" `Quick test_prng_split_independent;
+        Alcotest.test_case "prng pick/shuffle" `Quick test_prng_pick_shuffle;
+        Alcotest.test_case "floor_div/pos_mod" `Quick test_floor_div_pos_mod;
+        QCheck_alcotest.to_alcotest prop_div_mod;
+        Alcotest.test_case "rounding" `Quick test_round;
+        Alcotest.test_case "pow2/log2" `Quick test_pow2_log2;
+        Alcotest.test_case "means" `Quick test_means;
+        Alcotest.test_case "group_count/dedup" `Quick test_group_count_dedup;
+        Alcotest.test_case "max_by" `Quick test_max_by;
+      ] );
+  ]

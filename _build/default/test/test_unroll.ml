@@ -1,0 +1,140 @@
+(* Loop unrolling with copy propagation (§4.5: "the copy operation can be
+   easily removed by unrolling the loop twice and forward propagating the
+   copy operation"). *)
+
+open Simd
+
+let machine = Machine.default
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let parse = Parse.program_of_string
+
+let fig1 =
+  "int32 a[128] @ 0;\nint32 b[128] @ 0;\nint32 c[128] @ 0;\n\
+   for (i = 0; i < 100; i++) { a[i+3] = b[i+1] + c[i+2]; }"
+
+let run_counts ~unroll ~reuse src =
+  let config = { Driver.default with Driver.unroll; reuse } in
+  let program = parse src in
+  (match Measure.verify ~config program with
+  | Ok () -> ()
+  | Error m -> Alcotest.failf "unroll %d: %s" unroll m);
+  let o = Driver.simdize_exn config program in
+  let setup = Sim_run.prepare ~machine program in
+  let r = Sim_run.run_simd setup o.Driver.prog in
+  (o.Driver.prog, r.Sim_run.counts)
+
+let test_unroll2_removes_sp_copies () =
+  let prog1, c1 = run_counts ~unroll:1 ~reuse:Driver.Software_pipelining fig1 in
+  let prog2, c2 = run_counts ~unroll:2 ~reuse:Driver.Software_pipelining fig1 in
+  (* steady-state copies vanish entirely: depth-1 carries rotate *)
+  check_int "no copies in unrolled body" 0
+    (Vir_prog.body_counts prog2).Vir_prog.copies;
+  check_bool "dynamic copies nearly gone" true
+    (c2.Exec.copies * 10 < c1.Exec.copies);
+  (* same real work: loads and shifts unchanged *)
+  check_int "same loads" c1.Exec.vloads c2.Exec.vloads;
+  check_int "same shifts" c1.Exec.vshifts c2.Exec.vshifts;
+  check_int "same stores" c1.Exec.vstores c2.Exec.vstores;
+  ignore prog1
+
+let test_unrolled_body_is_doubled () =
+  let prog1, _ = run_counts ~unroll:1 ~reuse:Driver.Software_pipelining fig1 in
+  let prog2, _ = run_counts ~unroll:2 ~reuse:Driver.Software_pipelining fig1 in
+  let b1 = Vir_prog.body_counts prog1 in
+  let b2 = Vir_prog.body_counts prog2 in
+  check_int "stores doubled" (2 * b1.Vir_prog.stores) b2.Vir_prog.stores;
+  check_int "shifts doubled" (2 * b1.Vir_prog.shifts) b2.Vir_prog.shifts;
+  check_int "unroll recorded" 2 prog2.Vir_prog.unroll;
+  check_int "step doubled" (2 * prog2.Vir_prog.block) (Vir_prog.step prog2)
+
+let test_epilogue_count () =
+  let prog4, _ = run_counts ~unroll:4 ~reuse:Driver.Software_pipelining fig1 in
+  check_int "unroll+1 virtual epilogue iterations" 5
+    (List.length prog4.Vir_prog.epilogues)
+
+let test_unroll_pc_chain_copies_divided () =
+  (* depth-2 PC chain: x[i], x[i+4], x[i+8] — per-iteration copies 2; with
+     unroll 2, the per-unrolled-body restores stay <= 2, i.e. <= 1 per
+     original iteration. *)
+  let src =
+    "int32 y[256] @ 0;\nint32 x[256] @ 0;\n\
+     for (i = 0; i < 200; i++) { y[i] = x[i] + x[i+4] + x[i+8]; }"
+  in
+  let prog1, _ = run_counts ~unroll:1 ~reuse:Driver.Predictive_commoning src in
+  let prog2, _ = run_counts ~unroll:2 ~reuse:Driver.Predictive_commoning src in
+  let per_iter1 = (Vir_prog.body_counts prog1).Vir_prog.copies in
+  let per_2iter2 = (Vir_prog.body_counts prog2).Vir_prog.copies in
+  check_bool
+    (Printf.sprintf "copy frequency reduced (%d/iter -> %d/2iter)" per_iter1
+       per_2iter2)
+    true
+    (per_2iter2 < 2 * per_iter1)
+
+let test_unroll_runtime_variants () =
+  List.iter
+    (fun unroll ->
+      let config = { Driver.default with Driver.unroll } in
+      (* runtime alignments *)
+      let src_ra =
+        "int32 a[256] @ ?;\nint32 b[256] @ ?;\n\
+         for (i = 0; i < 200; i++) { a[i+1] = b[i+2]; }"
+      in
+      (match Measure.verify ~config (parse src_ra) with
+      | Ok () -> ()
+      | Error m -> Alcotest.failf "runtime-align unroll %d: %s" unroll m);
+      (* runtime trip: many trip values, including ones leaving 0..unroll
+         residual simdized iterations *)
+      let src_rt =
+        "int32 a[256] @ 4;\nint32 b[256] @ 8;\nparam n;\n\
+         for (i = 0; i < n; i++) { a[i+2] = b[i+1]; }"
+      in
+      List.iter
+        (fun trip ->
+          match Measure.verify ~config ~trip (parse src_rt) with
+          | Ok () -> ()
+          | Error m -> Alcotest.failf "trip %d unroll %d: %s" trip unroll m)
+        [ 13; 14; 15; 16; 17; 18; 19; 20; 21; 22; 23; 24; 25; 50; 97; 98; 99; 100 ])
+    [ 2; 3; 4 ]
+
+let prop_unroll_differential =
+  QCheck.Test.make ~count:120 ~name:"unrolled random loops verify"
+    QCheck.(
+      triple (int_range 2 4) (int_range 1 3)
+        (pair (int_range 1 4) (int_range 0 1000)))
+    (fun (unroll, stmts, (loads, seed)) ->
+      let spec =
+        {
+          Synth.default_spec with
+          Synth.stmts;
+          loads_per_stmt = loads;
+          trip = 120 + (seed mod 60);
+          seed;
+        }
+      in
+      let program = Synth.generate ~machine spec in
+      List.for_all
+        (fun reuse ->
+          let config = { Driver.default with Driver.unroll; reuse } in
+          match Measure.verify ~config program with
+          | Ok () -> true
+          | Error m ->
+            QCheck.Test.fail_reportf "unroll %d %s: %s" unroll
+              (Driver.reuse_name reuse) m)
+        [ Driver.No_reuse; Driver.Predictive_commoning; Driver.Software_pipelining ])
+
+let suite =
+  [
+    ( "unroll",
+      [
+        Alcotest.test_case "unroll 2 removes SP copies" `Quick
+          test_unroll2_removes_sp_copies;
+        Alcotest.test_case "body doubled" `Quick test_unrolled_body_is_doubled;
+        Alcotest.test_case "epilogue count" `Quick test_epilogue_count;
+        Alcotest.test_case "PC chain copy frequency" `Quick
+          test_unroll_pc_chain_copies_divided;
+        Alcotest.test_case "runtime variants" `Quick test_unroll_runtime_variants;
+        QCheck_alcotest.to_alcotest prop_unroll_differential;
+      ] );
+  ]

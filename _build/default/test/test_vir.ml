@@ -1,0 +1,157 @@
+(* Vector IR utilities: address algebra, runtime expressions, substitution,
+   traversals, and program helpers. *)
+
+open Simd
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let addr ?(wc = true) array offset =
+  { Vir_addr.array; offset; scale = (if wc then 1 else 0) }
+
+let test_addr_algebra () =
+  let a = addr "x" 3 in
+  check_int "shift_iter" 7 (Vir_addr.shift_iter a ~by:4).Vir_addr.offset;
+  check_int "shift back" 3 (Vir_addr.shift_iter (Vir_addr.shift_iter a ~by:4) ~by:(-4)).Vir_addr.offset;
+  check_int "at_iteration" 13 (Vir_addr.at_iteration a ~i:10);
+  let f = Vir_addr.freeze a ~i:10 in
+  check_bool "frozen" false (Vir_addr.with_counter f);
+  check_int "frozen offset" 13 f.Vir_addr.offset;
+  (* counter-free addresses ignore shifting and iteration *)
+  let cf = addr ~wc:false "x" 5 in
+  check_int "no-counter shift" 5 (Vir_addr.shift_iter cf ~by:4).Vir_addr.offset;
+  check_int "no-counter at" 5 (Vir_addr.at_iteration cf ~i:10)
+
+let test_addr_pp () =
+  Alcotest.(check string) "pp +" "&x[i+3]" (Vir_addr.to_string (addr "x" 3));
+  Alcotest.(check string) "pp 0" "&x[i]" (Vir_addr.to_string (addr "x" 0));
+  Alcotest.(check string) "pp -" "&x[i-2]" (Vir_addr.to_string (addr "x" (-2)));
+  Alcotest.(check string) "pp abs" "&x[7]" (Vir_addr.to_string (addr ~wc:false "x" 7))
+
+let test_rexpr_fold () =
+  let open Vir_rexpr in
+  check_bool "const fold add" true (add (Const 2) (Const 3) = Const 5);
+  check_bool "add 0" true (add (Const 0) Trip = Trip);
+  check_bool "sub fold" true (sub (Const 7) (Const 3) = Const 4);
+  check_bool "mul fold" true (mul_const (Const 3) 4 = Const 12);
+  check_bool "mul 1" true (mul_const Trip 1 = Trip);
+  check_bool "mod fold" true (mod_const (Const 21) 16 = Const 5);
+  check_bool "mod negative" true (mod_const (Const (-4)) 16 = Const 12);
+  check_bool "runtime stays" true
+    (match add (Offset_of (addr "x" 0)) (Const 1) with Add _ -> true | _ -> false)
+
+let test_expr_shift_iter () =
+  let e =
+    Vir_expr.Shiftpair
+      ( Vir_expr.Load (addr "b" 1),
+        Vir_expr.Load (addr "b" 5),
+        Vir_rexpr.Const 4 )
+  in
+  match Vir_expr.shift_iter e ~by:4 with
+  | Vir_expr.Shiftpair (Vir_expr.Load a1, Vir_expr.Load a2, _) ->
+    check_int "curr shifted" 5 a1.Vir_addr.offset;
+    check_int "next shifted" 9 a2.Vir_addr.offset
+  | _ -> Alcotest.fail "shape"
+
+let test_expr_shift_iter_rejects_temps () =
+  Alcotest.check_raises "temps rejected"
+    (Invalid_argument "Expr.shift_iter: expression contains a temporary")
+    (fun () -> ignore (Vir_expr.shift_iter (Vir_expr.Temp "t") ~by:4))
+
+let test_expr_freeze_keeps_temps () =
+  let e = Vir_expr.Op (Ast.Add, Vir_expr.Temp "t", Vir_expr.Load (addr "x" 2)) in
+  match Vir_expr.freeze e ~i:8 with
+  | Vir_expr.Op (_, Vir_expr.Temp "t", Vir_expr.Load a) ->
+    check_int "frozen" 10 a.Vir_addr.offset
+  | _ -> Alcotest.fail "shape"
+
+let test_traversals () =
+  let stmts =
+    [
+      Vir_expr.Assign ("t", Vir_expr.Load (addr "x" 0));
+      Vir_expr.Store
+        ( addr "y" 0,
+          Vir_expr.Op (Ast.Add, Vir_expr.Temp "t", Vir_expr.Load (addr "x" 4)) );
+      Vir_expr.If
+        ( Vir_rexpr.Gt (Vir_rexpr.Trip, Vir_rexpr.Const 0),
+          [ Vir_expr.Store (addr "y" 4, Vir_expr.Load (addr "z" 0)) ],
+          [] );
+    ]
+  in
+  check_int "loads found" 3 (List.length (Vir_expr.loads_of_stmts stmts));
+  check_int "load nodes" 3 (Vir_expr.count_nodes Vir_expr.is_load stmts);
+  Alcotest.(check (list string)) "temps written" [ "t" ] (Vir_expr.temps_written stmts)
+
+let test_prog_bounds_helpers () =
+  let program =
+    Parse.program_of_string
+      "int32 a[64] @ 0;\nint32 b[64] @ 4;\nfor (i = 0; i < 50; i++) { a[i] = b[i+1]; }"
+  in
+  let o = Driver.simdize_exn Driver.default program in
+  let p = o.Driver.prog in
+  check_int "resolve const" (Vir_prog.resolve_upper p ~trip:50)
+    (match p.Vir_prog.upper with
+    | Vir_prog.B_const n -> n
+    | Vir_prog.B_trip_minus k -> 50 - k);
+  let exit = Vir_prog.exit_counter p ~trip:50 in
+  check_bool "exit >= upper" true (exit >= Vir_prog.resolve_upper p ~trip:50);
+  check_int "iterations consistent"
+    ((exit - p.Vir_prog.lower) / p.Vir_prog.block)
+    (Vir_prog.steady_iterations p ~trip:50)
+
+let test_static_counts () =
+  let stmts =
+    [
+      Vir_expr.Assign ("a", Vir_expr.Splat (Ast.Const 1L));
+      Vir_expr.Assign ("b", Vir_expr.Temp "a");
+      Vir_expr.Store
+        ( addr "y" 0,
+          Vir_expr.Splice
+            ( Vir_expr.Shiftpair
+                (Vir_expr.Load (addr "x" 0), Vir_expr.Temp "a", Vir_rexpr.Const 4),
+              Vir_expr.Load (addr "y" 0),
+              Vir_rexpr.Const 8 ) );
+    ]
+  in
+  let c = Vir_prog.static_counts_of_stmts stmts in
+  check_int "loads" 2 c.Vir_prog.loads;
+  check_int "stores" 1 c.Vir_prog.stores;
+  check_int "splats" 1 c.Vir_prog.splats;
+  check_int "shifts" 1 c.Vir_prog.shifts;
+  check_int "splices" 1 c.Vir_prog.splices;
+  check_int "copies" 1 c.Vir_prog.copies
+
+let test_prog_printing () =
+  let program =
+    Parse.program_of_string
+      "int32 a[64] @ 0;\nint32 b[64] @ 4;\nfor (i = 0; i < 50; i++) { a[i] = b[i+1]; }"
+  in
+  let o = Driver.simdize_exn Driver.default program in
+  let s = Vir_prog.to_string o.Driver.prog in
+  List.iter
+    (fun frag ->
+      check_bool (Printf.sprintf "printed program mentions %S" frag) true
+        (let n = String.length frag in
+         let rec go i =
+           i + n <= String.length s && (String.sub s i n = frag || go (i + 1))
+         in
+         go 0))
+    [ "prologue"; "for (i = 4;"; "vstore"; "vshiftpair"; "epilogue" ]
+
+let suite =
+  [
+    ( "vir",
+      [
+        Alcotest.test_case "address algebra" `Quick test_addr_algebra;
+        Alcotest.test_case "address printing" `Quick test_addr_pp;
+        Alcotest.test_case "rexpr folding" `Quick test_rexpr_fold;
+        Alcotest.test_case "expr substitution" `Quick test_expr_shift_iter;
+        Alcotest.test_case "substitution rejects temps" `Quick
+          test_expr_shift_iter_rejects_temps;
+        Alcotest.test_case "freeze keeps temps" `Quick test_expr_freeze_keeps_temps;
+        Alcotest.test_case "traversals" `Quick test_traversals;
+        Alcotest.test_case "program bound helpers" `Quick test_prog_bounds_helpers;
+        Alcotest.test_case "static counts" `Quick test_static_counts;
+        Alcotest.test_case "program printing" `Quick test_prog_printing;
+      ] );
+  ]
