@@ -1,0 +1,119 @@
+(* fuzz — differential fuzzing front end.
+
+   Default mode runs a seeded campaign: generate --budget random loop
+   programs, check each one differentially (scalar interpreter vs. the
+   simdized execution) under a randomly sampled driver configuration, and
+   write a minimized reproducer for every divergence or crash into the
+   output directory (corpus/fuzz/ by convention).
+
+   --replay re-runs a committed reproducer file and reports its outcome;
+   the exit code distinguishes pass/skip (0) from divergence/crash (1). *)
+
+open Cmdliner
+module Fuzz = Simd.Fuzz
+
+let progress_interval = 100
+
+let run_campaign seed budget out shrink shrink_steps quiet =
+  let on_case index _case outcome =
+    if (not quiet) && (index + 1) mod progress_interval = 0 then
+      Format.eprintf "fuzz: %d/%d cases...@." (index + 1) budget;
+    match (outcome : Fuzz.Oracle.outcome) with
+    | Fuzz.Oracle.Divergence m | Fuzz.Oracle.Crash m ->
+      Format.eprintf "fuzz: case %d %s: %s@." index
+        (Fuzz.Oracle.outcome_name outcome)
+        m
+    | _ -> ()
+  in
+  let stats, failures =
+    Fuzz.Campaign.run ~shrink ~shrink_steps ~on_case ~seed ~budget ()
+  in
+  Format.printf "%a@." Fuzz.Campaign.pp_stats stats;
+  if failures <> [] then begin
+    if not (Sys.file_exists out) then Sys.mkdir out 0o755;
+    List.iter
+      (fun (f : Fuzz.Campaign.failure) ->
+        let path =
+          Filename.concat out
+            (Printf.sprintf "fuzz-seed%d-case%d.simd" seed f.Fuzz.Campaign.index)
+        in
+        Fuzz.Case.to_file path f.Fuzz.Campaign.minimized;
+        Format.printf "case %d (%s) minimized to %s:@.%a@."
+          f.Fuzz.Campaign.index
+          (Fuzz.Oracle.outcome_name f.Fuzz.Campaign.outcome)
+          path Fuzz.Case.pp f.Fuzz.Campaign.minimized)
+      failures;
+    1
+  end
+  else 0
+
+let run_replay path =
+  match Fuzz.Case.of_file path with
+  | Error m ->
+    Format.eprintf "replay: %s@." m;
+    2
+  | Ok case -> (
+    Format.printf "replaying %s:@.%a@." path Fuzz.Case.pp case;
+    match Fuzz.Oracle.run case with
+    | Fuzz.Oracle.Pass ->
+      Format.printf "outcome: pass@.";
+      0
+    | Fuzz.Oracle.Skipped m ->
+      Format.printf "outcome: skipped (%s)@." m;
+      0
+    | outcome ->
+      Format.printf "outcome: %a@." Fuzz.Oracle.pp_outcome outcome;
+      1)
+
+let run seed budget replay out no_shrink shrink_steps quiet =
+  match replay with
+  | Some path -> run_replay path
+  | None -> run_campaign seed budget out (not no_shrink) shrink_steps quiet
+
+let cmd =
+  let seed =
+    Arg.(
+      value & opt int 1
+      & info [ "seed" ] ~docv:"N" ~doc:"Campaign seed (same seed, same cases).")
+  in
+  let budget =
+    Arg.(
+      value & opt int 500
+      & info [ "budget" ] ~docv:"N" ~doc:"Number of generated programs.")
+  in
+  let replay =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "replay" ] ~docv:"FILE"
+          ~doc:"Replay one reproducer file instead of running a campaign.")
+  in
+  let out =
+    Arg.(
+      value & opt string "corpus/fuzz"
+      & info [ "out" ] ~docv:"DIR"
+          ~doc:"Directory for minimized reproducers of new failures.")
+  in
+  let no_shrink =
+    Arg.(
+      value & flag
+      & info [ "no-shrink" ] ~doc:"Report failures without minimizing them.")
+  in
+  let shrink_steps =
+    Arg.(
+      value & opt int 1500
+      & info [ "shrink-steps" ] ~docv:"N"
+          ~doc:"Oracle-run budget per minimization.")
+  in
+  let quiet =
+    Arg.(value & flag & info [ "q"; "quiet" ] ~doc:"No progress output.")
+  in
+  Cmd.v
+    (Cmd.info "fuzz" ~version:"1.0"
+       ~doc:"Differential fuzzing of the simdizer against the scalar \
+             interpreter")
+    Term.(
+      const run $ seed $ budget $ replay $ out $ no_shrink $ shrink_steps
+      $ quiet)
+
+let () = exit (Cmd.eval' cmd)

@@ -515,7 +515,18 @@ let unroll ~(block : int) ~(factor : int) (body : Expr.stmt list) :
     in
     let restores = List.map (fun x -> (x, resolve x)) moved in
     (* Coalesce: rename a restore's source definition to the carried name
-       when that name is textually dead past the definition. *)
+       when that name is textually dead past the definition.
+
+       A carried name some other restore reads is NOT dead past any point:
+       all restores execute at the seam, so renaming a mid-body definition
+       to it would clobber the old value that restore still has to copy.
+       This is exactly the depth-2+ carry chain produced by predictive
+       commoning over loads two or more blocks apart — the seam needs
+       [t0 := t3] to read the t3 carried in, not a reload coalesced onto
+       t3 earlier in the body. Such names keep their explicit restore. *)
+    let read_at_seam x =
+      List.exists (fun (x', src) -> x' <> x && src = x) restores
+    in
     let occurs_in_expr x e =
       Expr.fold_vexpr
         (fun acc n -> acc || match n with Expr.Temp t -> t = x | _ -> false)
@@ -545,7 +556,11 @@ let unroll ~(block : int) ~(factor : int) (body : Expr.stmt list) :
           emitted;
         let last_x = ref (-1) in
         Array.iteri (fun k s -> if occurs_in_stmt x s then last_x := k) emitted;
-        if !def_idx >= 0 && !last_x < !def_idx && not (Hashtbl.mem renamed_defs !def_idx)
+        if
+          !def_idx >= 0
+          && !last_x < !def_idx
+          && (not (Hashtbl.mem renamed_defs !def_idx))
+          && not (read_at_seam x)
         then begin
           Hashtbl.replace renamed_defs !def_idx ();
           Hashtbl.replace src_subst src x;

@@ -44,11 +44,25 @@ let check (analysis : Analysis.t) : verdict =
 
 (** [peel_amount analysis] — the number of scalar iterations to peel so the
     (uniform) misalignment [o] becomes 0: [(V - o)/D mod B]. Only meaningful
-    when {!check} returns [Applicable]. *)
+    when {!check} returns [Applicable].
+
+    The [mod B] matters at [o = 0]: [(V - 0)/D = B] scalar iterations would
+    re-misalign nothing but waste a whole block, and the reduced form keeps
+    every result in [0, B). A misalignment that is not a multiple of the
+    element size can never be cured by whole-iteration peeling (each peeled
+    iteration advances the address by [D] bytes), so that is rejected
+    explicitly rather than silently truncated by the division. *)
 let peel_amount (analysis : Analysis.t) : int =
   match analysis.Analysis.offsets with
   | [] -> 0
   | (_, o) :: _ ->
     let o = Align.known_exn o in
+    let d = analysis.Analysis.elem in
     let v = Simd_machine.Config.vector_len analysis.Analysis.machine in
-    if o = 0 then 0 else (v - o) / analysis.Analysis.elem
+    if o mod d <> 0 then
+      invalid_arg
+        (Printf.sprintf
+           "Peel.peel_amount: misalignment %d is not a multiple of the \
+            element size %d"
+           o d)
+    else (v - o) / d mod analysis.Analysis.block

@@ -8,4 +8,7 @@ val pp_verdict : Format.formatter -> verdict -> unit
 val check : Simd_loopir.Analysis.t -> verdict
 
 val peel_amount : Simd_loopir.Analysis.t -> int
-(** Scalar iterations to peel so the uniform misalignment reaches 0. *)
+(** Scalar iterations to peel so the uniform misalignment reaches 0:
+    [(V - o)/D mod B], always in [0, B). Raises [Invalid_argument] when the
+    misalignment is not a multiple of the element size — whole-iteration
+    peeling cannot cure such an offset. *)

@@ -76,6 +76,10 @@ module Lb = Simd_bench.Lb
 module Measure = Simd_bench.Measure
 module Suite = Simd_bench.Suite
 
+(* Differential fuzzing ({!Fuzz.Genloop}, {!Fuzz.Oracle}, {!Fuzz.Shrink},
+   {!Fuzz.Campaign}, {!Fuzz.Case}) *)
+module Fuzz = Simd_fuzz
+
 (* ------------------------------------------------------------------ *)
 (* Convenience entry points                                            *)
 (* ------------------------------------------------------------------ *)

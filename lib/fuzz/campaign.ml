@@ -1,0 +1,60 @@
+(** Fuzzing campaigns: generate a budget of cases from one seed, classify
+    each through the oracle, and minimize every failure. Everything is
+    driven by the seed — two campaigns with the same seed and budget
+    produce identical cases, outcomes, and minimized reproducers. *)
+
+module Prng = Simd_support.Prng
+
+type stats = {
+  total : int;
+  passed : int;
+  skipped : int;
+  divergences : int;
+  crashes : int;
+}
+
+let zero_stats = { total = 0; passed = 0; skipped = 0; divergences = 0; crashes = 0 }
+
+let count (s : stats) (o : Oracle.outcome) =
+  let s = { s with total = s.total + 1 } in
+  match o with
+  | Oracle.Pass -> { s with passed = s.passed + 1 }
+  | Oracle.Skipped _ -> { s with skipped = s.skipped + 1 }
+  | Oracle.Divergence _ -> { s with divergences = s.divergences + 1 }
+  | Oracle.Crash _ -> { s with crashes = s.crashes + 1 }
+
+let pp_stats fmt (s : stats) =
+  Format.fprintf fmt
+    "%d cases: %d passed, %d skipped, %d divergences, %d crashes" s.total
+    s.passed s.skipped s.divergences s.crashes
+
+type failure = {
+  index : int;  (** 0-based case number within the campaign *)
+  case : Case.t;
+  minimized : Case.t;
+  outcome : Oracle.outcome;
+}
+
+(** [run ~seed ~budget ()] — generate and check [budget] cases derived from
+    [seed]. [shrink] (default true) minimizes each failure;
+    [shrink_steps] bounds each minimization. [on_case] observes every
+    (index, case, outcome) as it happens — the CLI uses it for progress,
+    tests for determinism checks. *)
+let run ?(shrink = true) ?(shrink_steps = 1500)
+    ?(on_case = fun _ _ _ -> ()) ~seed ~budget () : stats * failure list =
+  let prng = Prng.create ~seed in
+  let stats = ref zero_stats in
+  let failures = ref [] in
+  for index = 0 to budget - 1 do
+    let case = Genloop.gen_case prng in
+    let outcome = Oracle.run case in
+    on_case index case outcome;
+    stats := count !stats outcome;
+    if Oracle.is_failure outcome then begin
+      let minimized =
+        if shrink then Shrink.minimize ~max_steps:shrink_steps case else case
+      in
+      failures := { index; case; minimized; outcome } :: !failures
+    end
+  done;
+  (!stats, List.rev !failures)

@@ -1,0 +1,30 @@
+(** Fuzzing campaigns: a seeded, reproducible budget of generated cases
+    classified through the oracle, with failures minimized. *)
+
+type stats = {
+  total : int;
+  passed : int;
+  skipped : int;
+  divergences : int;
+  crashes : int;
+}
+
+val zero_stats : stats
+val pp_stats : Format.formatter -> stats -> unit
+
+type failure = {
+  index : int;  (** 0-based case number within the campaign *)
+  case : Case.t;
+  minimized : Case.t;
+  outcome : Oracle.outcome;
+}
+
+val run :
+  ?shrink:bool ->
+  ?shrink_steps:int ->
+  ?on_case:(int -> Case.t -> Oracle.outcome -> unit) ->
+  seed:int ->
+  budget:int ->
+  unit ->
+  stats * failure list
+(** Same seed and budget ⇒ identical cases, outcomes, and reproducers. *)

@@ -1,0 +1,193 @@
+(** A fuzz case: one loop program plus everything needed to replay its
+    differential check bit-for-bit — the sampled driver configuration, the
+    concrete trip count for runtime bounds, and the simulation seed that
+    fixes array placement and memory noise.
+
+    Cases serialize to ordinary [.simd] files whose header carries the
+    replay data in comment lines the lexer already skips, so a committed
+    reproducer is simultaneously a valid corpus program:
+
+    {v
+      // simd-fuzz reproducer
+      // fuzz-config: vl=16 policy=dominant reuse=sp memnorm=1 reassoc=0
+      //              cse=1 hoist=1 unroll=2 specialize=1 peel=0 seed=77
+      // fuzz-trip: 40
+      int32 y1[44] @ 4;
+      ...
+    v}
+
+    (The [fuzz-config] line is a single line in practice; [fuzz-trip] is
+    present only for runtime-bound loops.) *)
+
+open Simd_loopir
+module Driver = Simd_codegen.Driver
+module Policy = Simd_dreorg.Policy
+
+type t = {
+  program : Ast.program;
+  config : Driver.config;
+  trip : int option;  (** concrete trip count when the bound is a param *)
+  setup_seed : int;  (** seed for array placement and memory noise *)
+}
+
+(** [effective_trip case] — the trip count the simulation runs with. *)
+let effective_trip (c : t) =
+  match c.program.Ast.loop.Ast.trip with
+  | Ast.Trip_const n -> n
+  | Ast.Trip_param _ -> (
+    match c.trip with
+    | Some n -> n
+    | None -> invalid_arg "Case.effective_trip: runtime trip without a value")
+
+(* ------------------------------------------------------------------ *)
+(* Config field names                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let reuse_of_name = function
+  | "plain" -> Some Driver.No_reuse
+  | "pc" -> Some Driver.Predictive_commoning
+  | "sp" -> Some Driver.Software_pipelining
+  | _ -> None
+
+let bool_field b = if b then "1" else "0"
+
+let config_to_string (cfg : Driver.config) =
+  Printf.sprintf
+    "vl=%d policy=%s reuse=%s memnorm=%s reassoc=%s cse=%s hoist=%s \
+     unroll=%d specialize=%s peel=%s"
+    (Simd_machine.Config.vector_len cfg.Driver.machine)
+    (Policy.name cfg.Driver.policy)
+    (Driver.reuse_name cfg.Driver.reuse)
+    (bool_field cfg.Driver.memnorm) (bool_field cfg.Driver.reassoc)
+    (bool_field cfg.Driver.cse)
+    (bool_field cfg.Driver.hoist_splats)
+    cfg.Driver.unroll
+    (bool_field cfg.Driver.specialize_epilogue)
+    (bool_field cfg.Driver.peel_baseline)
+
+(* ------------------------------------------------------------------ *)
+(* Serialization                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let to_string (c : t) =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf "// simd-fuzz reproducer\n";
+  Buffer.add_string buf
+    (Printf.sprintf "// fuzz-config: %s seed=%d\n" (config_to_string c.config)
+       c.setup_seed);
+  (match c.trip with
+  | Some t -> Buffer.add_string buf (Printf.sprintf "// fuzz-trip: %d\n" t)
+  | None -> ());
+  Buffer.add_string buf (Pp.program_to_string c.program);
+  Buffer.contents buf
+
+exception Bad_header of string
+
+let fail fmt = Printf.ksprintf (fun m -> raise (Bad_header m)) fmt
+
+let parse_kv token =
+  match String.index_opt token '=' with
+  | Some i ->
+    ( String.sub token 0 i,
+      String.sub token (i + 1) (String.length token - i - 1) )
+  | None -> fail "malformed field %S (expected key=value)" token
+
+let parse_bool key = function
+  | "0" | "false" -> false
+  | "1" | "true" -> true
+  | v -> fail "field %s: expected boolean, got %S" key v
+
+let parse_int key v =
+  match int_of_string_opt v with
+  | Some n -> n
+  | None -> fail "field %s: expected integer, got %S" key v
+
+let apply_field (cfg, seed) (key, v) =
+  let open Driver in
+  match key with
+  | "vl" -> ({ cfg with machine = Simd_machine.Config.create ~vector_len:(parse_int key v) }, seed)
+  | "policy" -> (
+    match Policy.of_name v with
+    | Some p -> ({ cfg with policy = p }, seed)
+    | None -> fail "unknown policy %S" v)
+  | "reuse" -> (
+    match reuse_of_name v with
+    | Some r -> ({ cfg with reuse = r }, seed)
+    | None -> fail "unknown reuse strategy %S" v)
+  | "memnorm" -> ({ cfg with memnorm = parse_bool key v }, seed)
+  | "reassoc" -> ({ cfg with reassoc = parse_bool key v }, seed)
+  | "cse" -> ({ cfg with cse = parse_bool key v }, seed)
+  | "hoist" -> ({ cfg with hoist_splats = parse_bool key v }, seed)
+  | "unroll" -> ({ cfg with unroll = parse_int key v }, seed)
+  | "specialize" -> ({ cfg with specialize_epilogue = parse_bool key v }, seed)
+  | "peel" -> ({ cfg with peel_baseline = parse_bool key v }, seed)
+  | "seed" -> (cfg, parse_int key v)
+  | _ -> fail "unknown field %S" key
+
+let header_payload ~prefix line =
+  let line = String.trim line in
+  if String.length line >= String.length prefix
+     && String.sub line 0 (String.length prefix) = prefix
+  then Some (String.trim (String.sub line (String.length prefix)
+                            (String.length line - String.length prefix)))
+  else None
+
+let of_string src : (t, string) result =
+  try
+    let lines = String.split_on_char '\n' src in
+    let cfg = ref Driver.default in
+    let seed = ref 0x5EED in
+    let trip = ref None in
+    List.iter
+      (fun line ->
+        (match header_payload ~prefix:"// fuzz-config:" line with
+        | Some payload ->
+          let tokens =
+            List.filter (fun s -> s <> "") (String.split_on_char ' ' payload)
+          in
+          let cfg', seed' =
+            List.fold_left
+              (fun acc tok -> apply_field acc (parse_kv tok))
+              (!cfg, !seed) tokens
+          in
+          cfg := cfg';
+          seed := seed'
+        | None -> ());
+        match header_payload ~prefix:"// fuzz-trip:" line with
+        | Some payload -> trip := Some (parse_int "fuzz-trip" payload)
+        | None -> ())
+      lines;
+    match Parse.program_of_string_result src with
+    | Error m -> Error m
+    | Ok program ->
+      Ok { program; config = !cfg; trip = !trip; setup_seed = !seed }
+  with
+  | Bad_header m -> Error ("bad fuzz header: " ^ m)
+  | Invalid_argument m -> Error ("bad fuzz header: " ^ m)
+
+(* ------------------------------------------------------------------ *)
+(* Files                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let to_file path (c : t) =
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_string c))
+
+let of_file path : (t, string) result =
+  let ic = open_in_bin path in
+  let src =
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  match of_string src with
+  | Ok c -> Ok c
+  | Error m -> Error (Printf.sprintf "%s: %s" path m)
+
+let pp fmt (c : t) =
+  Format.fprintf fmt "config: %s seed=%d%s@\n%a" (config_to_string c.config)
+    c.setup_seed
+    (match c.trip with Some t -> Printf.sprintf " trip=%d" t | None -> "")
+    Pp.pp_program c.program

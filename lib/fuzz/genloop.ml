@@ -1,0 +1,255 @@
+(** Seeded random program generator for differential fuzzing.
+
+    Unlike {!Simd_bench.Synth}, which reproduces the paper's benchmark
+    shapes (sums of loads), this generator covers the full accepted surface
+    of the loop language so the oracle can probe corner cases: every element
+    width, strided gathers, reused arrays with distinct offsets, parameters
+    and constants inside expressions, all eight operators (including
+    [min]/[max] call syntax and non-commutative [-]), reductions, runtime
+    alignments, runtime trip counts, and trip values straddling the
+    [ub > 3B] simdization guard.
+
+    Programs are well-formed by construction: arrays are sized after the
+    fact so every reference is in bounds at the chosen trip count, declared
+    alignments are naturally aligned multiples of the element width, stored
+    arrays are fresh per statement and never loaded, and reductions use only
+    operators with identities. All draws come from one {!Simd_support.Prng}
+    stream, so a seed reproduces the exact case sequence. *)
+
+open Simd_loopir
+module Prng = Simd_support.Prng
+module Util = Simd_support.Util
+module Driver = Simd_codegen.Driver
+module Policy = Simd_dreorg.Policy
+
+(* ------------------------------------------------------------------ *)
+(* Machine and configuration sampling                                  *)
+(* ------------------------------------------------------------------ *)
+
+(* Weighted toward the paper's 16-byte machine, with the full supported
+   range represented. *)
+let vector_lengths = [| 4; 8; 16; 16; 16; 16; 32; 64 |]
+
+let gen_machine prng =
+  Simd_machine.Config.create ~vector_len:(Prng.pick_array prng vector_lengths)
+
+let reuses =
+  [| Driver.No_reuse; Driver.Predictive_commoning; Driver.Software_pipelining |]
+
+(** [gen_config prng ~machine] — a uniform-ish draw over the driver's whole
+    configuration lattice. The peeling baseline is sampled rarely: it
+    refuses most loops, which wastes budget. *)
+let gen_config prng ~machine : Driver.config =
+  {
+    Driver.machine;
+    policy = Prng.pick prng Policy.all;
+    reuse = Prng.pick_array prng reuses;
+    memnorm = Prng.bool prng;
+    reassoc = Prng.bool prng;
+    cse = Prng.bool prng;
+    hoist_splats = Prng.bool prng;
+    unroll = Prng.pick_array prng [| 1; 1; 1; 1; 2; 2; 3; 4 |];
+    specialize_epilogue = Prng.bool prng;
+    peel_baseline = Prng.chance prng 0.05;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Program generation                                                  *)
+(* ------------------------------------------------------------------ *)
+
+type ctx = {
+  prng : Prng.t;
+  ty : Ast.elem_ty;
+  d : int;  (** element width *)
+  v : int;  (** vector length *)
+  block : int;
+  mutable decls : (string * Ast.base_align) list;  (** reversed *)
+  mutable refs : Ast.mem_ref list;  (** every reference, for array sizing *)
+  mutable load_pool : Ast.mem_ref list;  (** reusable load references *)
+  mutable params : string list;  (** reversed *)
+  mutable fresh : int;
+}
+
+let fresh_name ctx prefix =
+  ctx.fresh <- ctx.fresh + 1;
+  Printf.sprintf "%s%d" prefix ctx.fresh
+
+(* Stream offsets in [0, 2B+2]: small enough to keep arrays compact, large
+   enough to wrap chunk boundaries at every element width. *)
+let gen_offset ctx =
+  if Prng.chance ctx.prng 0.3 then 0
+  else Prng.range ctx.prng ~lo:0 ~hi:((2 * ctx.block) + 2)
+
+let gen_alignment ctx =
+  if Prng.chance ctx.prng 0.2 then Ast.Unknown
+  else Ast.Known (Prng.int ctx.prng ~bound:ctx.block * ctx.d)
+
+(** A fresh array declaration plus a reference into it. Lengths are
+    computed at the end from the collected references. *)
+let fresh_ref ctx ~prefix ~stride =
+  let name = fresh_name ctx prefix in
+  ctx.decls <- (name, gen_alignment ctx) :: ctx.decls;
+  let r = { Ast.ref_array = name; ref_offset = gen_offset ctx; ref_stride = stride } in
+  ctx.refs <- r :: ctx.refs;
+  r
+
+let gen_load_ref ctx =
+  let r =
+    if ctx.load_pool <> [] && Prng.chance ctx.prng 0.35 then begin
+      let prev = Prng.pick ctx.prng ctx.load_pool in
+      (* Half the time revisit the same array at a different offset (FIR
+         shape — the predictive-commoning stress case). *)
+      if Prng.bool ctx.prng then prev
+      else { prev with Ast.ref_offset = gen_offset ctx }
+    end
+    else
+      let stride =
+        if Prng.chance ctx.prng 0.15 then Prng.pick ctx.prng [ 2; 4 ] else 1
+      in
+      fresh_ref ctx ~prefix:"x" ~stride
+  in
+  ctx.refs <- r :: ctx.refs;
+  ctx.load_pool <- r :: ctx.load_pool;
+  r
+
+(* Interesting constants: identities, sign boundaries of every lane width,
+   and full-range noise. Int64.min_int is excluded — its negation does not
+   round-trip through the printer's [(-c)] form. *)
+let const_pool =
+  [|
+    0L; 1L; 2L; -1L; 3L; 7L; 127L; 128L; 255L; 256L; -128L; 32767L; -32768L;
+    65535L; 2147483647L; -2147483648L; 4294967295L; Int64.max_int;
+    Int64.neg Int64.max_int;
+  |]
+
+let gen_const ctx =
+  if Prng.chance ctx.prng 0.7 then Prng.pick_array ctx.prng const_pool
+  else Int64.of_int (Prng.range ctx.prng ~lo:(-1000) ~hi:1000)
+
+let gen_param ctx =
+  if ctx.params <> [] && Prng.chance ctx.prng 0.5 then Prng.pick ctx.prng ctx.params
+  else begin
+    let p = fresh_name ctx "p" in
+    ctx.params <- p :: ctx.params;
+    p
+  end
+
+let all_ops =
+  [| Ast.Add; Ast.Sub; Ast.Mul; Ast.Min; Ast.Max; Ast.And; Ast.Or; Ast.Xor |]
+
+let reduce_ops = [| Ast.Add; Ast.Mul; Ast.Min; Ast.Max; Ast.And; Ast.Or; Ast.Xor |]
+
+let rec gen_expr ctx ~depth =
+  if depth = 0 || Prng.chance ctx.prng 0.3 then
+    (* leaf *)
+    let roll = Prng.float ctx.prng in
+    if roll < 0.62 then Ast.Load (gen_load_ref ctx)
+    else if roll < 0.8 then Ast.Const (gen_const ctx)
+    else Ast.Param (gen_param ctx)
+  else
+    Ast.Binop
+      ( Prng.pick_array ctx.prng all_ops,
+        gen_expr ctx ~depth:(depth - 1),
+        gen_expr ctx ~depth:(depth - 1) )
+
+let gen_stmt ctx =
+  let rhs = gen_expr ctx ~depth:(Prng.range ctx.prng ~lo:1 ~hi:3) in
+  if Prng.chance ctx.prng 0.2 then begin
+    (* reduction into a fresh one-element accumulator *)
+    let name = fresh_name ctx "s" in
+    ctx.decls <- (name, gen_alignment ctx) :: ctx.decls;
+    let lhs = { Ast.ref_array = name; ref_offset = 0; ref_stride = 1 } in
+    { Ast.lhs; rhs; kind = Ast.Reduce (Prng.pick_array ctx.prng reduce_ops) }
+  end
+  else
+    let lhs = fresh_ref ctx ~prefix:"y" ~stride:1 in
+    { Ast.lhs; rhs; kind = Ast.Assign }
+
+(** Trip counts concentrate on the regions the guard logic carves out:
+    comfortably simdizable, straddling [3B], and guard-fallback small. *)
+let gen_trip_value ctx =
+  let b = ctx.block in
+  let roll = Prng.float ctx.prng in
+  if roll < 0.5 then Prng.range ctx.prng ~lo:((3 * b) + 1) ~hi:(6 * b)
+  else if roll < 0.7 then Prng.range ctx.prng ~lo:((3 * b) - 1) ~hi:((3 * b) + 2)
+  else if roll < 0.85 then Prng.range ctx.prng ~lo:1 ~hi:(b + 2)
+  else Prng.range ctx.prng ~lo:1 ~hi:((8 * b) + 5)
+
+(** [gen_program prng ~machine] — one well-formed program, with the trip
+    value to run it at when the bound is a runtime parameter. *)
+let gen_program prng ~machine : Ast.program * int option =
+  let v = Simd_machine.Config.vector_len machine in
+  let widths = List.filter (fun w -> w <= v) [ 1; 2; 4; 8 ] in
+  let ty = Ast.elem_ty_of_width (Prng.pick prng widths) in
+  let d = Ast.elem_width ty in
+  let ctx =
+    {
+      prng;
+      ty;
+      d;
+      v;
+      block = v / d;
+      decls = [];
+      refs = [];
+      load_pool = [];
+      params = [];
+      fresh = 0;
+    }
+  in
+  let n_stmts = Prng.pick_array prng [| 1; 1; 1; 2; 2; 3; 4 |] in
+  let body = List.init n_stmts (fun _ -> gen_stmt ctx) in
+  let trip_value = gen_trip_value ctx in
+  let runtime_trip = Prng.chance prng 0.35 in
+  let trip, trip_override, params =
+    if runtime_trip then begin
+      let p = "n" in
+      (Ast.Trip_param p, Some trip_value, List.rev ctx.params @ [ p ])
+    end
+    else (Ast.Trip_const trip_value, None, List.rev ctx.params)
+  in
+  (* Size every array to cover its references at the effective trip count,
+     plus a little random slack so lengths are not always tight. *)
+  let needed name =
+    List.fold_left
+      (fun acc (r : Ast.mem_ref) ->
+        if r.Ast.ref_array = name then
+          max acc ((r.Ast.ref_stride * (trip_value - 1)) + r.Ast.ref_offset + 1)
+        else acc)
+      1 ctx.refs
+  in
+  let arrays =
+    List.rev_map
+      (fun (name, align) ->
+        {
+          Ast.arr_name = name;
+          arr_ty = ty;
+          arr_len = needed name + Prng.int prng ~bound:4;
+          arr_align = align;
+        })
+      ctx.decls
+  in
+  ( { Ast.arrays; params; loop = { Ast.counter = "i"; trip; body } },
+    trip_override )
+
+(** [gen_case prng] — one complete fuzz case: machine, program, driver
+    configuration, and simulation seed, all drawn from [prng]. The result
+    always passes {!Analysis.check} under its own machine. *)
+let gen_case prng : Case.t =
+  let rec try_gen attempts =
+    let machine = gen_machine prng in
+    let program, trip = gen_program prng ~machine in
+    let config = gen_config prng ~machine in
+    let setup_seed = Prng.int prng ~bound:1_000_000 in
+    match Analysis.check ~machine program with
+    | Ok _ -> { Case.program; config; trip; setup_seed }
+    | Error e ->
+      (* Unreachable for a correct generator; regenerate rather than feed
+         the oracle an illegal program, but fail loudly if it persists. *)
+      if attempts > 5 then
+        invalid_arg
+          (Printf.sprintf "Genloop.gen_case: generator produced illegal \
+                           programs repeatedly (%s)"
+             (Analysis.error_to_string e))
+      else try_gen (attempts + 1)
+  in
+  try_gen 0

@@ -1,0 +1,25 @@
+(** Seeded random program generator covering the full accepted surface of
+    the loop language: all element widths, strides, offsets, runtime and
+    compile-time alignments and trip counts, reductions, parameters,
+    constants, and every operator. Programs are well-formed by
+    construction; all draws come from one {!Simd_support.Prng} stream. *)
+
+open Simd_loopir
+
+val gen_machine : Simd_support.Prng.t -> Simd_machine.Config.t
+
+val gen_config :
+  Simd_support.Prng.t ->
+  machine:Simd_machine.Config.t ->
+  Simd_codegen.Driver.config
+
+val gen_program :
+  Simd_support.Prng.t ->
+  machine:Simd_machine.Config.t ->
+  Ast.program * int option
+(** One well-formed program plus the trip value to run it at when the
+    bound is a runtime parameter. *)
+
+val gen_case : Simd_support.Prng.t -> Case.t
+(** One complete fuzz case (machine + program + config + simulation seed).
+    Always passes {!Simd_loopir.Analysis.check} under its own machine. *)

@@ -1,0 +1,61 @@
+(** The differential oracle: run one fuzz case through the scalar
+    interpreter and the full simdization pipeline on identical noise-filled
+    memory (via {!Simd_bench.Measure.verify}) and classify the outcome.
+
+    [Pass] — byte-identical arenas (including the guard-fallback path for
+    trips below the [3B] bound). [Skipped] — the driver legitimately left
+    the loop scalar (trip guard with a compile-time bound, peeling baseline
+    refusals). [Divergence] — the simdized execution produced different
+    memory than the scalar oracle: a miscompilation. [Crash] — the compiler
+    or simulator raised: an internal invariant broke. *)
+
+module Driver = Simd_codegen.Driver
+module Measure = Simd_bench.Measure
+
+type outcome =
+  | Pass
+  | Skipped of string
+  | Divergence of string
+  | Crash of string
+
+let is_failure = function
+  | Pass | Skipped _ -> false
+  | Divergence _ | Crash _ -> true
+
+(** [same_class a b] — same outcome constructor (shrinking preserves the
+    failure class, not the exact message). *)
+let same_class a b =
+  match (a, b) with
+  | Pass, Pass -> true
+  | Skipped _, Skipped _ -> true
+  | Divergence _, Divergence _ -> true
+  | Crash _, Crash _ -> true
+  | _ -> false
+
+let outcome_name = function
+  | Pass -> "pass"
+  | Skipped _ -> "skipped"
+  | Divergence _ -> "divergence"
+  | Crash _ -> "crash"
+
+let pp_outcome fmt = function
+  | Pass -> Format.pp_print_string fmt "pass"
+  | Skipped m -> Format.fprintf fmt "skipped (%s)" m
+  | Divergence m -> Format.fprintf fmt "DIVERGENCE: %s" m
+  | Crash m -> Format.fprintf fmt "CRASH: %s" m
+
+let starts_with ~prefix s =
+  String.length s >= String.length prefix
+  && String.sub s 0 (String.length prefix) = prefix
+
+(** [run case] — classify one case. Never raises: compiler and simulator
+    exceptions are folded into [Crash]. *)
+let run (c : Case.t) : outcome =
+  match
+    Measure.verify ~config:c.Case.config ~setup_seed:c.Case.setup_seed
+      ?trip:c.Case.trip c.Case.program
+  with
+  | Ok () -> Pass
+  | Error m when starts_with ~prefix:"not simdized" m -> Skipped m
+  | Error m -> Divergence m
+  | exception e -> Crash (Printexc.to_string e)

@@ -13,7 +13,11 @@ let binop_symbol = function
   | And -> "&"
   | Or -> "|"
   | Xor -> "^"
-  | Min | Max -> assert false (* printed as calls *)
+  (* No infix form exists; callers wanting concrete syntax for a whole
+     expression get call syntax from [pp_expr]. Returning the call-syntax
+     names keeps this function total for external users of the API. *)
+  | Min -> "min"
+  | Max -> "max"
 
 (* Precedence levels, higher binds tighter. *)
 let binop_prec = function

@@ -2,7 +2,8 @@
     to an equal program (property-tested). *)
 
 val binop_symbol : Ast.binop -> string
-(** Infix symbol; raises on [Min]/[Max] (printed as calls). *)
+(** Infix symbol; total — [Min]/[Max] yield their call-syntax names
+    ["min"]/["max"] (there is no infix form; {!pp_expr} emits calls). *)
 
 val binop_prec : Ast.binop -> int
 

@@ -1,0 +1,160 @@
+(* Differential fuzzing subsystem tests: generator well-formedness, case
+   serialization, campaign determinism, shrinker behavior, a fixed-seed
+   smoke campaign (the tier-1 gate), and replay of every committed
+   reproducer in corpus/fuzz/. *)
+
+open Simd
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* Locate corpus/fuzz the same way test_corpus locates corpus/. *)
+let fuzz_corpus_dir =
+  List.find_opt Sys.file_exists
+    [
+      "../corpus/fuzz";
+      "corpus/fuzz";
+      "../../corpus/fuzz";
+      "../../../corpus/fuzz";
+    ]
+
+let test_generator_well_formed () =
+  let prng = Prng.create ~seed:7 in
+  for _ = 1 to 500 do
+    let case = Fuzz.Genloop.gen_case prng in
+    (match
+       Analysis.check ~machine:case.Fuzz.Case.config.Driver.machine
+         case.Fuzz.Case.program
+     with
+    | Ok _ -> ()
+    | Error e ->
+      Alcotest.failf "generated program is illegal: %s\n%s"
+        (Analysis.error_to_string e)
+        (Pp.program_to_string case.Fuzz.Case.program));
+    (* runtime-bound cases always carry a concrete trip to run at *)
+    ignore (Fuzz.Case.effective_trip case)
+  done
+
+let test_case_roundtrip () =
+  let prng = Prng.create ~seed:11 in
+  for _ = 1 to 200 do
+    let case = Fuzz.Genloop.gen_case prng in
+    match Fuzz.Case.of_string (Fuzz.Case.to_string case) with
+    | Error m -> Alcotest.failf "reproducer did not re-parse: %s" m
+    | Ok case' ->
+      check_bool "program round trips" true
+        (Ast.equal_program case.Fuzz.Case.program case'.Fuzz.Case.program);
+      check_bool "config round trips" true
+        (Fuzz.Case.config_to_string case.Fuzz.Case.config
+        = Fuzz.Case.config_to_string case'.Fuzz.Case.config);
+      check_bool "trip round trips" true
+        (case.Fuzz.Case.trip = case'.Fuzz.Case.trip);
+      check_int "seed round trips" case.Fuzz.Case.setup_seed
+        case'.Fuzz.Case.setup_seed
+  done
+
+let test_campaign_deterministic () =
+  let record () =
+    let log = ref [] in
+    let on_case index case outcome =
+      log :=
+        ( index,
+          Pp.program_to_string case.Fuzz.Case.program,
+          Fuzz.Case.config_to_string case.Fuzz.Case.config,
+          Fuzz.Oracle.outcome_name outcome )
+        :: !log
+    in
+    let stats, _ =
+      Fuzz.Campaign.run ~shrink:false ~on_case ~seed:99 ~budget:150 ()
+    in
+    (stats, List.rev !log)
+  in
+  let stats_a, log_a = record () in
+  let stats_b, log_b = record () in
+  check_bool "same stats" true (stats_a = stats_b);
+  check_bool "same cases and outcomes" true (log_a = log_b);
+  check_int "all cases observed" 150 (List.length log_a)
+
+(* The tier-1 smoke gate: a fixed-seed budget must come back clean. *)
+let test_smoke_no_failures () =
+  let stats, failures =
+    Fuzz.Campaign.run ~shrink:false ~seed:1 ~budget:2000 ()
+  in
+  check_int "no divergences" 0 stats.Fuzz.Campaign.divergences;
+  check_int "no crashes" 0 stats.Fuzz.Campaign.crashes;
+  check_bool "no failures" true (failures = []);
+  check_bool "mostly passing" true (stats.Fuzz.Campaign.passed > 1000)
+
+(* Shrinking against a synthetic oracle: the minimizer must preserve the
+   failure class while strictly reducing the case, and must terminate. *)
+let test_shrinker_minimizes () =
+  let prng = Prng.create ~seed:5 in
+  (* Find a roomy case so there is something to shrink. *)
+  let rec pick () =
+    let c = Fuzz.Genloop.gen_case prng in
+    if List.length c.Fuzz.Case.program.Ast.loop.Ast.body >= 2 then c
+    else pick ()
+  in
+  let case = pick () in
+  (* Synthetic failure: any program that still loads something. *)
+  let oracle (c : Fuzz.Case.t) =
+    if
+      List.exists
+        (fun (s : Ast.stmt) -> Ast.expr_loads s.Ast.rhs <> [])
+        c.Fuzz.Case.program.Ast.loop.Ast.body
+    then Fuzz.Oracle.Divergence "synthetic"
+    else Fuzz.Oracle.Pass
+  in
+  let min = Fuzz.Shrink.minimize ~oracle case in
+  check_bool "still failing" true (Fuzz.Oracle.is_failure (oracle min));
+  check_int "one statement left" 1
+    (List.length min.Fuzz.Case.program.Ast.loop.Ast.body);
+  check_bool "fewer or equal arrays" true
+    (List.length min.Fuzz.Case.program.Ast.arrays
+    <= List.length case.Fuzz.Case.program.Ast.arrays);
+  (* a passing case comes back unchanged *)
+  let pass = { case with Fuzz.Case.setup_seed = case.Fuzz.Case.setup_seed } in
+  check_bool "non-failure untouched" true
+    (Fuzz.Shrink.minimize ~oracle:(fun _ -> Fuzz.Oracle.Pass) pass == pass)
+
+(* Every committed reproducer is a regression seed: it must load and its
+   bug must stay fixed. *)
+let test_replay_reproducers () =
+  match fuzz_corpus_dir with
+  | None -> Alcotest.fail "corpus/fuzz directory not found"
+  | Some dir ->
+    let files =
+      Sys.readdir dir |> Array.to_list
+      |> List.filter (fun f -> Filename.check_suffix f ".simd")
+      |> List.sort compare
+    in
+    check_bool "reproducers present" true (files <> []);
+    List.iter
+      (fun f ->
+        match Fuzz.Case.of_file (Filename.concat dir f) with
+        | Error m -> Alcotest.failf "%s: %s" f m
+        | Ok case -> (
+          match Fuzz.Oracle.run case with
+          | Fuzz.Oracle.Pass -> ()
+          | o ->
+            Alcotest.failf "%s: regressed to %s" f
+              (Format.asprintf "%a" Fuzz.Oracle.pp_outcome o)))
+      files
+
+let suite =
+  [
+    ( "fuzz",
+      [
+        Alcotest.test_case "generator well-formed" `Quick
+          test_generator_well_formed;
+        Alcotest.test_case "case serialization round trip" `Quick
+          test_case_roundtrip;
+        Alcotest.test_case "campaign deterministic" `Quick
+          test_campaign_deterministic;
+        Alcotest.test_case "fixed-seed smoke clean" `Quick
+          test_smoke_no_failures;
+        Alcotest.test_case "shrinker minimizes" `Quick test_shrinker_minimizes;
+        Alcotest.test_case "reproducers stay fixed" `Quick
+          test_replay_reproducers;
+      ] );
+  ]

@@ -24,4 +24,5 @@ let () =
          Test_corpus.suite;
          Test_facade.suite;
          Test_differential.suite;
+         Test_fuzz.suite;
        ])

@@ -134,6 +134,96 @@ let test_roundtrip_fig1 () =
   let p' = parse_ok (Pp.program_to_string p) in
   check_bool "round trip" true (Ast.equal_program p p')
 
+(* The printer is total on every operator: min/max have no infix form but
+   must still yield their call-syntax names, and expressions putting them
+   anywhere (including under infix operators) must round-trip. *)
+let test_binop_symbol_total () =
+  List.iter
+    (fun op -> check_bool "nonempty symbol" true (Pp.binop_symbol op <> ""))
+    [ Ast.Add; Ast.Sub; Ast.Mul; Ast.And; Ast.Or; Ast.Xor; Ast.Min; Ast.Max ];
+  Alcotest.(check string) "min" "min" (Pp.binop_symbol Ast.Min);
+  Alcotest.(check string) "max" "max" (Pp.binop_symbol Ast.Max);
+  let load a =
+    Ast.Load { Ast.ref_array = a; ref_offset = 0; ref_stride = 1 }
+  in
+  let e =
+    Ast.Binop
+      ( Ast.Min,
+        Ast.Binop (Ast.Add, load "a0", Ast.Binop (Ast.Max, load "a1", Ast.Const 3L)),
+        Ast.Const (-7L) )
+  in
+  let p =
+    {
+      Ast.arrays =
+        List.map
+          (fun k ->
+            {
+              Ast.arr_name = Printf.sprintf "a%d" k;
+              arr_ty = Ast.I32;
+              arr_len = 64;
+              arr_align = Ast.Known 0;
+            })
+          [ 0; 1 ];
+      params = [];
+      loop =
+        {
+          Ast.counter = "i";
+          trip = Ast.Trip_const 8;
+          body =
+            [
+              {
+                Ast.lhs =
+                  { Ast.ref_array = "a0"; ref_offset = 0; ref_stride = 1 };
+                rhs = e;
+                kind = Ast.Assign;
+              };
+            ];
+        };
+    }
+  in
+  let p' = parse_ok (Pp.program_to_string p) in
+  check_bool "min/max round trip" true (Ast.equal_program p p')
+
+(* Every committed corpus program — including the fuzz reproducers, whose
+   comment headers the lexer must skip — survives parse ∘ pp ∘ parse. *)
+let test_roundtrip_corpus () =
+  let dirs =
+    List.filter Sys.file_exists
+      [ "../corpus"; "corpus"; "../corpus/fuzz"; "corpus/fuzz" ]
+  in
+  check_bool "corpus found" true (dirs <> []);
+  let files =
+    List.concat_map
+      (fun dir ->
+        Sys.readdir dir |> Array.to_list
+        |> List.filter (fun f -> Filename.check_suffix f ".simd")
+        |> List.map (Filename.concat dir))
+      dirs
+  in
+  check_bool "corpus nonempty" true (files <> []);
+  List.iter
+    (fun path ->
+      let ic = open_in_bin path in
+      let src =
+        Fun.protect
+          ~finally:(fun () -> close_in ic)
+          (fun () -> really_input_string ic (in_channel_length ic))
+      in
+      let p =
+        match Parse.program_of_string_result src with
+        | Ok p -> p
+        | Error m -> Alcotest.failf "%s: %s" path m
+      in
+      let printed = Pp.program_to_string p in
+      match Parse.program_of_string_result printed with
+      | Error m -> Alcotest.failf "%s: printed form failed: %s" path m
+      | Ok p' ->
+        check_bool (path ^ " round trips") true (Ast.equal_program p p');
+        (* printing is a fixpoint after one round *)
+        Alcotest.(check string) (path ^ " pp stable") printed
+          (Pp.program_to_string p'))
+    files
+
 (* Random program generator for the round-trip property. *)
 let gen_program : Ast.program QCheck.Gen.t =
   let open QCheck.Gen in
@@ -213,6 +303,8 @@ let suite =
         Alcotest.test_case "comments" `Quick test_comments;
         Alcotest.test_case "error messages" `Quick test_errors;
         Alcotest.test_case "round trip fig1" `Quick test_roundtrip_fig1;
+        Alcotest.test_case "binop_symbol total" `Quick test_binop_symbol_total;
+        Alcotest.test_case "round trip corpus" `Quick test_roundtrip_corpus;
         QCheck_alcotest.to_alcotest prop_roundtrip;
       ] );
   ]

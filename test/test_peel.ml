@@ -44,6 +44,66 @@ let test_runtime_not_applicable () =
   in
   check_bool "runtime" true (Peel.check a = Peel.Runtime_alignment)
 
+(* Exhaustive peel amounts: every misalignment o in [0, V) crossed with
+   every element width. Legal combinations (o a multiple of the width) must
+   satisfy (V - o)/D mod B, stay inside [0, B), and actually cure the
+   misalignment; the rest must be rejected loudly. *)
+let test_peel_amount_exhaustive () =
+  let v = Machine.vector_len machine in
+  let ty_of_elem = function
+    | 1 -> "int8"
+    | 2 -> "int16"
+    | 4 -> "int32"
+    | _ -> "int64"
+  in
+  List.iter
+    (fun elem ->
+      let block = v / elem in
+      for o = 0 to v - 1 do
+        if o mod elem = 0 then begin
+          let a =
+            analyze
+              (Printf.sprintf
+                 "%s a[128] @ %d;\n%s b[128] @ %d;\n\
+                  for (i = 0; i < 100; i++) { a[i] = b[i]; }"
+                 (ty_of_elem elem) o (ty_of_elem elem) o)
+          in
+          let peel = Peel.peel_amount a in
+          check_int
+            (Printf.sprintf "o=%d elem=%d" o elem)
+            ((v - o) / elem mod block)
+            peel;
+          check_bool "within a block" true (peel >= 0 && peel < block);
+          check_bool "cures the misalignment" true ((o + (peel * elem)) mod v = 0)
+        end
+        else begin
+          (* Not expressible in source (the analysis rejects such base
+             alignments), so exercise peel_amount on a hand-built summary. *)
+          let program =
+            parse
+              (Printf.sprintf
+                 "%s a[128] @ 0;\nfor (i = 0; i < 100; i++) { a[i] = 1; }"
+                 (ty_of_elem elem))
+          in
+          let r = { Ast.ref_array = "a"; ref_offset = 0; ref_stride = 1 } in
+          let a =
+            {
+              Analysis.program;
+              machine;
+              elem;
+              block;
+              offsets = [ (r, Align.Known o) ];
+              all_known = true;
+            }
+          in
+          match Peel.peel_amount a with
+          | exception Invalid_argument _ -> ()
+          | n ->
+            Alcotest.failf "o=%d elem=%d: expected rejection, got %d" o elem n
+        end
+      done)
+    [ 1; 2; 4; 8 ]
+
 let test_driver_baseline_refuses_mixed () =
   let config = { Driver.default with Driver.peel_baseline = true } in
   let program =
@@ -80,6 +140,8 @@ let suite =
         Alcotest.test_case "aligned applicable" `Quick test_applicable_aligned;
         Alcotest.test_case "mixed not applicable" `Quick test_mixed_not_applicable;
         Alcotest.test_case "runtime not applicable" `Quick test_runtime_not_applicable;
+        Alcotest.test_case "peel amount exhaustive" `Quick
+          test_peel_amount_exhaustive;
         Alcotest.test_case "driver refuses fig1" `Quick test_driver_baseline_refuses_mixed;
         Alcotest.test_case "driver peels uniform" `Quick
           test_driver_baseline_simdizes_uniform;
