@@ -2,17 +2,21 @@
    evaluation (printing the same rows/series), then times the pipeline
    behind each experiment with Bechamel — one Test.make per table/figure.
 
-   Usage:  dune exec bench/main.exe [-- --loops N] [--no-bench]
-   N defaults to 50 (the paper's benchmark size). *)
+   Usage:  dune exec bench/main.exe [-- --loops N] [--no-bench] [--json PATH]
+   N defaults to 50 (the paper's benchmark size). --json also writes every
+   figure/table row, the static cost reports of the benchmark programs
+   under each policy, and the Bechamel timings to PATH as one JSON
+   document. *)
 
 open Bechamel
 open Toolkit
 
 let machine = Simd.Machine.default
 
-let loops, run_bench =
+let loops, run_bench, json_path =
   let loops = ref 50 in
   let bench = ref true in
+  let json = ref None in
   let rec parse = function
     | [] -> ()
     | "--loops" :: n :: rest ->
@@ -21,10 +25,13 @@ let loops, run_bench =
     | "--no-bench" :: rest ->
       bench := false;
       parse rest
+    | "--json" :: path :: rest ->
+      json := Some path;
+      parse rest
     | _ :: rest -> parse rest
   in
   parse (List.tl (Array.to_list Sys.argv));
-  (!loops, !bench)
+  (!loops, !bench, !json)
 
 (* ------------------------------------------------------------------ *)
 (* Regenerate the paper's tables and figures                           *)
@@ -32,24 +39,25 @@ let loops, run_bench =
 
 let spec = Simd.Synth.default_spec
 
+let fig11 = Simd.Suite.opd_figure ~machine ~spec ~count:loops ~reassoc:false
+let fig12 = Simd.Suite.opd_figure ~machine ~spec ~count:loops ~reassoc:true
+let table1 = Simd.Suite.speedup_table ~machine ~elem:Simd.Ast.I32 ~count:loops ()
+let table2 = Simd.Suite.speedup_table ~machine ~elem:Simd.Ast.I16 ~count:loops ()
+let cov = Simd.Suite.coverage ~machine ~loops:(max 100 loops) ()
+
 let () =
   Format.printf
     "=== Figure 11: OPD per scheme (S1*L6, int32), OffsetReassoc OFF ===@.";
-  Format.printf "%a@." Simd.Suite.pp_opd_figure
-    (Simd.Suite.opd_figure ~machine ~spec ~count:loops ~reassoc:false);
+  Format.printf "%a@." Simd.Suite.pp_opd_figure fig11;
   Format.printf
     "=== Figure 12: OPD per scheme (S1*L6, int32), OffsetReassoc ON ===@.";
-  Format.printf "%a@." Simd.Suite.pp_opd_figure
-    (Simd.Suite.opd_figure ~machine ~spec ~count:loops ~reassoc:true);
+  Format.printf "%a@." Simd.Suite.pp_opd_figure fig12;
   Format.printf "=== Table 1: speedups, 4 ints per vector ===@.";
-  Format.printf "%a@." Simd.Suite.pp_speedup_table
-    (Simd.Suite.speedup_table ~machine ~elem:Simd.Ast.I32 ~count:loops ());
+  Format.printf "%a@." Simd.Suite.pp_speedup_table table1;
   Format.printf "=== Table 2: speedups, 8 shorts per vector ===@.";
-  Format.printf "%a@." Simd.Suite.pp_speedup_table
-    (Simd.Suite.speedup_table ~machine ~elem:Simd.Ast.I16 ~count:loops ());
+  Format.printf "%a@." Simd.Suite.pp_speedup_table table2;
   Format.printf "=== Coverage (§5.4) ===@.";
-  Format.printf "%a@." Simd.Suite.pp_coverage
-    (Simd.Suite.coverage ~machine ~loops:(max 100 loops) ())
+  Format.printf "%a@." Simd.Suite.pp_coverage cov
 
 (* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks: the pipeline behind each experiment      *)
@@ -99,6 +107,13 @@ let tests =
                  Simd.Driver.reassoc = true;
                }
              fig_program));
+    (* The exact-solver series of Figure 11. *)
+    Test.make ~name:"fig11/optimal-sp"
+      (Staged.stage (fun () ->
+           measure_once
+             ~config:
+               (config Simd.Policy.Optimal Simd.Driver.Software_pipelining)
+             fig_program));
     (* Table 1: the S4*L8 int32 row's winning scheme. *)
     Test.make ~name:"table1/S4L8-dominant-pc"
       (Staged.stage (fun () ->
@@ -131,9 +146,16 @@ let tests =
              (Simd.Driver.simdize
                 (config Simd.Policy.Dominant Simd.Driver.Software_pipelining)
                 table1_program)));
+    (* The exact solver alone on the widest statement shape. *)
+    Test.make ~name:"simdize-only/S4L8-optimal"
+      (Staged.stage (fun () ->
+           ignore
+             (Simd.Driver.simdize
+                (config Simd.Policy.Optimal Simd.Driver.Software_pipelining)
+                table1_program)));
   ]
 
-let benchmark () =
+let benchmark () : (string * float) list =
   let ols =
     Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
   in
@@ -142,19 +164,82 @@ let benchmark () =
   let raw =
     Benchmark.all cfg instances (Test.make_grouped ~name:"experiments" tests)
   in
-  List.map (fun instance -> Analyze.all ols instance raw) instances
+  List.concat_map
+    (fun instance ->
+      Hashtbl.fold
+        (fun test_name result acc ->
+          match Analyze.OLS.estimates result with
+          | Some [ est ] -> (test_name, est) :: acc
+          | Some _ | None -> acc)
+        (Analyze.all ols instance raw) []
+      |> List.sort compare)
+    instances
 
-let () =
+let timings =
   if run_bench then begin
     Format.printf "=== Bechamel timings (monotonic clock) ===@.";
+    let ts = benchmark () in
     List.iter
-      (fun tbl ->
-        Hashtbl.iter
-          (fun test_name result ->
-            match Analyze.OLS.estimates result with
-            | Some [ est ] ->
-              Format.printf "%-40s %12.0f ns/run@." test_name est
-            | Some _ | None -> Format.printf "%-40s (no estimate)@." test_name)
-          tbl)
-      (benchmark ())
+      (fun (test_name, est) ->
+        Format.printf "%-40s %12.0f ns/run@." test_name est)
+      ts;
+    ts
   end
+  else []
+
+(* ------------------------------------------------------------------ *)
+(* JSON output                                                         *)
+(* ------------------------------------------------------------------ *)
+
+(* Static cost reports of the benchmark programs under every policy: what
+   each placement decided and what it cost (the data behind the exact-
+   solver series). *)
+let static_reports () : Simd.Json.t =
+  let programs =
+    [
+      ("fig11_S1L6", fig_program);
+      ("table1_S4L8", table1_program);
+      ("table2_S4L4_int16", table2_program);
+    ]
+  in
+  Simd.Json.Obj
+    (List.map
+       (fun (label, program) ->
+         ( label,
+           Simd.Json.Obj
+             (List.filter_map
+                (fun policy ->
+                  match
+                    Simd.Driver.simdize
+                      (config policy Simd.Driver.Software_pipelining)
+                      program
+                  with
+                  | Simd.Driver.Simdized o ->
+                    Some
+                      ( Simd.Policy.name policy,
+                        Simd.Opt.Report.to_json (Simd.Driver.report o) )
+                  | Simd.Driver.Scalar _ -> None)
+                Simd.Policy.all) ))
+       programs)
+
+let () =
+  match json_path with
+  | None -> ()
+  | Some path ->
+    let doc =
+      Simd.Json.Obj
+        [
+          ("loops", Simd.Json.Int loops);
+          ("fig11", Simd.Suite.opd_figure_to_json fig11);
+          ("fig12", Simd.Suite.opd_figure_to_json fig12);
+          ("table1", Simd.Suite.speedup_table_to_json table1);
+          ("table2", Simd.Suite.speedup_table_to_json table2);
+          ("coverage", Simd.Suite.coverage_to_json cov);
+          ("static_reports", static_reports ());
+          ( "timings_ns_per_run",
+            Simd.Json.Obj
+              (List.map (fun (n, e) -> (n, Simd.Json.Float e)) timings) );
+        ]
+    in
+    Simd.Json.to_file ~indent:2 path doc;
+    Format.printf "wrote %s@." path

@@ -59,8 +59,8 @@ let emit_conv =
           | `Sse -> "sse"
           | `Graph -> "graph") )
 
-let run file policy reuse memnorm reassoc peel unroll vector_len emit simulate
-    verify trip =
+let run file policy reuse memnorm reassoc peel unroll vector_len emit stats
+    simulate verify trip =
   let src = read_input file in
   match Simd.parse src with
   | Error msg ->
@@ -95,6 +95,9 @@ let run file policy reuse memnorm reassoc peel unroll vector_len emit simulate
       | `Portable -> print_string (Simd.Emit_portable.unit o.Simd.Driver.prog)
       | `Altivec -> print_string (Simd.Emit_altivec.unit o.Simd.Driver.prog)
       | `Sse -> print_string (Simd.Emit_sse.unit o.Simd.Driver.prog));
+      if stats then
+        print_endline
+          (Simd.Opt.Report.to_string ~indent:2 (Simd.Driver.report o));
       if simulate then begin
         match Simd.measure ~config ?trip program with
         | sample, opd, speedup ->
@@ -122,11 +125,27 @@ let cmd =
       & info [] ~docv:"FILE" ~doc:"Loop program to simdize ('-' for stdin).")
   in
   let policy =
+    (* help text derives from the one registration list, so a new policy
+       can't be missing from it *)
+    let doc =
+      "Shift placement policy: "
+      ^ String.concat "; "
+          (List.map
+             (fun (p, name, aliases, descr) ->
+               ignore p;
+               let a =
+                 match aliases with
+                 | [] -> ""
+                 | a -> " (" ^ String.concat ", " a ^ ")"
+               in
+               Printf.sprintf "$(b,%s)%s — %s" name a descr)
+             Simd.Policy.registry)
+      ^ "."
+    in
     Arg.(
       value
       & opt policy_conv Simd.Policy.Dominant
-      & info [ "p"; "policy" ] ~docv:"POLICY"
-          ~doc:"Shift placement policy: zero, eager, lazy, dominant.")
+      & info [ "p"; "policy" ] ~docv:"POLICY" ~doc)
   in
   let reuse =
     Arg.(
@@ -166,6 +185,13 @@ let cmd =
       & info [ "e"; "emit" ] ~docv:"KIND"
           ~doc:"Output: vir, graph, c (portable), altivec, sse.")
   in
+  let stats =
+    Arg.(
+      value & flag
+      & info [ "stats" ]
+          ~doc:"Print the static cost report (streams, chosen shifts, \
+                operation counts, per-policy costs) as JSON.")
+  in
   let simulate =
     Arg.(
       value & flag
@@ -188,6 +214,6 @@ let cmd =
        ~doc:"Vectorize loops for SIMD architectures with alignment constraints")
     Term.(
       const run $ file $ policy $ reuse $ memnorm $ reassoc $ peel $ unroll
-      $ vector_len $ emit $ simulate $ verify $ trip)
+      $ vector_len $ emit $ stats $ simulate $ verify $ trip)
 
 let () = exit (Cmd.eval' cmd)

@@ -89,9 +89,12 @@ let compute ~(analysis : Analysis.t) ~(policy : Policy.t) : t =
              body)
       in
       load_shifts + store_shifts
-    | Policy.Eager | Policy.Lazy | Policy.Dominant ->
+    | Policy.Eager | Policy.Lazy | Policy.Dominant | Policy.Optimal
+    | Policy.Auto ->
       (* n−1 per statement, n = distinct alignments among the statement's
-         references (loads and store; a reduction's target is offset 0). *)
+         references (loads and store; a reduction's target is offset 0).
+         Also a valid bound for the exact solver and auto selection: any
+         valid placement must connect all n alignment classes. *)
       Simd_support.Util.sum_by
         (fun (s : Ast.stmt) ->
           let offs =

@@ -455,3 +455,102 @@ let pp_peeling fmt rows =
       Format.fprintf fmt "%-8.1f %10d %10d %8d@\n" r.bias r.peel_ok r.ours_ok
         r.total)
     rows
+
+(* ------------------------------------------------------------------ *)
+(* JSON serialization (the bench harness's --json output)              *)
+(* ------------------------------------------------------------------ *)
+
+module Json = Simd_support.Json
+
+let opd_row_to_json (r : opd_row) : Json.t =
+  Json.Obj
+    [
+      ("name", Json.String r.name);
+      ("lb_opd", Json.Float r.lb_opd);
+      ("shift_overhead", Json.Float r.shift_overhead);
+      ("other_overhead", Json.Float r.other_overhead);
+      ("total_opd", Json.Float r.total_opd);
+      ("hmean_opd", Json.Float r.hmean_opd);
+    ]
+
+let opd_figure_to_json (f : opd_figure) : Json.t =
+  Json.Obj
+    [
+      ("seq_opd", Json.Float f.seq_opd);
+      ("loops", Json.Int f.loops);
+      ("reassoc", Json.Bool f.reassoc);
+      ("rows", Json.List (List.map opd_row_to_json f.rows));
+    ]
+
+let speedup_row_to_json (r : speedup_row) : Json.t =
+  Json.Obj
+    [
+      ("label", Json.String r.label);
+      ("stmts", Json.Int r.stmts);
+      ("loads", Json.Int r.loads);
+      ("ct_policy", Json.String r.ct_policy);
+      ("ct_actual", Json.Float r.ct_actual);
+      ("ct_lb", Json.Float r.ct_lb);
+      ("rt_policy", Json.String r.rt_policy);
+      ("rt_actual", Json.Float r.rt_actual);
+      ("rt_lb", Json.Float r.rt_lb);
+    ]
+
+let speedup_table_to_json (t : speedup_table) : Json.t =
+  Json.Obj
+    [
+      ("elem", Json.String (Ast.elem_ty_name t.elem));
+      ("peak", Json.Int t.peak);
+      ("loops_per_row", Json.Int t.loops_per_row);
+      ("rows", Json.List (List.map speedup_row_to_json t.rows));
+    ]
+
+let coverage_to_json (c : coverage_report) : Json.t =
+  Json.Obj
+    [
+      ("attempted", Json.Int c.attempted);
+      ("verified", Json.Int c.verified);
+      ( "failures",
+        Json.List
+          (List.map
+             (fun f ->
+               Json.Obj
+                 [
+                   ("spec", Json.String (Synth.show_spec f.spec));
+                   ("variant", Json.String f.variant);
+                   ("scheme", Json.String f.scheme);
+                   ("message", Json.String f.message);
+                 ])
+             c.failures) );
+    ]
+
+let ablation_to_json (a : ablation) : Json.t =
+  Json.Obj
+    [
+      ("title", Json.String a.title);
+      ( "rows",
+        Json.List
+          (List.map
+             (fun r ->
+               Json.Obj
+                 [
+                   ("knob", Json.String r.knob);
+                   ("value", Json.String r.value);
+                   ("opd", Json.Float r.opd);
+                   ("speedup", Json.Float r.speedup);
+                 ])
+             a.rows) );
+    ]
+
+let peeling_to_json (rows : peel_row list) : Json.t =
+  Json.List
+    (List.map
+       (fun r ->
+         Json.Obj
+           [
+             ("bias", Json.Float r.bias);
+             ("peel_ok", Json.Int r.peel_ok);
+             ("ours_ok", Json.Int r.ours_ok);
+             ("total", Json.Int r.total);
+           ])
+       rows)

@@ -129,3 +129,11 @@ val peeling_coverage :
     by alignment bias, vs this scheme. *)
 
 val pp_peeling : Format.formatter -> peel_row list -> unit
+
+(** {2 JSON serialization (bench [--json])} *)
+
+val opd_figure_to_json : opd_figure -> Simd_support.Json.t
+val speedup_table_to_json : speedup_table -> Simd_support.Json.t
+val coverage_to_json : coverage_report -> Simd_support.Json.t
+val ablation_to_json : ablation -> Simd_support.Json.t
+val peeling_to_json : peel_row list -> Simd_support.Json.t

@@ -81,10 +81,8 @@ type result = Simdized of outcome | Scalar of reason
 (* ------------------------------------------------------------------ *)
 
 let place_with_fallback config ~analysis stmt =
-  match Policy.place config.policy ~analysis stmt with
-  | Ok g -> (g, config.policy)
-  | Error (Policy.Requires_compile_time_alignment _) ->
-    (Policy.place_exn Policy.Zero ~analysis stmt, Policy.Zero)
+  let p = Simd_opt.Place.place_with_fallback config.policy ~analysis stmt in
+  (p.Simd_opt.Place.graph, p.Simd_opt.Place.used)
 
 let run_passes config ~analysis (prog : Prog.t) : Prog.t =
   let names = Names.create () in
@@ -198,3 +196,12 @@ let simdize_exn config program =
   match simdize config program with
   | Simdized o -> o
   | Scalar r -> invalid_arg (Format.asprintf "Driver.simdize_exn: %a" pp_reason r)
+
+(** [report outcome] — the static cost report of a compilation: what each
+    statement's placement cost under the machine's cost model, and what
+    every other policy would have cost ([--stats], bench JSON). *)
+let report (o : outcome) : Simd_opt.Report.t =
+  let placed =
+    List.map2 (fun (s, g) p -> (s, g, p)) o.graphs o.policies_used
+  in
+  Simd_opt.Report.make ~analysis:o.analysis ~requested:o.config.policy ~placed

@@ -51,3 +51,8 @@ type result = Simdized of outcome | Scalar of reason
 
 val simdize : config -> Ast.program -> result
 val simdize_exn : config -> Ast.program -> outcome
+
+val report : outcome -> Simd_opt.Report.t
+(** The compilation's static cost report: per-statement streams, chosen
+    shifts, operation counts, weighted cost, and the cost under every other
+    placeable policy. *)

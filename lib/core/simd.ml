@@ -25,6 +25,7 @@
 (* Support *)
 module Prng = Simd_support.Prng
 module Util = Simd_support.Util
+module Json = Simd_support.Json
 
 (* Machine model *)
 module Machine = Simd_machine.Config
@@ -46,6 +47,10 @@ module Offset = Simd_dreorg.Offset
 module Graph = Simd_dreorg.Graph
 module Policy = Simd_dreorg.Policy
 module Reassoc = Simd_dreorg.Reassoc
+
+(* Exact shift placement ({!Opt.Cost}, {!Opt.Table}, {!Opt.Solve},
+   {!Opt.Auto}, {!Opt.Place}, {!Opt.Report}) *)
+module Opt = Simd_opt
 
 (* Vector IR *)
 module Vir_addr = Simd_vir.Addr

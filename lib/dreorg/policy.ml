@@ -26,32 +26,82 @@
 
 open Simd_loopir
 
-type t = Zero | Eager | Lazy | Dominant
+type t = Zero | Eager | Lazy | Dominant | Optimal | Auto
 [@@deriving show { with_path = false }, eq, ord]
 
-let all = [ Zero; Eager; Lazy; Dominant ]
+(** The single registration point: every policy appears here exactly once
+    with its canonical name, accepted aliases, and one-line description.
+    [all], [heuristics], [name], [of_name] and the CLI help text all derive
+    from this list, so a policy cannot be half-registered. *)
+let registry =
+  [
+    ( Zero,
+      "zero",
+      [],
+      "shift loads to offset 0 and the store stream from 0; the only policy \
+       whose shift directions are compile-time under runtime alignments" );
+    (Eager, "eager", [], "shift each misaligned load directly to the store \
+                          alignment");
+    ( Lazy,
+      "lazy",
+      [],
+      "delay shifts while operand streams are relatively aligned; meet \
+       disagreeing operands at one operand's offset" );
+    ( Dominant,
+      "dominant",
+      [ "dom" ],
+      "lazy placement meeting at the statement's most frequent offset when \
+       it is a candidate" );
+    ( Optimal,
+      "optimal",
+      [ "opt" ],
+      "provably minimum-cost placement by dynamic programming over the data \
+       reorganization graph (Simd.Opt solver)" );
+    ( Auto,
+      "auto",
+      [],
+      "per-statement argmin over every policy including optimal; falls back \
+       to zero under runtime alignments" );
+  ]
 
-let name = function
-  | Zero -> "zero"
-  | Eager -> "eager"
-  | Lazy -> "lazy"
-  | Dominant -> "dominant"
+let all = List.map (fun (p, _, _, _) -> p) registry
 
-let of_name = function
-  | "zero" -> Some Zero
-  | "eager" -> Some Eager
-  | "lazy" -> Some Lazy
-  | "dominant" | "dom" -> Some Dominant
-  | _ -> None
+(** The paper's §3.4 heuristics — the policies {!place} implements
+    directly. [Optimal] and [Auto] are placed by the exact solver
+    ({!Simd.Opt}), one library layer up. *)
+let heuristics = [ Zero; Eager; Lazy; Dominant ]
+
+let name p =
+  let _, n, _, _ = List.find (fun (p', _, _, _) -> equal p p') registry in
+  n
+
+let of_name s =
+  List.find_map
+    (fun (p, n, aliases, _) ->
+      if String.equal s n || List.exists (String.equal s) aliases then Some p
+      else None)
+    registry
+
+let describe p =
+  let _, _, _, d = List.find (fun (p', _, _, _) -> equal p p') registry in
+  d
 
 type error =
   | Requires_compile_time_alignment of t
       (** eager/lazy/dominant need every stream offset at compile time *)
+  | Requires_solver of t
+      (** optimal/auto are placed by {!Simd.Opt}, not by this module *)
 
-let pp_error fmt (Requires_compile_time_alignment p) =
-  Format.fprintf fmt
-    "policy %s requires compile-time alignments (use the zero-shift policy)"
-    (name p)
+let pp_error fmt = function
+  | Requires_compile_time_alignment p ->
+    Format.fprintf fmt
+      "policy %s requires compile-time alignments (use the zero-shift policy)"
+      (name p)
+  | Requires_solver p ->
+    Format.fprintf fmt
+      "policy %s is placed by the exact solver (Simd.Opt.Place), not by \
+       Policy.place"
+      (name p)
 
 (* ------------------------------------------------------------------ *)
 (* Helpers                                                             *)
@@ -78,10 +128,10 @@ let shift_to ~block node ~from ~target =
   else if Offset.matches ~block from target then node
   else Graph.Shift (node, from, target)
 
-(** All-known check: eager/lazy/dominant precondition. Strided references
-    are exempt — their gathered streams sit at offset 0 regardless of the
-    (possibly runtime) base alignment. *)
-let stmt_offsets_known ~(analysis : Analysis.t) (stmt : Ast.stmt) =
+(** All-known check: eager/lazy/dominant/optimal precondition. Strided
+    references are exempt — their gathered streams sit at offset 0
+    regardless of the (possibly runtime) base alignment. *)
+let offsets_known ~(analysis : Analysis.t) (stmt : Ast.stmt) =
   List.for_all
     (fun (r : Ast.mem_ref) ->
       r.Ast.ref_stride > 1 || Align.is_known (Analysis.offset_of analysis r))
@@ -215,9 +265,10 @@ let dominant_offset ~(analysis : Analysis.t) (stmt : Ast.stmt) : Offset.t =
 let place (policy : t) ~(analysis : Analysis.t) (stmt : Ast.stmt) :
     (Graph.t, error) result =
   match policy with
+  | Optimal | Auto -> Error (Requires_solver policy)
   | Zero -> Ok (place_zero ~analysis stmt)
   | Eager | Lazy | Dominant ->
-    if not (stmt_offsets_known ~analysis stmt) then
+    if not (offsets_known ~analysis stmt) then
       Error (Requires_compile_time_alignment policy)
     else
       Ok
@@ -226,7 +277,7 @@ let place (policy : t) ~(analysis : Analysis.t) (stmt : Ast.stmt) :
         | Lazy -> place_meet ~analysis ~preferred:None stmt
         | Dominant ->
           place_meet ~analysis ~preferred:(Some (dominant_offset ~analysis stmt)) stmt
-        | Zero -> assert false)
+        | Zero | Optimal | Auto -> assert false)
 
 (** [place_exn] — [place], raising on policy/alignment mismatch. *)
 let place_exn policy ~analysis stmt =

@@ -3,15 +3,36 @@
     eager-shift, lazy-shift, and dominant-shift. See the implementation
     header for the full description. *)
 
-type t = Zero | Eager | Lazy | Dominant [@@deriving show, eq, ord]
+type t = Zero | Eager | Lazy | Dominant | Optimal | Auto
+[@@deriving show, eq, ord]
+
+val registry : (t * string * string list * string) list
+(** The single registration point: (policy, canonical name, aliases,
+    one-line description). [all]/[heuristics]/[name]/[of_name] and CLI help
+    derive from it, so a policy cannot be half-registered. *)
 
 val all : t list
+
+val heuristics : t list
+(** The paper's §3.4 policies, the ones {!place} implements. [Optimal] and
+    [Auto] are placed by the exact solver ({!Simd.Opt.Place}). *)
+
 val name : t -> string
 val of_name : string -> t option
 
-type error = Requires_compile_time_alignment of t
+val describe : t -> string
+(** The registry's one-line description. *)
+
+type error =
+  | Requires_compile_time_alignment of t
+  | Requires_solver of t
 
 val pp_error : Format.formatter -> error -> unit
+
+val offsets_known : analysis:Simd_loopir.Analysis.t -> Simd_loopir.Ast.stmt -> bool
+(** Every stride-one reference of the statement has a compile-time offset
+    (strided gathers always stream at offset 0) — the precondition of every
+    policy except zero-shift. *)
 
 val target_offset : analysis:Simd_loopir.Analysis.t -> Simd_loopir.Ast.stmt -> Offset.t
 (** The offset a statement's value stream must reach: the store alignment

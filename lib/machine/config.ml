@@ -6,21 +6,85 @@
     low bits of the address are silently ignored). We keep the vector length
     configurable so that tests can exercise 8- and 32-byte machines as well. *)
 
+(** Static per-operation weights for the reorganization cost model used by
+    the exact shift-placement solver ({!Simd.Opt}) and its reports.
+
+    The asymmetry that matters is [shift_left] vs [shift_right]: a stream
+    shift lowers to one [vshiftpair] either way (Fig. 7), but a {e right}
+    shift combines the current register with the {e previous} one — the
+    register of iteration [i − B] — so the prologue must prepend a load of
+    data {e before} the stream start (the [v_old] initialisation of
+    Eqs. 8–10), and the steady state carries one extra live value. A left
+    shift pairs with the {e next} register, data the loop was about to load
+    anyway. Hence right shifts default slightly more expensive; all other
+    weights default to 1 so that costs degenerate to reorganization-op
+    counts when directions do not discriminate. *)
+type cost_model = {
+  load : float;  (** one [vload] per simdized iteration *)
+  store : float;  (** one [vstore] *)
+  op : float;  (** one [vop] *)
+  splat : float;  (** one [vsplat] (hoisted in practice) *)
+  shift_left : float;  (** [vshiftstream] lowered as a left [vshiftpair] *)
+  shift_right : float;
+      (** right [vshiftpair]: needs the previous register, i.e. a prologue
+          prepended load (Eqs. 8–10) *)
+  splice : float;  (** one [vsplice] (prologue/epilogue edge stores) *)
+  pack : float;  (** one [vpack] level of a strided gather *)
+}
+
+let default_costs =
+  {
+    load = 1.0;
+    store = 1.0;
+    op = 1.0;
+    splat = 1.0;
+    shift_left = 1.0;
+    shift_right = 1.25;
+    splice = 1.0;
+    pack = 1.0;
+  }
+
 type t = {
   vector_len : int;  (** [V]: vector register length in bytes; a power of two. *)
+  costs : cost_model;
 }
+
+let check_costs costs =
+  let ok f = f >= 0.0 && Float.is_finite f in
+  if
+    not
+      (List.for_all ok
+         [
+           costs.load; costs.store; costs.op; costs.splat; costs.shift_left;
+           costs.shift_right; costs.splice; costs.pack;
+         ])
+  then
+    invalid_arg "Config.with_costs: cost weights must be finite and non-negative"
 
 let create ~vector_len =
   if not (Simd_support.Util.is_pow2 vector_len) then
     invalid_arg "Config.create: vector_len must be a power of two";
   if vector_len < 4 || vector_len > 64 then
     invalid_arg "Config.create: vector_len out of supported range [4, 64]";
-  { vector_len }
+  { vector_len; costs = default_costs }
+
+(** [with_costs costs t] — the same machine with replaced cost-model
+    weights (must be finite and non-negative). *)
+let with_costs costs t =
+  check_costs costs;
+  { t with costs }
 
 (** The paper's machine: V = 16 bytes (AltiVec / VMX / SSE class). *)
 let default = create ~vector_len:16
 
 let vector_len t = t.vector_len
+let costs t = t.costs
+
+(** [shift_cost t dir] — the weight of one stream shift lowered in the
+    given direction. *)
+let shift_cost t = function
+  | `Left -> t.costs.shift_left
+  | `Right -> t.costs.shift_right
 
 (** [blocking_factor t ~elem] is [B = V/D] (paper Eq. 7): the number of data
     of width [elem] packed in one vector register. *)

@@ -4,14 +4,41 @@
 
 type t
 
+(** Static per-operation weights for the reorganization cost model (used by
+    the exact shift-placement solver {!Simd.Opt} and its reports). Left and
+    right stream shifts are weighted separately: a right shift pairs the
+    current register with the {e previous} one, forcing a prologue
+    prepended load (Eqs. 8–10), so it defaults slightly more expensive. *)
+type cost_model = {
+  load : float;
+  store : float;
+  op : float;
+  splat : float;
+  shift_left : float;
+  shift_right : float;
+  splice : float;
+  pack : float;
+}
+
+val default_costs : cost_model
+(** Every weight 1 except [shift_right = 1.25]. *)
+
 val create : vector_len:int -> t
 (** [create ~vector_len] — a machine with [V = vector_len] bytes per vector
-    register; must be a power of two in [\[4, 64\]]. *)
+    register; must be a power of two in [\[4, 64\]]; default cost weights. *)
+
+val with_costs : cost_model -> t -> t
+(** Replace the cost-model weights (must be finite and non-negative). *)
 
 val default : t
 (** The paper's machine: V = 16 bytes (AltiVec / VMX / SSE class). *)
 
 val vector_len : t -> int
+
+val costs : t -> cost_model
+
+val shift_cost : t -> [ `Left | `Right ] -> float
+(** The weight of one stream shift lowered in the given direction. *)
 
 val blocking_factor : t -> elem:int -> int
 (** [B = V/D] (paper Eq. 7): data of width [elem] per vector register. *)

@@ -1,0 +1,42 @@
+(** Per-statement automatic policy selection: place the statement under
+    every policy (the four §3.4 heuristics and the exact solver), score
+    each graph with the machine cost model, and keep the cheapest. The
+    earliest policy in registration order wins ties, so when a heuristic
+    already achieves the optimum the report credits the simpler policy.
+    Under runtime alignments only zero-shift applies (§4.4), mirroring the
+    fallback of every other policy. *)
+
+open Simd_loopir
+module Graph = Simd_dreorg.Graph
+module Policy = Simd_dreorg.Policy
+
+let candidates = Policy.heuristics @ [ Policy.Optimal ]
+
+(** [place ~analysis stmt] — the cheapest placement and the policy that
+    produced it. Total: never fails (zero-shift fallback). *)
+let place ~(analysis : Analysis.t) (stmt : Ast.stmt) : Graph.t * Policy.t =
+  if not (Policy.offsets_known ~analysis stmt) then
+    (Policy.place_exn Policy.Zero ~analysis stmt, Policy.Zero)
+  else begin
+    let scored =
+      List.map
+        (fun p ->
+          let g =
+            match p with
+            | Policy.Optimal -> Solve.solve_exn ~analysis stmt
+            | p -> Policy.place_exn p ~analysis stmt
+          in
+          (g, p, Cost.graph_cost ~analysis ~stmt g))
+        candidates
+    in
+    let g, p, _ =
+      match scored with
+      | [] -> assert false
+      | first :: rest ->
+        List.fold_left
+          (fun ((_, _, bc) as best) ((_, _, c) as cand) ->
+            if c < bc then cand else best)
+          first rest
+    in
+    (g, p)
+  end

@@ -1,0 +1,12 @@
+(** Per-statement automatic policy selection: argmin by machine cost over
+    the four §3.4 heuristics and the exact solver; earliest policy wins
+    ties; zero-shift under runtime alignments. *)
+
+val candidates : Simd_dreorg.Policy.t list
+
+val place :
+  analysis:Simd_loopir.Analysis.t ->
+  Simd_loopir.Ast.stmt ->
+  Simd_dreorg.Graph.t * Simd_dreorg.Policy.t
+(** Total: never fails. Returns the graph and the policy that produced
+    it. *)

@@ -1,0 +1,182 @@
+(** Applying the machine cost model ({!Simd_machine.Config.cost_model}) to
+    placed data reorganization graphs.
+
+    The static cost of a graph decomposes into a {e placement-invariant}
+    part (loads, the store or reduction accumulate, vops, splats, gather
+    packs/window shifts, edge splices) that every policy pays identically,
+    and the {e placement-variant} part: the stream shifts, weighted by
+    lowering direction. A left shift ([from > to]) pairs the current
+    register with the next one — data the loop loads anyway; a right shift
+    ([from < to]) pairs it with the {e previous} register, which forces a
+    prologue prepended load (Eqs. 8–10), hence its distinct (default
+    higher) weight. Minimizing graph cost therefore minimizes exactly the
+    shift term, which is what {!Solve} does. *)
+
+open Simd_loopir
+module Graph = Simd_dreorg.Graph
+module Offset = Simd_dreorg.Offset
+module Policy = Simd_dreorg.Policy
+module Config = Simd_machine.Config
+
+type direction = Left | Right
+
+(** Lowering direction of a stream shift, mirroring the code generator
+    (paper §4.4): compile-time endpoints compare numerically; a runtime
+    offset shifting to 0 is always a left shift, and a stream leaving
+    offset 0 for a runtime target is always a right shift (the zero-shift
+    policy's two cases). [None] for a no-op shift. *)
+let direction ~(from : Offset.t) ~(to_ : Offset.t) : direction option =
+  match (from, to_) with
+  | Offset.Known f, Offset.Known t ->
+    if f > t then Some Left else if f < t then Some Right else None
+  | Offset.Runtime _, Offset.Known 0 -> Some Left
+  | Offset.Known 0, Offset.Runtime _ -> Some Right
+  | _ ->
+    invalid_arg
+      (Format.asprintf "Opt.Cost.direction: undecidable shift %a -> %a"
+         Offset.pp from Offset.pp to_)
+
+(** [shift_cost machine ~from ~to_] — the weight of one stream shift; 0 for
+    a no-op. *)
+let shift_cost (machine : Config.t) ~from ~to_ =
+  match direction ~from ~to_ with
+  | None -> 0.0
+  | Some Left -> Config.shift_cost machine `Left
+  | Some Right -> Config.shift_cost machine `Right
+
+(* ------------------------------------------------------------------ *)
+(* Static operation counts of a placed graph                           *)
+(* ------------------------------------------------------------------ *)
+
+(** Static reorganization/memory operations of one statement graph. All
+    fields except [splices] count operations per steady-state simdized
+    iteration; [splices] counts the one-time edge splices (the prologue
+    partial store for a misaligned or runtime-aligned store, one epilogue
+    partial store, or the two write-back splices of a reduction). *)
+type counts = {
+  loads : int;
+  stores : int;
+  ops : int;
+  splats : int;
+  shifts_left : int;
+  shifts_right : int;
+  packs : int;
+  splices : int;
+}
+[@@deriving show { with_path = false }, eq]
+
+let zero_counts =
+  {
+    loads = 0;
+    stores = 0;
+    ops = 0;
+    splats = 0;
+    shifts_left = 0;
+    shifts_right = 0;
+    packs = 0;
+    splices = 0;
+  }
+
+let add_counts a b =
+  {
+    loads = a.loads + b.loads;
+    stores = a.stores + b.stores;
+    ops = a.ops + b.ops;
+    splats = a.splats + b.splats;
+    shifts_left = a.shifts_left + b.shifts_left;
+    shifts_right = a.shifts_right + b.shifts_right;
+    packs = a.packs + b.packs;
+    splices = a.splices + b.splices;
+  }
+
+let shifts c = c.shifts_left + c.shifts_right
+
+(** [counts_of_node ~analysis node] — per-iteration counts of a subtree. A
+    stride-[s] gather consumes [s] chunks, [s] window shifts when its base
+    is misaligned (counted as left shifts: a window pairs a chunk with the
+    {e next} one), and [s − 1] packs (see {!Simd_codegen.Gen.gen_gather}
+    and the matching accounting in {!Simd_bench.Lb}). *)
+let rec counts_of_node ~(analysis : Analysis.t) (n : Graph.node) : counts =
+  match n with
+  | Graph.Load _ -> { zero_counts with loads = 1 }
+  | Graph.Strided r ->
+    let s = r.Ast.ref_stride in
+    let window_shifts =
+      match Analysis.offset_of analysis r with
+      | Align.Known 0 -> 0
+      | Align.Known _ | Align.Runtime -> s
+    in
+    { zero_counts with loads = s; shifts_left = window_shifts; packs = s - 1 }
+  | Graph.Splat _ -> { zero_counts with splats = 1 }
+  | Graph.Op (_, a, b) ->
+    let ca = counts_of_node ~analysis a in
+    let cb = counts_of_node ~analysis b in
+    { (add_counts ca cb) with ops = ca.ops + cb.ops + 1 }
+  | Graph.Shift (src, from, to_) -> (
+    let cs = counts_of_node ~analysis src in
+    match direction ~from ~to_ with
+    | None -> cs
+    | Some Left -> { cs with shifts_left = cs.shifts_left + 1 }
+    | Some Right -> { cs with shifts_right = cs.shifts_right + 1 })
+
+(** [counts_of_graph ~analysis ~stmt g] — whole-statement counts: the
+    subtree plus the store (or the reduction accumulate) and the one-time
+    edge splices. *)
+let counts_of_graph ~(analysis : Analysis.t) ~(stmt : Ast.stmt) (g : Graph.t) :
+    counts =
+  let c = counts_of_node ~analysis g.Graph.root in
+  match stmt.Ast.kind with
+  | Ast.Reduce _ ->
+    (* one accumulate per iteration; finalization writes back the
+       accumulator cell through two splices *)
+    { c with ops = c.ops + 1; splices = c.splices + 2 }
+  | Ast.Assign ->
+    let prologue_splice =
+      match g.Graph.store_offset with Offset.Known 0 -> 0 | _ -> 1
+    in
+    {
+      c with
+      stores = c.stores + 1;
+      splices = c.splices + prologue_splice + 1 (* epilogue partial store *);
+    }
+
+(* ------------------------------------------------------------------ *)
+(* Weighted costs                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let cost_of_counts (machine : Config.t) (c : counts) =
+  let w = Config.costs machine in
+  (float_of_int c.loads *. w.Config.load)
+  +. (float_of_int c.stores *. w.Config.store)
+  +. (float_of_int c.ops *. w.Config.op)
+  +. (float_of_int c.splats *. w.Config.splat)
+  +. (float_of_int c.shifts_left *. w.Config.shift_left)
+  +. (float_of_int c.shifts_right *. w.Config.shift_right)
+  +. (float_of_int c.packs *. w.Config.pack)
+  +. (float_of_int c.splices *. w.Config.splice)
+
+(** [graph_cost ~analysis ~stmt g] — the statement's total static cost
+    under the machine's cost model (the quantity {!Solve} minimizes; only
+    the stream-shift term varies across placements). *)
+let graph_cost ~(analysis : Analysis.t) ~(stmt : Ast.stmt) (g : Graph.t) =
+  cost_of_counts analysis.Analysis.machine (counts_of_graph ~analysis ~stmt g)
+
+(** [shift_cost_of_graph ~analysis g] — the placement-variant term alone:
+    explicit stream-shift nodes only. A misaligned gather's window shifts
+    are priced by {!counts_of_graph} but excluded here — they are fixed by
+    the reference, not by the placement, so the DP does not account for
+    them. *)
+let shift_cost_of_graph ~(analysis : Analysis.t) (g : Graph.t) =
+  let machine = analysis.Analysis.machine in
+  let rec go = function
+    | Graph.Load _ | Graph.Strided _ | Graph.Splat _ -> 0.0
+    | Graph.Op (_, a, b) -> go a +. go b
+    | Graph.Shift (src, from, to_) -> (
+      go src
+      +.
+      match direction ~from ~to_ with
+      | None -> 0.0
+      | Some Left -> Config.shift_cost machine `Left
+      | Some Right -> Config.shift_cost machine `Right)
+  in
+  go g.Graph.root

@@ -1,0 +1,64 @@
+(** Applying the machine cost model ({!Simd_machine.Config.cost_model}) to
+    placed data reorganization graphs. Only the stream-shift term varies
+    across placements of the same statement; everything else (loads, store,
+    vops, splats, gather packs, edge splices) is policy-invariant. *)
+
+type direction = Left | Right
+
+val direction :
+  from:Simd_dreorg.Offset.t -> to_:Simd_dreorg.Offset.t -> direction option
+(** Lowering direction of a stream shift, mirroring the code generator
+    (§4.4): known endpoints compare numerically; [Runtime → Known 0] is a
+    left shift, [Known 0 → Runtime] a right shift. [None] for a no-op.
+    Raises [Invalid_argument] on undecidable endpoint combinations. *)
+
+val shift_cost :
+  Simd_machine.Config.t ->
+  from:Simd_dreorg.Offset.t ->
+  to_:Simd_dreorg.Offset.t ->
+  float
+
+(** Static reorganization/memory operations of one statement graph. All
+    fields except [splices] count per steady-state simdized iteration;
+    [splices] counts one-time edge splices (misaligned-store prologue,
+    epilogue partial store, reduction write-back). *)
+type counts = {
+  loads : int;
+  stores : int;
+  ops : int;
+  splats : int;
+  shifts_left : int;
+  shifts_right : int;
+  packs : int;
+  splices : int;
+}
+[@@deriving show, eq]
+
+val zero_counts : counts
+val add_counts : counts -> counts -> counts
+
+val shifts : counts -> int
+(** Total stream shifts, either direction. *)
+
+val counts_of_node :
+  analysis:Simd_loopir.Analysis.t -> Simd_dreorg.Graph.node -> counts
+
+val counts_of_graph :
+  analysis:Simd_loopir.Analysis.t ->
+  stmt:Simd_loopir.Ast.stmt ->
+  Simd_dreorg.Graph.t ->
+  counts
+
+val cost_of_counts : Simd_machine.Config.t -> counts -> float
+
+val graph_cost :
+  analysis:Simd_loopir.Analysis.t ->
+  stmt:Simd_loopir.Ast.stmt ->
+  Simd_dreorg.Graph.t ->
+  float
+(** The statement's total static cost under the machine's cost model — the
+    quantity {!Solve} minimizes. *)
+
+val shift_cost_of_graph :
+  analysis:Simd_loopir.Analysis.t -> Simd_dreorg.Graph.t -> float
+(** The placement-variant (stream-shift) term alone. *)

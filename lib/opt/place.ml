@@ -1,0 +1,48 @@
+(** The total placement dispatcher: one entry point covering every
+    {!Simd_dreorg.Policy.t}, routing the §3.4 heuristics to
+    {!Simd_dreorg.Policy.place} and [Optimal]/[Auto] to the exact solver.
+    The driver goes through this module, never through [Policy.place]
+    directly, so a [Requires_solver] error can only mean a caller bypassed
+    the dispatcher. *)
+
+open Simd_loopir
+module Graph = Simd_dreorg.Graph
+module Policy = Simd_dreorg.Policy
+
+type placement = {
+  graph : Graph.t;
+  used : Policy.t;  (** the policy that actually produced [graph] *)
+}
+
+(** [place policy ~analysis stmt] — place under [policy]. Errors only with
+    [Requires_compile_time_alignment] (for eager/lazy/dominant/optimal
+    under runtime alignments); [Auto] is total. *)
+let place (policy : Policy.t) ~(analysis : Analysis.t) (stmt : Ast.stmt) :
+    (placement, Policy.error) result =
+  match policy with
+  | Policy.Zero | Policy.Eager | Policy.Lazy | Policy.Dominant ->
+    Result.map
+      (fun graph -> { graph; used = policy })
+      (Policy.place policy ~analysis stmt)
+  | Policy.Optimal ->
+    Result.map
+      (fun graph -> { graph; used = Policy.Optimal })
+      (Solve.solve ~analysis stmt)
+  | Policy.Auto ->
+    let graph, used = Auto.place ~analysis stmt in
+    Ok { graph; used }
+
+(** [place_with_fallback policy ~analysis stmt] — like {!place} but falls
+    back to zero-shift when the policy needs compile-time alignments the
+    statement lacks (§4.4); [used] records the fallback. *)
+let place_with_fallback policy ~analysis stmt : placement =
+  match place policy ~analysis stmt with
+  | Ok p -> p
+  | Error (Policy.Requires_compile_time_alignment _) ->
+    { graph = Policy.place_exn Policy.Zero ~analysis stmt; used = Policy.Zero }
+  | Error (Policy.Requires_solver _) -> assert false (* [place] dispatches *)
+
+let place_exn policy ~analysis stmt =
+  match place policy ~analysis stmt with
+  | Ok p -> p
+  | Error e -> invalid_arg (Format.asprintf "Opt.Place.place_exn: %a" Policy.pp_error e)

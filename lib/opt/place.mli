@@ -1,0 +1,31 @@
+(** The total placement dispatcher covering every policy: §3.4 heuristics
+    via {!Simd_dreorg.Policy.place}, [Optimal]/[Auto] via the exact
+    solver. *)
+
+type placement = {
+  graph : Simd_dreorg.Graph.t;
+  used : Simd_dreorg.Policy.t;
+      (** the policy that actually produced [graph] (differs from the
+          requested one under [Auto] or zero-shift fallback) *)
+}
+
+val place :
+  Simd_dreorg.Policy.t ->
+  analysis:Simd_loopir.Analysis.t ->
+  Simd_loopir.Ast.stmt ->
+  (placement, Simd_dreorg.Policy.error) result
+(** Errors only with [Requires_compile_time_alignment]; [Zero] and [Auto]
+    are total. *)
+
+val place_with_fallback :
+  Simd_dreorg.Policy.t ->
+  analysis:Simd_loopir.Analysis.t ->
+  Simd_loopir.Ast.stmt ->
+  placement
+(** Zero-shift fallback under runtime alignments (§4.4). *)
+
+val place_exn :
+  Simd_dreorg.Policy.t ->
+  analysis:Simd_loopir.Analysis.t ->
+  Simd_loopir.Ast.stmt ->
+  placement

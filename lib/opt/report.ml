@@ -1,0 +1,249 @@
+(** Machine-readable static cost reports: what one compilation decided —
+    per statement, the streams and their alignments, the chosen shifts, the
+    operation counts and their weighted cost, and what every other
+    applicable policy would have cost. Serializes to JSON
+    ({!Simd_support.Json}) for the [--stats] CLI flag and the benchmark
+    harness. *)
+
+open Simd_loopir
+module Graph = Simd_dreorg.Graph
+module Offset = Simd_dreorg.Offset
+module Policy = Simd_dreorg.Policy
+module Config = Simd_machine.Config
+module Json = Simd_support.Json
+
+type stream = {
+  stream_array : string;
+  stream_offset : int;  (** element offset in the subscript *)
+  stream_stride : int;
+  stream_kind : [ `Load | `Gather | `Store ];
+  stream_align : Align.t;  (** byte offset of the stream within its chunk *)
+}
+
+type shift = {
+  shift_from : Offset.t;
+  shift_to : Offset.t;
+  shift_dir : Cost.direction option;
+}
+
+type stmt_report = {
+  index : int;
+  source : string;  (** the statement, pretty-printed *)
+  requested : Policy.t;
+  used : Policy.t;  (** after [Auto] selection or zero-shift fallback *)
+  target : Offset.t;  (** offset the value stream must reach (C.2) *)
+  streams : stream list;
+  shifts : shift list;  (** chosen stream shifts, in evaluation order *)
+  counts : Cost.counts;
+  cost : float;
+  alternatives : (Policy.t * float) list;
+      (** static cost under every other placeable policy *)
+}
+
+type t = {
+  policy : Policy.t;  (** the requested driver policy *)
+  vector_len : int;
+  cost_model : Config.cost_model;
+  stmts : stmt_report list;
+  totals : Cost.counts;
+  total_cost : float;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Construction                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let streams_of_stmt ~(analysis : Analysis.t) (stmt : Ast.stmt) : stream list =
+  let of_ref kind (r : Ast.mem_ref) =
+    {
+      stream_array = r.Ast.ref_array;
+      stream_offset = r.Ast.ref_offset;
+      stream_stride = r.Ast.ref_stride;
+      stream_kind = kind;
+      stream_align = Analysis.offset_of analysis r;
+    }
+  in
+  let loads =
+    List.map
+      (fun (r : Ast.mem_ref) ->
+        of_ref (if r.Ast.ref_stride > 1 then `Gather else `Load) r)
+      (Ast.expr_loads stmt.Ast.rhs)
+  in
+  match stmt.Ast.kind with
+  | Ast.Assign -> loads @ [ of_ref `Store stmt.Ast.lhs ]
+  | Ast.Reduce _ -> loads
+
+let rec shifts_of_node (n : Graph.node) : shift list =
+  match n with
+  | Graph.Load _ | Graph.Strided _ | Graph.Splat _ -> []
+  | Graph.Op (_, a, b) -> shifts_of_node a @ shifts_of_node b
+  | Graph.Shift (src, from, to_) ->
+    shifts_of_node src
+    @ [ { shift_from = from; shift_to = to_; shift_dir = Cost.direction ~from ~to_ } ]
+
+(** Static cost of [stmt] under every policy that can place it (the four
+    heuristics plus the exact solver; [Auto] is definitionally the min). *)
+let alternatives ~(analysis : Analysis.t) (stmt : Ast.stmt) :
+    (Policy.t * float) list =
+  List.filter_map
+    (fun p ->
+      match Place.place p ~analysis stmt with
+      | Ok { Place.graph; _ } ->
+        Some (p, Cost.graph_cost ~analysis ~stmt graph)
+      | Error _ -> None)
+    Auto.candidates
+
+(** [make ~analysis ~requested ~placed] — build the report from the
+    driver's placement results, one [(stmt, graph, used-policy)] triple per
+    statement. *)
+let make ~(analysis : Analysis.t) ~(requested : Policy.t)
+    ~(placed : (Ast.stmt * Graph.t * Policy.t) list) : t =
+  let machine = analysis.Analysis.machine in
+  let stmts =
+    List.mapi
+      (fun index (stmt, graph, used) ->
+        let counts = Cost.counts_of_graph ~analysis ~stmt graph in
+        {
+          index;
+          source = Pp.stmt_to_string stmt;
+          requested;
+          used;
+          target = graph.Graph.store_offset;
+          streams = streams_of_stmt ~analysis stmt;
+          shifts = shifts_of_node graph.Graph.root;
+          counts;
+          cost = Cost.cost_of_counts machine counts;
+          alternatives = alternatives ~analysis stmt;
+        })
+      placed
+  in
+  let totals =
+    List.fold_left
+      (fun acc s -> Cost.add_counts acc s.counts)
+      Cost.zero_counts stmts
+  in
+  {
+    policy = requested;
+    vector_len = Config.vector_len machine;
+    cost_model = Config.costs machine;
+    stmts;
+    totals;
+    total_cost = Cost.cost_of_counts machine totals;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* JSON                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let offset_to_json (o : Offset.t) : Json.t =
+  match o with
+  | Offset.Known k -> Json.Int k
+  | Offset.Runtime _ | Offset.Any ->
+    Json.String (Format.asprintf "%a" Offset.pp o)
+
+let align_to_json (a : Align.t) : Json.t =
+  match a with
+  | Align.Known k -> Json.Int k
+  | Align.Runtime -> Json.String "runtime"
+
+let direction_name = function
+  | Some Cost.Left -> "left"
+  | Some Cost.Right -> "right"
+  | None -> "none"
+
+let kind_name = function `Load -> "load" | `Gather -> "gather" | `Store -> "store"
+
+let counts_to_json (c : Cost.counts) : Json.t =
+  Json.Obj
+    [
+      ("loads", Json.Int c.Cost.loads);
+      ("stores", Json.Int c.Cost.stores);
+      ("ops", Json.Int c.Cost.ops);
+      ("splats", Json.Int c.Cost.splats);
+      ("shifts_left", Json.Int c.Cost.shifts_left);
+      ("shifts_right", Json.Int c.Cost.shifts_right);
+      ("packs", Json.Int c.Cost.packs);
+      ("splices", Json.Int c.Cost.splices);
+    ]
+
+let cost_model_to_json (w : Config.cost_model) : Json.t =
+  Json.Obj
+    [
+      ("load", Json.Float w.Config.load);
+      ("store", Json.Float w.Config.store);
+      ("op", Json.Float w.Config.op);
+      ("splat", Json.Float w.Config.splat);
+      ("shift_left", Json.Float w.Config.shift_left);
+      ("shift_right", Json.Float w.Config.shift_right);
+      ("splice", Json.Float w.Config.splice);
+      ("pack", Json.Float w.Config.pack);
+    ]
+
+let stream_to_json (s : stream) : Json.t =
+  Json.Obj
+    [
+      ("array", Json.String s.stream_array);
+      ("offset", Json.Int s.stream_offset);
+      ("stride", Json.Int s.stream_stride);
+      ("kind", Json.String (kind_name s.stream_kind));
+      ("align", align_to_json s.stream_align);
+    ]
+
+let shift_to_json (s : shift) : Json.t =
+  Json.Obj
+    [
+      ("from", offset_to_json s.shift_from);
+      ("to", offset_to_json s.shift_to);
+      ("direction", Json.String (direction_name s.shift_dir));
+    ]
+
+let stmt_to_json (s : stmt_report) : Json.t =
+  Json.Obj
+    [
+      ("index", Json.Int s.index);
+      ("source", Json.String s.source);
+      ("requested_policy", Json.String (Policy.name s.requested));
+      ("used_policy", Json.String (Policy.name s.used));
+      ("target_offset", offset_to_json s.target);
+      ("streams", Json.List (List.map stream_to_json s.streams));
+      ("shifts", Json.List (List.map shift_to_json s.shifts));
+      ("counts", counts_to_json s.counts);
+      ("cost", Json.Float s.cost);
+      ( "alternatives",
+        Json.Obj
+          (List.map
+             (fun (p, c) -> (Policy.name p, Json.Float c))
+             s.alternatives) );
+    ]
+
+let to_json (r : t) : Json.t =
+  Json.Obj
+    [
+      ("policy", Json.String (Policy.name r.policy));
+      ("vector_len", Json.Int r.vector_len);
+      ("cost_model", cost_model_to_json r.cost_model);
+      ("statements", Json.List (List.map stmt_to_json r.stmts));
+      ("totals", counts_to_json r.totals);
+      ("total_cost", Json.Float r.total_cost);
+    ]
+
+let to_string ?indent r = Json.to_string ?indent (to_json r)
+
+(* ------------------------------------------------------------------ *)
+(* Human-readable summary                                              *)
+(* ------------------------------------------------------------------ *)
+
+let pp fmt (r : t) =
+  Format.fprintf fmt "@[<v>policy %s, V = %d bytes@," (Policy.name r.policy)
+    r.vector_len;
+  List.iter
+    (fun s ->
+      Format.fprintf fmt "stmt %d: %s@,  used %s, cost %.2f (%d shifts: %dL %dR)@,"
+        s.index s.source (Policy.name s.used) s.cost
+        (Cost.shifts s.counts) s.counts.Cost.shifts_left
+        s.counts.Cost.shifts_right;
+      List.iter
+        (fun (p, c) -> Format.fprintf fmt "    %-8s %.2f@," (Policy.name p) c)
+        s.alternatives)
+    r.stmts;
+  Format.fprintf fmt "total cost %.2f@]" r.total_cost

@@ -1,0 +1,56 @@
+(** Machine-readable static cost reports of one compilation: per statement,
+    the streams and their alignments, the chosen shifts, operation counts,
+    weighted cost, and the cost under every other placeable policy. *)
+
+type stream = {
+  stream_array : string;
+  stream_offset : int;
+  stream_stride : int;
+  stream_kind : [ `Load | `Gather | `Store ];
+  stream_align : Simd_loopir.Align.t;
+}
+
+type shift = {
+  shift_from : Simd_dreorg.Offset.t;
+  shift_to : Simd_dreorg.Offset.t;
+  shift_dir : Cost.direction option;
+}
+
+type stmt_report = {
+  index : int;
+  source : string;
+  requested : Simd_dreorg.Policy.t;
+  used : Simd_dreorg.Policy.t;
+  target : Simd_dreorg.Offset.t;
+  streams : stream list;
+  shifts : shift list;
+  counts : Cost.counts;
+  cost : float;
+  alternatives : (Simd_dreorg.Policy.t * float) list;
+}
+
+type t = {
+  policy : Simd_dreorg.Policy.t;
+  vector_len : int;
+  cost_model : Simd_machine.Config.cost_model;
+  stmts : stmt_report list;
+  totals : Cost.counts;
+  total_cost : float;
+}
+
+val make :
+  analysis:Simd_loopir.Analysis.t ->
+  requested:Simd_dreorg.Policy.t ->
+  placed:
+    (Simd_loopir.Ast.stmt * Simd_dreorg.Graph.t * Simd_dreorg.Policy.t) list ->
+  t
+
+val alternatives :
+  analysis:Simd_loopir.Analysis.t ->
+  Simd_loopir.Ast.stmt ->
+  (Simd_dreorg.Policy.t * float) list
+(** Static cost of the statement under every policy that can place it. *)
+
+val to_json : t -> Simd_support.Json.t
+val to_string : ?indent:int -> t -> string
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,95 @@
+(** The exact stream-shift placement solver.
+
+    Dynamic programming over the statement's bare data reorganization
+    graph: each node gets a table ({!Table.t}) mapping every target byte
+    offset [t ∈ [0, V)] to the minimum stream-shift cost of producing the
+    node's value stream at offset [t], together with a rebuild function
+    materializing a placement that achieves it. Leaves cost one direct
+    shift (their lowering direction — and hence weight — is forced by
+    comparing source and target offsets); an operation node meets its
+    operands at the cheapest common offset [m] and optionally appends one
+    trailing shift [m → t]. Because tables are closed under appending
+    shifts (see {!Table}), restricting to a single trailing shift per node
+    loses nothing, and the root entry at the store alignment (constraint
+    C.2) is the true minimum over {e all} valid placements — V·n table
+    entries, O(V²) work per operation node.
+
+    Requires compile-time alignments, like every policy except zero-shift:
+    callers fall back to zero-shift otherwise ({!Place}). *)
+
+open Simd_loopir
+module Graph = Simd_dreorg.Graph
+module Offset = Simd_dreorg.Offset
+module Policy = Simd_dreorg.Policy
+module Config = Simd_machine.Config
+
+(* DP over the bare tree: table + a rebuild function materializing the
+   subtree placed so its stream sits at the given byte offset. *)
+let rec build ~(analysis : Analysis.t) ~machine ~v (n : Graph.node) :
+    Table.t * (int -> Graph.node) =
+  match n with
+  | Graph.Load r ->
+    let o =
+      match Analysis.offset_of analysis r with
+      | Align.Known k -> k
+      | Align.Runtime -> assert false (* guarded by [offsets_known] *)
+    in
+    leaf ~machine ~v n o
+  | Graph.Strided _ -> leaf ~machine ~v n 0 (* gathered streams sit at 0 *)
+  | Graph.Splat _ -> (Table.Any, fun _ -> n)
+  | Graph.Op (op, a, b) ->
+    let ta, ra = build ~analysis ~machine ~v a in
+    let tb, rb = build ~analysis ~machine ~v b in
+    let table, choice = Table.meet machine ta tb in
+    let rebuild t =
+      match table with
+      | Table.Any -> Graph.Op (op, ra 0, rb 0) (* offset ⊥; t irrelevant *)
+      | Table.Tbl _ ->
+        let m = choice.(t) in
+        let child ct r =
+          match ct with Table.Any -> r 0 | Table.Tbl _ -> r m
+        in
+        let core = Graph.Op (op, child ta ra, child tb rb) in
+        if m = t then core
+        else Graph.Shift (core, Offset.Known m, Offset.Known t)
+    in
+    (table, rebuild)
+  | Graph.Shift _ -> assert false (* bare tree has no shifts *)
+
+and leaf ~machine ~v n o =
+  ( Table.leaf machine ~v o,
+    fun t ->
+      if t = o then n else Graph.Shift (n, Offset.Known o, Offset.Known t) )
+
+(** [solve_with_cost ~analysis stmt] — the minimum-cost graph together with
+    the DP's shift-cost value at the root (which {!Test_opt} cross-checks
+    against {!Cost.shift_cost_of_graph} of the rebuilt graph). *)
+let solve_with_cost ~(analysis : Analysis.t) (stmt : Ast.stmt) :
+    (Graph.t * float, Policy.error) result =
+  if not (Policy.offsets_known ~analysis stmt) then
+    Error (Policy.Requires_compile_time_alignment Policy.Optimal)
+  else begin
+    let machine = analysis.Analysis.machine in
+    let v = Config.vector_len machine in
+    let store_offset = Policy.target_offset ~analysis stmt in
+    let target =
+      match store_offset with
+      | Offset.Known k -> k
+      | Offset.Runtime _ | Offset.Any ->
+        assert false (* offsets_known covers the store; reductions use 0 *)
+    in
+    let table, rebuild = build ~analysis ~machine ~v (Graph.of_expr stmt.Ast.rhs) in
+    let root = rebuild target in
+    let g =
+      { Graph.store = stmt.Ast.lhs; store_offset; root; block = analysis.Analysis.block }
+    in
+    Ok (g, Table.cost table target)
+  end
+
+let solve ~analysis stmt = Result.map fst (solve_with_cost ~analysis stmt)
+
+let solve_exn ~analysis stmt =
+  match solve ~analysis stmt with
+  | Ok g -> g
+  | Error e ->
+    invalid_arg (Format.asprintf "Opt.Solve.solve_exn: %a" Policy.pp_error e)

@@ -1,0 +1,22 @@
+(** The exact stream-shift placement solver: dynamic programming over the
+    statement's data reorganization graph, returning a valid graph of
+    provably minimum cost under the machine's cost model. Requires
+    compile-time alignments ({!Simd_dreorg.Policy.offsets_known}); callers
+    fall back to zero-shift otherwise ({!Place}). *)
+
+val solve :
+  analysis:Simd_loopir.Analysis.t ->
+  Simd_loopir.Ast.stmt ->
+  (Simd_dreorg.Graph.t, Simd_dreorg.Policy.error) result
+
+val solve_with_cost :
+  analysis:Simd_loopir.Analysis.t ->
+  Simd_loopir.Ast.stmt ->
+  (Simd_dreorg.Graph.t * float, Simd_dreorg.Policy.error) result
+(** Also returns the DP's root shift-cost value, which must equal
+    {!Cost.shift_cost_of_graph} of the returned graph. *)
+
+val solve_exn :
+  analysis:Simd_loopir.Analysis.t ->
+  Simd_loopir.Ast.stmt ->
+  Simd_dreorg.Graph.t

@@ -1,0 +1,66 @@
+(** Per-node dynamic-programming tables for the exact shift-placement
+    solver: for each reachable target byte offset [t ∈ \[0, V)], the
+    minimum stream-shift cost of producing the subtree's value stream at
+    offset [t].
+
+    Tables are kept {e closed} under appending one more shift:
+    [cost tbl t ≤ cost tbl m + sc(m, t)] for all [m, t]. Leaf tables are
+    closed because the per-shift cost [sc] satisfies the triangle
+    inequality (any composite path from [o] to [t] contains at least one
+    shift in the net direction, and weights are non-negative), and {!meet}
+    re-closes after combining operand tables — so a single trailing shift
+    per node suffices and the DP is exact. *)
+
+module Config = Simd_machine.Config
+
+type t =
+  | Any  (** loop-invariant (splat-only) subtree: offset ⊥, free everywhere *)
+  | Tbl of float array  (** indexed by target byte offset, length V *)
+
+(** Cost of one stream shift from byte offset [f] to [t]: left shifts move
+    data toward lower offsets, right shifts toward higher ones (and pay the
+    prologue prepended load, Eqs. 8–10). *)
+let sc (machine : Config.t) ~from:f ~to_:t =
+  if f = t then 0.0
+  else if f > t then Config.shift_cost machine `Left
+  else Config.shift_cost machine `Right
+
+let cost tbl t = match tbl with Any -> 0.0 | Tbl a -> a.(t)
+
+(** [leaf machine ~v o] — the (closed) table of a leaf whose stream sits at
+    byte offset [o]: reaching [t] costs one direct shift. *)
+let leaf (machine : Config.t) ~v o =
+  Tbl (Array.init v (fun t -> sc machine ~from:o ~to_:t))
+
+(** [meet machine ta tb] — combine two operand tables into the table of the
+    operation node, also returning, for each target [t], the chosen meet
+    offset [m] (where the operands agree before an optional trailing shift
+    [m → t]). The choice array is the identity when at most one side
+    constrains the offset, and [[||]] when both operands are invariant.
+    Ties prefer [m = t] (no trailing shift), then the smallest [m]. *)
+let meet (machine : Config.t) (ta : t) (tb : t) : t * int array =
+  match (ta, tb) with
+  | Any, Any -> (Any, [||])
+  | Any, (Tbl b as tb) -> (tb, Array.init (Array.length b) Fun.id)
+  | (Tbl a as ta), Any -> (ta, Array.init (Array.length a) Fun.id)
+  | Tbl a, Tbl b ->
+    let v = Array.length a in
+    let inner m = a.(m) +. b.(m) in
+    let out = Array.make v 0.0 in
+    let choice = Array.make v 0 in
+    for t = 0 to v - 1 do
+      (* seed with the no-shift candidate m = t so it wins all ties; other
+         candidates replace it only on strict improvement, which also makes
+         the smallest equal-cost m win among the rest *)
+      let best = ref (inner t) and best_m = ref t in
+      for m = 0 to v - 1 do
+        let c = inner m +. sc machine ~from:m ~to_:t in
+        if c < !best then begin
+          best := c;
+          best_m := m
+        end
+      done;
+      out.(t) <- !best;
+      choice.(t) <- !best_m
+    done;
+    (Tbl out, choice)

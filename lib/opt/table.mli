@@ -1,0 +1,23 @@
+(** Per-node dynamic-programming tables for the exact shift-placement
+    solver: minimum stream-shift cost of producing a subtree's value stream
+    at each target byte offset in [\[0, V)]. Tables are closed under
+    appending one more shift, so a single trailing shift per node suffices
+    and the DP is exact (see the implementation header). *)
+
+type t =
+  | Any  (** loop-invariant (splat-only) subtree: offset ⊥, free everywhere *)
+  | Tbl of float array  (** indexed by target byte offset, length V *)
+
+val sc : Simd_machine.Config.t -> from:int -> to_:int -> float
+(** Cost of one stream shift between byte offsets; 0 when equal. *)
+
+val cost : t -> int -> float
+
+val leaf : Simd_machine.Config.t -> v:int -> int -> t
+(** [leaf machine ~v o] — closed table of a leaf streaming at offset [o]. *)
+
+val meet : Simd_machine.Config.t -> t -> t -> t * int array
+(** Combine two operand tables into the operation node's table, returning
+    for each target [t] the chosen meet offset. Identity choices when at
+    most one side constrains the offset; [[||]] when both are invariant.
+    Ties prefer no trailing shift, then the smallest meet offset. *)

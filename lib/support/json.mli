@@ -1,0 +1,20 @@
+(** Minimal JSON document builder and printer (construction only — the
+    machine-readable outputs in this repo are write-only). *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : ?indent:int -> t -> string
+(** Pretty-printed JSON text (default indent 2). Non-finite floats become
+    [null]; strings are escaped per RFC 8259. *)
+
+val to_channel : ?indent:int -> out_channel -> t -> unit
+(** [to_string] plus a trailing newline. *)
+
+val to_file : ?indent:int -> string -> t -> unit

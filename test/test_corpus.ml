@@ -36,6 +36,9 @@ let configs =
                            unroll = 2 });
     ("dom-pc-unroll4", { Driver.default with Driver.policy = Policy.Dominant;
                          reuse = Driver.Predictive_commoning; unroll = 4 });
+    ("optimal-sp", { Driver.default with Driver.policy = Policy.Optimal });
+    ("auto-pc", { Driver.default with Driver.policy = Policy.Auto;
+                  reuse = Driver.Predictive_commoning });
   ]
 
 let trips_for (p : Ast.program) =

@@ -10,6 +10,7 @@ let () =
          Test_analysis.suite;
          Test_layout_interp.suite;
          Test_policies.suite;
+         Test_opt.suite;
          Test_reassoc.suite;
          Test_codegen.suite;
          Test_vir.suite;

@@ -1,0 +1,354 @@
+(* Exact shift placement (Simd.Opt): the solver's graphs are valid and
+   never cost more than any heuristic's — on every corpus program (incl.
+   fuzz reproducers) and on a fixed-seed generator sweep — with a strict
+   improvement on the committed counterexample; the DP's cost value agrees
+   with the cost model applied to the rebuilt graph; auto selection
+   achieves the candidate minimum; reports are consistent. *)
+
+open Simd
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let eps = 1e-9
+
+let corpus_dir =
+  List.find_opt Sys.file_exists
+    [ "../corpus"; "corpus"; "../../corpus"; "../../../corpus" ]
+  |> Option.value ~default:"../corpus"
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let simd_files dir =
+  if Sys.file_exists dir then
+    Sys.readdir dir |> Array.to_list
+    |> List.filter (fun f -> Filename.check_suffix f ".simd")
+    |> List.sort compare
+    |> List.map (Filename.concat dir)
+  else []
+
+(* Every statement with compile-time alignments: the solver graph is valid,
+   its DP cost value matches the cost model on the rebuilt graph, no
+   heuristic is cheaper, auto achieves the minimum, and the n−1 lower bound
+   holds. Returns the number of statements checked. *)
+let check_program ~label ~machine (program : Ast.program) : int =
+  match Analysis.check ~machine program with
+  | Error _ -> 0
+  | Ok analysis ->
+    let checked = ref 0 in
+    List.iter
+      (fun stmt ->
+        if Policy.offsets_known ~analysis stmt then begin
+          incr checked;
+          let graph, dp_cost =
+            match Opt.Solve.solve_with_cost ~analysis stmt with
+            | Ok r -> r
+            | Error e ->
+              Alcotest.failf "%s: solver rejected known alignments: %s" label
+                (Format.asprintf "%a" Policy.pp_error e)
+          in
+          (match Graph.validate ~analysis graph with
+          | Ok () -> ()
+          | Error m -> Alcotest.failf "%s: optimal graph invalid: %s" label m);
+          let shift_term = Opt.Cost.shift_cost_of_graph ~analysis graph in
+          check_bool
+            (label ^ ": DP cost = cost model on rebuilt graph")
+            true
+            (Float.abs (dp_cost -. shift_term) <= eps);
+          let opt_cost = Opt.Cost.graph_cost ~analysis ~stmt graph in
+          List.iter
+            (fun p ->
+              match Policy.place p ~analysis stmt with
+              | Error _ -> ()
+              | Ok g ->
+                let c = Opt.Cost.graph_cost ~analysis ~stmt g in
+                if opt_cost > c +. eps then
+                  Alcotest.failf "%s: optimal (%.3f) beaten by %s (%.3f)" label
+                    opt_cost (Policy.name p) c)
+            Policy.heuristics;
+          let auto_graph, _ = Opt.Auto.place ~analysis stmt in
+          let auto_cost = Opt.Cost.graph_cost ~analysis ~stmt auto_graph in
+          check_bool
+            (label ^ ": auto achieves the optimum")
+            true
+            (Float.abs (auto_cost -. opt_cost) <= eps);
+          (* [Lb.min_shifts] counts stream shifts plus gather packs/window
+             shifts, so compare against the same accounting of the optimal
+             graphs. *)
+          let lb = Lb.compute ~analysis ~policy:Policy.Optimal in
+          check_bool
+            (label ^ ": n-1 bound holds for the whole loop")
+            true
+            (lb.Lb.min_shifts
+            <= Simd.Util.sum_by
+                 (fun s ->
+                   let g =
+                     match Opt.Solve.solve ~analysis s with
+                     | Ok g -> g
+                     | Error _ -> Policy.place_exn Policy.Zero ~analysis s
+                   in
+                   let c = Opt.Cost.counts_of_node ~analysis g.Graph.root in
+                   Opt.Cost.shifts c + c.Opt.Cost.packs)
+                 analysis.Analysis.program.Ast.loop.Ast.body)
+        end)
+      program.Ast.loop.Ast.body;
+    !checked
+
+let test_corpus_optimal () =
+  let files =
+    simd_files corpus_dir @ simd_files (Filename.concat corpus_dir "fuzz")
+  in
+  check_bool "corpus found" true (List.length files > 5);
+  let checked = ref 0 in
+  List.iter
+    (fun path ->
+      match Parse.program_of_string_result (read_file path) with
+      | Error m -> Alcotest.failf "%s: parse error: %s" path m
+      | Ok program ->
+        List.iter
+          (fun vl ->
+            checked :=
+              !checked
+              + check_program
+                  ~label:(Filename.basename path ^ Printf.sprintf "@V%d" vl)
+                  ~machine:(Machine.create ~vector_len:vl)
+                  program)
+          [ 8; 16; 32 ])
+    files;
+  check_bool "checked some statements" true (!checked > 10)
+
+(* The committed counterexample where the exact solver strictly beats every
+   §3.4 heuristic: offsets 4, 8, 8, 12, 12, 12, store 0 (V = 16). Dominant
+   meets at 12 (4 shifts, one right); optimal chains 4→8→12→0 (3 shifts:
+   2 right + 1 left = 3.5 weighted, vs dominant's 4.25 and lazy/eager/zero's
+   6). *)
+let test_strict_improvement () =
+  let src =
+    read_file (Filename.concat corpus_dir "opt-beats-heuristics.simd")
+  in
+  let analysis = Analysis.check_exn ~machine:Machine.default (Parse.program_of_string src) in
+  let stmt = List.hd analysis.Analysis.program.Ast.loop.Ast.body in
+  let opt = Opt.Solve.solve_exn ~analysis stmt in
+  check_int "optimal shift count" 3 (Graph.graph_shift_count opt);
+  let opt_cost = Opt.Cost.graph_cost ~analysis ~stmt opt in
+  let heur_costs =
+    List.map
+      (fun p ->
+        let g = Policy.place_exn p ~analysis stmt in
+        (Policy.name p, Graph.graph_shift_count g, Opt.Cost.graph_cost ~analysis ~stmt g))
+      Policy.heuristics
+  in
+  List.iter
+    (fun (name, count, c) ->
+      check_bool (name ^ " strictly beaten on cost") true (opt_cost < c -. eps);
+      check_bool (name ^ " not beaten on raw count") true
+        (Graph.graph_shift_count opt <= count))
+    heur_costs;
+  (* the shift-count win is strict too: best heuristic (dominant) needs 4 *)
+  let best_count =
+    List.fold_left (fun acc (_, c, _) -> min acc c) max_int heur_costs
+  in
+  check_int "best heuristic count" 4 best_count
+
+(* Single-def/single-use streams (an RHS that is one load): lazy is already
+   optimal — one root shift at most — so the solver matches it exactly. *)
+let test_single_use_matches_lazy () =
+  List.iter
+    (fun store_align ->
+      List.iter
+        (fun load_off ->
+          let src =
+            Printf.sprintf
+              "int32 dst[64] @ %d;\nint32 s[64] @ 0;\n\
+               for (i = 0; i < 32; i++) { dst[i] = s[i+%d]; }"
+              store_align load_off
+          in
+          let analysis =
+            Analysis.check_exn ~machine:Machine.default (Parse.program_of_string src)
+          in
+          let stmt = List.hd analysis.Analysis.program.Ast.loop.Ast.body in
+          let opt = Opt.Solve.solve_exn ~analysis stmt in
+          let lzy = Policy.place_exn Policy.Lazy ~analysis stmt in
+          check_bool
+            (Printf.sprintf "single load @%d -> store @%d" load_off store_align)
+            true
+            (Float.abs
+               (Opt.Cost.graph_cost ~analysis ~stmt opt
+               -. Opt.Cost.graph_cost ~analysis ~stmt lzy)
+            <= eps))
+        [ 0; 1; 2; 3 ])
+    [ 0; 4; 8; 12 ]
+
+(* Fixed-seed sweep of random multi-statement loops: the same invariants as
+   the corpus pass, over a much wider shape space. Deterministic — no
+   QCheck seed involved. *)
+let test_generator_sweep () =
+  let prng = Prng.create ~seed:0x0B7A11 in
+  let checked = ref 0 in
+  for case = 1 to 400 do
+    let vl = Prng.pick prng [ 8; 16; 16; 32 ] in
+    let n_stmts = Prng.range prng ~lo:1 ~hi:2 in
+    let n_arrays = Prng.range prng ~lo:2 ~hi:8 in
+    let decls =
+      List.init n_arrays (fun k ->
+          Printf.sprintf "int32 s%d[256] @ %d;" k
+            (4 * Prng.int prng ~bound:(vl / 4)))
+    in
+    let stmts =
+      List.init n_stmts (fun k ->
+          let n_loads = Prng.range prng ~lo:1 ~hi:7 in
+          let loads =
+            List.init n_loads (fun _ ->
+                Printf.sprintf "s%d[i+%d]"
+                  (Prng.int prng ~bound:n_arrays)
+                  (Prng.int prng ~bound:8))
+          in
+          Printf.sprintf "d%d[i+%d] = %s;" k
+            (Prng.int prng ~bound:4)
+            (String.concat " + " loads))
+    in
+    let dsts =
+      List.init n_stmts (fun k ->
+          Printf.sprintf "int32 d%d[256] @ %d;" k
+            (4 * Prng.int prng ~bound:(vl / 4)))
+    in
+    let src =
+      String.concat "\n" (decls @ dsts)
+      ^ Printf.sprintf "\nfor (i = 0; i < 64; i++) { %s }"
+          (String.concat " " stmts)
+    in
+    let program =
+      match Parse.program_of_string_result src with
+      | Ok p -> p
+      | Error m -> Alcotest.failf "sweep case %d: parse error: %s" case m
+    in
+    checked :=
+      !checked
+      + check_program
+          ~label:(Printf.sprintf "sweep case %d (V=%d)" case vl)
+          ~machine:(Machine.create ~vector_len:vl)
+          program
+  done;
+  check_bool "sweep checked enough statements" true (!checked >= 300)
+
+(* Auto through the driver: the per-statement winner is recorded in
+   [policies_used], and on an aligned loop it credits the earliest policy
+   (zero) rather than the solver. *)
+let test_auto_driver () =
+  let aligned =
+    Parse.program_of_string
+      "int32 a[64] @ 0;\nint32 b[64] @ 0;\n\
+       for (i = 0; i < 32; i++) { a[i] = b[i]; }"
+  in
+  let o =
+    Driver.simdize_exn { Driver.default with Driver.policy = Policy.Auto } aligned
+  in
+  check_bool "aligned auto credits zero" true
+    (List.for_all (Policy.equal Policy.Zero) o.Driver.policies_used);
+  let mixed =
+    Parse.program_of_string
+      "int32 t[128] @ 0;\nint32 a[128] @ 0;\nint32 b[128] @ 0;\n\
+       int32 c[128] @ 0;\nint32 u[128] @ 0;\nint32 v[128] @ 0;\n\
+       int32 w[128] @ 0;\nfor (i = 0; i < 100; i++) { t[i] = a[i+1] + \
+       b[i+2] + c[i+2] + u[i+3] + v[i+3] + w[i+3]; }"
+  in
+  let o =
+    Driver.simdize_exn { Driver.default with Driver.policy = Policy.Auto } mixed
+  in
+  check_bool "counterexample auto credits optimal" true
+    (List.for_all (Policy.equal Policy.Optimal) o.Driver.policies_used)
+
+(* The report: per-statement cost equals counts priced by the model, totals
+   add up, the optimal alternative is never beaten, and the JSON mentions
+   every policy. *)
+let test_report () =
+  let program =
+    Parse.program_of_string
+      "int32 a[128] @ 0;\nint32 b[128] @ 0;\nint32 c[128] @ 0;\n\
+       for (i = 0; i < 100; i++) { a[i+3] = b[i+1] + c[i+2]; }"
+  in
+  let o =
+    Driver.simdize_exn
+      { Driver.default with Driver.policy = Policy.Optimal }
+      program
+  in
+  let r = Driver.report o in
+  check_int "one statement" 1 (List.length r.Opt.Report.stmts);
+  let s = List.hd r.Opt.Report.stmts in
+  check_bool "per-stmt cost = priced counts" true
+    (Float.abs (s.Opt.Report.cost -. r.Opt.Report.total_cost) <= eps);
+  check_int "streams: two loads + store" 3 (List.length s.Opt.Report.streams);
+  let opt_alt = List.assoc Policy.Optimal s.Opt.Report.alternatives in
+  List.iter
+    (fun (p, c) ->
+      check_bool (Policy.name p ^ " never beats optimal") true
+        (opt_alt <= c +. eps))
+    s.Opt.Report.alternatives;
+  check_bool "chosen cost is the optimal alternative" true
+    (Float.abs (s.Opt.Report.cost -. opt_alt) <= eps);
+  let json = Opt.Report.to_string ~indent:2 r in
+  List.iter
+    (fun frag ->
+      let n = String.length frag in
+      let rec go i =
+        i + n <= String.length json && (String.sub json i n = frag || go (i + 1))
+      in
+      check_bool ("report JSON has " ^ frag) true (go 0))
+    [
+      "\"policy\": \"optimal\"";
+      "\"total_cost\"";
+      "\"shifts\"";
+      "\"alternatives\"";
+      "\"zero\"";
+      "\"dominant\"";
+    ]
+
+(* New policies through the full pipeline: differential verification on a
+   runtime-alignment program (exercising the zero fallback) and on the
+   strict-improvement counterexample. *)
+let test_new_policies_verify () =
+  List.iter
+    (fun policy ->
+      List.iter
+        (fun src ->
+          let program = Parse.program_of_string (read_file src) in
+          let trip =
+            match program.Ast.loop.Ast.trip with
+            | Ast.Trip_const _ -> None
+            | Ast.Trip_param _ -> Some 100
+          in
+          let config = { Driver.default with Driver.policy } in
+          match Measure.verify ~config ~setup_seed:7 ?trip program with
+          | Ok () -> ()
+          | Error m ->
+            Alcotest.failf "%s under %s: %s" (Filename.basename src)
+              (Policy.name policy) m)
+        [
+          Filename.concat corpus_dir "opt-beats-heuristics.simd";
+          Filename.concat corpus_dir "runtime_everything.simd";
+          Filename.concat corpus_dir "fig1_paper.simd";
+        ])
+    [ Policy.Optimal; Policy.Auto ]
+
+let suite =
+  [
+    ( "opt",
+      [
+        Alcotest.test_case "corpus: optimal <= heuristics" `Quick
+          test_corpus_optimal;
+        Alcotest.test_case "counterexample: strict improvement" `Quick
+          test_strict_improvement;
+        Alcotest.test_case "single-use streams match lazy" `Quick
+          test_single_use_matches_lazy;
+        Alcotest.test_case "fixed-seed sweep: optimal <= heuristics" `Quick
+          test_generator_sweep;
+        Alcotest.test_case "auto selection through driver" `Quick
+          test_auto_driver;
+        Alcotest.test_case "cost report consistency" `Quick test_report;
+        Alcotest.test_case "optimal/auto verify differentially" `Quick
+          test_new_policies_verify;
+      ] );
+  ]

@@ -11,10 +11,12 @@ let check_bool = Alcotest.(check bool)
 
 let analyze src = Analysis.check_exn ~machine (Parse.program_of_string src)
 
+(* Through the total dispatcher, so [Policy.all] iteration also covers the
+   solver-placed policies (Optimal/Auto). *)
 let place policy src =
   let a = analyze src in
   let stmt = List.hd a.Analysis.program.Ast.loop.Ast.body in
-  (a, Policy.place_exn policy ~analysis:a stmt)
+  (a, (Opt.Place.place_exn policy ~analysis:a stmt).Opt.Place.graph)
 
 let shift_count policy src =
   let _, g = place policy src in
@@ -102,7 +104,19 @@ let test_runtime_requires_zero () =
   let stmt = List.hd a.Analysis.program.Ast.loop.Ast.body in
   (match Policy.place Policy.Lazy ~analysis:a stmt with
   | Error (Policy.Requires_compile_time_alignment _) -> ()
+  | Error (Policy.Requires_solver _) ->
+    Alcotest.fail "lazy is not solver-placed"
   | Ok _ -> Alcotest.fail "lazy should reject runtime alignments");
+  (match Opt.Place.place Policy.Optimal ~analysis:a stmt with
+  | Error (Policy.Requires_compile_time_alignment _) -> ()
+  | Error (Policy.Requires_solver _) -> Alcotest.fail "dispatcher is total"
+  | Ok _ -> Alcotest.fail "optimal should reject runtime alignments");
+  (match Opt.Place.place Policy.Auto ~analysis:a stmt with
+  | Ok { Opt.Place.used = Policy.Zero; graph } ->
+    check_int "auto falls back to zero" 2 (Graph.graph_shift_count graph)
+  | Ok { Opt.Place.used = p; _ } ->
+    Alcotest.failf "auto under runtime alignment used %s" (Policy.name p)
+  | Error _ -> Alcotest.fail "auto must be total");
   (match Policy.place Policy.Zero ~analysis:a stmt with
   | Ok g -> (
     check_int "zero handles runtime" 2 (Graph.graph_shift_count g);
@@ -171,7 +185,10 @@ let prop_policies_valid =
       let a = analyze src in
       let stmt = List.hd a.Analysis.program.Ast.loop.Ast.body in
       let graphs =
-        List.map (fun p -> (p, Policy.place_exn p ~analysis:a stmt)) Policy.all
+        List.map
+          (fun p ->
+            (p, (Opt.Place.place_exn p ~analysis:a stmt).Opt.Place.graph))
+          Policy.all
       in
       List.for_all
         (fun (_, g) -> Result.is_ok (Graph.validate ~analysis:a g))
@@ -190,7 +207,7 @@ let prop_lb_shifts =
       let stmt = List.hd a.Analysis.program.Ast.loop.Ast.body in
       List.for_all
         (fun p ->
-          let g = Policy.place_exn p ~analysis:a stmt in
+          let g = (Opt.Place.place_exn p ~analysis:a stmt).Opt.Place.graph in
           let lb = Lb.compute ~analysis:a ~policy:p in
           lb.Lb.min_shifts <= Graph.graph_shift_count g)
         Policy.all)
