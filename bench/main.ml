@@ -193,7 +193,9 @@ let timings =
 
 (* Static cost reports of the benchmark programs under every policy: what
    each placement decided and what it cost (the data behind the exact-
-   solver series). *)
+   solver series), each paired with the compact pass-pipeline trace
+   summary (Simd.Trace) of that compilation — which passes ran, which
+   changed the IR, and their operation-count deltas. *)
 let static_reports () : Simd.Json.t =
   let programs =
     [
@@ -209,15 +211,21 @@ let static_reports () : Simd.Json.t =
            Simd.Json.Obj
              (List.filter_map
                 (fun policy ->
+                  let trace = Simd.Trace.create () in
                   match
-                    Simd.Driver.simdize
+                    Simd.Driver.simdize ~trace
                       (config policy Simd.Driver.Software_pipelining)
                       program
                   with
                   | Simd.Driver.Simdized o ->
                     Some
                       ( Simd.Policy.name policy,
-                        Simd.Opt.Report.to_json (Simd.Driver.report o) )
+                        Simd.Json.Obj
+                          [
+                            ( "report",
+                              Simd.Opt.Report.to_json (Simd.Driver.report o) );
+                            ("trace", Simd.Trace.summary_to_json trace);
+                          ] )
                   | Simd.Driver.Scalar _ -> None)
                 Simd.Policy.all) ))
        programs)

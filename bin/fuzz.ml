@@ -41,7 +41,11 @@ let run_campaign seed budget out shrink shrink_steps quiet =
         Format.printf "case %d (%s) minimized to %s:@.%a@."
           f.Fuzz.Campaign.index
           (Fuzz.Oracle.outcome_name f.Fuzz.Campaign.outcome)
-          path Fuzz.Case.pp f.Fuzz.Campaign.minimized)
+          path Fuzz.Case.pp f.Fuzz.Campaign.minimized;
+        Option.iter
+          (fun v ->
+            Format.printf "first diverging pass: %a@." Fuzz.Bisect.pp_verdict v)
+          f.Fuzz.Campaign.culprit)
       failures;
     1
   end
@@ -63,6 +67,8 @@ let run_replay path =
       0
     | outcome ->
       Format.printf "outcome: %a@." Fuzz.Oracle.pp_outcome outcome;
+      Format.printf "first diverging pass: %a@." Fuzz.Bisect.pp_verdict
+        (Fuzz.Bisect.run case);
       1)
 
 let run seed budget replay out no_shrink shrink_steps quiet =

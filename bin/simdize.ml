@@ -59,8 +59,20 @@ let emit_conv =
           | `Sse -> "sse"
           | `Graph -> "graph") )
 
+let trace_conv =
+  let parse = function
+    | "human" -> Ok `Human
+    | "json" -> Ok `Json
+    | s -> Error (`Msg (Printf.sprintf "unknown trace format %S" s))
+  in
+  Arg.conv
+    ( parse,
+      fun fmt k ->
+        Format.pp_print_string fmt
+          (match k with `Human -> "human" | `Json -> "json") )
+
 let run file policy reuse memnorm reassoc peel unroll vector_len emit stats
-    simulate verify trip =
+    simulate verify trip trace_fmt =
   let src = read_input file in
   match Simd.parse src with
   | Error msg ->
@@ -80,11 +92,25 @@ let run file policy reuse memnorm reassoc peel unroll vector_len emit stats
         peel_baseline = peel;
       }
     in
-    match Simd.simdize ~config program with
+    let trace =
+      match trace_fmt with
+      | None -> Simd.Trace.none
+      | Some _ -> Simd.Trace.create ()
+    in
+    let print_trace () =
+      match trace_fmt with
+      | None -> ()
+      | Some `Human -> print_string (Simd.Trace.to_string trace)
+      | Some `Json ->
+        print_endline (Simd.Json.to_string ~indent:2 (Simd.Trace.to_json trace))
+    in
+    match Simd.simdize ~config ~trace program with
     | Simd.Driver.Scalar reason ->
+      print_trace ();
       Format.eprintf "left scalar: %a@." Simd.Driver.pp_reason reason;
       1
     | Simd.Driver.Simdized o ->
+      print_trace ();
       let ok = ref 0 in
       (match emit with
       | `Vir -> print_string (Simd.Vir_prog.to_string o.Simd.Driver.prog)
@@ -209,11 +235,23 @@ let cmd =
       & opt (some int) None
       & info [ "trip" ] ~docv:"N" ~doc:"Trip count for runtime-bound loops.")
   in
+  let trace =
+    Arg.(
+      value
+      & opt ~vopt:(Some `Human) (some trace_conv) None
+      & info [ "trace" ] ~docv:"FORMAT"
+          ~doc:"Print the pass-pipeline trace before the output: \
+                reassociation, per-statement shift placement provenance, \
+                and per-pass IR diffs with operation-count deltas. \
+                $(docv) is $(b,human) (default) or $(b,json) \
+                (schema simd-trace/1, see docs/TRACE.md); both are \
+                deterministic (no timings).")
+  in
   Cmd.v
     (Cmd.info "simdize" ~version:"1.0"
        ~doc:"Vectorize loops for SIMD architectures with alignment constraints")
     Term.(
       const run $ file $ policy $ reuse $ memnorm $ reassoc $ peel $ unroll
-      $ vector_len $ emit $ stats $ simulate $ verify $ trip)
+      $ vector_len $ emit $ stats $ simulate $ verify $ trip $ trace)
 
 let () = exit (Cmd.eval' cmd)

@@ -3,13 +3,22 @@
 
     This is the top of the compilation scheme the paper describes in §1:
     simdize as if unconstrained, insert reorganization via a policy, then
-    generate and optimize SIMD code. *)
+    generate and optimize SIMD code.
+
+    Every phase is instrumented for {!Simd_trace.Trace}: pass the [?trace]
+    sink to {!simdize} to record reassociation, per-statement
+    shift-placement provenance, the generated IR, and one event per
+    optimization stage with pre/post snapshots. The default sink is
+    {!Simd_trace.Trace.none} and every snapshot construction is guarded by
+    {!Simd_trace.Trace.active}, so an untraced compilation does no extra
+    work. *)
 
 open Simd_loopir
 open Simd_vir
 module Policy = Simd_dreorg.Policy
 module Graph = Simd_dreorg.Graph
 module Reassoc = Simd_dreorg.Reassoc
+module Trace = Simd_trace.Trace
 
 (** Cross-iteration reuse strategy (§5.5): none, predictive commoning (a
     post-pass on standard code), or software-pipelined generation. *)
@@ -84,79 +93,196 @@ let place_with_fallback config ~analysis stmt =
   let p = Simd_opt.Place.place_with_fallback config.policy ~analysis stmt in
   (p.Simd_opt.Place.graph, p.Simd_opt.Place.used)
 
-let run_passes config ~analysis (prog : Prog.t) : Prog.t =
+(* The pass-pipeline state: the three IR regions a pass may rewrite
+   (epilogues stay empty until derived). *)
+type pstate = {
+  st_prologue : Expr.stmt list;
+  st_body : Expr.stmt list;
+  st_epilogues : Expr.stmt list list;
+}
+
+let snap st =
+  Trace.snapshot ~prologue:st.st_prologue ~body:st.st_body
+    ~epilogues:st.st_epilogues
+
+let run_passes ?(trace = Trace.none) config ~analysis (prog : Prog.t) : Prog.t =
   let names = Names.create () in
-  let prologue = ref prog.Prog.prologue in
-  let body = ref prog.Prog.body in
-  if config.hoist_splats then begin
-    let p, b = Passes.hoist_splats ~names ~prologue:!prologue ~body:!body in
-    prologue := p;
-    body := b
-  end;
-  if config.memnorm then begin
-    body := Passes.memnorm ~analysis !body;
-    prologue := Passes.memnorm ~analysis !prologue
-  end;
-  if config.cse then body := Passes.cse ~names !body;
-  (if config.reuse = Predictive_commoning then begin
-     let inits, b =
-       Passes.predictive_commoning ~block:prog.Prog.block ~lb:prog.Prog.lower
-         ~prologue:!prologue
-         (if config.cse then !body else Passes.cse ~names !body)
-     in
-     body := b;
-     prologue := !prologue @ inits
-   end);
-  if config.cse then prologue := Passes.cse ~names !prologue;
+  let stage ~name ~enabled st f =
+    Trace.record_pass trace ~name ~enabled st ~snap f
+  in
+  let st =
+    { st_prologue = prog.Prog.prologue; st_body = prog.Prog.body; st_epilogues = [] }
+  in
+  let st =
+    stage ~name:"hoist_splats" ~enabled:config.hoist_splats st (fun st ->
+        let p, b =
+          Passes.hoist_splats ~names ~prologue:st.st_prologue ~body:st.st_body
+        in
+        { st with st_prologue = p; st_body = b })
+  in
+  let st =
+    stage ~name:"memnorm" ~enabled:config.memnorm st (fun st ->
+        {
+          st with
+          st_body = Passes.memnorm ~analysis st.st_body;
+          st_prologue = Passes.memnorm ~analysis st.st_prologue;
+        })
+  in
+  let st =
+    stage ~name:"cse" ~enabled:config.cse st (fun st ->
+        { st with st_body = Passes.cse ~names st.st_body })
+  in
+  let st =
+    stage ~name:"predictive_commoning"
+      ~enabled:(config.reuse = Predictive_commoning) st (fun st ->
+        let inits, b =
+          Passes.predictive_commoning ~block:prog.Prog.block
+            ~lb:prog.Prog.lower ~prologue:st.st_prologue
+            (if config.cse then st.st_body else Passes.cse ~names st.st_body)
+        in
+        { st with st_body = b; st_prologue = st.st_prologue @ inits })
+  in
+  (* A second [cse] event: the prologue is value-numbered only after
+     predictive commoning has appended its carried-temp initializers. *)
+  let st =
+    stage ~name:"cse" ~enabled:config.cse st (fun st ->
+        { st with st_prologue = Passes.cse ~names st.st_prologue })
+  in
   (* Rebuild the per-iteration epilogue template from the optimized (but
      not yet unrolled) body; the epilogue always advances one block at a
      time regardless of unrolling. *)
   let template =
-    Gen.derive_epilogue ~analysis ~reductions:prog.Prog.reductions !body
+    Gen.derive_epilogue ~analysis ~reductions:prog.Prog.reductions st.st_body
   in
   let unroll = max 1 config.unroll in
-  if unroll > 1 then body := Passes.unroll ~block:prog.Prog.block ~factor:unroll !body;
+  let st =
+    stage ~name:"unroll" ~enabled:(unroll > 1) st (fun st ->
+        {
+          st with
+          st_body = Passes.unroll ~block:prog.Prog.block ~factor:unroll st.st_body;
+        })
+  in
   let trip_const =
     match prog.Prog.source.Ast.loop.Ast.trip with
     | Ast.Trip_const n -> Some n
     | Ast.Trip_param _ -> None
   in
   let n_virtual = unroll + 1 in
-  let prog_shape = { prog with Prog.body = !body; unroll } in
-  let epilogues =
-    match (config.specialize_epilogue, trip_const) with
-    | true, Some trip ->
-      let exit = Prog.exit_counter prog_shape ~trip in
-      List.init n_virtual (fun k ->
-          Passes.specialize ~analysis ~trip:(Some trip)
-            ~i:(Some (exit + (k * prog.Prog.block)))
-            template)
-    | _ ->
-      let t = Passes.specialize ~analysis ~trip:trip_const ~i:None template in
-      List.init n_virtual (fun _ -> t)
+  (* Always runs; [config.specialize_epilogue] selects between exit-counter
+     specialization (compile-time trip) and the generic guarded template. *)
+  let st =
+    stage ~name:"derive_epilogues" ~enabled:true st (fun st ->
+        let prog_shape = { prog with Prog.body = st.st_body; unroll } in
+        let epilogues =
+          match (config.specialize_epilogue, trip_const) with
+          | true, Some trip ->
+            let exit = Prog.exit_counter prog_shape ~trip in
+            List.init n_virtual (fun k ->
+                Passes.specialize ~analysis ~trip:(Some trip)
+                  ~i:(Some (exit + (k * prog.Prog.block)))
+                  template)
+          | _ ->
+            let t =
+              Passes.specialize ~analysis ~trip:trip_const ~i:None template
+            in
+            List.init n_virtual (fun _ -> t)
+        in
+        { st with st_epilogues = epilogues })
   in
   (* Reduction finalization (horizontal combine + scalar write-back) runs
      once, after the last virtual epilogue iteration. *)
-  let epilogues =
-    match (prog.Prog.reductions, List.rev epilogues) with
-    | [], _ | _, [] -> epilogues
-    | reds, last :: earlier ->
-      List.rev ((last @ Gen.finalize_reductions ~analysis ~names reds) :: earlier)
+  let st =
+    stage ~name:"finalize_reductions" ~enabled:(prog.Prog.reductions <> []) st
+      (fun st ->
+        match (prog.Prog.reductions, List.rev st.st_epilogues) with
+        | [], _ | _, [] -> st
+        | reds, last :: earlier ->
+          {
+            st with
+            st_epilogues =
+              List.rev
+                ((last @ Gen.finalize_reductions ~analysis ~names reds)
+                :: earlier);
+          })
   in
-  let epilogues = Passes.dce epilogues in
-  { prog_shape with Prog.prologue = !prologue; epilogues }
+  let st =
+    stage ~name:"dce" ~enabled:true st (fun st ->
+        { st with st_epilogues = Passes.dce st.st_epilogues })
+  in
+  {
+    prog with
+    Prog.prologue = st.st_prologue;
+    body = st.st_body;
+    epilogues = st.st_epilogues;
+    unroll;
+  }
 
-(** [simdize config program] — the whole pipeline. *)
-let simdize (config : config) (program : Ast.program) : result =
+(* Shift-placement provenance for the trace: every [vshiftstream] of a
+   placed graph, in evaluation order, priced individually. *)
+let rec shift_provenance machine (n : Graph.node) : Trace.shift_prov list =
+  match n with
+  | Graph.Load _ | Graph.Strided _ | Graph.Splat _ -> []
+  | Graph.Op (_, a, b) ->
+    shift_provenance machine a @ shift_provenance machine b
+  | Graph.Shift (src, from, to_) ->
+    shift_provenance machine src
+    @ [
+        {
+          Trace.sp_from = from;
+          sp_to = to_;
+          sp_dir = Simd_opt.Cost.direction ~from ~to_;
+          sp_cost = Simd_opt.Cost.shift_cost machine ~from ~to_;
+        };
+      ]
+
+let record_placements trace config ~analysis placed =
+  if Trace.active trace then
+    List.iteri
+      (fun i (stmt, g, used) ->
+        Trace.add trace
+          (Trace.Placement
+             {
+               Trace.pl_index = i;
+               pl_source = Pp.stmt_to_string stmt;
+               pl_requested = config.policy;
+               pl_used = used;
+               pl_target = g.Graph.store_offset;
+               pl_graph = Graph.to_string g;
+               pl_shifts = shift_provenance config.machine g.Graph.root;
+               pl_shift_cost = Simd_opt.Cost.shift_cost_of_graph ~analysis g;
+               pl_cost = Simd_opt.Cost.graph_cost ~analysis ~stmt g;
+             }))
+      placed
+
+(** [simdize ?trace config program] — the whole pipeline, optionally
+    recording every decision into [trace]. *)
+let simdize ?(trace = Trace.none) (config : config) (program : Ast.program) :
+    result =
   match Analysis.check ~machine:config.machine program with
   | Error e -> Scalar (Illegal e)
   | Ok analysis -> (
     let program, analysis =
       if config.reassoc then begin
+        let before =
+          if Trace.active trace then Pp.program_to_string program else ""
+        in
         let program' = Reassoc.apply_program ~analysis program in
+        if Trace.active trace then
+          Trace.add trace
+            (Trace.Reassoc
+               {
+                 applied = true;
+                 before;
+                 after = Pp.program_to_string program';
+               });
         (program', Analysis.check_exn ~machine:config.machine program')
       end
-      else (program, analysis)
+      else begin
+        (if Trace.active trace then
+           let s = Pp.program_to_string program in
+           Trace.add trace (Trace.Reassoc { applied = false; before = s; after = s }));
+        (program, analysis)
+      end
     in
     match
       if config.peel_baseline then
@@ -174,6 +300,7 @@ let simdize (config : config) (program : Ast.program) : result =
             (stmt, g, p))
           program.Ast.loop.Ast.body
       in
+      record_placements trace config ~analysis placed;
       let graphs = List.map (fun (s, g, _) -> (s, g)) placed in
       let policies_used = List.map (fun (_, _, p) -> p) placed in
       let mode =
@@ -188,12 +315,24 @@ let simdize (config : config) (program : Ast.program) : result =
       | Error (Gen.Unsupported_shift msg) ->
         invalid_arg ("Driver.simdize: unexpected shift failure: " ^ msg)
       | Ok prog ->
-        let prog = run_passes config ~analysis prog in
+        if Trace.active trace then
+          Trace.add trace
+            (Trace.Generated
+               {
+                 mode =
+                   (match mode with
+                   | Gen.Pipelined -> "pipelined"
+                   | Gen.Standard -> "standard");
+                 snap =
+                   Trace.snapshot ~prologue:prog.Prog.prologue
+                     ~body:prog.Prog.body ~epilogues:[];
+               });
+        let prog = run_passes ~trace config ~analysis prog in
         Simdized { prog; analysis; graphs; policies_used; config }))
 
 (** [simdize_exn] — [simdize] that raises on scalar fallback (tests). *)
-let simdize_exn config program =
-  match simdize config program with
+let simdize_exn ?trace config program =
+  match simdize ?trace config program with
   | Simdized o -> o
   | Scalar r -> invalid_arg (Format.asprintf "Driver.simdize_exn: %a" pp_reason r)
 

@@ -1,11 +1,18 @@
 (** The simdization driver: analysis → (reassociation) → shift placement →
-    code generation → optimization passes → epilogue derivation. *)
+    code generation → optimization passes → epilogue derivation.
+
+    Pass a {!Simd_trace.Trace} sink via [?trace] to record every decision
+    of a compilation — reassociation, per-statement shift-placement
+    provenance, the generated IR, and one event per optimization stage
+    with pre/post snapshots. Tracing is zero-cost when the sink is
+    {!Simd_trace.Trace.none} (the default). *)
 
 open Simd_loopir
 open Simd_vir
 module Policy = Simd_dreorg.Policy
 module Graph = Simd_dreorg.Graph
 module Reassoc = Simd_dreorg.Reassoc
+module Trace = Simd_trace.Trace
 
 (** Cross-iteration reuse strategy (§5.5). *)
 type reuse = No_reuse | Predictive_commoning | Software_pipelining
@@ -49,8 +56,12 @@ type outcome = {
 
 type result = Simdized of outcome | Scalar of reason
 
-val simdize : config -> Ast.program -> result
-val simdize_exn : config -> Ast.program -> outcome
+val simdize : ?trace:Trace.t -> config -> Ast.program -> result
+(** The whole pipeline. [?trace] (default {!Simd_trace.Trace.none})
+    receives the ordered event stream of this compilation. *)
+
+val simdize_exn : ?trace:Trace.t -> config -> Ast.program -> outcome
+(** [simdize] that raises on scalar fallback (tests). *)
 
 val report : outcome -> Simd_opt.Report.t
 (** The compilation's static cost report: per-statement streams, chosen

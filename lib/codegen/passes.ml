@@ -427,6 +427,14 @@ let predictive_commoning ~(block : int) ~(lb : int)
     chains (multi-step predictive-commoning carries) retain one restore per
     chain link per unrolled body, i.e. their copy frequency divides by
     [factor]. *)
+
+(** Test-only fault injection: when set, the seam-restore coalescer skips
+    its [read_at_seam] safety guard, reintroducing the PR-1 carry-chain
+    miscompilation the differential fuzzer originally found. The fuzz
+    bisector's regression tests flip this to prove that pipeline bisection
+    names [unroll] as the first diverging pass. Never set outside tests. *)
+let unsafe_unroll_seam_coalesce_bug = ref false
+
 let unroll ~(block : int) ~(factor : int) (body : Expr.stmt list) :
     Expr.stmt list =
   if factor < 1 then invalid_arg "Passes.unroll: factor must be >= 1";
@@ -560,7 +568,7 @@ let unroll ~(block : int) ~(factor : int) (body : Expr.stmt list) :
           !def_idx >= 0
           && !last_x < !def_idx
           && (not (Hashtbl.mem renamed_defs !def_idx))
-          && not (read_at_seam x)
+          && (!unsafe_unroll_seam_coalesce_bug || not (read_at_seam x))
         then begin
           Hashtbl.replace renamed_defs !def_idx ();
           Hashtbl.replace src_subst src x;

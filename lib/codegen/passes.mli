@@ -34,6 +34,13 @@ val predictive_commoning :
     becomes a loop-carried copy (initialized in the prologue). Returns
     [(prologue_inits, body)]. *)
 
+val unsafe_unroll_seam_coalesce_bug : bool ref
+(** Test-only fault injection: when set, {!unroll}'s seam-restore
+    coalescer skips its read-at-seam safety guard, reintroducing the PR-1
+    carry-chain miscompilation. Used by the bisection regression tests to
+    prove the fuzzer names [unroll] as the first diverging pass; never set
+    outside tests. *)
+
 val unroll : block:int -> factor:int -> Expr.stmt list -> Expr.stmt list
 (** Replicate the steady body with forward-propagated carries; seam
     restores are coalesced away for depth-1 carry chains (zero copies). *)

@@ -58,6 +58,9 @@ module Vir_rexpr = Simd_vir.Rexpr
 module Vir_expr = Simd_vir.Expr
 module Vir_prog = Simd_vir.Prog
 
+(* Pass-pipeline tracing ({!Trace.Diff} for the structural line diffs) *)
+module Trace = Simd_trace.Trace
+
 (* Code generation *)
 module Names = Simd_codegen.Names
 module Gen = Simd_codegen.Gen
@@ -95,15 +98,17 @@ let parse = Parse.program_of_string_result
 (** [parse_exn source] — like {!parse}, raising on malformed input. *)
 let parse_exn = Parse.program_of_string
 
-(** [simdize ?config program] — analyze, place shifts, generate and optimize
-    SIMD code (defaults: 16-byte machine, dominant-shift policy, software
-    pipelining, MemNorm + CSE on). *)
-let simdize ?(config = Driver.default) program = Driver.simdize config program
+(** [simdize ?config ?trace program] — analyze, place shifts, generate and
+    optimize SIMD code (defaults: 16-byte machine, dominant-shift policy,
+    software pipelining, MemNorm + CSE on). Pass [?trace] (a
+    {!Trace.create} sink) to record the full pass-pipeline event stream. *)
+let simdize ?(config = Driver.default) ?trace program =
+  Driver.simdize ?trace config program
 
-(** [simdize_exn ?config program] — like {!simdize}, raising when the loop
-    stays scalar. *)
-let simdize_exn ?(config = Driver.default) program =
-  Driver.simdize_exn config program
+(** [simdize_exn ?config ?trace program] — like {!simdize}, raising when
+    the loop stays scalar. *)
+let simdize_exn ?(config = Driver.default) ?trace program =
+  Driver.simdize_exn ?trace config program
 
 (** [verify ?config ?seed ?trip program] — simdize and differentially test
     against the scalar interpreter on noise-filled memory. *)

@@ -20,6 +20,7 @@ type t = {
 }
 
 val is_invariant : Simd_loopir.Ast.expr -> bool
+(** No reference to the loop counter — the subtree becomes one [Splat]. *)
 
 val of_expr : Simd_loopir.Ast.expr -> node
 (** The bare graph with no reordering nodes — "simdize as if there were no
@@ -34,8 +35,15 @@ val validate : analysis:Simd_loopir.Analysis.t -> t -> (unit, string) result
 (** Check (C.2) and (C.3) for the whole graph. *)
 
 val shift_count : node -> int
+(** Number of [Shift] nodes in the subtree — the paper's comparison metric
+    for the §3.4 policies. *)
+
 val graph_shift_count : t -> int
+(** {!shift_count} of the root. *)
+
 val leaf_offsets : analysis:Simd_loopir.Analysis.t -> node -> Offset.t list
+(** Stream offsets of the [Load]/[Strided]/[Splat] leaves, left to
+    right. *)
 
 val pp_node : Format.formatter -> node -> unit
 val pp : Format.formatter -> t -> unit

@@ -10,6 +10,9 @@ type t =
 [@@deriving show, eq, ord]
 
 val of_align : Simd_loopir.Align.t -> ref_:Simd_loopir.Ast.mem_ref -> t
+(** The offset of a load/store stream from its reference's alignment
+    analysis: [Known k] for compile-time offsets, [Runtime ref_]
+    otherwise. *)
 
 val matches : block:int -> t -> t -> bool
 (** Constraint (C.3): provably equal byte offsets. Two runtime offsets

@@ -52,3 +52,4 @@ val place :
     policy. *)
 
 val place_exn : t -> analysis:Simd_loopir.Analysis.t -> Simd_loopir.Ast.stmt -> Graph.t
+(** {!place}, raising [Invalid_argument] on error. *)

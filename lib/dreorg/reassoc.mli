@@ -4,8 +4,17 @@
     reach the analytic shift minimum. *)
 
 val flatten : Simd_loopir.Ast.binop -> Simd_loopir.Ast.expr -> Simd_loopir.Ast.expr list
+(** Operand list of a maximal chain of one associative-commutative
+    operator, left to right. *)
+
 val rebuild : Simd_loopir.Ast.binop -> Simd_loopir.Ast.expr list -> Simd_loopir.Ast.expr
+(** Left-associated chain over the operand list — the inverse of
+    {!flatten} up to grouping. *)
 
 val apply : analysis:Simd_loopir.Analysis.t -> Simd_loopir.Ast.stmt -> Simd_loopir.Ast.stmt
+(** Reassociate every eligible operator chain in the statement's RHS so
+    same-offset operands are adjacent (grouped smallest offset first). *)
+
 val apply_program :
   analysis:Simd_loopir.Analysis.t -> Simd_loopir.Ast.program -> Simd_loopir.Ast.program
+(** {!apply} over every statement of the loop body. *)

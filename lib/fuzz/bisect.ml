@@ -1,0 +1,109 @@
+(** Pipeline bisection of a failing fuzz case: name the first optimization
+    pass whose output diverges.
+
+    Every optional pass of the driver pipeline is config-gated, so no
+    driver surgery is needed: bisection re-runs the differential oracle on
+    the same case with config prefixes of the pipeline, in application
+    order. With [k] passes enabled the oracle exercises exactly the
+    pipeline up to pass [k]; the first [k] whose enablement flips the
+    verdict from pass to failure names the culprit. At most
+    [length passes + 1] oracle runs per case — each a full scalar-vs-simd
+    differential check, so a named culprit means "the first pass whose
+    enablement produces an observably wrong compilation", not a guess from
+    IR shape. *)
+
+module Driver = Simd_codegen.Driver
+module Trace = Simd_trace.Trace
+
+type verdict =
+  | First_diverging of string
+      (** the named pass is the earliest whose enablement makes the case
+          fail; all prefixes before it pass *)
+  | Core
+      (** the case fails even with every optional pass disabled: the
+          divergence is in placement/generation, not a pass *)
+  | Vanished
+      (** the full configured pipeline passes on re-run — not bisectable
+          (e.g. the failure needed a configuration this case no longer
+          expresses) *)
+
+let verdict_name = function
+  | First_diverging p -> p
+  | Core -> "core (placement/generation)"
+  | Vanished -> "vanished"
+
+let pp_verdict fmt v = Format.pp_print_string fmt (verdict_name v)
+
+(* [disable_from config names] — turn off every pass in [names]. A pass
+   absent from the case's configuration (pc when reuse isn't pc, unroll at
+   factor 1) is already off; disabling it is the identity, which is what
+   keeps prefix semantics honest. *)
+let disable name (c : Driver.config) : Driver.config =
+  match name with
+  | "reassoc" -> { c with Driver.reassoc = false }
+  | "hoist_splats" -> { c with Driver.hoist_splats = false }
+  | "memnorm" -> { c with Driver.memnorm = false }
+  | "cse" -> { c with Driver.cse = false }
+  | "predictive_commoning" ->
+    if c.Driver.reuse = Driver.Predictive_commoning then
+      { c with Driver.reuse = Driver.No_reuse }
+    else c
+  | "unroll" -> { c with Driver.unroll = 1 }
+  | "specialize_epilogue" -> { c with Driver.specialize_epilogue = false }
+  | _ -> invalid_arg ("Bisect.disable: unknown pass " ^ name)
+
+(* Is this pass actually on in the case's configuration? Disabled passes
+   cannot be culprits and are skipped when reporting. *)
+let enabled_in (c : Driver.config) name =
+  match name with
+  | "reassoc" -> c.Driver.reassoc
+  | "hoist_splats" -> c.Driver.hoist_splats
+  | "memnorm" -> c.Driver.memnorm
+  | "cse" -> c.Driver.cse
+  | "predictive_commoning" -> c.Driver.reuse = Driver.Predictive_commoning
+  | "unroll" -> c.Driver.unroll > 1
+  | "specialize_epilogue" -> c.Driver.specialize_epilogue
+  | _ -> false
+
+let with_prefix (case : Case.t) k : Case.t =
+  (* keep the first [k] pipeline passes at the case's setting, disable the
+     rest *)
+  let _, config =
+    List.fold_left
+      (fun (i, c) name -> (i + 1, if i < k then c else disable name c))
+      (0, case.Case.config) Trace.pass_names
+  in
+  { case with Case.config }
+
+(** [run case] — bisect a failing [case]. Deterministic: same case, same
+    verdict. [on_step] (diagnostics) sees each probed prefix length and
+    its outcome. *)
+let run ?(on_step = fun _ _ -> ()) (case : Case.t) : verdict =
+  let outcome_at k =
+    let o = Oracle.run (with_prefix case k) in
+    on_step k o;
+    o
+  in
+  let n = List.length Trace.pass_names in
+  if not (Oracle.is_failure (outcome_at n)) then Vanished
+  else if Oracle.is_failure (outcome_at 0) then Core
+  else begin
+    (* Linear scan, not binary search: pass interactions need not be
+       monotone (a later pass can mask an earlier divergence), and the
+       scan's invariant — every shorter prefix passed — is exactly what
+       "first diverging" means. At most [n + 1] oracle runs. *)
+    let rec scan k =
+      if k > n then
+        (* prefix n failed above but every scanned prefix passed: only
+           possible with a non-deterministic oracle, which [Oracle.run]
+           rules out *)
+        assert false
+      else if Oracle.is_failure (outcome_at k) then
+        List.nth Trace.pass_names (k - 1)
+      else scan (k + 1)
+    in
+    (* The flip pass is necessarily enabled in the case's configuration:
+       disabling an already-off pass is the identity, and identical
+       configurations produce identical outcomes. *)
+    First_diverging (scan 1)
+  end

@@ -33,14 +33,18 @@ type failure = {
   case : Case.t;
   minimized : Case.t;
   outcome : Oracle.outcome;
+  culprit : Bisect.verdict option;
+      (** pipeline bisection of the minimized case — the first pass whose
+          output diverges; [None] when bisection was not requested *)
 }
 
 (** [run ~seed ~budget ()] — generate and check [budget] cases derived from
     [seed]. [shrink] (default true) minimizes each failure;
-    [shrink_steps] bounds each minimization. [on_case] observes every
-    (index, case, outcome) as it happens — the CLI uses it for progress,
-    tests for determinism checks. *)
-let run ?(shrink = true) ?(shrink_steps = 1500)
+    [shrink_steps] bounds each minimization; [bisect] (default true) names
+    the first diverging pass of each minimized failure. [on_case] observes
+    every (index, case, outcome) as it happens — the CLI uses it for
+    progress, tests for determinism checks. *)
+let run ?(shrink = true) ?(shrink_steps = 1500) ?(bisect = true)
     ?(on_case = fun _ _ _ -> ()) ~seed ~budget () : stats * failure list =
   let prng = Prng.create ~seed in
   let stats = ref zero_stats in
@@ -54,7 +58,8 @@ let run ?(shrink = true) ?(shrink_steps = 1500)
       let minimized =
         if shrink then Shrink.minimize ~max_steps:shrink_steps case else case
       in
-      failures := { index; case; minimized; outcome } :: !failures
+      let culprit = if bisect then Some (Bisect.run minimized) else None in
+      failures := { index; case; minimized; outcome; culprit } :: !failures
     end
   done;
   (!stats, List.rev !failures)

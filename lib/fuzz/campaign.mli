@@ -17,14 +17,20 @@ type failure = {
   case : Case.t;
   minimized : Case.t;
   outcome : Oracle.outcome;
+  culprit : Bisect.verdict option;
+      (** pipeline bisection of the minimized case — the first pass whose
+          output diverges; [None] when bisection was not requested *)
 }
 
 val run :
   ?shrink:bool ->
   ?shrink_steps:int ->
+  ?bisect:bool ->
   ?on_case:(int -> Case.t -> Oracle.outcome -> unit) ->
   seed:int ->
   budget:int ->
   unit ->
   stats * failure list
-(** Same seed and budget ⇒ identical cases, outcomes, and reproducers. *)
+(** Same seed and budget ⇒ identical cases, outcomes, reproducers, and
+    bisection verdicts. [bisect] (default true) runs {!Bisect.run} on each
+    minimized failure. *)

@@ -3,6 +3,8 @@
     ties; zero-shift under runtime alignments. *)
 
 val candidates : Simd_dreorg.Policy.t list
+(** The policies competed per statement, in tie-breaking order: the four
+    heuristics, then [Optimal]. *)
 
 val place :
   analysis:Simd_loopir.Analysis.t ->

@@ -17,6 +17,9 @@ val shift_cost :
   from:Simd_dreorg.Offset.t ->
   to_:Simd_dreorg.Offset.t ->
   float
+(** Price of one stream shift under the machine's per-direction weights
+    (a right shift costs more than a left one — it forces a prepended
+    prologue load); 0 for a no-op shift. *)
 
 (** Static reorganization/memory operations of one statement graph. All
     fields except [splices] count per steady-state simdized iteration;
@@ -42,14 +45,19 @@ val shifts : counts -> int
 
 val counts_of_node :
   analysis:Simd_loopir.Analysis.t -> Simd_dreorg.Graph.node -> counts
+(** Static operation counts of one graph subtree (loads deduplicated per
+    distinct reference). *)
 
 val counts_of_graph :
   analysis:Simd_loopir.Analysis.t ->
   stmt:Simd_loopir.Ast.stmt ->
   Simd_dreorg.Graph.t ->
   counts
+(** Whole-statement counts: the root subtree plus the store and its edge
+    splices. *)
 
 val cost_of_counts : Simd_machine.Config.t -> counts -> float
+(** Weighted sum of {!counts} under the machine's cost model. *)
 
 val graph_cost :
   analysis:Simd_loopir.Analysis.t ->

@@ -29,3 +29,4 @@ val place_exn :
   analysis:Simd_loopir.Analysis.t ->
   Simd_loopir.Ast.stmt ->
   placement
+(** {!place}, raising on the runtime-alignment error (no fallback). *)

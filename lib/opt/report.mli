@@ -44,6 +44,8 @@ val make :
   placed:
     (Simd_loopir.Ast.stmt * Simd_dreorg.Graph.t * Simd_dreorg.Policy.t) list ->
   t
+(** Build the report from the driver's placed graphs: one [stmt_report]
+    per statement (in source order) plus whole-loop totals. *)
 
 val alternatives :
   analysis:Simd_loopir.Analysis.t ->
@@ -52,5 +54,9 @@ val alternatives :
 (** Static cost of the statement under every policy that can place it. *)
 
 val to_json : t -> Simd_support.Json.t
+(** The `--stats` document: schema described in the README. *)
+
 val to_string : ?indent:int -> t -> string
+(** {!to_json} rendered as text ([indent] defaults to 2). *)
+
 val pp : Format.formatter -> t -> unit

@@ -8,6 +8,9 @@ val solve :
   analysis:Simd_loopir.Analysis.t ->
   Simd_loopir.Ast.stmt ->
   (Simd_dreorg.Graph.t, Simd_dreorg.Policy.error) result
+(** The minimum-cost valid graph, or
+    [Requires_compile_time_alignment Optimal] when any stride-one
+    reference has a runtime offset. *)
 
 val solve_with_cost :
   analysis:Simd_loopir.Analysis.t ->
@@ -20,3 +23,5 @@ val solve_exn :
   analysis:Simd_loopir.Analysis.t ->
   Simd_loopir.Ast.stmt ->
   Simd_dreorg.Graph.t
+(** {!solve}, raising [Invalid_argument] on the runtime-alignment
+    error. *)

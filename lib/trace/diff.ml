@@ -1,0 +1,82 @@
+(** Deterministic line-oriented structural diff, used to render what a
+    compilation pass did to the IR.
+
+    The algorithm is a plain longest-common-subsequence dynamic program
+    over lines. Pass snapshots are small (a loop body is tens of lines),
+    so the O(n·m) table is never a concern, and an exact LCS keeps the
+    transcripts stable: the same pair of snapshots always renders the same
+    diff, which is what lets documentation embed transcripts and CI check
+    them for drift. *)
+
+type line =
+  | Keep of string  (** present in both versions *)
+  | Del of string  (** only in the old version *)
+  | Add of string  (** only in the new version *)
+
+let split_lines s =
+  (* [String.split_on_char '\n'] leaves a trailing "" for a final newline;
+     dropping it keeps diffs of pretty-printed IR free of phantom lines. *)
+  match List.rev (String.split_on_char '\n' s) with
+  | "" :: rest -> List.rev rest
+  | all -> List.rev all
+
+(** [lines old_s new_s] — an LCS-minimal edit script from [old_s] to
+    [new_s], as whole lines. *)
+let lines old_s new_s : line list =
+  let a = Array.of_list (split_lines old_s) in
+  let b = Array.of_list (split_lines new_s) in
+  let n = Array.length a and m = Array.length b in
+  (* lcs.(i).(j) = LCS length of a[i..] and b[j..] *)
+  let lcs = Array.make_matrix (n + 1) (m + 1) 0 in
+  for i = n - 1 downto 0 do
+    for j = m - 1 downto 0 do
+      lcs.(i).(j) <-
+        (if a.(i) = b.(j) then 1 + lcs.(i + 1).(j + 1)
+         else max lcs.(i + 1).(j) lcs.(i).(j + 1))
+    done
+  done;
+  let out = ref [] in
+  let emit l = out := l :: !out in
+  let i = ref 0 and j = ref 0 in
+  while !i < n && !j < m do
+    if a.(!i) = b.(!j) then begin
+      emit (Keep a.(!i));
+      incr i;
+      incr j
+    end
+    else if lcs.(!i + 1).(!j) >= lcs.(!i).(!j + 1) then begin
+      emit (Del a.(!i));
+      incr i
+    end
+    else begin
+      emit (Add b.(!j));
+      incr j
+    end
+  done;
+  while !i < n do
+    emit (Del a.(!i));
+    incr i
+  done;
+  while !j < m do
+    emit (Add b.(!j));
+    incr j
+  done;
+  List.rev !out
+
+let changed ls = List.exists (function Keep _ -> false | _ -> true) ls
+
+(** [changes_only ls] — drop [Keep] lines, preserving order (the compact
+    form used by transcripts for long bodies). *)
+let changes_only ls = List.filter (function Keep _ -> false | _ -> true) ls
+
+let line_to_string = function
+  | Keep s -> "  " ^ s
+  | Del s -> "- " ^ s
+  | Add s -> "+ " ^ s
+
+let pp fmt ls =
+  List.iter (fun l -> Format.fprintf fmt "%s@\n" (line_to_string l)) ls
+
+let to_json ls : Simd_support.Json.t =
+  Simd_support.Json.List
+    (List.map (fun l -> Simd_support.Json.String (line_to_string l)) ls)

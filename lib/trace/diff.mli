@@ -1,0 +1,27 @@
+(** Deterministic line-oriented diff (exact LCS) between two
+    pretty-printed IR snapshots. The same input pair always renders the
+    same edit script, so transcripts embedding these diffs are stable
+    enough for documentation drift checks. *)
+
+type line =
+  | Keep of string  (** present in both versions *)
+  | Del of string  (** only in the old version *)
+  | Add of string  (** only in the new version *)
+
+val lines : string -> string -> line list
+(** [lines old_s new_s] — LCS-minimal whole-line edit script from [old_s]
+    to [new_s]. A trailing newline does not produce a phantom empty line. *)
+
+val changed : line list -> bool
+(** Does the script contain any [Del]/[Add]? *)
+
+val changes_only : line list -> line list
+(** Drop [Keep] lines, preserving order. *)
+
+val line_to_string : line -> string
+(** ["  x"], ["- x"] or ["+ x"]. *)
+
+val pp : Format.formatter -> line list -> unit
+
+val to_json : line list -> Simd_support.Json.t
+(** The rendered lines as a JSON string array. *)

@@ -26,4 +26,5 @@ let () =
          Test_facade.suite;
          Test_differential.suite;
          Test_fuzz.suite;
+         Test_trace.suite;
        ])
