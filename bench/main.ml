@@ -2,25 +2,32 @@
    evaluation (printing the same rows/series), then times the pipeline
    behind each experiment with Bechamel — one Test.make per table/figure.
 
-   Usage:  dune exec bench/main.exe [-- --loops N] [--no-bench] [--json PATH]
-   N defaults to 50 (the paper's benchmark size). --json also writes every
-   figure/table row, the static cost reports of the benchmark programs
-   under each policy, and the Bechamel timings to PATH as one JSON
-   document. *)
+   Usage:  dune exec bench/main.exe [-- --loops N] [--jobs N] [--no-bench]
+           [--json PATH]
+   N defaults to 50 (the paper's benchmark size). --jobs N computes the
+   five figure/table artifacts on a Simd.Par.Pool of N workers (the
+   printed artifacts are identical to the sequential run; the pool report
+   goes to stderr). --json also writes every figure/table row, the static
+   cost reports of the benchmark programs under each policy, and the
+   Bechamel timings to PATH as one JSON document. *)
 
 open Bechamel
 open Toolkit
 
 let machine = Simd.Machine.default
 
-let loops, run_bench, json_path =
+let loops, jobs, run_bench, json_path =
   let loops = ref 50 in
+  let jobs = ref 1 in
   let bench = ref true in
   let json = ref None in
   let rec parse = function
     | [] -> ()
     | "--loops" :: n :: rest ->
       loops := int_of_string n;
+      parse rest
+    | "--jobs" :: n :: rest ->
+      jobs := int_of_string n;
       parse rest
     | "--no-bench" :: rest ->
       bench := false;
@@ -31,7 +38,7 @@ let loops, run_bench, json_path =
     | _ :: rest -> parse rest
   in
   parse (List.tl (Array.to_list Sys.argv));
-  (!loops, !bench, !json)
+  (!loops, !jobs, !bench, !json)
 
 (* ------------------------------------------------------------------ *)
 (* Regenerate the paper's tables and figures                           *)
@@ -39,11 +46,49 @@ let loops, run_bench, json_path =
 
 let spec = Simd.Synth.default_spec
 
-let fig11 = Simd.Suite.opd_figure ~machine ~spec ~count:loops ~reassoc:false
-let fig12 = Simd.Suite.opd_figure ~machine ~spec ~count:loops ~reassoc:true
-let table1 = Simd.Suite.speedup_table ~machine ~elem:Simd.Ast.I32 ~count:loops ()
-let table2 = Simd.Suite.speedup_table ~machine ~elem:Simd.Ast.I16 ~count:loops ()
-let cov = Simd.Suite.coverage ~machine ~loops:(max 100 loops) ()
+(* The five independent artifact computations, as data so --jobs can farm
+   them out to a Simd.Par.Pool. Results are plain records — marshal-safe. *)
+type artifact = Fig11 | Fig12 | Table1 | Table2 | Cov
+
+type artifact_result =
+  | Fig of Simd.Suite.opd_figure
+  | Table of Simd.Suite.speedup_table
+  | Coverage of Simd.Suite.coverage_report
+
+let compute = function
+  | Fig11 ->
+    Fig (Simd.Suite.opd_figure ~machine ~spec ~count:loops ~reassoc:false)
+  | Fig12 ->
+    Fig (Simd.Suite.opd_figure ~machine ~spec ~count:loops ~reassoc:true)
+  | Table1 ->
+    Table (Simd.Suite.speedup_table ~machine ~elem:Simd.Ast.I32 ~count:loops ())
+  | Table2 ->
+    Table (Simd.Suite.speedup_table ~machine ~elem:Simd.Ast.I16 ~count:loops ())
+  | Cov -> Coverage (Simd.Suite.coverage ~machine ~loops:(max 100 loops) ())
+
+let fig11, fig12, table1, table2, cov =
+  let artifacts = [| Fig11; Fig12; Table1; Table2; Cov |] in
+  let results =
+    if jobs <= 1 then Array.map compute artifacts
+    else begin
+      let results, report =
+        Simd.Par.Pool.map ~workers:jobs
+          (fun i -> compute artifacts.(i))
+          (Array.length artifacts)
+      in
+      Format.eprintf "%a@." Simd.Par.Pool.pp_report report;
+      (* A lost worker just means we recompute that artifact here. *)
+      Array.mapi
+        (fun i (r : _ Simd.Par.Pool.result) ->
+          match r.Simd.Par.Pool.outcome with
+          | Simd.Par.Pool.Done v -> v
+          | _ -> compute artifacts.(i))
+        results
+    end
+  in
+  match results with
+  | [| Fig a; Fig b; Table c; Table d; Coverage e |] -> (a, b, c, d, e)
+  | _ -> assert false
 
 let () =
   Format.printf

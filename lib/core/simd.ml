@@ -77,6 +77,7 @@ module Emit_portable = Simd_emit.Portable
 module Emit_altivec = Simd_emit.Altivec
 module Emit_sse = Simd_emit.Sse
 module C_syntax = Simd_emit.C_syntax
+module Cc = Simd_emit.Cc
 
 (* Evaluation harness *)
 module Synth = Simd_bench.Synth
@@ -87,6 +88,10 @@ module Suite = Simd_bench.Suite
 (* Differential fuzzing ({!Fuzz.Genloop}, {!Fuzz.Oracle}, {!Fuzz.Shrink},
    {!Fuzz.Campaign}, {!Fuzz.Case}) *)
 module Fuzz = Simd_fuzz
+
+(* Parallel job pool ({!Par.Pool}, {!Par.Native}, {!Par.Campaign}):
+   multicore fuzz campaigns and the native-differential oracle *)
+module Par = Simd_par
 
 (* ------------------------------------------------------------------ *)
 (* Convenience entry points                                            *)

@@ -33,6 +33,8 @@ let prelude ~v ~(ty : Ast.elem_ty) : string =
       "";
       C_syntax.minmax_macros;
       Printf.sprintf "typedef %s elem_t;" ct;
+      (* wrap-at-width lane arithmetic: see C_syntax.uctype *)
+      Printf.sprintf "typedef %s uelem_t;" (C_syntax.uctype ty);
       Printf.sprintf "typedef %s vec_t;" vct;
       "";
       "/* vec_ld/vec_st ignore the low 4 address bits (paper §1). */";
@@ -85,7 +87,7 @@ let prelude ~v ~(ty : Ast.elem_ty) : string =
         "static inline vec_t vmul(vec_t a, vec_t b) {\n\
         \  union { vec_t v; elem_t e[%d]; } ua, ub, ur;\n\
         \  ua.v = a; ub.v = b;\n\
-        \  for (int k = 0; k < %d; k++) ur.e[k] = (elem_t)(ua.e[k] * ub.e[k]);\n\
+        \  for (int k = 0; k < %d; k++) ur.e[k] = (elem_t)((uelem_t)ua.e[k] * (uelem_t)ub.e[k]);\n\
         \  return ur.v;\n\
          }"
         lanes lanes;

@@ -13,6 +13,22 @@ let ctype (ty : Ast.elem_ty) =
   | Ast.I32 -> "int32_t"
   | Ast.I64 -> "int64_t"
 
+(* The unsigned type +, - and * are computed in. The machine wraps at the
+   element width, but C signed overflow is undefined behaviour — gcc folds
+   e.g. [a > a + b] to [0 > b] even at -O0, diverging from the simulator.
+   uint32_t (not the element's own unsigned type: uint8_t/uint16_t promote
+   back to signed int, and uint16*uint16 can overflow int) keeps the
+   computation defined; the cast back to [ctype] wraps at width. *)
+let uctype (ty : Ast.elem_ty) =
+  match ty with
+  | Ast.I8 | Ast.I16 | Ast.I32 -> "uint32_t"
+  | Ast.I64 -> "uint64_t"
+
+let binop_wraps (op : Ast.binop) =
+  match op with
+  | Ast.Add | Ast.Sub | Ast.Mul -> true
+  | Ast.And | Ast.Or | Ast.Xor | Ast.Min | Ast.Max -> false
+
 let binop_is_infix (op : Ast.binop) =
   match op with
   | Ast.Add | Ast.Sub | Ast.Mul | Ast.And | Ast.Or | Ast.Xor -> true
@@ -47,9 +63,15 @@ let rec scalar_expr ~ty ~iv (e : Ast.expr) : string =
   | Ast.Const c -> Printf.sprintf "(%s)%LdLL" (ctype ty) c
   | Ast.Binop (op, a, b) ->
     let sa = scalar_expr ~ty ~iv a and sb = scalar_expr ~ty ~iv b in
-    if binop_is_infix op then
-      Printf.sprintf "(%s)((%s) %s (%s))" (ctype ty) sa (binop_c op) sb
-    else Printf.sprintf "(%s)%s((%s), (%s))" (ctype ty) (binop_c op) sa sb
+    combine ~ty op sa sb
+
+and combine ~ty op sa sb =
+  if binop_wraps op then
+    Printf.sprintf "(%s)((%s)(%s) %s (%s)(%s))" (ctype ty) (uctype ty) sa
+      (binop_c op) (uctype ty) sb
+  else if binop_is_infix op then
+    Printf.sprintf "(%s)((%s) %s (%s))" (ctype ty) sa (binop_c op) sb
+  else Printf.sprintf "(%s)%s((%s), (%s))" (ctype ty) (binop_c op) sa sb
 
 (** Invariant expression (no loads): same printer, loads rejected upstream. *)
 let invariant_expr ~ty (e : Ast.expr) : string = scalar_expr ~ty ~iv:"0" e
@@ -87,11 +109,7 @@ let scalar_loop ~(program : Ast.program) ~(ub : string) ~(iv : string)
         (* accumulate in memory: same final state as the register form *)
         let cell = Printf.sprintf "%s[0]" s.Ast.lhs.Ast.ref_array in
         let rhs = scalar_expr ~ty ~iv s.Ast.rhs in
-        let combined =
-          if binop_is_infix op then
-            Printf.sprintf "(%s)((%s) %s (%s))" (ctype ty) cell (binop_c op) rhs
-          else Printf.sprintf "(%s)%s((%s), (%s))" (ctype ty) (binop_c op) cell rhs
-        in
+        let combined = combine ~ty op cell rhs in
         Buffer.add_string buf
           (Printf.sprintf "%s  %s = %s;\n" indent cell combined))
     program.Ast.loop.Ast.body;

@@ -6,8 +6,15 @@ open Simd_loopir
 open Simd_vir
 
 val ctype : Ast.elem_ty -> string
+
+val uctype : Ast.elem_ty -> string
+(** Unsigned type wide enough to compute +, -, * without C UB: the machine
+    wraps at the element width, C signed overflow does not. At least
+    [unsigned int] so sub-[int] widths dodge re-promotion to signed. *)
+
 val binop_is_infix : Ast.binop -> bool
 val binop_c : Ast.binop -> string
+val binop_wraps : Ast.binop -> bool
 
 val scalar_expr : ty:Ast.elem_ty -> iv:string -> Ast.expr -> string
 (** Expression at iteration variable [iv], wrapping at the element width. *)

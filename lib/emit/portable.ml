@@ -23,6 +23,8 @@ let prelude ~v ~(ty : Ast.elem_ty) : string =
       Printf.sprintf "#define VLEN %d" v;
       Printf.sprintf "#define LANES %d" lanes;
       Printf.sprintf "typedef %s elem_t;" ct;
+      (* wrap-at-width lane arithmetic: see C_syntax.uctype *)
+      Printf.sprintf "typedef %s uelem_t;" (C_syntax.uctype ty);
       "typedef struct { uint8_t b[VLEN]; } vec_t;";
       "";
       "/* Truncating vector load/store: the low address bits are ignored,";
@@ -85,9 +87,11 @@ let prelude ~v ~(ty : Ast.elem_ty) : string =
       "    } \\";
       "    return r; \\";
       "  }";
-      "DEFINE_LANEOP(vadd, x + y)";
-      "DEFINE_LANEOP(vsub, x - y)";
-      "DEFINE_LANEOP(vmul, x * y)";
+      "/* +, -, * computed unsigned: the machine wraps at the element width,";
+      "   and C signed overflow is undefined behaviour. */";
+      "DEFINE_LANEOP(vadd, (uelem_t)x + (uelem_t)y)";
+      "DEFINE_LANEOP(vsub, (uelem_t)x - (uelem_t)y)";
+      "DEFINE_LANEOP(vmul, (uelem_t)x * (uelem_t)y)";
       "DEFINE_LANEOP(vmin, MINV(x, y))";
       "DEFINE_LANEOP(vmax, MAXV(x, y))";
       "DEFINE_LANEOP(vand, x & y)";

@@ -38,6 +38,8 @@ let prelude ~v ~(ty : Ast.elem_ty) : string =
       "";
       C_syntax.minmax_macros;
       Printf.sprintf "typedef %s elem_t;" ct;
+      (* wrap-at-width lane arithmetic: see C_syntax.uctype *)
+      Printf.sprintf "typedef %s uelem_t;" (C_syntax.uctype ty);
       "typedef __m128i vec_t;";
       "";
       "/* Truncate the address, then use the aligned load/store forms:";
@@ -120,7 +122,7 @@ let prelude ~v ~(ty : Ast.elem_ty) : string =
       "static inline vec_t vor(vec_t a, vec_t b) { return _mm_or_si128(a, b); }";
       "static inline vec_t vxor(vec_t a, vec_t b) { return _mm_xor_si128(a, b); }";
       "/* Widths without a direct SSE instruction fall back to lanes. */";
-      lane_fallback "vmul" "ua.e[k] * ub.e[k]";
+      lane_fallback "vmul" "(uelem_t)ua.e[k] * (uelem_t)ub.e[k]";
       lane_fallback "vmin" "MINV(ua.e[k], ub.e[k])";
       lane_fallback "vmax" "MAXV(ua.e[k], ub.e[k])";
       "";

@@ -1,5 +1,10 @@
 (** Fuzzing campaigns: a seeded, reproducible budget of generated cases
-    classified through the oracle, with failures minimized. *)
+    classified through the oracle, with failures minimized.
+
+    {!run} is the single-stream loop; {!plan}/{!run_chunk}/{!merge} are
+    the deterministic chunked form the parallel pool ({!Simd_par})
+    schedules: each chunk's PRNG stream is split from the campaign seed,
+    so aggregate results are byte-identical for any worker count. *)
 
 type stats = {
   total : int;
@@ -10,7 +15,9 @@ type stats = {
 }
 
 val zero_stats : stats
+val add_stats : stats -> stats -> stats
 val pp_stats : Format.formatter -> stats -> unit
+val stats_to_json : stats -> Simd_support.Json.t
 
 type failure = {
   index : int;  (** 0-based case number within the campaign *)
@@ -26,6 +33,7 @@ val run :
   ?shrink:bool ->
   ?shrink_steps:int ->
   ?bisect:bool ->
+  ?oracle:(Case.t -> Oracle.outcome) ->
   ?on_case:(int -> Case.t -> Oracle.outcome -> unit) ->
   seed:int ->
   budget:int ->
@@ -33,4 +41,37 @@ val run :
   stats * failure list
 (** Same seed and budget ⇒ identical cases, outcomes, reproducers, and
     bisection verdicts. [bisect] (default true) runs {!Bisect.run} on each
-    minimized failure. *)
+    minimized failure; [oracle] (default {!Oracle.run}) classifies cases
+    and drives shrinking. *)
+
+(** {2 Deterministic chunked sharding} *)
+
+val default_chunk_size : int
+(** 50 cases per chunk. *)
+
+type chunk = {
+  chunk_index : int;  (** position in the plan, 0-based *)
+  chunk_seed : int;  (** split PRNG stream for this chunk alone *)
+  first : int;  (** campaign index of the chunk's first case *)
+  size : int;  (** number of cases in this chunk *)
+}
+
+val plan : ?chunk_size:int -> seed:int -> budget:int -> unit -> chunk list
+(** The campaign's chunk list. Chunk [k]'s seed is a function of
+    [(seed, k)] only — the plan never depends on scheduling. *)
+
+val run_chunk :
+  ?shrink:bool ->
+  ?shrink_steps:int ->
+  ?bisect:bool ->
+  ?oracle:(Case.t -> Oracle.outcome) ->
+  ?on_case:(int -> Case.t -> Oracle.outcome -> unit) ->
+  chunk ->
+  stats * failure list
+(** Check one chunk — a pure function of the chunk (given the oracle),
+    independent of every other chunk. Failure indices are
+    campaign-global. *)
+
+val merge : (stats * failure list) list -> stats * failure list
+(** Aggregate per-chunk results (in plan order) into campaign totals;
+    failures sorted by campaign index. *)

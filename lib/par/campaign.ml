@@ -1,0 +1,77 @@
+(** Parallel fuzz campaigns (see the interface for the determinism
+    contract). The pool's job [k] runs chunk [k] of the plan in a forked
+    worker; the child returns the chunk's [(stats, failures)] which
+    marshal cleanly (cases, outcomes, and verdicts are plain data). *)
+
+module C = Simd_fuzz.Campaign
+module Case = Simd_fuzz.Case
+module Oracle = Simd_fuzz.Oracle
+module Trace = Simd_trace.Trace
+
+type oracle =
+  | Simulator
+  | Native of Native.t
+  | Custom of (Case.t -> Oracle.outcome)
+
+let oracle_name = function
+  | Simulator -> "simulator"
+  | Native _ -> "native"
+  | Custom _ -> "custom"
+
+let oracle_fn = function
+  | Simulator -> Oracle.run
+  | Native t -> Native.check t
+  | Custom f -> f
+
+type lost_chunk = { chunk : C.chunk; classification : string; detail : string }
+
+type result = {
+  stats : C.stats;
+  failures : C.failure list;
+  lost : lost_chunk list;
+  pool : Pool.report;
+}
+
+let completed r = r.lost = []
+
+let run ?(jobs = 1) ?chunk_size ?timeout ?retries ?(shrink = true)
+    ?(shrink_steps = 1500) ?bisect ?trace ?(on_chunk = fun ~done_chunks:_ ~total_chunks:_ -> ())
+    ?(oracle = Simulator) ~seed ~budget () : result =
+  let bisect =
+    match bisect with
+    | Some b -> b
+    | None -> ( match oracle with Simulator -> true | Native _ | Custom _ -> false)
+  in
+  let chunks = Array.of_list (C.plan ?chunk_size ~seed ~budget ()) in
+  let n = Array.length chunks in
+  let f = oracle_fn oracle in
+  let done_chunks = ref 0 in
+  let results, pool =
+    Pool.map ?timeout ?retries ?trace ~workers:jobs
+      ~on_result:(fun _ ->
+        incr done_chunks;
+        on_chunk ~done_chunks:!done_chunks ~total_chunks:n)
+      (fun k -> C.run_chunk ~shrink ~shrink_steps ~bisect ~oracle:f chunks.(k))
+      n
+  in
+  let completed_chunks = ref [] in
+  let lost = ref [] in
+  Array.iteri
+    (fun k (r : (C.stats * C.failure list) Pool.result) ->
+      match r.Pool.outcome with
+      | Pool.Done payload -> completed_chunks := payload :: !completed_chunks
+      | Pool.Job_error m ->
+        lost := { chunk = chunks.(k); classification = "error"; detail = m } :: !lost
+      | Pool.Timed_out s ->
+        lost :=
+          {
+            chunk = chunks.(k);
+            classification = "timeout";
+            detail = Printf.sprintf "killed after %.1f s" s;
+          }
+          :: !lost
+      | Pool.Crashed m ->
+        lost := { chunk = chunks.(k); classification = "crash"; detail = m } :: !lost)
+    results;
+  let stats, failures = C.merge (List.rev !completed_chunks) in
+  { stats; failures; lost = List.rev !lost; pool }

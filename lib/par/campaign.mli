@@ -1,0 +1,64 @@
+(** Parallel fuzz campaigns: schedule the deterministic chunk plan of
+    {!Simd_fuzz.Campaign} across the process pool ({!Pool}) and merge.
+
+    Determinism guarantee: for a fixed seed, budget, chunk size, and
+    oracle, the merged [stats] and [failures] (cases, minimized
+    reproducers, bisection verdicts) are identical for every [jobs] value
+    — each chunk is a pure function of [(seed, chunk index)], the pool
+    stores results by chunk index, and {!Simd_fuzz.Campaign.merge} folds
+    them in plan order. Only the {!Pool.report} (wall clock, utilization)
+    varies with scheduling.
+
+    A chunk that times out, crashes its worker, or raises does not abort
+    the campaign: it is classified and surfaced in [lost] while every
+    other chunk completes. *)
+
+(** Which oracle classifies cases (and drives shrinking). *)
+type oracle =
+  | Simulator  (** {!Simd_fuzz.Oracle.run}: interpreter vs simulated SIMD *)
+  | Native of Native.t
+      (** {!Native.check}: additionally compile + run the portable-C
+          harness and cross-check *)
+  | Custom of (Simd_fuzz.Case.t -> Simd_fuzz.Oracle.outcome)
+      (** fault-injection hook for tests *)
+
+val oracle_name : oracle -> string
+
+(** A chunk whose worker did not deliver a result. *)
+type lost_chunk = {
+  chunk : Simd_fuzz.Campaign.chunk;
+  classification : string;  (** {!Pool.outcome_class}: timeout/crash/error *)
+  detail : string;
+}
+
+type result = {
+  stats : Simd_fuzz.Campaign.stats;  (** over all completed chunks *)
+  failures : Simd_fuzz.Campaign.failure list;  (** sorted by case index *)
+  lost : lost_chunk list;  (** chunks without results, in plan order *)
+  pool : Pool.report;
+}
+
+val completed : result -> bool
+(** No lost chunks: every case of the budget was classified. *)
+
+val run :
+  ?jobs:int ->
+  ?chunk_size:int ->
+  ?timeout:float ->
+  ?retries:int ->
+  ?shrink:bool ->
+  ?shrink_steps:int ->
+  ?bisect:bool ->
+  ?trace:Simd_trace.Trace.t ->
+  ?on_chunk:(done_chunks:int -> total_chunks:int -> unit) ->
+  ?oracle:oracle ->
+  seed:int ->
+  budget:int ->
+  unit ->
+  result
+(** [run ~seed ~budget ()] — the sharded campaign. [jobs] (default 1) is
+    the worker count; [timeout] (seconds, default none) bounds each
+    chunk's wall clock; [bisect] defaults to true for [Simulator] and
+    false otherwise (pipeline bisection replays through the simulator
+    oracle, which cannot see emission-only bugs). [on_chunk] observes
+    completion counts for progress meters. *)

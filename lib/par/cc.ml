@@ -1,0 +1,4 @@
+(** Alias of {!Simd_emit.Cc}: the shared C-compiler probe, re-exported so
+    pool consumers can reach it as [Simd.Par.Cc] next to {!Native}. *)
+
+include Simd_emit.Cc

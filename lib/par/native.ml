@@ -1,0 +1,158 @@
+(** Native differential oracle (see the interface). *)
+
+module Cc = Simd_emit.Cc
+module Case = Simd_fuzz.Case
+module Oracle = Simd_fuzz.Oracle
+module Driver = Simd_codegen.Driver
+module Sim_run = Simd_sim.Run
+module Emit_portable = Simd_emit.Portable
+
+type t = {
+  cc : Cc.t;
+  flags : string;
+  cache_dir : string;
+  mutable hits : int;
+  mutable misses : int;
+}
+
+let cc t = t.cc
+let cache_dir t = t.cache_dir
+let cache_stats t = (t.hits, t.misses)
+
+let rec mkdir_p dir =
+  if dir <> "" && dir <> "." && dir <> "/" && not (Sys.file_exists dir) then begin
+    mkdir_p (Filename.dirname dir);
+    try Sys.mkdir dir 0o755 with Sys_error _ when Sys.file_exists dir -> ()
+  end
+
+let create ?cc ?(flags = "-O1") ?(cache_dir = "_harness_cache") () :
+    (t, string) result =
+  match (cc, Cc.find ()) with
+  | Some cc, _ | None, Some cc ->
+    mkdir_p cache_dir;
+    Ok { cc; flags; cache_dir; hits = 0; misses = 0 }
+  | None, None -> Error "no C compiler found (tried $SIMD_CC, gcc, cc, clang)"
+
+(* ------------------------------------------------------------------ *)
+(* Harness emission                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let harness_source (case : Case.t) : (string, string) result =
+  let config = case.Case.config in
+  match Driver.simdize config case.Case.program with
+  | Driver.Scalar reason ->
+    Error (Format.asprintf "not simdized: %a" Driver.pp_reason reason)
+  | Driver.Simdized o ->
+    let trip =
+      match case.Case.program.Simd_loopir.Ast.loop.Simd_loopir.Ast.trip with
+      | Simd_loopir.Ast.Trip_const _ -> None
+      | Simd_loopir.Ast.Trip_param _ -> case.Case.trip
+    in
+    let setup =
+      Sim_run.prepare ~seed:case.Case.setup_seed ?trip
+        ~machine:config.Driver.machine case.Case.program
+    in
+    Ok
+      (Emit_portable.harness ~layout:setup.Sim_run.layout
+         ~params:setup.Sim_run.params ~trip:setup.Sim_run.trip o.Driver.prog)
+
+(* ------------------------------------------------------------------ *)
+(* Compile cache                                                       *)
+(* ------------------------------------------------------------------ *)
+
+(* The cache key covers everything that determines the binary: compiler
+   identity, flags, and the full C source. MD5 (stdlib Digest) is plenty
+   for a content-addressed build cache. *)
+let cache_key t src =
+  Digest.to_hex (Digest.string (Cc.id t.cc ^ "\x00" ^ t.flags ^ "\x00" ^ src))
+
+let write_file path contents =
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc contents)
+
+(** [compiled_exe t src] — path of the compiled harness, compiling on a
+    cache miss. Concurrent-writer safe: compile to a unique temp name,
+    [rename] (atomic on POSIX) into place. *)
+let compiled_exe t src : (string, string) result =
+  let key = cache_key t src in
+  let exe = Filename.concat t.cache_dir ("h" ^ key) in
+  if Sys.file_exists exe then begin
+    t.hits <- t.hits + 1;
+    Ok exe
+  end
+  else begin
+    t.misses <- t.misses + 1;
+    let c_file = exe ^ ".c" in
+    let tmp_exe = Printf.sprintf "%s.tmp.%d" exe (Unix.getpid ()) in
+    write_file c_file src;
+    match Cc.compile t.cc ~flags:t.flags ~src:c_file ~exe:tmp_exe () with
+    | Error m ->
+      (try Sys.remove tmp_exe with Sys_error _ -> ());
+      Error m
+    | Ok () ->
+      (try Sys.rename tmp_exe exe
+       with Sys_error _ when Sys.file_exists exe -> ());
+      Ok exe
+  end
+
+let read_file path =
+  try
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  with _ -> ""
+
+(** Run a compiled harness; [Ok ()] when it printed OK and exited 0,
+    [Error tail] with its output otherwise. *)
+let run_exe exe : (unit, string) result =
+  let log = Filename.temp_file "simd_native" ".log" in
+  let code =
+    Sys.command
+      (Printf.sprintf "%s >%s 2>&1" (Filename.quote exe) (Filename.quote log))
+  in
+  let out = String.trim (read_file log) in
+  (try Sys.remove log with Sys_error _ -> ());
+  if code = 0 then Ok ()
+  else
+    Error
+      (Printf.sprintf "exit %d%s" code
+         (if out = "" then "" else ": " ^ out))
+
+(* ------------------------------------------------------------------ *)
+(* The cross-checking oracle                                           *)
+(* ------------------------------------------------------------------ *)
+
+let check_exn t (case : Case.t) : Oracle.outcome =
+  match harness_source case with
+  | Error reason -> Oracle.Skipped reason
+  | Ok src -> (
+    let native =
+      match compiled_exe t src with
+      | Error m -> `Cc_failed m
+      | Ok exe -> (
+        match run_exe exe with
+        | Ok () -> `Agrees
+        | Error m -> `Mismatch m)
+    in
+    let sim = Oracle.run case in
+    match (sim, native) with
+    | _, `Cc_failed m -> Oracle.Crash ("native: harness compilation failed: " ^ m)
+    | Oracle.Pass, `Agrees -> Oracle.Pass
+    | Oracle.Pass, `Mismatch m ->
+      Oracle.Divergence
+        ("native harness mismatch (" ^ m ^ ") where the simulator passed")
+    | Oracle.Divergence m, `Agrees ->
+      Oracle.Divergence
+        ("simulator divergence (" ^ m ^ ") where the native harness agreed")
+    | Oracle.Divergence m, `Mismatch nm ->
+      Oracle.Divergence
+        ("both oracles diverged: simulator: " ^ m ^ "; native: " ^ nm)
+    | (Oracle.Skipped _ | Oracle.Crash _), _ -> sim)
+  | exception e -> Oracle.Crash ("native: " ^ Printexc.to_string e)
+
+let check t case =
+  try check_exn t case
+  with e -> Oracle.Crash ("native: " ^ Printexc.to_string e)

@@ -1,0 +1,52 @@
+(** Native differential oracle: compile the portable-C self-checking
+    harness of a fuzz case with the discovered C compiler
+    ({!Simd_emit.Cc}), run the executable, and cross-check its verdict
+    against the simulator oracle ({!Simd_fuzz.Oracle}).
+
+    The harness ([Emit_portable.harness]) places arrays exactly like the
+    simulator's layout, fills the arena with the same deterministic noise,
+    runs scalar and simdized kernels, and byte-compares — so a native run
+    checks the whole emission path (C backend, real compiler, real
+    hardware) against the same ground truth the simulator uses.
+
+    Compiled harnesses are cached on disk, keyed by the hash of the C
+    source (plus compiler identity and flags): replaying a corpus or
+    re-running a campaign recompiles nothing that was seen before. The
+    cache is safe under concurrent writers (compile to a temp name, rename
+    into place). *)
+
+type t
+(** A ready native oracle: discovered compiler + cache directory. *)
+
+val create :
+  ?cc:Simd_emit.Cc.t ->
+  ?flags:string ->
+  ?cache_dir:string ->
+  unit ->
+  (t, string) result
+(** [create ()] — discover a compiler (or use [cc]) and prepare
+    [cache_dir] (default ["_harness_cache"]; created if missing). Default
+    [flags]: ["-O1"]. [Error] when no C compiler is on PATH. *)
+
+val cc : t -> Simd_emit.Cc.t
+val cache_dir : t -> string
+
+val cache_stats : t -> int * int
+(** [(hits, misses)] of this oracle value so far (process-local). *)
+
+val harness_source : Simd_fuzz.Case.t -> (string, string) result
+(** The case's complete self-checking C translation unit; [Error] when the
+    driver legitimately leaves the case scalar (nothing to cross-check). *)
+
+val check : t -> Simd_fuzz.Case.t -> Simd_fuzz.Oracle.outcome
+(** Classify one case by {e both} oracles:
+
+    - simulator pass + native OK ⇒ [Pass];
+    - native harness mismatch while the simulator passes ⇒ [Divergence]
+      (an emission/compiler-facing bug the simulator cannot see);
+    - simulator divergence ⇒ [Divergence] (annotated with whether the
+      native harness agreed);
+    - scalar fallback ⇒ [Skipped]; compile failure or either oracle
+      raising ⇒ [Crash].
+
+    Deterministic for a fixed compiler and case; never raises. *)

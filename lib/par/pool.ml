@@ -1,0 +1,363 @@
+(** OS-process worker pool (see the interface for the contract).
+
+    Design: one forked child per job attempt, at most [workers] alive at a
+    time. The child computes the job, marshals an [(value, error)] payload
+    onto a pipe, and exits with [Unix._exit] (never [exit]: the child
+    inherits the parent's buffered channels and at_exit handlers and must
+    not flush or run them). The parent multiplexes all live pipes with
+    [select], accumulating each child's payload until EOF, then reaps it
+    with [waitpid] and classifies the attempt. Per-job deadlines are
+    enforced in the same loop: an expired child is SIGKILLed and the job
+    classified [Timed_out].
+
+    Fork-per-job keeps workers fully isolated (a segfault, runaway
+    allocation, or wedged job can only take down its own attempt) at the
+    price of one fork per job — which is why the fuzz campaign shards into
+    ~50-case chunks rather than single cases: the fork cost amortizes to
+    noise. *)
+
+module Trace = Simd_trace.Trace
+module Json = Simd_support.Json
+
+type 'a outcome =
+  | Done of 'a
+  | Job_error of string
+  | Timed_out of float
+  | Crashed of string
+
+let outcome_class = function
+  | Done _ -> "ok"
+  | Job_error _ -> "error"
+  | Timed_out _ -> "timeout"
+  | Crashed _ -> "crash"
+
+type 'a result = {
+  outcome : 'a outcome;
+  attempts : int;
+  elapsed_s : float;
+  worker : int;
+}
+
+type worker_stat = { jobs_run : int; busy_s : float }
+
+type report = {
+  jobs : int;
+  workers : int;
+  wall_s : float;
+  jobs_per_s : float;
+  ok : int;
+  job_errors : int;
+  timeouts : int;
+  crashes : int;
+  retries : int;
+  per_worker : worker_stat array;
+}
+
+let pp_report fmt (r : report) =
+  Format.fprintf fmt
+    "%d jobs on %d workers in %.2f s (%.1f jobs/s): %d ok, %d errors, %d \
+     timeouts, %d crashes, %d retries"
+    r.jobs r.workers r.wall_s r.jobs_per_s r.ok r.job_errors r.timeouts
+    r.crashes r.retries;
+  Array.iteri
+    (fun i (w : worker_stat) ->
+      Format.fprintf fmt "@\n  worker %d: %d jobs, %.2f s busy (%.0f%%)" i
+        w.jobs_run w.busy_s
+        (if r.wall_s > 0. then 100. *. w.busy_s /. r.wall_s else 0.))
+    r.per_worker
+
+let report_to_json (r : report) : Json.t =
+  Json.Obj
+    [
+      ("schema", Json.String "simd-par/1");
+      ("jobs", Json.Int r.jobs);
+      ("workers", Json.Int r.workers);
+      ("wall_s", Json.Float r.wall_s);
+      ("jobs_per_s", Json.Float r.jobs_per_s);
+      ("ok", Json.Int r.ok);
+      ("job_errors", Json.Int r.job_errors);
+      ("timeouts", Json.Int r.timeouts);
+      ("crashes", Json.Int r.crashes);
+      ("retries", Json.Int r.retries);
+      ( "per_worker",
+        Json.List
+          (Array.to_list
+             (Array.map
+                (fun (w : worker_stat) ->
+                  Json.Obj
+                    [
+                      ("jobs", Json.Int w.jobs_run);
+                      ("busy_s", Json.Float w.busy_s);
+                      ( "utilization",
+                        Json.Float
+                          (if r.wall_s > 0. then w.busy_s /. r.wall_s else 0.)
+                      );
+                    ])
+                r.per_worker)) );
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* Child side                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let write_all fd bytes =
+  let len = Bytes.length bytes in
+  let pos = ref 0 in
+  while !pos < len do
+    let n = Unix.write fd bytes !pos (len - !pos) in
+    pos := !pos + n
+  done
+
+(* The payload is a [Stdlib.result]: [Ok v] for a completed job, [Error m]
+   for a job that raised. Marshalling uses no sharing flags and no
+   closures — results must be plain data; a result that cannot be
+   marshalled is converted to [Error] so the parent still gets a verdict
+   rather than a crash. *)
+let child_main f task wfd =
+  let payload =
+    match f task with
+    | v -> (
+      try Marshal.to_bytes (Ok v : ('a, string) Stdlib.result) []
+      with e ->
+        Marshal.to_bytes
+          (Error ("unmarshallable job result: " ^ Printexc.to_string e)
+            : ('a, string) Stdlib.result)
+          [])
+    | exception e ->
+      Marshal.to_bytes
+        (Error (Printexc.to_string e) : ('a, string) Stdlib.result)
+        []
+  in
+  (try write_all wfd payload with _ -> ());
+  (try Unix.close wfd with _ -> ());
+  Unix._exit 0
+
+(* ------------------------------------------------------------------ *)
+(* Parent side                                                         *)
+(* ------------------------------------------------------------------ *)
+
+type running = {
+  pid : int;
+  fd : Unix.file_descr;
+  buf : Buffer.t;
+  task : int;
+  attempt : int;
+  started : float;
+}
+
+type slot = Idle | Running of running
+
+let now () = Unix.gettimeofday ()
+
+(* [fork] with a small bounded retry on EAGAIN (transient: the system was
+   briefly out of processes). *)
+let rec fork_retrying tries =
+  match Unix.fork () with
+  | pid -> Ok pid
+  | exception Unix.Unix_error (Unix.EAGAIN, _, _) when tries > 0 ->
+    Unix.sleepf 0.05;
+    fork_retrying (tries - 1)
+  | exception e -> Error (Printexc.to_string e)
+
+let spawn f task ~attempt ~slot_index:_ =
+  let rfd, wfd = Unix.pipe () in
+  (* Flush the parent's buffered channels so the child's copies are empty
+     (a child exiting via [_exit] never flushes, but partial buffers could
+     otherwise be written twice by other paths). *)
+  flush stdout;
+  flush stderr;
+  match fork_retrying 5 with
+  | Error m ->
+    Unix.close rfd;
+    Unix.close wfd;
+    Error m
+  | Ok 0 ->
+    Unix.close rfd;
+    child_main f task wfd
+  | Ok pid ->
+    Unix.close wfd;
+    Ok { pid; fd = rfd; buf = Buffer.create 4096; task; attempt; started = now () }
+
+let reap pid =
+  match Unix.waitpid [] pid with
+  | _, status -> status
+  | exception Unix.Unix_error (Unix.ECHILD, _, _) -> Unix.WEXITED 0
+
+let kill_quietly pid =
+  try Unix.kill pid Sys.sigkill with Unix.Unix_error _ -> ()
+
+(* Classify a finished child from its exit status and accumulated
+   payload. *)
+let classify status buf : ('a outcome, [ `Retryable of string ]) Stdlib.result =
+  match status with
+  | Unix.WEXITED 0 -> (
+    let bytes = Buffer.to_bytes buf in
+    match (Marshal.from_bytes bytes 0 : ('a, string) Stdlib.result) with
+    | Ok v -> Ok (Done v)
+    | Error m -> Ok (Job_error m)
+    | exception _ -> Error (`Retryable "worker returned a garbled payload"))
+  | Unix.WEXITED c -> Error (`Retryable (Printf.sprintf "worker exited with code %d" c))
+  | Unix.WSIGNALED s -> Error (`Retryable (Printf.sprintf "worker killed by signal %d" s))
+  | Unix.WSTOPPED s -> Error (`Retryable (Printf.sprintf "worker stopped by signal %d" s))
+
+let map ?(workers = 4) ?timeout ?(retries = 1) ?(trace = Trace.none)
+    ?(on_result = fun _ -> ()) (f : int -> 'a) (n : int) :
+    'a result array * report =
+  if n < 0 then invalid_arg "Pool.map: negative job count";
+  let workers = max 1 (min workers (max 1 n)) in
+  let t_start = now () in
+  let results : 'a result option array = Array.make n None in
+  let stats = Array.make workers { jobs_run = 0; busy_s = 0. } in
+  let retries_total = ref 0 in
+  let slots = Array.make workers Idle in
+  let next = ref 0 in
+  let completed = ref 0 in
+  let finish slot_index (r : running) (outcome : 'a outcome) =
+    let elapsed_s = now () -. r.started in
+    slots.(slot_index) <- Idle;
+    stats.(slot_index) <-
+      {
+        jobs_run = stats.(slot_index).jobs_run + 1;
+        busy_s = stats.(slot_index).busy_s +. elapsed_s;
+      };
+    results.(r.task) <-
+      Some { outcome; attempts = r.attempt; elapsed_s; worker = slot_index };
+    incr completed;
+    on_result r.task
+  in
+  let start slot_index task ~attempt =
+    match spawn f task ~attempt ~slot_index with
+    | Ok running -> slots.(slot_index) <- Running running
+    | Error m ->
+      (* fork failed even after retries: classify without a worker *)
+      results.(task) <-
+        Some
+          {
+            outcome = Crashed ("fork: " ^ m);
+            attempts = attempt;
+            elapsed_s = 0.;
+            worker = slot_index;
+          };
+      incr completed;
+      on_result task
+  in
+  let retry_or_fail slot_index (r : running) message =
+    if r.attempt <= retries then begin
+      incr retries_total;
+      let elapsed_s = now () -. r.started in
+      stats.(slot_index) <-
+        { stats.(slot_index) with busy_s = stats.(slot_index).busy_s +. elapsed_s };
+      slots.(slot_index) <- Idle;
+      start slot_index r.task ~attempt:(r.attempt + 1)
+    end
+    else finish slot_index r (Crashed message)
+  in
+  let handle_eof slot_index (r : running) =
+    (try Unix.close r.fd with Unix.Unix_error _ -> ());
+    let status = reap r.pid in
+    match classify status r.buf with
+    | Ok outcome -> finish slot_index r outcome
+    | Error (`Retryable m) -> retry_or_fail slot_index r m
+  in
+  let read_chunk slot_index (r : running) =
+    let bytes = Bytes.create 65536 in
+    match Unix.read r.fd bytes 0 65536 with
+    | 0 -> handle_eof slot_index r
+    | k -> Buffer.add_subbytes r.buf bytes 0 k
+    | exception Unix.Unix_error ((Unix.EINTR | Unix.EAGAIN), _, _) -> ()
+    | exception Unix.Unix_error _ -> handle_eof slot_index r
+  in
+  let expire slot_index (r : running) =
+    kill_quietly r.pid;
+    (try Unix.close r.fd with Unix.Unix_error _ -> ());
+    ignore (reap r.pid);
+    finish slot_index r (Timed_out (now () -. r.started))
+  in
+  while !completed < n do
+    (* Refill idle slots in task order. *)
+    Array.iteri
+      (fun i s ->
+        match s with
+        | Idle when !next < n ->
+          let task = !next in
+          incr next;
+          start i task ~attempt:1
+        | _ -> ())
+      slots;
+    let busy =
+      Array.to_list slots
+      |> List.filter_map (function Running r -> Some r | Idle -> None)
+    in
+    if busy <> [] then begin
+      (* Wait for data or the nearest deadline. *)
+      let select_timeout =
+        match timeout with
+        | None -> 1.0
+        | Some t ->
+          let nearest =
+            List.fold_left
+              (fun acc r -> min acc (r.started +. t -. now ()))
+              1.0 busy
+          in
+          max 0.0 (min 1.0 nearest)
+      in
+      let fds = List.map (fun r -> r.fd) busy in
+      let readable =
+        match Unix.select fds [] [] select_timeout with
+        | r, _, _ -> r
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> []
+      in
+      Array.iteri
+        (fun i s ->
+          match s with
+          | Running r when List.mem r.fd readable -> read_chunk i r
+          | _ -> ())
+        slots;
+      (* Enforce deadlines on whoever is still running. *)
+      match timeout with
+      | None -> ()
+      | Some t ->
+        Array.iteri
+          (fun i s ->
+            match s with
+            | Running r when now () -. r.started > t -> expire i r
+            | _ -> ())
+          slots
+    end
+  done;
+  let wall_s = now () -. t_start in
+  let results =
+    Array.map
+      (function
+        | Some r -> r
+        | None ->
+          (* unreachable: every task is either finished or classified *)
+          { outcome = Crashed "lost"; attempts = 0; elapsed_s = 0.; worker = 0 })
+      results
+  in
+  let count p = Array.fold_left (fun acc r -> if p r.outcome then acc + 1 else acc) 0 results in
+  let report =
+    {
+      jobs = n;
+      workers;
+      wall_s;
+      jobs_per_s = (if wall_s > 0. then float_of_int n /. wall_s else 0.);
+      ok = count (function Done _ -> true | _ -> false);
+      job_errors = count (function Job_error _ -> true | _ -> false);
+      timeouts = count (function Timed_out _ -> true | _ -> false);
+      crashes = count (function Crashed _ -> true | _ -> false);
+      retries = !retries_total;
+      per_worker = stats;
+    }
+  in
+  if Trace.active trace then begin
+    Array.iteri
+      (fun i r ->
+        Trace.note trace ~label:"par"
+          (Printf.sprintf "job %d: %s (attempts %d, worker %d)" i
+             (outcome_class r.outcome) r.attempts r.worker))
+      results;
+    Trace.note trace ~timed:true ~label:"par"
+      (Format.asprintf "%a" pp_report report)
+  end;
+  (results, report)

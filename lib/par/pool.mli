@@ -1,0 +1,76 @@
+(** OS-process worker pool: run indexed jobs in forked worker processes
+    with per-job wall-clock timeouts, crash isolation, and bounded retries.
+
+    Each job runs in its own forked child; the result value is marshalled
+    back over a pipe. A child that segfaults, is killed, exits nonzero, or
+    returns a garbled payload becomes a classified {!outcome} — the pool
+    never dies with a worker, and the freed slot is refilled. Job results
+    are stored by job index, so aggregate output is independent of
+    completion order (the determinism the sharded fuzz campaign builds
+    on).
+
+    Timeouts are wall-clock per job: on expiry the child is killed
+    (SIGKILL) and the job classified {!Timed_out} — a stuck job can never
+    hang the campaign. {!Crashed} jobs (and [fork] failures such as
+    EAGAIN) are retried up to [retries] times; {!Job_error} (the job's own
+    OCaml exception) and {!Timed_out} are treated as deterministic and
+    not retried.
+
+    Requires result values to be marshal-safe (plain data, no closures in
+    the result). *)
+
+type 'a outcome =
+  | Done of 'a
+  | Job_error of string  (** the job raised; carries [Printexc.to_string] *)
+  | Timed_out of float  (** killed after this many seconds *)
+  | Crashed of string
+      (** the worker process died (signal, nonzero exit, or a garbled
+          result payload), [retries] retries exhausted *)
+
+val outcome_class : 'a outcome -> string
+(** ["ok"], ["error"], ["timeout"], or ["crash"]. *)
+
+type 'a result = {
+  outcome : 'a outcome;
+  attempts : int;  (** 1 + number of retries this job consumed *)
+  elapsed_s : float;  (** wall clock of the last attempt *)
+  worker : int;  (** slot that ran the last attempt *)
+}
+
+type worker_stat = { jobs_run : int; busy_s : float }
+
+(** Aggregate pool statistics for one {!map} call. *)
+type report = {
+  jobs : int;
+  workers : int;
+  wall_s : float;
+  jobs_per_s : float;
+  ok : int;
+  job_errors : int;
+  timeouts : int;
+  crashes : int;
+  retries : int;  (** total respawns across all jobs *)
+  per_worker : worker_stat array;
+}
+
+val pp_report : Format.formatter -> report -> unit
+val report_to_json : report -> Simd_support.Json.t
+(** Schema [simd-par/1]: counters plus wall clock, throughput, and
+    per-worker utilization. *)
+
+val map :
+  ?workers:int ->
+  ?timeout:float ->
+  ?retries:int ->
+  ?trace:Simd_trace.Trace.t ->
+  ?on_result:(int -> unit) ->
+  (int -> 'a) ->
+  int ->
+  'a result array * report
+(** [map f n] — run jobs [f 0 .. f (n-1)], at most [workers] (default 4)
+    at a time, each in a forked child. [timeout] (seconds, default none)
+    bounds each attempt's wall clock; [retries] (default 1) bounds
+    respawns of crashed workers. [on_result i] fires in the parent as job
+    [i] completes (any order) — progress reporting. When [trace] is
+    active, the pool emits its per-job log (deterministic, in job order)
+    and its stats (marked timed) as {!Simd_trace.Trace.Note} events. *)

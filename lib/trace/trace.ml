@@ -123,6 +123,11 @@ type event =
       after : snapshot;
       elapsed_ms : float;  (** wall clock; excluded from comparable output *)
     }
+  | Note of { label : string; body : string; timed : bool }
+      (** free-form event from a subsystem outside the compilation pipeline
+          (the {!Simd_par} pool emits its job log and stats this way);
+          [timed] marks bodies carrying wall-clock data, which — like pass
+          durations — are excluded from the comparable output *)
 
 (* ------------------------------------------------------------------ *)
 (* The sink                                                            *)
@@ -139,6 +144,10 @@ let create () = { events = []; enabled = true }
 let active t = t.enabled
 let add t e = if t.enabled then t.events <- e :: t.events
 let events t = List.rev t.events
+
+(** [note t ?timed ~label body] — record a {!Note} event (no-op on an
+    inactive sink). Set [timed] when [body] carries wall-clock data. *)
+let note t ?(timed = false) ~label body = add t (Note { label; body; timed })
 
 (** [record_pass t ~name ~enabled state snap apply] — run [apply] on
     [state] (when [enabled]), recording a {!Pass} event with pre/post
@@ -247,7 +256,7 @@ let summary t : summary_row list =
             row_changed = applied && before <> after;
             row_delta = [];
           }
-      | Placement _ | Generated _ -> None)
+      | Placement _ | Generated _ | Note _ -> None)
     (events t)
 
 (* ------------------------------------------------------------------ *)
@@ -277,6 +286,9 @@ let pp ?(timings = false) fmt t =
   List.iter
     (fun e ->
       match e with
+      | Note { label; body; timed } ->
+        if (not timed) || timings then
+          Format.fprintf fmt "== note %s: %s@\n" label body
       | Reassoc { applied; before; after } ->
         if not applied then
           Format.fprintf fmt "== reassoc: skipped (flag off)@\n"
@@ -382,6 +394,14 @@ let shift_to_json (s : shift_prov) : Json.t =
 
 let event_to_json ~timings (e : event) : Json.t =
   match e with
+  | Note { label; body; timed } ->
+    Json.Obj
+      [
+        ("kind", Json.String "note");
+        ("label", Json.String label);
+        ("body", Json.String body);
+        ("timed", Json.Bool timed);
+      ]
   | Reassoc { applied; before; after } ->
     Json.Obj
       [
@@ -434,10 +454,17 @@ let event_to_json ~timings (e : event) : Json.t =
     [simd-trace/1], documented in [docs/TRACE.md]). Deterministic with
     [timings] off (the default). *)
 let to_json ?(timings = false) t : Json.t =
+  let comparable = function
+    | Note { timed = true; _ } -> timings
+    | _ -> true
+  in
   Json.Obj
     [
       ("schema", Json.String "simd-trace/1");
-      ("events", Json.List (List.map (event_to_json ~timings) (events t)));
+      ( "events",
+        Json.List
+          (List.map (event_to_json ~timings)
+             (List.filter comparable (events t))) );
     ]
 
 let summary_row_to_json (r : summary_row) : Json.t =

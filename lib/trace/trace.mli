@@ -88,6 +88,11 @@ type event =
       elapsed_ms : float;
           (** wall clock; excluded from comparable output *)
     }
+  | Note of { label : string; body : string; timed : bool }
+      (** free-form event from a subsystem outside the compilation
+          pipeline (e.g. the {!Simd_par} pool's job log and stats);
+          [timed] bodies carry wall-clock data and are excluded from the
+          comparable output like pass durations *)
 
 (** {1 The sink} *)
 
@@ -105,6 +110,11 @@ val active : t -> bool
 val add : t -> event -> unit
 val events : t -> event list
 (** Recorded events, oldest first. *)
+
+val note : t -> ?timed:bool -> label:string -> string -> unit
+(** [note t ~label body] — record a {!Note} (no-op on an inactive sink).
+    Set [timed] when [body] carries wall-clock data, so the default
+    deterministic renderings skip it. *)
 
 val record_pass :
   t ->

@@ -87,10 +87,8 @@ let test_widths_ctypes () =
 
 (* --- gcc integration ---------------------------------------------------- *)
 
-let cc = if Sys.command "command -v gcc >/dev/null 2>&1" = 0 then Some "gcc" else None
-
 let run_c ~flags c_source name =
-  match cc with
+  match Cc.find () with
   | None -> `Skipped
   | Some cc ->
     let dir = Filename.temp_file "simd_emit" "" in
@@ -101,11 +99,12 @@ let run_c ~flags c_source name =
     let oc = open_out src in
     output_string oc c_source;
     close_out oc;
-    let cmd = Printf.sprintf "%s %s -o %s %s 2>%s/cc.log" cc flags exe src dir in
-    if Sys.command cmd <> 0 then `Compile_failed dir
-    else if Sys.command (Printf.sprintf "%s >%s/run.log 2>&1" exe dir) <> 0 then
-      `Run_failed dir
-    else `Ok
+    match Cc.compile cc ~flags ~src ~exe () with
+    | Error _ -> `Compile_failed dir
+    | Ok () ->
+      if Sys.command (Printf.sprintf "%s >%s/run.log 2>&1" exe dir) <> 0 then
+        `Run_failed dir
+      else `Ok
 
 let gcc_case ~backend ~flags ~config src seed =
   let program = parse src in

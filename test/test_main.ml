@@ -27,4 +27,5 @@ let () =
          Test_differential.suite;
          Test_fuzz.suite;
          Test_trace.suite;
+         Test_par.suite;
        ])

@@ -1,0 +1,221 @@
+(* Parallel pool (Simd.Par): job classification, bounded retries, chunk-plan
+   determinism, jobs-count independence of campaign results, fault
+   injection (raising / hanging oracles), and the native oracle's
+   compile cache (skipped when no C compiler is available). *)
+
+open Simd
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* --- Pool ------------------------------------------------------------- *)
+
+let test_pool_map_order () =
+  let results, report = Par.Pool.map ~workers:3 (fun i -> i * i) 9 in
+  check_int "jobs" 9 report.Par.Pool.jobs;
+  check_int "ok" 9 report.Par.Pool.ok;
+  check_int "crashes" 0 report.Par.Pool.crashes;
+  Array.iteri
+    (fun i (r : int Par.Pool.result) ->
+      match r.Par.Pool.outcome with
+      | Par.Pool.Done v -> check_int (Printf.sprintf "job %d" i) (i * i) v
+      | _ -> Alcotest.failf "job %d not Done" i)
+    results
+
+let test_pool_job_error () =
+  let results, report =
+    Par.Pool.map ~workers:2
+      (fun i -> if i = 2 then failwith "boom" else i)
+      4
+  in
+  check_int "ok" 3 report.Par.Pool.ok;
+  check_int "job_errors" 1 report.Par.Pool.job_errors;
+  (match results.(2).Par.Pool.outcome with
+  | Par.Pool.Job_error m ->
+    let contains sub s =
+      let n = String.length sub in
+      let rec go i =
+        i + n <= String.length s && (String.sub s i n = sub || go (i + 1))
+      in
+      go 0
+    in
+    check_bool "carries message" true (contains "boom" m)
+  | _ -> Alcotest.fail "job 2 not Job_error");
+  (* job errors are deterministic: no retry *)
+  check_int "attempts" 1 results.(2).Par.Pool.attempts
+
+let test_pool_timeout () =
+  let results, report =
+    Par.Pool.map ~workers:2 ~timeout:0.3
+      (fun i -> if i = 1 then Unix.sleep 30; i)
+      3
+  in
+  check_int "ok" 2 report.Par.Pool.ok;
+  check_int "timeouts" 1 report.Par.Pool.timeouts;
+  (match results.(1).Par.Pool.outcome with
+  | Par.Pool.Timed_out _ -> ()
+  | _ -> Alcotest.fail "job 1 not Timed_out");
+  check_int "timeouts are not retried" 1 results.(1).Par.Pool.attempts
+
+let test_pool_crash_retries () =
+  let results, report =
+    Par.Pool.map ~workers:2 ~retries:1
+      (fun i -> if i = 0 then Unix._exit 3 else i)
+      3
+  in
+  check_int "ok" 2 report.Par.Pool.ok;
+  check_int "crashes" 1 report.Par.Pool.crashes;
+  check_int "retry consumed" 1 report.Par.Pool.retries;
+  (match results.(0).Par.Pool.outcome with
+  | Par.Pool.Crashed _ -> ()
+  | _ -> Alcotest.fail "job 0 not Crashed");
+  check_int "attempts = 1 + retries" 2 results.(0).Par.Pool.attempts
+
+(* --- Chunk plan ------------------------------------------------------- *)
+
+let test_plan_determinism () =
+  let p1 = Fuzz.Campaign.plan ~chunk_size:50 ~seed:42 ~budget:230 () in
+  let p2 = Fuzz.Campaign.plan ~chunk_size:50 ~seed:42 ~budget:230 () in
+  check_bool "same seed, same plan" true (p1 = p2);
+  let p3 = Fuzz.Campaign.plan ~chunk_size:50 ~seed:43 ~budget:230 () in
+  check_bool "different seed, different chunk seeds" false
+    (List.map (fun (c : Fuzz.Campaign.chunk) -> c.Fuzz.Campaign.chunk_seed) p1
+    = List.map (fun (c : Fuzz.Campaign.chunk) -> c.Fuzz.Campaign.chunk_seed) p3);
+  check_int "chunk count" 5 (List.length p1);
+  (* contiguous, budget-covering *)
+  let next = ref 0 in
+  List.iter
+    (fun (c : Fuzz.Campaign.chunk) ->
+      check_int "first" !next c.Fuzz.Campaign.first;
+      next := !next + c.Fuzz.Campaign.size)
+    p1;
+  check_int "covers budget" 230 !next
+
+(* A deterministic injected-failure oracle: flags a stable subset of cases
+   as divergent based on their serialized content, so campaigns at any
+   jobs count must agree on which cases fail and how they minimize. *)
+let injected_oracle (case : Fuzz.Case.t) =
+  if Hashtbl.hash (Fuzz.Case.to_string case) mod 5 = 0 then
+    Fuzz.Oracle.Divergence "injected"
+  else Fuzz.Oracle.Pass
+
+let campaign_fingerprint (r : Par.Campaign.result) =
+  ( r.Par.Campaign.stats,
+    List.map
+      (fun (f : Fuzz.Campaign.failure) ->
+        (f.Fuzz.Campaign.index, Fuzz.Case.to_string f.Fuzz.Campaign.minimized))
+      r.Par.Campaign.failures )
+
+let test_campaign_jobs_independent () =
+  let run jobs =
+    Par.Campaign.run ~jobs ~chunk_size:25
+      ~oracle:(Par.Campaign.Custom injected_oracle) ~seed:123 ~budget:100 ()
+  in
+  let r1 = run 1 and r4 = run 4 in
+  check_bool "both completed" true
+    (Par.Campaign.completed r1 && Par.Campaign.completed r4);
+  check_int "all cases classified" 100 r1.Par.Campaign.stats.Fuzz.Campaign.total;
+  check_bool "some injected failures" true
+    (r1.Par.Campaign.stats.Fuzz.Campaign.divergences > 0);
+  check_bool "jobs 1 = jobs 4 (stats + minimized reproducers)" true
+    (campaign_fingerprint r1 = campaign_fingerprint r4)
+
+let test_campaign_simulator_jobs_independent () =
+  let run jobs =
+    Par.Campaign.run ~jobs ~chunk_size:30 ~seed:7 ~budget:90 ()
+  in
+  let r1 = run 1 and r3 = run 3 in
+  check_bool "completed" true
+    (Par.Campaign.completed r1 && Par.Campaign.completed r3);
+  check_bool "identical" true (campaign_fingerprint r1 = campaign_fingerprint r3)
+
+(* --- Fault injection -------------------------------------------------- *)
+
+let test_campaign_raising_oracle () =
+  let r =
+    Par.Campaign.run ~jobs:2 ~chunk_size:20
+      ~oracle:(Par.Campaign.Custom (fun _ -> failwith "oracle down"))
+      ~seed:1 ~budget:40 ()
+  in
+  check_bool "not completed" false (Par.Campaign.completed r);
+  check_int "no classified cases" 0 r.Par.Campaign.stats.Fuzz.Campaign.total;
+  check_int "both chunks lost" 2 (List.length r.Par.Campaign.lost);
+  List.iter
+    (fun (l : Par.Campaign.lost_chunk) ->
+      check_bool "classified as error" true
+        (l.Par.Campaign.classification = "error"))
+    r.Par.Campaign.lost
+
+let test_campaign_hanging_oracle () =
+  let r =
+    Par.Campaign.run ~jobs:2 ~chunk_size:20 ~timeout:0.3
+      ~oracle:(Par.Campaign.Custom (fun _ -> Unix.sleep 30; Fuzz.Oracle.Pass))
+      ~seed:1 ~budget:40 ()
+  in
+  check_bool "not completed" false (Par.Campaign.completed r);
+  check_int "both chunks lost" 2 (List.length r.Par.Campaign.lost);
+  List.iter
+    (fun (l : Par.Campaign.lost_chunk) ->
+      check_bool "classified as timeout" true
+        (l.Par.Campaign.classification = "timeout"))
+    r.Par.Campaign.lost
+
+(* --- Native oracle (needs a C compiler) -------------------------------- *)
+
+let with_temp_cache f =
+  let dir = Filename.temp_file "simd_par_cache" "" in
+  Sys.remove dir;
+  f dir
+
+let fig1_case () =
+  let program =
+    Parse.program_of_string
+      "int32 a[128] @ 0;\nint32 b[128] @ 4;\nint32 c[128] @ 8;\n\
+       for (i = 0; i < 100; i++) { a[i+3] = b[i+1] + c[i+2]; }"
+  in
+  { Fuzz.Case.program; config = Driver.default; trip = None; setup_seed = 1 }
+
+let test_native_pass_and_cache () =
+  match Cc.find () with
+  | None -> () (* no C compiler: skip *)
+  | Some cc ->
+    with_temp_cache (fun cache_dir ->
+        match Par.Native.create ~cc ~cache_dir () with
+        | Error m -> Alcotest.failf "Native.create: %s" m
+        | Ok oracle ->
+          let case = fig1_case () in
+          (match Par.Native.check oracle case with
+          | Fuzz.Oracle.Pass -> ()
+          | o ->
+            Alcotest.failf "expected Pass, got %a" Fuzz.Oracle.pp_outcome o);
+          let hits0, misses0 = Par.Native.cache_stats oracle in
+          check_int "first check misses" 1 misses0;
+          check_int "first check hits" 0 hits0;
+          (match Par.Native.check oracle case with
+          | Fuzz.Oracle.Pass -> ()
+          | _ -> Alcotest.fail "second check should also pass");
+          let hits1, misses1 = Par.Native.cache_stats oracle in
+          check_int "second check hits cache" 1 hits1;
+          check_int "no new miss" 1 misses1)
+
+let suite =
+  [
+    ( "par",
+      [
+        Alcotest.test_case "pool map order" `Quick test_pool_map_order;
+        Alcotest.test_case "pool job error" `Quick test_pool_job_error;
+        Alcotest.test_case "pool timeout" `Slow test_pool_timeout;
+        Alcotest.test_case "pool crash retries" `Quick test_pool_crash_retries;
+        Alcotest.test_case "chunk plan determinism" `Quick test_plan_determinism;
+        Alcotest.test_case "campaign jobs-independent (injected)" `Slow
+          test_campaign_jobs_independent;
+        Alcotest.test_case "campaign jobs-independent (simulator)" `Slow
+          test_campaign_simulator_jobs_independent;
+        Alcotest.test_case "raising oracle loses chunks, completes" `Quick
+          test_campaign_raising_oracle;
+        Alcotest.test_case "hanging oracle times out, completes" `Slow
+          test_campaign_hanging_oracle;
+        Alcotest.test_case "native oracle pass + cache" `Slow
+          test_native_pass_and_cache;
+      ] );
+  ]
