@@ -240,7 +240,9 @@ let timings =
    each placement decided and what it cost (the data behind the exact-
    solver series), each paired with the compact pass-pipeline trace
    summary (Simd.Trace) of that compilation — which passes ran, which
-   changed the IR, and their operation-count deltas. *)
+   changed the IR, and their operation-count deltas — and with the static
+   verifier's verdict (Simd.Check): per-boundary violations (none, for a
+   healthy compiler) and the proof obligations discharged. *)
 let static_reports () : Simd.Json.t =
   let programs =
     [
@@ -258,7 +260,7 @@ let static_reports () : Simd.Json.t =
                 (fun policy ->
                   let trace = Simd.Trace.create () in
                   match
-                    Simd.Driver.simdize ~trace
+                    Simd.Driver.simdize ~trace ~check:true
                       (config policy Simd.Driver.Software_pipelining)
                       program
                   with
@@ -270,6 +272,27 @@ let static_reports () : Simd.Json.t =
                             ( "report",
                               Simd.Opt.Report.to_json (Simd.Driver.report o) );
                             ("trace", Simd.Trace.summary_to_json trace);
+                            ( "check",
+                              let violation_json (boundary, v) =
+                                let fields =
+                                  match Simd.Check.violation_to_json v with
+                                  | Simd.Json.Obj fields -> fields
+                                  | j -> [ ("violation", j) ]
+                                in
+                                Simd.Json.Obj
+                                  (("boundary", Simd.Json.String boundary)
+                                  :: fields)
+                              in
+                              Simd.Json.Obj
+                                [
+                                  ( "violations",
+                                    Simd.Json.List
+                                      (List.map violation_json
+                                         (Simd.Driver.check_violations o)) );
+                                  ( "facts",
+                                    Simd.Check.facts_to_json
+                                      (Simd.Driver.check_facts o) );
+                                ] );
                           ] )
                   | Simd.Driver.Scalar _ -> None)
                 Simd.Policy.all) ))

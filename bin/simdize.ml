@@ -71,8 +71,27 @@ let trace_conv =
         Format.pp_print_string fmt
           (match k with `Human -> "human" | `Json -> "json") )
 
+let check_conv =
+  let parse = function
+    | "on" | "basic" -> Ok `On
+    | "strict" -> Ok `Strict
+    | s -> Error (`Msg (Printf.sprintf "unknown check mode %S" s))
+  in
+  Arg.conv
+    ( parse,
+      fun fmt k ->
+        Format.pp_print_string fmt
+          (match k with `On -> "on" | `Strict -> "strict") )
+
+let warnings_count violations =
+  List.length
+    (List.filter
+       (fun (_, (v : Simd.Check.violation)) ->
+         v.Simd.Check.severity = Simd.Check.Warning)
+       violations)
+
 let run file policy reuse memnorm reassoc peel unroll vector_len emit stats
-    simulate verify trip trace_fmt =
+    simulate verify trip trace_fmt check_mode =
   let src = read_input file in
   match Simd.parse src with
   | Error msg ->
@@ -104,7 +123,9 @@ let run file policy reuse memnorm reassoc peel unroll vector_len emit stats
       | Some `Json ->
         print_endline (Simd.Json.to_string ~indent:2 (Simd.Trace.to_json trace))
     in
-    match Simd.simdize ~config ~trace program with
+    match
+      Simd.Driver.simdize ~trace ~check:(check_mode <> None) config program
+    with
     | Simd.Driver.Scalar reason ->
       print_trace ();
       Format.eprintf "left scalar: %a@." Simd.Driver.pp_reason reason;
@@ -112,6 +133,41 @@ let run file policy reuse memnorm reassoc peel unroll vector_len emit stats
     | Simd.Driver.Simdized o ->
       print_trace ();
       let ok = ref 0 in
+      (match check_mode with
+      | None -> ()
+      | Some mode ->
+        let violations = Simd.Driver.check_violations o in
+        let facts = Simd.Driver.check_facts o in
+        let failing =
+          List.filter
+            (fun (_, (v : Simd.Check.violation)) ->
+              v.Simd.Check.severity = Simd.Check.Error || mode = `Strict)
+            violations
+        in
+        List.iter
+          (fun (boundary, v) ->
+            Format.eprintf "check: at %s: %a@." boundary
+              Simd.Check.pp_violation v)
+          violations;
+        if failing <> [] then begin
+          Format.eprintf
+            "check FAILED: %d violation%s (first at pass boundary %s)@."
+            (List.length failing)
+            (if List.length failing = 1 then "" else "s")
+            (fst (List.hd failing));
+          ok := 1
+        end
+        else
+          Format.printf
+            "// check: OK (%d op, %d store, %d shift, %d seam obligations \
+             proved across %d boundaries%s)@."
+            facts.Simd.Check.ops_proved facts.Simd.Check.stores_proved
+            facts.Simd.Check.shifts_proved facts.Simd.Check.seams_proved
+            (List.length o.Simd.Driver.checks)
+            (match warnings_count violations with
+            | 0 -> ""
+            | n -> Printf.sprintf "; %d lint warning%s" n
+                     (if n = 1 then "" else "s")));
       (match emit with
       | `Vir -> print_string (Simd.Vir_prog.to_string o.Simd.Driver.prog)
       | `Graph ->
@@ -247,11 +303,25 @@ let cmd =
                 (schema simd-trace/1, see docs/TRACE.md); both are \
                 deterministic (no timings).")
   in
+  let check =
+    Arg.(
+      value
+      & opt ~vopt:(Some `On) (some check_conv) None
+      & info [ "check" ] ~docv:"MODE"
+          ~doc:"Run the static verifier (Simd.Check) at every pass \
+                boundary: alignment invariants (C.2)/(C.3), vshiftpair \
+                adjacency, bound formulas (Eqs. 8-16), and the VIR \
+                well-formedness lints. Violations are reported with the \
+                pass boundary that introduced them; any error exits \
+                nonzero. $(docv) is $(b,on) (default) or $(b,strict) \
+                (escalates lint warnings such as dead shifts to errors). \
+                See docs/CHECK.md.")
+  in
   Cmd.v
     (Cmd.info "simdize" ~version:"1.0"
        ~doc:"Vectorize loops for SIMD architectures with alignment constraints")
     Term.(
       const run $ file $ policy $ reuse $ memnorm $ reassoc $ peel $ unroll
-      $ vector_len $ emit $ stats $ simulate $ verify $ trip $ trace)
+      $ vector_len $ emit $ stats $ simulate $ verify $ trip $ trace $ check)
 
 let () = exit (Cmd.eval' cmd)

@@ -1,0 +1,121 @@
+(* Abstract stream offsets modulo V. See the interface for the lattice. *)
+
+module Util = Simd_support.Util
+module Align = Simd_loopir.Align
+module Addr = Simd_vir.Addr
+module Rexpr = Simd_vir.Rexpr
+
+type t =
+  | Bot
+  | Byte of int
+  | Sym of { arr : string; sign : int; k : int }
+  | Top
+
+type verdict = Proved | Refuted | Unknown
+
+let normalize ~v = function
+  | Bot -> Bot
+  | Byte k -> Byte (Util.pos_mod k v)
+  | Sym { arr; sign; k } ->
+    Sym { arr; sign = (if sign >= 0 then 1 else -1); k = Util.pos_mod k v }
+  | Top -> Top
+
+let equal a b =
+  match (a, b) with
+  | Bot, Bot | Top, Top -> true
+  | Byte a, Byte b -> a = b
+  | Sym a, Sym b -> a.arr = b.arr && a.sign = b.sign && a.k = b.k
+  | _ -> false
+
+let cmp ~v a b =
+  match (normalize ~v a, normalize ~v b) with
+  | Bot, _ | _, Bot -> Proved
+  | Top, _ | _, Top -> Unknown
+  | Byte a, Byte b -> if a = b then Proved else Refuted
+  | Sym a, Sym b when a.arr = b.arr && a.sign = b.sign ->
+    if a.k = b.k then Proved else Refuted
+  | Sym _, Sym _ | Sym _, Byte _ | Byte _, Sym _ -> Unknown
+
+let merge ~v a b =
+  match cmp ~v a b with
+  | Proved -> (
+    (* keep the more informative side *)
+    match (a, b) with
+    | Bot, x | x, Bot -> x
+    | x, _ -> normalize ~v x)
+  | Refuted | Unknown -> Top
+
+let add ~v a b =
+  normalize ~v
+    (match (normalize ~v a, normalize ~v b) with
+    | Bot, x | x, Bot -> x (* Bot is absorbed: lane-uniform + offset o = o *)
+    | Top, _ | _, Top -> Top
+    | Byte a, Byte b -> Byte (a + b)
+    | Byte c, Sym s | Sym s, Byte c -> Sym { s with k = s.k + c }
+    | Sym a, Sym b ->
+      if a.arr = b.arr && a.sign <> b.sign then Byte (a.k + b.k) else Top)
+
+let neg ~v x =
+  normalize ~v
+    (match normalize ~v x with
+    | Bot -> Bot
+    | Top -> Top
+    | Byte k -> Byte (-k)
+    | Sym { arr; sign; k } -> Sym { arr; sign = -sign; k = -k })
+
+let sub ~v a b = add ~v a (neg ~v b)
+
+let mul_const ~v x c =
+  normalize ~v
+    (match normalize ~v x with
+    | Bot -> Bot
+    | Byte k -> Byte (k * c)
+    | Sym _ when Util.pos_mod c v = 0 -> Byte 0
+    | Sym _ as s when c = 1 -> s
+    | Sym _ -> Top
+    | Top -> Top)
+
+let mod_const ~v x m =
+  if m = v then normalize ~v x
+  else if m > 0 && v mod m = 0 then
+    match normalize ~v x with
+    | Byte k -> Byte (k mod m)
+    | Bot -> Bot
+    | Sym _ | Top -> Top
+  else Top
+
+let of_align ~v ~arr = function
+  | Align.Known k -> normalize ~v (Byte k)
+  | Align.Runtime -> Sym { arr; sign = 1; k = 0 }
+
+let of_addr ~v ~elem ~lookup (a : Addr.t) =
+  (* At every point the checker evaluates an address, the loop counter is a
+     multiple of the block B, so [scale * i * elem] is a multiple of V
+     (scale >= 1 streams advance whole vectors; scale = 0 is counter-free).
+     The residue is therefore [base + offset*elem mod V]. *)
+  match lookup a.Addr.array with
+  | Some base -> normalize ~v (Byte (base + (a.Addr.offset * elem)))
+  | None ->
+    normalize ~v
+      (Sym { arr = a.Addr.array; sign = 1; k = a.Addr.offset * elem })
+
+let rec eval_rexpr ~v ~elem ~lookup (r : Rexpr.t) =
+  let go = eval_rexpr ~v ~elem ~lookup in
+  match r with
+  | Rexpr.Const k -> normalize ~v (Byte k)
+  | Rexpr.Offset_of a -> of_addr ~v ~elem ~lookup a
+  | Rexpr.Trip | Rexpr.Counter -> Top
+  | Rexpr.Add (a, b) -> add ~v (go a) (go b)
+  | Rexpr.Sub (a, b) -> sub ~v (go a) (go b)
+  | Rexpr.Mul_const (a, c) -> mul_const ~v (go a) c
+  | Rexpr.Mod_const (a, m) -> mod_const ~v (go a) m
+
+let pp fmt = function
+  | Bot -> Format.pp_print_string fmt "any"
+  | Byte k -> Format.fprintf fmt "%d" k
+  | Sym { arr; sign; k } ->
+    Format.fprintf fmt "%salign(%s)%s" (if sign < 0 then "-" else "") arr
+      (if k = 0 then "" else Printf.sprintf "+%d" k)
+  | Top -> Format.pp_print_string fmt "?"
+
+let to_string x = Format.asprintf "%a" pp x

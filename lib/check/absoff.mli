@@ -1,0 +1,70 @@
+(** The abstract stream-offset lattice of the static verifier.
+
+    An abstract value describes what the checker knows about a byte offset
+    modulo the vector width [V]: nothing constrains it ([Top]), it is an
+    exact compile-time residue ([Byte]), it is a runtime base alignment
+    plus a compile-time correction ([Sym] — the symbolic case the paper's
+    runtime-alignment codegen produces, §4.4), or it is lane-uniform and
+    compatible with every offset ([Bot] — splats and rotated reduction
+    accumulators, whose content is identical at any shift).
+
+    All arithmetic is modulo [V]; every constructor is kept normalized to
+    a canonical residue in [0, V). *)
+
+type t =
+  | Bot  (** lane-uniform value: matches any offset *)
+  | Byte of int  (** exactly [k mod V] bytes *)
+  | Sym of { arr : string; sign : int; k : int }
+      (** [(sign * align(arr) + k) mod V] where [align(arr)] is the
+          runtime base alignment of array [arr]; [sign] is [+1]/[-1] *)
+  | Top  (** unknown *)
+
+(** Outcome of comparing two abstract offsets for equality mod [V]. *)
+type verdict = Proved | Refuted | Unknown
+
+val normalize : v:int -> t -> t
+(** Canonicalize residues into [0, V). *)
+
+val equal : t -> t -> bool
+
+val cmp : v:int -> t -> t -> verdict
+(** Are the two offsets provably equal / provably different mod [V]?
+    [Bot] is equal to everything; [Sym]s over different arrays (or with
+    different signs) are incomparable. *)
+
+val merge : v:int -> t -> t -> t
+(** The offset of a node whose operands carry the two values: keeps the
+    more precise side when they agree, [Top] when they may differ. *)
+
+val add : v:int -> t -> t -> t
+val neg : v:int -> t -> t
+val sub : v:int -> t -> t -> t
+val mul_const : v:int -> t -> int -> t
+
+val mod_const : v:int -> t -> int -> t
+(** [mod_const ~v x m] — abstract [x mod m]. Exact when [m = v] (the
+    common shift-amount normalization) or when [m] divides [v] and [x] is
+    a known byte residue. *)
+
+val of_align : v:int -> arr:string -> Simd_loopir.Align.t -> t
+(** Lift an analysis-level alignment: [Known k] to [Byte k], [Runtime] to
+    [Sym] anchored at the array's base. *)
+
+val of_addr :
+  v:int ->
+  elem:int ->
+  lookup:(string -> int option) ->
+  Simd_vir.Addr.t ->
+  t
+(** The alignment of a VIR address at any block-aligned iteration:
+    [base + offset*elem mod v] when [lookup] knows the base, else
+    symbolic. Counter terms vanish because every stream advances whole
+    vectors per iteration. *)
+
+val eval_rexpr :
+  v:int -> elem:int -> lookup:(string -> int option) -> Simd_vir.Rexpr.t -> t
+(** Abstract evaluation of a runtime scalar expression (shift amounts,
+    splice points). [Trip]/[Counter] are [Top]. *)
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

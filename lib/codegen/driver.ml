@@ -19,6 +19,7 @@ module Policy = Simd_dreorg.Policy
 module Graph = Simd_dreorg.Graph
 module Reassoc = Simd_dreorg.Reassoc
 module Trace = Simd_trace.Trace
+module Check = Simd_check.Check
 
 (** Cross-iteration reuse strategy (§5.5): none, predictive commoning (a
     post-pass on standard code), or software-pipelined generation. *)
@@ -83,6 +84,11 @@ type outcome = {
       (** per statement; differs from the requested policy when runtime
           alignments forced the zero-shift fallback (§4.4) *)
   config : config;
+  checks : (string * Check.result) list;
+      (** per pass boundary, in pipeline order, when [simdize ~check:true]
+          ran the static verifier; each boundary records only the
+          violations first observed there, so the boundary name is the
+          offending pass. Empty when checking was off. *)
 }
 
 type result = Simdized of outcome | Scalar of reason
@@ -105,10 +111,13 @@ let snap st =
   Trace.snapshot ~prologue:st.st_prologue ~body:st.st_body
     ~epilogues:st.st_epilogues
 
-let run_passes ?(trace = Trace.none) config ~analysis (prog : Prog.t) : Prog.t =
+let run_passes ?(trace = Trace.none) ?(on_stage = fun ~name:_ _ -> ()) config
+    ~analysis (prog : Prog.t) : Prog.t =
   let names = Names.create () in
   let stage ~name ~enabled st f =
-    Trace.record_pass trace ~name ~enabled st ~snap f
+    let st = Trace.record_pass trace ~name ~enabled st ~snap f in
+    on_stage ~name st;
+    st
   in
   let st =
     { st_prologue = prog.Prog.prologue; st_body = prog.Prog.body; st_epilogues = [] }
@@ -254,10 +263,11 @@ let record_placements trace config ~analysis placed =
              }))
       placed
 
-(** [simdize ?trace config program] — the whole pipeline, optionally
-    recording every decision into [trace]. *)
-let simdize ?(trace = Trace.none) (config : config) (program : Ast.program) :
-    result =
+(** [simdize ?trace ?check config program] — the whole pipeline, optionally
+    recording every decision into [trace] and, with [check], re-running the
+    static verifier ({!Simd_check.Check}) at every pass boundary. *)
+let simdize ?(trace = Trace.none) ?(check = false) (config : config)
+    (program : Ast.program) : result =
   match Analysis.check ~machine:config.machine program with
   | Error e -> Scalar (Illegal e)
   | Ok analysis -> (
@@ -293,6 +303,36 @@ let simdize ?(trace = Trace.none) (config : config) (program : Ast.program) :
     with
     | Error r -> Scalar r
     | Ok config -> (
+      (* The checker collector: each boundary re-verifies the whole IR but
+         reports only violations not already seen at an earlier boundary,
+         so the first boundary a violation surfaces at names the pass that
+         introduced it. *)
+      let checks = ref [] in
+      let seen = Hashtbl.create 64 in
+      (* After MemNorm, compile-time-aligned load addresses no longer carry
+         their stream offset — the checker must treat them as opaque. *)
+      let normalized = ref false in
+      let record_check name (r : Check.result) =
+        let fresh =
+          List.filter
+            (fun (v : Check.violation) ->
+              if Hashtbl.mem seen v then false
+              else begin
+                Hashtbl.add seen v ();
+                true
+              end)
+            r.Check.violations
+        in
+        let r = { r with Check.violations = fresh } in
+        checks := (name, r) :: !checks;
+        if Trace.active trace && fresh <> [] then
+          Trace.add trace
+            (Trace.Check
+               {
+                 name;
+                 violations = List.map Check.violation_to_string fresh;
+               })
+      in
       let placed =
         List.map
           (fun stmt ->
@@ -302,6 +342,7 @@ let simdize ?(trace = Trace.none) (config : config) (program : Ast.program) :
       in
       record_placements trace config ~analysis placed;
       let graphs = List.map (fun (s, g, _) -> (s, g)) placed in
+      if check then record_check "placement" (Check.check_graphs ~analysis graphs);
       let policies_used = List.map (fun (_, _, p) -> p) placed in
       let mode =
         match config.reuse with
@@ -327,14 +368,69 @@ let simdize ?(trace = Trace.none) (config : config) (program : Ast.program) :
                    Trace.snapshot ~prologue:prog.Prog.prologue
                      ~body:prog.Prog.body ~epilogues:[];
                });
-        let prog = run_passes ~trace config ~analysis prog in
-        Simdized { prog; analysis; graphs; policies_used; config }))
+        if check then
+          record_check "generate"
+            (Check.check_regions ~analysis ~prologue:prog.Prog.prologue
+               ~body:prog.Prog.body ~epilogues:[] ());
+        let last_body = ref prog.Prog.body in
+        let on_stage ~name (st : pstate) =
+          if check then begin
+            if name = "memnorm" then normalized := config.memnorm;
+            if name = "unroll" && config.unroll > 1 then
+              record_check name
+                (Check.check_unroll ~analysis ~factor:config.unroll
+                   ~pre:!last_body ~post:st.st_body);
+            record_check name
+              (Check.check_regions ~analysis ~loads_normalized:!normalized
+                 ~prologue:st.st_prologue ~body:st.st_body
+                 ~epilogues:st.st_epilogues ());
+            last_body := st.st_body
+          end
+        in
+        let prog = run_passes ~trace ~on_stage config ~analysis prog in
+        if check then begin
+          let peel_amount =
+            if config.peel_baseline then
+              match Peel.check analysis with
+              | Peel.Applicable -> Some (Peel.peel_amount analysis)
+              | Peel.Mixed_alignments | Peel.Runtime_alignment -> None
+            else None
+          in
+          record_check "final"
+            (Check.check_prog ?peel_amount ~loads_normalized:!normalized
+               ~analysis prog)
+        end;
+        Simdized
+          {
+            prog;
+            analysis;
+            graphs;
+            policies_used;
+            config;
+            checks = List.rev !checks;
+          }))
 
 (** [simdize_exn] — [simdize] that raises on scalar fallback (tests). *)
-let simdize_exn ?trace config program =
-  match simdize ?trace config program with
+let simdize_exn ?trace ?check config program =
+  match simdize ?trace ?check config program with
   | Simdized o -> o
   | Scalar r -> invalid_arg (Format.asprintf "Driver.simdize_exn: %a" pp_reason r)
+
+(** [check_violations outcome] — every static-verifier violation of a
+    [~check:true] compilation, flattened in boundary order, each paired
+    with the pass boundary that first surfaced it. *)
+let check_violations (o : outcome) : (string * Check.violation) list =
+  List.concat_map
+    (fun (name, (r : Check.result)) ->
+      List.map (fun v -> (name, v)) r.Check.violations)
+    o.checks
+
+(** [check_facts outcome] — the proof obligations discharged across all
+    boundaries of a [~check:true] compilation. *)
+let check_facts (o : outcome) : Check.facts =
+  List.fold_left
+    (fun acc (_, (r : Check.result)) -> Check.add_facts acc r.Check.facts)
+    Check.no_facts o.checks
 
 (** [report outcome] — the static cost report of a compilation: what each
     statement's placement cost under the machine's cost model, and what

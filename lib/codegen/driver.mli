@@ -13,6 +13,7 @@ module Policy = Simd_dreorg.Policy
 module Graph = Simd_dreorg.Graph
 module Reassoc = Simd_dreorg.Reassoc
 module Trace = Simd_trace.Trace
+module Check = Simd_check.Check
 
 (** Cross-iteration reuse strategy (§5.5). *)
 type reuse = No_reuse | Predictive_commoning | Software_pipelining
@@ -52,16 +53,34 @@ type outcome = {
       (** per statement; [Zero] where runtime alignments forced the
           fallback (§4.4) *)
   config : config;
+  checks : (string * Check.result) list;
+      (** static-verifier results per pass boundary (pipeline order) when
+          compiled with [~check:true]; each boundary holds only the
+          violations first observed there, so the boundary name is the
+          offending pass. Empty when checking was off. *)
 }
 
 type result = Simdized of outcome | Scalar of reason
 
-val simdize : ?trace:Trace.t -> config -> Ast.program -> result
+val simdize : ?trace:Trace.t -> ?check:bool -> config -> Ast.program -> result
 (** The whole pipeline. [?trace] (default {!Simd_trace.Trace.none})
-    receives the ordered event stream of this compilation. *)
+    receives the ordered event stream of this compilation. [?check]
+    (default [false]) re-runs the static verifier ({!Simd_check.Check}) on
+    the placed graphs, the generated IR, after every optimization stage,
+    and on the final program — recording per-boundary results in
+    [outcome.checks] (and, when tracing, as [Trace.Check] events). *)
 
-val simdize_exn : ?trace:Trace.t -> config -> Ast.program -> outcome
+val simdize_exn :
+  ?trace:Trace.t -> ?check:bool -> config -> Ast.program -> outcome
 (** [simdize] that raises on scalar fallback (tests). *)
+
+val check_violations : outcome -> (string * Check.violation) list
+(** All static-verifier violations of a [~check:true] compilation in
+    boundary order, each paired with the pass boundary that first surfaced
+    it (empty for clean or check-free compilations). *)
+
+val check_facts : outcome -> Check.facts
+(** Total proof obligations discharged across all boundaries. *)
 
 val report : outcome -> Simd_opt.Report.t
 (** The compilation's static cost report: per-statement streams, chosen

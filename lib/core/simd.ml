@@ -17,6 +17,7 @@
     - {!Machine}/{!Vec}/{!Mem}: the SIMD machine model;
     - {!Offset}/{!Graph}/{!Policy}/{!Reassoc}: data reorganization graphs;
     - {!Gen}/{!Passes}/{!Driver}/{!Peel}: code generation;
+    - {!Check}/{!Absoff}: the pass-boundary static verifier;
     - {!Vir_expr}/{!Vir_prog}: the vector IR;
     - {!Exec}/{!Sim_run}: the simulator;
     - {!Emit_portable}/{!Emit_altivec}/{!Emit_sse}: C backends;
@@ -61,6 +62,11 @@ module Vir_prog = Simd_vir.Prog
 (* Pass-pipeline tracing ({!Trace.Diff} for the structural line diffs) *)
 module Trace = Simd_trace.Trace
 
+(* Static verification ({!Check} at every pass boundary via
+   [Driver.simdize ~check:true]; {!Absoff} is its offset lattice) *)
+module Check = Simd_check.Check
+module Absoff = Simd_check.Absoff
+
 (* Code generation *)
 module Names = Simd_codegen.Names
 module Gen = Simd_codegen.Gen
@@ -103,17 +109,19 @@ let parse = Parse.program_of_string_result
 (** [parse_exn source] — like {!parse}, raising on malformed input. *)
 let parse_exn = Parse.program_of_string
 
-(** [simdize ?config ?trace program] — analyze, place shifts, generate and
-    optimize SIMD code (defaults: 16-byte machine, dominant-shift policy,
-    software pipelining, MemNorm + CSE on). Pass [?trace] (a
-    {!Trace.create} sink) to record the full pass-pipeline event stream. *)
-let simdize ?(config = Driver.default) ?trace program =
-  Driver.simdize ?trace config program
+(** [simdize ?config ?trace ?check program] — analyze, place shifts,
+    generate and optimize SIMD code (defaults: 16-byte machine,
+    dominant-shift policy, software pipelining, MemNorm + CSE on). Pass
+    [?trace] (a {!Trace.create} sink) to record the full pass-pipeline
+    event stream; [?check] runs the static verifier ({!Check}) at every
+    pass boundary. *)
+let simdize ?(config = Driver.default) ?trace ?check program =
+  Driver.simdize ?trace ?check config program
 
-(** [simdize_exn ?config ?trace program] — like {!simdize}, raising when
-    the loop stays scalar. *)
-let simdize_exn ?(config = Driver.default) ?trace program =
-  Driver.simdize_exn ?trace config program
+(** [simdize_exn ?config ?trace ?check program] — like {!simdize}, raising
+    when the loop stays scalar. *)
+let simdize_exn ?(config = Driver.default) ?trace ?check program =
+  Driver.simdize_exn ?trace ?check config program
 
 (** [verify ?config ?seed ?trip program] — simdize and differentially test
     against the scalar interpreter on noise-filled memory. *)

@@ -23,17 +23,28 @@ type stats = {
   total : int;
   passed : int;
   skipped : int;
+  static_violations : int;
   divergences : int;
   crashes : int;
 }
 
-let zero_stats = { total = 0; passed = 0; skipped = 0; divergences = 0; crashes = 0 }
+let zero_stats =
+  {
+    total = 0;
+    passed = 0;
+    skipped = 0;
+    static_violations = 0;
+    divergences = 0;
+    crashes = 0;
+  }
 
 let count (s : stats) (o : Oracle.outcome) =
   let s = { s with total = s.total + 1 } in
   match o with
   | Oracle.Pass -> { s with passed = s.passed + 1 }
   | Oracle.Skipped _ -> { s with skipped = s.skipped + 1 }
+  | Oracle.Static_violation _ ->
+    { s with static_violations = s.static_violations + 1 }
   | Oracle.Divergence _ -> { s with divergences = s.divergences + 1 }
   | Oracle.Crash _ -> { s with crashes = s.crashes + 1 }
 
@@ -42,14 +53,16 @@ let add_stats a b =
     total = a.total + b.total;
     passed = a.passed + b.passed;
     skipped = a.skipped + b.skipped;
+    static_violations = a.static_violations + b.static_violations;
     divergences = a.divergences + b.divergences;
     crashes = a.crashes + b.crashes;
   }
 
 let pp_stats fmt (s : stats) =
   Format.fprintf fmt
-    "%d cases: %d passed, %d skipped, %d divergences, %d crashes" s.total
-    s.passed s.skipped s.divergences s.crashes
+    "%d cases: %d passed, %d skipped, %d static violations, %d divergences, \
+     %d crashes"
+    s.total s.passed s.skipped s.static_violations s.divergences s.crashes
 
 let stats_to_json (s : stats) : Json.t =
   Json.Obj
@@ -57,6 +70,7 @@ let stats_to_json (s : stats) : Json.t =
       ("total", Json.Int s.total);
       ("passed", Json.Int s.passed);
       ("skipped", Json.Int s.skipped);
+      ("static_violations", Json.Int s.static_violations);
       ("divergences", Json.Int s.divergences);
       ("crashes", Json.Int s.crashes);
     ]

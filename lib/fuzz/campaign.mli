@@ -10,6 +10,7 @@ type stats = {
   total : int;
   passed : int;
   skipped : int;
+  static_violations : int;
   divergences : int;
   crashes : int;
 }

@@ -4,6 +4,8 @@
 type outcome =
   | Pass  (** byte-identical arenas *)
   | Skipped of string  (** legitimately left scalar *)
+  | Static_violation of string
+      (** the pass-boundary verifier refuted an invariant *)
   | Divergence of string  (** miscompilation: arenas differ *)
   | Crash of string  (** compiler/simulator raised *)
 
@@ -13,4 +15,6 @@ val outcome_name : outcome -> string
 val pp_outcome : Format.formatter -> outcome -> unit
 
 val run : Case.t -> outcome
-(** Classify one case. Never raises. *)
+(** Classify one case: static verifier first ([Static_violation] when a
+    [~check:true] compilation reports an error-severity violation), then
+    the dynamic differential. Never raises. *)

@@ -150,7 +150,8 @@ let check_exn t (case : Case.t) : Oracle.outcome =
     | Oracle.Divergence m, `Mismatch nm ->
       Oracle.Divergence
         ("both oracles diverged: simulator: " ^ m ^ "; native: " ^ nm)
-    | (Oracle.Skipped _ | Oracle.Crash _), _ -> sim)
+    | (Oracle.Skipped _ | Oracle.Static_violation _ | Oracle.Crash _), _ ->
+      sim)
   | exception e -> Oracle.Crash ("native: " ^ Printexc.to_string e)
 
 let check t case =

@@ -128,6 +128,12 @@ type event =
           (the {!Simd_par} pool emits its job log and stats this way);
           [timed] marks bodies carrying wall-clock data, which — like pass
           durations — are excluded from the comparable output *)
+  | Check of { name : string; violations : string list }
+      (** static-verifier findings at the pass boundary [name]
+          ([Simd_check.Check] via the driver's [~check] mode); only fresh
+          violations — first seen at this boundary — are recorded, so the
+          event names the offending pass. Rendered violation strings keep
+          this module independent of the checker. *)
 
 (* ------------------------------------------------------------------ *)
 (* The sink                                                            *)
@@ -256,7 +262,7 @@ let summary t : summary_row list =
             row_changed = applied && before <> after;
             row_delta = [];
           }
-      | Placement _ | Generated _ | Note _ -> None)
+      | Placement _ | Generated _ | Note _ | Check _ -> None)
     (events t)
 
 (* ------------------------------------------------------------------ *)
@@ -289,6 +295,11 @@ let pp ?(timings = false) fmt t =
       | Note { label; body; timed } ->
         if (not timed) || timings then
           Format.fprintf fmt "== note %s: %s@\n" label body
+      | Check { name; violations } ->
+        Format.fprintf fmt "== check at %s: %d violation%s@\n" name
+          (List.length violations)
+          (if List.length violations = 1 then "" else "s");
+        List.iter (fun v -> Format.fprintf fmt "    %s@\n" v) violations
       | Reassoc { applied; before; after } ->
         if not applied then
           Format.fprintf fmt "== reassoc: skipped (flag off)@\n"
@@ -401,6 +412,14 @@ let event_to_json ~timings (e : event) : Json.t =
         ("label", Json.String label);
         ("body", Json.String body);
         ("timed", Json.Bool timed);
+      ]
+  | Check { name; violations } ->
+    Json.Obj
+      [
+        ("kind", Json.String "check");
+        ("name", Json.String name);
+        ( "violations",
+          Json.List (List.map (fun v -> Json.String v) violations) );
       ]
   | Reassoc { applied; before; after } ->
     Json.Obj

@@ -93,6 +93,12 @@ type event =
           pipeline (e.g. the {!Simd_par} pool's job log and stats);
           [timed] bodies carry wall-clock data and are excluded from the
           comparable output like pass durations *)
+  | Check of { name : string; violations : string list }
+      (** static-verifier findings first observed at pass boundary [name]
+          (the driver's [~check] mode): pre-rendered [Simd_check.Check]
+          violation strings. Only emitted when a boundary surfaces fresh
+          violations, so untraced and check-free compilations never see
+          this event. *)
 
 (** {1 The sink} *)
 

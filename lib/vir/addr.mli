@@ -11,13 +11,25 @@ type t = {
 [@@deriving show, eq, ord]
 
 val of_ref : Simd_loopir.Ast.mem_ref -> t
+(** The address of a source-level reference: the reference's stride
+    becomes [scale], its constant offset becomes [offset]. *)
+
 val with_counter : t -> bool
+(** Does the address depend on the loop counter ([scale <> 0])? *)
 
 val shift_iter : t -> by:int -> t
 (** The paper's [Substitute(i → i + by)]: advance [scale * by] elements. *)
 
 val at_iteration : t -> i:int -> int
+(** The concrete element index at iteration [i]: [scale*i + offset]. *)
+
 val freeze : t -> i:int -> t
+(** The counter-free address the address denotes at iteration [i]
+    ([offset = ]{!at_iteration}[, scale = 0]) — prologue/epilogue
+    specialization. *)
 
 val pp : Format.formatter -> t -> unit
+(** Source-like rendering: [&a\[i+2\]], [&a\[4\]] (counter-free),
+    [&a\[2*i-1\]]. *)
+
 val to_string : t -> string

@@ -21,6 +21,10 @@ type stmt =
 [@@deriving show, eq, ord]
 
 val shift_iter_rexpr : Rexpr.t -> by:int -> Rexpr.t
+(** {!shift_iter} on the runtime expression level: displace every
+    counter-carrying {!Rexpr.Offset_of} address by [by] iterations
+    ([Counter] terms are left alone — callers substitute them
+    separately). *)
 
 val shift_iter : vexpr -> by:int -> vexpr
 (** Rewrite counter-carrying addresses so that evaluating at iteration [i]
@@ -31,14 +35,38 @@ val freeze : vexpr -> i:int -> vexpr
 (** Resolve the loop counter to a constant everywhere (temps are kept). *)
 
 val freeze_rexpr : Rexpr.t -> i:int -> Rexpr.t
+(** {!freeze} on the runtime expression level: resolve [Counter] to [i]
+    and pin every address to its iteration-[i] element (via
+    {!Addr.freeze}). *)
 
 val fold_vexpr : ('a -> vexpr -> 'a) -> 'a -> vexpr -> 'a
 (** Children-first fold over every node. *)
 
 val fold_stmts : ('a -> vexpr -> 'a) -> 'a -> stmt list -> 'a
+(** Fold [f] over every top-level expression of every statement,
+    descending into both arms of [If] guards (the expressions themselves
+    are not traversed — combine with {!fold_vexpr} for node-level
+    folds). *)
+
 val map_stmts_exprs : (vexpr -> vexpr) -> stmt list -> stmt list
+(** Rewrite every top-level expression in place ([Store] values and
+    [Assign] right-hand sides, through [If] arms); statement structure is
+    preserved. *)
+
 val loads_of_stmts : stmt list -> Addr.t list
+(** Every [Load] address in the statements, in traversal order
+    (duplicates kept — used by the never-load-twice accounting). *)
+
 val count_nodes : (vexpr -> bool) -> stmt list -> int
+(** Number of expression nodes satisfying the predicate, over all
+    statements and all nesting levels. *)
+
 val is_shift : vexpr -> bool
+(** Is the node a [Shiftpair]? (Predicate for {!count_nodes}.) *)
+
 val is_load : vexpr -> bool
+(** Is the node a [Load]? (Predicate for {!count_nodes}.) *)
+
 val temps_written : stmt list -> string list
+(** Names assigned anywhere in the statements (including inside [If]
+    arms), in write order; a name assigned twice appears twice. *)

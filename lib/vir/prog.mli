@@ -33,10 +33,23 @@ type t = {
 }
 
 val resolve_upper : t -> trip:int -> int
+(** The concrete UB for a concrete trip count: [B_const n] is [n],
+    [B_trip_minus k] is [trip - k] (Eq. 15). *)
+
 val step : t -> int
+(** Counter increment per steady iteration: [unroll * block]. *)
+
 val continue_cond : t -> upper:int -> int -> bool
+(** [continue_cond t ~upper i] — may the (possibly unrolled) body run at
+    counter [i]? Every one of the [unroll] instances must stay below
+    [upper]: [i + (unroll-1)*B < upper]. *)
+
 val exit_counter : t -> trip:int -> int
+(** The counter value when the steady loop exits — where epilogue
+    segment [k] runs at [exit + k*B]. *)
+
 val steady_iterations : t -> trip:int -> int
+(** How many times the steady body executes for this trip count. *)
 
 val pp_vexpr : Format.formatter -> Expr.vexpr -> unit
 val pp_stmt : indent:int -> Format.formatter -> Expr.stmt -> unit
@@ -57,4 +70,9 @@ type static_counts = {
 }
 
 val static_counts_of_stmts : Expr.stmt list -> static_counts
+(** Count every operation class over the statements ([If] arms
+    included); [copies] counts [Assign (x, Temp y)] statements. *)
+
 val body_counts : t -> static_counts
+(** {!static_counts_of_stmts} of the steady body — the per-iteration
+    static cost the policies and traces report. *)

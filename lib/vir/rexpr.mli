@@ -14,7 +14,12 @@ type t =
 [@@deriving show, eq, ord]
 
 val is_const : t -> bool
+(** Is the expression a literal [Const]? (The smart constructors fold
+    eagerly, so compile-time-known values always reach this form.) *)
+
 val const_exn : t -> int
+(** The value of a [Const]; raises [Invalid_argument] on runtime
+    expressions. Guard with {!is_const}. *)
 
 (** Constant-folding smart constructors. *)
 

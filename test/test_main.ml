@@ -28,4 +28,5 @@ let () =
          Test_fuzz.suite;
          Test_trace.suite;
          Test_par.suite;
+         Test_check.suite;
        ])
