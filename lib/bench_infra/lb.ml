@@ -37,6 +37,19 @@ let stream_key ~(analysis : Analysis.t) (r : Ast.mem_ref) =
       (r.Ast.ref_offset - (o / analysis.Analysis.elem), r.Ast.ref_stride) )
   | Align.Runtime -> (r.Ast.ref_array, (r.Ast.ref_offset, r.Ast.ref_stride))
 
+(* Distinct alignment classes among one statement's references (loads and
+   store; a reduction's target is offset 0, as is a gathered stream). *)
+let stmt_aligns ~(analysis : Analysis.t) (s : Ast.stmt) =
+  let offs =
+    List.map
+      (fun (r : Ast.mem_ref) ->
+        if r.Ast.ref_stride > 1 then Align.Known 0
+        else Analysis.offset_of analysis r)
+      (Ast.stmt_refs s)
+  in
+  let offs = if Ast.is_reduction s then Align.Known 0 :: offs else offs in
+  Simd_support.Util.dedup offs
+
 (** [compute ~analysis ~policy] — the bound's components for this loop
     under the given placement policy. *)
 let compute ~(analysis : Analysis.t) ~(policy : Policy.t) : t =
@@ -97,18 +110,35 @@ let compute ~(analysis : Analysis.t) ~(policy : Policy.t) : t =
          valid placement must connect all n alignment classes. *)
       Simd_support.Util.sum_by
         (fun (s : Ast.stmt) ->
-          let offs =
-            List.map
-              (fun (r : Ast.mem_ref) ->
-                if r.Ast.ref_stride > 1 then Align.Known 0
-                else Analysis.offset_of analysis r)
-              (Ast.stmt_refs s)
-          in
-          let offs =
-            if Ast.is_reduction s then Align.Known 0 :: offs else offs
-          in
-          max 0 (List.length (Simd_support.Util.dedup offs) - 1))
+          max 0 (List.length (stmt_aligns ~analysis s) - 1))
         body
+    | Policy.Joint ->
+      (* Cross-statement sharing may serve several statements with one
+         vshiftstream, so Σ(n−1) is not a valid bound. Any joint placement
+         must still connect each statement's alignment classes; merging
+         the per-statement class sets into body-wide connected components
+         needs at least (classes − 1) shifts per component. *)
+      let groups =
+        List.filter_map
+          (fun (s : Ast.stmt) ->
+            let offs = stmt_aligns ~analysis s in
+            if List.length offs >= 2 then Some offs else None)
+          body
+      in
+      let components =
+        List.fold_left
+          (fun comps offs ->
+            let touching, rest =
+              List.partition
+                (fun comp -> List.exists (fun o -> List.mem o comp) offs)
+                comps
+            in
+            Simd_support.Util.dedup (offs @ List.concat touching) :: rest)
+          [] groups
+      in
+      Simd_support.Util.sum_by
+        (fun comp -> List.length comp - 1)
+        components
   in
   (* Strided gathers need their pack trees regardless of policy:
      (s-1) vpacks, plus s window shifts when misaligned (extension). *)

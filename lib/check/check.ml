@@ -155,7 +155,11 @@ let rec count_graph_ops = function
   | Graph.Op (_, a, b) -> 1 + count_graph_ops a + count_graph_ops b
   | Graph.Shift (src, _, _) -> count_graph_ops src
 
-let rec dead_shift_lint ctx ~where (n : Graph.node) =
+(* [shared] answers whether a reorganization chain has more than one
+   consumer body-wide: a detour that looks wasteful inside one statement
+   is not dead when another statement rides the same (value-numbered)
+   stream, so the lint must count consumers across the whole body. *)
+let rec dead_shift_lint ctx ~shared ~where (n : Graph.node) =
   (match n with
   | Graph.Shift (src, from, to_) -> (
     if Offset.matches ~block:ctx.block from to_ then
@@ -168,7 +172,11 @@ let rec dead_shift_lint ctx ~where (n : Graph.node) =
     | Graph.Shift (_, f1, t1)
       when Offset.matches ~block:ctx.block t1 from
            && Offset.matches ~block:ctx.block f1 to_
-           && not (Offset.matches ~block:ctx.block from to_) ->
+           && not (Offset.matches ~block:ctx.block from to_)
+           && not
+                (match Graph.chain_of src with
+                | Some c -> shared c
+                | None -> false) ->
       report ctx ~rule:"dead-shift" ~severity:Warning ~where
         (Format.asprintf
            "redundant vshiftstream pair %a -> %a -> %a returns the stream \
@@ -178,13 +186,23 @@ let rec dead_shift_lint ctx ~where (n : Graph.node) =
   | Graph.Load _ | Graph.Strided _ | Graph.Splat _ | Graph.Op _ -> ());
   match n with
   | Graph.Op (_, a, b) ->
-    dead_shift_lint ctx ~where a;
-    dead_shift_lint ctx ~where b
-  | Graph.Shift (src, _, _) -> dead_shift_lint ctx ~where src
+    dead_shift_lint ctx ~shared ~where a;
+    dead_shift_lint ctx ~shared ~where b
+  | Graph.Shift (src, _, _) -> dead_shift_lint ctx ~shared ~where src
   | Graph.Load _ | Graph.Strided _ | Graph.Splat _ -> ()
 
 let check_graphs ~analysis graphs =
   let ctx = make_ctx analysis in
+  (* Body-wide chain occurrence counts: a chain appearing twice anywhere
+     in the body is one shared vshiftstream after value numbering. *)
+  let all_chains =
+    List.concat_map
+      (fun ((_ : Ast.stmt), (g : Graph.t)) -> Graph.chains g.Graph.root)
+      graphs
+  in
+  let shared c =
+    List.length (List.filter (Graph.equal_chain c) all_chains) >= 2
+  in
   List.iteri
     (fun i ((_stmt : Ast.stmt), (g : Graph.t)) ->
       let where = Printf.sprintf "graph#%d" i in
@@ -199,7 +217,7 @@ let check_graphs ~analysis graphs =
       | Error msg ->
         let rule = if contains_sub ~sub:"(C.2)" msg then "C.2" else "C.3" in
         report ctx ~rule ~severity:Error ~where msg);
-      dead_shift_lint ctx ~where g.Graph.root)
+      dead_shift_lint ctx ~shared ~where g.Graph.root)
     graphs;
   result_of_ctx ctx
 

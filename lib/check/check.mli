@@ -68,7 +68,11 @@ val check_graphs :
 (** Re-validate placed reorganization graphs ((C.2)/(C.3) via
     {!Simd_dreorg.Graph.validate}) and lint [vshiftstream] nodes whose
     source and target offsets provably coincide — directly, or as a
-    shift/unshift pair with zero net offset change. *)
+    shift/unshift pair with zero net offset change. The pair rule counts
+    consumers body-wide: a detour through a reorganization chain that
+    another statement also rides (one shared stream after value numbering,
+    {!Simd_dreorg.Graph.chains}) is paid for by the sharing and is not
+    flagged. *)
 
 val check_regions :
   analysis:Analysis.t ->

@@ -83,6 +83,11 @@ type outcome = {
   policies_used : Policy.t list;
       (** per statement; differs from the requested policy when runtime
           alignments forced the zero-shift fallback (§4.4) *)
+  shared_streams : Simd_opt.Joint.shared list;
+      (** reorganization chains occurring in more than one placed graph —
+          the streams value numbering collapses into one [vshiftstream].
+          Detected for every policy; the [joint] policy is the one that
+          actively steers placement toward them. *)
   config : config;
   checks : (string * Check.result) list;
       (** per pass boundary, in pipeline order, when [simdize ~check:true]
@@ -334,14 +339,31 @@ let simdize ?(trace = Trace.none) ?(check = false) (config : config)
                })
       in
       let placed =
-        List.map
-          (fun stmt ->
-            let g, p = place_with_fallback config ~analysis stmt in
-            (stmt, g, p))
-          program.Ast.loop.Ast.body
+        match config.policy with
+        | Policy.Joint ->
+          (* whole-body placement: offsets are chosen body-globally so one
+             vshiftstream can feed several statements (value numbering
+             merges the structurally equal chains at lowering) *)
+          Simd_opt.Joint.place_body ~analysis program.Ast.loop.Ast.body
+        | _ ->
+          List.map
+            (fun stmt ->
+              let g, p = place_with_fallback config ~analysis stmt in
+              (stmt, g, p))
+            program.Ast.loop.Ast.body
       in
       record_placements trace config ~analysis placed;
       let graphs = List.map (fun (s, g, _) -> (s, g)) placed in
+      let shared =
+        Simd_opt.Joint.shared_streams ~analysis (List.map snd graphs)
+      in
+      if shared <> [] && Trace.active trace then
+        Trace.note trace ~label:"shared-streams"
+          (Format.asprintf "%a"
+             (Format.pp_print_list
+                ~pp_sep:(fun fmt () -> Format.pp_print_string fmt "; ")
+                Simd_opt.Joint.pp_shared)
+             shared);
       if check then record_check "placement" (Check.check_graphs ~analysis graphs);
       let policies_used = List.map (fun (_, _, p) -> p) placed in
       let mode =
@@ -406,6 +428,7 @@ let simdize ?(trace = Trace.none) ?(check = false) (config : config)
             analysis;
             graphs;
             policies_used;
+            shared_streams = shared;
             config;
             checks = List.rev !checks;
           }))

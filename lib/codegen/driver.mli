@@ -52,6 +52,10 @@ type outcome = {
   policies_used : Policy.t list;
       (** per statement; [Zero] where runtime alignments forced the
           fallback (§4.4) *)
+  shared_streams : Simd_opt.Joint.shared list;
+      (** reorganization chains occurring in more than one placed graph —
+          one shared [vshiftstream] after value numbering. Detected under
+          every policy; [joint] steers placement toward them. *)
   config : config;
   checks : (string * Check.result) list;
       (** static-verifier results per pass boundary (pipeline order) when

@@ -58,6 +58,91 @@ let rec of_expr (e : Ast.expr) : node =
     | Ast.Param _ | Ast.Const _ -> assert false (* invariant, handled above *)
 
 (* ------------------------------------------------------------------ *)
+(* Bare-tree precondition                                              *)
+(* ------------------------------------------------------------------ *)
+
+(** [find_shift n] — the endpoints of the first [Shift] node of a subtree,
+    if any (leftmost-innermost). *)
+let rec find_shift = function
+  | Load _ | Strided _ | Splat _ -> None
+  | Op (_, a, b) -> (
+    match find_shift a with Some s -> Some s | None -> find_shift b)
+  | Shift (src, from, to_) -> (
+    match find_shift src with Some s -> Some s | None -> Some (from, to_))
+
+let is_bare n = find_shift n = None
+
+(** [assert_bare n] — the checked precondition of every placement policy
+    and of the exact solver: the tree must carry no reordering nodes yet.
+    Feeding an already-placed graph back through placement (e.g. out of the
+    cross-statement sharing pass) is a caller bug; this turns it into a
+    diagnosable error instead of a crash. *)
+let assert_bare n =
+  match find_shift n with
+  | None -> Ok ()
+  | Some (from, to_) ->
+    Error
+      (Format.asprintf
+         "tree already placed: contains vshiftstream(%a -> %a); placement \
+          requires the bare expression tree"
+         Offset.pp from Offset.pp to_)
+
+(* ------------------------------------------------------------------ *)
+(* Shareable reorganization chains                                     *)
+(* ------------------------------------------------------------------ *)
+
+(** A shareable reorganization chain: a [Shift] node whose entire subtree
+    consists of shifts over a single [Load]/[Strided] leaf. Two such nodes
+    in different statements denote the {e same} [vshiftstream] — and lower
+    to one shared stream under value numbering — exactly when their keys
+    are equal: same memory reference, same gather-ness, same shift path
+    from the leaf outward. *)
+type chain = {
+  chain_ref : Ast.mem_ref;
+  chain_gather : bool;
+  chain_hops : (Offset.t * Offset.t) list;  (** leaf-outward, non-empty *)
+}
+
+let equal_chain a b =
+  Ast.equal_mem_ref a.chain_ref b.chain_ref
+  && a.chain_gather = b.chain_gather
+  && List.equal
+       (fun (f1, t1) (f2, t2) -> Offset.equal f1 f2 && Offset.equal t1 t2)
+       a.chain_hops b.chain_hops
+
+(** [chain_of n] — [Some] chain when [n] is a shareable [Shift] node (its
+    subtree is shifts over one leaf), [None] otherwise. *)
+let chain_of n =
+  let rec spine = function
+    | Load r -> Some (r, false, [])
+    | Strided r -> Some (r, true, [])
+    | Splat _ | Op _ -> None
+    | Shift (src, from, to_) ->
+      Option.map (fun (r, g, hops) -> (r, g, hops @ [ (from, to_) ])) (spine src)
+  in
+  match n with
+  | Shift _ ->
+    Option.map
+      (fun (chain_ref, chain_gather, chain_hops) ->
+        { chain_ref; chain_gather; chain_hops })
+      (spine n)
+  | Load _ | Strided _ | Splat _ | Op _ -> None
+
+(** [chains n] — every shareable [Shift] node of the subtree (each hop of a
+    multi-shift chain is its own entry: each materializes one
+    [vshiftstream]). *)
+let chains n =
+  let rec go acc n =
+    match n with
+    | Load _ | Strided _ | Splat _ -> acc
+    | Op (_, a, b) -> go (go acc a) b
+    | Shift (src, _, _) ->
+      let acc = match chain_of n with Some c -> c :: acc | None -> acc in
+      go acc src
+  in
+  List.rev (go [] n)
+
+(* ------------------------------------------------------------------ *)
 (* Offsets and validity                                                *)
 (* ------------------------------------------------------------------ *)
 

@@ -26,6 +26,35 @@ val of_expr : Simd_loopir.Ast.expr -> node
 (** The bare graph with no reordering nodes — "simdize as if there were no
     alignment constraints". Maximal invariant subtrees become [Splat]s. *)
 
+val find_shift : node -> (Offset.t * Offset.t) option
+(** Endpoints of the first [Shift] node of the subtree, if any. *)
+
+val is_bare : node -> bool
+(** No [Shift] nodes anywhere in the subtree. *)
+
+val assert_bare : node -> (unit, string) result
+(** The checked precondition of every placement policy and the exact
+    solver: placement starts from the bare expression tree. An
+    already-placed tree yields a diagnosable [Error] naming the offending
+    [vshiftstream]. *)
+
+type chain = {
+  chain_ref : Simd_loopir.Ast.mem_ref;
+  chain_gather : bool;
+  chain_hops : (Offset.t * Offset.t) list;  (** leaf-outward, non-empty *)
+}
+(** A shareable reorganization chain: a [Shift] whose whole subtree is
+    shifts over one leaf. Equal chains in different statements lower to one
+    shared [vshiftstream] under value numbering. *)
+
+val equal_chain : chain -> chain -> bool
+
+val chain_of : node -> chain option
+(** [Some] when the node is a shareable [Shift]; [None] otherwise. *)
+
+val chains : node -> chain list
+(** Every shareable [Shift] node of the subtree, one entry per hop. *)
+
 exception Invalid of string
 
 val offset_of : analysis:Simd_loopir.Analysis.t -> node -> Offset.t

@@ -26,7 +26,7 @@
 
 open Simd_loopir
 
-type t = Zero | Eager | Lazy | Dominant | Optimal | Auto
+type t = Zero | Eager | Lazy | Dominant | Optimal | Auto | Joint
 [@@deriving show { with_path = false }, eq, ord]
 
 (** The single registration point: every policy appears here exactly once
@@ -62,6 +62,11 @@ let registry =
       [],
       "per-statement argmin over every policy including optimal; falls back \
        to zero under runtime alignments" );
+    ( Joint,
+      "joint",
+      [],
+      "whole-body minimum-cost placement with cross-statement vshiftstream \
+       sharing (Simd.Opt.Joint solver); never worse than optimal per body" );
   ]
 
 let all = List.map (fun (p, _, _, _) -> p) registry
@@ -90,7 +95,11 @@ type error =
   | Requires_compile_time_alignment of t
       (** eager/lazy/dominant need every stream offset at compile time *)
   | Requires_solver of t
-      (** optimal/auto are placed by {!Simd.Opt}, not by this module *)
+      (** optimal/auto/joint are placed by {!Simd.Opt}, not by this module *)
+  | Not_bare of t * string
+      (** the tree handed to placement already carries [Shift] nodes — a
+          re-placed graph was fed back through a policy
+          ({!Graph.assert_bare}) *)
 
 let pp_error fmt = function
   | Requires_compile_time_alignment p ->
@@ -102,6 +111,9 @@ let pp_error fmt = function
       "policy %s is placed by the exact solver (Simd.Opt.Place), not by \
        Policy.place"
       (name p)
+  | Not_bare (p, msg) ->
+    Format.fprintf fmt "policy %s cannot place a non-bare tree: %s" (name p)
+      msg
 
 (* ------------------------------------------------------------------ *)
 (* Helpers                                                             *)
@@ -141,7 +153,13 @@ let offsets_known ~(analysis : Analysis.t) (stmt : Ast.stmt) =
 (* Zero-shift                                                          *)
 (* ------------------------------------------------------------------ *)
 
-let place_zero ~(analysis : Analysis.t) (stmt : Ast.stmt) : Graph.t =
+(* The workers below require a bare tree — {!place} discharges
+   [Graph.assert_bare] before dispatching, so their [Shift] branches are
+   unreachable; they raise [Graph.Invalid] defensively rather than crash. *)
+let not_bare_invalid () =
+  raise (Graph.Invalid "bare-tree precondition violated (Graph.assert_bare)")
+
+let place_zero ~(analysis : Analysis.t) ~root (stmt : Ast.stmt) : Graph.t =
   let block = analysis.Analysis.block in
   let zero = Offset.Known 0 in
   let rec go (n : Graph.node) : Graph.node * Offset.t =
@@ -155,9 +173,9 @@ let place_zero ~(analysis : Analysis.t) (stmt : Ast.stmt) : Graph.t =
       let a', _ = go a in
       let b', _ = go b in
       (Graph.Op (op, a', b'), zero)
-    | Graph.Shift _ -> assert false (* bare tree has no shifts *)
+    | Graph.Shift _ -> not_bare_invalid ()
   in
-  let root, root_off = go (Graph.of_expr stmt.Ast.rhs) in
+  let root, root_off = go root in
   let store_offset = target_offset ~analysis stmt in
   let root = shift_to ~block root ~from:root_off ~target:store_offset in
   { Graph.store = stmt.Ast.lhs; store_offset; root; block }
@@ -166,7 +184,7 @@ let place_zero ~(analysis : Analysis.t) (stmt : Ast.stmt) : Graph.t =
 (* Eager-shift                                                         *)
 (* ------------------------------------------------------------------ *)
 
-let place_eager ~(analysis : Analysis.t) (stmt : Ast.stmt) : Graph.t =
+let place_eager ~(analysis : Analysis.t) ~root (stmt : Ast.stmt) : Graph.t =
   let block = analysis.Analysis.block in
   let store_offset = target_offset ~analysis stmt in
   let rec go (n : Graph.node) : Graph.node =
@@ -177,9 +195,9 @@ let place_eager ~(analysis : Analysis.t) (stmt : Ast.stmt) : Graph.t =
       shift_to ~block n ~from:(Offset.Known 0) ~target:store_offset
     | Graph.Splat _ -> n
     | Graph.Op (op, a, b) -> Graph.Op (op, go a, go b)
-    | Graph.Shift _ -> assert false
+    | Graph.Shift _ -> not_bare_invalid ()
   in
-  let root = go (Graph.of_expr stmt.Ast.rhs) in
+  let root = go root in
   { Graph.store = stmt.Ast.lhs; store_offset; root; block }
 
 (* ------------------------------------------------------------------ *)
@@ -190,7 +208,8 @@ let place_eager ~(analysis : Analysis.t) (stmt : Ast.stmt) : Graph.t =
     meet at whenever it is one of the two candidates (the global dominant
     offset for the dominant policy; the store offset is always a secondary
     preference because meeting there elides the final store shift). *)
-let place_meet ~(analysis : Analysis.t) ~preferred (stmt : Ast.stmt) : Graph.t =
+let place_meet ~(analysis : Analysis.t) ~preferred ~root (stmt : Ast.stmt) :
+    Graph.t =
   let block = analysis.Analysis.block in
   let store_offset = target_offset ~analysis stmt in
   let choose_target oa ob =
@@ -216,9 +235,9 @@ let place_meet ~(analysis : Analysis.t) ~preferred (stmt : Ast.stmt) : Graph.t =
         let b' = shift_to ~block b' ~from:ob ~target in
         (Graph.Op (op, a', b'), target)
       end
-    | Graph.Shift _ -> assert false
+    | Graph.Shift _ -> not_bare_invalid ()
   in
-  let root, root_off = go (Graph.of_expr stmt.Ast.rhs) in
+  let root, root_off = go root in
   let root = shift_to ~block root ~from:root_off ~target:store_offset in
   { Graph.store = stmt.Ast.lhs; store_offset; root; block }
 
@@ -260,27 +279,34 @@ let dominant_offset ~(analysis : Analysis.t) (stmt : Ast.stmt) : Offset.t =
 (* Entry point                                                         *)
 (* ------------------------------------------------------------------ *)
 
-(** [place policy ~analysis stmt] — build the statement's valid data
-    reorganization graph under [policy]. *)
-let place (policy : t) ~(analysis : Analysis.t) (stmt : Ast.stmt) :
+(** [place ?root policy ~analysis stmt] — build the statement's valid data
+    reorganization graph under [policy]. [root] (default
+    [Graph.of_expr stmt.rhs]) lets the caller supply a pre-built bare tree;
+    the bare-tree precondition is checked either way, so a re-placed graph
+    fed back through a policy yields [Not_bare], not a crash. *)
+let place ?root (policy : t) ~(analysis : Analysis.t) (stmt : Ast.stmt) :
     (Graph.t, error) result =
-  match policy with
-  | Optimal | Auto -> Error (Requires_solver policy)
-  | Zero -> Ok (place_zero ~analysis stmt)
-  | Eager | Lazy | Dominant ->
-    if not (offsets_known ~analysis stmt) then
+  let root =
+    match root with Some r -> r | None -> Graph.of_expr stmt.Ast.rhs
+  in
+  match Graph.assert_bare root with
+  | Error msg -> Error (Not_bare (policy, msg))
+  | Ok () -> (
+    match policy with
+    | Optimal | Auto | Joint -> Error (Requires_solver policy)
+    | Zero -> Ok (place_zero ~analysis ~root stmt)
+    | (Eager | Lazy | Dominant) when not (offsets_known ~analysis stmt) ->
       Error (Requires_compile_time_alignment policy)
-    else
+    | Eager -> Ok (place_eager ~analysis ~root stmt)
+    | Lazy -> Ok (place_meet ~analysis ~preferred:None ~root stmt)
+    | Dominant ->
       Ok
-        (match policy with
-        | Eager -> place_eager ~analysis stmt
-        | Lazy -> place_meet ~analysis ~preferred:None stmt
-        | Dominant ->
-          place_meet ~analysis ~preferred:(Some (dominant_offset ~analysis stmt)) stmt
-        | Zero | Optimal | Auto -> assert false)
+        (place_meet ~analysis
+           ~preferred:(Some (dominant_offset ~analysis stmt))
+           ~root stmt))
 
 (** [place_exn] — [place], raising on policy/alignment mismatch. *)
-let place_exn policy ~analysis stmt =
-  match place policy ~analysis stmt with
+let place_exn ?root policy ~analysis stmt =
+  match place ?root policy ~analysis stmt with
   | Ok g -> g
   | Error e -> invalid_arg (Format.asprintf "Policy.place_exn: %a" pp_error e)

@@ -3,7 +3,7 @@
     eager-shift, lazy-shift, and dominant-shift. See the implementation
     header for the full description. *)
 
-type t = Zero | Eager | Lazy | Dominant | Optimal | Auto
+type t = Zero | Eager | Lazy | Dominant | Optimal | Auto | Joint
 [@@deriving show, eq, ord]
 
 val registry : (t * string * string list * string) list
@@ -14,8 +14,8 @@ val registry : (t * string * string list * string) list
 val all : t list
 
 val heuristics : t list
-(** The paper's §3.4 policies, the ones {!place} implements. [Optimal] and
-    [Auto] are placed by the exact solver ({!Simd.Opt.Place}). *)
+(** The paper's §3.4 policies, the ones {!place} implements. [Optimal],
+    [Auto] and [Joint] are placed by the exact solver ({!Simd.Opt}). *)
 
 val name : t -> string
 val of_name : string -> t option
@@ -26,6 +26,9 @@ val describe : t -> string
 type error =
   | Requires_compile_time_alignment of t
   | Requires_solver of t
+  | Not_bare of t * string
+      (** the tree handed to placement already carries [Shift] nodes
+          ({!Graph.assert_bare}) *)
 
 val pp_error : Format.formatter -> error -> unit
 
@@ -44,12 +47,20 @@ val dominant_offset :
     alignment, then the smallest value. *)
 
 val place :
+  ?root:Graph.node ->
   t ->
   analysis:Simd_loopir.Analysis.t ->
   Simd_loopir.Ast.stmt ->
   (Graph.t, error) result
 (** Build the statement's valid data reorganization graph under the
-    policy. *)
+    policy. [root] (default [Graph.of_expr stmt.rhs]) supplies a pre-built
+    tree; it must satisfy {!Graph.assert_bare} or the result is
+    [Error (Not_bare _)]. *)
 
-val place_exn : t -> analysis:Simd_loopir.Analysis.t -> Simd_loopir.Ast.stmt -> Graph.t
+val place_exn :
+  ?root:Graph.node ->
+  t ->
+  analysis:Simd_loopir.Analysis.t ->
+  Simd_loopir.Ast.stmt ->
+  Graph.t
 (** {!place}, raising [Invalid_argument] on error. *)

@@ -184,6 +184,7 @@ let policy_rank = function
   | Policy.Dominant -> 3
   | Policy.Optimal -> 4
   | Policy.Auto -> 5
+  | Policy.Joint -> 6
 
 let reuse_rank = function
   | Driver.No_reuse -> 0
@@ -199,7 +200,14 @@ let config_variants (c : Case.t) : Case.t list =
        (fun p ->
          if policy_rank p < policy_rank cfg.policy then Some { cfg with policy = p }
          else None)
-       [ Policy.Zero; Policy.Eager; Policy.Lazy; Policy.Dominant; Policy.Optimal ]
+       [
+         Policy.Zero;
+         Policy.Eager;
+         Policy.Lazy;
+         Policy.Dominant;
+         Policy.Optimal;
+         Policy.Auto;
+       ]
     @ List.filter_map
         (fun r ->
           if reuse_rank r < reuse_rank cfg.reuse then Some { cfg with reuse = r }

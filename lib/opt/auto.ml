@@ -12,31 +12,43 @@ module Policy = Simd_dreorg.Policy
 
 let candidates = Policy.heuristics @ [ Policy.Optimal ]
 
-(** [place ~analysis stmt] — the cheapest placement and the policy that
-    produced it. Total: never fails (zero-shift fallback). *)
-let place ~(analysis : Analysis.t) (stmt : Ast.stmt) : Graph.t * Policy.t =
-  if not (Policy.offsets_known ~analysis stmt) then
-    (Policy.place_exn Policy.Zero ~analysis stmt, Policy.Zero)
+(* One candidate's placement, or [None] when the policy does not apply to
+   the statement (a candidate list is a preference order, not a promise
+   that every entry fits). *)
+let try_candidate ~analysis stmt p : (Graph.t * Policy.t) option =
+  let placed =
+    match p with
+    | Policy.Optimal | Policy.Auto | Policy.Joint -> Solve.solve ~analysis stmt
+    | p -> Policy.place p ~analysis stmt
+  in
+  match placed with Ok g -> Some (g, p) | Error _ -> None
+
+(** [place ?candidates ~analysis stmt] — the cheapest placement among
+    [candidates] and the policy that produced it. Total: never fails —
+    zero-shift is the fallback both under runtime alignments and when the
+    candidate list yields no placement at all (empty list, or every entry
+    inapplicable). *)
+let place ?(candidates = candidates) ~(analysis : Analysis.t)
+    (stmt : Ast.stmt) : Graph.t * Policy.t =
+  let zero () = (Policy.place_exn Policy.Zero ~analysis stmt, Policy.Zero) in
+  if not (Policy.offsets_known ~analysis stmt) then zero ()
   else begin
     let scored =
-      List.map
+      List.filter_map
         (fun p ->
-          let g =
-            match p with
-            | Policy.Optimal -> Solve.solve_exn ~analysis stmt
-            | p -> Policy.place_exn p ~analysis stmt
-          in
-          (g, p, Cost.graph_cost ~analysis ~stmt g))
+          Option.map
+            (fun (g, p) -> (g, p, Cost.graph_cost ~analysis ~stmt g))
+            (try_candidate ~analysis stmt p))
         candidates
     in
-    let g, p, _ =
-      match scored with
-      | [] -> assert false
-      | first :: rest ->
+    match scored with
+    | [] -> zero ()
+    | first :: rest ->
+      let g, p, _ =
         List.fold_left
           (fun ((_, _, bc) as best) ((_, _, c) as cand) ->
             if c < bc then cand else best)
           first rest
-    in
-    (g, p)
+      in
+      (g, p)
   end

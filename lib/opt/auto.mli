@@ -7,8 +7,11 @@ val candidates : Simd_dreorg.Policy.t list
     heuristics, then [Optimal]. *)
 
 val place :
+  ?candidates:Simd_dreorg.Policy.t list ->
   analysis:Simd_loopir.Analysis.t ->
   Simd_loopir.Ast.stmt ->
   Simd_dreorg.Graph.t * Simd_dreorg.Policy.t
-(** Total: never fails. Returns the graph and the policy that produced
-    it. *)
+(** Total: never fails. Returns the graph and the policy that produced it.
+    Zero-shift is the fallback under runtime alignments and whenever
+    [candidates] (default {!candidates}) yields no placement — an empty or
+    fully inapplicable list degrades to zero, not to a crash. *)

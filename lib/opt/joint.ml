@@ -1,0 +1,325 @@
+(** Whole-body shift placement with cross-statement stream sharing
+    (paper §4.4 multi-statement loops; the `joint` policy).
+
+    {!Solve} is provably optimal only {e per statement}: two statements
+    loading the same misaligned stream each pay for their own
+    [vshiftstream], and shift offsets are chosen independently even when
+    meeting at a common offset would be cheaper globally (value numbering
+    collapses structurally equal shift chains into one shared stream at
+    lowering time, see {!Graph.chain}). This module lifts placement to the
+    whole body:
+
+    - enumerate the shareable stream classes — (array reference,
+      gather-ness) pairs whose leaves occur at least twice across the
+      body's bare trees;
+    - for each assignment of a shared offset [σ] to a subset of classes,
+      re-run the per-statement DP with the class leaves' tables extended
+      by a route {e through} [σ] whose [o → σ] hop is priced as shared
+      (free within one statement's table — the hop is paid once per body,
+      not once per consumer);
+    - materialize every candidate body (the per-statement optimum, each
+      §3.4 heuristic applied body-wide, and every sharing assignment) and
+      keep the argmin under the {e true} body cost {!body_cost}, which
+      discounts each duplicated chain once per extra consumer.
+
+    Because the candidate set always contains the per-statement optimum
+    and every heuristic body, [joint ≤ optimal] and [joint ≤ heuristic]
+    hold by construction under {!body_cost}. Statements with runtime
+    alignments take the zero-shift placement, as everywhere else (§4.4).
+
+    The assignment sweep is capped ({!val-cap}) — classes beyond the cap
+    keep their native offsets. Real loop bodies have a handful of shared
+    classes, so the cap is never reached in practice. *)
+
+open Simd_loopir
+module Graph = Simd_dreorg.Graph
+module Offset = Simd_dreorg.Offset
+module Policy = Simd_dreorg.Policy
+module Config = Simd_machine.Config
+
+(* ------------------------------------------------------------------ *)
+(* Shared streams of a placed body                                     *)
+(* ------------------------------------------------------------------ *)
+
+type shared = {
+  sh_chain : Graph.chain;  (** the duplicated reorganization chain *)
+  sh_count : int;  (** number of consumers (occurrences body-wide), ≥ 2 *)
+  sh_saved : float;
+      (** shift cost paid [sh_count − 1] fewer times thanks to sharing:
+          the chain's outermost hop, once per extra consumer *)
+}
+
+let last_hop (c : Graph.chain) =
+  List.nth c.Graph.chain_hops (List.length c.Graph.chain_hops - 1)
+
+(* Group by [Graph.equal_chain], preserving first-seen order. *)
+let group_chains chains =
+  let rec add c = function
+    | [] -> [ (c, 1) ]
+    | (c', n) :: tl when Graph.equal_chain c c' -> (c', n + 1) :: tl
+    | hd :: tl -> hd :: add c tl
+  in
+  List.fold_left (fun acc c -> add c acc) [] chains
+
+(** [shared_streams ~analysis graphs] — every reorganization chain that
+    occurs at least twice across the body's placed graphs. Each entry of a
+    multi-hop chain is counted separately ({!Graph.chains}): sharing the
+    outer hop implies sharing the inner ones, and each contributes its own
+    saved shift. *)
+let shared_streams ~(analysis : Analysis.t) (graphs : Graph.t list) :
+    shared list =
+  let machine = analysis.Analysis.machine in
+  List.concat_map (fun (g : Graph.t) -> Graph.chains g.Graph.root) graphs
+  |> group_chains
+  |> List.filter_map (fun (c, n) ->
+         if n < 2 then None
+         else begin
+           let from, to_ = last_hop c in
+           let saved =
+             float_of_int (n - 1) *. Cost.shift_cost machine ~from ~to_
+           in
+           Some { sh_chain = c; sh_count = n; sh_saved = saved }
+         end)
+
+(** [body_cost ~analysis placed] — the whole-body static cost: the sum of
+    per-statement graph costs minus the sharing discount (each duplicated
+    chain's outermost shift is paid once, not once per consumer). Loads
+    deduplicate under value numbering too, but identically under every
+    placement of the same body, so they do not enter the comparison. *)
+let pp_shared fmt s =
+  let from, to_ = last_hop s.sh_chain in
+  Format.fprintf fmt "vshiftstream(%s, %a -> %a) x%d (saves %.2f)"
+    (Pp.mem_ref_to_string s.sh_chain.Graph.chain_ref)
+    Offset.pp from Offset.pp to_ s.sh_count s.sh_saved
+
+let body_cost ~(analysis : Analysis.t) (placed : (Ast.stmt * Graph.t) list) :
+    float =
+  let total =
+    List.fold_left
+      (fun acc (stmt, g) -> acc +. Cost.graph_cost ~analysis ~stmt g)
+      0.0 placed
+  in
+  let discount =
+    List.fold_left
+      (fun acc s -> acc +. s.sh_saved)
+      0.0
+      (shared_streams ~analysis (List.map snd placed))
+  in
+  total -. discount
+
+(* ------------------------------------------------------------------ *)
+(* The joint solver                                                    *)
+(* ------------------------------------------------------------------ *)
+
+(** Sharing-assignment sweep bound: at most this many candidate bodies
+    from the σ-assignment product (per-class target sets are tiny — the
+    consuming statements' store offsets plus 0 — so real bodies stay far
+    below it). *)
+let cap = 256
+
+(* A shareable stream class: one leaf kind with a compile-time native
+   offset. Identity ignores the native offset (it is determined by the
+   reference). *)
+type cls = { cl_ref : Ast.mem_ref; cl_gather : bool; cl_native : int }
+
+let equal_cls a b =
+  Ast.equal_mem_ref a.cl_ref b.cl_ref && a.cl_gather = b.cl_gather
+
+(* Leaf classes of a bare tree, one entry per occurrence. Runtime-offset
+   loads are not shareable (the DP never sees them). *)
+let leaf_classes ~(analysis : Analysis.t) root =
+  let rec go acc = function
+    | Graph.Load r -> (
+      match Analysis.offset_of analysis r with
+      | Align.Known k -> { cl_ref = r; cl_gather = false; cl_native = k } :: acc
+      | Align.Runtime -> acc)
+    | Graph.Strided r -> { cl_ref = r; cl_gather = true; cl_native = 0 } :: acc
+    | Graph.Splat _ -> acc
+    | Graph.Op (_, a, b) -> go (go acc a) b
+    | Graph.Shift (src, _, _) -> go acc src
+  in
+  go [] root
+
+(* A leaf that may route through the shared stream offset [sigma]: the
+   [o → sigma] hop is materialized per consumer (so each graph validates
+   standalone and value numbering can merge the copies) but priced as
+   shared — free within the statement's table. The final argmin re-scores
+   every candidate by the true {!body_cost}, so a lone consumer cannot win
+   on the discounted table. *)
+let shared_leaf ~machine ~v n ~o ~sigma =
+  let tbl =
+    Array.init v (fun t ->
+        Float.min
+          (Table.sc machine ~from:o ~to_:t)
+          (Table.sc machine ~from:sigma ~to_:t))
+  in
+  let rebuild t =
+    if Table.sc machine ~from:sigma ~to_:t < Table.sc machine ~from:o ~to_:t
+    then begin
+      let inner =
+        if sigma = o then n
+        else Graph.Shift (n, Offset.Known o, Offset.Known sigma)
+      in
+      if t = sigma then inner
+      else Graph.Shift (inner, Offset.Known sigma, Offset.Known t)
+    end
+    else if t = o then n
+    else Graph.Shift (n, Offset.Known o, Offset.Known t)
+  in
+  (Table.Tbl tbl, rebuild)
+
+(** [place_body ~analysis stmts] — place the whole body jointly, returning
+    each statement's graph and the policy that actually produced it in
+    body order ([Joint] for compile-time-aligned statements, [Zero] for
+    the runtime-aligned fallback). *)
+let place_body ~(analysis : Analysis.t) (stmts : Ast.stmt list) :
+    (Ast.stmt * Graph.t * Policy.t) list =
+  let machine = analysis.Analysis.machine in
+  let v = Config.vector_len machine in
+  let block = analysis.Analysis.block in
+  let tagged = List.mapi (fun i s -> (i, s)) stmts in
+  let known, unknown =
+    List.partition (fun (_, s) -> Policy.offsets_known ~analysis s) tagged
+  in
+  let unknown_placed =
+    List.map
+      (fun (i, s) ->
+        (i, s, Policy.place_exn Policy.Zero ~analysis s, Policy.Zero))
+      unknown
+  in
+  let prepared =
+    List.map
+      (fun (i, s) ->
+        let root = Graph.of_expr s.Ast.rhs in
+        let target =
+          match Policy.target_offset ~analysis s with
+          | Offset.Known k -> k
+          | Offset.Runtime _ | Offset.Any -> assert false (* offsets known *)
+        in
+        (i, s, root, target))
+      known
+  in
+  let solve_stmt ?override (s, root, target) =
+    let _table, rebuild = Solve.build ?override ~analysis ~machine ~v root in
+    let store_offset = Policy.target_offset ~analysis s in
+    { Graph.store = s.Ast.lhs; store_offset; root = rebuild target; block }
+  in
+  (* Candidate 0: the per-statement optimum — joint can never be worse. *)
+  let baseline =
+    List.map (fun (_, s, root, t) -> solve_stmt (s, root, t)) prepared
+  in
+  (* σ-assignment sweep over the shareable classes. *)
+  let all_cls =
+    List.concat_map (fun (_, _, root, _) -> leaf_classes ~analysis root)
+      prepared
+  in
+  let shared_cls =
+    let rec count c = function
+      | [] -> 0
+      | c' :: tl -> (if equal_cls c c' then 1 else 0) + count c tl
+    in
+    let rec uniq seen = function
+      | [] -> List.rev seen
+      | c :: tl ->
+        if List.exists (equal_cls c) seen then uniq seen tl
+        else uniq (c :: seen) tl
+    in
+    List.filter (fun c -> count c all_cls >= 2) (uniq [] all_cls)
+  in
+  let class_opts =
+    List.map
+      (fun c ->
+        let targets =
+          List.filter_map
+            (fun (_, _, root, t) ->
+              if List.exists (equal_cls c) (leaf_classes ~analysis root) then
+                Some t
+              else None)
+            prepared
+        in
+        let sigmas =
+          List.sort_uniq compare (0 :: targets)
+          |> List.filter (fun k -> k <> c.cl_native && k >= 0 && k < v)
+        in
+        (c, None :: List.map Option.some sigmas))
+      shared_cls
+  in
+  let assignments =
+    List.fold_left
+      (fun acc (c, opts) ->
+        if List.length acc * List.length opts > cap then acc
+        else
+          List.concat_map
+            (fun asg -> List.map (fun o -> (c, o) :: asg) opts)
+            acc)
+      [ [] ] class_opts
+    (* the all-None assignment is the baseline; drop it *)
+    |> List.filter (List.exists (fun (_, o) -> o <> None))
+  in
+  let shared_bodies =
+    List.map
+      (fun asg ->
+        let lookup c =
+          List.find_map (fun (c', o) -> if equal_cls c c' then o else None) asg
+        in
+        let override n =
+          match n with
+          | Graph.Load r -> (
+            match Analysis.offset_of analysis r with
+            | Align.Known o -> (
+              match lookup { cl_ref = r; cl_gather = false; cl_native = o } with
+              | Some sigma -> Some (shared_leaf ~machine ~v n ~o ~sigma)
+              | None -> None)
+            | Align.Runtime -> None)
+          | Graph.Strided r -> (
+            match lookup { cl_ref = r; cl_gather = true; cl_native = 0 } with
+            | Some sigma -> Some (shared_leaf ~machine ~v n ~o:0 ~sigma)
+            | None -> None)
+          | Graph.Splat _ | Graph.Op _ | Graph.Shift _ -> None
+        in
+        List.map (fun (_, s, root, t) -> solve_stmt ~override (s, root, t))
+          prepared)
+      assignments
+  in
+  (* Each §3.4 heuristic applied body-wide: under the sharing discount a
+     heuristic's uniform detours (e.g. zero-shift meeting every stream at
+     offset 0) can beat the per-statement optimum, so they compete too. *)
+  let heuristic_bodies =
+    List.filter_map
+      (fun h ->
+        let gs =
+          List.map
+            (fun (_, s, _, _) -> Result.to_option (Policy.place h ~analysis s))
+            prepared
+        in
+        if List.for_all Option.is_some gs then
+          Some (List.map Option.get gs)
+        else None)
+      Policy.heuristics
+  in
+  let assemble known_graphs =
+    let known_entries =
+      List.map2
+        (fun (i, s, _, _) g -> (i, s, g, Policy.Joint))
+        prepared known_graphs
+    in
+    List.sort
+      (fun (i, _, _, _) (j, _, _, _) -> compare i j)
+      (known_entries @ unknown_placed)
+    |> List.map (fun (_, s, g, p) -> (s, g, p))
+  in
+  let score known_graphs =
+    body_cost ~analysis
+      (List.map (fun (s, g, _) -> (s, g)) (assemble known_graphs))
+  in
+  (* Strict [<]: ties keep the earliest candidate, so the per-statement
+     optimum wins unless sharing (or a heuristic body) strictly helps. *)
+  let best, _ =
+    List.fold_left
+      (fun ((_, bc) as acc) cand ->
+        let c = score cand in
+        if c < bc then (cand, c) else acc)
+      (baseline, score baseline)
+      (shared_bodies @ heuristic_bodies)
+  in
+  assemble best

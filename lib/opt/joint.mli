@@ -1,0 +1,38 @@
+(** Whole-body shift placement with cross-statement stream sharing — the
+    [joint] policy. Enumerates shareable stream classes across the body's
+    statements, sweeps shared-offset assignments through the per-statement
+    DP ({!Solve.build} with overridden leaf tables), and keeps the argmin
+    body under {!body_cost}. The candidate set always contains the
+    per-statement optimum and every §3.4 heuristic applied body-wide, so
+    [joint ≤ optimal] and [joint ≤ heuristic] hold by construction. *)
+
+type shared = {
+  sh_chain : Simd_dreorg.Graph.chain;
+  sh_count : int;  (** occurrences body-wide, ≥ 2 *)
+  sh_saved : float;
+      (** shift cost saved by sharing: the chain's outermost hop, once per
+          extra consumer *)
+}
+
+val shared_streams :
+  analysis:Simd_loopir.Analysis.t ->
+  Simd_dreorg.Graph.t list ->
+  shared list
+(** Every reorganization chain occurring at least twice across the placed
+    body — the streams value numbering collapses into one. *)
+
+val pp_shared : Format.formatter -> shared -> unit
+
+val body_cost :
+  analysis:Simd_loopir.Analysis.t ->
+  (Simd_loopir.Ast.stmt * Simd_dreorg.Graph.t) list ->
+  float
+(** Sum of per-statement graph costs minus the sharing discount. *)
+
+val place_body :
+  analysis:Simd_loopir.Analysis.t ->
+  Simd_loopir.Ast.stmt list ->
+  (Simd_loopir.Ast.stmt * Simd_dreorg.Graph.t * Simd_dreorg.Policy.t) list
+(** Place the whole body jointly, in body order. Total: statements with
+    runtime alignments take the zero-shift placement (§4.4) and are
+    labelled [Zero]; the rest are labelled [Joint]. *)

@@ -1,9 +1,9 @@
 (** The total placement dispatcher: one entry point covering every
     {!Simd_dreorg.Policy.t}, routing the §3.4 heuristics to
-    {!Simd_dreorg.Policy.place} and [Optimal]/[Auto] to the exact solver.
-    The driver goes through this module, never through [Policy.place]
-    directly, so a [Requires_solver] error can only mean a caller bypassed
-    the dispatcher. *)
+    {!Simd_dreorg.Policy.place} and [Optimal]/[Auto]/[Joint] to the exact
+    solver. The driver goes through this module, never through
+    [Policy.place] directly, so a [Requires_solver] error can only mean a
+    caller bypassed the dispatcher. *)
 
 open Simd_loopir
 module Graph = Simd_dreorg.Graph
@@ -31,6 +31,17 @@ let place (policy : Policy.t) ~(analysis : Analysis.t) (stmt : Ast.stmt) :
   | Policy.Auto ->
     let graph, used = Auto.place ~analysis stmt in
     Ok { graph; used }
+  | Policy.Joint -> (
+    (* single-statement joint placement ≡ optimal (no cross-statement
+       sharing); whole-body joint placement lives in the driver, which
+       calls [Joint.place_body] over the full body instead of this
+       per-statement entry point *)
+    if not (Policy.offsets_known ~analysis stmt) then
+      Error (Policy.Requires_compile_time_alignment Policy.Joint)
+    else
+      match Joint.place_body ~analysis [ stmt ] with
+      | [ (_, graph, used) ] -> Ok { graph; used }
+      | _ -> assert false (* place_body preserves statement count *))
 
 (** [place_with_fallback policy ~analysis stmt] — like {!place} but falls
     back to zero-shift when the policy needs compile-time alignments the
@@ -40,7 +51,11 @@ let place_with_fallback policy ~analysis stmt : placement =
   | Ok p -> p
   | Error (Policy.Requires_compile_time_alignment _) ->
     { graph = Policy.place_exn Policy.Zero ~analysis stmt; used = Policy.Zero }
-  | Error (Policy.Requires_solver _) -> assert false (* [place] dispatches *)
+  | Error ((Policy.Requires_solver _ | Policy.Not_bare _) as e) ->
+    (* [place] dispatches every policy and hands workers bare trees; a
+       caller reaching here bypassed the dispatcher *)
+    invalid_arg
+      (Format.asprintf "Opt.Place.place_with_fallback: %a" Policy.pp_error e)
 
 let place_exn policy ~analysis stmt =
   match place policy ~analysis stmt with

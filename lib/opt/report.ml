@@ -40,6 +40,16 @@ type stmt_report = {
       (** static cost under every other placeable policy *)
 }
 
+type shared_stream = {
+  shared_array : string;
+  shared_offset : int;  (** element offset in the subscript *)
+  shared_stride : int;
+  shared_from : Offset.t;  (** the shared chain's outermost hop *)
+  shared_to : Offset.t;
+  shared_consumers : int;  (** occurrences body-wide, ≥ 2 *)
+  shared_saved : float;  (** shift cost saved by sharing *)
+}
+
 type t = {
   policy : Policy.t;  (** the requested driver policy *)
   vector_len : int;
@@ -47,6 +57,12 @@ type t = {
   stmts : stmt_report list;
   totals : Cost.counts;
   total_cost : float;
+  shared : shared_stream list;
+      (** reorganization chains occurring in more than one statement — one
+          [vshiftstream] after value numbering, whatever the policy;
+          [joint] is the policy that steers placement toward them *)
+  body_cost : float;
+      (** [total_cost] minus the sharing discount ({!Joint.body_cost}) *)
 }
 
 (* ------------------------------------------------------------------ *)
@@ -122,6 +138,26 @@ let make ~(analysis : Analysis.t) ~(requested : Policy.t)
       (fun acc s -> Cost.add_counts acc s.counts)
       Cost.zero_counts stmts
   in
+  let shared =
+    List.map
+      (fun (s : Joint.shared) ->
+        let r = s.Joint.sh_chain.Graph.chain_ref in
+        let from, to_ =
+          List.nth s.Joint.sh_chain.Graph.chain_hops
+            (List.length s.Joint.sh_chain.Graph.chain_hops - 1)
+        in
+        {
+          shared_array = r.Ast.ref_array;
+          shared_offset = r.Ast.ref_offset;
+          shared_stride = r.Ast.ref_stride;
+          shared_from = from;
+          shared_to = to_;
+          shared_consumers = s.Joint.sh_count;
+          shared_saved = s.Joint.sh_saved;
+        })
+      (Joint.shared_streams ~analysis
+         (List.map (fun (_, g, _) -> g) placed))
+  in
   {
     policy = requested;
     vector_len = Config.vector_len machine;
@@ -129,6 +165,9 @@ let make ~(analysis : Analysis.t) ~(requested : Policy.t)
     stmts;
     totals;
     total_cost = Cost.cost_of_counts machine totals;
+    shared;
+    body_cost =
+      Joint.body_cost ~analysis (List.map (fun (s, g, _) -> (s, g)) placed);
   }
 
 (* ------------------------------------------------------------------ *)
@@ -216,6 +255,18 @@ let stmt_to_json (s : stmt_report) : Json.t =
              s.alternatives) );
     ]
 
+let shared_to_json (s : shared_stream) : Json.t =
+  Json.Obj
+    [
+      ("array", Json.String s.shared_array);
+      ("offset", Json.Int s.shared_offset);
+      ("stride", Json.Int s.shared_stride);
+      ("from", offset_to_json s.shared_from);
+      ("to", offset_to_json s.shared_to);
+      ("consumers", Json.Int s.shared_consumers);
+      ("saved", Json.Float s.shared_saved);
+    ]
+
 let to_json (r : t) : Json.t =
   Json.Obj
     [
@@ -225,6 +276,8 @@ let to_json (r : t) : Json.t =
       ("statements", Json.List (List.map stmt_to_json r.stmts));
       ("totals", counts_to_json r.totals);
       ("total_cost", Json.Float r.total_cost);
+      ("shared_streams", Json.List (List.map shared_to_json r.shared));
+      ("body_cost", Json.Float r.body_cost);
     ]
 
 let to_string ?indent r = Json.to_string ?indent (to_json r)
@@ -246,4 +299,14 @@ let pp fmt (r : t) =
         (fun (p, c) -> Format.fprintf fmt "    %-8s %.2f@," (Policy.name p) c)
         s.alternatives)
     r.stmts;
-  Format.fprintf fmt "total cost %.2f@]" r.total_cost
+  List.iter
+    (fun s ->
+      Format.fprintf fmt
+        "shared: %s[%d] stride %d, %a -> %a, %d consumers (saves %.2f)@,"
+        s.shared_array s.shared_offset s.shared_stride Offset.pp s.shared_from
+        Offset.pp s.shared_to s.shared_consumers s.shared_saved)
+    r.shared;
+  Format.fprintf fmt "total cost %.2f" r.total_cost;
+  if r.shared <> [] then
+    Format.fprintf fmt " (body cost %.2f after sharing)" r.body_cost;
+  Format.fprintf fmt "@]"

@@ -29,6 +29,16 @@ type stmt_report = {
   alternatives : (Simd_dreorg.Policy.t * float) list;
 }
 
+type shared_stream = {
+  shared_array : string;
+  shared_offset : int;
+  shared_stride : int;
+  shared_from : Simd_dreorg.Offset.t;
+  shared_to : Simd_dreorg.Offset.t;
+  shared_consumers : int;
+  shared_saved : float;
+}
+
 type t = {
   policy : Simd_dreorg.Policy.t;
   vector_len : int;
@@ -36,6 +46,11 @@ type t = {
   stmts : stmt_report list;
   totals : Cost.counts;
   total_cost : float;
+  shared : shared_stream list;
+      (** reorganization chains occurring in more than one statement — one
+          [vshiftstream] after value numbering ({!Joint.shared_streams}) *)
+  body_cost : float;
+      (** [total_cost] minus the sharing discount ({!Joint.body_cost}) *)
 }
 
 val make :

@@ -24,69 +24,88 @@ module Policy = Simd_dreorg.Policy
 module Config = Simd_machine.Config
 
 (* DP over the bare tree: table + a rebuild function materializing the
-   subtree placed so its stream sits at the given byte offset. *)
-let rec build ~(analysis : Analysis.t) ~machine ~v (n : Graph.node) :
+   subtree placed so its stream sits at the given byte offset. [override]
+   lets the joint solver substitute a different table/rebuild pair for
+   selected nodes (leaves routed through a shared stream offset); it is
+   consulted first at every node. *)
+let rec build ?override ~(analysis : Analysis.t) ~machine ~v (n : Graph.node) :
     Table.t * (int -> Graph.node) =
-  match n with
-  | Graph.Load r ->
-    let o =
-      match Analysis.offset_of analysis r with
-      | Align.Known k -> k
-      | Align.Runtime -> assert false (* guarded by [offsets_known] *)
-    in
-    leaf ~machine ~v n o
-  | Graph.Strided _ -> leaf ~machine ~v n 0 (* gathered streams sit at 0 *)
-  | Graph.Splat _ -> (Table.Any, fun _ -> n)
-  | Graph.Op (op, a, b) ->
-    let ta, ra = build ~analysis ~machine ~v a in
-    let tb, rb = build ~analysis ~machine ~v b in
-    let table, choice = Table.meet machine ta tb in
-    let rebuild t =
-      match table with
-      | Table.Any -> Graph.Op (op, ra 0, rb 0) (* offset ⊥; t irrelevant *)
-      | Table.Tbl _ ->
-        let m = choice.(t) in
-        let child ct r =
-          match ct with Table.Any -> r 0 | Table.Tbl _ -> r m
-        in
-        let core = Graph.Op (op, child ta ra, child tb rb) in
-        if m = t then core
-        else Graph.Shift (core, Offset.Known m, Offset.Known t)
-    in
-    (table, rebuild)
-  | Graph.Shift _ -> assert false (* bare tree has no shifts *)
+  match override with
+  | Some f when Option.is_some (f n) -> Option.get (f n)
+  | _ -> (
+    match n with
+    | Graph.Load r ->
+      let o =
+        match Analysis.offset_of analysis r with
+        | Align.Known k -> k
+        | Align.Runtime -> assert false (* guarded by [offsets_known] *)
+      in
+      leaf ~machine ~v n o
+    | Graph.Strided _ -> leaf ~machine ~v n 0 (* gathered streams sit at 0 *)
+    | Graph.Splat _ -> (Table.Any, fun _ -> n)
+    | Graph.Op (op, a, b) ->
+      let ta, ra = build ?override ~analysis ~machine ~v a in
+      let tb, rb = build ?override ~analysis ~machine ~v b in
+      let table, choice = Table.meet machine ta tb in
+      let rebuild t =
+        match table with
+        | Table.Any -> Graph.Op (op, ra 0, rb 0) (* offset ⊥; t irrelevant *)
+        | Table.Tbl _ ->
+          let m = choice.(t) in
+          let child ct r =
+            match ct with Table.Any -> r 0 | Table.Tbl _ -> r m
+          in
+          let core = Graph.Op (op, child ta ra, child tb rb) in
+          if m = t then core
+          else Graph.Shift (core, Offset.Known m, Offset.Known t)
+      in
+      (table, rebuild)
+    | Graph.Shift _ ->
+      (* [solve_with_cost] discharges [Graph.assert_bare] before building;
+         defensive, not a crash path *)
+      raise (Graph.Invalid "bare-tree precondition violated (Graph.assert_bare)")
+    )
 
 and leaf ~machine ~v n o =
   ( Table.leaf machine ~v o,
     fun t ->
       if t = o then n else Graph.Shift (n, Offset.Known o, Offset.Known t) )
 
-(** [solve_with_cost ~analysis stmt] — the minimum-cost graph together with
-    the DP's shift-cost value at the root (which {!Test_opt} cross-checks
-    against {!Cost.shift_cost_of_graph} of the rebuilt graph). *)
-let solve_with_cost ~(analysis : Analysis.t) (stmt : Ast.stmt) :
+(** [solve_with_cost ?root ~analysis stmt] — the minimum-cost graph
+    together with the DP's shift-cost value at the root (which {!Test_opt}
+    cross-checks against {!Cost.shift_cost_of_graph} of the rebuilt
+    graph). [root] (default [Graph.of_expr stmt.rhs]) must be bare, or the
+    result is [Error (Not_bare _)]. *)
+let solve_with_cost ?root ~(analysis : Analysis.t) (stmt : Ast.stmt) :
     (Graph.t * float, Policy.error) result =
-  if not (Policy.offsets_known ~analysis stmt) then
-    Error (Policy.Requires_compile_time_alignment Policy.Optimal)
-  else begin
-    let machine = analysis.Analysis.machine in
-    let v = Config.vector_len machine in
-    let store_offset = Policy.target_offset ~analysis stmt in
-    let target =
-      match store_offset with
-      | Offset.Known k -> k
-      | Offset.Runtime _ | Offset.Any ->
-        assert false (* offsets_known covers the store; reductions use 0 *)
-    in
-    let table, rebuild = build ~analysis ~machine ~v (Graph.of_expr stmt.Ast.rhs) in
-    let root = rebuild target in
-    let g =
-      { Graph.store = stmt.Ast.lhs; store_offset; root; block = analysis.Analysis.block }
-    in
-    Ok (g, Table.cost table target)
-  end
+  let bare =
+    match root with Some r -> r | None -> Graph.of_expr stmt.Ast.rhs
+  in
+  match Graph.assert_bare bare with
+  | Error msg -> Error (Policy.Not_bare (Policy.Optimal, msg))
+  | Ok () ->
+    if not (Policy.offsets_known ~analysis stmt) then
+      Error (Policy.Requires_compile_time_alignment Policy.Optimal)
+    else begin
+      let machine = analysis.Analysis.machine in
+      let v = Config.vector_len machine in
+      let store_offset = Policy.target_offset ~analysis stmt in
+      let target =
+        match store_offset with
+        | Offset.Known k -> k
+        | Offset.Runtime _ | Offset.Any ->
+          assert false (* offsets_known covers the store; reductions use 0 *)
+      in
+      let table, rebuild = build ~analysis ~machine ~v bare in
+      let root = rebuild target in
+      let g =
+        { Graph.store = stmt.Ast.lhs; store_offset; root; block = analysis.Analysis.block }
+      in
+      Ok (g, Table.cost table target)
+    end
 
-let solve ~analysis stmt = Result.map fst (solve_with_cost ~analysis stmt)
+let solve ?root ~analysis stmt =
+  Result.map fst (solve_with_cost ?root ~analysis stmt)
 
 let solve_exn ~analysis stmt =
   match solve ~analysis stmt with

@@ -4,15 +4,32 @@
     compile-time alignments ({!Simd_dreorg.Policy.offsets_known}); callers
     fall back to zero-shift otherwise ({!Place}). *)
 
+val build :
+  ?override:
+    (Simd_dreorg.Graph.node ->
+    (Table.t * (int -> Simd_dreorg.Graph.node)) option) ->
+  analysis:Simd_loopir.Analysis.t ->
+  machine:Simd_machine.Config.t ->
+  v:int ->
+  Simd_dreorg.Graph.node ->
+  Table.t * (int -> Simd_dreorg.Graph.node)
+(** The DP core: a node's per-offset cost table plus a rebuild function
+    materializing the subtree placed at a given byte offset. [override]
+    (consulted first at every node) lets {!Joint} substitute tables for
+    leaves routed through a shared stream offset. The node must be bare. *)
+
 val solve :
+  ?root:Simd_dreorg.Graph.node ->
   analysis:Simd_loopir.Analysis.t ->
   Simd_loopir.Ast.stmt ->
   (Simd_dreorg.Graph.t, Simd_dreorg.Policy.error) result
 (** The minimum-cost valid graph, or
     [Requires_compile_time_alignment Optimal] when any stride-one
-    reference has a runtime offset. *)
+    reference has a runtime offset, or [Not_bare] when [root] already
+    carries shifts. *)
 
 val solve_with_cost :
+  ?root:Simd_dreorg.Graph.node ->
   analysis:Simd_loopir.Analysis.t ->
   Simd_loopir.Ast.stmt ->
   (Simd_dreorg.Graph.t * float, Simd_dreorg.Policy.error) result

@@ -388,6 +388,40 @@ let test_dead_shift_lint_agrees_with_stats () =
   check_int "exact placement is lint-clean" 0
     (List.length (Driver.check_violations optimal))
 
+(* The pair rule counts consumers body-wide: when another statement rides
+   the same reorganization chain, the detour is one shared vshiftstream
+   after value numbering and must not be flagged. Dropping the second
+   consumer (reading an unrelated array instead) re-arms the lint. *)
+let test_dead_shift_shared_suppression () =
+  let compile src =
+    Driver.simdize_exn ~check:true
+      { Driver.default with
+        Driver.policy = Policy.Zero;
+        reuse = Driver.No_reuse;
+      }
+      (Parse.program_of_string src)
+  in
+  let dead_shifts o =
+    List.filter
+      (fun (_, (viol : Check.violation)) -> viol.Check.rule = "dead-shift")
+      (Driver.check_violations o)
+  in
+  let shared =
+    compile
+      "int32 a[128] @ 4;\nint32 b[128] @ 4;\nint32 c[128] @ 0;\n\
+       for (i = 0; i < 100; i++) { a[i] = b[i]; c[i] = b[i]; }"
+  in
+  check_bool "pair over a shared chain is not flagged" true
+    (dead_shifts shared = []);
+  let unshared =
+    compile
+      "int32 a[128] @ 4;\nint32 b[128] @ 4;\nint32 c[128] @ 0;\n\
+       int32 d[128] @ 0;\n\
+       for (i = 0; i < 100; i++) { a[i] = b[i]; c[i] = d[i]; }"
+  in
+  check_bool "same pair without the second consumer is flagged" true
+    (dead_shifts unshared <> [])
+
 (* ------------------------------------------------------------------ *)
 (* Plumbing: outcome.checks, campaign counting                         *)
 (* ------------------------------------------------------------------ *)
@@ -438,6 +472,8 @@ let suite =
           test_tampered_vir_refuted;
         Alcotest.test_case "dead-shift lint agrees with stats" `Quick
           test_dead_shift_lint_agrees_with_stats;
+        Alcotest.test_case "dead-shift lint spares shared chains" `Quick
+          test_dead_shift_shared_suppression;
         Alcotest.test_case "outcome.checks plumbing" `Quick
           test_checks_plumbing;
         Alcotest.test_case "campaign counts static violations" `Quick

@@ -39,6 +39,7 @@ let configs =
     ("optimal-sp", { Driver.default with Driver.policy = Policy.Optimal });
     ("auto-pc", { Driver.default with Driver.policy = Policy.Auto;
                   reuse = Driver.Predictive_commoning });
+    ("joint-sp", { Driver.default with Driver.policy = Policy.Joint });
   ]
 
 let trips_for (p : Ast.program) =

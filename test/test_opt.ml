@@ -30,6 +30,38 @@ let simd_files dir =
     |> List.map (Filename.concat dir)
   else []
 
+(* Whole-body invariants of the joint policy: every joint graph is valid,
+   and under the body cost (per-statement costs minus the sharing
+   discount) joint is never worse than per-statement optimal nor than any
+   heuristic applied body-wide — the `joint ≤ optimal ≤ heuristics`
+   property, body half. *)
+let check_body_joint ~label ~(analysis : Analysis.t) =
+  let body = analysis.Analysis.program.Ast.loop.Ast.body in
+  let joint = Opt.Joint.place_body ~analysis body in
+  List.iter
+    (fun (_, g, _) ->
+      match Graph.validate ~analysis g with
+      | Ok () -> ()
+      | Error m -> Alcotest.failf "%s: joint graph invalid: %s" label m)
+    joint;
+  let joint_cost =
+    Opt.Joint.body_cost ~analysis (List.map (fun (s, g, _) -> (s, g)) joint)
+  in
+  let body_under policy =
+    List.map
+      (fun stmt ->
+        let p = Opt.Place.place_with_fallback policy ~analysis stmt in
+        (stmt, p.Opt.Place.graph))
+      body
+  in
+  List.iter
+    (fun p ->
+      let c = Opt.Joint.body_cost ~analysis (body_under p) in
+      if joint_cost > c +. eps then
+        Alcotest.failf "%s: joint body (%.3f) beaten by %s body (%.3f)" label
+          joint_cost (Policy.name p) c)
+    (Policy.heuristics @ [ Policy.Optimal ])
+
 (* Every statement with compile-time alignments: the solver graph is valid,
    its DP cost value matches the cost model on the rebuilt graph, no
    heuristic is cheaper, auto achieves the minimum, and the n−1 lower bound
@@ -38,6 +70,7 @@ let check_program ~label ~machine (program : Ast.program) : int =
   match Analysis.check ~machine program with
   | Error _ -> 0
   | Ok analysis ->
+    check_body_joint ~label ~analysis;
     let checked = ref 0 in
     List.iter
       (fun stmt ->
@@ -152,6 +185,114 @@ let test_strict_improvement () =
     List.fold_left (fun acc (_, c, _) -> min acc c) max_int heur_costs
   in
   check_int "best heuristic count" 4 best_count
+
+(* The committed counterexamples where joint whole-body placement strictly
+   beats per-statement optimal: shifting at the leaves costs one statement
+   an extra vshiftstream, but the leaf chains feed the other statements,
+   so the body runs on fewer distinct streams after value numbering. *)
+let test_joint_strict_improvement () =
+  List.iter
+    (fun (file, expect_shared) ->
+      let src = read_file (Filename.concat corpus_dir file) in
+      List.iter
+        (fun vl ->
+          let machine = Machine.create ~vector_len:vl in
+          let analysis =
+            Analysis.check_exn ~machine (Parse.program_of_string src)
+          in
+          let body = analysis.Analysis.program.Ast.loop.Ast.body in
+          let joint = Opt.Joint.place_body ~analysis body in
+          let joint_cost =
+            Opt.Joint.body_cost ~analysis
+              (List.map (fun (s, g, _) -> (s, g)) joint)
+          in
+          let opt_cost =
+            Opt.Joint.body_cost ~analysis
+              (List.map
+                 (fun stmt -> (stmt, Opt.Solve.solve_exn ~analysis stmt))
+                 body)
+          in
+          check_bool
+            (Printf.sprintf "%s@V%d: joint strictly beats optimal" file vl)
+            true
+            (joint_cost < opt_cost -. eps);
+          (* the win comes from real sharing, visible in the outcome *)
+          let o =
+            Driver.simdize_exn
+              { Driver.default with Driver.policy = Policy.Joint; machine }
+              (Parse.program_of_string src)
+          in
+          check_int
+            (Printf.sprintf "%s@V%d: shared streams detected" file vl)
+            expect_shared
+            (List.length o.Driver.shared_streams);
+          check_bool
+            (Printf.sprintf "%s@V%d: statements credited to joint" file vl)
+            true
+            (List.for_all (Policy.equal Policy.Joint) o.Driver.policies_used))
+        [ 8; 16; 32 ])
+    [ ("joint-beats-optimal.simd", 2); ("joint-beats-optimal-fir.simd", 2) ]
+
+(* Satellite regression: Auto.place on an empty (or fully inapplicable)
+   candidate list falls back to zero-shift instead of the old
+   [assert false]. *)
+let test_auto_empty_candidates () =
+  let analysis =
+    Analysis.check_exn ~machine:Machine.default
+      (Parse.program_of_string
+         "int32 a[64] @ 4;\nint32 b[64] @ 0;\n\
+          for (i = 0; i < 32; i++) { a[i] = b[i+1]; }")
+  in
+  let stmt = List.hd analysis.Analysis.program.Ast.loop.Ast.body in
+  let g, p = Opt.Auto.place ~candidates:[] ~analysis stmt in
+  check_bool "empty candidates fall back to zero" true
+    (Policy.equal Policy.Zero p);
+  (match Graph.validate ~analysis g with
+  | Ok () -> ()
+  | Error m -> Alcotest.failf "fallback graph invalid: %s" m);
+  (* the default list still behaves as before *)
+  let _, p = Opt.Auto.place ~analysis stmt in
+  check_bool "default candidates pick a real policy" true
+    (List.mem p Opt.Auto.candidates)
+
+(* Satellite regression: feeding an already-placed tree back through a
+   policy or the solver yields the diagnosable [Not_bare] error (and
+   [Invalid_argument] from the _exn entry points), never a crash. *)
+let test_not_bare () =
+  let analysis =
+    Analysis.check_exn ~machine:Machine.default
+      (Parse.program_of_string
+         "int32 a[64] @ 4;\nint32 b[64] @ 0;\n\
+          for (i = 0; i < 32; i++) { a[i] = b[i+1]; }")
+  in
+  let stmt = List.hd analysis.Analysis.program.Ast.loop.Ast.body in
+  let placed = Policy.place_exn Policy.Zero ~analysis stmt in
+  check_bool "zero placement really has shifts" true
+    (Graph.graph_shift_count placed > 0);
+  let root = placed.Graph.root in
+  check_bool "placed root is not bare" true (not (Graph.is_bare root));
+  List.iter
+    (fun p ->
+      match Policy.place ~root p ~analysis stmt with
+      | Error (Policy.Not_bare (p', _)) ->
+        check_bool (Policy.name p ^ " error names the policy") true
+          (Policy.equal p p')
+      | Error e ->
+        Alcotest.failf "%s on placed tree: wrong error %s" (Policy.name p)
+          (Format.asprintf "%a" Policy.pp_error e)
+      | Ok _ -> Alcotest.failf "%s accepted a placed tree" (Policy.name p))
+    Policy.heuristics;
+  (match Opt.Solve.solve ~root ~analysis stmt with
+  | Error (Policy.Not_bare _) -> ()
+  | Error e ->
+    Alcotest.failf "solver on placed tree: wrong error %s"
+      (Format.asprintf "%a" Policy.pp_error e)
+  | Ok _ -> Alcotest.fail "solver accepted a placed tree");
+  (match Policy.place_exn ~root Policy.Zero ~analysis stmt with
+  | exception Invalid_argument _ -> ()
+  | exception e ->
+    Alcotest.failf "place_exn on placed tree raised %s" (Printexc.to_string e)
+  | _ -> Alcotest.fail "place_exn accepted a placed tree")
 
 (* Single-def/single-use streams (an RHS that is one load): lazy is already
    optimal — one root shift at most — so the solver matches it exactly. *)
@@ -330,25 +471,78 @@ let test_new_policies_verify () =
           Filename.concat corpus_dir "opt-beats-heuristics.simd";
           Filename.concat corpus_dir "runtime_everything.simd";
           Filename.concat corpus_dir "fig1_paper.simd";
+          Filename.concat corpus_dir "joint-beats-optimal.simd";
+          Filename.concat corpus_dir "joint-beats-optimal-fir.simd";
         ])
-    [ Policy.Optimal; Policy.Auto ]
+    [ Policy.Optimal; Policy.Auto; Policy.Joint ]
+
+(* The sharing section of the report: consumers and savings agree with the
+   placed graphs, the body cost is total minus savings, and the JSON
+   carries the schema keys. *)
+let test_report_shared_streams () =
+  let program =
+    Parse.program_of_string
+      (read_file (Filename.concat corpus_dir "joint-beats-optimal.simd"))
+  in
+  let o =
+    Driver.simdize_exn { Driver.default with Driver.policy = Policy.Joint }
+      program
+  in
+  let r = Driver.report o in
+  check_int "two shared streams" 2 (List.length r.Opt.Report.shared);
+  let saved =
+    List.fold_left
+      (fun acc s -> acc +. s.Opt.Report.shared_saved)
+      0.0 r.Opt.Report.shared
+  in
+  check_bool "body cost = total - savings" true
+    (Float.abs (r.Opt.Report.body_cost -. (r.Opt.Report.total_cost -. saved))
+    <= eps);
+  List.iter
+    (fun s ->
+      check_bool "every shared stream has >= 2 consumers" true
+        (s.Opt.Report.shared_consumers >= 2))
+    r.Opt.Report.shared;
+  let json = Opt.Report.to_string ~indent:2 r in
+  List.iter
+    (fun frag ->
+      let n = String.length frag in
+      let rec go i =
+        i + n <= String.length json && (String.sub json i n = frag || go (i + 1))
+      in
+      check_bool ("report JSON has " ^ frag) true (go 0))
+    [
+      "\"policy\": \"joint\"";
+      "\"shared_streams\"";
+      "\"consumers\"";
+      "\"saved\"";
+      "\"body_cost\"";
+    ]
 
 let suite =
   [
     ( "opt",
       [
-        Alcotest.test_case "corpus: optimal <= heuristics" `Quick
+        Alcotest.test_case "corpus: joint <= optimal <= heuristics" `Quick
           test_corpus_optimal;
         Alcotest.test_case "counterexample: strict improvement" `Quick
           test_strict_improvement;
+        Alcotest.test_case "counterexamples: joint strictly beats optimal"
+          `Quick test_joint_strict_improvement;
+        Alcotest.test_case "auto is total on empty candidates" `Quick
+          test_auto_empty_candidates;
+        Alcotest.test_case "placed trees yield Not_bare, not a crash" `Quick
+          test_not_bare;
         Alcotest.test_case "single-use streams match lazy" `Quick
           test_single_use_matches_lazy;
-        Alcotest.test_case "fixed-seed sweep: optimal <= heuristics" `Quick
-          test_generator_sweep;
+        Alcotest.test_case "fixed-seed sweep: joint <= optimal <= heuristics"
+          `Quick test_generator_sweep;
         Alcotest.test_case "auto selection through driver" `Quick
           test_auto_driver;
         Alcotest.test_case "cost report consistency" `Quick test_report;
-        Alcotest.test_case "optimal/auto verify differentially" `Quick
+        Alcotest.test_case "shared-stream report section" `Quick
+          test_report_shared_streams;
+        Alcotest.test_case "optimal/auto/joint verify differentially" `Quick
           test_new_policies_verify;
       ] );
   ]

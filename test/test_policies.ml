@@ -104,12 +104,13 @@ let test_runtime_requires_zero () =
   let stmt = List.hd a.Analysis.program.Ast.loop.Ast.body in
   (match Policy.place Policy.Lazy ~analysis:a stmt with
   | Error (Policy.Requires_compile_time_alignment _) -> ()
-  | Error (Policy.Requires_solver _) ->
-    Alcotest.fail "lazy is not solver-placed"
+  | Error (Policy.Requires_solver _ | Policy.Not_bare _) ->
+    Alcotest.fail "lazy is not solver-placed and the tree is bare"
   | Ok _ -> Alcotest.fail "lazy should reject runtime alignments");
   (match Opt.Place.place Policy.Optimal ~analysis:a stmt with
   | Error (Policy.Requires_compile_time_alignment _) -> ()
-  | Error (Policy.Requires_solver _) -> Alcotest.fail "dispatcher is total"
+  | Error (Policy.Requires_solver _ | Policy.Not_bare _) ->
+    Alcotest.fail "dispatcher is total and the tree is bare"
   | Ok _ -> Alcotest.fail "optimal should reject runtime alignments");
   (match Opt.Place.place Policy.Auto ~analysis:a stmt with
   | Ok { Opt.Place.used = Policy.Zero; graph } ->
