@@ -115,6 +115,21 @@ let report_json ~seed ~budget ~jobs ~chunk_size ~oracle ~wall_s
                    float_of_int r.Par.Campaign.stats.Fuzz.Campaign.total /. wall_s
                  else 0.) );
             ("pool", Par.Pool.report_to_json r.Par.Campaign.pool);
+            ( "cache",
+              (* Counters are process-local (pooled workers count in their
+                 own process); "entries" is read from disk, so it reflects
+                 the whole campaign. *)
+              match oracle with
+              | Par.Campaign.Native t -> (
+                let cas = Par.Native.cas t in
+                match Simd.Cas.stats_to_json (Simd.Cas.stats cas) with
+                | Simd.Json.Obj fields ->
+                  Simd.Json.Obj
+                    (fields
+                    @ [ ("entries", Simd.Json.Int (Simd.Cas.entry_count cas)) ])
+                | other -> other)
+              | Par.Campaign.Simulator | Par.Campaign.Custom _ -> Simd.Json.Null
+            );
           ] );
     ]
 

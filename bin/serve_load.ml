@@ -1,0 +1,503 @@
+(* serve_load — load generator and benchmark for the compile service.
+
+   Replays a corpus of .simd programs through the server (each file ×
+   each requested policy × each vector length), twice: a cold pass
+   against an empty artifact cache and a cached pass over the identical
+   request stream. Reports throughput and client-observed latency
+   percentiles per pass, the cached-vs-cold speedup, the cache hit rate
+   of the second pass, and a digest of the response stream — and asserts
+   that both passes produced byte-identical responses (the protocol's
+   determinism guarantee, measured, not assumed).
+
+   Default mode forks a server child and talks to it over pipes, so the
+   measurement includes the real protocol round trip; --socket PATH
+   drives an externally started simd_served.exe instead.
+
+   The JSON document (--json, conventionally BENCH_server.json) is the
+   perf-trajectory artifact CI uploads; --min-hit-rate/--min-speedup turn
+   the run into a regression gate. *)
+
+open Cmdliner
+module Serve = Simd.Serve
+module Protocol = Serve.Protocol
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+(* ------------------------------------------------------------------ *)
+(* Request stream                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let build_requests ~corpus ~policies ~vls ~repeat =
+  let files =
+    Sys.readdir corpus |> Array.to_list
+    |> List.filter (fun f -> Filename.check_suffix f ".simd")
+    |> List.sort compare
+    |> List.map (Filename.concat corpus)
+  in
+  if files = [] then failwith (Printf.sprintf "no .simd files in %s" corpus);
+  let requests = ref [] in
+  let n = ref 0 in
+  for _ = 1 to repeat do
+    List.iter
+      (fun file ->
+        let source = read_file file in
+        List.iter
+          (fun policy ->
+            List.iter
+              (fun vl ->
+                incr n;
+                let config =
+                  {
+                    Simd.Driver.default with
+                    Simd.Driver.policy;
+                    machine = Simd.Machine.create ~vector_len:vl;
+                  }
+                in
+                requests :=
+                  {
+                    Protocol.id = Printf.sprintf "r%06d" !n;
+                    source;
+                    config;
+                    emits = Protocol.default_emits;
+                  }
+                  :: !requests)
+              vls)
+          policies)
+      files
+  done;
+  List.rev !requests
+
+(* ------------------------------------------------------------------ *)
+(* Transport: a connected (write fd, read fd) pair                     *)
+(* ------------------------------------------------------------------ *)
+
+type conn = {
+  send_fd : Unix.file_descr;
+  recv : in_channel;
+  cleanup : unit -> unit;
+}
+
+let connect_socket path =
+  let sock = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.connect sock (Unix.ADDR_UNIX path);
+  {
+    send_fd = sock;
+    recv = Unix.in_channel_of_descr sock;
+    cleanup = (fun () -> try Unix.close sock with Unix.Unix_error _ -> ());
+  }
+
+(* Fork a server child bridged over two pipes: the default, self-
+   contained transport — the measurement includes fork-free protocol
+   round trips against a live server process. *)
+let fork_server ~jobs ~timeout ~max_batch ~cache_dir ~cache_entries =
+  let req_r, req_w = Unix.pipe () in
+  let resp_r, resp_w = Unix.pipe () in
+  match Unix.fork () with
+  | 0 ->
+    Unix.close req_w;
+    Unix.close resp_r;
+    let cache =
+      Some (Simd.Cas.create ?max_entries:cache_entries ~dir:cache_dir ())
+    in
+    let server = Serve.Server.create ~jobs ~timeout ~max_batch ?cache () in
+    ignore (Serve.Server.serve_fd server req_r resp_w);
+    exit 0
+  | pid ->
+    Unix.close req_r;
+    Unix.close resp_w;
+    {
+      send_fd = req_w;
+      recv = Unix.in_channel_of_descr resp_r;
+      cleanup =
+        (fun () ->
+          (try Unix.close req_w with Unix.Unix_error _ -> ());
+          (try close_in (Unix.in_channel_of_descr resp_r)
+           with Sys_error _ -> ());
+          ignore (try Unix.waitpid [] pid with Unix.Unix_error _ -> (pid, Unix.WEXITED 0)));
+    }
+
+let write_all fd s =
+  let b = Bytes.of_string s in
+  let len = Bytes.length b in
+  let rec go off =
+    if off < len then
+      match Unix.write fd b off (len - off) with
+      | n -> go (off + n)
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go off
+  in
+  go 0
+
+(* One request line out, one response line back. *)
+let roundtrip conn line =
+  write_all conn.send_fd (line ^ "\n");
+  input_line conn.recv
+
+(* ------------------------------------------------------------------ *)
+(* A measured pass                                                     *)
+(* ------------------------------------------------------------------ *)
+
+type pass = {
+  wall_s : float;
+  throughput_rps : float;
+  latencies_ms : float array;  (** sorted ascending *)
+  responses : string list;  (** in request order *)
+}
+
+let percentile sorted p =
+  match Array.length sorted with
+  | 0 -> 0.
+  | n -> sorted.(min (n - 1) (int_of_float (float_of_int n *. p)))
+
+(* Pipelined window: send up to [concurrency] requests, then read their
+   responses. Latency is per request, send-to-receive — what a client
+   saw, pipelining included. *)
+let run_pass conn ~concurrency (requests : Protocol.request list) : pass =
+  let lines = List.map Protocol.request_to_line requests in
+  let total = List.length lines in
+  let latencies = Array.make total 0. in
+  let responses = ref [] in
+  let t0 = Unix.gettimeofday () in
+  let rec window i = function
+    | [] -> ()
+    | pending ->
+      let rec take n acc = function
+        | x :: rest when n > 0 -> take (n - 1) (x :: acc) rest
+        | rest -> (List.rev acc, rest)
+      in
+      let batch, rest = take concurrency [] pending in
+      let sent =
+        List.map
+          (fun line ->
+            let t = Unix.gettimeofday () in
+            write_all conn.send_fd (line ^ "\n");
+            t)
+          batch
+      in
+      List.iteri
+        (fun j t_send ->
+          let line = input_line conn.recv in
+          latencies.(i + j) <- (Unix.gettimeofday () -. t_send) *. 1000.;
+          responses := line :: !responses)
+        sent;
+      window (i + List.length batch) rest
+  in
+  window 0 lines;
+  let wall_s = Unix.gettimeofday () -. t0 in
+  Array.sort compare latencies;
+  {
+    wall_s;
+    throughput_rps =
+      (if wall_s > 0. then float_of_int total /. wall_s else 0.);
+    latencies_ms = latencies;
+    responses = List.rev !responses;
+  }
+
+let pass_to_json p =
+  Simd.Json.Obj
+    [
+      ("wall_s", Simd.Json.Float p.wall_s);
+      ("throughput_rps", Simd.Json.Float p.throughput_rps);
+      ( "latency_ms",
+        Simd.Json.Obj
+          [
+            ("p50", Simd.Json.Float (percentile p.latencies_ms 0.50));
+            ("p90", Simd.Json.Float (percentile p.latencies_ms 0.90));
+            ("p99", Simd.Json.Float (percentile p.latencies_ms 0.99));
+            ( "max",
+              Simd.Json.Float
+                (match Array.length p.latencies_ms with
+                | 0 -> 0.
+                | n -> p.latencies_ms.(n - 1)) );
+          ] );
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* Server-side cache counters via {"op":"stats"}                       *)
+(* ------------------------------------------------------------------ *)
+
+let cache_counters conn =
+  let line = roundtrip conn (Simd.Json.to_line (Simd.Json.Obj [ ("op", Simd.Json.String "stats") ])) in
+  match Simd.Json.of_string line with
+  | Error _ -> None
+  | Ok doc -> (
+    match Simd.Json.member "cache" doc with
+    | Some (Simd.Json.Obj _ as cache) ->
+      let get k =
+        match Option.bind (Simd.Json.member k cache) Simd.Json.to_int_opt with
+        | Some n -> n
+        | None -> 0
+      in
+      Some (get "hits", get "misses", line)
+    | _ -> None)
+
+(* ------------------------------------------------------------------ *)
+(* Main                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let parse_policies s =
+  String.split_on_char ',' s
+  |> List.map (fun name ->
+         match Simd.Policy.of_name (String.trim name) with
+         | Some p -> p
+         | None -> failwith (Printf.sprintf "unknown policy %S" name))
+
+let parse_vls s =
+  String.split_on_char ',' s |> List.map (fun v -> int_of_string (String.trim v))
+
+let rec remove_tree path =
+  if Sys.is_directory path then begin
+    Array.iter
+      (fun f -> remove_tree (Filename.concat path f))
+      (Sys.readdir path);
+    Sys.rmdir path
+  end
+  else Sys.remove path
+
+let run corpus policies vls repeat concurrency jobs timeout max_batch socket
+    cache_dir cache_entries json_path min_hit_rate min_speedup quiet =
+  try
+    (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+     with Invalid_argument _ -> ());
+    let requests =
+      build_requests ~corpus ~policies:(parse_policies policies)
+        ~vls:(parse_vls vls) ~repeat
+    in
+    let total = List.length requests in
+    let own_cache = socket = None && cache_dir = None in
+    let cache_dir =
+      match cache_dir with
+      | Some d -> d
+      | None -> Printf.sprintf "_serve_cache.load.%d" (Unix.getpid ())
+    in
+    let conn =
+      match socket with
+      | Some path -> connect_socket path
+      | None -> fork_server ~jobs ~timeout ~max_batch ~cache_dir ~cache_entries
+    in
+    Fun.protect
+      ~finally:(fun () ->
+        conn.cleanup ();
+        if own_cache && Sys.file_exists cache_dir then remove_tree cache_dir)
+      (fun () ->
+        if not quiet then
+          Format.eprintf
+            "serve_load: %d requests (%d corpus files x policies x V), \
+             concurrency %d, jobs %d@."
+            total
+            (total / repeat)
+            concurrency jobs;
+        let cold = run_pass conn ~concurrency requests in
+        let after_cold = cache_counters conn in
+        let cached = run_pass conn ~concurrency requests in
+        let after_cached = cache_counters conn in
+        let deterministic = cold.responses = cached.responses in
+        let digest =
+          Digest.to_hex (Digest.string (String.concat "\n" cold.responses))
+        in
+        let hit_rate =
+          match (after_cold, after_cached) with
+          | Some (h0, _, _), Some (h1, _, _) ->
+            Some (float_of_int (h1 - h0) /. float_of_int (max 1 total))
+          | _ -> None
+        in
+        let speedup =
+          if cold.throughput_rps > 0. then
+            cached.throughput_rps /. cold.throughput_rps
+          else 0.
+        in
+        let ok_statuses =
+          List.filter
+            (fun r ->
+              match Simd.Json.of_string r with
+              | Ok doc -> (
+                match
+                  Option.bind (Simd.Json.member "status" doc)
+                    Simd.Json.to_string_opt
+                with
+                | Some "ok" -> true
+                | _ -> false)
+              | Error _ -> false)
+            cold.responses
+        in
+        Format.printf
+          "serve_load: %d requests/pass (%d simdized ok)@.  cold:   %8.0f \
+           req/s  p50 %6.3f ms  p99 %6.3f ms@.  cached: %8.0f req/s  p50 \
+           %6.3f ms  p99 %6.3f ms@.  speedup %.1fx  hit-rate %s  \
+           deterministic %b  digest %s@."
+          total
+          (List.length ok_statuses)
+          cold.throughput_rps
+          (percentile cold.latencies_ms 0.50)
+          (percentile cold.latencies_ms 0.99)
+          cached.throughput_rps
+          (percentile cached.latencies_ms 0.50)
+          (percentile cached.latencies_ms 0.99)
+          speedup
+          (match hit_rate with
+          | Some r -> Printf.sprintf "%.1f%%" (100. *. r)
+          | None -> "n/a")
+          deterministic digest;
+        Option.iter
+          (fun path ->
+            let doc =
+              Simd.Json.Obj
+                [
+                  ("schema", Simd.Json.String "simd-serve-bench/1");
+                  ("corpus", Simd.Json.String corpus);
+                  ("requests_per_pass", Simd.Json.Int total);
+                  ("concurrency", Simd.Json.Int concurrency);
+                  ("jobs", Simd.Json.Int jobs);
+                  ("cold", pass_to_json cold);
+                  ("cached", pass_to_json cached);
+                  ("speedup_cached_vs_cold", Simd.Json.Float speedup);
+                  ( "second_pass_hit_rate",
+                    match hit_rate with
+                    | Some r -> Simd.Json.Float r
+                    | None -> Simd.Json.Null );
+                  ("deterministic", Simd.Json.Bool deterministic);
+                  ("responses_md5", Simd.Json.String digest);
+                  ( "server_stats",
+                    match after_cached with
+                    | Some (_, _, line) -> (
+                      match Simd.Json.of_string line with
+                      | Ok doc -> doc
+                      | Error _ -> Simd.Json.Null)
+                    | None -> Simd.Json.Null );
+                ]
+            in
+            Simd.Json.to_file ~indent:2 path doc;
+            if not quiet then Format.eprintf "serve_load: wrote %s@." path)
+          json_path;
+        let failures = ref [] in
+        if not deterministic then
+          failures := "responses differ between passes" :: !failures;
+        (match (min_hit_rate, hit_rate) with
+        | Some want, Some got when got < want ->
+          failures :=
+            Printf.sprintf "hit rate %.2f below required %.2f" got want
+            :: !failures
+        | Some _, None ->
+          failures := "hit rate unavailable (no cache attached)" :: !failures
+        | _ -> ());
+        (match min_speedup with
+        | Some want when speedup < want ->
+          failures :=
+            Printf.sprintf "cached/cold speedup %.1fx below required %.1fx"
+              speedup want
+            :: !failures
+        | _ -> ());
+        List.iter (fun m -> Format.eprintf "serve_load: FAIL: %s@." m) !failures;
+        if !failures <> [] then 1 else 0)
+  with Failure m ->
+    Format.eprintf "serve_load: %s@." m;
+    2
+
+let cmd =
+  let corpus =
+    Arg.(
+      value & opt string "corpus"
+      & info [ "corpus" ] ~docv:"DIR" ~doc:"Directory of .simd programs.")
+  in
+  let policies =
+    Arg.(
+      value
+      & opt string "dominant,optimal,joint"
+      & info [ "policies" ] ~docv:"LIST"
+          ~doc:"Comma-separated placement policies to request per program.")
+  in
+  let vls =
+    Arg.(
+      value & opt string "16"
+      & info [ "vl" ] ~docv:"LIST"
+          ~doc:"Comma-separated vector lengths to request per program.")
+  in
+  let repeat =
+    Arg.(
+      value & opt int 1
+      & info [ "repeat" ] ~docv:"N"
+          ~doc:"Replays of the whole request set per pass.")
+  in
+  let concurrency =
+    Arg.(
+      value & opt int 32
+      & info [ "c"; "concurrency" ] ~docv:"N"
+          ~doc:"In-flight requests (pipelining window).")
+  in
+  let jobs =
+    Arg.(
+      value & opt int 1
+      & info [ "j"; "jobs" ] ~docv:"N"
+          ~doc:"Pool workers in the forked server (1 = inline).")
+  in
+  let timeout =
+    Arg.(
+      value & opt float 30.
+      & info [ "timeout" ] ~docv:"SECONDS" ~doc:"Per-request budget (pooled).")
+  in
+  let max_batch =
+    Arg.(
+      value & opt int 64
+      & info [ "max-batch" ] ~docv:"N" ~doc:"Server-side batch bound.")
+  in
+  let socket =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "socket" ] ~docv:"PATH"
+          ~doc:
+            "Drive an externally started simd_served.exe over its \
+             Unix-domain socket instead of forking a server.")
+  in
+  let cache_dir =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "cache" ] ~docv:"DIR"
+          ~doc:
+            "Artifact cache for the forked server (default: a fresh \
+             per-run directory, removed afterwards — so the first pass \
+             is genuinely cold).")
+  in
+  let cache_entries =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "cache-entries" ] ~docv:"N" ~doc:"LRU bound on cache entries.")
+  in
+  let json_path =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json" ] ~docv:"PATH"
+          ~doc:"Write the benchmark document (simd-serve-bench/1) to PATH.")
+  in
+  let min_hit_rate =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "min-hit-rate" ] ~docv:"FRACTION"
+          ~doc:"Fail unless the second pass hit rate reaches this.")
+  in
+  let min_speedup =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "min-speedup" ] ~docv:"X"
+          ~doc:"Fail unless cached/cold throughput reaches this factor.")
+  in
+  let quiet =
+    Arg.(value & flag & info [ "q"; "quiet" ] ~doc:"No progress output.")
+  in
+  Cmd.v
+    (Cmd.info "serve_load" ~version:"1.0"
+       ~doc:"Load generator and benchmark for the batched compile service")
+    Term.(
+      const run $ corpus $ policies $ vls $ repeat $ concurrency $ jobs
+      $ timeout $ max_batch $ socket $ cache_dir $ cache_entries $ json_path
+      $ min_hit_rate $ min_speedup $ quiet)
+
+let () = exit (Cmd.eval' cmd)

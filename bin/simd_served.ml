@@ -1,0 +1,121 @@
+(* simd_served — the long-lived batched compile server.
+
+   Speaks the newline-delimited JSON protocol of docs/SERVER.md
+   (simd-serve/1): each request line is a .simd source × driver config ×
+   output selection; each response line carries the chosen-policy C/VIR,
+   the static cost report, and the static-verifier verdict. Responses are
+   byte-deterministic for identical requests — across runs, batch sizes,
+   --jobs values, and cache state.
+
+   Default mode serves stdin/stdout (pipe mode: one client, e.g. behind
+   inetd or a supervisor); --socket PATH binds a Unix-domain socket and
+   serves one accepted connection at a time until a client sends
+   {"op":"shutdown"}.
+
+   --cache DIR attaches the content-addressed artifact cache (keyed on
+   library version × config × emit selection × source; LRU-bounded with
+   --cache-entries). --jobs N >= 2 compiles cache misses in forked pool
+   workers with a per-request --timeout, so a pathological program
+   crashes its worker, earns an error response, and cannot take down the
+   service. Telemetry: {"op":"stats"} in-band, or --stats-json PATH to
+   dump a final snapshot on exit. *)
+
+open Cmdliner
+module Serve = Simd.Serve
+
+let run socket jobs cache_dir cache_entries timeout max_batch stats_json =
+  (* A client vanishing mid-write must not kill the daemon. *)
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+   with Invalid_argument _ -> ());
+  let cache =
+    match cache_dir with
+    | None -> None
+    | Some dir -> Some (Simd.Cas.create ?max_entries:cache_entries ~dir ())
+  in
+  let server = Serve.Server.create ~jobs ~timeout ~max_batch ?cache () in
+  (match socket with
+  | Some path ->
+    Format.eprintf "simd_served: listening on %s (jobs=%d cache=%s)@." path
+      jobs
+      (Option.value ~default:"off" cache_dir);
+    Serve.Server.listen_unix server ~path
+  | None ->
+    ignore (Serve.Server.serve_fd server Unix.stdin Unix.stdout));
+  Option.iter
+    (fun path ->
+      Simd.Json.to_file ~indent:2 path (Serve.Server.telemetry server);
+      Format.eprintf "simd_served: wrote %s@." path)
+    stats_json;
+  0
+
+let cmd =
+  let socket =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "socket" ] ~docv:"PATH"
+          ~doc:
+            "Listen on a Unix-domain socket instead of serving \
+             stdin/stdout. The server exits when a client sends \
+             $(i,{\"op\":\"shutdown\"}).")
+  in
+  let jobs =
+    Arg.(
+      value & opt int 1
+      & info [ "j"; "jobs" ] ~docv:"N"
+          ~doc:
+            "Pool workers for cache misses. 1 compiles inline (fastest, \
+             no isolation); N >= 2 forks workers with per-request crash \
+             isolation and timeouts. Responses are byte-identical for \
+             every N.")
+  in
+  let cache =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "cache" ] ~docv:"DIR"
+          ~doc:
+            "Content-addressed artifact cache directory (created if \
+             missing; carries over between runs).")
+  in
+  let cache_entries =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "cache-entries" ] ~docv:"N"
+          ~doc:"LRU bound on cache entries (default: unbounded).")
+  in
+  let timeout =
+    Arg.(
+      value & opt float 30.
+      & info [ "timeout" ] ~docv:"SECONDS"
+          ~doc:
+            "Per-request wall-clock budget in pooled mode; an expired \
+             worker is killed and the request answered with an error. \
+             0 disables.")
+  in
+  let max_batch =
+    Arg.(
+      value & opt int 64
+      & info [ "max-batch" ] ~docv:"N"
+          ~doc:
+            "Largest batch drained from the connection before \
+             responding.")
+  in
+  let stats_json =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "stats-json" ] ~docv:"PATH"
+          ~doc:"Write a final telemetry snapshot (simd-serve/1) on exit.")
+  in
+  Cmd.v
+    (Cmd.info "simd_served" ~version:"1.0"
+       ~doc:
+         "Long-lived batched compile server for the alignment-handling \
+          simdizer")
+    Term.(
+      const run $ socket $ jobs $ cache $ cache_entries $ timeout $ max_batch
+      $ stats_json)
+
+let () = exit (Cmd.eval' cmd)

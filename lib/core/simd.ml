@@ -21,7 +21,10 @@
     - {!Vir_expr}/{!Vir_prog}: the vector IR;
     - {!Exec}/{!Sim_run}: the simulator;
     - {!Emit_portable}/{!Emit_altivec}/{!Emit_sse}: C backends;
-    - {!Synth}/{!Lb}/{!Measure}/{!Suite}: the evaluation harness. *)
+    - {!Synth}/{!Lb}/{!Measure}/{!Suite}: the evaluation harness;
+    - {!Fuzz}/{!Par}: differential fuzzing and the process pool;
+    - {!Serve}/{!Cas}: the batched compile service and the
+      content-addressed artifact store behind it. *)
 
 (* Support *)
 module Prng = Simd_support.Prng
@@ -98,6 +101,15 @@ module Fuzz = Simd_fuzz
 (* Parallel job pool ({!Par.Pool}, {!Par.Native}, {!Par.Campaign}):
    multicore fuzz campaigns and the native-differential oracle *)
 module Par = Simd_par
+
+(* Compile service ({!Serve.Protocol}, {!Serve.Compile}, {!Serve.Server}):
+   the batched long-lived server, its wire protocol, and the pure
+   compile-once path behind it *)
+module Serve = Simd_serve
+
+(* Content-addressed artifact store backing the native oracle's harness
+   cache and the compile service's artifact cache *)
+module Cas = Simd_support.Cas
 
 (* ------------------------------------------------------------------ *)
 (* Convenience entry points                                            *)

@@ -1,36 +1,28 @@
 (** Native differential oracle (see the interface). *)
 
 module Cc = Simd_emit.Cc
+module Cas = Simd_support.Cas
 module Case = Simd_fuzz.Case
 module Oracle = Simd_fuzz.Oracle
 module Driver = Simd_codegen.Driver
 module Sim_run = Simd_sim.Run
 module Emit_portable = Simd_emit.Portable
 
-type t = {
-  cc : Cc.t;
-  flags : string;
-  cache_dir : string;
-  mutable hits : int;
-  mutable misses : int;
-}
+type t = { cc : Cc.t; flags : string; cas : Cas.t }
 
 let cc t = t.cc
-let cache_dir t = t.cache_dir
-let cache_stats t = (t.hits, t.misses)
+let cas t = t.cas
+let cache_dir t = Cas.dir t.cas
 
-let rec mkdir_p dir =
-  if dir <> "" && dir <> "." && dir <> "/" && not (Sys.file_exists dir) then begin
-    mkdir_p (Filename.dirname dir);
-    try Sys.mkdir dir 0o755 with Sys_error _ when Sys.file_exists dir -> ()
-  end
+let cache_stats t =
+  let s = Cas.stats t.cas in
+  (s.Cas.hits, s.Cas.misses)
 
-let create ?cc ?(flags = "-O1") ?(cache_dir = "_harness_cache") () :
-    (t, string) result =
+let create ?cc ?(flags = "-O1") ?(cache_dir = "_harness_cache") ?max_entries ()
+    : (t, string) result =
   match (cc, Cc.find ()) with
   | Some cc, _ | None, Some cc ->
-    mkdir_p cache_dir;
-    Ok { cc; flags; cache_dir; hits = 0; misses = 0 }
+    Ok { cc; flags; cas = Cas.create ?max_entries ~dir:cache_dir () }
   | None, None -> Error "no C compiler found (tried $SIMD_CC, gcc, cc, clang)"
 
 (* ------------------------------------------------------------------ *)
@@ -61,10 +53,8 @@ let harness_source (case : Case.t) : (string, string) result =
 (* ------------------------------------------------------------------ *)
 
 (* The cache key covers everything that determines the binary: compiler
-   identity, flags, and the full C source. MD5 (stdlib Digest) is plenty
-   for a content-addressed build cache. *)
-let cache_key t src =
-  Digest.to_hex (Digest.string (Cc.id t.cc ^ "\x00" ^ t.flags ^ "\x00" ^ src))
+   identity, flags, and the full C source ({!Simd_support.Cas.key}). *)
+let cache_key t src = Cas.key [ "harness"; Cc.id t.cc; t.flags; src ]
 
 let write_file path contents =
   let oc = open_out_bin path in
@@ -73,29 +63,24 @@ let write_file path contents =
     (fun () -> output_string oc contents)
 
 (** [compiled_exe t src] — path of the compiled harness, compiling on a
-    cache miss. Concurrent-writer safe: compile to a unique temp name,
-    [rename] (atomic on POSIX) into place. *)
+    cache miss. Concurrency, atomicity, and eviction are the store's
+    ({!Simd_support.Cas.build_raw}); the C source is kept as a sibling
+    blob entry for debuggability. *)
 let compiled_exe t src : (string, string) result =
   let key = cache_key t src in
-  let exe = Filename.concat t.cache_dir ("h" ^ key) in
-  if Sys.file_exists exe then begin
-    t.hits <- t.hits + 1;
-    Ok exe
-  end
-  else begin
-    t.misses <- t.misses + 1;
-    let c_file = exe ^ ".c" in
-    let tmp_exe = Printf.sprintf "%s.tmp.%d" exe (Unix.getpid ()) in
-    write_file c_file src;
-    match Cc.compile t.cc ~flags:t.flags ~src:c_file ~exe:tmp_exe () with
-    | Error m ->
-      (try Sys.remove tmp_exe with Sys_error _ -> ());
-      Error m
-    | Ok () ->
-      (try Sys.rename tmp_exe exe
-       with Sys_error _ when Sys.file_exists exe -> ());
-      Ok exe
-  end
+  Cas.build_raw t.cas ~key (fun tmp_exe ->
+      let c_file = tmp_exe ^ ".c" in
+      write_file c_file src;
+      Cas.store t.cas ~key:(key ^ "src") src;
+      Fun.protect
+        ~finally:(fun () -> try Sys.remove c_file with Sys_error _ -> ())
+        (fun () ->
+          match Cc.compile t.cc ~flags:t.flags ~src:c_file ~exe:tmp_exe () with
+          | Ok () ->
+            (* temp_file created the name 0o600; the linker may keep that *)
+            (try Unix.chmod tmp_exe 0o755 with Unix.Unix_error _ -> ());
+            Ok ()
+          | Error _ as e -> e))
 
 let read_file path =
   try

@@ -9,27 +9,34 @@
     checks the whole emission path (C backend, real compiler, real
     hardware) against the same ground truth the simulator uses.
 
-    Compiled harnesses are cached on disk, keyed by the hash of the C
-    source (plus compiler identity and flags): replaying a corpus or
-    re-running a campaign recompiles nothing that was seen before. The
-    cache is safe under concurrent writers (compile to a temp name, rename
-    into place). *)
+    Compiled harnesses are cached in a {!Simd_support.Cas} store, keyed
+    by the hash of the C source (plus compiler identity and flags):
+    replaying a corpus or re-running a campaign recompiles nothing that
+    was seen before. The store provides concurrent-writer safety and
+    (when [max_entries] is set) LRU eviction. *)
 
 type t
-(** A ready native oracle: discovered compiler + cache directory. *)
+(** A ready native oracle: discovered compiler + artifact store. *)
 
 val create :
   ?cc:Simd_emit.Cc.t ->
   ?flags:string ->
   ?cache_dir:string ->
+  ?max_entries:int ->
   unit ->
   (t, string) result
-(** [create ()] — discover a compiler (or use [cc]) and prepare
+(** [create ()] — discover a compiler (or use [cc]) and open the store at
     [cache_dir] (default ["_harness_cache"]; created if missing). Default
-    [flags]: ["-O1"]. [Error] when no C compiler is on PATH. *)
+    [flags]: ["-O1"]. [max_entries] bounds the store (LRU; default
+    unbounded, matching the historical behavior CI relies on). [Error]
+    when no C compiler is on PATH. *)
 
 val cc : t -> Simd_emit.Cc.t
 val cache_dir : t -> string
+
+val cas : t -> Simd_support.Cas.t
+(** The underlying artifact store — its {!Simd_support.Cas.stats} carry
+    the hit/miss/eviction/corruption counters telemetry reports. *)
 
 val cache_stats : t -> int * int
 (** [(hits, misses)] of this oracle value so far (process-local). *)

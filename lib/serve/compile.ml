@@ -1,0 +1,131 @@
+(** The pure compile-once path (see the interface). *)
+
+module Driver = Simd_codegen.Driver
+module Policy = Simd_dreorg.Policy
+module Check = Simd_check.Check
+module Parse = Simd_loopir.Parse
+module Prog = Simd_vir.Prog
+module Report = Simd_opt.Report
+module Json = Simd_support.Json
+module Cas = Simd_support.Cas
+
+type artifact = {
+  policy : string;
+  policies_used : string list;
+  shared_streams : int;
+  outputs : (string * string) list;
+  report : Json.t;
+  check_ok : bool;
+  check : Json.t;
+}
+
+type outcome = Artifact of artifact | Scalar of string | Invalid of string
+
+let emit_output prog (e : Protocol.emit) =
+  let text =
+    match e with
+    | Protocol.Vir -> Prog.to_string prog
+    | Protocol.C -> Simd_emit.Portable.unit prog
+    | Protocol.Altivec -> Simd_emit.Altivec.unit prog
+    | Protocol.Sse -> Simd_emit.Sse.unit prog
+  in
+  (Protocol.emit_name e, text)
+
+let check_json (o : Driver.outcome) =
+  let violation_json (boundary, v) =
+    let fields =
+      match Check.violation_to_json v with
+      | Json.Obj fields -> fields
+      | j -> [ ("violation", j) ]
+    in
+    Json.Obj (("boundary", Json.String boundary) :: fields)
+  in
+  let violations = Driver.check_violations o in
+  let ok =
+    not
+      (List.exists
+         (fun (_, (v : Check.violation)) -> v.Check.severity = Check.Error)
+         violations)
+  in
+  ( ok,
+    Json.Obj
+      [
+        ("ok", Json.Bool ok);
+        ("violations", Json.List (List.map violation_json violations));
+        ("facts", Check.facts_to_json (Driver.check_facts o));
+      ] )
+
+let run (r : Protocol.request) : outcome =
+  match Parse.program_of_string_result r.Protocol.source with
+  | Error m -> Invalid m
+  | exception e -> Invalid (Printexc.to_string e)
+  | Ok program -> (
+    match Driver.simdize ~check:true r.Protocol.config program with
+    | Driver.Scalar reason ->
+      Scalar (Format.asprintf "%a" Driver.pp_reason reason)
+    | Driver.Simdized o ->
+      let check_ok, check = check_json o in
+      Artifact
+        {
+          policy = Policy.name r.Protocol.config.Driver.policy;
+          policies_used =
+            List.map Policy.name o.Driver.policies_used;
+          shared_streams = List.length o.Driver.shared_streams;
+          outputs = List.map (emit_output o.Driver.prog) r.Protocol.emits;
+          report = Report.to_json (Driver.report o);
+          check_ok;
+          check;
+        }
+    | exception e -> Invalid ("compile: " ^ Printexc.to_string e))
+
+let outcome_to_json = function
+  | Artifact a ->
+    Json.Obj
+      [
+        ("status", Json.String "ok");
+        ( "artifact",
+          Json.Obj
+            [
+              ("schema", Json.String "simd-serve-artifact/1");
+              ("policy", Json.String a.policy);
+              ( "policies_used",
+                Json.List (List.map (fun p -> Json.String p) a.policies_used)
+              );
+              ("shared_streams", Json.Int a.shared_streams);
+              ( "outputs",
+                Json.Obj (List.map (fun (k, v) -> (k, Json.String v)) a.outputs)
+              );
+              ("report", a.report);
+              ("check", a.check);
+            ] );
+      ]
+  | Scalar reason ->
+    Json.Obj
+      [ ("status", Json.String "scalar"); ("reason", Json.String reason) ]
+  | Invalid message ->
+    Json.Obj
+      [ ("status", Json.String "error"); ("message", Json.String message) ]
+
+let cache_key (r : Protocol.request) =
+  Cas.key
+    [
+      Protocol.library_version;
+      Protocol.config_canonical r.Protocol.config;
+      String.concat "," (List.map Protocol.emit_name r.Protocol.emits);
+      r.Protocol.source;
+    ]
+
+let run_cached cas (r : Protocol.request) : Json.t * [ `Hit | `Miss ] =
+  let key = cache_key r in
+  let build () =
+    let doc = outcome_to_json (run r) in
+    Cas.store cas ~key (Json.to_line doc);
+    (doc, `Miss)
+  in
+  match Cas.find cas ~key with
+  | Some payload -> (
+    match Json.of_string payload with
+    | Ok doc -> (doc, `Hit)
+    (* defended against, not expected: rebuild rather than serve junk *)
+    | Error _ -> build ())
+  | None -> build ()

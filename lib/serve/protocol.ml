@@ -1,0 +1,206 @@
+(** Wire protocol of the compile service (see the interface). *)
+
+module Driver = Simd_codegen.Driver
+module Policy = Simd_dreorg.Policy
+module Machine = Simd_machine.Config
+module Json = Simd_support.Json
+
+let schema = "simd-serve/1"
+
+(* Folded into every cache key. Bump when compilation output changes. *)
+let library_version = "simd_align/7"
+
+type emit = Vir | C | Altivec | Sse
+
+let emit_name = function
+  | Vir -> "vir"
+  | C -> "c"
+  | Altivec -> "altivec"
+  | Sse -> "sse"
+
+let emit_of_name = function
+  | "vir" -> Some Vir
+  | "c" | "portable" -> Some C
+  | "altivec" -> Some Altivec
+  | "sse" -> Some Sse
+  | _ -> None
+
+let default_emits = [ Vir; C ]
+
+type request = {
+  id : string;
+  source : string;
+  config : Driver.config;
+  emits : emit list;
+}
+
+type parsed =
+  | Compile of request
+  | Ping
+  | Stats
+  | Shutdown
+  | Malformed of { id : string option; message : string }
+
+(* ------------------------------------------------------------------ *)
+(* Config codec: the fuzz-header field vocabulary, as JSON             *)
+(* ------------------------------------------------------------------ *)
+
+let reuse_name = Driver.reuse_name
+
+let reuse_of_name = function
+  | "plain" | "none" -> Some Driver.No_reuse
+  | "pc" -> Some Driver.Predictive_commoning
+  | "sp" -> Some Driver.Software_pipelining
+  | _ -> None
+
+let config_to_json (cfg : Driver.config) =
+  Json.Obj
+    [
+      ("vl", Json.Int (Machine.vector_len cfg.Driver.machine));
+      ("policy", Json.String (Policy.name cfg.Driver.policy));
+      ("reuse", Json.String (reuse_name cfg.Driver.reuse));
+      ("memnorm", Json.Bool cfg.Driver.memnorm);
+      ("reassoc", Json.Bool cfg.Driver.reassoc);
+      ("cse", Json.Bool cfg.Driver.cse);
+      ("hoist", Json.Bool cfg.Driver.hoist_splats);
+      ("unroll", Json.Int cfg.Driver.unroll);
+      ("specialize", Json.Bool cfg.Driver.specialize_epilogue);
+      ("peel", Json.Bool cfg.Driver.peel_baseline);
+    ]
+
+exception Bad_field of string
+
+let bad fmt = Printf.ksprintf (fun m -> raise (Bad_field m)) fmt
+
+let as_int key = function
+  | Json.Int n -> n
+  | _ -> bad "config field %s: expected integer" key
+
+let as_bool key v =
+  match Json.to_bool_opt v with
+  | Some b -> b
+  | None -> bad "config field %s: expected boolean" key
+
+let as_string key = function
+  | Json.String s -> s
+  | _ -> bad "config field %s: expected string" key
+
+let apply_config_field cfg (key, v) =
+  let open Driver in
+  match key with
+  | "vl" -> { cfg with machine = Machine.create ~vector_len:(as_int key v) }
+  | "policy" -> (
+    let name = as_string key v in
+    match Policy.of_name name with
+    | Some p -> { cfg with policy = p }
+    | None -> bad "unknown policy %S" name)
+  | "reuse" -> (
+    let name = as_string key v in
+    match reuse_of_name name with
+    | Some r -> { cfg with reuse = r }
+    | None -> bad "unknown reuse strategy %S" name)
+  | "memnorm" -> { cfg with memnorm = as_bool key v }
+  | "reassoc" -> { cfg with reassoc = as_bool key v }
+  | "cse" -> { cfg with cse = as_bool key v }
+  | "hoist" -> { cfg with hoist_splats = as_bool key v }
+  | "unroll" -> { cfg with unroll = as_int key v }
+  | "specialize" -> { cfg with specialize_epilogue = as_bool key v }
+  | "peel" -> { cfg with peel_baseline = as_bool key v }
+  | _ -> bad "unknown config field %S" key
+
+let config_of_json = function
+  | Json.Obj fields -> (
+    try Ok (List.fold_left apply_config_field Driver.default fields)
+    with Bad_field m -> Error m)
+  | Json.Null -> Ok Driver.default
+  | _ -> Error "config: expected an object"
+
+let bool_field b = if b then "1" else "0"
+
+let config_canonical (cfg : Driver.config) =
+  Printf.sprintf
+    "vl=%d policy=%s reuse=%s memnorm=%s reassoc=%s cse=%s hoist=%s \
+     unroll=%d specialize=%s peel=%s"
+    (Machine.vector_len cfg.Driver.machine)
+    (Policy.name cfg.Driver.policy)
+    (reuse_name cfg.Driver.reuse)
+    (bool_field cfg.Driver.memnorm)
+    (bool_field cfg.Driver.reassoc)
+    (bool_field cfg.Driver.cse)
+    (bool_field cfg.Driver.hoist_splats)
+    cfg.Driver.unroll
+    (bool_field cfg.Driver.specialize_epilogue)
+    (bool_field cfg.Driver.peel_baseline)
+
+(* ------------------------------------------------------------------ *)
+(* Request parsing                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let parse_emits = function
+  | None -> Ok default_emits
+  | Some (Json.List items) -> (
+    try
+      Ok
+        (List.map
+           (fun item ->
+             match item with
+             | Json.String s -> (
+               match emit_of_name s with
+               | Some e -> e
+               | None -> bad "unknown emit kind %S" s)
+             | _ -> bad "emit: expected a list of strings")
+           items)
+    with Bad_field m -> Error m)
+  | Some _ -> Error "emit: expected a list of strings"
+
+let parse_line line : parsed =
+  match Json.of_string line with
+  | Error m -> Malformed { id = None; message = m }
+  | Ok doc -> (
+    let id = Option.bind (Json.member "id" doc) Json.to_string_opt in
+    match Option.bind (Json.member "op" doc) Json.to_string_opt with
+    | Some "ping" -> Ping
+    | Some "stats" -> Stats
+    | Some "shutdown" -> Shutdown
+    | Some op -> Malformed { id; message = Printf.sprintf "unknown op %S" op }
+    | None -> (
+      match Option.bind (Json.member "source" doc) Json.to_string_opt with
+      | None -> Malformed { id; message = "missing \"source\" (or \"op\")" }
+      | Some source -> (
+        match
+          config_of_json
+            (Option.value ~default:Json.Null (Json.member "config" doc))
+        with
+        | Error m -> Malformed { id; message = m }
+        | Ok config -> (
+          match parse_emits (Json.member "emit" doc) with
+          | Error m -> Malformed { id; message = m }
+          | Ok emits ->
+            Compile { id = Option.value ~default:"" id; source; config; emits }
+          ))))
+
+(* ------------------------------------------------------------------ *)
+(* Rendering                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let request_to_line (r : request) =
+  Json.to_line
+    (Json.Obj
+       [
+         ("id", Json.String r.id);
+         ("source", Json.String r.source);
+         ("config", config_to_json r.config);
+         ( "emit",
+           Json.List (List.map (fun e -> Json.String (emit_name e)) r.emits) );
+       ])
+
+let response_line ~id outcome_doc =
+  match outcome_doc with
+  | Json.Obj fields -> Json.to_line (Json.Obj (("id", Json.String id) :: fields))
+  | other ->
+    Json.to_line (Json.Obj [ ("id", Json.String id); ("outcome", other) ])
+
+let error_response ~id message =
+  response_line ~id
+    (Json.Obj
+       [ ("status", Json.String "error"); ("message", Json.String message) ])

@@ -1,0 +1,209 @@
+(** Content-addressed artifact store (see the interface). *)
+
+type stats = { hits : int; misses : int; evictions : int; corrupt : int }
+
+type t = {
+  dir : string;
+  max_entries : int option;
+  mutable hits : int;
+  mutable misses : int;
+  mutable evictions : int;
+  mutable corrupt : int;
+}
+
+let dir t = t.dir
+
+let stats t =
+  { hits = t.hits; misses = t.misses; evictions = t.evictions; corrupt = t.corrupt }
+
+let stats_to_json (s : stats) =
+  Json.Obj
+    [
+      ("hits", Json.Int s.hits);
+      ("misses", Json.Int s.misses);
+      ("evictions", Json.Int s.evictions);
+      ("corrupt", Json.Int s.corrupt);
+    ]
+
+let rec mkdir_p path =
+  if path <> "" && path <> "." && path <> "/" && not (Sys.file_exists path)
+  then begin
+    mkdir_p (Filename.dirname path);
+    try Sys.mkdir path 0o755 with Sys_error _ when Sys.file_exists path -> ()
+  end
+
+let create ?max_entries ~dir () =
+  mkdir_p dir;
+  { dir; max_entries; hits = 0; misses = 0; evictions = 0; corrupt = 0 }
+
+let key parts = Digest.to_hex (Digest.string (String.concat "\x00" parts))
+
+(* ------------------------------------------------------------------ *)
+(* Entry layout                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let blob_suffix = ".blob"
+let raw_suffix = ".raw"
+let blob_path t ~key = Filename.concat t.dir (key ^ blob_suffix)
+let raw_path t ~key = Filename.concat t.dir (key ^ raw_suffix)
+
+let is_entry name =
+  Filename.check_suffix name blob_suffix || Filename.check_suffix name raw_suffix
+
+let remove_quiet path = try Sys.remove path with Sys_error _ -> ()
+
+(* Mark an entry recently used. [Unix.utimes p 0. 0.] sets both times to
+   now; failure (entry evicted by a concurrent sweep) is harmless. *)
+let touch path = try Unix.utimes path 0.0 0.0 with Unix.Unix_error _ -> ()
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+(* Atomic write: unique temp name in the store directory, then rename. *)
+let write_atomic t path contents =
+  let tmp = Filename.temp_file ~temp_dir:t.dir "cas" ".tmp" in
+  let oc = open_out_bin tmp in
+  (try
+     Fun.protect
+       ~finally:(fun () -> close_out oc)
+       (fun () -> output_string oc contents)
+   with e ->
+     remove_quiet tmp;
+     raise e);
+  try Sys.rename tmp path
+  with Sys_error _ when Sys.file_exists path -> remove_quiet tmp
+
+(* ------------------------------------------------------------------ *)
+(* LRU sweep                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let entries t =
+  match Sys.readdir t.dir with
+  | exception Sys_error _ -> []
+  | names ->
+    Array.to_list names
+    |> List.filter_map (fun name ->
+           if not (is_entry name) then None
+           else
+             let path = Filename.concat t.dir name in
+             match Unix.stat path with
+             | exception Unix.Unix_error _ -> None
+             | st when st.Unix.st_kind = Unix.S_REG ->
+               Some (path, st.Unix.st_mtime)
+             | _ -> None)
+
+let entry_count t = List.length (entries t)
+
+let sweep t =
+  match t.max_entries with
+  | None -> 0
+  | Some bound ->
+    let es = entries t in
+    let excess = List.length es - bound in
+    if excess <= 0 then 0
+    else begin
+      let oldest_first =
+        List.sort (fun (p1, m1) (p2, m2) -> compare (m1, p1) (m2, p2)) es
+      in
+      let victims = List.filteri (fun i _ -> i < excess) oldest_first in
+      List.iter (fun (path, _) -> remove_quiet path) victims;
+      let n = List.length victims in
+      t.evictions <- t.evictions + n;
+      n
+    end
+
+(* ------------------------------------------------------------------ *)
+(* Blob entries: integrity envelope                                    *)
+(* ------------------------------------------------------------------ *)
+
+(* First line: magic, payload digest, payload length. A reader that finds
+   anything else — truncation, a torn write on a non-POSIX filesystem,
+   plain disk rot — treats the entry as absent and rebuilds. *)
+let envelope payload =
+  Printf.sprintf "simd-cas/1 %s %d\n"
+    (Digest.to_hex (Digest.string payload))
+    (String.length payload)
+
+let decode_entry raw : string option =
+  match String.index_opt raw '\n' with
+  | None -> None
+  | Some nl -> (
+    let header = String.sub raw 0 nl in
+    let payload = String.sub raw (nl + 1) (String.length raw - nl - 1) in
+    match String.split_on_char ' ' header with
+    | [ "simd-cas/1"; digest; len ] ->
+      if
+        int_of_string_opt len = Some (String.length payload)
+        && Digest.to_hex (Digest.string payload) = digest
+      then Some payload
+      else None
+    | _ -> None)
+
+let find t ~key =
+  let path = blob_path t ~key in
+  match read_file path with
+  | exception Sys_error _ ->
+    t.misses <- t.misses + 1;
+    None
+  | raw -> (
+    match decode_entry raw with
+    | Some payload ->
+      t.hits <- t.hits + 1;
+      touch path;
+      Some payload
+    | None ->
+      (* corrupt: delete so the rebuilt entry replaces it *)
+      t.corrupt <- t.corrupt + 1;
+      t.misses <- t.misses + 1;
+      remove_quiet path;
+      None)
+
+let store t ~key payload =
+  write_atomic t (blob_path t ~key) (envelope payload ^ payload);
+  ignore (sweep t)
+
+let find_or_build t ~key build =
+  match find t ~key with
+  | Some payload -> Ok payload
+  | None -> (
+    match build () with
+    | Error _ as e -> e
+    | Ok payload ->
+      store t ~key payload;
+      Ok payload)
+
+(* ------------------------------------------------------------------ *)
+(* Raw file entries                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let find_raw t ~key =
+  let path = raw_path t ~key in
+  if Sys.file_exists path then begin
+    t.hits <- t.hits + 1;
+    touch path;
+    Some path
+  end
+  else begin
+    t.misses <- t.misses + 1;
+    None
+  end
+
+let build_raw t ~key builder =
+  match find_raw t ~key with
+  | Some path -> Ok path
+  | None -> (
+    let path = raw_path t ~key in
+    let tmp = Filename.temp_file ~temp_dir:t.dir "cas" ".tmp" in
+    (* temp_file creates the file; the builder overwrites it *)
+    match builder tmp with
+    | Error m ->
+      remove_quiet tmp;
+      Error m
+    | Ok () ->
+      (try Sys.rename tmp path
+       with Sys_error _ when Sys.file_exists path -> remove_quiet tmp);
+      ignore (sweep t);
+      Ok path)

@@ -1,0 +1,106 @@
+(** Content-addressed on-disk artifact store.
+
+    Generalized from the native oracle's compiled-harness cache
+    ({!Simd_par.Native}) so every subsystem that maps a deterministic key
+    to an expensive artifact — compiled harness binaries, whole
+    compilation artifacts in the compile service ({!Simd_serve}) — shares
+    one implementation with one set of guarantees:
+
+    - {b Content addressing}: callers derive the key with {!key} from
+      every input that determines the artifact (source, configuration,
+      tool identity, library version). Stale entries are impossible by
+      construction; cache directories carry over between runs and
+      machines freely.
+    - {b Concurrent-writer safety}: entries are written to a unique
+      temporary name in the store directory and [rename]d into place
+      (atomic on POSIX). Two processes building the same key race
+      harmlessly — both succeed, one rename wins, the artifacts are
+      identical anyway.
+    - {b Corruption recovery}: blob entries carry an integrity envelope
+      (length + digest). A truncated, garbled, or unreadable entry is
+      counted, deleted, and treated as a miss — the artifact is rebuilt;
+      corruption is never fatal and never served.
+    - {b Bounded size}: with [max_entries] set, an LRU sweep (by entry
+      mtime; hits touch their entry) evicts the oldest entries whenever
+      the store grows past the bound.
+
+    Two entry flavors share the store and the LRU sweep:
+
+    - {e blobs} — string artifacts wrapped in the integrity envelope
+      ([<key>.blob] files); and
+    - {e raw files} — artifacts that must exist as plain files on disk,
+      e.g. executables ([<key>.raw] files; integrity is existence-only,
+      since external tools produce and consume them directly). *)
+
+type t
+
+(** Monotonic per-store counters (process-local). *)
+type stats = {
+  hits : int;
+  misses : int;
+  evictions : int;  (** entries removed by the LRU sweep *)
+  corrupt : int;  (** blob entries that failed integrity validation *)
+}
+
+val create : ?max_entries:int -> dir:string -> unit -> t
+(** Open (creating if missing, including parents) the store rooted at
+    [dir]. [max_entries], when given, bounds the total number of entries
+    (blobs + raw files); every store past the bound triggers an LRU
+    sweep. Without it the store only grows (the native-oracle default,
+    where CI caching manages lifetime). *)
+
+val dir : t -> string
+val stats : t -> stats
+
+val stats_to_json : stats -> Json.t
+(** [{"hits": .., "misses": .., "evictions": .., "corrupt": ..}] — the
+    cache section of telemetry documents ([simd-serve/1], fuzz
+    [--report-json] perf). *)
+
+val key : string list -> string
+(** Digest of the parts, NUL-separated (so part boundaries cannot be
+    forged by concatenation). MD5 hex — a content-addressed build cache
+    needs collision resistance against accident, not adversaries. *)
+
+(** {1 Blob entries} *)
+
+val find : t -> key:string -> string option
+(** The stored artifact, validated against its envelope. Counts a hit
+    (touching the entry for LRU) or a miss; an entry failing validation
+    also counts as [corrupt] and is deleted. *)
+
+val store : t -> key:string -> string -> unit
+(** Write (or atomically overwrite) the blob entry for [key], then sweep
+    if the store is bounded. *)
+
+val find_or_build :
+  t -> key:string -> (unit -> (string, string) result) -> (string, string) result
+(** [find] then, on a miss, run the builder and [store] its output.
+    Builder errors are returned, not cached. *)
+
+(** {1 Raw file entries} *)
+
+val raw_path : t -> key:string -> string
+(** The path the raw entry for [key] lives at (whether or not it exists
+    yet). *)
+
+val find_raw : t -> key:string -> string option
+(** The entry's path when present (counts a hit and touches it), [None]
+    otherwise (counts a miss). *)
+
+val build_raw :
+  t -> key:string -> (string -> (unit, string) result) -> (string, string) result
+(** [build_raw t ~key builder] — on a miss, [builder tmp] must produce
+    the artifact at path [tmp] (a unique name in the store directory);
+    it is then renamed into place and the final path returned. On a hit,
+    the builder does not run. *)
+
+(** {1 Maintenance} *)
+
+val sweep : t -> int
+(** Evict least-recently-used entries until the store is within
+    [max_entries] (no-op for unbounded stores); returns the number
+    evicted. Runs automatically on [store]/[build_raw]. *)
+
+val entry_count : t -> int
+(** Current number of entries on disk (blobs + raw files). *)

@@ -1,11 +1,12 @@
-(** Minimal JSON document builder and printer.
+(** Minimal JSON document builder, printer, and parser.
 
-    The container has no JSON library, and the machine-readable outputs this
-    repo emits (static cost reports, bench results) only need construction
-    and printing — never parsing. Values are a plain variant; [to_string]
-    produces RFC 8259-conformant text: strings are escaped, non-finite
-    floats (which JSON cannot represent) are emitted as null, and integral
-    floats keep a trailing [.0] so readers preserve the number's type. *)
+    The container has no JSON library. Values are a plain variant;
+    [to_string] produces RFC 8259-conformant text: strings are escaped,
+    non-finite floats (which JSON cannot represent) are emitted as null,
+    and integral floats keep a trailing [.0] so readers preserve the
+    number's type. [of_string] is the matching recursive-descent reader —
+    the compile-service protocol ({!Simd_serve}) is newline-delimited JSON
+    in both directions, so the repo now needs both halves. *)
 
 type t =
   | Null
@@ -91,3 +92,258 @@ let to_channel ?indent oc v =
 let to_file ?indent path v =
   let oc = open_out_bin path in
   Fun.protect ~finally:(fun () -> close_out oc) (fun () -> to_channel ?indent oc v)
+
+(* ------------------------------------------------------------------ *)
+(* Single-line rendering (newline-delimited protocols)                 *)
+(* ------------------------------------------------------------------ *)
+
+let rec emit_line buf (v : t) =
+  match v with
+  | Null -> Buffer.add_string buf "null"
+  | Bool b -> Buffer.add_string buf (if b then "true" else "false")
+  | Int n -> Buffer.add_string buf (string_of_int n)
+  | Float f -> Buffer.add_string buf (float_repr f)
+  | String s ->
+    Buffer.add_char buf '"';
+    Buffer.add_string buf (escape_string s);
+    Buffer.add_char buf '"'
+  | List items ->
+    Buffer.add_char buf '[';
+    List.iteri
+      (fun i item ->
+        if i > 0 then Buffer.add_char buf ',';
+        emit_line buf item)
+      items;
+    Buffer.add_char buf ']'
+  | Obj fields ->
+    Buffer.add_char buf '{';
+    List.iteri
+      (fun i (k, item) ->
+        if i > 0 then Buffer.add_char buf ',';
+        Buffer.add_char buf '"';
+        Buffer.add_string buf (escape_string k);
+        Buffer.add_string buf "\":";
+        emit_line buf item)
+      fields;
+    Buffer.add_char buf '}'
+
+let to_line v =
+  let buf = Buffer.create 256 in
+  emit_line buf v;
+  Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
+(* Parsing                                                             *)
+(* ------------------------------------------------------------------ *)
+
+exception Parse_error of string
+
+let parse_fail fmt = Printf.ksprintf (fun m -> raise (Parse_error m)) fmt
+
+type reader = { src : string; mutable pos : int }
+
+let peek r = if r.pos < String.length r.src then Some r.src.[r.pos] else None
+
+let next r =
+  match peek r with
+  | Some c ->
+    r.pos <- r.pos + 1;
+    c
+  | None -> parse_fail "unexpected end of input"
+
+let skip_ws r =
+  while
+    match peek r with
+    | Some (' ' | '\t' | '\n' | '\r') ->
+      r.pos <- r.pos + 1;
+      true
+    | _ -> false
+  do
+    ()
+  done
+
+let expect r c =
+  let got = next r in
+  if got <> c then parse_fail "expected %C at offset %d, got %C" c (r.pos - 1) got
+
+let expect_lit r lit value =
+  String.iter (expect r) lit;
+  value
+
+let hex_digit = function
+  | '0' .. '9' as c -> Char.code c - Char.code '0'
+  | 'a' .. 'f' as c -> Char.code c - Char.code 'a' + 10
+  | 'A' .. 'F' as c -> Char.code c - Char.code 'A' + 10
+  | c -> parse_fail "bad hex digit %C" c
+
+(* UTF-8-encode one code point (surrogate pairs already combined). *)
+let add_utf8 buf cp =
+  if cp < 0x80 then Buffer.add_char buf (Char.chr cp)
+  else if cp < 0x800 then begin
+    Buffer.add_char buf (Char.chr (0xC0 lor (cp lsr 6)));
+    Buffer.add_char buf (Char.chr (0x80 lor (cp land 0x3F)))
+  end
+  else if cp < 0x10000 then begin
+    Buffer.add_char buf (Char.chr (0xE0 lor (cp lsr 12)));
+    Buffer.add_char buf (Char.chr (0x80 lor ((cp lsr 6) land 0x3F)));
+    Buffer.add_char buf (Char.chr (0x80 lor (cp land 0x3F)))
+  end
+  else begin
+    Buffer.add_char buf (Char.chr (0xF0 lor (cp lsr 18)));
+    Buffer.add_char buf (Char.chr (0x80 lor ((cp lsr 12) land 0x3F)));
+    Buffer.add_char buf (Char.chr (0x80 lor ((cp lsr 6) land 0x3F)));
+    Buffer.add_char buf (Char.chr (0x80 lor (cp land 0x3F)))
+  end
+
+let parse_u16 r =
+  let a = hex_digit (next r) in
+  let b = hex_digit (next r) in
+  let c = hex_digit (next r) in
+  let d = hex_digit (next r) in
+  (a lsl 12) lor (b lsl 8) lor (c lsl 4) lor d
+
+let parse_string_body r =
+  let buf = Buffer.create 16 in
+  let rec loop () =
+    match next r with
+    | '"' -> Buffer.contents buf
+    | '\\' ->
+      (match next r with
+      | '"' -> Buffer.add_char buf '"'
+      | '\\' -> Buffer.add_char buf '\\'
+      | '/' -> Buffer.add_char buf '/'
+      | 'b' -> Buffer.add_char buf '\b'
+      | 'f' -> Buffer.add_char buf '\012'
+      | 'n' -> Buffer.add_char buf '\n'
+      | 'r' -> Buffer.add_char buf '\r'
+      | 't' -> Buffer.add_char buf '\t'
+      | 'u' ->
+        let cp = parse_u16 r in
+        if cp >= 0xD800 && cp <= 0xDBFF then begin
+          (* high surrogate: a \uXXXX low surrogate must follow *)
+          expect r '\\';
+          expect r 'u';
+          let lo = parse_u16 r in
+          if lo < 0xDC00 || lo > 0xDFFF then
+            parse_fail "unpaired surrogate \\u%04x" cp;
+          add_utf8 buf (0x10000 + ((cp - 0xD800) lsl 10) + (lo - 0xDC00))
+        end
+        else add_utf8 buf cp
+      | c -> parse_fail "bad escape \\%C" c);
+      loop ()
+    | c when Char.code c < 0x20 ->
+      parse_fail "unescaped control character 0x%02x in string" (Char.code c)
+    | c ->
+      Buffer.add_char buf c;
+      loop ()
+  in
+  loop ()
+
+let parse_number r =
+  let start = r.pos in
+  let is_num_char = function
+    | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+    | _ -> false
+  in
+  while match peek r with Some c -> is_num_char c | None -> false do
+    r.pos <- r.pos + 1
+  done;
+  let text = String.sub r.src start (r.pos - start) in
+  let integral =
+    not (String.exists (function '.' | 'e' | 'E' -> true | _ -> false) text)
+  in
+  if integral then
+    match int_of_string_opt text with
+    | Some n -> Int n
+    | None -> (
+      (* out of int range: fall back to float *)
+      match float_of_string_opt text with
+      | Some f -> Float f
+      | None -> parse_fail "bad number %S" text)
+  else
+    match float_of_string_opt text with
+    | Some f -> Float f
+    | None -> parse_fail "bad number %S" text
+
+let rec parse_value r =
+  skip_ws r;
+  match peek r with
+  | None -> parse_fail "unexpected end of input"
+  | Some 'n' -> expect_lit r "null" Null
+  | Some 't' -> expect_lit r "true" (Bool true)
+  | Some 'f' -> expect_lit r "false" (Bool false)
+  | Some '"' ->
+    r.pos <- r.pos + 1;
+    String (parse_string_body r)
+  | Some '[' ->
+    r.pos <- r.pos + 1;
+    skip_ws r;
+    if peek r = Some ']' then begin
+      r.pos <- r.pos + 1;
+      List []
+    end
+    else begin
+      let items = ref [ parse_value r ] in
+      skip_ws r;
+      while peek r = Some ',' do
+        r.pos <- r.pos + 1;
+        items := parse_value r :: !items;
+        skip_ws r
+      done;
+      expect r ']';
+      List (List.rev !items)
+    end
+  | Some '{' ->
+    r.pos <- r.pos + 1;
+    skip_ws r;
+    if peek r = Some '}' then begin
+      r.pos <- r.pos + 1;
+      Obj []
+    end
+    else begin
+      let field () =
+        skip_ws r;
+        expect r '"';
+        let k = parse_string_body r in
+        skip_ws r;
+        expect r ':';
+        let v = parse_value r in
+        (k, v)
+      in
+      let fields = ref [ field () ] in
+      skip_ws r;
+      while peek r = Some ',' do
+        r.pos <- r.pos + 1;
+        fields := field () :: !fields;
+        skip_ws r
+      done;
+      expect r '}';
+      Obj (List.rev !fields)
+    end
+  | Some ('-' | '0' .. '9') -> parse_number r
+  | Some c -> parse_fail "unexpected character %C at offset %d" c r.pos
+
+let of_string s : (t, string) result =
+  let r = { src = s; pos = 0 } in
+  try
+    let v = parse_value r in
+    skip_ws r;
+    if r.pos <> String.length s then
+      parse_fail "trailing garbage at offset %d" r.pos;
+    Ok v
+  with Parse_error m -> Error ("json: " ^ m)
+
+(* ------------------------------------------------------------------ *)
+(* Accessors (Obj field lookup for protocol readers)                   *)
+(* ------------------------------------------------------------------ *)
+
+let member key = function Obj fields -> List.assoc_opt key fields | _ -> None
+
+let to_string_opt = function String s -> Some s | _ -> None
+let to_int_opt = function Int n -> Some n | _ -> None
+
+let to_bool_opt = function
+  | Bool b -> Some b
+  | Int 0 -> Some false
+  | Int 1 -> Some true
+  | _ -> None

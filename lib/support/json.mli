@@ -1,5 +1,6 @@
-(** Minimal JSON document builder and printer (construction only — the
-    machine-readable outputs in this repo are write-only). *)
+(** Minimal JSON document builder, printer, and parser. The parser exists
+    for the compile-service protocol ({!Simd_serve}), which speaks
+    newline-delimited JSON in both directions. *)
 
 type t =
   | Null
@@ -14,7 +15,29 @@ val to_string : ?indent:int -> t -> string
 (** Pretty-printed JSON text (default indent 2). Non-finite floats become
     [null]; strings are escaped per RFC 8259. *)
 
+val to_line : t -> string
+(** Compact single-line rendering (no spaces, no newlines) — the framing
+    unit of newline-delimited protocols. Same escaping rules as
+    {!to_string}, so [of_string (to_line v) = Ok v] for any [v] without
+    non-finite floats. *)
+
 val to_channel : ?indent:int -> out_channel -> t -> unit
 (** [to_string] plus a trailing newline. *)
 
 val to_file : ?indent:int -> string -> t -> unit
+
+val of_string : string -> (t, string) result
+(** Parse one JSON document (RFC 8259: [\uXXXX] escapes are UTF-8
+    encoded, surrogate pairs combined; numbers without [./e/E] that fit in
+    [int] parse as {!Int}, everything else as {!Float}). Rejects trailing
+    garbage. Never raises. *)
+
+val member : string -> t -> t option
+(** [member key (Obj fields)] — field lookup; [None] on missing key or
+    non-object. *)
+
+val to_string_opt : t -> string option
+val to_int_opt : t -> int option
+
+val to_bool_opt : t -> bool option
+(** Accepts [Bool], plus [Int 0/1] (the fuzz-header convention). *)

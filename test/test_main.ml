@@ -29,4 +29,5 @@ let () =
          Test_trace.suite;
          Test_par.suite;
          Test_check.suite;
+         Test_serve.suite;
        ])
