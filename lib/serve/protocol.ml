@@ -88,7 +88,10 @@ let as_string key = function
 let apply_config_field cfg (key, v) =
   let open Driver in
   match key with
-  | "vl" -> { cfg with machine = Machine.create ~vector_len:(as_int key v) }
+  | "vl" -> (
+    match Machine.create ~vector_len:(as_int key v) with
+    | machine -> { cfg with machine }
+    | exception Invalid_argument m -> bad "%s" m)
   | "policy" -> (
     let name = as_string key v in
     match Policy.of_name name with

@@ -266,7 +266,15 @@ let handle_batch t (lines : string list) : string list * bool =
     List.map
       (fun line ->
         t.tel.requests <- t.tel.requests + 1;
-        match Protocol.parse_line line with
+        (* No parse-time exception may kill the serve loop: anything the
+           parser lets escape becomes a malformed-request response. *)
+        let parsed =
+          try Protocol.parse_line line
+          with e ->
+            Protocol.Malformed
+              { id = None; message = "internal: " ^ Printexc.to_string e }
+        in
+        match parsed with
         | Protocol.Compile req ->
           let key = Compile.cache_key req in
           if not (Hashtbl.mem seen key) then begin
@@ -350,12 +358,20 @@ type reader = {
   fd : Unix.file_descr;
   chunk : bytes;
   mutable partial : string;  (** bytes after the last newline *)
-  mutable queue : string list;  (** complete lines, oldest first *)
+  queue : string Queue.t;  (** complete lines, oldest first *)
   mutable eof : bool;
 }
 
 let make_reader fd =
-  { fd; chunk = Bytes.create 65536; partial = ""; queue = []; eof = false }
+  { fd; chunk = Bytes.create 65536; partial = ""; queue = Queue.create (); eof = false }
+
+(* No legitimate request line approaches this; a stream that exceeds it
+   without a newline would otherwise grow [partial] without bound. The
+   oversized prefix is flushed as a line of its own — it (and the rest of
+   that actual line) parse as malformed and get error responses. *)
+let max_partial = 8 * 1024 * 1024
+
+let enqueue_line r l = if String.trim l <> "" then Queue.add l r.queue
 
 let rec read_restart fd buf off len =
   match Unix.read fd buf off len with
@@ -379,7 +395,13 @@ let refill r ~block =
       let n = read_restart r.fd r.chunk 0 (Bytes.length r.chunk) in
       if n = 0 then begin
         r.eof <- true;
-        false
+        (* A final line without a trailing newline is still a request. *)
+        if r.partial = "" then false
+        else begin
+          enqueue_line r r.partial;
+          r.partial <- "";
+          not (Queue.is_empty r.queue)
+        end
       end
       else begin
         let data = r.partial ^ Bytes.sub_string r.chunk 0 n in
@@ -390,18 +412,20 @@ let refill r ~block =
           | [] -> ([], "")
         in
         let complete, partial = split_last [] parts in
-        r.partial <- partial;
-        r.queue <- r.queue @ List.filter (fun l -> String.trim l <> "") complete;
+        List.iter (enqueue_line r) complete;
+        if String.length partial > max_partial then begin
+          Queue.add partial r.queue;
+          r.partial <- ""
+        end
+        else r.partial <- partial;
         true
       end
     end
 
 let rec next_line r ~block =
-  match r.queue with
-  | line :: rest ->
-    r.queue <- rest;
-    Some line
-  | [] ->
+  match Queue.take_opt r.queue with
+  | Some line -> Some line
+  | None ->
     if refill r ~block then next_line r ~block
     else if block && not r.eof then next_line r ~block
     else None
@@ -458,8 +482,16 @@ let listen_unix t ~path =
         let client, _ = Unix.accept sock in
         let verdict =
           try serve_fd t client client
-          with Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET), _, _) ->
+          with
+          | Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET), _, _) ->
             (* the client went away; its connection dies, not the server *)
+            `Eof
+          | e ->
+            (* last resort: whatever one connection provoked, the daemon
+               stays up for the others *)
+            if Trace.active t.trace then
+              Trace.note t.trace ~label:"serve.connection-error"
+                (Printexc.to_string e);
             `Eof
         in
         (try Unix.close client with Unix.Unix_error _ -> ());

@@ -62,19 +62,29 @@ let read_file path =
     ~finally:(fun () -> close_in ic)
     (fun () -> really_input_string ic (in_channel_length ic))
 
-(* Atomic write: unique temp name in the store directory, then rename. *)
+(* Atomic write: unique temp name in the store directory, then rename.
+   Best-effort — a store that cannot be written (disk full, directory
+   removed, permissions) degrades to a future miss; it never raises into
+   a caller whose own work already succeeded. A failed write never leaves
+   the temp file behind, and a short write is never renamed into place. *)
 let write_atomic t path contents =
-  let tmp = Filename.temp_file ~temp_dir:t.dir "cas" ".tmp" in
-  let oc = open_out_bin tmp in
-  (try
-     Fun.protect
-       ~finally:(fun () -> close_out oc)
-       (fun () -> output_string oc contents)
-   with e ->
-     remove_quiet tmp;
-     raise e);
-  try Sys.rename tmp path
-  with Sys_error _ when Sys.file_exists path -> remove_quiet tmp
+  match Filename.temp_file ~temp_dir:t.dir "cas" ".tmp" with
+  | exception Sys_error _ -> ()
+  | tmp ->
+    let wrote =
+      match open_out_bin tmp with
+      | exception Sys_error _ -> false
+      | oc -> (
+        try
+          output_string oc contents;
+          close_out oc;
+          true
+        with Sys_error _ ->
+          close_out_noerr oc;
+          false)
+    in
+    if not wrote then remove_quiet tmp
+    else (try Sys.rename tmp path with Sys_error _ -> remove_quiet tmp)
 
 (* ------------------------------------------------------------------ *)
 (* LRU sweep                                                           *)
@@ -203,7 +213,15 @@ let build_raw t ~key builder =
       remove_quiet tmp;
       Error m
     | Ok () ->
-      (try Sys.rename tmp path
-       with Sys_error _ when Sys.file_exists path -> remove_quiet tmp);
+      let placed =
+        try
+          Sys.rename tmp path;
+          true
+        with Sys_error _ ->
+          remove_quiet tmp;
+          (* a concurrent builder may have won the rename race *)
+          Sys.file_exists path
+      in
       ignore (sweep t);
-      Ok path)
+      if placed then Ok path
+      else Error ("cas: cannot place artifact at " ^ path))

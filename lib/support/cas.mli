@@ -71,7 +71,9 @@ val find : t -> key:string -> string option
 
 val store : t -> key:string -> string -> unit
 (** Write (or atomically overwrite) the blob entry for [key], then sweep
-    if the store is bounded. *)
+    if the store is bounded. Best-effort: a store that cannot be written
+    (disk full, directory removed) degrades to a future miss rather than
+    raising — the caller's artifact is already in hand. *)
 
 val find_or_build :
   t -> key:string -> (unit -> (string, string) result) -> (string, string) result

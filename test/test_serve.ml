@@ -150,6 +150,20 @@ let test_cas_find_or_build () =
         (Cas.find_or_build cas ~key:key2 (fun () -> Error "no") = Error "no");
       check_int "error not stored" 1 (Cas.entry_count cas))
 
+(* A store whose directory disappears degrades to a miss; it never
+   raises into a caller whose compile already succeeded. *)
+let test_cas_store_best_effort () =
+  with_tmp_dir (fun dir ->
+      let sub = Filename.concat dir "gone" in
+      let cas = Cas.create ~dir:sub () in
+      let key = Cas.key [ "best-effort" ] in
+      Unix.rmdir sub;
+      Cas.store cas ~key "artifact";
+      check_bool "degrades to a miss" true (Cas.find cas ~key = None);
+      (* find_or_build still returns the freshly built artifact *)
+      check_bool "build result survives store failure" true
+        (Cas.find_or_build cas ~key (fun () -> Ok "artifact") = Ok "artifact"))
+
 let corrupt_entry dir key mangle =
   let path = Filename.concat dir (key ^ ".blob") in
   let content =
@@ -333,6 +347,20 @@ let test_protocol_malformed () =
   match Serve.Protocol.parse_line {|{"id":"y"}|} with
   | Serve.Protocol.Malformed _ -> ()
   | _ -> Alcotest.fail "missing source"
+
+(* An out-of-range vector length must come back as a malformed request —
+   never as an exception that could take down the serve loop. *)
+let test_protocol_bad_vl () =
+  List.iter
+    (fun vl ->
+      match
+        Serve.Protocol.parse_line
+          (Printf.sprintf {|{"id":"v","source":"s","config":{"vl":%d}}|} vl)
+      with
+      | Serve.Protocol.Malformed { id = Some "v"; _ } -> ()
+      | Serve.Protocol.Malformed _ -> Alcotest.failf "vl=%d: id dropped" vl
+      | _ -> Alcotest.failf "vl=%d must be rejected" vl)
+    [ 5; 0; -3; 1024 ]
 
 let test_protocol_config_canonical () =
   let c1 = Driver.default in
@@ -526,6 +554,51 @@ let test_server_serve_fd () =
       (Json.member "op" ack = Some (Json.String "shutdown"))
   | _ -> Alcotest.fail "responses did not parse"
 
+(* A poison request inside a batch (invalid vl) gets an error response;
+   every other line in the batch is still answered. *)
+let test_server_poison_request () =
+  let server = Serve.Server.create () in
+  let responses, _ =
+    Serve.Server.handle_batch server
+      [
+        {|{"id":"bad","source":"s","config":{"vl":5}}|};
+        {|{"op":"ping"}|};
+      ]
+  in
+  check_int "both answered" 2 (List.length responses);
+  match List.map Json.of_string responses with
+  | [ Ok bad; Ok pong ] ->
+    check_bool "poison is an error response" true
+      (Json.member "status" bad = Some (Json.String "error"));
+    check_bool "stream continues" true
+      (Json.member "op" pong = Some (Json.String "pong"))
+  | _ -> Alcotest.fail "responses did not parse"
+
+(* A final request without a trailing newline is processed, not dropped. *)
+let test_server_no_trailing_newline () =
+  let req_r, req_w = Unix.pipe () in
+  let resp_r, resp_w = Unix.pipe () in
+  let payload = {|{"op":"ping"}|} ^ "\n" ^ {|{"op":"stats"}|} (* no \n *) in
+  let written =
+    Unix.write req_w (Bytes.of_string payload) 0 (String.length payload)
+  in
+  check_int "request bytes written" (String.length payload) written;
+  Unix.close req_w;
+  let server = Serve.Server.create () in
+  let verdict = Serve.Server.serve_fd server req_r resp_w in
+  check_bool "eof verdict" true (verdict = `Eof);
+  Unix.close resp_w;
+  Unix.close req_r;
+  let ic = Unix.in_channel_of_descr resp_r in
+  let out = ref [] in
+  (try
+     while true do
+       out := input_line ic :: !out
+     done
+   with End_of_file -> ());
+  close_in ic;
+  check_int "unterminated final request answered" 2 (List.length !out)
+
 let suite =
   [
     ( "serve json",
@@ -546,12 +619,15 @@ let suite =
         Alcotest.test_case "concurrent writers" `Quick
           test_cas_concurrent_writers;
         Alcotest.test_case "raw entries" `Quick test_cas_raw_entries;
+        Alcotest.test_case "store best-effort" `Quick
+          test_cas_store_best_effort;
       ] );
     ( "serve protocol",
       [
         Alcotest.test_case "request round trip" `Quick test_protocol_roundtrip;
         Alcotest.test_case "control ops" `Quick test_protocol_ops;
         Alcotest.test_case "malformed requests" `Quick test_protocol_malformed;
+        Alcotest.test_case "bad vector length" `Quick test_protocol_bad_vl;
         Alcotest.test_case "config canonical" `Quick
           test_protocol_config_canonical;
       ] );
@@ -573,5 +649,9 @@ let suite =
         Alcotest.test_case "shutdown and in-batch stats" `Quick
           test_server_shutdown_and_stats;
         Alcotest.test_case "serve_fd end to end" `Quick test_server_serve_fd;
+        Alcotest.test_case "poison request isolated" `Quick
+          test_server_poison_request;
+        Alcotest.test_case "no trailing newline" `Quick
+          test_server_no_trailing_newline;
       ] );
   ]
