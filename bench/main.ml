@@ -383,6 +383,89 @@ let static_reports () : Simd.Json.t =
       report_cache.sr_hits report_cache.sr_saved_ms report_cache.sr_misses;
   doc
 
+(* ------------------------------------------------------------------ *)
+(* The backend matrix: one placement per program, retargeted to every
+   registry backend's native V, probed, simulated, and priced           *)
+(* ------------------------------------------------------------------ *)
+
+let backends_json () : Simd.Json.t =
+  let cc = Simd.Cc.find () in
+  let probe =
+    Simd.Json.List
+      (List.map
+         (fun b ->
+           let support =
+             match cc with
+             | None -> Simd.Backend.Unsupported "no C compiler found"
+             | Some cc -> Simd.Backend.probe ~cc b
+           in
+           Simd.Backend.to_json b support)
+         Simd.Backend.all)
+  in
+  let row_json program (row : Simd.Matrix.row) =
+    let base =
+      match Simd.Matrix.row_to_json row with
+      | Simd.Json.Obj fields -> fields
+      | j -> [ ("row", j) ]
+    in
+    let perf =
+      match row.Simd.Matrix.retarget with
+      | Error _ -> []
+      | Ok t -> (
+        let trip =
+          match program.Simd.Ast.loop.Simd.Ast.trip with
+          | Simd.Ast.Trip_const _ -> None
+          | Simd.Ast.Trip_param _ -> Some 200
+        in
+        match
+          Simd.Measure.of_outcome ?trip program t.Simd.Retarget.outcome
+        with
+        | sample ->
+          [
+            ("opd", Simd.Json.Float (Simd.Measure.opd sample));
+            ("speedup", Simd.Json.Float (Simd.Measure.speedup sample));
+          ]
+        | exception e ->
+          [ ("sim_error", Simd.Json.String (Printexc.to_string e)) ])
+    in
+    Simd.Json.Obj (base @ perf)
+  in
+  let program_json (label, program) =
+    match
+      Simd.Driver.simdize ~check:true
+        (config Simd.Policy.Dominant Simd.Driver.Software_pipelining)
+        program
+    with
+    | Simd.Driver.Scalar r ->
+      ( label,
+        Simd.Json.Obj
+          [
+            ( "scalar",
+              Simd.Json.String (Format.asprintf "%a" Simd.Driver.pp_reason r)
+            );
+          ] )
+    | Simd.Driver.Simdized o ->
+      ( label,
+        Simd.Json.List (List.map (row_json program) (Simd.Matrix.rows ?cc o))
+      )
+  in
+  Simd.Json.Obj
+    [
+      ( "cc",
+        match cc with
+        | Some c -> Simd.Json.String (Simd.Cc.id c)
+        | None -> Simd.Json.Null );
+      ("probe", probe);
+      ( "programs",
+        Simd.Json.Obj
+          (List.map program_json
+             [
+               ("fig11_S1L6", fig_program);
+               ("table1_S4L8", table1_program);
+               ("table2_S4L4_int16", table2_program);
+             ]) );
+    ]
+
 let () =
   match json_path with
   | None -> ()
@@ -400,6 +483,7 @@ let () =
           ("table2", Simd.Suite.speedup_table_to_json table2);
           ("coverage", Simd.Suite.coverage_to_json cov);
           ("static_reports", reports);
+          ("backends", backends_json ());
           ( "static_reports_cache",
             if cache_dir = None then Simd.Json.Null
             else

@@ -45,6 +45,8 @@ let emit_conv =
     | "c" | "portable" -> Ok `Portable
     | "altivec" -> Ok `Altivec
     | "sse" -> Ok `Sse
+    | "avx2" -> Ok `Avx2
+    | "neon" -> Ok `Neon
     | "graph" -> Ok `Graph
     | s -> Error (`Msg (Printf.sprintf "unknown output kind %S" s))
   in
@@ -57,6 +59,8 @@ let emit_conv =
           | `Portable -> "c"
           | `Altivec -> "altivec"
           | `Sse -> "sse"
+          | `Avx2 -> "avx2"
+          | `Neon -> "neon"
           | `Graph -> "graph") )
 
 let trace_conv =
@@ -174,9 +178,27 @@ let run file policy reuse memnorm reassoc peel unroll vector_len emit stats
         List.iter
           (fun (_, g) -> Format.printf "%a@." Simd.Graph.pp g)
           o.Simd.Driver.graphs
-      | `Portable -> print_string (Simd.Emit_portable.unit o.Simd.Driver.prog)
-      | `Altivec -> print_string (Simd.Emit_altivec.unit o.Simd.Driver.prog)
-      | `Sse -> print_string (Simd.Emit_sse.unit o.Simd.Driver.prog));
+      | (`Portable | `Altivec | `Sse | `Avx2 | `Neon) as kind ->
+        let backend =
+          match kind with
+          | `Portable -> Simd.Backend.Portable
+          | `Altivec -> Simd.Backend.Altivec
+          | `Sse -> Simd.Backend.Sse
+          | `Avx2 -> Simd.Backend.Avx2
+          | `Neon -> Simd.Backend.Neon
+        in
+        if Simd.Backend.supports_vl backend vector_len then
+          print_string (Simd.Backend.unit_for backend o.Simd.Driver.prog)
+        else begin
+          Format.eprintf
+            "emit %s: backend requires V = %d, compiled at V = %d (try -V \
+             %d, or retarget with bin/backends.exe)@."
+            (Simd.Backend.name backend)
+            (Simd.Backend.default_vl backend)
+            vector_len
+            (Simd.Backend.default_vl backend);
+          ok := 1
+        end);
       if stats then
         print_endline
           (Simd.Opt.Report.to_string ~indent:2 (Simd.Driver.report o));
@@ -265,7 +287,9 @@ let cmd =
     Arg.(
       value & opt emit_conv `Vir
       & info [ "e"; "emit" ] ~docv:"KIND"
-          ~doc:"Output: vir, graph, c (portable), altivec, sse.")
+          ~doc:"Output: vir, graph, c (portable), altivec, sse, avx2, neon. \
+                ISA backends require the matching vector length (avx2 \
+                needs -V 32, the others -V 16); see docs/BACKENDS.md.")
   in
   let stats =
     Arg.(

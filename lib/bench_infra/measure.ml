@@ -77,39 +77,43 @@ exception Not_simdized of string
     gathering everything a table row needs. The trip count must be large
     enough to clear the [3B] guard. Raises {!Not_simdized} when the driver
     falls back to scalar code. *)
-let run ~(config : Simd_codegen.Driver.config) ?(setup_seed = 0x5EED) ?trip
+let of_outcome ?(setup_seed = 0x5EED) ?trip (program : Ast.program)
+    (o : Simd_codegen.Driver.outcome) : sample =
+  let config = o.Simd_codegen.Driver.config in
+  let setup =
+    Simd_sim.Run.prepare ~seed:setup_seed ?trip
+      ~machine:config.Simd_codegen.Driver.machine program
+  in
+  let scalar, _ = Simd_sim.Run.run_scalar setup in
+  let r = Simd_sim.Run.run_simd setup o.Simd_codegen.Driver.prog in
+  let analysis = o.Simd_codegen.Driver.analysis in
+  (* LB reflects the zero-shift accounting when every statement fell back
+     to zero-shift (runtime alignments), per §5.3. *)
+  let lb_policy =
+    if
+      List.for_all
+        (fun p -> p = Simd_dreorg.Policy.Zero)
+        o.Simd_codegen.Driver.policies_used
+    then Simd_dreorg.Policy.Zero
+    else config.Simd_codegen.Driver.policy
+  in
+  {
+    program;
+    config;
+    counts = r.Simd_sim.Run.counts;
+    scalar;
+    lb = Lb.compute ~analysis ~policy:lb_policy;
+    data = List.length program.Ast.loop.Ast.body * setup.Simd_sim.Run.trip;
+    policies_used = o.Simd_codegen.Driver.policies_used;
+    fallback = r.Simd_sim.Run.fallback_counts <> None;
+  }
+
+let run ~(config : Simd_codegen.Driver.config) ?setup_seed ?trip
     (program : Ast.program) : sample =
   match Simd_codegen.Driver.simdize config program with
   | Simd_codegen.Driver.Scalar r ->
     raise (Not_simdized (Format.asprintf "%a" Simd_codegen.Driver.pp_reason r))
-  | Simd_codegen.Driver.Simdized o ->
-    let setup =
-      Simd_sim.Run.prepare ~seed:setup_seed ?trip
-        ~machine:config.Simd_codegen.Driver.machine program
-    in
-    let scalar, _ = Simd_sim.Run.run_scalar setup in
-    let r = Simd_sim.Run.run_simd setup o.Simd_codegen.Driver.prog in
-    let analysis = o.Simd_codegen.Driver.analysis in
-    (* LB reflects the zero-shift accounting when every statement fell back
-       to zero-shift (runtime alignments), per §5.3. *)
-    let lb_policy =
-      if
-        List.for_all
-          (fun p -> p = Simd_dreorg.Policy.Zero)
-          o.Simd_codegen.Driver.policies_used
-      then Simd_dreorg.Policy.Zero
-      else config.Simd_codegen.Driver.policy
-    in
-    {
-      program;
-      config;
-      counts = r.Simd_sim.Run.counts;
-      scalar;
-      lb = Lb.compute ~analysis ~policy:lb_policy;
-      data = List.length program.Ast.loop.Ast.body * setup.Simd_sim.Run.trip;
-      policies_used = o.Simd_codegen.Driver.policies_used;
-      fallback = r.Simd_sim.Run.fallback_counts <> None;
-    }
+  | Simd_codegen.Driver.Simdized o -> of_outcome ?setup_seed ?trip program o
 
 (** [verify_first ~config program] — differential check before measuring
     (used by experiment drivers in paranoid mode and by the coverage

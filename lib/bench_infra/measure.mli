@@ -33,6 +33,17 @@ val lb_speedup : sample -> float
 
 exception Not_simdized of string
 
+val of_outcome :
+  ?setup_seed:int ->
+  ?trip:int ->
+  Ast.program ->
+  Simd_codegen.Driver.outcome ->
+  sample
+(** Execute an already-simdized compilation (e.g. a
+    {!Simd_codegen.Retarget} result at another V) against [program]'s
+    scalar reference on the outcome's own machine. {!run} is
+    [Driver.simdize] followed by this. *)
+
 val run :
   config:Simd_codegen.Driver.config ->
   ?setup_seed:int ->

@@ -66,6 +66,28 @@ type outcome = {
 
 type result = Simdized of outcome | Scalar of reason
 
+(** The pass-pipeline state threaded through {!run_passes}: the three IR
+    regions a pass may rewrite (epilogues stay empty until derived). *)
+type pstate = {
+  st_prologue : Expr.stmt list;
+  st_body : Expr.stmt list;
+  st_epilogues : Expr.stmt list list;
+}
+
+val run_passes :
+  ?trace:Trace.t ->
+  ?on_stage:(name:string -> pstate -> unit) ->
+  config ->
+  analysis:Analysis.t ->
+  Prog.t ->
+  Prog.t
+(** The optimization-pass pipeline alone (hoisting, MemNorm, CSE,
+    predictive commoning, unrolling, epilogue derivation, reduction
+    finalization, DCE) applied to a freshly generated program.
+    [on_stage] fires after every stage with the pipeline state — the
+    driver's own boundary checking and {!Retarget}'s re-instantiation
+    both hang off it. *)
+
 val simdize : ?trace:Trace.t -> ?check:bool -> config -> Ast.program -> result
 (** The whole pipeline. [?trace] (default {!Simd_trace.Trace.none})
     receives the ordered event stream of this compilation. [?check]

@@ -1,0 +1,317 @@
+(** Vector-length-agnostic retargeting (Revec's rejuvenation premise):
+    re-instantiate one placed compilation at a different vector length
+    without rerunning shift placement.
+
+    The placement decisions of {!Driver.simdize} — which reorganization
+    chains exist and where the shifts sit — are structural and largely
+    V-independent; what changes with V are the numeric stream offsets
+    ([(base + offset·D) mod V]), the blocking factor B = V/D, and every
+    bound formula derived from them (Eqs. 8–16). Retargeting therefore:
+
+    - re-runs only the {e analysis} at V′ (alignments, blocking factor,
+      legality — e.g. V′ may exceed an array's base alignment);
+    - walks each placed graph top-down, keeping its shift {e structure}
+      and recomputing every endpoint offset at V′. A leaf whose natural
+      V′-offset no longer meets its context's requirement gets one repair
+      shift; a shift that became a no-op at V′ is dropped;
+    - falls back to a fresh per-statement placement ({!Simd_opt.Place},
+      [Replaced]) only when the preserved structure cannot be lowered at
+      V′ (e.g. a repair would need an unsupported runtime→runtime
+      reorganization);
+    - regenerates code with {!Gen.generate} and the full
+      {!Driver.run_passes} pipeline — the peel amounts and Eqs. 8–16
+      bounds are recomputed for free — and discharges the retargeted
+      obligations with {!Simd_check.Check}.
+
+    The subtle part is that offset equalities do not survive widening:
+    offsets 4 and 20 coincide mod 16 but differ mod 32, so a shift chain
+    that was a no-op at V = 16 may be load-bearing at V′ = 32 (and vice
+    versa). The top-down rebuild handles both directions: the context
+    requirement is re-derived at V′ at every node, so shifts are kept,
+    dropped, or inserted exactly where the V′ offsets demand. *)
+
+open Simd_loopir
+module Policy = Simd_dreorg.Policy
+module Graph = Simd_dreorg.Graph
+module Offset = Simd_dreorg.Offset
+module Trace = Simd_trace.Trace
+module Check = Simd_check.Check
+module Machine = Simd_machine.Config
+module Json = Simd_support.Json
+
+(** How one statement's graph survived the retarget. *)
+type status =
+  | Preserved  (** structure unchanged; only offsets renumbered *)
+  | Repaired of int  (** kept, with [n] repair shifts inserted/dropped *)
+  | Replaced of Policy.t
+      (** structure not lowerable at V′ — re-placed with this policy *)
+
+let status_name = function
+  | Preserved -> "preserved"
+  | Repaired _ -> "repaired"
+  | Replaced _ -> "replaced"
+
+let pp_status fmt = function
+  | Preserved -> Format.pp_print_string fmt "preserved"
+  | Repaired n -> Format.fprintf fmt "repaired(%d)" n
+  | Replaced p -> Format.fprintf fmt "replaced(%s)" (Policy.name p)
+
+type t = {
+  outcome : Driver.outcome;
+  statuses : status list;
+  from_vl : int;
+  to_vl : int;
+}
+
+let supported_vls = [ 16; 32; 64 ]
+
+(* ------------------------------------------------------------------ *)
+(* Graph re-instantiation                                              *)
+(* ------------------------------------------------------------------ *)
+
+exception Unsupported of string
+
+(* A compile-time offset renumbered at V′. Offsets recorded in a placed
+   graph are canonical ([0, V)); widening keeps them, narrowing wraps. *)
+let map_offset ~vl (o : Offset.t) =
+  match o with
+  | Offset.Known k -> Offset.Known (((k mod vl) + vl) mod vl)
+  | Offset.Runtime _ | Offset.Any -> o
+
+(* The stream-shift directions {!Gen} can lower (§4.4): compile-time on
+   both ends, or runtime paired with offset 0 (vshiftleft/vshiftright by a
+   runtime amount). Anything else must be re-placed. *)
+let supported_direction ~from ~to_ =
+  match (from, to_) with
+  | Offset.Known _, Offset.Known _ -> true
+  | Offset.Runtime _, Offset.Known 0 -> true
+  | Offset.Known 0, Offset.Runtime _ -> true
+  | _ -> false
+
+let leaf_offset ~analysis (n : Graph.node) =
+  match n with
+  | Graph.Load r -> Offset.of_align (Analysis.offset_of analysis r) ~ref_:r
+  | Graph.Strided _ -> Offset.Known 0
+  | Graph.Splat _ -> Offset.Any
+  | Graph.Op _ | Graph.Shift _ -> invalid_arg "Retarget.leaf_offset: not a leaf"
+
+let is_leaf = function
+  | Graph.Load _ | Graph.Strided _ | Graph.Splat _ -> true
+  | Graph.Op _ | Graph.Shift _ -> false
+
+let unsupported from to_ =
+  raise
+    (Unsupported
+       (Format.asprintf "cannot reorganize stream %a -> %a" Offset.pp from
+          Offset.pp to_))
+
+(* Rebuild a placed subtree against the context requirement [req] (the
+   offset this subtree must produce at V′). [repairs] counts structural
+   edits — shifts inserted at leaves or dropped as V′ no-ops. *)
+let rec rebuild ~analysis ~block ~vl ~repairs (n : Graph.node)
+    (req : Offset.t) : Graph.node =
+  match n with
+  | Graph.Splat _ -> n (* offset ⊥ satisfies every requirement (Eq. 6) *)
+  | Graph.Load _ | Graph.Strided _ ->
+    let from = leaf_offset ~analysis n in
+    if Offset.matches ~block from req then n
+    else if supported_direction ~from ~to_:req then begin
+      incr repairs;
+      Graph.Shift (n, from, req)
+    end
+    else unsupported from req
+  | Graph.Op (op, a, b) ->
+    (* (C.3): both operands must produce the context offset. *)
+    Graph.Op
+      ( op,
+        rebuild ~analysis ~block ~vl ~repairs a req,
+        rebuild ~analysis ~block ~vl ~repairs b req )
+  | Graph.Shift (src, from_old, _) ->
+    (* The shift absorbs the requirement: its source is rebuilt against
+       the old intermediate offset renumbered at V′ (leaves instead keep
+       their natural offset — the shift's [from] end is recomputed from
+       whatever the source now produces). *)
+    let src' =
+      if is_leaf src then src
+      else rebuild ~analysis ~block ~vl ~repairs src (map_offset ~vl from_old)
+    in
+    let from = Graph.offset_of ~analysis src' in
+    if Offset.is_any from then src' (* splat-only subtree: shift is moot *)
+    else if Offset.matches ~block from req then begin
+      incr repairs;
+      (* no-op at V′ *)
+      src'
+    end
+    else if supported_direction ~from ~to_:req then Graph.Shift (src', from, req)
+    else unsupported from req
+
+(* One statement: preserve/repair the placed graph, or re-place it. *)
+let retarget_graph ~analysis ~fallback (stmt : Ast.stmt) (g : Graph.t) :
+    Graph.t * status =
+  let block = analysis.Analysis.block in
+  let vl = Machine.vector_len analysis.Analysis.machine in
+  let target = Policy.target_offset ~analysis stmt in
+  let replace () =
+    let p = Simd_opt.Place.place_with_fallback fallback ~analysis stmt in
+    (p.Simd_opt.Place.graph, Replaced p.Simd_opt.Place.used)
+  in
+  let repairs = ref 0 in
+  match rebuild ~analysis ~block ~vl ~repairs g.Graph.root target with
+  | exception (Unsupported _ | Graph.Invalid _) -> replace ()
+  | root -> (
+    let g' = { Graph.store = stmt.Ast.lhs; store_offset = target; root; block } in
+    match Graph.validate ~analysis g' with
+    | Ok () -> (g', if !repairs = 0 then Preserved else Repaired !repairs)
+    | Error _ -> replace ())
+
+(* ------------------------------------------------------------------ *)
+(* Whole-compilation retarget                                          *)
+(* ------------------------------------------------------------------ *)
+
+let generate_and_optimize ~trace ~check ~analysis (config : Driver.config)
+    placed =
+  let graphs = List.map (fun (s, g, _, _) -> (s, g)) placed in
+  let checks = ref [] in
+  let record name r = checks := (name, r) :: !checks in
+  if check then record "retarget-placement" (Check.check_graphs ~analysis graphs);
+  let mode =
+    match config.Driver.reuse with
+    | Driver.Software_pipelining -> Gen.Pipelined
+    | Driver.No_reuse | Driver.Predictive_commoning -> Gen.Standard
+  in
+  let names = Names.create () in
+  match Gen.generate ~analysis ~names ~mode graphs with
+  | Error e -> Error e
+  | Ok prog ->
+    let prog = Driver.run_passes ~trace config ~analysis prog in
+    if check then
+      record "retarget-final"
+        (Check.check_prog ~loads_normalized:config.Driver.memnorm ~analysis
+           prog);
+    let shared =
+      Simd_opt.Joint.shared_streams ~analysis (List.map snd graphs)
+    in
+    Ok
+      {
+        Driver.prog;
+        analysis;
+        graphs;
+        policies_used = List.map (fun (_, _, _, p) -> p) placed;
+        shared_streams = shared;
+        config;
+        checks = List.rev !checks;
+      }
+
+let retarget ?(trace = Trace.none) ?(check = true) ~vector_len
+    (o : Driver.outcome) : (t, Driver.reason) result =
+  let from_vl = Machine.vector_len o.Driver.config.Driver.machine in
+  let machine =
+    Machine.with_costs
+      (Machine.costs o.Driver.config.Driver.machine)
+      (Machine.create ~vector_len)
+  in
+  (* Peeling applicability is V-dependent; a retarget never re-asserts the
+     baseline's claim. *)
+  let config = { o.Driver.config with Driver.machine; peel_baseline = false } in
+  (* [o.analysis.program] is the program the graphs were placed for
+     (post-reassociation when that ran), so placement inputs line up. *)
+  let program = o.Driver.analysis.Analysis.program in
+  match Analysis.check ~machine program with
+  | Error e -> Error (Driver.Illegal e)
+  | Ok analysis -> (
+    let fallback =
+      (* [Joint] is a whole-body placement; the per-statement fallback
+         uses the exact solver instead. *)
+      match config.Driver.policy with
+      | Policy.Joint -> Policy.Optimal
+      | p -> p
+    in
+    let retarget_stmt (stmt, g) used =
+      let g', status = retarget_graph ~analysis ~fallback stmt g in
+      let used' = match status with Replaced p -> p | _ -> used in
+      (stmt, g', status, used')
+    in
+    let placed = List.map2 retarget_stmt o.Driver.graphs o.Driver.policies_used in
+    let finish placed =
+      match generate_and_optimize ~trace ~check ~analysis config placed with
+      | Error (Gen.Trip_too_small { trip; needed }) ->
+        `Scalar (Driver.Trip_too_small { trip; needed })
+      | Error (Gen.Unsupported_shift msg) -> `Unsupported msg
+      | Ok outcome ->
+        `Done
+          {
+            outcome;
+            statuses = List.map (fun (_, _, st, _) -> st) placed;
+            from_vl;
+            to_vl = vector_len;
+          }
+    in
+    (* First try the preserved/repaired graphs; if lowering still rejects
+       a shift direction (a preserved structure [Gen] cannot lower at V′),
+       re-place every statement — the same totality the driver relies
+       on. *)
+    match finish placed with
+    | `Done t -> Ok t
+    | `Scalar r -> Error r
+    | `Unsupported _ -> (
+      let replaced =
+        List.map
+          (fun (stmt, _, _, _) ->
+            let p = Simd_opt.Place.place_with_fallback fallback ~analysis stmt in
+            ( stmt,
+              p.Simd_opt.Place.graph,
+              Replaced p.Simd_opt.Place.used,
+              p.Simd_opt.Place.used ))
+          placed
+      in
+      match finish replaced with
+      | `Done t -> Ok t
+      | `Scalar r -> Error r
+      | `Unsupported msg ->
+        invalid_arg ("Retarget.retarget: unexpected shift failure: " ^ msg)))
+
+let retarget_exn ?trace ?check ~vector_len o =
+  match retarget ?trace ?check ~vector_len o with
+  | Ok t -> t
+  | Error r ->
+    invalid_arg (Format.asprintf "Retarget.retarget_exn: %a" Driver.pp_reason r)
+
+let sweep ?trace ?check ?(vector_lens = supported_vls) (o : Driver.outcome) =
+  List.map (fun vl -> (vl, retarget ?trace ?check ~vector_len:vl o)) vector_lens
+
+(* ------------------------------------------------------------------ *)
+(* Reporting                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let counts (t : t) =
+  List.fold_left
+    (fun (p, r, x) -> function
+      | Preserved -> (p + 1, r, x)
+      | Repaired _ -> (p, r + 1, x)
+      | Replaced _ -> (p, r, x + 1))
+    (0, 0, 0) t.statuses
+
+let error_violations (t : t) =
+  List.filter
+    (fun (_, (v : Check.violation)) -> v.Check.severity = Check.Error)
+    (Driver.check_violations t.outcome)
+
+let to_json (t : t) =
+  let preserved, repaired, replaced = counts t in
+  let report = Driver.report t.outcome in
+  Json.Obj
+    [
+      ("from_vl", Json.Int t.from_vl);
+      ("to_vl", Json.Int t.to_vl);
+      ( "statuses",
+        Json.List
+          (List.map
+             (fun st -> Json.String (Format.asprintf "%a" pp_status st))
+             t.statuses) );
+      ("preserved", Json.Int preserved);
+      ("repaired", Json.Int repaired);
+      ("replaced", Json.Int replaced);
+      ("check_errors", Json.Int (List.length (error_violations t)));
+      ("cost", Json.Float report.Simd_opt.Report.total_cost);
+      ("body_cost", Json.Float report.Simd_opt.Report.body_cost);
+    ]

@@ -17,10 +17,14 @@
     - {!Machine}/{!Vec}/{!Mem}: the SIMD machine model;
     - {!Offset}/{!Graph}/{!Policy}/{!Reassoc}: data reorganization graphs;
     - {!Gen}/{!Passes}/{!Driver}/{!Peel}: code generation;
+    - {!Retarget}: vector-length-agnostic re-instantiation of a placed
+      compilation at another V (the backend matrix's engine);
     - {!Check}/{!Absoff}: the pass-boundary static verifier;
     - {!Vir_expr}/{!Vir_prog}: the vector IR;
     - {!Exec}/{!Sim_run}: the simulator;
-    - {!Emit_portable}/{!Emit_altivec}/{!Emit_sse}: C backends;
+    - {!Emit_portable}/{!Emit_altivec}/{!Emit_sse}/{!Emit_avx2}/
+      {!Emit_neon}: C backends; {!Backend} the registry + capability
+      probe; {!Matrix} the per-backend retargeting table;
     - {!Synth}/{!Lb}/{!Measure}/{!Suite}: the evaluation harness;
     - {!Fuzz}/{!Par}: differential fuzzing and the process pool;
     - {!Serve}/{!Cas}: the batched compile service and the
@@ -76,15 +80,21 @@ module Gen = Simd_codegen.Gen
 module Passes = Simd_codegen.Passes
 module Peel = Simd_codegen.Peel
 module Driver = Simd_codegen.Driver
+module Retarget = Simd_codegen.Retarget
 
 (* Simulation *)
 module Exec = Simd_sim.Exec
 module Sim_run = Simd_sim.Run
 
-(* Emission *)
+(* Emission: one module per backend, the registry + capability probe
+   ({!Backend}), and the per-backend retargeting matrix ({!Matrix}) *)
 module Emit_portable = Simd_emit.Portable
 module Emit_altivec = Simd_emit.Altivec
 module Emit_sse = Simd_emit.Sse
+module Emit_avx2 = Simd_emit.Avx2
+module Emit_neon = Simd_emit.Neon
+module Backend = Simd_emit.Backend
+module Matrix = Simd_emit.Matrix
 module C_syntax = Simd_emit.C_syntax
 module Cc = Simd_emit.Cc
 
@@ -141,8 +151,9 @@ let verify ?(config = Driver.default) ?(seed = 0x5EED) ?trip program =
   Measure.verify ~config ~setup_seed:seed ?trip program
 
 (** [emit_c ?config ?backend program] — simdize and pretty-print a complete
-    C translation unit ([`Portable] compiles anywhere; [`Altivec]/[`Sse]
-    target those ISAs). *)
+    C translation unit ([`Portable] compiles anywhere; the others target
+    their ISA and require the matching vector length in [config] —
+    [`Avx2] needs V = 32, the rest V = 16). *)
 let emit_c ?(config = Driver.default) ?(backend = `Portable) program =
   match Driver.simdize config program with
   | Driver.Scalar r -> Error (Format.asprintf "%a" Driver.pp_reason r)
@@ -151,7 +162,9 @@ let emit_c ?(config = Driver.default) ?(backend = `Portable) program =
       (match backend with
       | `Portable -> Emit_portable.unit o.Driver.prog
       | `Altivec -> Emit_altivec.unit o.Driver.prog
-      | `Sse -> Emit_sse.unit o.Driver.prog)
+      | `Sse -> Emit_sse.unit o.Driver.prog
+      | `Avx2 -> Emit_avx2.unit o.Driver.prog
+      | `Neon -> Emit_neon.unit o.Driver.prog)
 
 (** [measure ?config ?trip program] — simdize, simulate, and report the
     dynamic operation counts, operations per datum, and speedup over the

@@ -99,3 +99,9 @@ let unit (prog : Simd_vir.Prog.t) : string =
   let ty = Ast.elem_ty_of_program prog.Simd_vir.Prog.source in
   let v = Simd_machine.Config.vector_len prog.Simd_vir.Prog.machine in
   prelude ~v ~ty ^ "\n" ^ Portable.kernel prog
+
+(** [harness ~layout ~params ~trip prog] — self-checking main over the
+    AltiVec unit (compilable where gcc accepts [-maltivec]; exercised by
+    the native oracle on POWER hosts). *)
+let harness ~layout ~params ~trip (prog : Simd_vir.Prog.t) : string =
+  Portable.harness_with ~unit_text:(unit prog) ~layout ~params ~trip prog

@@ -1,8 +1,30 @@
 (** AltiVec/VMX backend: the same kernels over a prelude implementing the
     generic operations with AltiVec intrinsics per §2.2 ([vec_ld]/[vec_st],
     [vec_perm] with a [vsplat((char)sh) + iota] permute vector, [vec_sel]
-    with a comparison mask, [vec_splats]). *)
+    with a comparison mask, [vec_splats]).
+
+    This is the machine the paper models: [vec_ld]/[vec_st] truncate the
+    low 4 address bits in hardware, so no explicit masking is emitted.
+    Vectors are fixed at V = 16; requires [-maltivec]. *)
 
 val vec_ctype : Simd_loopir.Ast.elem_ty -> string
+(** The AltiVec vector type for an element width, e.g.
+    [vector signed int] for [I32]. *)
+
 val prelude : v:int -> ty:Simd_loopir.Ast.elem_ty -> string
+(** The backend's operation definitions ([vload]/[vstore]/[vshiftpair]/
+    [vsplice]/[vpack_even]/[vsplat] and the lane ops). Raises
+    [Invalid_argument] unless [v = 16]. *)
+
 val unit : Simd_vir.Prog.t -> string
+(** Prelude + kernels: a complete translation unit exposing
+    [kernel_scalar] and [kernel_simd]. *)
+
+val harness :
+  layout:Simd_loopir.Layout.t ->
+  params:(string * int64) list ->
+  trip:int ->
+  Simd_vir.Prog.t ->
+  string
+(** {!Portable.harness_with} over the AltiVec unit (compilable where gcc
+    accepts [-maltivec]; run by the native oracle on POWER hosts). *)

@@ -1,0 +1,135 @@
+(** AVX2 (x86) backend, V = 32.
+
+    The first wide backend: one [__m256i] register holds a 32-byte chunk,
+    so a program must be compiled (or retargeted, {!Simd_codegen.Retarget})
+    at vector length 32 before this emitter applies.
+
+    AVX2's permute unit is split into two 16-byte lanes —
+    [_mm256_shuffle_epi8] cannot move a byte across the lane boundary — so
+    the byte-granular cross-register [vshiftpair] does not map to one
+    shuffle the way SSSE3's does. Rather than a three-instruction
+    lane-crossing dance whose correctness depends on the shift amount's
+    range, [vshiftpair] round-trips through a 64-byte aligned spill buffer
+    and re-loads at the (runtime) byte offset with [_mm256_loadu_si256]:
+    store-forwarding makes this fast in practice and it is correct for
+    every [sh] in [0, 32]. [vsplice] is a byte blend
+    ([_mm256_blendv_epi8]) under an [iota < p] mask, which is lane-local
+    and safe. Loads/stores truncate the address (low 5 bits) before the
+    aligned forms, reproducing the paper's memory unit at V = 32.
+    Requires [-mavx2]. *)
+
+open Simd_loopir
+
+let prelude ~v ~(ty : Ast.elem_ty) : string =
+  if v <> 32 then invalid_arg "Avx2.prelude: AVX2 vectors are 32 bytes";
+  let ct = C_syntax.ctype ty in
+  let suffix =
+    match ty with
+    | Ast.I8 -> "epi8"
+    | Ast.I16 -> "epi16"
+    | Ast.I32 -> "epi32"
+    | Ast.I64 -> "epi64"
+  in
+  let d = Ast.elem_width ty in
+  let lanes = 32 / d in
+  let lane_fallback name op =
+    Printf.sprintf
+      "static inline vec_t %s(vec_t a, vec_t b) {\n\
+      \  union { vec_t v; elem_t e[%d]; } ua, ub, ur;\n\
+      \  ua.v = a; ub.v = b;\n\
+      \  for (int k = 0; k < %d; k++) ur.e[k] = (elem_t)(%s);\n\
+      \  return ur.v;\n\
+       }" name lanes lanes op
+  in
+  String.concat "\n"
+    [
+      "#include <immintrin.h> /* AVX2 */";
+      "#include <stdint.h>";
+      "#include <string.h>";
+      "";
+      C_syntax.minmax_macros;
+      Printf.sprintf "typedef %s elem_t;" ct;
+      (* wrap-at-width lane arithmetic: see C_syntax.uctype *)
+      Printf.sprintf "typedef %s uelem_t;" (C_syntax.uctype ty);
+      "typedef __m256i vec_t;";
+      "";
+      "/* Truncate the address, then use the aligned load/store forms:";
+      "   this reproduces the AltiVec-style memory unit at V = 32. */";
+      "static inline vec_t vload(const void *p) {";
+      "  return _mm256_load_si256((const __m256i *)((uintptr_t)p & ~(uintptr_t)31));";
+      "}";
+      "static inline void vstore(void *p, vec_t v) {";
+      "  _mm256_store_si256((__m256i *)((uintptr_t)p & ~(uintptr_t)31), v);";
+      "}";
+      "";
+      "static inline vec_t v_iota(void) {";
+      "  return _mm256_setr_epi8(0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13,";
+      "                          14, 15, 16, 17, 18, 19, 20, 21, 22, 23, 24, 25,";
+      "                          26, 27, 28, 29, 30, 31);";
+      "}";
+      "";
+      "/* vshiftpair: bytes [sh, sh+32) of a ++ b. _mm256_shuffle_epi8 is";
+      "   lane-local (cannot cross the 16-byte boundary), so spill both";
+      "   registers and re-load at the byte offset; sh in [0, 32]. */";
+      "static inline vec_t vshiftpair(vec_t a, vec_t b, long sh) {";
+      "  uint8_t buf[64] __attribute__((aligned(32)));";
+      "  _mm256_store_si256((__m256i *)buf, a);";
+      "  _mm256_store_si256((__m256i *)(buf + 32), b);";
+      "  return _mm256_loadu_si256((const __m256i *)(buf + sh));";
+      "}";
+      "";
+      "/* vsplice: byte blend under an iota < p mask (lane-local, safe).";
+      "   iota and p both fit signed 8-bit, so the signed compare is exact";
+      "   for p in [0, 32]. */";
+      "static inline vec_t vsplice(vec_t a, vec_t b, long p) {";
+      "  vec_t mask = _mm256_cmpgt_epi8(_mm256_set1_epi8((char)p), v_iota());";
+      "  return _mm256_blendv_epi8(b, a, mask);";
+      "}";
+      "";
+      "/* vpack_even: even-indexed elements of the 2V concatenation";
+      "   (strided-gather extension); kept lane-wise — a static cross-lane";
+      "   shuffle would need _mm256_permutevar8x32 per width. */";
+      Printf.sprintf
+        "static inline vec_t vpack_even(vec_t a, vec_t b) {\n\
+        \  union { vec_t v; elem_t e[%d]; } ua, ub, ur;\n\
+        \  ua.v = a; ub.v = b;\n\
+        \  for (int k = 0; k < %d; k++)\n\
+        \    ur.e[k] = 2 * k < %d ? ua.e[2 * k] : ub.e[(2 * k) - %d];\n\
+        \  return ur.v;\n\
+         }"
+        lanes lanes lanes lanes;
+      "static inline vec_t vsplat(elem_t x) {";
+      (match ty with
+      | Ast.I8 -> "  return _mm256_set1_epi8((char)x);"
+      | Ast.I16 -> "  return _mm256_set1_epi16((short)x);"
+      | Ast.I32 -> "  return _mm256_set1_epi32((int)x);"
+      | Ast.I64 -> "  return _mm256_set1_epi64x((long long)x);");
+      "}";
+      "";
+      Printf.sprintf
+        "static inline vec_t vadd(vec_t a, vec_t b) { return _mm256_add_%s(a, b); }"
+        suffix;
+      Printf.sprintf
+        "static inline vec_t vsub(vec_t a, vec_t b) { return _mm256_sub_%s(a, b); }"
+        suffix;
+      "static inline vec_t vand(vec_t a, vec_t b) { return _mm256_and_si256(a, b); }";
+      "static inline vec_t vor(vec_t a, vec_t b) { return _mm256_or_si256(a, b); }";
+      "static inline vec_t vxor(vec_t a, vec_t b) { return _mm256_xor_si256(a, b); }";
+      "/* Widths without a direct AVX2 instruction fall back to lanes. */";
+      lane_fallback "vmul" "(uelem_t)ua.e[k] * (uelem_t)ub.e[k]";
+      lane_fallback "vmin" "MINV(ua.e[k], ub.e[k])";
+      lane_fallback "vmax" "MAXV(ua.e[k], ub.e[k])";
+      "";
+    ]
+
+(** [unit prog] — full AVX2 translation unit (prelude + both kernels). *)
+let unit (prog : Simd_vir.Prog.t) : string =
+  let ty = Ast.elem_ty_of_program prog.Simd_vir.Prog.source in
+  let v = Simd_machine.Config.vector_len prog.Simd_vir.Prog.machine in
+  prelude ~v ~ty ^ "\n" ^ Portable.kernel prog
+
+(** [harness ~layout ~params ~trip prog] — self-checking main over the
+    AVX2 unit (compilable on x86-64 with AVX2; exercised by the native
+    oracle when the build machine supports it). *)
+let harness ~layout ~params ~trip (prog : Simd_vir.Prog.t) : string =
+  Portable.harness_with ~unit_text:(unit prog) ~layout ~params ~trip prog

@@ -1,0 +1,28 @@
+(** AVX2 (x86) backend, V = 32 — the first wide backend; programs reach it
+    by compiling at vector length 32 or by retargeting a V = 16 placement
+    ({!Simd_codegen.Retarget}).
+
+    AVX2's byte shuffle is lane-local (it cannot move bytes across the
+    16-byte lane boundary), so the runtime-amount [vshiftpair] round-trips
+    through a 64-byte aligned spill buffer instead of a shuffle cascade;
+    [vsplice] is a [_mm256_blendv_epi8] byte blend under an [iota < p]
+    mask. Loads/stores truncate the address (low 5 bits) before the
+    aligned forms. Requires [-mavx2]. *)
+
+val prelude : v:int -> ty:Simd_loopir.Ast.elem_ty -> string
+(** The backend's operation definitions ([vload]/[vstore]/[vshiftpair]/
+    [vsplice]/[vpack_even]/[vsplat] and the lane ops). Raises
+    [Invalid_argument] unless [v = 32]. *)
+
+val unit : Simd_vir.Prog.t -> string
+(** Prelude + kernels: a complete translation unit exposing
+    [kernel_scalar] and [kernel_simd]. *)
+
+val harness :
+  layout:Simd_loopir.Layout.t ->
+  params:(string * int64) list ->
+  trip:int ->
+  Simd_vir.Prog.t ->
+  string
+(** {!Portable.harness_with} over the AVX2 unit (compilable on x86-64 with
+    AVX2; run by the native oracle when the build machine supports it). *)

@@ -1,0 +1,188 @@
+(** The backend registry and capability probe (see the interface).
+
+    Each backend is described declaratively — name, native vector length,
+    extra compiler flags, probe program — so consumers (the native oracle,
+    the compile service, the bench matrix, [bin/simdize]) iterate the
+    registry instead of hard-coding emitters. The probe compiles {e and
+    runs} a minimal program using the backend's intrinsics: compiling
+    proves the toolchain has the headers/flags ([Toolchain_only] — enough
+    to emit and syntax-check, e.g. AltiVec on an x86 cross gcc), running
+    proves the CPU executes the instructions ([Supported] — required
+    before the native differential oracle may execute harnesses, else a
+    wider-ISA binary dies with SIGILL). *)
+
+type id = Portable | Altivec | Sse | Avx2 | Neon
+
+let all = [ Portable; Altivec; Sse; Avx2; Neon ]
+
+let name = function
+  | Portable -> "portable"
+  | Altivec -> "altivec"
+  | Sse -> "sse"
+  | Avx2 -> "avx2"
+  | Neon -> "neon"
+
+let of_name = function
+  | "portable" | "c" -> Some Portable
+  | "altivec" -> Some Altivec
+  | "sse" -> Some Sse
+  | "avx2" -> Some Avx2
+  | "neon" -> Some Neon
+  | _ -> None
+
+let describe = function
+  | Portable -> "plain C11 reference implementation (any V)"
+  | Altivec -> "AltiVec/VMX intrinsics, V = 16 (-maltivec)"
+  | Sse -> "SSE with SSSE3 shuffles, V = 16 (-mssse3)"
+  | Avx2 -> "AVX2 intrinsics, V = 32 (-mavx2)"
+  | Neon -> "AArch64 NEON intrinsics, V = 16"
+
+(* Extra cflags the backend's unit needs beyond the base optimization
+   level. NEON needs none: <arm_neon.h> is baseline on AArch64. *)
+let cflags = function
+  | Portable -> []
+  | Altivec -> [ "-maltivec" ]
+  | Sse -> [ "-mssse3" ]
+  | Avx2 -> [ "-mavx2" ]
+  | Neon -> []
+
+let native_vl = function
+  | Portable -> None
+  | Altivec | Sse | Neon -> Some 16
+  | Avx2 -> Some 32
+
+let default_vl b = Option.value ~default:16 (native_vl b)
+
+let supports_vl b v =
+  match native_vl b with
+  | Some n -> v = n
+  | None ->
+    (* the portable struct-of-bytes vec_t works at any machine V *)
+    v >= 4 && v <= 64 && v land (v - 1) = 0
+
+let unit_for b (prog : Simd_vir.Prog.t) =
+  match b with
+  | Portable -> Portable.unit prog
+  | Altivec -> Altivec.unit prog
+  | Sse -> Sse.unit prog
+  | Avx2 -> Avx2.unit prog
+  | Neon -> Neon.unit prog
+
+let harness_for b ~layout ~params ~trip (prog : Simd_vir.Prog.t) =
+  match b with
+  | Portable -> Portable.harness ~layout ~params ~trip prog
+  | Altivec -> Altivec.harness ~layout ~params ~trip prog
+  | Sse -> Sse.harness ~layout ~params ~trip prog
+  | Avx2 -> Avx2.harness ~layout ~params ~trip prog
+  | Neon -> Neon.harness ~layout ~params ~trip prog
+
+(* ------------------------------------------------------------------ *)
+(* Capability probe                                                    *)
+(* ------------------------------------------------------------------ *)
+
+type support = Supported | Toolchain_only | Unsupported of string
+
+let support_name = function
+  | Supported -> "supported"
+  | Toolchain_only -> "toolchain-only"
+  | Unsupported _ -> "unsupported"
+
+let pp_support fmt = function
+  | Supported -> Format.pp_print_string fmt "supported"
+  | Toolchain_only -> Format.pp_print_string fmt "toolchain-only (compiles, cannot run here)"
+  | Unsupported m -> Format.fprintf fmt "unsupported (%s)" m
+
+(* One tiny program per backend: includes the header, uses a
+   representative intrinsic (the one the emitter leans on), verifies a
+   known result. Compile failure → Unsupported; run failure (typically
+   SIGILL on a CPU without the ISA) → Toolchain_only. *)
+let probe_source = function
+  | Portable ->
+    "#include <stdint.h>\nint main(void) { volatile uint8_t b[16] = {1}; return b[0] == 1 ? 0 : 1; }"
+  | Sse ->
+    "#include <tmmintrin.h>\n\
+     int main(void) { __m128i a = _mm_set1_epi8(1); a = _mm_shuffle_epi8(a, a);\n\
+    \  return _mm_cvtsi128_si32(a) == 16843009 ? 0 : 1; }"
+  | Avx2 ->
+    "#include <immintrin.h>\n\
+     int main(void) { __m256i a = _mm256_set1_epi8(2); __m256i b = _mm256_add_epi8(a, a);\n\
+    \  b = _mm256_blendv_epi8(a, b, _mm256_set1_epi8((char)0x80));\n\
+    \  return _mm256_extract_epi8(b, 31) == 4 ? 0 : 1; }"
+  | Altivec ->
+    "#include <altivec.h>\n\
+     int main(void) { vector signed int a = vec_splats(3); a = vec_add(a, a);\n\
+    \  return vec_extract(a, 0) == 6 ? 0 : 1; }"
+  | Neon ->
+    "#include <arm_neon.h>\n\
+     int main(void) { int32x4_t a = vdupq_n_s32(5); a = vaddq_s32(a, a);\n\
+    \  return vgetq_lane_s32(a, 0) == 10 ? 0 : 1; }"
+
+let base_flags = "-O1"
+
+let flags b = String.concat " " (base_flags :: cflags b)
+
+let with_temp_dir f =
+  let dir = Filename.temp_file "simd_backend" "" in
+  Sys.remove dir;
+  Sys.mkdir dir 0o700;
+  Fun.protect
+    ~finally:(fun () ->
+      Array.iter
+        (fun f -> try Sys.remove (Filename.concat dir f) with Sys_error _ -> ())
+        (try Sys.readdir dir with Sys_error _ -> [||]);
+      try Sys.rmdir dir with Sys_error _ -> ())
+    (fun () -> f dir)
+
+let probe_uncached (cc : Cc.t) b : support =
+  with_temp_dir (fun dir ->
+      let src = Filename.concat dir (name b ^ "_probe.c") in
+      let exe = Filename.concat dir (name b ^ "_probe") in
+      let oc = open_out src in
+      output_string oc (probe_source b);
+      close_out oc;
+      match Cc.compile cc ~flags:(flags b) ~src ~exe () with
+      | Error _ -> Unsupported "probe does not compile"
+      | Ok () ->
+        if
+          Sys.command
+            (Printf.sprintf "%s >/dev/null 2>&1" (Filename.quote exe))
+          = 0
+        then Supported
+        else Toolchain_only)
+
+(* Per-(compiler, backend) cache: probes shell out twice, and every
+   oracle case would otherwise re-pay them. *)
+let cache : (string * id, support) Hashtbl.t = Hashtbl.create 16
+
+let probe ?cc b : support =
+  let cc = match cc with Some c -> Some c | None -> Cc.find () in
+  match cc with
+  | None -> Unsupported "no C compiler found"
+  | Some cc -> (
+    let key = (Cc.id cc, b) in
+    match Hashtbl.find_opt cache key with
+    | Some s -> s
+    | None ->
+      let s = probe_uncached cc b in
+      Hashtbl.replace cache key s;
+      s)
+
+let probe_all ?cc () = List.map (fun b -> (b, probe ?cc b)) all
+
+let clear_probe_cache () = Hashtbl.reset cache
+
+let to_json b s =
+  Simd_support.Json.Obj
+    [
+      ("backend", Simd_support.Json.String (name b));
+      ( "vl",
+        match native_vl b with
+        | Some n -> Simd_support.Json.Int n
+        | None -> Simd_support.Json.String "any" );
+      ("cflags", Simd_support.Json.List
+         (List.map (fun f -> Simd_support.Json.String f) (cflags b)));
+      ("support", Simd_support.Json.String (support_name s));
+      ( "detail",
+        Simd_support.Json.String
+          (match s with Unsupported m -> m | _ -> "") );
+    ]

@@ -1,0 +1,94 @@
+(** The backend registry: one declarative description per C emitter —
+    name, native vector length, extra compiler flags, probe program —
+    plus the capability probe that classifies what the build machine can
+    do with each.
+
+    Consumers iterate this registry instead of hard-coding emitters: the
+    native differential oracle ({!Simd_par.Native}) runs every
+    [Supported] backend per case, the compile service exposes the names
+    as emit-selection values, and the bench/docs matrix
+    ({!Matrix}, [tools/gen_docs.sh]) renders it. The contract an emitter
+    must meet is documented in [docs/BACKENDS.md]. *)
+
+type id = Portable | Altivec | Sse | Avx2 | Neon
+
+val all : id list
+(** Registry order: [Portable; Altivec; Sse; Avx2; Neon]. *)
+
+val name : id -> string
+(** ["portable"], ["altivec"], ["sse"], ["avx2"], ["neon"]. *)
+
+val of_name : string -> id option
+(** Inverse of {!name}; also accepts ["c"] for [Portable]. *)
+
+val describe : id -> string
+(** One-line human description (ISA, vector width, required flag). *)
+
+val cflags : id -> string list
+(** Extra compiler flags the backend's unit needs (e.g. [["-mavx2"]];
+    empty for [Portable] and [Neon]). *)
+
+val native_vl : id -> int option
+(** The one vector length the ISA implements, or [None] for [Portable]
+    (the reference implementation works at any valid V). *)
+
+val default_vl : id -> int
+(** {!native_vl}, defaulting to 16 for [Portable]. *)
+
+val supports_vl : id -> int -> bool
+(** Can this backend emit a program compiled at vector length [v]?
+    Fixed-width ISAs accept exactly their native V; [Portable] accepts
+    any power of two in [\[4, 64\]]. *)
+
+val unit_for : id -> Simd_vir.Prog.t -> string
+(** The backend's complete translation unit. Raises [Invalid_argument]
+    when the program's machine V is not supported (see
+    {!supports_vl}). *)
+
+val harness_for :
+  id ->
+  layout:Simd_loopir.Layout.t ->
+  params:(string * int64) list ->
+  trip:int ->
+  Simd_vir.Prog.t ->
+  string
+(** The backend's self-checking differential harness
+    ({!Portable.harness_with} over {!unit_for}). *)
+
+(** What the build machine can do with a backend:
+    - [Supported] — the probe compiles {e and runs} here, so emitted
+      harnesses may be executed natively;
+    - [Toolchain_only] — the probe compiles but its binary does not run
+      (e.g. AVX2 headers on a pre-AVX2 CPU, or an AltiVec cross
+      toolchain): units can be emitted and syntax-checked, but the native
+      oracle must classify the backend as skipped, not failed;
+    - [Unsupported] — the toolchain rejects the probe (missing headers or
+      flags). *)
+type support = Supported | Toolchain_only | Unsupported of string
+
+val support_name : support -> string
+(** ["supported"] / ["toolchain-only"] / ["unsupported"]. *)
+
+val pp_support : Format.formatter -> support -> unit
+
+val probe_source : id -> string
+(** The minimal C program the probe compiles and runs: includes the
+    backend's header and exercises a representative intrinsic. *)
+
+val flags : id -> string
+(** The full flag string the probe (and harness compiles) use:
+    ["-O1"] + {!cflags}. *)
+
+val probe : ?cc:Cc.t -> id -> support
+(** Classify a backend on this machine ([?cc] defaults to {!Cc.find};
+    [Unsupported] when no compiler exists). Results are cached per
+    (compiler, backend) for the process. *)
+
+val probe_all : ?cc:Cc.t -> unit -> (id * support) list
+(** {!probe} across the whole registry, in {!all} order. *)
+
+val clear_probe_cache : unit -> unit
+(** Drop cached probe results (tests that change [SIMD_CC]). *)
+
+val to_json : id -> support -> Simd_support.Json.t
+(** One matrix row: backend, native V, cflags, support classification. *)

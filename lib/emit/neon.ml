@@ -1,0 +1,154 @@
+(** NEON (AArch64) backend, V = 16.
+
+    NEON loads/stores do not truncate addresses (like x86, unlike
+    AltiVec), so [vload]/[vstore] mask the low 4 bits explicitly before
+    [vld1q]/[vst1q] — the truncated address is 16-aligned, so the aligned
+    forms are exact. The cross-register byte extract [vextq] takes only
+    immediate positions, and the paper's [vshiftpair] amount is a runtime
+    value for runtime alignments, so [vshiftpair] round-trips through a
+    32-byte spill buffer and re-loads at the byte offset (NEON [vld1q]
+    permits unaligned addresses). [vsplice] is a [vbslq] bit-select under
+    an [iota < p] byte mask. Vectors are typed per element width
+    ([int32x4_t], …) with [vreinterpretq] casts for the byte-granular
+    operations. Requires [<arm_neon.h>] (AArch64 gcc/clang; no extra
+    flag). *)
+
+open Simd_loopir
+
+(* Per-width NEON typed vector, intrinsic suffix, and a byte-view cast
+   pair (identity at width 8, vreinterpretq otherwise). *)
+let vec_ctype (ty : Ast.elem_ty) =
+  match ty with
+  | Ast.I8 -> "int8x16_t"
+  | Ast.I16 -> "int16x8_t"
+  | Ast.I32 -> "int32x4_t"
+  | Ast.I64 -> "int64x2_t"
+
+let suffix (ty : Ast.elem_ty) =
+  match ty with
+  | Ast.I8 -> "s8"
+  | Ast.I16 -> "s16"
+  | Ast.I32 -> "s32"
+  | Ast.I64 -> "s64"
+
+let prelude ~v ~(ty : Ast.elem_ty) : string =
+  if v <> 16 then invalid_arg "Neon.prelude: NEON vectors are 16 bytes";
+  let ct = C_syntax.ctype ty in
+  let vct = vec_ctype ty in
+  let sfx = suffix ty in
+  let d = Ast.elem_width ty in
+  let lanes = 16 / d in
+  let to_bytes e =
+    if ty = Ast.I8 then e else Printf.sprintf "vreinterpretq_s8_%s(%s)" sfx e
+  in
+  let of_bytes e =
+    if ty = Ast.I8 then e else Printf.sprintf "vreinterpretq_%s_s8(%s)" sfx e
+  in
+  let lane_fallback name op =
+    Printf.sprintf
+      "static inline vec_t %s(vec_t a, vec_t b) {\n\
+      \  union { vec_t v; elem_t e[%d]; } ua, ub, ur;\n\
+      \  ua.v = a; ub.v = b;\n\
+      \  for (int k = 0; k < %d; k++) ur.e[k] = (elem_t)(%s);\n\
+      \  return ur.v;\n\
+       }" name lanes lanes op
+  in
+  let simple name intr =
+    Printf.sprintf "static inline vec_t %s(vec_t a, vec_t b) { return %s_%s(a, b); }"
+      name intr sfx
+  in
+  String.concat "\n"
+    [
+      "#include <arm_neon.h>";
+      "#include <stdint.h>";
+      "#include <string.h>";
+      "";
+      C_syntax.minmax_macros;
+      Printf.sprintf "typedef %s elem_t;" ct;
+      (* wrap-at-width lane arithmetic: see C_syntax.uctype *)
+      Printf.sprintf "typedef %s uelem_t;" (C_syntax.uctype ty);
+      Printf.sprintf "typedef %s vec_t;" vct;
+      "";
+      "/* NEON does not truncate addresses; mask the low 4 bits to";
+      "   reproduce the paper's memory unit. */";
+      "static inline vec_t vload(const void *p) {";
+      Printf.sprintf
+        "  return vld1q_%s((const elem_t *)((uintptr_t)p & ~(uintptr_t)15));"
+        sfx;
+      "}";
+      "static inline void vstore(void *p, vec_t v) {";
+      Printf.sprintf
+        "  vst1q_%s((elem_t *)((uintptr_t)p & ~(uintptr_t)15), v);" sfx;
+      "}";
+      "";
+      "static inline uint8x16_t v_iota(void) {";
+      "  static const uint8_t k[16] = { 0, 1, 2, 3, 4, 5, 6, 7,";
+      "                                 8, 9, 10, 11, 12, 13, 14, 15 };";
+      "  return vld1q_u8(k);";
+      "}";
+      "";
+      "/* vshiftpair: bytes [sh, sh+16) of a ++ b. vextq takes only";
+      "   immediate positions, so spill both registers and re-load at the";
+      "   (runtime) byte offset; sh in [0, 16]. */";
+      "static inline vec_t vshiftpair(vec_t a, vec_t b, long sh) {";
+      "  int8_t buf[32] __attribute__((aligned(16)));";
+      Printf.sprintf "  vst1q_s8(buf, %s);" (to_bytes "a");
+      Printf.sprintf "  vst1q_s8(buf + 16, %s);" (to_bytes "b");
+      Printf.sprintf "  return %s;" (of_bytes "vld1q_s8(buf + sh)");
+      "}";
+      "";
+      "/* vsplice: bit-select under an iota < p byte mask. */";
+      "static inline vec_t vsplice(vec_t a, vec_t b, long p) {";
+      "  uint8x16_t mask = vcltq_u8(v_iota(), vdupq_n_u8((uint8_t)p));";
+      Printf.sprintf "  return %s;"
+        (of_bytes
+           (Printf.sprintf "vbslq_s8(mask, %s, %s)" (to_bytes "a")
+              (to_bytes "b")));
+      "}";
+      "";
+      "/* vpack_even: even-indexed elements of the 2V concatenation";
+      "   (strided-gather extension); lane-wise — vuzp1q covers only the";
+      "   in-register halves. */";
+      Printf.sprintf
+        "static inline vec_t vpack_even(vec_t a, vec_t b) {\n\
+        \  union { vec_t v; elem_t e[%d]; } ua, ub, ur;\n\
+        \  ua.v = a; ub.v = b;\n\
+        \  for (int k = 0; k < %d; k++)\n\
+        \    ur.e[k] = 2 * k < %d ? ua.e[2 * k] : ub.e[(2 * k) - %d];\n\
+        \  return ur.v;\n\
+         }"
+        lanes lanes lanes lanes;
+      Printf.sprintf
+        "static inline vec_t vsplat(elem_t x) { return vdupq_n_%s(x); }" sfx;
+      "";
+      simple "vadd" "vaddq";
+      simple "vsub" "vsubq";
+      (* 64-bit lanes have no vminq/vmaxq/vmulq on NEON. *)
+      (if ty = Ast.I64 then
+         String.concat "\n"
+           [
+             "/* int64 lanes: no vminq/vmaxq/vmulq_s64 — fall back. */";
+             lane_fallback "vmin" "MINV(ua.e[k], ub.e[k])";
+             lane_fallback "vmax" "MAXV(ua.e[k], ub.e[k])";
+             lane_fallback "vmul" "(uelem_t)ua.e[k] * (uelem_t)ub.e[k]";
+           ]
+       else
+         String.concat "\n"
+           [ simple "vmin" "vminq"; simple "vmax" "vmaxq"; simple "vmul" "vmulq" ]);
+      simple "vand" "vandq";
+      simple "vor" "vorrq";
+      simple "vxor" "veorq";
+      "";
+    ]
+
+(** [unit prog] — full NEON translation unit (prelude + both kernels). *)
+let unit (prog : Simd_vir.Prog.t) : string =
+  let ty = Ast.elem_ty_of_program prog.Simd_vir.Prog.source in
+  let v = Simd_machine.Config.vector_len prog.Simd_vir.Prog.machine in
+  prelude ~v ~ty ^ "\n" ^ Portable.kernel prog
+
+(** [harness ~layout ~params ~trip prog] — self-checking main over the
+    NEON unit (compilable on AArch64; run by the native oracle on ARM
+    hosts). *)
+let harness ~layout ~params ~trip (prog : Simd_vir.Prog.t) : string =
+  Portable.harness_with ~unit_text:(unit prog) ~layout ~params ~trip prog

@@ -1,0 +1,31 @@
+(** NEON (AArch64) backend, V = 16.
+
+    Explicit address truncation (NEON, like x86, does not truncate in
+    hardware) before [vld1q]/[vst1q]; runtime-amount [vshiftpair] via a
+    32-byte spill buffer (NEON's [vextq] extract takes only immediate
+    positions); [vsplice] via [vbslq] bit-select under an [iota < p] byte
+    mask. Vectors are typed per element width with [vreinterpretq] casts
+    for the byte-granular operations. Requires [<arm_neon.h>] (AArch64
+    toolchains; no extra flag). *)
+
+val vec_ctype : Simd_loopir.Ast.elem_ty -> string
+(** The NEON vector type for an element width, e.g. [int32x4_t] for
+    [I32]. *)
+
+val prelude : v:int -> ty:Simd_loopir.Ast.elem_ty -> string
+(** The backend's operation definitions ([vload]/[vstore]/[vshiftpair]/
+    [vsplice]/[vpack_even]/[vsplat] and the lane ops). Raises
+    [Invalid_argument] unless [v = 16]. *)
+
+val unit : Simd_vir.Prog.t -> string
+(** Prelude + kernels: a complete translation unit exposing
+    [kernel_scalar] and [kernel_simd]. *)
+
+val harness :
+  layout:Simd_loopir.Layout.t ->
+  params:(string * int64) list ->
+  trip:int ->
+  Simd_vir.Prog.t ->
+  string
+(** {!Portable.harness_with} over the NEON unit (compilable on AArch64;
+    run by the native oracle on ARM hosts). *)

@@ -244,21 +244,24 @@ let unit (prog : Prog.t) : string =
   let v = Simd_machine.Config.vector_len prog.Prog.machine in
   prelude ~v ~ty ^ "\n" ^ kernel prog
 
-(** [harness ~layout ~params ~trip prog] — a self-checking [main]: two
-    identical noise-filled arenas, scalar kernel on one, simdized kernel on
-    the other, byte-compare. Exit code 0 and "OK" on agreement. The array
-    placement mirrors the simulator's layout exactly (same base offsets
-    relative to a [V]-aligned arena), so the run exercises the very
+(** [harness_with ~unit_text ~layout ~params ~trip prog] — the
+    self-checking [main] scaffolding over an arbitrary backend's
+    translation unit: two identical noise-filled arenas, scalar kernel on
+    one, simdized kernel on the other, byte-compare. Exit code 0 and "OK"
+    on agreement. Every backend emits the same [kernel_scalar]/[kernel_simd]
+    signatures ({!kernel}), so the scaffolding is backend-independent; the
+    array placement mirrors the simulator's layout exactly (same base
+    offsets relative to a [V]-aligned arena), so the run exercises the very
     alignments the loop was compiled for. *)
-let harness ~(layout : Layout.t) ~(params : (string * int64) list) ~(trip : int)
-    (prog : Prog.t) : string =
+let harness_with ~(unit_text : string) ~(layout : Layout.t)
+    ~(params : (string * int64) list) ~(trip : int) (prog : Prog.t) : string =
   let program = prog.Prog.source in
   let ty = Ast.elem_ty_of_program program in
   let ct = C_syntax.ctype ty in
   let size = layout.Layout.arena_size in
   let v = Simd_machine.Config.vector_len prog.Prog.machine in
   let buf = Buffer.create 1024 in
-  Buffer.add_string buf (unit prog);
+  Buffer.add_string buf unit_text;
   Buffer.add_string buf "\n#include <stdio.h>\n\n";
   Buffer.add_string buf
     "static uint64_t sm64_state;\n\
@@ -318,3 +321,8 @@ let harness ~(layout : Layout.t) ~(params : (string * int64) list) ~(trip : int)
        size size)
   ;
   Buffer.contents buf
+
+(** [harness ~layout ~params ~trip prog] — {!harness_with} over the
+    portable unit. *)
+let harness ~layout ~params ~trip (prog : Prog.t) : string =
+  harness_with ~unit_text:(unit prog) ~layout ~params ~trip prog

@@ -13,6 +13,20 @@ val kernel : Simd_vir.Prog.t -> string
 val unit : Simd_vir.Prog.t -> string
 (** Prelude + kernels: a complete translation unit. *)
 
+val harness_with :
+  unit_text:string ->
+  layout:Simd_loopir.Layout.t ->
+  params:(string * int64) list ->
+  trip:int ->
+  Simd_vir.Prog.t ->
+  string
+(** The self-checking [main] scaffolding over an arbitrary backend's
+    translation unit [unit_text] (every backend emits the same
+    [kernel_scalar]/[kernel_simd] signatures, so the scaffolding is
+    backend-independent): scalar and simdized kernels on identical
+    noise-filled arenas placed exactly like the simulator's layout,
+    byte-compared; prints "OK" and exits 0 on agreement. *)
+
 val harness :
   layout:Simd_loopir.Layout.t ->
   params:(string * int64) list ->

@@ -138,12 +138,4 @@ let unit (prog : Simd_vir.Prog.t) : string =
     unit (compilable on any x86-64 with SSSE3; exercised by integration
     tests when the host compiler supports it). *)
 let harness ~layout ~params ~trip (prog : Simd_vir.Prog.t) : string =
-  (* Reuse the portable harness scaffolding but with the SSE prelude: the
-     portable harness text starts with the portable unit; swap it. *)
-  let portable = Portable.harness ~layout ~params ~trip prog in
-  let portable_unit = Portable.unit prog in
-  let sse_unit = unit prog in
-  let plen = String.length portable_unit in
-  if String.length portable >= plen && String.sub portable 0 plen = portable_unit
-  then sse_unit ^ String.sub portable plen (String.length portable - plen)
-  else invalid_arg "Sse.harness: unexpected harness layout"
+  Portable.harness_with ~unit_text:(unit prog) ~layout ~params ~trip prog

@@ -1,10 +1,16 @@
 (** SSE (x86) backend: explicit address truncation before the aligned
     [_mm_load_si128]/[_mm_store_si128] forms reproduces the paper's memory
     unit; runtime [vshiftpair] via SSSE3 [_mm_shuffle_epi8] on both
-    operands. Requires [-mssse3]. *)
+    operands. Vectors are fixed at V = 16; requires [-mssse3]. *)
 
 val prelude : v:int -> ty:Simd_loopir.Ast.elem_ty -> string
+(** The backend's operation definitions ([vload]/[vstore]/[vshiftpair]/
+    [vsplice]/[vpack_even]/[vsplat] and the lane ops). Raises
+    [Invalid_argument] unless [v = 16]. *)
+
 val unit : Simd_vir.Prog.t -> string
+(** Prelude + kernels: a complete translation unit exposing
+    [kernel_scalar] and [kernel_simd]. *)
 
 val harness :
   layout:Simd_loopir.Layout.t ->
@@ -12,5 +18,5 @@ val harness :
   trip:int ->
   Simd_vir.Prog.t ->
   string
-(** The portable harness scaffolding over the SSE unit (compilable on
-    x86-64 with SSSE3; exercised by integration tests). *)
+(** {!Portable.harness_with} over the SSE unit (compilable on x86-64 with
+    SSSE3; exercised by integration tests and the native oracle). *)

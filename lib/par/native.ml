@@ -1,60 +1,94 @@
 (** Native differential oracle (see the interface). *)
 
 module Cc = Simd_emit.Cc
+module Backend = Simd_emit.Backend
 module Cas = Simd_support.Cas
 module Case = Simd_fuzz.Case
 module Oracle = Simd_fuzz.Oracle
 module Driver = Simd_codegen.Driver
+module Machine = Simd_machine.Config
 module Sim_run = Simd_sim.Run
 module Emit_portable = Simd_emit.Portable
 
-type t = { cc : Cc.t; flags : string; cas : Cas.t }
+type t = {
+  cc : Cc.t;
+  flags : string;
+  cas : Cas.t;
+  backends : Backend.id list;
+}
 
 let cc t = t.cc
 let cas t = t.cas
 let cache_dir t = Cas.dir t.cas
+let backends t = t.backends
 
 let cache_stats t =
   let s = Cas.stats t.cas in
   (s.Cas.hits, s.Cas.misses)
 
-let create ?cc ?(flags = "-O1") ?(cache_dir = "_harness_cache") ?max_entries ()
-    : (t, string) result =
+let create ?cc ?(flags = "-O1") ?backends ?(cache_dir = "_harness_cache")
+    ?max_entries () : (t, string) result =
   match (cc, Cc.find ()) with
   | Some cc, _ | None, Some cc ->
-    Ok { cc; flags; cas = Cas.create ?max_entries ~dir:cache_dir () }
+    let backends =
+      match backends with
+      | Some bs -> bs
+      | None ->
+        (* every backend whose probe binary runs on this machine —
+           Toolchain_only backends compile but would die (SIGILL) *)
+        List.filter
+          (fun b -> Backend.probe ~cc b = Backend.Supported)
+          Backend.all
+    in
+    Ok { cc; flags; cas = Cas.create ?max_entries ~dir:cache_dir (); backends }
   | None, None -> Error "no C compiler found (tried $SIMD_CC, gcc, cc, clang)"
 
 (* ------------------------------------------------------------------ *)
 (* Harness emission                                                    *)
 (* ------------------------------------------------------------------ *)
 
-let harness_source (case : Case.t) : (string, string) result =
+let case_setup (case : Case.t) (config : Driver.config) =
+  let trip =
+    match case.Case.program.Simd_loopir.Ast.loop.Simd_loopir.Ast.trip with
+    | Simd_loopir.Ast.Trip_const _ -> None
+    | Simd_loopir.Ast.Trip_param _ -> case.Case.trip
+  in
+  Sim_run.prepare ~seed:case.Case.setup_seed ?trip
+    ~machine:config.Driver.machine case.Case.program
+
+let harness_source_for backend (case : Case.t) : (string, string) result =
   let config = case.Case.config in
-  match Driver.simdize config case.Case.program with
-  | Driver.Scalar reason ->
-    Error (Format.asprintf "not simdized: %a" Driver.pp_reason reason)
-  | Driver.Simdized o ->
-    let trip =
-      match case.Case.program.Simd_loopir.Ast.loop.Simd_loopir.Ast.trip with
-      | Simd_loopir.Ast.Trip_const _ -> None
-      | Simd_loopir.Ast.Trip_param _ -> case.Case.trip
-    in
-    let setup =
-      Sim_run.prepare ~seed:case.Case.setup_seed ?trip
-        ~machine:config.Driver.machine case.Case.program
-    in
-    Ok
-      (Emit_portable.harness ~layout:setup.Sim_run.layout
-         ~params:setup.Sim_run.params ~trip:setup.Sim_run.trip o.Driver.prog)
+  let vl = Machine.vector_len config.Driver.machine in
+  if not (Backend.supports_vl backend vl) then
+    Error
+      (Printf.sprintf "backend %s does not support V = %d"
+         (Backend.name backend) vl)
+  else
+    match Driver.simdize config case.Case.program with
+    | Driver.Scalar reason ->
+      Error (Format.asprintf "not simdized: %a" Driver.pp_reason reason)
+    | Driver.Simdized o ->
+      let setup = case_setup case config in
+      Ok
+        (Backend.harness_for backend ~layout:setup.Sim_run.layout
+           ~params:setup.Sim_run.params ~trip:setup.Sim_run.trip o.Driver.prog)
+
+let harness_source (case : Case.t) : (string, string) result =
+  harness_source_for Backend.Portable case
 
 (* ------------------------------------------------------------------ *)
 (* Compile cache                                                       *)
 (* ------------------------------------------------------------------ *)
 
+(* Per-backend flags: the oracle's base flags plus the backend's ISA
+   flags ([-mavx2], ...). They are part of the cache key — the same C
+   source compiled with different ISA flags is a different binary. *)
+let flags_for t backend =
+  String.concat " " (t.flags :: Backend.cflags backend)
+
 (* The cache key covers everything that determines the binary: compiler
    identity, flags, and the full C source ({!Simd_support.Cas.key}). *)
-let cache_key t src = Cas.key [ "harness"; Cc.id t.cc; t.flags; src ]
+let cache_key t ~flags src = Cas.key [ "harness"; Cc.id t.cc; flags; src ]
 
 let write_file path contents =
   let oc = open_out_bin path in
@@ -62,12 +96,12 @@ let write_file path contents =
     ~finally:(fun () -> close_out oc)
     (fun () -> output_string oc contents)
 
-(** [compiled_exe t src] — path of the compiled harness, compiling on a
-    cache miss. Concurrency, atomicity, and eviction are the store's
+(** [compiled_exe t ~flags src] — path of the compiled harness, compiling
+    on a cache miss. Concurrency, atomicity, and eviction are the store's
     ({!Simd_support.Cas.build_raw}); the C source is kept as a sibling
     blob entry for debuggability. *)
-let compiled_exe t src : (string, string) result =
-  let key = cache_key t src in
+let compiled_exe t ~flags src : (string, string) result =
+  let key = cache_key t ~flags src in
   Cas.build_raw t.cas ~key (fun tmp_exe ->
       let c_file = tmp_exe ^ ".c" in
       write_file c_file src;
@@ -75,7 +109,7 @@ let compiled_exe t src : (string, string) result =
       Fun.protect
         ~finally:(fun () -> try Sys.remove c_file with Sys_error _ -> ())
         (fun () ->
-          match Cc.compile t.cc ~flags:t.flags ~src:c_file ~exe:tmp_exe () with
+          match Cc.compile t.cc ~flags ~src:c_file ~exe:tmp_exe () with
           | Ok () ->
             (* temp_file created the name 0o600; the linker may keep that *)
             (try Unix.chmod tmp_exe 0o755 with Unix.Unix_error _ -> ());
@@ -107,36 +141,104 @@ let run_exe exe : (unit, string) result =
          (if out = "" then "" else ": " ^ out))
 
 (* ------------------------------------------------------------------ *)
+(* Per-backend verdicts                                                *)
+(* ------------------------------------------------------------------ *)
+
+type verdict =
+  | Agrees
+  | Mismatch of string
+  | Cc_failed of string
+  | Not_applicable of string
+
+let verdict_name = function
+  | Agrees -> "agrees"
+  | Mismatch _ -> "mismatch"
+  | Cc_failed _ -> "cc-failed"
+  | Not_applicable _ -> "skipped"
+
+let verdict_detail = function
+  | Agrees -> ""
+  | Mismatch m | Cc_failed m | Not_applicable m -> m
+
+(* One backend against an already-simdized case. *)
+let backend_verdict t backend ~setup (o : Driver.outcome) : verdict =
+  let vl = Machine.vector_len o.Driver.config.Driver.machine in
+  if not (Backend.supports_vl backend vl) then
+    Not_applicable (Printf.sprintf "does not support V = %d" vl)
+  else
+    let src =
+      Backend.harness_for backend ~layout:setup.Sim_run.layout
+        ~params:setup.Sim_run.params ~trip:setup.Sim_run.trip o.Driver.prog
+    in
+    match compiled_exe t ~flags:(flags_for t backend) src with
+    | Error m -> Cc_failed m
+    | Ok exe -> ( match run_exe exe with Ok () -> Agrees | Error m -> Mismatch m)
+
+let case_matrix t (case : Case.t) : (Backend.id * verdict) list =
+  let config = case.Case.config in
+  match Driver.simdize config case.Case.program with
+  | Driver.Scalar reason ->
+    let m = Format.asprintf "not simdized: %a" Driver.pp_reason reason in
+    List.map (fun b -> (b, Not_applicable m)) t.backends
+  | Driver.Simdized o ->
+    let setup = case_setup case config in
+    List.map (fun b -> (b, backend_verdict t b ~setup o)) t.backends
+  | exception e ->
+    let m = "native: " ^ Printexc.to_string e in
+    List.map (fun b -> (b, Cc_failed m)) t.backends
+
+(* ------------------------------------------------------------------ *)
 (* The cross-checking oracle                                           *)
 (* ------------------------------------------------------------------ *)
 
 let check_exn t (case : Case.t) : Oracle.outcome =
-  match harness_source case with
-  | Error reason -> Oracle.Skipped reason
-  | Ok src -> (
-    let native =
-      match compiled_exe t src with
-      | Error m -> `Cc_failed m
-      | Ok exe -> (
-        match run_exe exe with
-        | Ok () -> `Agrees
-        | Error m -> `Mismatch m)
+  let config = case.Case.config in
+  match Driver.simdize config case.Case.program with
+  | Driver.Scalar reason ->
+    Oracle.Skipped (Format.asprintf "not simdized: %a" Driver.pp_reason reason)
+  | Driver.Simdized o -> (
+    let setup = case_setup case config in
+    (* Every selected backend that supports the case's V runs natively;
+       the rest are skipped (not failed). *)
+    let verdicts =
+      List.filter_map
+        (fun b ->
+          match backend_verdict t b ~setup o with
+          | Not_applicable _ -> None
+          | v -> Some (b, v))
+        t.backends
+    in
+    let failed_cc =
+      List.filter_map
+        (fun (b, v) ->
+          match v with Cc_failed m -> Some (Backend.name b ^ ": " ^ m) | _ -> None)
+        verdicts
+    in
+    let mismatches =
+      List.filter_map
+        (fun (b, v) ->
+          match v with Mismatch m -> Some (Backend.name b ^ ": " ^ m) | _ -> None)
+        verdicts
     in
     let sim = Oracle.run case in
-    match (sim, native) with
-    | _, `Cc_failed m -> Oracle.Crash ("native: harness compilation failed: " ^ m)
-    | Oracle.Pass, `Agrees -> Oracle.Pass
-    | Oracle.Pass, `Mismatch m ->
+    match sim with
+    | _ when failed_cc <> [] ->
+      Oracle.Crash
+        ("native: harness compilation failed: " ^ String.concat "; " failed_cc)
+    | Oracle.Pass when mismatches = [] -> Oracle.Pass
+    | Oracle.Pass ->
       Oracle.Divergence
-        ("native harness mismatch (" ^ m ^ ") where the simulator passed")
-    | Oracle.Divergence m, `Agrees ->
+        ("native harness mismatch ("
+        ^ String.concat "; " mismatches
+        ^ ") where the simulator passed")
+    | Oracle.Divergence m when mismatches = [] ->
       Oracle.Divergence
-        ("simulator divergence (" ^ m ^ ") where the native harness agreed")
-    | Oracle.Divergence m, `Mismatch nm ->
+        ("simulator divergence (" ^ m ^ ") where the native harnesses agreed")
+    | Oracle.Divergence m ->
       Oracle.Divergence
-        ("both oracles diverged: simulator: " ^ m ^ "; native: " ^ nm)
-    | (Oracle.Skipped _ | Oracle.Static_violation _ | Oracle.Crash _), _ ->
-      sim)
+        ("both oracles diverged: simulator: " ^ m ^ "; native: "
+        ^ String.concat "; " mismatches)
+    | (Oracle.Skipped _ | Oracle.Static_violation _ | Oracle.Crash _) -> sim)
   | exception e -> Oracle.Crash ("native: " ^ Printexc.to_string e)
 
 let check t case =

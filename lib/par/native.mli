@@ -1,38 +1,50 @@
-(** Native differential oracle: compile the portable-C self-checking
-    harness of a fuzz case with the discovered C compiler
-    ({!Simd_emit.Cc}), run the executable, and cross-check its verdict
-    against the simulator oracle ({!Simd_fuzz.Oracle}).
+(** Native differential oracle: compile the self-checking harness of a
+    fuzz case for {e every selected backend} with the discovered C
+    compiler ({!Simd_emit.Cc}), run the executables, and cross-check
+    their verdicts against the simulator oracle ({!Simd_fuzz.Oracle}).
 
-    The harness ([Emit_portable.harness]) places arrays exactly like the
-    simulator's layout, fills the arena with the same deterministic noise,
-    runs scalar and simdized kernels, and byte-compares — so a native run
-    checks the whole emission path (C backend, real compiler, real
-    hardware) against the same ground truth the simulator uses.
+    The harnesses ({!Simd_emit.Portable.harness_with} over each backend's
+    unit) place arrays exactly like the simulator's layout, fill the
+    arena with the same deterministic noise, run scalar and simdized
+    kernels, and byte-compare — so a native run checks the whole emission
+    path (C backend, real compiler, real hardware) against the same
+    ground truth the simulator uses, once per backend.
 
-    Compiled harnesses are cached in a {!Simd_support.Cas} store, keyed
-    by the hash of the C source (plus compiler identity and flags):
-    replaying a corpus or re-running a campaign recompiles nothing that
-    was seen before. The store provides concurrent-writer safety and
-    (when [max_entries] is set) LRU eviction. *)
+    Backend selection defaults to the capability probe
+    ({!Simd_emit.Backend.probe}): only [Supported] backends — whose probe
+    binary actually runs on this CPU — are executed; a backend that does
+    not support a case's vector length is skipped for that case, not
+    failed. Compiled harnesses are cached in a {!Simd_support.Cas} store,
+    keyed by the hash of the C source plus compiler identity and the
+    {e per-backend} flags (the same source under [-mavx2] is a different
+    binary): replaying a corpus or re-running a campaign recompiles
+    nothing that was seen before. *)
 
 type t
-(** A ready native oracle: discovered compiler + artifact store. *)
+(** A ready native oracle: discovered compiler + artifact store +
+    selected backends. *)
 
 val create :
   ?cc:Simd_emit.Cc.t ->
   ?flags:string ->
+  ?backends:Simd_emit.Backend.id list ->
   ?cache_dir:string ->
   ?max_entries:int ->
   unit ->
   (t, string) result
 (** [create ()] — discover a compiler (or use [cc]) and open the store at
     [cache_dir] (default ["_harness_cache"]; created if missing). Default
-    [flags]: ["-O1"]. [max_entries] bounds the store (LRU; default
-    unbounded, matching the historical behavior CI relies on). [Error]
-    when no C compiler is on PATH. *)
+    [flags]: ["-O1"] (per-backend ISA flags are appended automatically).
+    [backends] defaults to every registry backend the capability probe
+    classifies [Supported] on this machine. [max_entries] bounds the
+    store (LRU; default unbounded, matching the historical behavior CI
+    relies on). [Error] when no C compiler is on PATH. *)
 
 val cc : t -> Simd_emit.Cc.t
 val cache_dir : t -> string
+
+val backends : t -> Simd_emit.Backend.id list
+(** The backends this oracle exercises, in registry order. *)
 
 val cas : t -> Simd_support.Cas.t
 (** The underlying artifact store — its {!Simd_support.Cas.stats} carry
@@ -41,19 +53,47 @@ val cas : t -> Simd_support.Cas.t
 val cache_stats : t -> int * int
 (** [(hits, misses)] of this oracle value so far (process-local). *)
 
+val harness_source_for :
+  Simd_emit.Backend.id -> Simd_fuzz.Case.t -> (string, string) result
+(** The case's complete self-checking C translation unit for one backend;
+    [Error] when the driver legitimately leaves the case scalar or the
+    backend does not support the case's vector length. *)
+
 val harness_source : Simd_fuzz.Case.t -> (string, string) result
-(** The case's complete self-checking C translation unit; [Error] when the
-    driver legitimately leaves the case scalar (nothing to cross-check). *)
+(** {!harness_source_for} the portable backend (the historical
+    single-backend entry point). *)
+
+(** One backend's native verdict on one case. *)
+type verdict =
+  | Agrees  (** harness printed OK and exited 0 *)
+  | Mismatch of string  (** harness detected a byte difference *)
+  | Cc_failed of string  (** the backend's unit did not compile *)
+  | Not_applicable of string
+      (** skipped: scalar fallback, or the backend does not support the
+          case's vector length *)
+
+val verdict_name : verdict -> string
+(** ["agrees"] / ["mismatch"] / ["cc-failed"] / ["skipped"]. *)
+
+val verdict_detail : verdict -> string
+
+val case_matrix :
+  t -> Simd_fuzz.Case.t -> (Simd_emit.Backend.id * verdict) list
+(** One verdict per selected backend for one case — the raw table the
+    CI backend-matrix job aggregates into [BENCH_backends.json]. *)
 
 val check : t -> Simd_fuzz.Case.t -> Simd_fuzz.Oracle.outcome
-(** Classify one case by {e both} oracles:
+(** Classify one case by the simulator {e and} every applicable
+    backend's native harness:
 
-    - simulator pass + native OK ⇒ [Pass];
-    - native harness mismatch while the simulator passes ⇒ [Divergence]
-      (an emission/compiler-facing bug the simulator cannot see);
+    - simulator pass + every native harness OK ⇒ [Pass];
+    - any native harness mismatch while the simulator passes ⇒
+      [Divergence] naming the backend(s) (an emission/compiler-facing bug
+      the simulator cannot see);
     - simulator divergence ⇒ [Divergence] (annotated with whether the
-      native harness agreed);
+      native harnesses agreed);
     - scalar fallback ⇒ [Skipped]; compile failure or either oracle
       raising ⇒ [Crash].
 
-    Deterministic for a fixed compiler and case; never raises. *)
+    Deterministic for a fixed compiler, backend set, and case; never
+    raises. *)

@@ -9,11 +9,13 @@ module Report = Simd_opt.Report
 module Json = Simd_support.Json
 module Cas = Simd_support.Cas
 
+type output = Text of string | Skipped of string
+
 type artifact = {
   policy : string;
   policies_used : string list;
   shared_streams : int;
-  outputs : (string * string) list;
+  outputs : (string * output) list;
   report : Json.t;
   check_ok : bool;
   check : Json.t;
@@ -21,15 +23,34 @@ type artifact = {
 
 type outcome = Artifact of artifact | Scalar of string | Invalid of string
 
-let emit_output prog (e : Protocol.emit) =
-  let text =
-    match e with
-    | Protocol.Vir -> Prog.to_string prog
-    | Protocol.C -> Simd_emit.Portable.unit prog
-    | Protocol.Altivec -> Simd_emit.Altivec.unit prog
-    | Protocol.Sse -> Simd_emit.Sse.unit prog
+(* ISA emits are V-specific: a request compiled at a different [vl]
+   yields a skipped output (the request still succeeds) rather than an
+   error — the skip/fail distinction the backend matrix relies on. *)
+let emit_backend (e : Protocol.emit) =
+  match e with
+  | Protocol.Vir -> None
+  | Protocol.C -> Some Simd_emit.Backend.Portable
+  | Protocol.Altivec -> Some Simd_emit.Backend.Altivec
+  | Protocol.Sse -> Some Simd_emit.Backend.Sse
+  | Protocol.Avx2 -> Some Simd_emit.Backend.Avx2
+  | Protocol.Neon -> Some Simd_emit.Backend.Neon
+
+let emit_output (prog : Prog.t) (e : Protocol.emit) =
+  let out =
+    match emit_backend e with
+    | None -> Text (Prog.to_string prog)
+    | Some b ->
+      let vl = Simd_machine.Config.vector_len prog.Prog.machine in
+      if Simd_emit.Backend.supports_vl b vl then
+        Text (Simd_emit.Backend.unit_for b prog)
+      else
+        Skipped
+          (Printf.sprintf "backend %s requires V = %d, compiled at V = %d"
+             (Simd_emit.Backend.name b)
+             (Simd_emit.Backend.default_vl b)
+             vl)
   in
-  (Protocol.emit_name e, text)
+  (Protocol.emit_name e, out)
 
 let check_json (o : Driver.outcome) =
   let violation_json (boundary, v) =
@@ -93,8 +114,15 @@ let outcome_to_json = function
               );
               ("shared_streams", Json.Int a.shared_streams);
               ( "outputs",
-                Json.Obj (List.map (fun (k, v) -> (k, Json.String v)) a.outputs)
-              );
+                Json.Obj
+                  (List.map
+                     (fun (k, v) ->
+                       ( k,
+                         match v with
+                         | Text text -> Json.String text
+                         | Skipped reason ->
+                           Json.Obj [ ("skipped", Json.String reason) ] ))
+                     a.outputs) );
               ("report", a.report);
               ("check", a.check);
             ] );

@@ -13,12 +13,17 @@
 module Json = Simd_support.Json
 module Cas = Simd_support.Cas
 
+(** One requested code section: the emitted text, or the reason the
+    emit was skipped (an ISA backend whose native vector length differs
+    from the request's [vl] — skipped, not failed). *)
+type output = Text of string | Skipped of string
+
 type artifact = {
   policy : string;  (** requested placement policy (by name) *)
   policies_used : string list;  (** per statement, after fallbacks *)
   shared_streams : int;
-  outputs : (string * string) list;
-      (** emit name → text, in request order: ["vir"], ["c"], ... *)
+  outputs : (string * output) list;
+      (** emit name → output, in request order: ["vir"], ["c"], ... *)
   report : Json.t;  (** the {!Simd_opt.Report} cost document *)
   check_ok : bool;  (** no error-severity static-verifier violations *)
   check : Json.t;  (** per-boundary violations + discharged facts *)

@@ -8,21 +8,25 @@ module Json = Simd_support.Json
 let schema = "simd-serve/1"
 
 (* Folded into every cache key. Bump when compilation output changes. *)
-let library_version = "simd_align/7"
+let library_version = "simd_align/8"
 
-type emit = Vir | C | Altivec | Sse
+type emit = Vir | C | Altivec | Sse | Avx2 | Neon
 
 let emit_name = function
   | Vir -> "vir"
   | C -> "c"
   | Altivec -> "altivec"
   | Sse -> "sse"
+  | Avx2 -> "avx2"
+  | Neon -> "neon"
 
 let emit_of_name = function
   | "vir" -> Some Vir
   | "c" | "portable" -> Some C
   | "altivec" -> Some Altivec
   | "sse" -> Some Sse
+  | "avx2" -> Some Avx2
+  | "neon" -> Some Neon
   | _ -> None
 
 let default_emits = [ Vir; C ]

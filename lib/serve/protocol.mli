@@ -16,8 +16,11 @@
     the field names and values are exactly the fuzz-header vocabulary of
     [docs/LANGUAGE.md] ([vl], [policy], [reuse], [memnorm], [reassoc],
     [cse], [hoist], [unroll], [specialize], [peel]). [emit] selects the
-    artifact's code sections from ["vir"], ["c"], ["altivec"], ["sse"]
-    (default [["vir","c"]]).
+    artifact's code sections from ["vir"], ["c"], ["altivec"], ["sse"],
+    ["avx2"], ["neon"] (default [["vir","c"]]). An ISA emit whose native
+    vector length differs from the request's [vl] yields a skipped-output
+    object instead of C text (see [docs/SERVER.md]) — the request still
+    succeeds.
 
     {e Control requests} carry an [op] instead of a [source]:
     [{"op":"ping"}], [{"op":"stats"}] (telemetry snapshot — the one
@@ -37,10 +40,11 @@ val library_version : string
 (** Token folded into every cache key: bump it whenever compilation
     output can change, and stale artifacts become unreachable. *)
 
-type emit = Vir | C | Altivec | Sse
+type emit = Vir | C | Altivec | Sse | Avx2 | Neon
 
 val emit_name : emit -> string
 val emit_of_name : string -> emit option
+(** Accepts every {!emit_name} plus ["portable"] for [C]. *)
 
 val default_emits : emit list
 (** [[Vir; C]]. *)

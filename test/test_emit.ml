@@ -66,6 +66,46 @@ let test_sse_structure () =
       "~(uintptr_t)15";
     ]
 
+let config_v32 =
+  { Driver.default with Driver.machine = Machine.create ~vector_len:32 }
+
+let test_avx2_structure () =
+  let o = simdized ~config:config_v32 fig1 in
+  let c = Emit_avx2.unit o.Driver.prog in
+  assert_contains "avx2" c
+    [
+      "#include <immintrin.h>";
+      "_mm256_load_si256";
+      "_mm256_store_si256";
+      "_mm256_add_epi32";
+      "_mm256_blendv_epi8";
+      "~(uintptr_t)31";
+      (* vshiftpair crosses the 128-bit lane boundary via the spill
+         buffer, never lane-local shuffles *)
+      "vshiftpair";
+    ]
+
+let test_avx2_rejects_v16 () =
+  let o = simdized fig1 in
+  try
+    ignore (Emit_avx2.unit o.Driver.prog);
+    Alcotest.fail "avx2 accepted a V=16 program"
+  with Invalid_argument _ -> ()
+
+let test_neon_structure () =
+  let o = simdized fig1 in
+  let c = Emit_neon.unit o.Driver.prog in
+  assert_contains "neon" c
+    [
+      "#include <arm_neon.h>";
+      "int32x4_t";
+      "vld1q_s32";
+      "vst1q_s32";
+      "vaddq_s32";
+      "vbslq_s8";
+      "~(uintptr_t)15";
+    ]
+
 let test_scalar_loop_c () =
   let program = parse fig1 in
   let c = C_syntax.scalar_loop ~program ~ub:"ub" ~iv:"s" ~indent:"" in
@@ -125,6 +165,12 @@ let gcc_case ~backend ~flags ~config src seed =
       | `Sse ->
         Emit_sse.harness ~layout:setup.Sim_run.layout ~params:setup.Sim_run.params
           ~trip:setup.Sim_run.trip o.Driver.prog
+      | `Avx2 ->
+        Emit_avx2.harness ~layout:setup.Sim_run.layout
+          ~params:setup.Sim_run.params ~trip:setup.Sim_run.trip o.Driver.prog
+      | `Neon ->
+        Emit_neon.harness ~layout:setup.Sim_run.layout
+          ~params:setup.Sim_run.params ~trip:setup.Sim_run.trip o.Driver.prog
     in
     (match run_c ~flags harness "t" with
     | `Ok -> ()
@@ -202,6 +248,51 @@ let test_gcc_sse () =
           Driver.default );
       ]
 
+(* AVX2/NEON differential runs, gated on the capability probe: only a
+   machine whose CPU executes the probe binary runs the harnesses, so a
+   pre-AVX2 x86 (or any non-ARM host, for NEON) skips rather than
+   SIGILLs. *)
+let gcc_backend_cases ~backend ~probe_backend ~flags ~vl ~seed0 cases =
+  match Cc.find () with
+  | None -> ()
+  | Some cc -> (
+    match Backend.probe ~cc probe_backend with
+    | Backend.Toolchain_only | Backend.Unsupported _ -> ()
+    | Backend.Supported ->
+      let at_vl config =
+        { config with Driver.machine = Machine.create ~vector_len:vl }
+      in
+      List.iteri
+        (fun k (src, config) ->
+          gcc_case ~backend ~flags ~config:(at_vl config) src (seed0 + k))
+        cases)
+
+let isa_cases =
+  [
+    (fig1, Driver.default);
+    (fig1, { Driver.default with Driver.policy = Policy.Zero });
+    ( "int16 a[256] @ 2;\nint16 b[256] @ 6;\n\
+       for (i = 0; i < 200; i++) { a[i+1] = b[i+3] + 5; }",
+      Driver.default );
+    ( "int8 a[256] @ 3;\nint8 b[256] @ 9;\n\
+       for (i = 0; i < 200; i++) { a[i+1] = b[i+3] ^ 7; }",
+      Driver.default );
+    ( "int32 a[256] @ ?;\nint32 b[256] @ ?;\n\
+       for (i = 0; i < 200; i++) { a[i+1] = b[i+2]; }",
+      Driver.default );
+    ( "int64 a[256] @ 8;\nint64 b[256] @ 0;\n\
+       for (i = 0; i < 200; i++) { a[i+1] = b[i+2] * 3; }",
+      Driver.default );
+  ]
+
+let test_gcc_avx2 () =
+  gcc_backend_cases ~backend:`Avx2 ~probe_backend:Backend.Avx2
+    ~flags:"-O2 -mavx2 -Wall" ~vl:32 ~seed0:200 isa_cases
+
+let test_gcc_neon () =
+  gcc_backend_cases ~backend:`Neon ~probe_backend:Backend.Neon
+    ~flags:"-O2 -Wall" ~vl:16 ~seed0:300 isa_cases
+
 let suite =
   [
     ( "emit",
@@ -209,9 +300,14 @@ let suite =
         Alcotest.test_case "portable structure" `Quick test_portable_structure;
         Alcotest.test_case "altivec structure" `Quick test_altivec_structure;
         Alcotest.test_case "sse structure" `Quick test_sse_structure;
+        Alcotest.test_case "avx2 structure" `Quick test_avx2_structure;
+        Alcotest.test_case "avx2 rejects V=16" `Quick test_avx2_rejects_v16;
+        Alcotest.test_case "neon structure" `Quick test_neon_structure;
         Alcotest.test_case "scalar loop C" `Quick test_scalar_loop_c;
         Alcotest.test_case "element C types" `Quick test_widths_ctypes;
         Alcotest.test_case "gcc portable matrix" `Slow test_gcc_portable_matrix;
         Alcotest.test_case "gcc sse" `Slow test_gcc_sse;
+        Alcotest.test_case "gcc avx2 matrix" `Slow test_gcc_avx2;
+        Alcotest.test_case "gcc neon matrix" `Slow test_gcc_neon;
       ] );
   ]

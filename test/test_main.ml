@@ -21,6 +21,8 @@ let () =
          Test_sim.suite;
          Test_peel.suite;
          Test_emit.suite;
+         Test_backend.suite;
+         Test_retarget.suite;
          Test_bench.suite;
          Test_corpus.suite;
          Test_facade.suite;

@@ -390,12 +390,18 @@ let test_compile_agrees_with_driver () =
     let program = Parse.program_of_string sample_source in
     (match Driver.simdize ~check:true Driver.default program with
     | Driver.Simdized o ->
+      let text name =
+        match List.assoc name a.Serve.Compile.outputs with
+        | Serve.Compile.Text t -> t
+        | Serve.Compile.Skipped reason ->
+          Alcotest.failf "output %s skipped: %s" name reason
+      in
       check_string "vir output matches driver"
         (Vir_prog.to_string o.Driver.prog)
-        (List.assoc "vir" a.Serve.Compile.outputs);
+        (text "vir");
       check_string "c output matches driver"
         (Emit_portable.unit o.Driver.prog)
-        (List.assoc "c" a.Serve.Compile.outputs)
+        (text "c")
     | Driver.Scalar _ -> Alcotest.fail "driver declined the sample")
   | _ -> Alcotest.fail "sample did not compile"
 
@@ -403,6 +409,89 @@ let test_compile_invalid () =
   match Serve.Compile.run (compile_request "this is not a loop") with
   | Serve.Compile.Invalid _ -> ()
   | _ -> Alcotest.fail "garbage source must be Invalid"
+
+(* Every backend name parses as an emit, and ["portable"] aliases ["c"]. *)
+let test_emit_names () =
+  List.iter
+    (fun e ->
+      match Serve.Protocol.emit_of_name (Serve.Protocol.emit_name e) with
+      | Some e' ->
+        check_bool (Serve.Protocol.emit_name e ^ " round trip") true (e = e')
+      | None ->
+        Alcotest.failf "emit_of_name %s = None" (Serve.Protocol.emit_name e))
+    [
+      Serve.Protocol.Vir; Serve.Protocol.C; Serve.Protocol.Altivec;
+      Serve.Protocol.Sse; Serve.Protocol.Avx2; Serve.Protocol.Neon;
+    ];
+  check_bool "portable aliases c" true
+    (Serve.Protocol.emit_of_name "portable" = Some Serve.Protocol.C);
+  check_bool "unknown emit" true (Serve.Protocol.emit_of_name "mmx" = None)
+
+(* A V-mismatched ISA emit yields a skipped output — the request still
+   succeeds, and the matching-V request yields real C. *)
+let test_emit_vl_mismatch_skips () =
+  (match
+     Serve.Compile.run
+       (compile_request ~emits:[ Serve.Protocol.Avx2 ] sample_source)
+   with
+  | Serve.Compile.Artifact a -> (
+    match List.assoc "avx2" a.Serve.Compile.outputs with
+    | Serve.Compile.Skipped reason ->
+      check_bool "reason names both Vs" true
+        (let has sub =
+           let n = String.length sub in
+           let rec go i =
+             i + n <= String.length reason
+             && (String.sub reason i n = sub || go (i + 1))
+           in
+           go 0
+         in
+         has "32" && has "16")
+    | Serve.Compile.Text _ -> Alcotest.fail "avx2 at V=16 must be skipped")
+  | _ -> Alcotest.fail "V=16 avx2 request must still succeed");
+  let config_v32 =
+    { Driver.default with Driver.machine = Machine.create ~vector_len:32 }
+  in
+  match
+    Serve.Compile.run
+      (compile_request ~config:config_v32
+         ~emits:[ Serve.Protocol.Avx2; Serve.Protocol.Sse ]
+         sample_source)
+  with
+  | Serve.Compile.Artifact a ->
+    (match List.assoc "avx2" a.Serve.Compile.outputs with
+    | Serve.Compile.Text c ->
+      check_bool "avx2 text at V=32" true (String.length c > 0)
+    | Serve.Compile.Skipped r -> Alcotest.failf "avx2 at V=32 skipped: %s" r);
+    (match List.assoc "sse" a.Serve.Compile.outputs with
+    | Serve.Compile.Skipped _ -> ()
+    | Serve.Compile.Text _ -> Alcotest.fail "sse at V=32 must be skipped")
+  | _ -> Alcotest.fail "V=32 request did not compile"
+
+(* The skipped output renders as {"skipped": reason} on the wire. *)
+let test_emit_skip_json () =
+  match
+    Serve.Compile.run
+      (compile_request ~emits:[ Serve.Protocol.Neon; Serve.Protocol.Avx2 ]
+         sample_source)
+  with
+  | Serve.Compile.Artifact _ as outcome -> (
+    let doc = Serve.Compile.outcome_to_json outcome in
+    match Json.member "artifact" doc with
+    | Some artifact -> (
+      match Json.member "outputs" artifact with
+      | Some (Json.Obj outputs) ->
+        (* neon matches V=16, avx2 does not *)
+        (match List.assoc "neon" outputs with
+        | Json.String _ -> ()
+        | _ -> Alcotest.fail "neon output must be C text");
+        (match List.assoc "avx2" outputs with
+        | Json.Obj fields ->
+          check_bool "skipped field" true (List.mem_assoc "skipped" fields)
+        | _ -> Alcotest.fail "avx2 output must be a skip object")
+      | _ -> Alcotest.fail "no outputs object")
+    | None -> Alcotest.fail "no artifact")
+  | _ -> Alcotest.fail "request did not compile"
 
 let test_compile_cache_key () =
   let r1 = compile_request ~id:"a" sample_source in
@@ -636,6 +725,10 @@ let suite =
         Alcotest.test_case "agrees with driver" `Quick
           test_compile_agrees_with_driver;
         Alcotest.test_case "invalid source" `Quick test_compile_invalid;
+        Alcotest.test_case "emit names" `Quick test_emit_names;
+        Alcotest.test_case "V-mismatched emits skip" `Quick
+          test_emit_vl_mismatch_skips;
+        Alcotest.test_case "skipped output json" `Quick test_emit_skip_json;
         Alcotest.test_case "cache key" `Quick test_compile_cache_key;
         Alcotest.test_case "cached byte-identical" `Quick
           test_compile_cached_byte_identical;

@@ -1,20 +1,26 @@
 #!/usr/bin/env bash
-# Regenerate docs/POLICIES.md from the actual compiler output.
+# Regenerate docs/POLICIES.md and the generated tail of docs/BACKENDS.md
+# from the actual compiler output.
 #
-# The page embeds real `simdize --trace` transcripts (placement provenance,
-# per-pass IR diffs) and placed reorganization graphs. Nothing in it is
-# hand-written below the marker line: run this script after any change to
-# placement, code generation, or the trace format. CI runs it and fails on
-# drift, so the documentation cannot rot silently.
+# POLICIES.md embeds real `simdize --trace` transcripts (placement
+# provenance, per-pass IR diffs) and placed reorganization graphs;
+# BACKENDS.md ends in the backend registry and vector-length retargeting
+# tables printed by `backends.exe --doc-md`. Nothing below the marker
+# lines is hand-written: run this script after any change to placement,
+# code generation, the trace format, the backend registry, or the
+# retargeting engine. CI runs it and fails on drift, so the
+# documentation cannot rot silently.
 #
-# Output is deterministic: traces carry no timestamps, and the compiler is
-# a pure function of its input.
+# Output is deterministic: traces carry no timestamps, the compiler is a
+# pure function of its input, and --doc-md prints registry facts and
+# retarget results only (never machine-specific probe results).
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-dune build bin/simdize.exe
+dune build bin/simdize.exe bin/backends.exe
 SIMDIZE=_build/default/bin/simdize.exe
+BACKENDS=_build/default/bin/backends.exe
 
 out=docs/POLICIES.md
 tmp=$(mktemp)
@@ -172,6 +178,28 @@ EOF
 property suite pins `joint <= optimal <= every heuristic` over the whole
 corpus and a fixed-seed generator sweep).
 EOF
+} >"$tmp"
+
+mv "$tmp" "$out"
+echo "wrote $out"
+
+# --- docs/BACKENDS.md: regenerate everything below the matrix marker ----
+out=docs/BACKENDS.md
+marker='<!-- BEGIN GENERATED MATRIX'
+tmp=$(mktemp)
+trap 'rm -f "$tmp"' EXIT
+
+if ! grep -q "$marker" "$out"; then
+  echo "error: $out has no '$marker' marker" >&2
+  exit 1
+fi
+
+{
+  sed -n "1,/$marker/p" "$out"
+  echo
+  # Registry facts plus the fig1 placement retargeted across the matrix —
+  # the same worked example POLICIES.md is built on.
+  "$BACKENDS" --doc-md corpus/fig1_paper.simd
 } >"$tmp"
 
 mv "$tmp" "$out"
