@@ -9,7 +9,8 @@
 
    Default mode serves stdin/stdout (pipe mode: one client, e.g. behind
    inetd or a supervisor); --socket PATH binds a Unix-domain socket and
-   serves one accepted connection at a time until a client sends
+   serves any number of concurrent clients (select-multiplexed, batching
+   and fault isolation per connection) until a client sends
    {"op":"shutdown"}.
 
    --cache DIR attaches the content-addressed artifact cache (keyed on
@@ -56,8 +57,9 @@ let cmd =
       & info [ "socket" ] ~docv:"PATH"
           ~doc:
             "Listen on a Unix-domain socket instead of serving \
-             stdin/stdout. The server exits when a client sends \
-             $(i,{\"op\":\"shutdown\"}).")
+             stdin/stdout. Concurrent clients are multiplexed with \
+             per-connection batching and isolation; the server exits \
+             when a client sends $(i,{\"op\":\"shutdown\"}).")
   in
   let jobs =
     Arg.(

@@ -117,11 +117,11 @@ let generate ~machine (spec : spec) : Ast.program =
     if Prng.chance prng spec.reduce_prob then begin
       let acc = fresh_array ~len:1 "acc" !counter in
       let op = Prng.pick prng [ Ast.Add; Ast.Min; Ast.Max; Ast.Or; Ast.Xor ] in
-      { Ast.lhs = { acc with Ast.ref_offset = 0 }; rhs; kind = Ast.Reduce op }
+      { Ast.lhs = { acc with Ast.ref_offset = 0 }; rhs; kind = Ast.Reduce op; guard = None }
     end
     else
       let lhs = fresh_array "y" !counter in
-      { Ast.lhs; rhs; kind = Ast.Assign }
+      { Ast.lhs; rhs; kind = Ast.Assign; guard = None }
   in
   let body = List.init spec.stmts gen_stmt in
   {

@@ -152,7 +152,10 @@ let contains_sub ~sub s =
 
 let rec count_graph_ops = function
   | Graph.Load _ | Graph.Strided _ | Graph.Splat _ -> 0
-  | Graph.Op (_, a, b) -> 1 + count_graph_ops a + count_graph_ops b
+  | Graph.Op (_, a, b) | Graph.Cmp (_, a, b) ->
+    1 + count_graph_ops a + count_graph_ops b
+  | Graph.Sel (m, a, b) ->
+    1 + count_graph_ops m + count_graph_ops a + count_graph_ops b
   | Graph.Shift (src, _, _) -> count_graph_ops src
 
 (* [shared] answers whether a reorganization chain has more than one
@@ -183,9 +186,15 @@ let rec dead_shift_lint ctx ~shared ~where (n : Graph.node) =
             to its original offset"
            Offset.pp f1 Offset.pp t1 Offset.pp to_)
     | _ -> ())
-  | Graph.Load _ | Graph.Strided _ | Graph.Splat _ | Graph.Op _ -> ());
+  | Graph.Load _ | Graph.Strided _ | Graph.Splat _ | Graph.Op _ | Graph.Cmp _
+  | Graph.Sel _ ->
+    ());
   match n with
-  | Graph.Op (_, a, b) ->
+  | Graph.Op (_, a, b) | Graph.Cmp (_, a, b) ->
+    dead_shift_lint ctx ~shared ~where a;
+    dead_shift_lint ctx ~shared ~where b
+  | Graph.Sel (m, a, b) ->
+    dead_shift_lint ctx ~shared ~where m;
     dead_shift_lint ctx ~shared ~where a;
     dead_shift_lint ctx ~shared ~where b
   | Graph.Shift (src, _, _) -> dead_shift_lint ctx ~shared ~where src
@@ -197,7 +206,7 @@ let check_graphs ~analysis graphs =
      in the body is one shared vshiftstream after value numbering. *)
   let all_chains =
     List.concat_map
-      (fun ((_ : Ast.stmt), (g : Graph.t)) -> Graph.chains g.Graph.root)
+      (fun ((_ : Ast.stmt), (g : Graph.t)) -> Graph.all_chains g)
       graphs
   in
   let shared c =
@@ -217,7 +226,10 @@ let check_graphs ~analysis graphs =
       | Error msg ->
         let rule = if contains_sub ~sub:"(C.2)" msg then "C.2" else "C.3" in
         report ctx ~rule ~severity:Error ~where msg);
-      dead_shift_lint ctx ~shared ~where g.Graph.root)
+      dead_shift_lint ctx ~shared ~where g.Graph.root;
+      match g.Graph.mask with
+      | Some m -> dead_shift_lint ctx ~shared ~where m
+      | None -> ())
     graphs;
   result_of_ctx ctx
 
@@ -266,10 +278,12 @@ let range_check_amount ctx ~where ~kind ~elem_multiple r =
 let rec vexpr_has_temp = function
   | Expr.Temp _ -> true
   | Expr.Load _ | Expr.Splat _ -> false
-  | Expr.Op (_, a, b) | Expr.Pack (a, b) ->
+  | Expr.Op (_, a, b) | Expr.Pack (a, b) | Expr.Cmp (_, a, b) ->
     vexpr_has_temp a || vexpr_has_temp b
   | Expr.Shiftpair (a, b, _) | Expr.Splice (a, b, _) ->
     vexpr_has_temp a || vexpr_has_temp b
+  | Expr.Sel (m, a, b) ->
+    vexpr_has_temp m || vexpr_has_temp a || vexpr_has_temp b
 
 let adjacency_check ctx ~where x y =
   let ok = ref true in
@@ -332,6 +346,13 @@ let adjacency_check ctx ~where x y =
       lock a1 a2;
       lock b1 b2
     | Expr.Pack (a1, b1), Expr.Pack (a2, b2) ->
+      lock a1 a2;
+      lock b1 b2
+    | Expr.Cmp (c1, a1, b1), Expr.Cmp (c2, a2, b2) when c1 = c2 ->
+      lock a1 a2;
+      lock b1 b2
+    | Expr.Sel (m1, a1, b1), Expr.Sel (m2, a2, b2) ->
+      lock m1 m2;
       lock a1 a2;
       lock b1 b2
     | _ -> fail "vshiftpair halves are structurally dissimilar"
@@ -424,6 +445,44 @@ let rec eval_vexpr ctx ~quiet ~check_defs ~where st e : Absoff.t =
     match (ox, oy) with
     | Absoff.Byte 0, Absoff.Byte 0 -> Absoff.Byte 0
     | _ -> Absoff.Top)
+  | Expr.Cmp (c, a, b) ->
+    (* A vcmp is lane-wise like a vop: (C.3) is the same obligation, and
+       the mask it produces inherits the common stream offset. *)
+    let oa = go a and ob = go b in
+    (match Absoff.cmp ~v oa ob with
+    | Absoff.Refuted ->
+      if not quiet then
+        report ctx ~rule:"C.3" ~severity:Error ~where
+          (Format.asprintf
+             "operands of vcmp_%s at offsets %a vs %a violate (C.3)"
+             (Simd_machine.Lane.cmp_name c) Absoff.pp oa Absoff.pp ob)
+    | Absoff.Proved ->
+      if not quiet then ctx.ops_proved <- ctx.ops_proved + 1
+    | Absoff.Unknown -> ());
+    Absoff.merge ~v oa ob
+  | Expr.Sel (m, a, b) ->
+    (* (C.3) is ternary for vsel: the mask and both arms must sit at one
+       common offset, or lanes blend values from different iterations. *)
+    let om = go m and oa = go a and ob = go b in
+    let refuted =
+      List.exists
+        (fun (x, y) -> Absoff.cmp ~v x y = Absoff.Refuted)
+        [ (om, oa); (om, ob); (oa, ob) ]
+    in
+    let proved =
+      List.for_all
+        (fun (x, y) -> Absoff.cmp ~v x y = Absoff.Proved)
+        [ (om, oa); (om, ob); (oa, ob) ]
+    in
+    if refuted then begin
+      if not quiet then
+        report ctx ~rule:"C.3" ~severity:Error ~where
+          (Format.asprintf
+             "operands of vsel at offsets %a / %a / %a violate (C.3)"
+             Absoff.pp om Absoff.pp oa Absoff.pp ob)
+    end
+    else if proved && not quiet then ctx.ops_proved <- ctx.ops_proved + 1;
+    Absoff.merge ~v om (Absoff.merge ~v oa ob)
 
 let stmt_label s =
   let full = Format.asprintf "%a" (Prog.pp_stmt ~indent:0) s in
@@ -450,6 +509,33 @@ let rec exec_stmt ctx ~quiet ~check_defs ~region idx st
     | Absoff.Proved ->
       if not quiet then ctx.stores_proved <- ctx.stores_proved + 1
     | Absoff.Unknown -> ());
+    st
+  | Expr.Storem (addr, value, mask) ->
+    let ov = eval_vexpr ctx ~quiet ~check_defs ~where st value in
+    let om = eval_vexpr ctx ~quiet ~check_defs ~where st mask in
+    let oa = addr_off ctx addr in
+    (match Absoff.cmp ~v:ctx.v ov oa with
+    | Absoff.Refuted ->
+      if not quiet then
+        report ctx ~rule:"C.2" ~severity:Error ~where
+          (Format.asprintf
+             "root offset %a does not match store alignment %a (C.2)"
+             Absoff.pp ov Absoff.pp oa)
+    | Absoff.Proved ->
+      if not quiet then ctx.stores_proved <- ctx.stores_proved + 1
+    | Absoff.Unknown -> ());
+    (* The (C.2) analogue for masks: a mask lane guards the store lane at
+       the same stream position, so the mask stream must reach the store
+       alignment too. *)
+    (match Absoff.cmp ~v:ctx.v om oa with
+    | Absoff.Refuted ->
+      if not quiet then
+        report ctx ~rule:"C.2" ~severity:Error ~where
+          (Format.asprintf
+             "mask offset %a does not match store alignment %a ((C.2) for \
+              masks)"
+             Absoff.pp om Absoff.pp oa)
+    | Absoff.Proved | Absoff.Unknown -> ());
     st
   | Expr.Assign (x, e) ->
     let o = eval_vexpr ctx ~quiet ~check_defs ~where st e in
@@ -511,13 +597,21 @@ let rec stmt_reads acc = function
       (fun acc e ->
         match e with Expr.Temp x -> x :: acc | _ -> acc)
       acc e
+  | Expr.Storem (_, e, m) ->
+    let note acc e =
+      Expr.fold_vexpr
+        (fun acc e ->
+          match e with Expr.Temp x -> x :: acc | _ -> acc)
+        acc e
+    in
+    note (note acc e) m
   | Expr.If (_, t, f) ->
     let acc = List.fold_left stmt_reads acc t in
     List.fold_left stmt_reads acc f
 
 let stmt_defs = function
   | Expr.Assign (x, _) -> [ x ]
-  | Expr.Store _ -> []
+  | Expr.Store _ | Expr.Storem _ -> []
   | Expr.If (_, t, f) -> Expr.temps_written t @ Expr.temps_written f
 
 (* A temp that is live into the body (read before any body definition)
@@ -594,6 +688,10 @@ type vn_key =
   | K_shiftpair of int * int * Rexpr.t
   | K_splice of int * int * Rexpr.t
   | K_pack of int * int
+  | K_cmp of Simd_machine.Lane.cmp * int * int
+  | K_sel of int * int * int
+  | K_masked of int * int
+      (** a masked store's observable value: (value, mask) *)
 
 (* [check_unroll] validates the unroll pass semantically: executing the
    unrolled body once must leave every loop-carried temporary holding the
@@ -639,6 +737,8 @@ let check_unroll ~analysis ~factor ~(pre : Expr.stmt list)
         | Expr.Splice (a, b, p) ->
           vn (K_splice (go a, go b, Expr.shift_iter_rexpr p ~by:disp))
         | Expr.Pack (a, b) -> vn (K_pack (go a, go b))
+        | Expr.Cmp (c, a, b) -> vn (K_cmp (c, go a, go b))
+        | Expr.Sel (m, a, b) -> vn (K_sel (go m, go a, go b))
       in
       go e
     in
@@ -652,6 +752,11 @@ let check_unroll ~analysis ~factor ~(pre : Expr.stmt list)
               | Expr.Store (a, e) ->
                 ( env,
                   (Addr.shift_iter a ~by:disp, eval env ~disp e) :: stores )
+              | Expr.Storem (a, e, m) ->
+                ( env,
+                  ( Addr.shift_iter a ~by:disp,
+                    vn (K_masked (eval env ~disp e, eval env ~disp m)) )
+                  :: stores )
               | Expr.If _ -> (env, stores))
             acc stmts)
         (SM.empty, []) disps
@@ -873,7 +978,7 @@ let check_prologue_splices ctx defs prologue =
   List.iteri
     (fun i s ->
       match s with
-      | Expr.Store (addr, value) -> (
+      | Expr.Store (addr, value) | Expr.Storem (addr, value, _) -> (
         let where = Printf.sprintf "prologue#%d (%s)" i (stmt_label s) in
         let oa = addr_off ctx addr in
         match resolve defs value with
@@ -902,7 +1007,7 @@ let rec seg_has_if seg =
   List.exists
     (function
       | Expr.If _ -> true
-      | Expr.Store _ | Expr.Assign _ -> false)
+      | Expr.Store _ | Expr.Storem _ | Expr.Assign _ -> false)
     seg
   ||
   List.exists
@@ -945,7 +1050,8 @@ let check_specialized_epilogues ctx defs (p : Prog.t) trip =
           let stores =
             List.filter_map
               (function
-                | Expr.Store (addr, value) when addr.Addr.array = arr ->
+                | (Expr.Store (addr, value) | Expr.Storem (addr, value, _))
+                  when addr.Addr.array = arr ->
                   Some value
                 | _ -> None)
               seg

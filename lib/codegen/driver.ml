@@ -236,8 +236,11 @@ let run_passes ?(trace = Trace.none) ?(on_stage = fun ~name:_ _ -> ()) config
 let rec shift_provenance machine (n : Graph.node) : Trace.shift_prov list =
   match n with
   | Graph.Load _ | Graph.Strided _ | Graph.Splat _ -> []
-  | Graph.Op (_, a, b) ->
+  | Graph.Op (_, a, b) | Graph.Cmp (_, a, b) ->
     shift_provenance machine a @ shift_provenance machine b
+  | Graph.Sel (m, a, b) ->
+    shift_provenance machine m @ shift_provenance machine a
+    @ shift_provenance machine b
   | Graph.Shift (src, from, to_) ->
     shift_provenance machine src
     @ [
@@ -262,7 +265,12 @@ let record_placements trace config ~analysis placed =
                pl_used = used;
                pl_target = g.Graph.store_offset;
                pl_graph = Graph.to_string g;
-               pl_shifts = shift_provenance config.machine g.Graph.root;
+               pl_shifts =
+                 (shift_provenance config.machine g.Graph.root
+                 @
+                 match g.Graph.mask with
+                 | Some m -> shift_provenance config.machine m
+                 | None -> []);
                pl_shift_cost = Simd_opt.Cost.shift_cost_of_graph ~analysis g;
                pl_cost = Simd_opt.Cost.graph_cost ~analysis ~stmt g;
              }))
@@ -273,6 +281,19 @@ let record_placements trace config ~analysis placed =
     static verifier ({!Simd_check.Check}) at every pass boundary. *)
 let simdize ?(trace = Trace.none) ?(check = false) (config : config)
     (program : Ast.program) : result =
+  (* If-conversion (the predication extension, [Simd.Mask]) runs before
+     legality analysis: complementary guarded pairs become selects, guarded
+     reductions become identity-selects, and whatever guards remain lower
+     as masked stores. *)
+  let program, mask_stats = Simd_mask.Mask.if_convert program in
+  if
+    Trace.active trace
+    && (mask_stats.Simd_mask.Mask.merged_selects > 0
+       || mask_stats.Simd_mask.Mask.rewritten_reductions > 0
+       || mask_stats.Simd_mask.Mask.residual_guards > 0)
+  then
+    Trace.note trace ~label:"if-convert"
+      (Simd_mask.Mask.show_stats mask_stats);
   match Analysis.check ~machine:config.machine program with
   | Error e -> Scalar (Illegal e)
   | Ok analysis -> (

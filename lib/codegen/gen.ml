@@ -179,6 +179,9 @@ let rec gen_std ctx ~disp (n : Graph.node) : Expr.vexpr =
   | Graph.Strided r -> gen_gather ctx ~disp r
   | Graph.Splat e -> Expr.Splat e
   | Graph.Op (op, a, b) -> Expr.Op (op, gen_std ctx ~disp a, gen_std ctx ~disp b)
+  | Graph.Cmp (c, a, b) -> Expr.Cmp (c, gen_std ctx ~disp a, gen_std ctx ~disp b)
+  | Graph.Sel (m, a, b) ->
+    Expr.Sel (gen_std ctx ~disp m, gen_std ctx ~disp a, gen_std ctx ~disp b)
   | Graph.Shift (src, from, to_) -> (
     match direction ~from ~to_ with
     | None -> gen_std ctx ~disp src (* no-op shift *)
@@ -204,6 +207,9 @@ let rec gen_sp ctx ~disp (n : Graph.node) : Expr.vexpr =
     gen_gather ctx ~disp r
   | Graph.Splat e -> Expr.Splat e
   | Graph.Op (op, a, b) -> Expr.Op (op, gen_sp ctx ~disp a, gen_sp ctx ~disp b)
+  | Graph.Cmp (c, a, b) -> Expr.Cmp (c, gen_sp ctx ~disp a, gen_sp ctx ~disp b)
+  | Graph.Sel (m, a, b) ->
+    Expr.Sel (gen_sp ctx ~disp m, gen_sp ctx ~disp a, gen_sp ctx ~disp b)
   | Graph.Shift (src, from, to_) -> (
     match direction ~from ~to_ with
     | None -> gen_sp ctx ~disp src
@@ -324,14 +330,27 @@ let identity_const ctx (op : Ast.binop) : Ast.expr =
     with the standard (non-pipelined) generator, as in the paper. *)
 let gen_prologue_stmt ctx ~(plan : plan) (graph : Graph.t) : Expr.stmt list =
   let value = gen_std ctx ~disp:0 graph.Graph.root in
+  let mask = Option.map (gen_std ctx ~disp:0) graph.Graph.mask in
   match plan with
   | Store_plan info -> (
-    match info.store_offset_rexpr with
-    | Rexpr.Const 0 -> [ Expr.Store (info.store_addr, value) ]
-    | point ->
+    (* With a mask the prologue store stays splice-protected AND masked:
+       lanes before [ProSplice] carry the original memory bytes, so a
+       masked write there is a no-op either way, and the peeled iterations
+       honour the guard lane-wise — not vacuously. *)
+    match (info.store_offset_rexpr, mask) with
+    | Rexpr.Const 0, None -> [ Expr.Store (info.store_addr, value) ]
+    | Rexpr.Const 0, Some m -> [ Expr.Storem (info.store_addr, value, m) ]
+    | point, None ->
       [
         Expr.Store
           (info.store_addr, Expr.Splice (Expr.Load info.store_addr, value, point));
+      ]
+    | point, Some m ->
+      [
+        Expr.Storem
+          ( info.store_addr,
+            Expr.Splice (Expr.Load info.store_addr, value, point),
+            m );
       ])
   | Reduce_plan r ->
     [
@@ -346,15 +365,20 @@ let gen_prologue_stmt ctx ~(plan : plan) (graph : Graph.t) : Expr.stmt list =
     pipelining pre-assignments and bottom copies. *)
 let gen_steady_stmt ctx ~mode ~(plan : plan) (graph : Graph.t) :
     Expr.stmt list =
-  let value =
-    match mode with
-    | Standard -> gen_std ctx ~disp:0 graph.Graph.root
-    | Pipelined -> gen_sp ctx ~disp:0 graph.Graph.root
+  let gen =
+    match mode with Standard -> gen_std ctx ~disp:0 | Pipelined -> gen_sp ctx ~disp:0
   in
+  let value = gen graph.Graph.root in
+  let mask = Option.map gen graph.Graph.mask in
   let core =
-    match plan with
-    | Store_plan info -> Expr.Store (info.store_addr, value)
-    | Reduce_plan r ->
+    match (plan, mask) with
+    | Store_plan info, None -> Expr.Store (info.store_addr, value)
+    | Store_plan info, Some m -> Expr.Storem (info.store_addr, value, m)
+    | Reduce_plan _, Some _ ->
+      (* if_convert rewrites guarded reductions to identity-selects; the
+         analysis rejects any survivor before codegen *)
+      invalid_arg "Gen.gen_steady_stmt: guarded reduction reached codegen"
+    | Reduce_plan r, None ->
       Expr.Assign
         (r.Prog.acc_temp, Expr.Op (r.Prog.red_op, Expr.Temp r.Prog.acc_temp, value))
   in
@@ -417,6 +441,29 @@ let guard_stores ctx ~(infos : (string * store_info) list)
             Expr.If
               ( Rexpr.Gt (l, Rexpr.Const 0),
                 [ Expr.Store (addr, Expr.Splice (value, Expr.Load addr, l)) ],
+                [] );
+          ] )
+    | Expr.Storem (addr, value, mask) ->
+      (* masked epilogue store: same splice protection beyond the valid
+         bytes; the mask still decides every surviving lane, so peeled
+         iterations evaluate the guard — lane-wise — rather than storing
+         unconditionally *)
+      let info =
+        match List.assoc_opt addr.Addr.array infos with
+        | Some i -> i
+        | None -> invalid_arg "Gen.guard_stores: store to unknown array"
+      in
+      let l = leftover ctx info in
+      Expr.If
+        ( Rexpr.Ge (l, Rexpr.Const ctx.v),
+          [ Expr.Storem (addr, value, mask) ],
+          [
+            Expr.If
+              ( Rexpr.Gt (l, Rexpr.Const 0),
+                [
+                  Expr.Storem
+                    (addr, Expr.Splice (value, Expr.Load addr, l), mask);
+                ],
                 [] );
           ] )
   in

@@ -49,6 +49,8 @@ let hoist_splats ~(names : Names.t) ~prologue ~body =
     | Expr.Shiftpair (a, b, s) -> Expr.Shiftpair (rewrite a, rewrite b, s)
     | Expr.Splice (a, b, p) -> Expr.Splice (rewrite a, rewrite b, p)
     | Expr.Pack (a, b) -> Expr.Pack (rewrite a, rewrite b)
+    | Expr.Cmp (c, a, b) -> Expr.Cmp (c, rewrite a, rewrite b)
+    | Expr.Sel (m, a, b) -> Expr.Sel (rewrite m, rewrite a, rewrite b)
   in
   let body = Expr.map_stmts_exprs rewrite body in
   let prologue = Expr.map_stmts_exprs rewrite prologue in
@@ -85,6 +87,8 @@ let memnorm ~(analysis : Analysis.t) stmts =
     | Expr.Shiftpair (a, b, s) -> Expr.Shiftpair (rewrite a, rewrite b, s)
     | Expr.Splice (a, b, p) -> Expr.Splice (rewrite a, rewrite b, p)
     | Expr.Pack (a, b) -> Expr.Pack (rewrite a, rewrite b)
+    | Expr.Cmp (c, a, b) -> Expr.Cmp (c, rewrite a, rewrite b)
+    | Expr.Sel (m, a, b) -> Expr.Sel (rewrite m, rewrite a, rewrite b)
   in
   Expr.map_stmts_exprs rewrite stmts
 
@@ -175,6 +179,16 @@ module Lvn = struct
       let ka, va = lower t a in
       let kb, vb = lower t b in
       (Printf.sprintf "pack(%s,%s)" ka kb, Expr.Pack (va, vb))
+    | Expr.Cmp (c, a, b) ->
+      let ka, va = lower t a in
+      let kb, vb = lower t b in
+      ( Printf.sprintf "cmp_%s(%s,%s)" (Simd_machine.Lane.cmp_name c) ka kb,
+        Expr.Cmp (c, va, vb) )
+    | Expr.Sel (m, a, b) ->
+      let km, vm = lower t m in
+      let ka, va = lower t a in
+      let kb, vb = lower t b in
+      (Printf.sprintf "sel(%s,%s,%s)" km ka kb, Expr.Sel (vm, va, vb))
 
   let rec stmt t (s : Expr.stmt) =
     match s with
@@ -195,6 +209,11 @@ module Lvn = struct
     | Expr.Store (addr, e) ->
       let _, atom = lower t e in
       emit t (Expr.Store (addr, atom));
+      bump_mem t addr.Addr.array
+    | Expr.Storem (addr, e, m) ->
+      let _, atom = lower t e in
+      let _, matom = lower t m in
+      emit t (Expr.Storem (addr, atom, matom));
       bump_mem t addr.Addr.array
     | Expr.If (c, th, el) ->
       (* Conditionals only occur in epilogue templates; value-number the
@@ -283,9 +302,16 @@ let predictive_commoning ~(block : int) ~(lb : int)
     | Expr.Op (_, a, b)
     | Expr.Shiftpair (a, b, _)
     | Expr.Splice (a, b, _)
-    | Expr.Pack (a, b) ->
+    | Expr.Pack (a, b)
+    | Expr.Cmp (_, a, b) ->
       let sa = size a in
       if sa > budget then sa else sa + size b + 1
+    | Expr.Sel (m, a, b) ->
+      let sm = size m in
+      if sm > budget then sm
+      else
+        let sa = size a in
+        if sa > budget then sa else sm + sa + size b + 1
   in
   let cache : (string, Expr.vexpr option) Hashtbl.t = Hashtbl.create 16 in
   let rec expand_temp t : Expr.vexpr option =
@@ -327,6 +353,14 @@ let predictive_commoning ~(block : int) ~(lb : int)
     | Expr.Pack (a, b) -> (
       match (expand a, expand b) with
       | Some a', Some b' -> Some (Expr.Pack (a', b'))
+      | _ -> None)
+    | Expr.Cmp (c, a, b) -> (
+      match (expand a, expand b) with
+      | Some a', Some b' -> Some (Expr.Cmp (c, a', b'))
+      | _ -> None)
+    | Expr.Sel (m, a, b) -> (
+      match (expand m, expand a, expand b) with
+      | Some m', Some a', Some b' -> Some (Expr.Sel (m', a', b'))
       | _ -> None)
   in
   let expanded =
@@ -457,6 +491,9 @@ let unroll ~(block : int) ~(factor : int) (body : Expr.stmt list) :
       | Expr.Splice (a, b, p) ->
         Expr.Splice (xform ~disp a, xform ~disp b, shift_iter_rexpr' ~disp p)
       | Expr.Pack (a, b) -> Expr.Pack (xform ~disp a, xform ~disp b)
+      | Expr.Cmp (c, a, b) -> Expr.Cmp (c, xform ~disp a, xform ~disp b)
+      | Expr.Sel (m, a, b) ->
+        Expr.Sel (xform ~disp m, xform ~disp a, xform ~disp b)
     and shift_iter_rexpr' ~disp (r : Rexpr.t) : Rexpr.t =
       Expr.shift_iter_rexpr r ~by:disp
     in
@@ -477,6 +514,11 @@ let unroll ~(block : int) ~(factor : int) (body : Expr.stmt list) :
             Hashtbl.replace sigma x x'
           | Expr.Store (addr, e) ->
             out := Expr.Store (Addr.shift_iter addr ~by:disp, xform ~disp e) :: !out
+          | Expr.Storem (addr, e, m) ->
+            out :=
+              Expr.Storem
+                (Addr.shift_iter addr ~by:disp, xform ~disp e, xform ~disp m)
+              :: !out
           | Expr.If _ -> invalid_arg "Passes.unroll: conditional in steady body")
         body
     done;
@@ -505,6 +547,9 @@ let unroll ~(block : int) ~(factor : int) (body : Expr.stmt list) :
             note_reads e;
             Hashtbl.replace assigned x ()
           | Expr.Store (_, e) -> note_reads e
+          | Expr.Storem (_, e, m) ->
+            note_reads e;
+            note_reads m
           | Expr.If _ -> assert false)
         body;
       !live
@@ -544,6 +589,7 @@ let unroll ~(block : int) ~(factor : int) (body : Expr.stmt list) :
       match s with
       | Expr.Assign (t, e) -> t = x || occurs_in_expr x e
       | Expr.Store (_, e) -> occurs_in_expr x e
+      | Expr.Storem (_, e, m) -> occurs_in_expr x e || occurs_in_expr x m
       | Expr.If _ -> assert false
     in
     let emitted = Array.of_list emitted in
@@ -582,6 +628,8 @@ let unroll ~(block : int) ~(factor : int) (body : Expr.stmt list) :
               | Expr.Shiftpair (a, b, s) -> Expr.Shiftpair (go a, go b, s)
               | Expr.Splice (a, b, p) -> Expr.Splice (go a, go b, p)
               | Expr.Pack (a, b) -> Expr.Pack (go a, go b)
+              | Expr.Cmp (c, a, b) -> Expr.Cmp (c, go a, go b)
+              | Expr.Sel (m, a, b) -> Expr.Sel (go m, go a, go b)
             in
             go e
           in
@@ -591,6 +639,8 @@ let unroll ~(block : int) ~(factor : int) (body : Expr.stmt list) :
               | Expr.Assign (t, e) ->
                 Expr.Assign ((if t = src then x else t), rename_expr e)
               | Expr.Store (a, e) -> Expr.Store (a, rename_expr e)
+              | Expr.Storem (a, e, m) ->
+                Expr.Storem (a, rename_expr e, rename_expr m)
               | Expr.If _ -> assert false)
           done
         end
@@ -653,6 +703,13 @@ let rec specialize ~analysis ~trip ~i (stmts : Expr.stmt list) : Expr.stmt list 
       match (s : Expr.stmt) with
       | Expr.Store (a, e) ->
         [ Expr.Store (freeze_addr ~i a, spec_expr ~analysis ~trip ~i e) ]
+      | Expr.Storem (a, e, m) ->
+        [
+          Expr.Storem
+            ( freeze_addr ~i a,
+              spec_expr ~analysis ~trip ~i e,
+              spec_expr ~analysis ~trip ~i m );
+        ]
       | Expr.Assign (x, e) -> [ Expr.Assign (x, spec_expr ~analysis ~trip ~i e) ]
       | Expr.If (c, th, el) -> (
         match fold_cond ~analysis ~trip ~i c with
@@ -686,6 +743,13 @@ and spec_expr ~analysis ~trip ~i (e : Expr.vexpr) : Expr.vexpr =
         fold_rexpr ~analysis ~trip ~i p )
   | Expr.Pack (a, b) ->
     Expr.Pack (spec_expr ~analysis ~trip ~i a, spec_expr ~analysis ~trip ~i b)
+  | Expr.Cmp (c, a, b) ->
+    Expr.Cmp (c, spec_expr ~analysis ~trip ~i a, spec_expr ~analysis ~trip ~i b)
+  | Expr.Sel (m, a, b) ->
+    Expr.Sel
+      ( spec_expr ~analysis ~trip ~i m,
+        spec_expr ~analysis ~trip ~i a,
+        spec_expr ~analysis ~trip ~i b )
 
 (* ------------------------------------------------------------------ *)
 (* Dead code elimination (epilogue cleanup)                            *)
@@ -717,6 +781,7 @@ let dce (segments : Expr.stmt list list) : Expr.stmt list list =
         if S.mem x live then (add_reads (S.remove x live) e, s :: rest')
         else (live, rest')
       | Expr.Store (_, e) -> (add_reads live e, s :: rest')
+      | Expr.Storem (_, e, m) -> (add_reads (add_reads live e) m, s :: rest')
       | Expr.If (c, th, el) ->
         let live_t, th' = sweep live th in
         let live_e, el' = sweep live el in

@@ -93,11 +93,12 @@ let leaf_offset ~analysis (n : Graph.node) =
   | Graph.Load r -> Offset.of_align (Analysis.offset_of analysis r) ~ref_:r
   | Graph.Strided _ -> Offset.Known 0
   | Graph.Splat _ -> Offset.Any
-  | Graph.Op _ | Graph.Shift _ -> invalid_arg "Retarget.leaf_offset: not a leaf"
+  | Graph.Op _ | Graph.Cmp _ | Graph.Sel _ | Graph.Shift _ ->
+    invalid_arg "Retarget.leaf_offset: not a leaf"
 
 let is_leaf = function
   | Graph.Load _ | Graph.Strided _ | Graph.Splat _ -> true
-  | Graph.Op _ | Graph.Shift _ -> false
+  | Graph.Op _ | Graph.Cmp _ | Graph.Sel _ | Graph.Shift _ -> false
 
 let unsupported from to_ =
   raise
@@ -124,6 +125,17 @@ let rec rebuild ~analysis ~block ~vl ~repairs (n : Graph.node)
     (* (C.3): both operands must produce the context offset. *)
     Graph.Op
       ( op,
+        rebuild ~analysis ~block ~vl ~repairs a req,
+        rebuild ~analysis ~block ~vl ~repairs b req )
+  | Graph.Cmp (c, a, b) ->
+    Graph.Cmp
+      ( c,
+        rebuild ~analysis ~block ~vl ~repairs a req,
+        rebuild ~analysis ~block ~vl ~repairs b req )
+  | Graph.Sel (m, a, b) ->
+    (* (C.3) is ternary for vsel: mask and both arms at the context offset. *)
+    Graph.Sel
+      ( rebuild ~analysis ~block ~vl ~repairs m req,
         rebuild ~analysis ~block ~vl ~repairs a req,
         rebuild ~analysis ~block ~vl ~repairs b req )
   | Graph.Shift (src, from_old, _) ->
@@ -156,10 +168,19 @@ let retarget_graph ~analysis ~fallback (stmt : Ast.stmt) (g : Graph.t) :
     (p.Simd_opt.Place.graph, Replaced p.Simd_opt.Place.used)
   in
   let repairs = ref 0 in
-  match rebuild ~analysis ~block ~vl ~repairs g.Graph.root target with
+  match
+    (* The mask stream is renumbered exactly like the value stream: it must
+       reach the store offset at V′ (the (C.2) analogue for masks). *)
+    ( rebuild ~analysis ~block ~vl ~repairs g.Graph.root target,
+      Option.map
+        (fun m -> rebuild ~analysis ~block ~vl ~repairs m target)
+        g.Graph.mask )
+  with
   | exception (Unsupported _ | Graph.Invalid _) -> replace ()
-  | root -> (
-    let g' = { Graph.store = stmt.Ast.lhs; store_offset = target; root; block } in
+  | root, mask -> (
+    let g' =
+      { Graph.store = stmt.Ast.lhs; store_offset = target; root; block; mask }
+    in
     match Graph.validate ~analysis g' with
     | Ok () -> (g', if !repairs = 0 then Preserved else Repaired !repairs)
     | Error _ -> replace ())

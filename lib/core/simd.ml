@@ -16,6 +16,7 @@
     - {!Ast}/{!Parse}/{!Pp}/{!Analysis}: the scalar loop language;
     - {!Machine}/{!Vec}/{!Mem}: the SIMD machine model;
     - {!Offset}/{!Graph}/{!Policy}/{!Reassoc}: data reorganization graphs;
+    - {!Mask}: if-conversion for predicated loops (guards/selects);
     - {!Gen}/{!Passes}/{!Driver}/{!Peel}: code generation;
     - {!Retarget}: vector-length-agnostic re-instantiation of a placed
       compilation at another V (the backend matrix's engine);
@@ -73,6 +74,10 @@ module Trace = Simd_trace.Trace
    [Driver.simdize ~check:true]; {!Absoff} is its offset lattice) *)
 module Check = Simd_check.Check
 module Absoff = Simd_check.Absoff
+
+(* Predication: if-conversion of guarded statements into selects and
+   masked stores (run by {!Driver.simdize} before legality analysis) *)
+module Mask = Simd_mask.Mask
 
 (* Code generation *)
 module Names = Simd_codegen.Names

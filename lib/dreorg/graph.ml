@@ -24,6 +24,14 @@ type node =
   | Op of Ast.binop * node * node
   | Splat of Ast.expr
   | Shift of node * Offset.t * Offset.t  (** (source, from, to) *)
+  | Cmp of Ast.cmp * node * node
+      (** [vcmp] (predication extension): a mask-producing lane compare.
+          Offset-wise an ordinary vop — operand offsets must match (C.3)
+          and the mask stream inherits them: the mask for the value at
+          offset [o] sits at offset [o]. *)
+  | Sel of node * node * node
+      (** [vsel(mask, a, b)] (predication extension): lane blend. All
+          three operands — mask included — must agree on offset (C.3). *)
 [@@deriving show { with_path = false }, eq]
 
 type t = {
@@ -31,6 +39,11 @@ type t = {
   store_offset : Offset.t;  (** never [Any] *)
   root : node;
   block : int;  (** blocking factor, for runtime-offset congruence *)
+  mask : node option;
+      (** store mask (predication extension): present iff the statement is
+          guarded; a mask tree rooted in a [Cmp], placed at the store
+          offset like the value tree — a masked store at offset [o]
+          consumes both streams at [o] (the (C.2) analogue for masks) *)
 }
 
 (* ------------------------------------------------------------------ *)
@@ -44,6 +57,9 @@ let rec is_invariant (e : Ast.expr) =
   | Ast.Load _ -> false
   | Ast.Param _ | Ast.Const _ -> true
   | Ast.Binop (_, a, b) -> is_invariant a && is_invariant b
+  | Ast.Select (c, a, b) ->
+    is_invariant c.Ast.cl && is_invariant c.Ast.cr && is_invariant a
+    && is_invariant b
 
 (** [of_expr e] — the bare graph of an expression, with {e no} reordering
     nodes: the "simdize as if there were no alignment constraints" step.
@@ -55,7 +71,14 @@ let rec of_expr (e : Ast.expr) : node =
     | Ast.Load r when r.Ast.ref_stride > 1 -> Strided r
     | Ast.Load r -> Load r
     | Ast.Binop (op, a, b) -> Op (op, of_expr a, of_expr b)
+    | Ast.Select (c, a, b) -> Sel (of_cond c, of_expr a, of_expr b)
     | Ast.Param _ | Ast.Const _ -> assert false (* invariant, handled above *)
+
+(** [of_cond c] — the bare mask tree of a guard: a [Cmp] over the operand
+    trees (a guard over invariants yields a compare of two splats — a
+    loop-invariant mask at offset ⊥). *)
+and of_cond (c : Ast.cond) : node =
+  Cmp (c.Ast.cmp, of_expr c.Ast.cl, of_expr c.Ast.cr)
 
 (* ------------------------------------------------------------------ *)
 (* Bare-tree precondition                                              *)
@@ -65,8 +88,13 @@ let rec of_expr (e : Ast.expr) : node =
     if any (leftmost-innermost). *)
 let rec find_shift = function
   | Load _ | Strided _ | Splat _ -> None
-  | Op (_, a, b) -> (
+  | Op (_, a, b) | Cmp (_, a, b) -> (
     match find_shift a with Some s -> Some s | None -> find_shift b)
+  | Sel (m, a, b) -> (
+    match find_shift m with
+    | Some s -> Some s
+    | None -> (
+      match find_shift a with Some s -> Some s | None -> find_shift b))
   | Shift (src, from, to_) -> (
     match find_shift src with Some s -> Some s | None -> Some (from, to_))
 
@@ -116,7 +144,7 @@ let chain_of n =
   let rec spine = function
     | Load r -> Some (r, false, [])
     | Strided r -> Some (r, true, [])
-    | Splat _ | Op _ -> None
+    | Splat _ | Op _ | Cmp _ | Sel _ -> None
     | Shift (src, from, to_) ->
       Option.map (fun (r, g, hops) -> (r, g, hops @ [ (from, to_) ])) (spine src)
   in
@@ -126,7 +154,7 @@ let chain_of n =
       (fun (chain_ref, chain_gather, chain_hops) ->
         { chain_ref; chain_gather; chain_hops })
       (spine n)
-  | Load _ | Strided _ | Splat _ | Op _ -> None
+  | Load _ | Strided _ | Splat _ | Op _ | Cmp _ | Sel _ -> None
 
 (** [chains n] — every shareable [Shift] node of the subtree (each hop of a
     multi-shift chain is its own entry: each materializes one
@@ -135,12 +163,18 @@ let chains n =
   let rec go acc n =
     match n with
     | Load _ | Strided _ | Splat _ -> acc
-    | Op (_, a, b) -> go (go acc a) b
+    | Op (_, a, b) | Cmp (_, a, b) -> go (go acc a) b
+    | Sel (m, a, b) -> go (go (go acc m) a) b
     | Shift (src, _, _) ->
       let acc = match chain_of n with Some c -> c :: acc | None -> acc in
       go acc src
   in
   List.rev (go [] n)
+
+(** [all_chains g] — shareable chains of the whole graph, mask tree
+    included (mask streams share like data streams). *)
+let all_chains g =
+  chains g.root @ match g.mask with Some m -> chains m | None -> []
 
 (* ------------------------------------------------------------------ *)
 (* Offsets and validity                                                *)
@@ -166,6 +200,34 @@ let rec offset_of ~(analysis : Analysis.t) (n : node) : Offset.t =
               (Simd_machine.Lane.binop_name op)
               Offset.pp oa Offset.pp ob));
     Offset.merge ~block:analysis.Analysis.block oa ob
+  | Cmp (c, a, b) ->
+    let oa = offset_of ~analysis a in
+    let ob = offset_of ~analysis b in
+    if not (Offset.matches ~block:analysis.Analysis.block oa ob) then
+      raise
+        (Invalid
+           (Format.asprintf
+              "operands of vcmp_%s at offsets %a vs %a violate (C.3)"
+              (Simd_machine.Lane.cmp_name c)
+              Offset.pp oa Offset.pp ob));
+    Offset.merge ~block:analysis.Analysis.block oa ob
+  | Sel (m, a, b) ->
+    let om = offset_of ~analysis m in
+    let oa = offset_of ~analysis a in
+    let ob = offset_of ~analysis b in
+    let block = analysis.Analysis.block in
+    if
+      not
+        (Offset.matches ~block om oa
+        && Offset.matches ~block oa ob
+        && Offset.matches ~block om ob)
+    then
+      raise
+        (Invalid
+           (Format.asprintf
+              "operands of vsel at offsets %a / %a / %a violate (C.3)"
+              Offset.pp om Offset.pp oa Offset.pp ob));
+    Offset.merge ~block om (Offset.merge ~block oa ob)
   | Shift (src, from, to_) ->
     let os = offset_of ~analysis src in
     if Offset.is_any from || Offset.is_any to_ then
@@ -177,16 +239,25 @@ let rec offset_of ~(analysis : Analysis.t) (n : node) : Offset.t =
               Offset.pp from Offset.pp os));
     to_
 
-(** [validate ~analysis g] — check (C.2) and (C.3) for the whole graph. *)
+(** [validate ~analysis g] — check (C.2) and (C.3) for the whole graph:
+    the value tree's root offset must match the store alignment, and so
+    must the mask tree's when present (a masked store consumes both
+    streams at the store offset). *)
 let validate ~(analysis : Analysis.t) (g : t) : (unit, string) result =
-  match offset_of ~analysis g.root with
-  | o ->
-    if Offset.matches ~block:g.block o g.store_offset then Ok ()
-    else
-      Error
-        (Format.asprintf "root offset %a does not match store alignment %a (C.2)"
-           Offset.pp o Offset.pp g.store_offset)
-  | exception Invalid msg -> Error msg
+  let check_tree what n =
+    match offset_of ~analysis n with
+    | o ->
+      if Offset.matches ~block:g.block o g.store_offset then Ok ()
+      else
+        Error
+          (Format.asprintf "%s offset %a does not match store alignment %a (C.2)"
+             what Offset.pp o Offset.pp g.store_offset)
+    | exception Invalid msg -> Error msg
+  in
+  match check_tree "root" g.root with
+  | Error _ as e -> e
+  | Ok () -> (
+    match g.mask with Some m -> check_tree "mask" m | None -> Ok ())
 
 (* ------------------------------------------------------------------ *)
 (* Measures                                                            *)
@@ -196,10 +267,12 @@ let validate ~(analysis : Analysis.t) (g : t) : (unit, string) result =
     minimize). *)
 let rec shift_count = function
   | Load _ | Strided _ | Splat _ -> 0
-  | Op (_, a, b) -> shift_count a + shift_count b
+  | Op (_, a, b) | Cmp (_, a, b) -> shift_count a + shift_count b
+  | Sel (m, a, b) -> shift_count m + shift_count a + shift_count b
   | Shift (src, _, _) -> 1 + shift_count src
 
-let graph_shift_count g = shift_count g.root
+let graph_shift_count g =
+  shift_count g.root + match g.mask with Some m -> shift_count m | None -> 0
 
 (** [leaf_offsets ~analysis n] — offsets of all [Load] leaves, left to
     right. *)
@@ -207,7 +280,11 @@ let rec leaf_offsets ~analysis = function
   | Load r -> [ Offset.of_align (Analysis.offset_of analysis r) ~ref_:r ]
   | Strided _ -> [ Offset.Known 0 ]
   | Splat _ -> []
-  | Op (_, a, b) -> leaf_offsets ~analysis a @ leaf_offsets ~analysis b
+  | Op (_, a, b) | Cmp (_, a, b) ->
+    leaf_offsets ~analysis a @ leaf_offsets ~analysis b
+  | Sel (m, a, b) ->
+    leaf_offsets ~analysis m @ leaf_offsets ~analysis a
+    @ leaf_offsets ~analysis b
   | Shift (src, _, _) -> leaf_offsets ~analysis src
 
 let rec pp_node fmt = function
@@ -220,9 +297,20 @@ let rec pp_node fmt = function
   | Shift (src, from, to_) ->
     Format.fprintf fmt "vshiftstream(%a, %a, %a)" pp_node src Offset.pp from
       Offset.pp to_
+  | Cmp (c, a, b) ->
+    Format.fprintf fmt "vcmp_%s(%a, %a)" (Simd_machine.Lane.cmp_name c)
+      pp_node a pp_node b
+  | Sel (m, a, b) ->
+    Format.fprintf fmt "vsel(%a, %a, %a)" pp_node m pp_node a pp_node b
 
 let pp fmt g =
-  Format.fprintf fmt "vstore(%s @@ %a, %a)" (Pp.mem_ref_to_string g.store) Offset.pp
-    g.store_offset pp_node g.root
+  match g.mask with
+  | None ->
+    Format.fprintf fmt "vstore(%s @@ %a, %a)" (Pp.mem_ref_to_string g.store)
+      Offset.pp g.store_offset pp_node g.root
+  | Some m ->
+    Format.fprintf fmt "vstore.mask(%s @@ %a, %a, %a)"
+      (Pp.mem_ref_to_string g.store) Offset.pp g.store_offset pp_node g.root
+      pp_node m
 
 let to_string g = Format.asprintf "%a" pp g

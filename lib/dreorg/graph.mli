@@ -10,6 +10,10 @@ type node =
   | Op of Simd_loopir.Ast.binop * node * node
   | Splat of Simd_loopir.Ast.expr  (** offset ⊥, Eq. 6 *)
   | Shift of node * Offset.t * Offset.t  (** vshiftstream (src, from, to), Eq. 5 *)
+  | Cmp of Simd_loopir.Ast.cmp * node * node
+      (** mask-producing lane compare ([vcmp]); an ordinary vop for (C.3) *)
+  | Sel of node * node * node
+      (** lane blend [vsel(mask, a, b)]; all three operands obey (C.3) *)
 [@@deriving show, eq]
 
 type t = {
@@ -17,6 +21,9 @@ type t = {
   store_offset : Offset.t;  (** never [Any] *)
   root : node;
   block : int;
+  mask : node option;
+      (** store mask, present iff the statement is guarded; placed at the
+          store offset like the value tree ((C.2) analogue for masks) *)
 }
 
 val is_invariant : Simd_loopir.Ast.expr -> bool
@@ -25,6 +32,9 @@ val is_invariant : Simd_loopir.Ast.expr -> bool
 val of_expr : Simd_loopir.Ast.expr -> node
 (** The bare graph with no reordering nodes — "simdize as if there were no
     alignment constraints". Maximal invariant subtrees become [Splat]s. *)
+
+val of_cond : Simd_loopir.Ast.cond -> node
+(** The bare mask tree of a guard: a [Cmp] over the operand trees. *)
 
 val find_shift : node -> (Offset.t * Offset.t) option
 (** Endpoints of the first [Shift] node of the subtree, if any. *)
@@ -55,20 +65,23 @@ val chain_of : node -> chain option
 val chains : node -> chain list
 (** Every shareable [Shift] node of the subtree, one entry per hop. *)
 
+val all_chains : t -> chain list
+(** Shareable chains of the whole graph, mask tree included. *)
+
 exception Invalid of string
 
 val offset_of : analysis:Simd_loopir.Analysis.t -> node -> Offset.t
 (** A node's stream offset; raises {!Invalid} on constraint violations. *)
 
 val validate : analysis:Simd_loopir.Analysis.t -> t -> (unit, string) result
-(** Check (C.2) and (C.3) for the whole graph. *)
+(** Check (C.2) and (C.3) for the whole graph, mask tree included. *)
 
 val shift_count : node -> int
 (** Number of [Shift] nodes in the subtree — the paper's comparison metric
     for the §3.4 policies. *)
 
 val graph_shift_count : t -> int
-(** {!shift_count} of the root. *)
+(** {!shift_count} of the root plus the mask tree. *)
 
 val leaf_offsets : analysis:Simd_loopir.Analysis.t -> node -> Offset.t list
 (** Stream offsets of the [Load]/[Strided]/[Splat] leaves, left to

@@ -162,6 +162,10 @@ let not_bare_invalid () =
 let place_zero ~(analysis : Analysis.t) ~root (stmt : Ast.stmt) : Graph.t =
   let block = analysis.Analysis.block in
   let zero = Offset.Known 0 in
+  (* An interior node sits at 0 once its children are placed — unless every
+     child is invariant ([Any]), which [of_expr] rules out for value trees
+     but [of_cond] permits for loop-invariant guards. *)
+  let join offs = if List.for_all Offset.is_any offs then Offset.Any else zero in
   let rec go (n : Graph.node) : Graph.node * Offset.t =
     match n with
     | Graph.Load r ->
@@ -173,12 +177,28 @@ let place_zero ~(analysis : Analysis.t) ~root (stmt : Ast.stmt) : Graph.t =
       let a', _ = go a in
       let b', _ = go b in
       (Graph.Op (op, a', b'), zero)
+    | Graph.Cmp (c, a, b) ->
+      let a', oa = go a in
+      let b', ob = go b in
+      (Graph.Cmp (c, a', b'), join [ oa; ob ])
+    | Graph.Sel (m, a, b) ->
+      let m', om = go m in
+      let a', oa = go a in
+      let b', ob = go b in
+      (Graph.Sel (m', a', b'), join [ om; oa; ob ])
     | Graph.Shift _ -> not_bare_invalid ()
   in
-  let root, root_off = go root in
   let store_offset = target_offset ~analysis stmt in
+  let root, root_off = go root in
   let root = shift_to ~block root ~from:root_off ~target:store_offset in
-  { Graph.store = stmt.Ast.lhs; store_offset; root; block }
+  let mask =
+    Option.map
+      (fun c ->
+        let m, off = go (Graph.of_cond c) in
+        shift_to ~block m ~from:off ~target:store_offset)
+      stmt.Ast.guard
+  in
+  { Graph.store = stmt.Ast.lhs; store_offset; root; block; mask }
 
 (* ------------------------------------------------------------------ *)
 (* Eager-shift                                                         *)
@@ -195,10 +215,13 @@ let place_eager ~(analysis : Analysis.t) ~root (stmt : Ast.stmt) : Graph.t =
       shift_to ~block n ~from:(Offset.Known 0) ~target:store_offset
     | Graph.Splat _ -> n
     | Graph.Op (op, a, b) -> Graph.Op (op, go a, go b)
+    | Graph.Cmp (c, a, b) -> Graph.Cmp (c, go a, go b)
+    | Graph.Sel (m, a, b) -> Graph.Sel (go m, go a, go b)
     | Graph.Shift _ -> not_bare_invalid ()
   in
   let root = go root in
-  { Graph.store = stmt.Ast.lhs; store_offset; root; block }
+  let mask = Option.map (fun c -> go (Graph.of_cond c)) stmt.Ast.guard in
+  { Graph.store = stmt.Ast.lhs; store_offset; root; block; mask }
 
 (* ------------------------------------------------------------------ *)
 (* Lazy- and dominant-shift                                            *)
@@ -212,12 +235,22 @@ let place_meet ~(analysis : Analysis.t) ~preferred ~root (stmt : Ast.stmt) :
     Graph.t =
   let block = analysis.Analysis.block in
   let store_offset = target_offset ~analysis stmt in
-  let choose_target oa ob =
-    let candidates = [ oa; ob ] in
+  let choose_target offsets =
+    (* mismatching operands are all [Known], but splat siblings of a
+       ternary meet may contribute [Any] — never a meet candidate *)
+    let candidates = List.filter (fun o -> not (Offset.is_any o)) offsets in
     let is_pref o = match preferred with Some p -> Offset.equal o p | None -> false in
     if List.exists is_pref candidates then Option.get preferred
     else if List.exists (Offset.equal store_offset) candidates then store_offset
-    else oa (* leftmost *)
+    else List.hd candidates (* leftmost *)
+  in
+  let all_match offs =
+    let rec go = function
+      | [] | [ _ ] -> true
+      | o :: rest ->
+        List.for_all (fun o' -> Offset.matches ~block o o') rest && go rest
+    in
+    go offs
   in
   let rec go (n : Graph.node) : Graph.node * Offset.t =
     match n with
@@ -230,16 +263,50 @@ let place_meet ~(analysis : Analysis.t) ~preferred ~root (stmt : Ast.stmt) :
       if Offset.matches ~block oa ob then
         (Graph.Op (op, a', b'), Offset.merge ~block oa ob)
       else begin
-        let target = choose_target oa ob in
+        let target = choose_target [ oa; ob ] in
         let a' = shift_to ~block a' ~from:oa ~target in
         let b' = shift_to ~block b' ~from:ob ~target in
         (Graph.Op (op, a', b'), target)
+      end
+    | Graph.Cmp (c, a, b) ->
+      let a', oa = go a in
+      let b', ob = go b in
+      if Offset.matches ~block oa ob then
+        (Graph.Cmp (c, a', b'), Offset.merge ~block oa ob)
+      else begin
+        let target = choose_target [ oa; ob ] in
+        let a' = shift_to ~block a' ~from:oa ~target in
+        let b' = shift_to ~block b' ~from:ob ~target in
+        (Graph.Cmp (c, a', b'), target)
+      end
+    | Graph.Sel (m, a, b) ->
+      (* ternary meet: all three streams — mask included — must agree
+         (C.3), so disagreement picks ONE common meet offset *)
+      let m', om = go m in
+      let a', oa = go a in
+      let b', ob = go b in
+      if all_match [ om; oa; ob ] then
+        (Graph.Sel (m', a', b'),
+         Offset.merge ~block om (Offset.merge ~block oa ob))
+      else begin
+        let target = choose_target [ om; oa; ob ] in
+        let m' = shift_to ~block m' ~from:om ~target in
+        let a' = shift_to ~block a' ~from:oa ~target in
+        let b' = shift_to ~block b' ~from:ob ~target in
+        (Graph.Sel (m', a', b'), target)
       end
     | Graph.Shift _ -> not_bare_invalid ()
   in
   let root, root_off = go root in
   let root = shift_to ~block root ~from:root_off ~target:store_offset in
-  { Graph.store = stmt.Ast.lhs; store_offset; root; block }
+  let mask =
+    Option.map
+      (fun c ->
+        let m, off = go (Graph.of_cond c) in
+        shift_to ~block m ~from:off ~target:store_offset)
+      stmt.Ast.guard
+  in
+  { Graph.store = stmt.Ast.lhs; store_offset; root; block; mask }
 
 (** The dominant stream offset of a statement: the most frequent offset
     among all load leaves and the store. Ties break toward the store
@@ -253,7 +320,7 @@ let dominant_offset ~(analysis : Analysis.t) (stmt : Ast.stmt) : Offset.t =
          (fun (r : Ast.mem_ref) ->
            if r.Ast.ref_stride > 1 then Offset.Known 0
            else load_offset ~analysis r)
-         (Ast.expr_loads stmt.Ast.rhs)
+         (Ast.stmt_loads stmt)
   in
   let offsets = List.filter (fun o -> not (Offset.is_any o)) offsets in
   let counted = Simd_support.Util.group_count offsets in

@@ -88,6 +88,12 @@ let apply ~(analysis : Analysis.t) (stmt : Ast.stmt) : Ast.stmt =
         let groups = List.stable_sort (fun a b -> compare (score a) (score b)) groups in
         rebuild op (List.map (fun (_, members) -> rebuild op members) groups))
     | Ast.Binop (op, a, b) -> Ast.Binop (op, rewrite a, rewrite b)
+    | Ast.Select (c, a, b) ->
+      (* a select is an opaque regrouping boundary; reassociate within its
+         condition operands and arms independently *)
+      Ast.Select
+        ( { c with Ast.cl = rewrite c.Ast.cl; Ast.cr = rewrite c.Ast.cr },
+          rewrite a, rewrite b )
   in
   { stmt with Ast.rhs = rewrite stmt.Ast.rhs }
 

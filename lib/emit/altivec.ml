@@ -92,6 +92,29 @@ let prelude ~v ~(ty : Ast.elem_ty) : string =
          }"
         lanes lanes;
       "";
+      "/* Mask-producing compares (predication): vec_cmpgt/vec_cmpeq return";
+      "   bool vectors (all-ones / all-zeros lanes) — cast back to vec_t.";
+      "   lt swaps operands; ne/ge/le complement via vec_nor. */";
+      "static inline vec_t vnotm(vec_t a) { return vec_nor(a, a); }";
+      "static inline vec_t vcmp_gt(vec_t a, vec_t b) { return (vec_t)vec_cmpgt(a, b); }";
+      "static inline vec_t vcmp_eq(vec_t a, vec_t b) { return (vec_t)vec_cmpeq(a, b); }";
+      "static inline vec_t vcmp_lt(vec_t a, vec_t b) { return vcmp_gt(b, a); }";
+      "static inline vec_t vcmp_ne(vec_t a, vec_t b) { return vnotm(vcmp_eq(a, b)); }";
+      "static inline vec_t vcmp_ge(vec_t a, vec_t b) { return vnotm(vcmp_gt(b, a)); }";
+      "static inline vec_t vcmp_le(vec_t a, vec_t b) { return vnotm(vcmp_gt(a, b)); }";
+      "";
+      "/* vsel: (m & a) | (b & ~m) — mask lanes are all-ones or all-zeros.";
+      "   Spelled with and/andc/or so the mask needs no bool-vector cast. */";
+      "static inline vec_t vsel(vec_t m, vec_t a, vec_t b) {";
+      "  return vec_or(vec_and(m, a), vec_andc(b, m));";
+      "}";
+      "";
+      "/* Truncating masked store (vec_ld/vec_st already truncate): blend";
+      "   the new lanes over the bytes already in memory. */";
+      "static inline void vstore_mask(void *p, vec_t v, vec_t m) {";
+      "  vec_st(vsel(m, v, vec_ld(0, (const elem_t *)p)), 0, (elem_t *)p);";
+      "}";
+      "";
     ]
 
 (** [unit prog] — full AltiVec translation unit (prelude + both kernels). *)

@@ -69,13 +69,46 @@ let prelude ~v ~(ty : Ast.elem_ty) : string =
       "}";
       "";
       "/* vshiftpair: bytes [sh, sh+32) of a ++ b. _mm256_shuffle_epi8 is";
-      "   lane-local (cannot cross the 16-byte boundary), so spill both";
-      "   registers and re-load at the byte offset; sh in [0, 32]. */";
-      "static inline vec_t vshiftpair(vec_t a, vec_t b, long sh) {";
+      "   lane-local (cannot cross the 16-byte boundary); the spill path";
+      "   round-trips a 64-byte aligned buffer and re-loads at the byte";
+      "   offset — correct for every sh in [0, 32], kept as the fallback";
+      "   for amounts the fast path's jump table cannot fold. */";
+      "static inline vec_t vshiftpair_spill(vec_t a, vec_t b, long sh) {";
       "  uint8_t buf[64] __attribute__((aligned(32)));";
       "  _mm256_store_si256((__m256i *)buf, a);";
       "  _mm256_store_si256((__m256i *)(buf + 32), b);";
       "  return _mm256_loadu_si256((const __m256i *)(buf + sh));";
+      "}";
+      "";
+      "/* Fast path: mid = permute2x128(a, b, 0x21) = [a_hi, b_lo], so per";
+      "   16-byte lane the concatenation a ++ b reads [a_lo,a_hi,b_lo,b_hi]";
+      "   and _mm256_alignr_epi8 (lane-local, immediate amount) extracts";
+      "   bytes [n, n+16) of each adjacent lane pair:";
+      "     sh in (0,16):  alignr(mid, a, sh)        -> lanes [sh, sh+16),";
+      "                                                 [sh+16, sh+32)";
+      "     sh in (16,32): alignr(b, mid, sh - 16)";
+      "   The immediate forces a switch; compile-time shift amounts (the";
+      "   common case after specialization) fold to the single case. */";
+      "static inline vec_t vshiftpair(vec_t a, vec_t b, long sh) {";
+      "  vec_t mid = _mm256_permute2x128_si256(a, b, 0x21);";
+      "  switch (sh) {";
+      "  case 0: return a;";
+      "  case 16: return mid;";
+      "  case 32: return b;";
+      "#define SHIFTPAIR_LO(n) case n: return _mm256_alignr_epi8(mid, a, n);";
+      "#define SHIFTPAIR_HI(n) case (16 + n): return _mm256_alignr_epi8(b, mid, n);";
+      "  SHIFTPAIR_LO(1) SHIFTPAIR_LO(2) SHIFTPAIR_LO(3) SHIFTPAIR_LO(4)";
+      "  SHIFTPAIR_LO(5) SHIFTPAIR_LO(6) SHIFTPAIR_LO(7) SHIFTPAIR_LO(8)";
+      "  SHIFTPAIR_LO(9) SHIFTPAIR_LO(10) SHIFTPAIR_LO(11) SHIFTPAIR_LO(12)";
+      "  SHIFTPAIR_LO(13) SHIFTPAIR_LO(14) SHIFTPAIR_LO(15)";
+      "  SHIFTPAIR_HI(1) SHIFTPAIR_HI(2) SHIFTPAIR_HI(3) SHIFTPAIR_HI(4)";
+      "  SHIFTPAIR_HI(5) SHIFTPAIR_HI(6) SHIFTPAIR_HI(7) SHIFTPAIR_HI(8)";
+      "  SHIFTPAIR_HI(9) SHIFTPAIR_HI(10) SHIFTPAIR_HI(11) SHIFTPAIR_HI(12)";
+      "  SHIFTPAIR_HI(13) SHIFTPAIR_HI(14) SHIFTPAIR_HI(15)";
+      "#undef SHIFTPAIR_LO";
+      "#undef SHIFTPAIR_HI";
+      "  default: return vshiftpair_spill(a, b, sh);";
+      "  }";
       "}";
       "";
       "/* vsplice: byte blend under an iota < p mask (lane-local, safe).";
@@ -119,6 +152,34 @@ let prelude ~v ~(ty : Ast.elem_ty) : string =
       lane_fallback "vmul" "(uelem_t)ua.e[k] * (uelem_t)ub.e[k]";
       lane_fallback "vmin" "MINV(ua.e[k], ub.e[k])";
       lane_fallback "vmax" "MAXV(ua.e[k], ub.e[k])";
+      "";
+      "/* Mask-producing compares (predication): gt/eq are native at every";
+      "   width on AVX2; the other four derive by swapping operands and";
+      "   complementing. */";
+      "static inline vec_t vnotm(vec_t a) { return _mm256_xor_si256(a, _mm256_set1_epi8((char)0xff)); }";
+      Printf.sprintf
+        "static inline vec_t vcmp_gt(vec_t a, vec_t b) { return _mm256_cmpgt_%s(a, b); }"
+        suffix;
+      Printf.sprintf
+        "static inline vec_t vcmp_eq(vec_t a, vec_t b) { return _mm256_cmpeq_%s(a, b); }"
+        suffix;
+      "static inline vec_t vcmp_lt(vec_t a, vec_t b) { return vcmp_gt(b, a); }";
+      "static inline vec_t vcmp_ne(vec_t a, vec_t b) { return vnotm(vcmp_eq(a, b)); }";
+      "static inline vec_t vcmp_ge(vec_t a, vec_t b) { return vnotm(vcmp_gt(b, a)); }";
+      "static inline vec_t vcmp_le(vec_t a, vec_t b) { return vnotm(vcmp_gt(a, b)); }";
+      "";
+      "/* vsel via the byte blend: blendv keys on each byte's high bit, and";
+      "   mask lanes are all-ones or all-zeros, so it is a lane select. */";
+      "static inline vec_t vsel(vec_t m, vec_t a, vec_t b) {";
+      "  return _mm256_blendv_epi8(b, a, m);";
+      "}";
+      "";
+      "/* Truncating masked store: blend the new lanes over the bytes";
+      "   already in memory, then store the whole register. */";
+      "static inline void vstore_mask(void *p, vec_t v, vec_t m) {";
+      "  __m256i *q = (__m256i *)((uintptr_t)p & ~(uintptr_t)31);";
+      "  _mm256_store_si256(q, vsel(m, v, _mm256_load_si256(q)));";
+      "}";
       "";
     ]
 

@@ -56,6 +56,15 @@ let scalar_index ~iv (r : Ast.mem_ref) =
   if r.Ast.ref_offset = 0 then base
   else Printf.sprintf "%s + %d" base r.Ast.ref_offset
 
+let cmp_c (c : Ast.cmp) =
+  match c with
+  | Ast.Lt -> "<"
+  | Ast.Le -> "<="
+  | Ast.Gt -> ">"
+  | Ast.Ge -> ">="
+  | Ast.Eq -> "=="
+  | Ast.Ne -> "!="
+
 let rec scalar_expr ~ty ~iv (e : Ast.expr) : string =
   match e with
   | Ast.Load r -> Printf.sprintf "%s[%s]" r.Ast.ref_array (scalar_index ~iv r)
@@ -64,6 +73,14 @@ let rec scalar_expr ~ty ~iv (e : Ast.expr) : string =
   | Ast.Binop (op, a, b) ->
     let sa = scalar_expr ~ty ~iv a and sb = scalar_expr ~ty ~iv b in
     combine ~ty op sa sb
+  | Ast.Select (c, a, b) ->
+    Printf.sprintf "(%s ? (%s) : (%s))" (scalar_cond ~ty ~iv c)
+      (scalar_expr ~ty ~iv a) (scalar_expr ~ty ~iv b)
+
+and scalar_cond ~ty ~iv (c : Ast.cond) : string =
+  Printf.sprintf "((%s) %s (%s))" (scalar_expr ~ty ~iv c.Ast.cl)
+    (cmp_c c.Ast.cmp)
+    (scalar_expr ~ty ~iv c.Ast.cr)
 
 and combine ~ty op sa sb =
   if binop_wraps op then
@@ -96,22 +113,28 @@ let scalar_loop ~(program : Ast.program) ~(ub : string) ~(iv : string)
     (Printf.sprintf "%sfor (long %s = 0; %s < %s; %s++) {\n" indent iv iv ub iv);
   List.iter
     (fun (s : Ast.stmt) ->
-      match s.Ast.kind with
-      | Ast.Assign ->
-        let lhs =
-          Printf.sprintf "%s[%s]" s.Ast.lhs.Ast.ref_array
-            (scalar_index ~iv s.Ast.lhs)
-        in
+      (* A guarded statement executes its store only where the guard
+         holds — evaluated afresh every scalar iteration. *)
+      let body =
+        match s.Ast.kind with
+        | Ast.Assign ->
+          let lhs =
+            Printf.sprintf "%s[%s]" s.Ast.lhs.Ast.ref_array
+              (scalar_index ~iv s.Ast.lhs)
+          in
+          Printf.sprintf "%s = %s;" lhs (scalar_expr ~ty ~iv s.Ast.rhs)
+        | Ast.Reduce op ->
+          (* accumulate in memory: same final state as the register form *)
+          let cell = Printf.sprintf "%s[0]" s.Ast.lhs.Ast.ref_array in
+          let rhs = scalar_expr ~ty ~iv s.Ast.rhs in
+          Printf.sprintf "%s = %s;" cell (combine ~ty op cell rhs)
+      in
+      match s.Ast.guard with
+      | None -> Buffer.add_string buf (Printf.sprintf "%s  %s\n" indent body)
+      | Some g ->
         Buffer.add_string buf
-          (Printf.sprintf "%s  %s = %s;\n" indent lhs
-             (scalar_expr ~ty ~iv s.Ast.rhs))
-      | Ast.Reduce op ->
-        (* accumulate in memory: same final state as the register form *)
-        let cell = Printf.sprintf "%s[0]" s.Ast.lhs.Ast.ref_array in
-        let rhs = scalar_expr ~ty ~iv s.Ast.rhs in
-        let combined = combine ~ty op cell rhs in
-        Buffer.add_string buf
-          (Printf.sprintf "%s  %s = %s;\n" indent cell combined))
+          (Printf.sprintf "%s  if (%s) %s\n" indent (scalar_cond ~ty ~iv g)
+             body))
     program.Ast.loop.Ast.body;
   Buffer.add_string buf (Printf.sprintf "%s}\n" indent);
   Buffer.contents buf

@@ -16,8 +16,14 @@ val binop_is_infix : Ast.binop -> bool
 val binop_c : Ast.binop -> string
 val binop_wraps : Ast.binop -> bool
 
+val cmp_c : Ast.cmp -> string
+(** The C relational operator of a lane compare. *)
+
 val scalar_expr : ty:Ast.elem_ty -> iv:string -> Ast.expr -> string
 (** Expression at iteration variable [iv], wrapping at the element width. *)
+
+val scalar_cond : ty:Ast.elem_ty -> iv:string -> Ast.cond -> string
+(** A guard/select condition as a scalar C boolean expression. *)
 
 val invariant_expr : ty:Ast.elem_ty -> Ast.expr -> string
 

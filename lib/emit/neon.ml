@@ -139,6 +139,43 @@ let prelude ~v ~(ty : Ast.elem_ty) : string =
       simple "vor" "vorrq";
       simple "vxor" "veorq";
       "";
+      "/* Mask-producing compares (predication): AArch64 has the full set";
+      "   at every width; the unsigned results reinterpret back to vec_t";
+      "   (all-ones / all-zeros lanes). ne derives from eq. */";
+      Printf.sprintf
+        "static inline vec_t vnotm(vec_t a) { return %s; }"
+        (of_bytes
+           (Printf.sprintf "veorq_s8(%s, vdupq_n_s8(-1))" (to_bytes "a")));
+      (let cmp name intr =
+         Printf.sprintf
+           "static inline vec_t %s(vec_t a, vec_t b) { return vreinterpretq_%s_u%d(%s_%s(a, b)); }"
+           name sfx (8 * d) intr sfx
+       in
+       String.concat "\n"
+         [
+           cmp "vcmp_gt" "vcgtq";
+           cmp "vcmp_ge" "vcgeq";
+           cmp "vcmp_lt" "vcltq";
+           cmp "vcmp_le" "vcleq";
+           cmp "vcmp_eq" "vceqq";
+         ]);
+      "static inline vec_t vcmp_ne(vec_t a, vec_t b) { return vnotm(vcmp_eq(a, b)); }";
+      "";
+      "/* vsel: bit-select through the byte view. */";
+      "static inline vec_t vsel(vec_t m, vec_t a, vec_t b) {";
+      Printf.sprintf "  return %s;"
+        (of_bytes
+           (Printf.sprintf "vbslq_s8(vreinterpretq_u8_s8(%s), %s, %s)"
+              (to_bytes "m") (to_bytes "a") (to_bytes "b")));
+      "}";
+      "";
+      "/* Truncating masked store: blend the new lanes over the bytes";
+      "   already in memory, then store the whole register. */";
+      "static inline void vstore_mask(void *p, vec_t v, vec_t m) {";
+      "  elem_t *q = (elem_t *)((uintptr_t)p & ~(uintptr_t)15);";
+      Printf.sprintf "  vst1q_%s(q, vsel(m, v, vld1q_%s(q)));" sfx sfx;
+      "}";
+      "";
     ]
 
 (** [unit prog] — full NEON translation unit (prelude + both kernels). *)

@@ -98,6 +98,43 @@ let prelude ~v ~(ty : Ast.elem_ty) : string =
       "DEFINE_LANEOP(vor, x | y)";
       "DEFINE_LANEOP(vxor, x ^ y)";
       "";
+      "/* Lane-wise compare: all-ones lanes where the relation holds, else";
+      "   all-zeros (the mask representation every vsel consumes). */";
+      "#define DEFINE_LANECMP(name, rel) \\";
+      "  static inline vec_t name(vec_t a, vec_t b) { \\";
+      "    vec_t r; \\";
+      "    for (int k = 0; k < LANES; k++) { \\";
+      "      elem_t x, y; \\";
+      "      memcpy(&x, a.b + k * sizeof(elem_t), sizeof(elem_t)); \\";
+      "      memcpy(&y, b.b + k * sizeof(elem_t), sizeof(elem_t)); \\";
+      "      memset(r.b + k * sizeof(elem_t), (x rel y) ? 0xff : 0x00, sizeof(elem_t)); \\";
+      "    } \\";
+      "    return r; \\";
+      "  }";
+      "DEFINE_LANECMP(vcmp_lt, <)";
+      "DEFINE_LANECMP(vcmp_le, <=)";
+      "DEFINE_LANECMP(vcmp_gt, >)";
+      "DEFINE_LANECMP(vcmp_ge, >=)";
+      "DEFINE_LANECMP(vcmp_eq, ==)";
+      "DEFINE_LANECMP(vcmp_ne, !=)";
+      "";
+      "/* vsel: bitwise (m & a) | (~m & b) - mask lanes are all-ones or";
+      "   all-zeros, so this is a lane select. */";
+      "static inline vec_t vsel(vec_t m, vec_t a, vec_t b) {";
+      "  vec_t r;";
+      "  for (int k = 0; k < VLEN; k++)";
+      "    r.b[k] = (uint8_t)((m.b[k] & a.b[k]) | (~m.b[k] & b.b[k]));";
+      "  return r;";
+      "}";
+      "";
+      "/* Truncating masked store: write only the bytes whose mask byte is";
+      "   set; unset lanes keep the bytes already in memory. */";
+      "static inline void vstore_mask(void *p, vec_t v, vec_t m) {";
+      "  uint8_t *q = (uint8_t *)((uintptr_t)p & ~(uintptr_t)(VLEN - 1));";
+      "  for (int k = 0; k < VLEN; k++)";
+      "    if (m.b[k]) q[k] = v.b[k];";
+      "}";
+      "";
     ]
 
 let vop_name (op : Ast.binop) = "v" ^ Simd_machine.Lane.binop_name op
@@ -120,6 +157,13 @@ let rec vexpr ~iv ~ub ~v ~ty (e : Expr.vexpr) : string =
   | Expr.Pack (a, b) ->
     Printf.sprintf "vpack_even(%s, %s)" (vexpr ~iv ~ub ~v ~ty a)
       (vexpr ~iv ~ub ~v ~ty b)
+  | Expr.Cmp (c, a, b) ->
+    Printf.sprintf "vcmp_%s(%s, %s)"
+      (Simd_machine.Lane.cmp_name c)
+      (vexpr ~iv ~ub ~v ~ty a) (vexpr ~iv ~ub ~v ~ty b)
+  | Expr.Sel (m, a, b) ->
+    Printf.sprintf "vsel(%s, %s, %s)" (vexpr ~iv ~ub ~v ~ty m)
+      (vexpr ~iv ~ub ~v ~ty a) (vexpr ~iv ~ub ~v ~ty b)
   | Expr.Temp x -> x
 
 let rec stmt ~buf ~indent ~iv ~ub ~v ~ty (s : Expr.stmt) : unit =
@@ -128,6 +172,12 @@ let rec stmt ~buf ~indent ~iv ~ub ~v ~ty (s : Expr.stmt) : unit =
     Buffer.add_string buf
       (Printf.sprintf "%svstore(%s, %s);\n" indent (C_syntax.addr ~iv a)
          (vexpr ~iv ~ub ~v ~ty e))
+  | Expr.Storem (a, e, m) ->
+    Buffer.add_string buf
+      (Printf.sprintf "%svstore_mask(%s, %s, %s);\n" indent
+         (C_syntax.addr ~iv a)
+         (vexpr ~iv ~ub ~v ~ty e)
+         (vexpr ~iv ~ub ~v ~ty m))
   | Expr.Assign (x, e) ->
     Buffer.add_string buf
       (Printf.sprintf "%s%s = %s;\n" indent x (vexpr ~iv ~ub ~v ~ty e))
@@ -166,10 +216,14 @@ let kernel (prog : Prog.t) : string =
     | Expr.Shiftpair (a, b, s) -> Expr.Shiftpair (rename_expr a, rename_expr b, s)
     | Expr.Splice (a, b, p) -> Expr.Splice (rename_expr a, rename_expr b, p)
     | Expr.Pack (a, b) -> Expr.Pack (rename_expr a, rename_expr b)
+    | Expr.Cmp (c, a, b) -> Expr.Cmp (c, rename_expr a, rename_expr b)
+    | Expr.Sel (m, a, b) ->
+      Expr.Sel (rename_expr m, rename_expr a, rename_expr b)
   in
   let rec rename_stmt (s : Expr.stmt) =
     match s with
     | Expr.Store (a, e) -> Expr.Store (a, rename_expr e)
+    | Expr.Storem (a, e, m) -> Expr.Storem (a, rename_expr e, rename_expr m)
     | Expr.Assign (x, e) -> Expr.Assign (tp ^ x, rename_expr e)
     | Expr.If (c, t, e) ->
       Expr.If (c, List.map rename_stmt t, List.map rename_stmt e)

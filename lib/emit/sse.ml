@@ -126,6 +126,39 @@ let prelude ~v ~(ty : Ast.elem_ty) : string =
       lane_fallback "vmin" "MINV(ua.e[k], ub.e[k])";
       lane_fallback "vmax" "MAXV(ua.e[k], ub.e[k])";
       "";
+      "/* Mask-producing compares (predication): gt/eq are native up to";
+      "   32-bit lanes (SSE4.2's 64-bit compare stays off the SSSE3 floor);";
+      "   the other four derive by swapping operands and complementing. */";
+      "static inline vec_t vnotm(vec_t a) { return _mm_xor_si128(a, _mm_set1_epi8((char)0xff)); }";
+      (match ty with
+      | Ast.I64 ->
+        String.concat "\n"
+          [
+            lane_fallback "vcmp_gt" "ua.e[k] > ub.e[k] ? -1 : 0";
+            lane_fallback "vcmp_eq" "ua.e[k] == ub.e[k] ? -1 : 0";
+          ]
+      | Ast.I8 | Ast.I16 | Ast.I32 ->
+        Printf.sprintf
+          "static inline vec_t vcmp_gt(vec_t a, vec_t b) { return _mm_cmpgt_%s(a, b); }\n\
+           static inline vec_t vcmp_eq(vec_t a, vec_t b) { return _mm_cmpeq_%s(a, b); }"
+          suffix suffix);
+      "static inline vec_t vcmp_lt(vec_t a, vec_t b) { return vcmp_gt(b, a); }";
+      "static inline vec_t vcmp_ne(vec_t a, vec_t b) { return vnotm(vcmp_eq(a, b)); }";
+      "static inline vec_t vcmp_ge(vec_t a, vec_t b) { return vnotm(vcmp_gt(b, a)); }";
+      "static inline vec_t vcmp_le(vec_t a, vec_t b) { return vnotm(vcmp_gt(a, b)); }";
+      "";
+      "/* vsel: bitwise (m & a) | (~m & b). */";
+      "static inline vec_t vsel(vec_t m, vec_t a, vec_t b) {";
+      "  return _mm_or_si128(_mm_and_si128(m, a), _mm_andnot_si128(m, b));";
+      "}";
+      "";
+      "/* Truncating masked store: blend the new lanes over the bytes";
+      "   already in memory, then store the whole register. */";
+      "static inline void vstore_mask(void *p, vec_t v, vec_t m) {";
+      "  __m128i *q = (__m128i *)((uintptr_t)p & ~(uintptr_t)15);";
+      "  _mm_store_si128(q, vsel(m, v, _mm_load_si128(q)));";
+      "}";
+      "";
     ]
 
 (** [unit prog] — full SSE translation unit (prelude + both kernels). *)

@@ -138,6 +138,7 @@ let all_ops =
   [| Ast.Add; Ast.Sub; Ast.Mul; Ast.Min; Ast.Max; Ast.And; Ast.Or; Ast.Xor |]
 
 let reduce_ops = [| Ast.Add; Ast.Mul; Ast.Min; Ast.Max; Ast.And; Ast.Or; Ast.Xor |]
+let all_cmps = [| Ast.Lt; Ast.Le; Ast.Gt; Ast.Ge; Ast.Eq; Ast.Ne |]
 
 let rec gen_expr ctx ~depth =
   if depth = 0 || Prng.chance ctx.prng 0.3 then
@@ -146,12 +147,40 @@ let rec gen_expr ctx ~depth =
     if roll < 0.62 then Ast.Load (gen_load_ref ctx)
     else if roll < 0.8 then Ast.Const (gen_const ctx)
     else Ast.Param (gen_param ctx)
+  else if Prng.chance ctx.prng 0.12 then
+    Ast.Select
+      ( gen_cond ctx ~depth:(depth - 1),
+        gen_expr ctx ~depth:(depth - 1),
+        gen_expr ctx ~depth:(depth - 1) )
   else
     Ast.Binop
       ( Prng.pick_array ctx.prng all_ops,
         gen_expr ctx ~depth:(depth - 1),
         gen_expr ctx ~depth:(depth - 1) )
 
+(* Guard/select conditions: usually a load against a splat threshold (the
+   paper-shaped predication case), sometimes arbitrary expressions on both
+   sides. *)
+and gen_cond ctx ~depth =
+  let cl =
+    if Prng.chance ctx.prng 0.75 then Ast.Load (gen_load_ref ctx)
+    else gen_expr ctx ~depth
+  in
+  let cr =
+    let roll = Prng.float ctx.prng in
+    if roll < 0.45 then Ast.Const (gen_const ctx)
+    else if roll < 0.7 then Ast.Param (gen_param ctx)
+    else gen_expr ctx ~depth
+  in
+  { Ast.cmp = Prng.pick_array ctx.prng all_cmps; cl; cr }
+
+let gen_guard ctx ~chance =
+  if Prng.chance ctx.prng chance then Some (gen_cond ctx ~depth:1) else None
+
+(** One or two statements: plain/guarded stores, guarded reductions
+    (if-converted to identity-selects downstream), and — the two-element
+    case — a complementary if/else pair over one store, which
+    {!Simd_mask.Mask.if_convert} merges into a [select]. *)
 let gen_stmt ctx =
   let rhs = gen_expr ctx ~depth:(Prng.range ctx.prng ~lo:1 ~hi:3) in
   if Prng.chance ctx.prng 0.2 then begin
@@ -159,11 +188,30 @@ let gen_stmt ctx =
     let name = fresh_name ctx "s" in
     ctx.decls <- (name, gen_alignment ctx) :: ctx.decls;
     let lhs = { Ast.ref_array = name; ref_offset = 0; ref_stride = 1 } in
-    { Ast.lhs; rhs; kind = Ast.Reduce (Prng.pick_array ctx.prng reduce_ops) }
+    [
+      {
+        Ast.lhs;
+        rhs;
+        kind = Ast.Reduce (Prng.pick_array ctx.prng reduce_ops);
+        guard = gen_guard ctx ~chance:0.25;
+      };
+    ]
   end
   else
     let lhs = fresh_ref ctx ~prefix:"y" ~stride:1 in
-    { Ast.lhs; rhs; kind = Ast.Assign }
+    if Prng.chance ctx.prng 0.1 then
+      (* complementary if/else pair storing to the same array *)
+      let g = gen_cond ctx ~depth:1 in
+      [
+        { Ast.lhs; rhs; kind = Ast.Assign; guard = Some g };
+        {
+          Ast.lhs;
+          rhs = gen_expr ctx ~depth:(Prng.range ctx.prng ~lo:1 ~hi:3);
+          kind = Ast.Assign;
+          guard = Some (Ast.negate_cond g);
+        };
+      ]
+    else [ { Ast.lhs; rhs; kind = Ast.Assign; guard = gen_guard ctx ~chance:0.2 } ]
 
 (** Trip counts concentrate on the regions the guard logic carves out:
     comfortably simdizable, straddling [3B], and guard-fallback small. *)
@@ -197,7 +245,7 @@ let gen_program prng ~machine : Ast.program * int option =
     }
   in
   let n_stmts = Prng.pick_array prng [| 1; 1; 1; 2; 2; 3; 4 |] in
-  let body = List.init n_stmts (fun _ -> gen_stmt ctx) in
+  let body = List.concat (List.init n_stmts (fun _ -> gen_stmt ctx)) in
   let trip_value = gen_trip_value ctx in
   let runtime_trip = Prng.chance prng 0.35 in
   let trip, trip_override, params =
@@ -240,7 +288,9 @@ let gen_case prng : Case.t =
     let program, trip = gen_program prng ~machine in
     let config = gen_config prng ~machine in
     let setup_seed = Prng.int prng ~bound:1_000_000 in
-    match Analysis.check ~machine program with
+    (* Check the if-converted program, exactly as the driver will: raw
+       guarded reductions are rejected by design until normalized. *)
+    match Analysis.check ~machine (Simd_mask.Mask.apply program) with
     | Ok _ -> { Case.program; config; trip; setup_seed }
     | Error e ->
       (* Unreachable for a correct generator; regenerate rather than feed

@@ -31,12 +31,18 @@ let used_arrays (p : Ast.program) =
         | Ast.Assign -> None)
       p.Ast.loop.Ast.body
 
+let stmt_params (s : Ast.stmt) =
+  Ast.expr_params s.Ast.rhs
+  @
+  match s.Ast.guard with
+  | None -> []
+  | Some g -> Ast.expr_params g.Ast.cl @ Ast.expr_params g.Ast.cr
+
 let used_params (p : Ast.program) =
   (match p.Ast.loop.Ast.trip with
   | Ast.Trip_param x -> [ x ]
   | Ast.Trip_const _ -> [])
-  @ List.concat_map (fun (s : Ast.stmt) -> Ast.expr_params s.Ast.rhs)
-      p.Ast.loop.Ast.body
+  @ List.concat_map stmt_params p.Ast.loop.Ast.body
 
 let normalize (c : Case.t) : Case.t =
   let p = c.Case.program in
@@ -72,13 +78,31 @@ let rec expr_variants (e : Ast.expr) : Ast.expr list =
     [ a; b ]
     @ List.map (fun a' -> Ast.Binop (op, a', b)) (expr_variants a)
     @ List.map (fun b' -> Ast.Binop (op, a, b')) (expr_variants b)
+  | Ast.Select (c, a, b) ->
+    (* Either arm alone, or a one-step-smaller condition or arm. *)
+    [ a; b ]
+    @ List.map (fun c' -> Ast.Select (c', a, b)) (cond_variants c)
+    @ List.map (fun a' -> Ast.Select (c, a', b)) (expr_variants a)
+    @ List.map (fun b' -> Ast.Select (c, a, b')) (expr_variants b)
   | Ast.Load r ->
     List.map (fun r' -> Ast.Load r') (ref_variants r) @ [ Ast.Const 1L ]
   | Ast.Param _ -> [ Ast.Const 1L ]
   | Ast.Const c -> if c = 0L then [] else [ Ast.Const 0L ]
 
+and cond_variants (c : Ast.cond) : Ast.cond list =
+  List.map (fun cl -> { c with Ast.cl }) (expr_variants c.Ast.cl)
+  @ List.map (fun cr -> { c with Ast.cr }) (expr_variants c.Ast.cr)
+
 let stmt_variants (s : Ast.stmt) : Ast.stmt list =
-  List.map (fun rhs -> { s with Ast.rhs }) (expr_variants s.Ast.rhs)
+  (* Dropping the guard is the biggest predication shrink; it survives only
+     when the failure class persists unguarded (the greedy loop re-checks
+     every candidate against the oracle). *)
+  (match s.Ast.guard with
+  | Some g ->
+    { s with Ast.guard = None }
+    :: List.map (fun g' -> { s with Ast.guard = Some g' }) (cond_variants g)
+  | None -> [])
+  @ List.map (fun rhs -> { s with Ast.rhs }) (expr_variants s.Ast.rhs)
   @
   match s.Ast.kind with
   | Ast.Assign ->

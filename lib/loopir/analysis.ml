@@ -146,11 +146,20 @@ let check ~machine (program : Ast.program) : (t, error) result =
         refs);
     (* Reductions: the operator must be associative-commutative with an
        identity (guaranteed for parser-produced programs, checked for
-       programmatic ones). *)
+       programmatic ones), and never guarded here — {!Simd_mask.Mask}'s
+       if-conversion rewrites a guarded reduction into an unguarded
+       identity-select before analysis, and the mask lowering below this
+       layer predicates stores only. *)
     List.iter
       (fun s ->
         match s.kind with
         | Assign -> ()
+        | Reduce _ when s.guard <> None ->
+          raise
+            (Illegal
+               (Bad_reduction
+                  { array = s.lhs.ref_array;
+                    reason = "guarded reductions must be if-converted first                               (Mask.if_convert rewrites them to                               identity-selects)" }))
         | Reduce op -> (
           match
             Ast.reduction_identity op ~ty:(elem_ty_of_program program)
@@ -165,12 +174,31 @@ let check ~machine (program : Ast.program) : (t, error) result =
                                 associative-commutative)" }))))
       program.loop.body;
     (* Conservative dependences: a stored array (or accumulator) is written
-       by exactly one statement and never loaded. *)
+       by exactly one statement and never loaded. Exception (predication
+       extension): exactly two statements may store to the same reference
+       when their guards are syntactic complements — each lane is then
+       written by exactly one of the two masked stores, so no dependence is
+       violated ([Mask.if_convert] merges such pairs into one [Select]
+       statement when it runs, but correctness does not depend on the
+       merge). *)
     let stores = List.map (fun s -> s.lhs) program.loop.body in
     let store_names = List.map (fun r -> r.ref_array) stores in
+    let complementary_pair name =
+      match
+        List.filter (fun s -> s.lhs.ref_array = name) program.loop.body
+      with
+      | [ a; b ] -> (
+        equal_mem_ref a.lhs b.lhs
+        && a.kind = Assign && b.kind = Assign
+        &&
+        match (a.guard, b.guard) with
+        | Some ga, Some gb -> Ast.complementary ga gb
+        | _ -> false)
+      | _ -> false
+    in
     List.iter
       (fun (name, count) ->
-        if count > 1 then
+        if count > 1 && not (count = 2 && complementary_pair name) then
           raise
             (Illegal
                (Store_conflict
@@ -186,7 +214,7 @@ let check ~machine (program : Ast.program) : (t, error) result =
                    (Store_conflict
                       { array = r.ref_array;
                         detail = "loaded while also being a store target" })))
-          (expr_loads s.rhs))
+          (stmt_loads s))
       program.loop.body;
     (* Stream offsets. *)
     let offsets =

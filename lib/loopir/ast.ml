@@ -60,11 +60,25 @@ let supported_strides = [ 1; 2; 4 ]
 type binop = Simd_machine.Lane.binop = Add | Sub | Mul | Min | Max | And | Or | Xor
 [@@deriving show { with_path = false }, eq, ord]
 
+(** Comparison operators (predication extension): signed lane compares,
+    re-exported from the machine model like {!binop}. *)
+type cmp = Simd_machine.Lane.cmp = Lt | Le | Gt | Ge | Eq | Ne
+[@@deriving show { with_path = false }, eq, ord]
+
 type expr =
   | Load of mem_ref  (** [a\[i + c\]] *)
   | Param of string  (** loop-invariant scalar parameter *)
   | Const of int64  (** integer literal *)
   | Binop of binop * expr * expr
+  | Select of cond * expr * expr
+      (** [select(cond, a, b)]: lane-wise [cond ? a : b] (predication
+          extension). Both arms are evaluated — the language has no
+          side-effecting expressions, so this matches the vector [vsel]
+          lowering exactly. *)
+
+(** A comparison [cl ⋈ cr] guarding a statement or selecting between
+    expression arms. *)
+and cond = { cmp : cmp; cl : expr; cr : expr }
 [@@deriving show { with_path = false }, eq, ord]
 
 (** Statement kind. [Assign] is the paper's store statement
@@ -77,11 +91,28 @@ type expr =
 type stmt_kind = Assign | Reduce of binop
 [@@deriving show { with_path = false }, eq, ord]
 
-(** One loop-body statement: [a\[i+c\] = rhs] or [acc op= rhs]. *)
-type stmt = { lhs : mem_ref; rhs : expr; kind : stmt_kind }
+(** One loop-body statement: [a\[i+c\] = rhs] or [acc op= rhs], optionally
+    guarded ([if (cond) { … }], the predication extension): a guarded
+    statement executes — stores or accumulates — only in iterations where
+    the guard holds. The parser attaches the guard of an [if] block to each
+    statement inside it (and the syntactic complement to else-branch
+    statements); {!Simd_mask.Mask.if_convert} merges complementary pairs
+    into [Select] statements where possible. *)
+type stmt = { lhs : mem_ref; rhs : expr; kind : stmt_kind; guard : cond option }
 [@@deriving show { with_path = false }, eq, ord]
 
+let stmt ?guard lhs rhs kind = { lhs; rhs; kind; guard }
+
 let is_reduction (s : stmt) = s.kind <> Assign
+
+(** [negate_cond c] — the syntactic complement: same operands, complementary
+    operator. [negate_cond c] holds exactly when [c] does not. *)
+let negate_cond (c : cond) : cond =
+  { c with cmp = Simd_machine.Lane.negate_cmp c.cmp }
+
+(** [complementary a b] — do the two guards partition every iteration
+    (syntactically: identical operands, complementary operators)? *)
+let complementary (a : cond) (b : cond) = equal_cond (negate_cond a) b
 
 (** [reduction_ops] — operators usable in reductions, with their
     identities (the value that masks out-of-range lanes). *)
@@ -131,16 +162,30 @@ let rec fold_expr_loads f acc = function
   | Load r -> f acc r
   | Param _ | Const _ -> acc
   | Binop (_, a, b) -> fold_expr_loads f (fold_expr_loads f acc a) b
+  | Select (c, a, b) ->
+    fold_expr_loads f (fold_expr_loads f (fold_cond_loads f acc c) a) b
+
+and fold_cond_loads f acc (c : cond) =
+  fold_expr_loads f (fold_expr_loads f acc c.cl) c.cr
 
 (** [expr_loads e] lists the memory references loaded by [e] in evaluation
     order (duplicates preserved). *)
 let expr_loads e = List.rev (fold_expr_loads (fun acc r -> r :: acc) [] e)
 
+(** [cond_loads c] lists the memory references loaded by a guard. *)
+let cond_loads c = List.rev (fold_cond_loads (fun acc r -> r :: acc) [] c)
+
 (** [stmt_refs s] lists every stream memory reference of [s]: all loads,
     then the store for [Assign] statements (a reduction's accumulator is an
     absolute scalar cell, not a stream). *)
 let stmt_refs s =
-  expr_loads s.rhs @ (match s.kind with Assign -> [ s.lhs ] | Reduce _ -> [])
+  expr_loads s.rhs
+  @ (match s.guard with Some c -> cond_loads c | None -> [])
+  @ (match s.kind with Assign -> [ s.lhs ] | Reduce _ -> [])
+
+(** [stmt_loads s] — every load of [s] (rhs and guard), no store. *)
+let stmt_loads s =
+  expr_loads s.rhs @ match s.guard with Some c -> cond_loads c | None -> []
 
 (** [program_refs p] lists every static memory reference in the loop body. *)
 let program_refs p = List.concat_map stmt_refs p.loop.body
@@ -150,6 +195,9 @@ let rec fold_expr_params f acc = function
   | Param x -> f acc x
   | Load _ | Const _ -> acc
   | Binop (_, a, b) -> fold_expr_params f (fold_expr_params f acc a) b
+  | Select (c, a, b) ->
+    let acc = fold_expr_params f (fold_expr_params f acc c.cl) c.cr in
+    fold_expr_params f (fold_expr_params f acc a) b
 
 let expr_params e =
   Simd_support.Util.dedup (List.rev (fold_expr_params (fun acc x -> x :: acc) [] e))
@@ -160,17 +208,28 @@ let expr_params e =
 let rec expr_op_count = function
   | Load _ | Param _ | Const _ -> 0
   | Binop (_, a, b) -> 1 + expr_op_count a + expr_op_count b
+  | Select (c, a, b) ->
+    (* one compare + one select *)
+    2 + expr_op_count c.cl + expr_op_count c.cr + expr_op_count a
+    + expr_op_count b
 
 (** [expr_size e] — total node count, used as a complexity measure. *)
 let rec expr_size = function
   | Load _ | Param _ | Const _ -> 1
   | Binop (_, a, b) -> 1 + expr_size a + expr_size b
+  | Select (c, a, b) ->
+    2 + expr_size c.cl + expr_size c.cr + expr_size a + expr_size b
 
 (** [map_expr_refs f e] rewrites every memory reference in [e]. *)
 let rec map_expr_refs f = function
   | Load r -> Load (f r)
   | (Param _ | Const _) as e -> e
   | Binop (op, a, b) -> Binop (op, map_expr_refs f a, map_expr_refs f b)
+  | Select (c, a, b) ->
+    Select (map_cond_refs f c, map_expr_refs f a, map_expr_refs f b)
+
+and map_cond_refs f (c : cond) =
+  { c with cl = map_expr_refs f c.cl; cr = map_expr_refs f c.cr }
 
 (** [elem_ty_of_program p] — the uniform element type of all references
     (guaranteed by the legality analysis). Raises if the program has no

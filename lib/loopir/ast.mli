@@ -33,11 +33,22 @@ val supported_strides : int list
 type binop = Simd_machine.Lane.binop = Add | Sub | Mul | Min | Max | And | Or | Xor
 [@@deriving show, eq, ord]
 
+(** Comparison operators (predication extension), re-exported from the
+    machine model like {!binop}. *)
+type cmp = Simd_machine.Lane.cmp = Lt | Le | Gt | Ge | Eq | Ne
+[@@deriving show, eq, ord]
+
 type expr =
   | Load of mem_ref
   | Param of string  (** loop-invariant scalar parameter *)
   | Const of int64
   | Binop of binop * expr * expr
+  | Select of cond * expr * expr
+      (** [select(cond, a, b)]: lane-wise [cond ? a : b]; both arms are
+          evaluated (no side effects), matching the [vsel] lowering. *)
+
+(** A comparison [cl ⋈ cr] guarding a statement or selecting between arms. *)
+and cond = { cmp : cmp; cl : expr; cr : expr }
 [@@deriving show, eq, ord]
 
 (** [Assign] is the paper's store statement; [Reduce op] is the reduction
@@ -45,10 +56,22 @@ type expr =
     array, addressed absolutely). *)
 type stmt_kind = Assign | Reduce of binop [@@deriving show, eq, ord]
 
-type stmt = { lhs : mem_ref; rhs : expr; kind : stmt_kind }
+(** A statement, optionally guarded ([if (cond) { … }]): a guarded
+    statement stores/accumulates only in iterations where the guard
+    holds. *)
+type stmt = { lhs : mem_ref; rhs : expr; kind : stmt_kind; guard : cond option }
 [@@deriving show, eq, ord]
 
+val stmt : ?guard:cond -> mem_ref -> expr -> stmt_kind -> stmt
+
 val is_reduction : stmt -> bool
+
+val negate_cond : cond -> cond
+(** The syntactic complement: same operands, complementary operator. *)
+
+val complementary : cond -> cond -> bool
+(** Identical operands, complementary operators — the two guards partition
+    every iteration. *)
 
 val reduction_identity : binop -> ty:elem_ty -> int64 option
 (** The operator's identity (masks invalid lanes), or [None] when the
@@ -68,13 +91,19 @@ val find_array : program -> string -> array_decl option
 val find_array_exn : program -> string -> array_decl
 
 val fold_expr_loads : ('a -> mem_ref -> 'a) -> 'a -> expr -> 'a
+val fold_cond_loads : ('a -> mem_ref -> 'a) -> 'a -> cond -> 'a
 
 val expr_loads : expr -> mem_ref list
 (** Loads in evaluation order, duplicates preserved. *)
 
+val cond_loads : cond -> mem_ref list
+
 val stmt_refs : stmt -> mem_ref list
-(** All stream references: loads, then the store for [Assign] (a
-    reduction's accumulator cell is not a stream). *)
+(** All stream references: rhs loads, guard loads, then the store for
+    [Assign] (a reduction's accumulator cell is not a stream). *)
+
+val stmt_loads : stmt -> mem_ref list
+(** Every load of the statement (rhs and guard), no store. *)
 
 val program_refs : program -> mem_ref list
 
@@ -86,6 +115,7 @@ val expr_op_count : expr -> int
 
 val expr_size : expr -> int
 val map_expr_refs : (mem_ref -> mem_ref) -> expr -> expr
+val map_cond_refs : (mem_ref -> mem_ref) -> cond -> cond
 
 val elem_ty_of_program : program -> elem_ty
 (** The uniform element type (legality-checked); raises without arrays. *)

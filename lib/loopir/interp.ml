@@ -64,6 +64,17 @@ let run ~mem ~env (program : Ast.program) : counts =
       let vb = eval i b in
       incr ariths;
       Simd_machine.Lane.apply elem op va vb
+    | Ast.Select (c, a, b) ->
+      let taken = eval_cond i c in
+      let va = eval i a in
+      let vb = eval i b in
+      incr ariths (* the select *);
+      if taken then va else vb
+  and eval_cond i (c : Ast.cond) =
+    let vl = eval i c.cl in
+    let vr = eval i c.cr in
+    incr ariths (* the compare *);
+    Simd_machine.Lane.apply_cmp elem c.cmp vl vr
   in
   let n = trip_count env program.loop in
   Simd_machine.Mem.reset_counters mem;
@@ -83,6 +94,12 @@ let run ~mem ~env (program : Ast.program) : counts =
   for i = 0 to n - 1 do
     List.iter
       (fun (s : Ast.stmt) ->
+        (* Guarded statements (predication extension) follow true scalar
+           semantics: the guard is evaluated every iteration; the body runs
+           only when it holds. *)
+        match s.guard with
+        | Some c when not (eval_cond i c) -> ()
+        | _ -> (
         let v = eval i s.rhs in
         match s.kind with
         | Ast.Assign ->
@@ -92,7 +109,7 @@ let run ~mem ~env (program : Ast.program) : counts =
           Hashtbl.replace accs s.lhs.Ast.ref_array
             (Simd_machine.Lane.apply elem op
                (Hashtbl.find accs s.lhs.Ast.ref_array)
-               v))
+               v)))
       program.loop.body
   done;
   List.iter
@@ -107,12 +124,23 @@ let run ~mem ~env (program : Ast.program) : counts =
 (** [ideal_scalar_ops program ~trip] — the ideal count without executing:
     per iteration, each store statement costs (#loads + #ariths + 1 store);
     a reduction costs (#loads + #ariths + 1 accumulate) with the
-    accumulator's own load/store hoisted outside the loop. *)
+    accumulator's own load/store hoisted outside the loop. A guard is
+    charged branchlessly (its loads and compare plus the full statement,
+    every iteration) — the idealization a predicated scalar machine would
+    run, so the static count does not depend on data. *)
 let ideal_scalar_ops (program : Ast.program) ~trip =
+  let guard_cost (s : Ast.stmt) =
+    match s.guard with
+    | None -> 0
+    | Some c ->
+      List.length (Ast.cond_loads c) + Ast.expr_op_count c.cl
+      + Ast.expr_op_count c.cr + 1
+  in
   let per_iter =
     Util.sum_by
       (fun (s : Ast.stmt) ->
-        List.length (Ast.expr_loads s.rhs) + Ast.expr_op_count s.rhs + 1)
+        List.length (Ast.expr_loads s.rhs) + Ast.expr_op_count s.rhs + 1
+        + guard_cost s)
       program.loop.body
   in
   let acc_io = 2 * List.length (List.filter Ast.is_reduction program.loop.body) in

@@ -15,6 +15,9 @@ type token =
   | KW_FOR
   | KW_MIN
   | KW_MAX
+  | KW_IF
+  | KW_ELSE
+  | KW_SELECT
   | KW_TYPE of Ast.elem_ty
   | LBRACKET
   | RBRACKET
@@ -33,6 +36,11 @@ type token =
   | BAR
   | CARET
   | LT
+  | LE
+  | GT
+  | GE
+  | EQEQ
+  | NEQ
   | AT
   | QUESTION
   | OPEQ of Ast.binop  (** compound assignment: [+=], [*=], [&=], [|=], [^=] *)
@@ -45,6 +53,9 @@ let token_name = function
   | KW_FOR -> "'for'"
   | KW_MIN -> "'min'"
   | KW_MAX -> "'max'"
+  | KW_IF -> "'if'"
+  | KW_ELSE -> "'else'"
+  | KW_SELECT -> "'select'"
   | KW_TYPE t -> Printf.sprintf "'%s'" (Ast.elem_ty_name t)
   | LBRACKET -> "'['"
   | RBRACKET -> "']'"
@@ -63,6 +74,11 @@ let token_name = function
   | BAR -> "'|'"
   | CARET -> "'^'"
   | LT -> "'<'"
+  | LE -> "'<='"
+  | GT -> "'>'"
+  | GE -> "'>='"
+  | EQEQ -> "'=='"
+  | NEQ -> "'!='"
   | AT -> "'@'"
   | QUESTION -> "'?'"
   | OPEQ op -> Printf.sprintf "'%s='" (Simd_machine.Lane.binop_name op)
@@ -139,6 +155,9 @@ let lex_ident t =
   | "for" -> KW_FOR
   | "min" -> KW_MIN
   | "max" -> KW_MAX
+  | "if" -> KW_IF
+  | "else" -> KW_ELSE
+  | "select" -> KW_SELECT
   | "int8" -> KW_TYPE Ast.I8
   | "int16" -> KW_TYPE Ast.I16
   | "int32" -> KW_TYPE Ast.I32
@@ -186,6 +205,22 @@ let next t : pos * token =
       | _ -> Ast.Xor
     in
     (p, OPEQ op)
+  | Some (('<' | '>' | '=' | '!') as c) ->
+    advance t;
+    let two = peek_char t = Some '=' in
+    if two then advance t;
+    let tok =
+      match (c, two) with
+      | '<', true -> LE
+      | '<', false -> LT
+      | '>', true -> GE
+      | '>', false -> GT
+      | '=', true -> EQEQ
+      | '=', false -> EQ
+      | '!', true -> NEQ
+      | _ -> raise (Error (p, "unexpected character '!' (did you mean '!='?)"))
+    in
+    (p, tok)
   | Some c ->
     advance t;
     let tok =
@@ -198,13 +233,11 @@ let next t : pos * token =
       | '}' -> RBRACE
       | ';' -> SEMI
       | ',' -> COMMA
-      | '=' -> EQ
       | '-' -> MINUS
       | '*' -> STAR
       | '&' -> AMP
       | '|' -> BAR
       | '^' -> CARET
-      | '<' -> LT
       | '@' -> AT
       | '?' -> QUESTION
       | _ -> raise (Error (p, Printf.sprintf "unexpected character %C" c))

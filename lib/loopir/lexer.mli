@@ -12,6 +12,9 @@ type token =
   | KW_FOR
   | KW_MIN
   | KW_MAX
+  | KW_IF
+  | KW_ELSE
+  | KW_SELECT
   | KW_TYPE of Ast.elem_ty
   | LBRACKET
   | RBRACKET
@@ -30,6 +33,11 @@ type token =
   | BAR
   | CARET
   | LT
+  | LE
+  | GT
+  | GE
+  | EQEQ
+  | NEQ
   | AT
   | QUESTION
   | OPEQ of Ast.binop  (** [+=], [*=], [&=], [|=], [^=] *)

@@ -8,8 +8,12 @@
       loop      ::= 'for' '(' IDENT '=' '0' ';' IDENT '<' bound ';' IDENT '++' ')'
                     '{' stmt* '}'
       bound     ::= INT | IDENT
-      stmt      ::= ref '=' expr ';'
+      stmt      ::= basic | 'if' '(' cond ')' '{' basic* '}'
+                            ('else' '{' basic* '}')?
+      basic     ::= ref '=' expr ';'
+                  | IDENT op'=' expr ';'            (reduction extension)
       ref       ::= IDENT '[' IDENT (('+'|'-') INT)? ']'
+      cond      ::= expr ('<'|'<='|'>'|'>='|'=='|'!=') expr
       expr      ::= or_expr
       or_expr   ::= xor_expr ('|' xor_expr)*
       xor_expr  ::= and_expr ('^' and_expr)*
@@ -18,7 +22,14 @@
       mul_expr  ::= atom ('*' atom)*
       atom      ::= ref | IDENT | INT | '(' expr ')'
                   | ('min'|'max') '(' expr ',' expr ')'
+                  | 'select' '(' cond ',' expr ',' expr ')'
     v}
+
+    Predication ([if]/[select], the mask extension): an [if] block guards
+    each statement inside it; the parser attaches the guard to the
+    then-branch statements and its syntactic complement to the else-branch
+    statements — no merging happens here ({!Simd_mask.Mask.if_convert} is
+    the optimizing pass). [if]s do not nest.
 
     An [IDENT] atom resolves to a scalar parameter; array names may only
     appear in references. The parser performs that resolution using the
@@ -172,6 +183,22 @@ and parse_add st ~counter =
 and parse_mul st ~counter =
   parse_binop_chain st ~counter ~sub:parse_atom ~ops:[ (Lexer.STAR, Ast.Mul) ]
 
+and parse_cond st ~counter =
+  let cl = parse_expr st ~counter in
+  let cmp =
+    match next st with
+    | _, Lexer.LT -> Ast.Lt
+    | _, Lexer.LE -> Ast.Le
+    | _, Lexer.GT -> Ast.Gt
+    | _, Lexer.GE -> Ast.Ge
+    | _, Lexer.EQEQ -> Ast.Eq
+    | _, Lexer.NEQ -> Ast.Ne
+    | pos, got ->
+      error pos "expected comparison operator but found %s" (Lexer.token_name got)
+  in
+  let cr = parse_expr st ~counter in
+  { Ast.cmp; cl; cr }
+
 and parse_atom st ~counter =
   match next st with
   | _, Lexer.INT n -> Ast.Const n
@@ -193,6 +220,15 @@ and parse_atom st ~counter =
     let b = parse_expr st ~counter in
     expect st Lexer.RPAREN;
     Ast.Binop (Ast.Max, a, b)
+  | _, Lexer.KW_SELECT ->
+    expect st Lexer.LPAREN;
+    let c = parse_cond st ~counter in
+    expect st Lexer.COMMA;
+    let a = parse_expr st ~counter in
+    expect st Lexer.COMMA;
+    let b = parse_expr st ~counter in
+    expect st Lexer.RPAREN;
+    Ast.Select (c, a, b)
   | pos, Lexer.MINUS -> (
     (* negative literal *)
     match next st with
@@ -214,7 +250,7 @@ and parse_atom st ~counter =
 
 (* --- statements and loop ------------------------------------------- *)
 
-let parse_stmt st ~counter =
+let parse_stmt st ~counter ~guard =
   let pos, tok = next st in
   match tok with
   | Lexer.IDENT name -> (
@@ -226,6 +262,7 @@ let parse_stmt st ~counter =
         Ast.lhs = { Ast.ref_array = name; ref_offset = 0; ref_stride = 1 };
         rhs;
         kind = Ast.Reduce op;
+        guard;
       }
     in
     match peek st with
@@ -235,7 +272,7 @@ let parse_stmt st ~counter =
       expect st Lexer.EQ;
       let rhs = parse_expr st ~counter in
       expect st Lexer.SEMI;
-      { Ast.lhs; rhs; kind = Ast.Assign }
+      { Ast.lhs; rhs; kind = Ast.Assign; guard }
     | _, Lexer.OPEQ op ->
       advance st;
       finish_reduction op
@@ -251,6 +288,34 @@ let parse_stmt st ~counter =
       error p "expected '[', '+=', '*=', '&=', '|=', '^=', 'min=' or 'max=' \
                after %S but found %s" name (Lexer.token_name got))
   | got -> error pos "expected a statement but found %s" (Lexer.token_name got)
+
+(* An [if] statement: parse the guard and attach it (or its complement, for
+   the else branch) to every statement of the block. No nesting. *)
+let parse_if st ~counter =
+  expect st Lexer.LPAREN;
+  let c = parse_cond st ~counter in
+  expect st Lexer.RPAREN;
+  let block guard =
+    expect st Lexer.LBRACE;
+    let rec go acc =
+      match peek st with
+      | _, Lexer.RBRACE ->
+        advance st;
+        List.rev acc
+      | pos, Lexer.KW_IF -> error pos "nested 'if' statements are not supported"
+      | _ -> go (parse_stmt st ~counter ~guard:(Some guard) :: acc)
+    in
+    go []
+  in
+  let then_stmts = block c in
+  let else_stmts =
+    match peek st with
+    | _, Lexer.KW_ELSE ->
+      advance st;
+      block (Ast.negate_cond c)
+    | _ -> []
+  in
+  then_stmts @ else_stmts
 
 let parse_loop st =
   expect st Lexer.KW_FOR;
@@ -290,7 +355,10 @@ let parse_loop st =
     | _, Lexer.RBRACE ->
       advance st;
       List.rev acc
-    | _ -> stmts (parse_stmt st ~counter :: acc)
+    | _, Lexer.KW_IF ->
+      advance st;
+      stmts (List.rev_append (parse_if st ~counter) acc)
+    | _ -> stmts (parse_stmt st ~counter ~guard:None :: acc)
   in
   let body = stmts [] in
   { Ast.counter; trip; body }

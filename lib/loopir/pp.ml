@@ -19,6 +19,14 @@ let binop_symbol = function
   | Min -> "min"
   | Max -> "max"
 
+let cmp_symbol = function
+  | Lt -> "<"
+  | Le -> "<="
+  | Gt -> ">"
+  | Ge -> ">="
+  | Eq -> "=="
+  | Ne -> "!="
+
 (* Precedence levels, higher binds tighter. *)
 let binop_prec = function
   | Mul -> 5
@@ -54,10 +62,19 @@ let rec pp_expr_prec prec fmt e =
     Format.fprintf fmt "%a %s %a" (pp_expr_prec p) a (binop_symbol op)
       (pp_expr_prec (p + 1)) b;
     if needs_parens then Format.pp_print_string fmt ")"
+  | Select (c, a, b) ->
+    Format.fprintf fmt "select(%a, %a, %a)" pp_cond c (pp_expr_prec 0) a
+      (pp_expr_prec 0) b
+
+(* Comparisons bind loosest and only appear where the grammar expects a
+   [cond], so both operands print at top level. *)
+and pp_cond fmt ({ cmp; cl; cr } : cond) =
+  Format.fprintf fmt "%a %s %a" (pp_expr_prec 0) cl (cmp_symbol cmp)
+    (pp_expr_prec 0) cr
 
 let pp_expr fmt e = pp_expr_prec 0 fmt e
 
-let pp_stmt fmt { lhs; rhs; kind } =
+let pp_basic_stmt fmt { lhs; rhs; kind; guard = _ } =
   match kind with
   | Assign -> Format.fprintf fmt "%a = %a;" pp_mem_ref lhs pp_expr rhs
   | Reduce ((Min | Max) as op) ->
@@ -66,6 +83,14 @@ let pp_stmt fmt { lhs; rhs; kind } =
       pp_expr rhs
   | Reduce op ->
     Format.fprintf fmt "%s %s= %a;" lhs.ref_array (binop_symbol op) pp_expr rhs
+
+(* Each guarded statement prints as its own single-statement [if] block;
+   parsing splits multi-statement blocks into per-statement guards, so the
+   round trip is stable after one parse. *)
+let pp_stmt fmt (s : stmt) =
+  match s.guard with
+  | None -> pp_basic_stmt fmt s
+  | Some c -> Format.fprintf fmt "if (%a) { %a }" pp_cond c pp_basic_stmt s
 
 let pp_align fmt = function
   | Known k -> Format.pp_print_int fmt k

@@ -7,8 +7,11 @@ val binop_symbol : Ast.binop -> string
 
 val binop_prec : Ast.binop -> int
 
+val cmp_symbol : Ast.cmp -> string
+
 val pp_mem_ref : Format.formatter -> Ast.mem_ref -> unit
 val pp_expr : Format.formatter -> Ast.expr -> unit
+val pp_cond : Format.formatter -> Ast.cond -> unit
 val pp_stmt : Format.formatter -> Ast.stmt -> unit
 val pp_align : Format.formatter -> Ast.base_align -> unit
 val pp_array_decl : Format.formatter -> Ast.array_decl -> unit

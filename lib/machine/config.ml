@@ -30,6 +30,8 @@ type cost_model = {
           prepended load (Eqs. 8–10) *)
   splice : float;  (** one [vsplice] (prologue/epilogue edge stores) *)
   pack : float;  (** one [vpack] level of a strided gather *)
+  cmp : float;  (** one [vcmp] (mask-producing compare; predication) *)
+  sel : float;  (** one [vsel] (mask blend, including a masked store's) *)
 }
 
 let default_costs =
@@ -42,6 +44,8 @@ let default_costs =
     shift_right = 1.25;
     splice = 1.0;
     pack = 1.0;
+    cmp = 1.0;
+    sel = 1.0;
   }
 
 type t = {
@@ -56,7 +60,7 @@ let check_costs costs =
       (List.for_all ok
          [
            costs.load; costs.store; costs.op; costs.splat; costs.shift_left;
-           costs.shift_right; costs.splice; costs.pack;
+           costs.shift_right; costs.splice; costs.pack; costs.cmp; costs.sel;
          ])
   then
     invalid_arg "Config.with_costs: cost weights must be finite and non-negative"

@@ -18,6 +18,8 @@ type cost_model = {
   shift_right : float;
   splice : float;
   pack : float;
+  cmp : float;  (** one [vcmp] (predication extension) *)
+  sel : float;  (** one [vsel] (blend; also a masked store's) *)
 }
 
 val default_costs : cost_model

@@ -62,6 +62,49 @@ let binop_associative = function
   | Add | Mul | Min | Max | And | Or | Xor -> true
   | Sub -> false
 
+(** Lane comparisons (the predication extension): signed compares over
+    canonical values, producing a boolean per lane. The vector form
+    ({!Vec.cmp}) materializes the boolean as an all-ones/all-zeros lane,
+    matching [vcmpgt]-style SIMD compare instructions. *)
+type cmp = Lt | Le | Gt | Ge | Eq | Ne
+
+let all_cmps = [ Lt; Le; Gt; Ge; Eq; Ne ]
+
+let cmp_name = function
+  | Lt -> "lt"
+  | Le -> "le"
+  | Gt -> "gt"
+  | Ge -> "ge"
+  | Eq -> "eq"
+  | Ne -> "ne"
+
+(** [negate_cmp c] — the complementary comparison over the {e same} operand
+    order: [negate_cmp c a b = not (c a b)]. If-conversion uses this to tag
+    else-branch statements with the syntactic complement of the guard. *)
+let negate_cmp = function
+  | Lt -> Ge
+  | Ge -> Lt
+  | Le -> Gt
+  | Gt -> Le
+  | Eq -> Ne
+  | Ne -> Eq
+
+(** [apply_cmp d c a b] evaluates one lane comparison (signed, on canonical
+    values). *)
+let apply_cmp d c a b =
+  check_width d;
+  let a = canonicalize d a and b = canonicalize d b in
+  let s = Int64.compare a b in
+  match c with
+  | Lt -> s < 0
+  | Le -> s <= 0
+  | Gt -> s > 0
+  | Ge -> s >= 0
+  | Eq -> s = 0
+  | Ne -> s <> 0
+
+let pp_cmp fmt c = Format.pp_print_string fmt (cmp_name c)
+
 (** [apply d op a b] evaluates one lane, wrapping to width [d]. Inputs need
     not be canonical; the result always is. *)
 let apply d op a b =

@@ -27,6 +27,21 @@ val binop_commutative : binop -> bool
 
 val binop_associative : binop -> bool
 
+(** Lane comparisons (predication extension): signed compares over
+    canonical values. *)
+type cmp = Lt | Le | Gt | Ge | Eq | Ne
+
+val all_cmps : cmp list
+val cmp_name : cmp -> string
+
+val negate_cmp : cmp -> cmp
+(** Complement over the same operand order: [negate_cmp c a b = not (c a b)]. *)
+
+val apply_cmp : width -> cmp -> int64 -> int64 -> bool
+(** Evaluate one lane comparison (signed, canonical). *)
+
+val pp_cmp : Format.formatter -> cmp -> unit
+
 val apply : width -> binop -> int64 -> int64 -> int64
 (** Evaluate one lane, wrapping to the width; the result is canonical. *)
 

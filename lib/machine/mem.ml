@@ -69,6 +69,23 @@ let store_vector t addr vec =
   t.vector_stores <- t.vector_stores + 1;
   Bytes.blit (Vec.to_bytes vec) 0 t.data base v
 
+(** [store_vector_masked t addr vec mask] — truncating masked vector store
+    (the predication extension): bytes whose mask byte is set are written,
+    bytes whose mask byte is clear leave memory untouched. Masks produced
+    by {!Vec.cmp} are all-ones/all-zeros per lane, so this is lane-granular
+    in practice. Counts one dynamic vector store. *)
+let store_vector_masked t addr vec mask =
+  let v = Config.vector_len t.config in
+  if Vec.length vec <> v || Vec.length mask <> v then
+    invalid_arg "Mem.store_vector_masked: wrong vector length";
+  let base = Config.truncate_addr t.config addr in
+  check_range t base v "store_vector_masked";
+  t.vector_stores <- t.vector_stores + 1;
+  let vb = Vec.to_bytes vec in
+  for k = 0 to v - 1 do
+    if Vec.get_byte mask k <> 0 then Bytes.set t.data (base + k) (Bytes.get vb k)
+  done
+
 (** [load_scalar t ~elem addr] — byte-exact scalar load of an [elem]-byte
     little-endian signed value; counts one dynamic scalar load. *)
 let load_scalar t ~elem addr =

@@ -19,6 +19,11 @@ val effective_vector_addr : t -> int -> int
 val store_vector : t -> int -> Vec.t -> unit
 (** Truncating vector store; counts one dynamic vector store. *)
 
+val store_vector_masked : t -> int -> Vec.t -> Vec.t -> unit
+(** [store_vector_masked t addr vec mask] — truncating masked vector store:
+    only bytes whose mask byte is set are written. Counts one dynamic
+    vector store. *)
+
 val load_scalar : t -> elem:int -> int -> int64
 (** Byte-exact scalar load (little-endian, signed); counted. *)
 

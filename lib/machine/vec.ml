@@ -115,6 +115,34 @@ let binop ~elem op v1 v2 =
   done;
   out
 
+(** [cmp ~elem c v1 v2] compares lane-wise at width [elem], producing the
+    SIMD-style mask vector: each result lane is all-ones where the
+    comparison holds and all-zeros where it does not (AltiVec [vec_cmpgt],
+    SSE [pcmpgtd] class). *)
+let cmp ~elem c v1 v2 =
+  check_same_len v1 v2;
+  Lane.check_width elem;
+  let vl = Bytes.length v1 in
+  if vl mod elem <> 0 then invalid_arg "Vec.cmp: width does not divide V";
+  let out = Bytes.make vl '\000' in
+  for lane = 0 to (vl / elem) - 1 do
+    let a = read_lane v1 ~elem ~lane and b = read_lane v2 ~elem ~lane in
+    if Lane.apply_cmp elem c a b then write_lane out ~elem ~lane (-1L)
+  done;
+  out
+
+(** [select m v1 v2] — bitwise select: byte [k] of the result comes from
+    [v1] where the mask byte is set and from [v2] where it is clear
+    ([(m & v1) | (~m & v2)]; AltiVec [vec_sel], SSE and/andnot/or). Masks
+    produced by {!cmp} have all-ones/all-zeros lanes, so lane granularity
+    follows from byte granularity. *)
+let select m v1 v2 =
+  check_same_len m v1;
+  check_same_len v1 v2;
+  Bytes.init (Bytes.length m) (fun i ->
+      let mb = get_byte m i in
+      Char.chr ((mb land get_byte v1 i) lor (lnot mb land 0xff land get_byte v2 i)))
+
 let pp ?(elem = 4) fmt v =
   let lanes = to_lanes v ~elem in
   Format.fprintf fmt "<%a>"

@@ -43,6 +43,14 @@ val splice : t -> t -> point:int -> t
 val binop : elem:int -> Lane.binop -> t -> t -> t
 (** Lane-wise operation at the given width. *)
 
+val cmp : elem:int -> Lane.cmp -> t -> t -> t
+(** Lane-wise comparison producing an all-ones/all-zeros mask per lane
+    ([vcmp]; AltiVec [vec_cmpgt], SSE [pcmpgtd] class). *)
+
+val select : t -> t -> t -> t
+(** [select m a b] — bitwise select [(m & a) | (~m & b)] ([vsel]; AltiVec
+    [vec_sel]). *)
+
 val pp : ?elem:int -> Format.formatter -> t -> unit
 
 val pack_even : elem:int -> t -> t -> t

@@ -1,0 +1,113 @@
+(** If-conversion (the predication extension).
+
+    The parser attaches the guard of an [if] block to every statement
+    inside it — the then-branch statements carry the condition, the
+    else-branch statements its syntactic complement — and performs no
+    rewriting of its own. This pass normalizes the guarded body into the
+    forms the rest of the pipeline handles best:
+
+    - {b Complementary stores merge into selects.} A pair of guarded
+      assignments to the same element with complementary guards
+      ([if (c) a\[i\] = x; if (!c) a\[i\] = y]) writes every iteration, so
+      it becomes the single unguarded statement
+      [a\[i\] = select(c, x, y)] — one unmasked store and one [vsel]
+      instead of two masked stores and two mask streams. Reordering the
+      pair to the first occurrence is safe because the legality analysis
+      forbids any aliasing between stored and loaded arrays, so no
+      statement between the two can observe the store.
+    - {b Guarded reductions become identity-selects.} [acc op= rhs] under
+      guard [c] accumulates [rhs] exactly in the iterations where [c]
+      holds, which is the unguarded [acc op= select(c, rhs, e)] with [e]
+      the identity of [op] at the accumulator's width. Operators without
+      an identity keep their guard and are rejected downstream
+      ({!Simd_loopir.Analysis}), with a message pointing back here.
+
+    Statements whose guard has no complementary partner stay guarded and
+    lower to masked stores ([vsel]-blended on targets without a native
+    masked store), with the mask stream placed at the store offset like
+    the value stream. *)
+
+open Simd_loopir
+
+(** What {!if_convert} did, for reports and tests. *)
+type stats = {
+  merged_selects : int;
+      (** complementary guarded store pairs merged into [select]s *)
+  rewritten_reductions : int;
+      (** guarded reductions rewritten to identity-selects *)
+  residual_guards : int;
+      (** statements still guarded after conversion (masked stores) *)
+}
+[@@deriving show { with_path = false }, eq]
+
+(* Find, later in the list, an assignment to the same element under the
+   complementary guard; return it and the list without it. *)
+let find_partner (s : Ast.stmt) (g : Ast.cond) rest =
+  let rec go pre = function
+    | [] -> None
+    | (s' : Ast.stmt) :: tl
+      when s'.Ast.kind = Ast.Assign
+           && Ast.equal_mem_ref s'.Ast.lhs s.Ast.lhs
+           &&
+           match s'.Ast.guard with
+           | Some g' -> Ast.complementary g g'
+           | None -> false ->
+      Some (s', List.rev_append pre tl)
+    | s' :: tl -> go (s' :: pre) tl
+  in
+  go [] rest
+
+(** [if_convert program] — normalize guards as described above; returns
+    the rewritten program and conversion statistics. Idempotent: a second
+    application is the identity. *)
+let if_convert (program : Ast.program) : Ast.program * stats =
+  let merged = ref 0 and rewritten = ref 0 in
+  let rec convert acc = function
+    | [] -> List.rev acc
+    | (s : Ast.stmt) :: rest -> (
+      match (s.Ast.kind, s.Ast.guard) with
+      | Ast.Assign, Some g -> (
+        match find_partner s g rest with
+        | Some (s', rest') ->
+          incr merged;
+          let select = Ast.Select (g, s.Ast.rhs, s'.Ast.rhs) in
+          convert ({ s with Ast.rhs = select; guard = None } :: acc) rest'
+        | None -> convert (s :: acc) rest)
+      | Ast.Reduce op, Some g -> (
+        let ty =
+          match Ast.find_array program s.Ast.lhs.Ast.ref_array with
+          | Some d -> Some d.Ast.arr_ty
+          | None -> None (* undeclared accumulator: let Analysis diagnose *)
+        in
+        match Option.bind ty (fun ty -> Ast.reduction_identity op ~ty) with
+        | Some e ->
+          incr rewritten;
+          let select = Ast.Select (g, s.Ast.rhs, Ast.Const e) in
+          convert ({ s with Ast.rhs = select; guard = None } :: acc) rest
+        | None -> convert (s :: acc) rest)
+      | _, None -> convert (s :: acc) rest)
+  in
+  let body = convert [] program.Ast.loop.Ast.body in
+  let residual =
+    List.length (List.filter (fun (s : Ast.stmt) -> s.Ast.guard <> None) body)
+  in
+  ( {
+      program with
+      Ast.loop = { program.Ast.loop with Ast.body = body };
+    },
+    {
+      merged_selects = !merged;
+      rewritten_reductions = !rewritten;
+      residual_guards = residual;
+    } )
+
+(** [apply program] — {!if_convert} without the statistics. *)
+let apply program = fst (if_convert program)
+
+(** [guarded program] — does any statement carry a guard (before or after
+    conversion)? Drivers use this to decide whether mask machinery is
+    involved at all. *)
+let guarded (program : Ast.program) =
+  List.exists
+    (fun (s : Ast.stmt) -> s.Ast.guard <> None)
+    program.Ast.loop.Ast.body

@@ -1,0 +1,25 @@
+(** If-conversion for the predication extension ([Simd.Mask]): merge
+    complementary guarded store pairs into [select] statements, rewrite
+    guarded reductions to identity-selects, and leave residual guards to
+    lower as masked stores. Run by the driver before legality analysis. *)
+
+(** What {!if_convert} did, for reports and tests. *)
+type stats = {
+  merged_selects : int;
+      (** complementary guarded store pairs merged into [select]s *)
+  rewritten_reductions : int;
+      (** guarded reductions rewritten to identity-selects *)
+  residual_guards : int;
+      (** statements still guarded after conversion (masked stores) *)
+}
+[@@deriving show, eq]
+
+val if_convert :
+  Simd_loopir.Ast.program -> Simd_loopir.Ast.program * stats
+(** Normalize guards; idempotent. *)
+
+val apply : Simd_loopir.Ast.program -> Simd_loopir.Ast.program
+(** {!if_convert} without the statistics. *)
+
+val guarded : Simd_loopir.Ast.program -> bool
+(** Does any body statement carry a guard? *)

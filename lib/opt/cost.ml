@@ -62,6 +62,9 @@ type counts = {
   shifts_right : int;
   packs : int;
   splices : int;
+  cmps : int;  (** [vcmp] mask-producing compares (predication) *)
+  sels : int;
+      (** [vsel] blends, including the one a masked store lowers to *)
 }
 [@@deriving show { with_path = false }, eq]
 
@@ -75,6 +78,8 @@ let zero_counts =
     shifts_right = 0;
     packs = 0;
     splices = 0;
+    cmps = 0;
+    sels = 0;
   }
 
 let add_counts a b =
@@ -87,6 +92,8 @@ let add_counts a b =
     shifts_right = a.shifts_right + b.shifts_right;
     packs = a.packs + b.packs;
     splices = a.splices + b.splices;
+    cmps = a.cmps + b.cmps;
+    sels = a.sels + b.sels;
   }
 
 let shifts c = c.shifts_left + c.shifts_right
@@ -112,6 +119,18 @@ let rec counts_of_node ~(analysis : Analysis.t) (n : Graph.node) : counts =
     let ca = counts_of_node ~analysis a in
     let cb = counts_of_node ~analysis b in
     { (add_counts ca cb) with ops = ca.ops + cb.ops + 1 }
+  | Graph.Cmp (_, a, b) ->
+    let ca = counts_of_node ~analysis a in
+    let cb = counts_of_node ~analysis b in
+    let c = add_counts ca cb in
+    { c with cmps = c.cmps + 1 }
+  | Graph.Sel (m, a, b) ->
+    let c =
+      add_counts
+        (counts_of_node ~analysis m)
+        (add_counts (counts_of_node ~analysis a) (counts_of_node ~analysis b))
+    in
+    { c with sels = c.sels + 1 }
   | Graph.Shift (src, from, to_) -> (
     let cs = counts_of_node ~analysis src in
     match direction ~from ~to_ with
@@ -125,6 +144,16 @@ let rec counts_of_node ~(analysis : Analysis.t) (n : Graph.node) : counts =
 let counts_of_graph ~(analysis : Analysis.t) ~(stmt : Ast.stmt) (g : Graph.t) :
     counts =
   let c = counts_of_node ~analysis g.Graph.root in
+  let c =
+    (* a guarded statement pays its mask tree every iteration plus one
+       [vsel] for the masked store's blend *)
+    match g.Graph.mask with
+    | None -> c
+    | Some m ->
+      let cm = counts_of_node ~analysis m in
+      let c = add_counts c cm in
+      { c with sels = c.sels + 1 }
+  in
   match stmt.Ast.kind with
   | Ast.Reduce _ ->
     (* one accumulate per iteration; finalization writes back the
@@ -154,6 +183,8 @@ let cost_of_counts (machine : Config.t) (c : counts) =
   +. (float_of_int c.shifts_right *. w.Config.shift_right)
   +. (float_of_int c.packs *. w.Config.pack)
   +. (float_of_int c.splices *. w.Config.splice)
+  +. (float_of_int c.cmps *. w.Config.cmp)
+  +. (float_of_int c.sels *. w.Config.sel)
 
 (** [graph_cost ~analysis ~stmt g] — the statement's total static cost
     under the machine's cost model (the quantity {!Solve} minimizes; only
@@ -170,7 +201,8 @@ let shift_cost_of_graph ~(analysis : Analysis.t) (g : Graph.t) =
   let machine = analysis.Analysis.machine in
   let rec go = function
     | Graph.Load _ | Graph.Strided _ | Graph.Splat _ -> 0.0
-    | Graph.Op (_, a, b) -> go a +. go b
+    | Graph.Op (_, a, b) | Graph.Cmp (_, a, b) -> go a +. go b
+    | Graph.Sel (m, a, b) -> go m +. go a +. go b
     | Graph.Shift (src, from, to_) -> (
       go src
       +.
@@ -179,4 +211,5 @@ let shift_cost_of_graph ~(analysis : Analysis.t) (g : Graph.t) =
       | Some Left -> Config.shift_cost machine `Left
       | Some Right -> Config.shift_cost machine `Right)
   in
-  go g.Graph.root
+  (go g.Graph.root
+  +. match g.Graph.mask with Some m -> go m | None -> 0.0)

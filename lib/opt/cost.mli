@@ -34,6 +34,8 @@ type counts = {
   shifts_right : int;
   packs : int;
   splices : int;
+  cmps : int;  (** [vcmp] mask-producing compares (predication) *)
+  sels : int;  (** [vsel] blends, including a masked store's *)
 }
 [@@deriving show, eq]
 

@@ -69,7 +69,7 @@ let group_chains chains =
 let shared_streams ~(analysis : Analysis.t) (graphs : Graph.t list) :
     shared list =
   let machine = analysis.Analysis.machine in
-  List.concat_map (fun (g : Graph.t) -> Graph.chains g.Graph.root) graphs
+  List.concat_map (fun (g : Graph.t) -> Graph.all_chains g) graphs
   |> group_chains
   |> List.filter_map (fun (c, n) ->
          if n < 2 then None
@@ -135,7 +135,8 @@ let leaf_classes ~(analysis : Analysis.t) root =
       | Align.Runtime -> acc)
     | Graph.Strided r -> { cl_ref = r; cl_gather = true; cl_native = 0 } :: acc
     | Graph.Splat _ -> acc
-    | Graph.Op (_, a, b) -> go (go acc a) b
+    | Graph.Op (_, a, b) | Graph.Cmp (_, a, b) -> go (go acc a) b
+    | Graph.Sel (m, a, b) -> go (go (go acc m) a) b
     | Graph.Shift (src, _, _) -> go acc src
   in
   go [] root
@@ -191,26 +192,43 @@ let place_body ~(analysis : Analysis.t) (stmts : Ast.stmt list) :
     List.map
       (fun (i, s) ->
         let root = Graph.of_expr s.Ast.rhs in
+        let mroot = Option.map Graph.of_cond s.Ast.guard in
         let target =
           match Policy.target_offset ~analysis s with
           | Offset.Known k -> k
           | Offset.Runtime _ | Offset.Any -> assert false (* offsets known *)
         in
-        (i, s, root, target))
+        (i, s, root, mroot, target))
       known
   in
-  let solve_stmt ?override (s, root, target) =
+  let solve_stmt ?override (s, root, mroot, target) =
     let _table, rebuild = Solve.build ?override ~analysis ~machine ~v root in
     let store_offset = Policy.target_offset ~analysis s in
-    { Graph.store = s.Ast.lhs; store_offset; root = rebuild target; block }
+    (* the mask tree is placed by the same DP (and the same override, so
+       guard streams participate in sharing) at the store offset *)
+    let mask =
+      Option.map
+        (fun m ->
+          let _t, mrebuild = Solve.build ?override ~analysis ~machine ~v m in
+          mrebuild target)
+        mroot
+    in
+    { Graph.store = s.Ast.lhs; store_offset; root = rebuild target; block;
+      mask }
   in
   (* Candidate 0: the per-statement optimum — joint can never be worse. *)
   let baseline =
-    List.map (fun (_, s, root, t) -> solve_stmt (s, root, t)) prepared
+    List.map (fun (_, s, root, m, t) -> solve_stmt (s, root, m, t)) prepared
   in
-  (* σ-assignment sweep over the shareable classes. *)
+  (* σ-assignment sweep over the shareable classes (mask trees included:
+     a guard load shares its stream like any other load). *)
+  let stmt_classes (root, mroot) =
+    leaf_classes ~analysis root
+    @
+    match mroot with Some m -> leaf_classes ~analysis m | None -> []
+  in
   let all_cls =
-    List.concat_map (fun (_, _, root, _) -> leaf_classes ~analysis root)
+    List.concat_map (fun (_, _, root, mroot, _) -> stmt_classes (root, mroot))
       prepared
   in
   let shared_cls =
@@ -231,8 +249,8 @@ let place_body ~(analysis : Analysis.t) (stmts : Ast.stmt list) :
       (fun c ->
         let targets =
           List.filter_map
-            (fun (_, _, root, t) ->
-              if List.exists (equal_cls c) (leaf_classes ~analysis root) then
+            (fun (_, _, root, mroot, t) ->
+              if List.exists (equal_cls c) (stmt_classes (root, mroot)) then
                 Some t
               else None)
             prepared
@@ -275,9 +293,12 @@ let place_body ~(analysis : Analysis.t) (stmts : Ast.stmt list) :
             match lookup { cl_ref = r; cl_gather = true; cl_native = 0 } with
             | Some sigma -> Some (shared_leaf ~machine ~v n ~o:0 ~sigma)
             | None -> None)
-          | Graph.Splat _ | Graph.Op _ | Graph.Shift _ -> None
+          | Graph.Splat _ | Graph.Op _ | Graph.Shift _ | Graph.Cmp _
+          | Graph.Sel _ ->
+            None
         in
-        List.map (fun (_, s, root, t) -> solve_stmt ~override (s, root, t))
+        List.map
+          (fun (_, s, root, m, t) -> solve_stmt ~override (s, root, m, t))
           prepared)
       assignments
   in
@@ -289,7 +310,8 @@ let place_body ~(analysis : Analysis.t) (stmts : Ast.stmt list) :
       (fun h ->
         let gs =
           List.map
-            (fun (_, s, _, _) -> Result.to_option (Policy.place h ~analysis s))
+            (fun (_, s, _, _, _) ->
+              Result.to_option (Policy.place h ~analysis s))
             prepared
         in
         if List.for_all Option.is_some gs then
@@ -300,7 +322,7 @@ let place_body ~(analysis : Analysis.t) (stmts : Ast.stmt list) :
   let assemble known_graphs =
     let known_entries =
       List.map2
-        (fun (i, s, _, _) g -> (i, s, g, Policy.Joint))
+        (fun (i, s, _, _, _) g -> (i, s, g, Policy.Joint))
         prepared known_graphs
     in
     List.sort

@@ -92,7 +92,10 @@ let streams_of_stmt ~(analysis : Analysis.t) (stmt : Ast.stmt) : stream list =
 let rec shifts_of_node (n : Graph.node) : shift list =
   match n with
   | Graph.Load _ | Graph.Strided _ | Graph.Splat _ -> []
-  | Graph.Op (_, a, b) -> shifts_of_node a @ shifts_of_node b
+  | Graph.Op (_, a, b) | Graph.Cmp (_, a, b) ->
+    shifts_of_node a @ shifts_of_node b
+  | Graph.Sel (m, a, b) ->
+    shifts_of_node m @ shifts_of_node a @ shifts_of_node b
   | Graph.Shift (src, from, to_) ->
     shifts_of_node src
     @ [ { shift_from = from; shift_to = to_; shift_dir = Cost.direction ~from ~to_ } ]
@@ -126,7 +129,12 @@ let make ~(analysis : Analysis.t) ~(requested : Policy.t)
           used;
           target = graph.Graph.store_offset;
           streams = streams_of_stmt ~analysis stmt;
-          shifts = shifts_of_node graph.Graph.root;
+          shifts =
+            (shifts_of_node graph.Graph.root
+            @
+            match graph.Graph.mask with
+            | Some m -> shifts_of_node m
+            | None -> []);
           counts;
           cost = Cost.cost_of_counts machine counts;
           alternatives = alternatives ~analysis stmt;

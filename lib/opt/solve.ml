@@ -60,6 +60,44 @@ let rec build ?override ~(analysis : Analysis.t) ~machine ~v (n : Graph.node) :
           else Graph.Shift (core, Offset.Known m, Offset.Known t)
       in
       (table, rebuild)
+    | Graph.Cmp (c, a, b) ->
+      let ta, ra = build ?override ~analysis ~machine ~v a in
+      let tb, rb = build ?override ~analysis ~machine ~v b in
+      let table, choice = Table.meet machine ta tb in
+      let rebuild t =
+        match table with
+        | Table.Any -> Graph.Cmp (c, ra 0, rb 0)
+        | Table.Tbl _ ->
+          let m = choice.(t) in
+          let child ct r =
+            match ct with Table.Any -> r 0 | Table.Tbl _ -> r m
+          in
+          let core = Graph.Cmp (c, child ta ra, child tb rb) in
+          if m = t then core
+          else Graph.Shift (core, Offset.Known m, Offset.Known t)
+      in
+      (table, rebuild)
+    | Graph.Sel (sm, a, b) ->
+      (* ternary: mask and both arms must meet at ONE common offset
+         (C.3); Table.meet_list is the n-ary meet — nesting binary meets
+         would need a shift between them that no graph node carries *)
+      let tm, rm = build ?override ~analysis ~machine ~v sm in
+      let ta, ra = build ?override ~analysis ~machine ~v a in
+      let tb, rb = build ?override ~analysis ~machine ~v b in
+      let table, choice = Table.meet_list machine [ tm; ta; tb ] in
+      let rebuild t =
+        match table with
+        | Table.Any -> Graph.Sel (rm 0, ra 0, rb 0)
+        | Table.Tbl _ ->
+          let m = choice.(t) in
+          let child ct r =
+            match ct with Table.Any -> r 0 | Table.Tbl _ -> r m
+          in
+          let core = Graph.Sel (child tm rm, child ta ra, child tb rb) in
+          if m = t then core
+          else Graph.Shift (core, Offset.Known m, Offset.Known t)
+      in
+      (table, rebuild)
     | Graph.Shift _ ->
       (* [solve_with_cost] discharges [Graph.assert_bare] before building;
          defensive, not a crash path *)
@@ -98,10 +136,23 @@ let solve_with_cost ?root ~(analysis : Analysis.t) (stmt : Ast.stmt) :
       in
       let table, rebuild = build ~analysis ~machine ~v bare in
       let root = rebuild target in
-      let g =
-        { Graph.store = stmt.Ast.lhs; store_offset; root; block = analysis.Analysis.block }
+      (* the mask tree of a guarded statement is solved by the same DP and
+         placed at the store offset — a masked store consumes value and
+         mask streams at the same offset *)
+      let mask, mask_cost =
+        match stmt.Ast.guard with
+        | None -> (None, 0.0)
+        | Some c ->
+          let mt, mrebuild =
+            build ~analysis ~machine ~v (Graph.of_cond c)
+          in
+          (Some (mrebuild target), Table.cost mt target)
       in
-      Ok (g, Table.cost table target)
+      let g =
+        { Graph.store = stmt.Ast.lhs; store_offset; root;
+          block = analysis.Analysis.block; mask }
+      in
+      Ok (g, Table.cost table target +. mask_cost)
     end
 
 let solve ?root ~analysis stmt =

@@ -64,3 +64,33 @@ let meet (machine : Config.t) (ta : t) (tb : t) : t * int array =
       choice.(t) <- !best_m
     done;
     (Tbl out, choice)
+
+(** [meet_list machine ts] — the n-ary generalization of {!meet}, needed by
+    ternary [vsel] nodes: {e all} operands must meet at one common offset
+    [m] (pairwise binary meets would require a shift node between the two
+    meets that the graph has no place for), then an optional single
+    trailing shift [m → t]. Invariant ([Any]) operands never constrain the
+    meet. Ties prefer [m = t], then the smallest [m]. *)
+let meet_list (machine : Config.t) (ts : t list) : t * int array =
+  let tbls = List.filter_map (function Any -> None | Tbl a -> Some a) ts in
+  match tbls with
+  | [] -> (Any, [||])
+  | [ a ] -> (Tbl a, Array.init (Array.length a) Fun.id)
+  | _ ->
+    let v = Array.length (List.hd tbls) in
+    let inner m = List.fold_left (fun s a -> s +. a.(m)) 0.0 tbls in
+    let out = Array.make v 0.0 in
+    let choice = Array.make v 0 in
+    for t = 0 to v - 1 do
+      let best = ref (inner t) and best_m = ref t in
+      for m = 0 to v - 1 do
+        let c = inner m +. sc machine ~from:m ~to_:t in
+        if c < !best then begin
+          best := c;
+          best_m := m
+        end
+      done;
+      out.(t) <- !best;
+      choice.(t) <- !best_m
+    done;
+    (Tbl out, choice)

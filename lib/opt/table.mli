@@ -21,3 +21,7 @@ val meet : Simd_machine.Config.t -> t -> t -> t * int array
     for each target [t] the chosen meet offset. Identity choices when at
     most one side constrains the offset; [[||]] when both are invariant.
     Ties prefer no trailing shift, then the smallest meet offset. *)
+
+val meet_list : Simd_machine.Config.t -> t list -> t * int array
+(** N-ary {!meet} for ternary [vsel] nodes: all constrained operands meet
+    at one common offset before the optional trailing shift. *)

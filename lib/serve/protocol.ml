@@ -8,7 +8,7 @@ module Json = Simd_support.Json
 let schema = "simd-serve/1"
 
 (* Folded into every cache key. Bump when compilation output changes. *)
-let library_version = "simd_align/8"
+let library_version = "simd_align/9"
 
 type emit = Vir | C | Altivec | Sse | Avx2 | Neon
 

@@ -468,33 +468,88 @@ let serve_fd t in_fd out_fd =
   in
   loop ()
 
+(* One readiness event on an accepted connection: pull the bytes that
+   arrived, then serve every complete batch already buffered (select only
+   reports kernel-side data, so user-space queued lines must be drained
+   here, not left for a wakeup that never comes). *)
+let service_ready t r =
+  ignore (refill r ~block:true);
+  let rec serve_batches () =
+    match next_line r ~block:false with
+    | None -> if r.eof && Queue.is_empty r.queue then `Eof else `Continue
+    | Some first ->
+      let batch = ref [ first ] in
+      let n = ref 1 in
+      let continue = ref true in
+      while !n < t.max_batch && !continue do
+        match next_line r ~block:false with
+        | Some line ->
+          batch := line :: !batch;
+          incr n
+        | None -> continue := false
+      done;
+      let responses, shutdown = handle_batch t (List.rev !batch) in
+      write_all r.fd
+        (String.concat "" (List.map (fun l -> l ^ "\n") responses));
+      if shutdown then `Shutdown else serve_batches ()
+  in
+  serve_batches ()
+
 let listen_unix t ~path =
   (try Unix.unlink path with Unix.Unix_error _ -> ());
   let sock = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  (* Per-connection reader state, keyed by descriptor. Connections are
+     multiplexed with select in one process: batching stays per-client,
+     and one client's malformed stream, mid-batch disconnect, or provoked
+     exception closes only its own connection. *)
+  let conns : (Unix.file_descr, reader) Hashtbl.t = Hashtbl.create 8 in
+  let close_conn fd =
+    Hashtbl.remove conns fd;
+    try Unix.close fd with Unix.Unix_error _ -> ()
+  in
   Fun.protect
     ~finally:(fun () ->
+      Hashtbl.iter (fun fd _ -> try Unix.close fd with Unix.Unix_error _ -> ()) conns;
       (try Unix.close sock with Unix.Unix_error _ -> ());
       try Unix.unlink path with Unix.Unix_error _ -> ())
     (fun () ->
       Unix.bind sock (Unix.ADDR_UNIX path);
       Unix.listen sock 16;
-      let rec accept_loop () =
-        let client, _ = Unix.accept sock in
-        let verdict =
-          try serve_fd t client client
-          with
-          | Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET), _, _) ->
-            (* the client went away; its connection dies, not the server *)
-            `Eof
-          | e ->
-            (* last resort: whatever one connection provoked, the daemon
-               stays up for the others *)
-            if Trace.active t.trace then
-              Trace.note t.trace ~label:"serve.connection-error"
-                (Printexc.to_string e);
-            `Eof
-        in
-        (try Unix.close client with Unix.Unix_error _ -> ());
-        match verdict with `Shutdown -> () | `Eof -> accept_loop ()
-      in
-      accept_loop ())
+      let shutdown = ref false in
+      while not !shutdown do
+        let fds = sock :: Hashtbl.fold (fun fd _ acc -> fd :: acc) conns [] in
+        match Unix.select fds [] [] (-1.0) with
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+        | readable, _, _ ->
+          List.iter
+            (fun fd ->
+              if fd = sock then begin
+                match Unix.accept sock with
+                | client, _ -> Hashtbl.replace conns client (make_reader client)
+                | exception Unix.Unix_error _ -> ()
+              end
+              else
+                match Hashtbl.find_opt conns fd with
+                | None -> () (* closed earlier in this readiness sweep *)
+                | Some r -> (
+                  match service_ready t r with
+                  | `Continue -> ()
+                  | `Eof -> close_conn fd
+                  | `Shutdown ->
+                    shutdown := true;
+                    close_conn fd
+                  | exception
+                      Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET), _, _)
+                    ->
+                    (* the client went away; its connection dies, not the
+                       server *)
+                    close_conn fd
+                  | exception e ->
+                    (* last resort: whatever one connection provoked, the
+                       daemon stays up for the others *)
+                    if Trace.active t.trace then
+                      Trace.note t.trace ~label:"serve.connection-error"
+                        (Printexc.to_string e);
+                    close_conn fd))
+            readable
+      done)

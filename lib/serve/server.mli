@@ -60,7 +60,10 @@ val serve_fd : t -> Unix.file_descr -> Unix.file_descr -> [ `Eof | `Shutdown ]
     Pipe mode is [serve_fd t Unix.stdin Unix.stdout]. *)
 
 val listen_unix : t -> path:string -> unit
-(** Unix-domain-socket mode: bind [path] (replacing a stale socket file),
-    serve one accepted connection at a time, exit (removing the socket)
-    after a connection ends with [{"op":"shutdown"}]. A client that
-    disconnects mid-batch only ends its own connection. *)
+(** Unix-domain-socket mode: bind [path] (replacing a stale socket file)
+    and serve every accepted connection concurrently — connections are
+    select-multiplexed in one process, each with its own reader state, so
+    batching stays per-client. A client that disconnects mid-batch, sends
+    a malformed stream, or provokes an exception only ends its own
+    connection; [{"op":"shutdown"}] from any client stops the daemon
+    (removing the socket). *)

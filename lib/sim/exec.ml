@@ -148,6 +148,13 @@ let rec scalar_value env (e : Ast.expr) : int64 =
     let vb = scalar_value env b in
     env.scalar_ops <- env.scalar_ops + 1;
     Lane.apply env.elem op va vb
+  | Ast.Select (c, a, b) ->
+    (* invariant guard: evaluate the condition once, scalar-wise *)
+    let cl = scalar_value env c.Ast.cl in
+    let cr = scalar_value env c.Ast.cr in
+    env.scalar_ops <- env.scalar_ops + 1;
+    if Lane.apply_cmp env.elem c.Ast.cmp cl cr then scalar_value env a
+    else scalar_value env b
 
 let rec vexpr_value env (e : Expr.vexpr) : Vec.t =
   match e with
@@ -189,6 +196,17 @@ let rec vexpr_value env (e : Expr.vexpr) : Vec.t =
     let vb = vexpr_value env b in
     env.vpacks <- env.vpacks + 1;
     Vec.pack_even ~elem:env.elem va vb
+  | Expr.Cmp (c, a, b) ->
+    let va = vexpr_value env a in
+    let vb = vexpr_value env b in
+    env.vops <- env.vops + 1;
+    Vec.cmp ~elem:env.elem c va vb
+  | Expr.Sel (m, a, b) ->
+    let vm = vexpr_value env m in
+    let va = vexpr_value env a in
+    let vb = vexpr_value env b in
+    env.vops <- env.vops + 1;
+    Vec.select vm va vb
   | Expr.Temp x -> (
     match Hashtbl.find_opt env.temps x with
     | Some v -> v
@@ -199,6 +217,10 @@ let rec exec_stmt env (s : Expr.stmt) : unit =
   | Expr.Store (a, e) ->
     let value = vexpr_value env e in
     Mem.store_vector env.mem (addr_value env a) value
+  | Expr.Storem (a, e, m) ->
+    let value = vexpr_value env e in
+    let mask = vexpr_value env m in
+    Mem.store_vector_masked env.mem (addr_value env a) value mask
   | Expr.Assign (x, Expr.Temp y) ->
     (* Register copy (pipelining carry): counted separately — the paper
        removes these by unrolling + copy propagation, so cost models may

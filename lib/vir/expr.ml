@@ -21,6 +21,12 @@ type vexpr =
       (** even-indexed elements of the 2V concatenation — the gather step
           of the strided-load extension *)
   | Temp of string  (** read a vector temporary *)
+  | Cmp of Simd_loopir.Ast.cmp * vexpr * vexpr
+      (** [vcmp]: lane compare producing an all-ones/all-zeros mask
+          (predication extension) *)
+  | Sel of vexpr * vexpr * vexpr
+      (** [vsel(mask, a, b)]: lane blend — first where the mask is set,
+          second where it is clear *)
 [@@deriving show { with_path = false }, eq, ord]
 
 type stmt =
@@ -28,6 +34,10 @@ type stmt =
   | Assign of string * vexpr  (** vector temporary definition *)
   | If of Rexpr.cond * stmt list * stmt list
       (** runtime guard (epilogue leftover handling, §4.4) *)
+  | Storem of Addr.t * vexpr * vexpr
+      (** truncating {e masked} vector store (addr, value, mask): lanes
+          whose mask is set are written, clear lanes leave memory intact
+          (predication extension) *)
 [@@deriving show { with_path = false }, eq, ord]
 
 (* ------------------------------------------------------------------ *)
@@ -58,6 +68,8 @@ let rec shift_iter (e : vexpr) ~by : vexpr =
   | Splice (x, y, p) ->
     Splice (shift_iter x ~by, shift_iter y ~by, shift_iter_rexpr p ~by)
   | Pack (x, y) -> Pack (shift_iter x ~by, shift_iter y ~by)
+  | Cmp (c, x, y) -> Cmp (c, shift_iter x ~by, shift_iter y ~by)
+  | Sel (m, x, y) -> Sel (shift_iter m ~by, shift_iter x ~by, shift_iter y ~by)
   | Temp _ -> invalid_arg "Expr.shift_iter: expression contains a temporary"
 
 (** [freeze e ~i] resolves the loop counter to the constant [i] in every
@@ -70,6 +82,8 @@ let rec freeze (e : vexpr) ~i : vexpr =
   | Shiftpair (x, y, sh) -> Shiftpair (freeze x ~i, freeze y ~i, freeze_rexpr sh ~i)
   | Splice (x, y, p) -> Splice (freeze x ~i, freeze y ~i, freeze_rexpr p ~i)
   | Pack (x, y) -> Pack (freeze x ~i, freeze y ~i)
+  | Cmp (c, x, y) -> Cmp (c, freeze x ~i, freeze y ~i)
+  | Sel (m, x, y) -> Sel (freeze m ~i, freeze x ~i, freeze y ~i)
   | Temp t -> Temp t
 
 and freeze_rexpr (r : Rexpr.t) ~i : Rexpr.t =
@@ -90,8 +104,14 @@ and freeze_rexpr (r : Rexpr.t) ~i : Rexpr.t =
 let rec fold_vexpr f acc e =
   match e with
   | Load _ | Splat _ | Temp _ -> f acc e
-  | Op (_, x, y) | Shiftpair (x, y, _) | Splice (x, y, _) | Pack (x, y) ->
+  | Op (_, x, y)
+  | Shiftpair (x, y, _)
+  | Splice (x, y, _)
+  | Pack (x, y)
+  | Cmp (_, x, y) ->
     f (fold_vexpr f (fold_vexpr f acc x) y) e
+  | Sel (m, x, y) ->
+    f (fold_vexpr f (fold_vexpr f (fold_vexpr f acc m) x) y) e
 
 (** [fold_stmts f acc stmts] folds [f] over every vector expression
     (outermost nodes) appearing in [stmts], in execution order. *)
@@ -100,6 +120,7 @@ let rec fold_stmts f acc stmts =
     (fun acc s ->
       match s with
       | Store (_, e) | Assign (_, e) -> f acc e
+      | Storem (_, e, m) -> f (f acc e) m
       | If (_, t, e) -> fold_stmts f (fold_stmts f acc t) e)
     acc stmts
 
@@ -111,6 +132,7 @@ let rec map_stmts_exprs f stmts =
       match s with
       | Store (a, e) -> Store (a, f e)
       | Assign (x, e) -> Assign (x, f e)
+      | Storem (a, e, m) -> Storem (a, f e, f m)
       | If (c, t, e) -> If (c, map_stmts_exprs f t, map_stmts_exprs f e))
     stmts
 
@@ -139,6 +161,6 @@ let rec temps_written stmts =
   List.concat_map
     (function
       | Assign (x, _) -> [ x ]
-      | Store _ -> []
+      | Store _ | Storem _ -> []
       | If (_, t, e) -> temps_written t @ temps_written e)
     stmts

@@ -12,12 +12,18 @@ type vexpr =
   | Pack of vexpr * vexpr
       (** even-lane gather of the 2V concatenation (strided-load extension) *)
   | Temp of string
+  | Cmp of Simd_loopir.Ast.cmp * vexpr * vexpr
+      (** [vcmp]: mask-producing lane compare (predication extension) *)
+  | Sel of vexpr * vexpr * vexpr
+      (** [vsel(mask, a, b)]: lane blend *)
 [@@deriving show, eq, ord]
 
 type stmt =
   | Store of Addr.t * vexpr  (** truncating vector store *)
   | Assign of string * vexpr
   | If of Rexpr.cond * stmt list * stmt list  (** runtime guard (§4.4) *)
+  | Storem of Addr.t * vexpr * vexpr
+      (** masked vector store (addr, value, mask); predication extension *)
 [@@deriving show, eq, ord]
 
 val shift_iter_rexpr : Rexpr.t -> by:int -> Rexpr.t

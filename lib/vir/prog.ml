@@ -101,12 +101,20 @@ let rec pp_vexpr fmt (e : Expr.vexpr) =
   | Expr.Splice (x, y, p) ->
     Format.fprintf fmt "vsplice(%a, %a, %a)" pp_vexpr x pp_vexpr y Rexpr.pp p
   | Expr.Pack (x, y) -> Format.fprintf fmt "vpack(%a, %a)" pp_vexpr x pp_vexpr y
+  | Expr.Cmp (c, x, y) ->
+    Format.fprintf fmt "vcmp_%s(%a, %a)" (Simd_machine.Lane.cmp_name c)
+      pp_vexpr x pp_vexpr y
+  | Expr.Sel (m, x, y) ->
+    Format.fprintf fmt "vsel(%a, %a, %a)" pp_vexpr m pp_vexpr x pp_vexpr y
   | Expr.Temp x -> Format.pp_print_string fmt x
 
 let rec pp_stmt ~indent fmt (s : Expr.stmt) =
   let pad = String.make indent ' ' in
   match s with
   | Expr.Store (a, e) -> Format.fprintf fmt "%svstore(%a, %a)@\n" pad Addr.pp a pp_vexpr e
+  | Expr.Storem (a, e, m) ->
+    Format.fprintf fmt "%svstore.mask(%a, %a, %a)@\n" pad Addr.pp a pp_vexpr e
+      pp_vexpr m
   | Expr.Assign (x, e) -> Format.fprintf fmt "%s%s := %a@\n" pad x pp_vexpr e
   | Expr.If (c, t, e) ->
     Format.fprintf fmt "%sif (%a) {@\n" pad Rexpr.pp_cond c;
@@ -177,6 +185,9 @@ let static_counts_of_stmts stmts =
         | Expr.Shiftpair _ -> { acc with shifts = acc.shifts + 1 }
         | Expr.Splice _ -> { acc with splices = acc.splices + 1 }
         | Expr.Pack _ -> { acc with packs = acc.packs + 1 }
+        (* vcmp and vsel are ordinary lane vops for the static summary;
+           machine-parameterized costing lives in {!Simd.Opt.Cost} *)
+        | Expr.Cmp _ | Expr.Sel _ -> { acc with ops = acc.ops + 1 }
         | Expr.Temp _ -> acc)
       acc e
   in
@@ -185,6 +196,8 @@ let static_counts_of_stmts stmts =
       (fun acc s ->
         match (s : Expr.stmt) with
         | Expr.Store (_, e) -> incr_expr { acc with stores = acc.stores + 1 } e
+        | Expr.Storem (_, e, m) ->
+          incr_expr (incr_expr { acc with stores = acc.stores + 1 } e) m
         | Expr.Assign (_, Expr.Temp _) -> { acc with copies = acc.copies + 1 }
         | Expr.Assign (_, e) -> incr_expr acc e
         | Expr.If (_, t, e) -> go (go acc t) e)

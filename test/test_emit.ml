@@ -80,10 +80,33 @@ let test_avx2_structure () =
       "_mm256_add_epi32";
       "_mm256_blendv_epi8";
       "~(uintptr_t)31";
-      (* vshiftpair crosses the 128-bit lane boundary via the spill
-         buffer, never lane-local shuffles *)
+      (* vshiftpair's fast path crosses the 128-bit lane boundary with
+         permute2x128 + lane-local alignr; the spill buffer stays as the
+         fallback for amounts the jump table cannot fold *)
       "vshiftpair";
+      "_mm256_permute2x128_si256";
+      "_mm256_alignr_epi8";
+      "vshiftpair_spill";
     ]
+
+(* Predicated programs emit the compare/select/masked-store family in
+   every backend's prelude (the kernel body is shared). *)
+let pred_src =
+  "int32 x[256] @ 4;\nint32 y[256] @ 0;\nparam t;\n\
+   for (i = 0; i < 200; i++) { if (x[i+1] > t) { y[i+2] = x[i+1] - t; } }"
+
+let test_pred_structure () =
+  let check_backend name emit config intrinsics =
+    let o = simdized ~config pred_src in
+    let c = emit o.Driver.prog in
+    assert_contains name c ([ "vcmp_gt"; "vsel"; "vstore_mask" ] @ intrinsics)
+  in
+  check_backend "portable" Emit_portable.unit Driver.default
+    [ "DEFINE_LANECMP" ];
+  check_backend "sse" Emit_sse.unit Driver.default [ "_mm_cmpgt_epi32" ];
+  check_backend "avx2" Emit_avx2.unit config_v32 [ "_mm256_cmpgt_epi32" ];
+  check_backend "neon" Emit_neon.unit Driver.default [ "vcgtq_s32" ];
+  check_backend "altivec" Emit_altivec.unit Driver.default [ "vec_cmpgt" ]
 
 let test_avx2_rejects_v16 () =
   let o = simdized fig1 in
@@ -216,6 +239,18 @@ let test_gcc_portable_matrix () =
       ( "int16 y[256] @ 2;\nint16 x[900] @ 6;\n\
          for (i = 0; i < 200; i++) { y[i+1] = x[4*i+3] + 7; }",
         { Driver.default with Driver.reuse = Driver.Predictive_commoning } );
+      (* predication: masked store behind a threshold guard *)
+      (pred_src, Driver.default);
+      (* predication: complementary if/else merged into one vsel *)
+      ( "int16 a[256] @ 2;\nint16 b[256] @ 6;\nint16 c[256] @ 0;\n\
+         for (i = 0; i < 200; i++) { if (a[i+1] <= b[i+3]) { c[i+2] = \
+         a[i+1] + b[i+3]; } else { c[i+2] = b[i+3] - a[i+1]; } }",
+        Driver.default );
+      (* predication: guarded store + runtime trip (peeled guards) *)
+      ( "int8 src[1008] @ 3;\nint8 dst[1012] @ 5;\nparam n;\nparam lim;\n\
+         for (i = 0; i < n; i++) { if (src[i+2] != lim) { dst[i+1] = \
+         src[i+2] & lim; } }",
+        Driver.default );
     ]
   in
   List.iteri
@@ -245,6 +280,13 @@ let test_gcc_sse () =
         (* strided gather through pshufb masks *)
         ( "int32 re[256] @ 0;\nint32 x[600] @ 4;\n\
            for (i = 0; i < 200; i++) { re[i+1] = x[2*i+1]; }",
+          Driver.default );
+        (* predication: compare + blend + masked store, and the I64 lane
+           fallback (no _mm_cmpgt_epi64 on the SSSE3 floor) *)
+        (pred_src, Driver.default);
+        ( "int64 a[256] @ 8;\nint64 b[256] @ 0;\n\
+           for (i = 0; i < 200; i++) { if (b[i+2] > 9) { a[i+1] = b[i+2] \
+           * 3; } }",
           Driver.default );
       ]
 
@@ -283,7 +325,41 @@ let isa_cases =
     ( "int64 a[256] @ 8;\nint64 b[256] @ 0;\n\
        for (i = 0; i < 200; i++) { a[i+1] = b[i+2] * 3; }",
       Driver.default );
+    (* predication across the ISA set: threshold guard -> masked store *)
+    (pred_src, Driver.default);
+    ( "int16 a[256] @ 2;\nint16 b[256] @ 6;\nint16 c[256] @ 0;\n\
+       for (i = 0; i < 200; i++) { if (a[i+1] <= b[i+3]) { c[i+2] = \
+       a[i+1] + b[i+3]; } else { c[i+2] = b[i+3] - a[i+1]; } }",
+      Driver.default );
   ]
+
+(* The AVX2 vshiftpair fast path (permute2x128 + alignr) under real gcc:
+   misaligned 3-stream programs route every load through vshiftpair, so a
+   run mismatch here would convict the jump table. Gated on the
+   capability probe like the other AVX2 harnesses. *)
+let test_gcc_avx2_shiftpair () =
+  gcc_backend_cases ~backend:`Avx2 ~probe_backend:Backend.Avx2
+    ~flags:"-O2 -mavx2 -Wall" ~vl:32 ~seed0:400
+    [
+      (fig1, Driver.default);
+      (fig1, { Driver.default with Driver.policy = Policy.Eager });
+      (fig1, { Driver.default with Driver.policy = Policy.Lazy });
+      (* every element width exercises a different alignr amount *)
+      ( "int8 a[256] @ 3;\nint8 b[256] @ 9;\n\
+         for (i = 0; i < 200; i++) { a[i+1] = b[i+3] ^ 7; }",
+        Driver.default );
+      ( "int16 a[256] @ 2;\nint16 b[256] @ 6;\n\
+         for (i = 0; i < 200; i++) { a[i+1] = b[i+3] + 5; }",
+        Driver.default );
+      ( "int64 a[256] @ 8;\nint64 b[256] @ 0;\n\
+         for (i = 0; i < 200; i++) { a[i+1] = b[i+2] * 3; }",
+        Driver.default );
+      (* runtime alignment: the shift amount is a runtime value, so the
+         switch dispatches dynamically (or falls through to the spill) *)
+      ( "int32 a[256] @ ?;\nint32 b[256] @ ?;\n\
+         for (i = 0; i < 200; i++) { a[i+1] = b[i+2]; }",
+        Driver.default );
+    ]
 
 let test_gcc_avx2 () =
   gcc_backend_cases ~backend:`Avx2 ~probe_backend:Backend.Avx2
@@ -303,11 +379,14 @@ let suite =
         Alcotest.test_case "avx2 structure" `Quick test_avx2_structure;
         Alcotest.test_case "avx2 rejects V=16" `Quick test_avx2_rejects_v16;
         Alcotest.test_case "neon structure" `Quick test_neon_structure;
+        Alcotest.test_case "predication structure" `Quick test_pred_structure;
         Alcotest.test_case "scalar loop C" `Quick test_scalar_loop_c;
         Alcotest.test_case "element C types" `Quick test_widths_ctypes;
         Alcotest.test_case "gcc portable matrix" `Slow test_gcc_portable_matrix;
         Alcotest.test_case "gcc sse" `Slow test_gcc_sse;
         Alcotest.test_case "gcc avx2 matrix" `Slow test_gcc_avx2;
+        Alcotest.test_case "gcc avx2 shiftpair fast path" `Slow
+          test_gcc_avx2_shiftpair;
         Alcotest.test_case "gcc neon matrix" `Slow test_gcc_neon;
       ] );
   ]

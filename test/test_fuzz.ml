@@ -22,9 +22,11 @@ let test_generator_well_formed () =
   let prng = Prng.create ~seed:7 in
   for _ = 1 to 500 do
     let case = Fuzz.Genloop.gen_case prng in
+    (* Legality is judged on the if-converted program, exactly as the
+       driver judges it: raw guarded reductions are rejected by design. *)
     (match
        Analysis.check ~machine:case.Fuzz.Case.config.Driver.machine
-         case.Fuzz.Case.program
+         (Mask.apply case.Fuzz.Case.program)
      with
     | Ok _ -> ()
     | Error e ->

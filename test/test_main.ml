@@ -31,5 +31,6 @@ let () =
          Test_trace.suite;
          Test_par.suite;
          Test_check.suite;
+         Test_mask.suite;
          Test_serve.suite;
        ])

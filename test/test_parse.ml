@@ -176,6 +176,7 @@ let test_binop_symbol_total () =
                   { Ast.ref_array = "a0"; ref_offset = 0; ref_stride = 1 };
                 rhs = e;
                 kind = Ast.Assign;
+                guard = None;
               };
             ];
         };
@@ -271,6 +272,7 @@ let gen_program : Ast.program QCheck.Gen.t =
         Ast.lhs = { Ast.ref_array = "a0"; ref_offset = store_off; ref_stride = 1 };
         rhs;
         kind = Ast.Assign;
+        guard = None;
       };
     ]
   in

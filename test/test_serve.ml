@@ -688,6 +688,79 @@ let test_server_no_trailing_newline () =
   close_in ic;
   check_int "unterminated final request answered" 2 (List.length !out)
 
+(* Two concurrent clients on the Unix-domain socket. Client A parks half
+   a request line (no newline); client B, connected alongside, must get a
+   full round trip while A is mid-line — the accept loop multiplexes
+   connections instead of serving them to completion one at a time. Then
+   A completes and is served from its own reader state; B vanishing does
+   not kill the daemon; shutdown from A does. *)
+let test_socket_two_clients () =
+  with_tmp_dir (fun dir ->
+      let path = Filename.concat dir "sock" in
+      match Unix.fork () with
+      | 0 ->
+        let server = Serve.Server.create () in
+        (try Serve.Server.listen_unix server ~path with _ -> ());
+        Unix._exit 0
+      | pid ->
+        let rec await n =
+          if Sys.file_exists path then ()
+          else if n = 0 then Alcotest.fail "socket never appeared"
+          else begin
+            Unix.sleepf 0.02;
+            await (n - 1)
+          end
+        in
+        await 250;
+        let connect () =
+          let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+          Unix.connect fd (Unix.ADDR_UNIX path);
+          fd
+        in
+        let send fd str =
+          ignore (Unix.write fd (Bytes.of_string str) 0 (String.length str))
+        in
+        let a = connect () in
+        let b = connect () in
+        let aic = Unix.in_channel_of_descr a in
+        let bic = Unix.in_channel_of_descr b in
+        let id_of line =
+          Json.member "id" (Result.get_ok (Json.of_string line))
+        in
+        let op_of line =
+          Json.member "op" (Result.get_ok (Json.of_string line))
+        in
+        (* A parks an incomplete request line. *)
+        let a_line = compile_line ~id:"a1" sample_source in
+        let half = String.length a_line / 2 in
+        send a (String.sub a_line 0 half);
+        (* B gets served while A is mid-line. *)
+        send b (compile_line ~id:"b1" sample_source ^ "\n");
+        check_bool "b served while a mid-line" true
+          (id_of (input_line bic) = Some (Json.String "b1"));
+        (* A completes its line and is served from its own buffer. *)
+        send a (String.sub a_line half (String.length a_line - half) ^ "\n");
+        check_bool "a completed and served" true
+          (id_of (input_line aic) = Some (Json.String "a1"));
+        (* B disconnecting ends only B's connection. *)
+        close_in bic;
+        send a "{|op-ping|}\n";
+        check_bool "malformed still answered" true
+          (match Json.of_string (input_line aic) with
+          | Ok doc -> Json.member "status" doc = Some (Json.String "error")
+          | Error _ -> false);
+        send a ({|{"op":"ping"}|} ^ "\n");
+        check_bool "daemon alive after b left" true
+          (op_of (input_line aic) = Some (Json.String "pong"));
+        (* Shutdown from any client stops the daemon. *)
+        send a ({|{"op":"shutdown"}|} ^ "\n");
+        check_bool "shutdown acked" true
+          (op_of (input_line aic) = Some (Json.String "shutdown"));
+        close_in aic;
+        (match Unix.waitpid [] pid with
+        | _, Unix.WEXITED 0 -> ()
+        | _ -> Alcotest.fail "daemon did not exit cleanly"))
+
 let suite =
   [
     ( "serve json",
@@ -744,6 +817,8 @@ let suite =
         Alcotest.test_case "serve_fd end to end" `Quick test_server_serve_fd;
         Alcotest.test_case "poison request isolated" `Quick
           test_server_poison_request;
+        Alcotest.test_case "socket: two concurrent clients" `Quick
+          test_socket_two_clients;
         Alcotest.test_case "no trailing newline" `Quick
           test_server_no_trailing_newline;
       ] );
