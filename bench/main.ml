@@ -253,7 +253,8 @@ let timings =
    summary (Simd.Trace) of that compilation — which passes ran, which
    changed the IR, and their operation-count deltas — and with the static
    verifier's verdict (Simd.Check): per-boundary violations (none, for a
-   healthy compiler) and the proof obligations discharged.
+   healthy compiler) and the proof obligations discharged — plus the
+   simd-lint/1 report (Simd.Lint) of wasted or suspicious vector code.
 
    Each (program, policy) scheme's report is served from the artifact
    cache: the key covers library version, program source, and canonical
@@ -273,6 +274,7 @@ let compile_scheme program policy : Simd.Json.t option =
          [
            ("report", Simd.Opt.Report.to_json (Simd.Driver.report o));
            ("trace", Simd.Trace.summary_to_json trace);
+           ("lint", Simd.Lint.report_to_json (Simd.Lint.run o));
            ( "check",
              let violation_json (boundary, v) =
                let fields =

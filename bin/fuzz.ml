@@ -59,6 +59,48 @@ let write_failures ~out ~seed failures =
       (f, path))
     failures
 
+(* Per-rule lint counters over a deterministic bounded sample of the
+   campaign's case stream: the first [min budget 200] cases regenerated
+   from [seed] (the sequential-campaign prefix), compiled under their
+   sampled configs and linted. A pure function of [seed] and [budget],
+   so reports stay byte-identical for fixed inputs. *)
+let lint_json ~seed ~budget : Simd.Json.t =
+  let sample = min budget 200 in
+  let totals = Hashtbl.create 16 in
+  List.iter
+    (fun (r : Simd.Lint.rule) -> Hashtbl.replace totals r.Simd.Lint.name 0)
+    Simd.Lint.rules;
+  let simdized = ref 0 and scalar = ref 0 and findings = ref 0 in
+  let prng = Simd.Prng.create ~seed in
+  for _ = 1 to sample do
+    let case = Fuzz.Genloop.gen_case prng in
+    match
+      Simd.Driver.simdize case.Fuzz.Case.config case.Fuzz.Case.program
+    with
+    | Simd.Driver.Scalar _ -> incr scalar
+    | Simd.Driver.Simdized o ->
+      incr simdized;
+      let r = Simd.Lint.run o in
+      findings := !findings + List.length r.Simd.Lint.findings;
+      List.iter
+        (fun (name, n) ->
+          Hashtbl.replace totals name (Hashtbl.find totals name + n))
+        r.Simd.Lint.counts
+  done;
+  Simd.Json.Obj
+    [
+      ("sample", Simd.Json.Int sample);
+      ("simdized", Simd.Json.Int !simdized);
+      ("scalar", Simd.Json.Int !scalar);
+      ("findings", Simd.Json.Int !findings);
+      ( "counts",
+        Simd.Json.Obj
+          (List.map
+             (fun (r : Simd.Lint.rule) ->
+               (r.Simd.Lint.name, Simd.Json.Int (Hashtbl.find totals r.Simd.Lint.name)))
+             Simd.Lint.rules) );
+    ]
+
 let report_json ~seed ~budget ~jobs ~chunk_size ~oracle ~wall_s
     (r : Par.Campaign.result) (written : (Fuzz.Campaign.failure * string) list)
     : Simd.Json.t =
@@ -102,6 +144,7 @@ let report_json ~seed ~budget ~jobs ~chunk_size ~oracle ~wall_s
       ("stats", Fuzz.Campaign.stats_to_json r.Par.Campaign.stats);
       ("failures", Simd.Json.List (List.map failure_json written));
       ("lost_chunks", Simd.Json.List (List.map lost_json r.Par.Campaign.lost));
+      ("lint", lint_json ~seed ~budget);
       (* Everything above is deterministic for fixed seed/budget/oracle;
          the perf section below is the only part that varies with --jobs
          and machine load. *)

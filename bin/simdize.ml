@@ -87,20 +87,23 @@ let check_conv =
         Format.pp_print_string fmt
           (match k with `On -> "on" | `Strict -> "strict") )
 
-let warnings_count violations =
+let severity_count sev violations =
   List.length
     (List.filter
-       (fun (_, (v : Simd.Check.violation)) ->
-         v.Simd.Check.severity = Simd.Check.Warning)
+       (fun (_, (v : Simd.Check.violation)) -> v.Simd.Check.severity = sev)
        violations)
 
-let run file policy reuse memnorm reassoc peel unroll vector_len emit stats
-    simulate verify trip trace_fmt check_mode =
+(* Unified exit codes, shared with simdlint.exe (see docs/LINT.md):
+   0 = clean, 1 = warning-only findings under a strict mode, 2 = errors
+   (static-verifier or lint errors, parse failures, scalar fallback,
+   verification failures). *)
+let run file policy reuse memnorm reassoc peel unroll cleanup vector_len emit
+    stats simulate verify trip trace_fmt check_mode lint_mode =
   let src = read_input file in
   match Simd.parse src with
   | Error msg ->
     Format.eprintf "%s@." msg;
-    1
+    2
   | Ok program -> (
     let machine = Simd.Machine.create ~vector_len in
     let config =
@@ -113,6 +116,7 @@ let run file policy reuse memnorm reassoc peel unroll vector_len emit stats
         reassoc;
         unroll;
         peel_baseline = peel;
+        cleanup;
       }
     in
     let trace =
@@ -133,45 +137,69 @@ let run file policy reuse memnorm reassoc peel unroll vector_len emit stats
     | Simd.Driver.Scalar reason ->
       print_trace ();
       Format.eprintf "left scalar: %a@." Simd.Driver.pp_reason reason;
-      1
+      2
     | Simd.Driver.Simdized o ->
       print_trace ();
-      let ok = ref 0 in
+      let code = ref 0 in
+      let worst n = if n > !code then code := n in
       (match check_mode with
       | None -> ()
       | Some mode ->
         let violations = Simd.Driver.check_violations o in
         let facts = Simd.Driver.check_facts o in
-        let failing =
-          List.filter
-            (fun (_, (v : Simd.Check.violation)) ->
-              v.Simd.Check.severity = Simd.Check.Error || mode = `Strict)
-            violations
-        in
+        let errors = severity_count Simd.Check.Error violations in
+        let warnings = severity_count Simd.Check.Warning violations in
         List.iter
           (fun (boundary, v) ->
             Format.eprintf "check: at %s: %a@." boundary
               Simd.Check.pp_violation v)
           violations;
-        if failing <> [] then begin
+        if errors > 0 then begin
           Format.eprintf
-            "check FAILED: %d violation%s (first at pass boundary %s)@."
-            (List.length failing)
-            (if List.length failing = 1 then "" else "s")
-            (fst (List.hd failing));
-          ok := 1
+            "check FAILED: %d error%s (first at pass boundary %s)@." errors
+            (if errors = 1 then "" else "s")
+            (fst
+               (List.hd
+                  (List.filter
+                     (fun (_, (v : Simd.Check.violation)) ->
+                       v.Simd.Check.severity = Simd.Check.Error)
+                     violations)));
+          worst 2
         end
-        else
+        else begin
+          if mode = `Strict && warnings > 0 then begin
+            Format.eprintf
+              "check: %d warning%s escalated by strict mode@." warnings
+              (if warnings = 1 then "" else "s");
+            worst 1
+          end;
           Format.printf
             "// check: OK (%d op, %d store, %d shift, %d seam obligations \
              proved across %d boundaries%s)@."
             facts.Simd.Check.ops_proved facts.Simd.Check.stores_proved
             facts.Simd.Check.shifts_proved facts.Simd.Check.seams_proved
             (List.length o.Simd.Driver.checks)
-            (match warnings_count violations with
+            (match warnings with
             | 0 -> ""
             | n -> Printf.sprintf "; %d lint warning%s" n
-                     (if n = 1 then "" else "s")));
+                     (if n = 1 then "" else "s"))
+        end);
+      (match lint_mode with
+      | None -> ()
+      | Some mode ->
+        let r = Simd.Lint.run o in
+        List.iter
+          (fun f -> Format.eprintf "lint: %a@." Simd.Lint.pp_finding f)
+          r.Simd.Lint.findings;
+        if Simd.Lint.clean r then
+          Format.printf "// lint: clean (%d rules)@."
+            (List.length Simd.Lint.rules)
+        else
+          Format.eprintf "lint: %d error%s, %d warning%s@." r.Simd.Lint.errors
+            (if r.Simd.Lint.errors = 1 then "" else "s")
+            r.Simd.Lint.warnings
+            (if r.Simd.Lint.warnings = 1 then "" else "s");
+        worst (Simd.Lint.exit_code ~strict:(mode = `Strict) r));
       (match emit with
       | `Vir -> print_string (Simd.Vir_prog.to_string o.Simd.Driver.prog)
       | `Graph ->
@@ -197,7 +225,7 @@ let run file policy reuse memnorm reassoc peel unroll vector_len emit stats
             (Simd.Backend.default_vl backend)
             vector_len
             (Simd.Backend.default_vl backend);
-          ok := 1
+          worst 2
         end);
       if stats then
         print_endline
@@ -217,9 +245,9 @@ let run file policy reuse memnorm reassoc peel unroll vector_len emit stats
         | Ok () -> Format.printf "// verify: OK (simdized == scalar)@."
         | Error m ->
           Format.eprintf "verify FAILED: %s@." m;
-          ok := 1
+          worst 2
       end;
-      !ok)
+      !code)
 
 let cmd =
   let file =
@@ -277,6 +305,14 @@ let cmd =
       value & opt int 1
       & info [ "u"; "unroll" ] ~docv:"FACTOR"
           ~doc:"Steady-loop unroll factor (removes pipelining copies).")
+  in
+  let cleanup =
+    Arg.(
+      value & flag
+      & info [ "cleanup" ]
+          ~doc:"Run the dataflow-backed VIR cleanup pass (copy propagation, \
+                shift combining, invariant hoisting, dead-code elimination) \
+                after placement; see docs/LINT.md.")
   in
   let vector_len =
     Arg.(
@@ -339,13 +375,31 @@ let cmd =
                 pass boundary that introduced them; any error exits \
                 nonzero. $(docv) is $(b,on) (default) or $(b,strict) \
                 (escalates lint warnings such as dead shifts to errors). \
-                See docs/CHECK.md.")
+                See docs/CHECK.md. Exit codes are shared with --lint and \
+                simdlint.exe: 2 on errors, 1 on warning-only findings \
+                under strict, 0 when clean (docs/LINT.md).")
+  in
+  let lint =
+    Arg.(
+      value
+      & opt ~vopt:(Some `On) (some check_conv) None
+      & info [ "lint" ] ~docv:"MODE"
+          ~doc:"Run the registry-based linter (Simd.Lint) on the compiled \
+                program: dead vector operations, redundant or cancelling \
+                stream shifts, unused streams, write-before-read clobbers, \
+                unhoisted loop-invariant operations, shift-amount range, \
+                and lane-uniform store masks. $(docv) is $(b,on) (default) \
+                or $(b,strict) (warnings affect the exit code). Exit codes \
+                are shared with --check and simdlint.exe: 2 on errors, 1 \
+                on warning-only findings under strict, 0 when clean \
+                (docs/LINT.md).")
   in
   Cmd.v
     (Cmd.info "simdize" ~version:"1.0"
        ~doc:"Vectorize loops for SIMD architectures with alignment constraints")
     Term.(
       const run $ file $ policy $ reuse $ memnorm $ reassoc $ peel $ unroll
-      $ vector_len $ emit $ stats $ simulate $ verify $ trip $ trace $ check)
+      $ cleanup $ vector_len $ emit $ stats $ simulate $ verify $ trip $ trace
+      $ check $ lint)
 
 let () = exit (Cmd.eval' cmd)

@@ -9,6 +9,8 @@ module Util = Simd_support.Util
 module Json = Simd_support.Json
 module SM = Util.String_map
 module SS = Util.String_set
+module Absoff = Simd_dataflow.Absoff
+module Dataflow = Simd_dataflow.Dataflow
 
 type severity = Error | Warning
 
@@ -161,44 +163,25 @@ let rec count_graph_ops = function
 (* [shared] answers whether a reorganization chain has more than one
    consumer body-wide: a detour that looks wasteful inside one statement
    is not dead when another statement rides the same (value-numbered)
-   stream, so the lint must count consumers across the whole body. *)
-let rec dead_shift_lint ctx ~shared ~where (n : Graph.node) =
-  (match n with
-  | Graph.Shift (src, from, to_) -> (
-    if Offset.matches ~block:ctx.block from to_ then
-      report ctx ~rule:"dead-shift" ~severity:Warning ~where
-        (Format.asprintf
-           "vshiftstream(%a -> %a) is a no-op: source and target offsets \
-            provably coincide"
-           Offset.pp from Offset.pp to_);
-    match src with
-    | Graph.Shift (_, f1, t1)
-      when Offset.matches ~block:ctx.block t1 from
-           && Offset.matches ~block:ctx.block f1 to_
-           && not (Offset.matches ~block:ctx.block from to_)
-           && not
-                (match Graph.chain_of src with
-                | Some c -> shared c
-                | None -> false) ->
-      report ctx ~rule:"dead-shift" ~severity:Warning ~where
-        (Format.asprintf
-           "redundant vshiftstream pair %a -> %a -> %a returns the stream \
-            to its original offset"
-           Offset.pp f1 Offset.pp t1 Offset.pp to_)
-    | _ -> ())
-  | Graph.Load _ | Graph.Strided _ | Graph.Splat _ | Graph.Op _ | Graph.Cmp _
-  | Graph.Sel _ ->
-    ());
-  match n with
-  | Graph.Op (_, a, b) | Graph.Cmp (_, a, b) ->
-    dead_shift_lint ctx ~shared ~where a;
-    dead_shift_lint ctx ~shared ~where b
-  | Graph.Sel (m, a, b) ->
-    dead_shift_lint ctx ~shared ~where m;
-    dead_shift_lint ctx ~shared ~where a;
-    dead_shift_lint ctx ~shared ~where b
-  | Graph.Shift (src, _, _) -> dead_shift_lint ctx ~shared ~where src
-  | Graph.Load _ | Graph.Strided _ | Graph.Splat _ -> ()
+   stream, so the lint must count consumers across the whole body. The
+   scan itself lives in the dataflow library ([Dataflow.Deadshift]);
+   only the diagnostic rendering is the checker's. *)
+let dead_shift_lint ctx ~shared ~where (n : Graph.node) =
+  List.iter
+    (function
+      | Dataflow.Deadshift.No_op { from_; to_ } ->
+        report ctx ~rule:"dead-shift" ~severity:Warning ~where
+          (Format.asprintf
+             "vshiftstream(%a -> %a) is a no-op: source and target offsets \
+              provably coincide"
+             Offset.pp from_ Offset.pp to_)
+      | Dataflow.Deadshift.Cancelling { f1; t1; to_ } ->
+        report ctx ~rule:"dead-shift" ~severity:Warning ~where
+          (Format.asprintf
+             "redundant vshiftstream pair %a -> %a -> %a returns the stream \
+              to its original offset"
+             Offset.pp f1 Offset.pp t1 Offset.pp to_))
+    (Dataflow.Deadshift.find ~block:ctx.block ~shared n)
 
 let check_graphs ~analysis graphs =
   let ctx = make_ctx analysis in
@@ -490,8 +473,17 @@ let stmt_label s =
   | Some i -> String.sub full 0 i ^ " ..."
   | None -> full
 
-let rec exec_stmt ctx ~quiet ~check_defs ~region idx st
-    (s : Expr.stmt) : xstate =
+(* Join at an [If]: keep what both branches agree on; a temp defined on
+   either branch counts as defined (optimistic — this is a linter, false
+   positives are worse than missed lints). *)
+let join_xstate ctx st_t st_f =
+  {
+    env = Dataflow.join_env ~v:ctx.v st_t.env st_f.env;
+    defs = SM.union (fun _ a _ -> Some a) st_t.defs st_f.defs;
+    defined = SS.union st_t.defined st_f.defined;
+  }
+
+let exec_leaf ctx ~quiet ~check_defs ~region ~idx st (s : Expr.stmt) : xstate =
   let where = Printf.sprintf "%s#%d (%s)" region idx (stmt_label s) in
   match s with
   | Expr.Store (addr, value) ->
@@ -544,44 +536,30 @@ let rec exec_stmt ctx ~quiet ~check_defs ~region idx st
       defs = SM.add x e st.defs;
       defined = SS.add x st.defined;
     }
-  | Expr.If (c, t, f) ->
-    (if not quiet then
-       let r =
-         match c with
-         | Rexpr.Ge (a, b) | Rexpr.Gt (a, b) | Rexpr.Le (a, b)
-         | Rexpr.Lt (a, b) ->
-           (a, b)
-       in
-       let a, b = r in
-       range_check_rexpr ctx ~where ~kind:"guard operand" a;
-       range_check_rexpr ctx ~where ~kind:"guard operand" b);
-    let st_t = exec_stmts ctx ~quiet ~check_defs ~region idx st t in
-    let st_f = exec_stmts ctx ~quiet ~check_defs ~region idx st f in
-    (* Join: keep what both branches agree on; a temp defined on either
-       branch counts as defined (optimistic — this is a linter, false
-       positives are worse than missed lints). *)
-    let env =
-      SM.merge
-        (fun _ a b ->
-          match (a, b) with
-          | Some a, Some b -> Some (Absoff.merge ~v:ctx.v a b)
-          | Some a, None | None, Some a -> Some a
-          | None, None -> None)
-        st_t.env st_f.env
-    in
-    let defs =
-      SM.union (fun _ a _ -> Some a) st_t.defs st_f.defs
-    in
-    { env; defs; defined = SS.union st_t.defined st_f.defined }
+  | Expr.If _ ->
+    (* guards are handled structurally by [Dataflow.forward] *)
+    st
 
-and exec_stmts ctx ~quiet ~check_defs ~region idx0 st stmts =
-  let st, _ =
-    List.fold_left
-      (fun (st, i) s ->
-        (exec_stmt ctx ~quiet ~check_defs ~region i st s, i + 1))
-      (st, idx0) stmts
-  in
-  st
+(* Range-check the guard operands of an [If] before its branches run. *)
+let guard_checks ctx ~quiet ~region ~idx (_ : xstate) (s : Expr.stmt) =
+  match s with
+  | Expr.If (c, _, _) when not quiet ->
+    let where = Printf.sprintf "%s#%d (%s)" region idx (stmt_label s) in
+    let a, b =
+      match c with
+      | Rexpr.Ge (a, b) | Rexpr.Gt (a, b) | Rexpr.Le (a, b) | Rexpr.Lt (a, b)
+        ->
+        (a, b)
+    in
+    range_check_rexpr ctx ~where ~kind:"guard operand" a;
+    range_check_rexpr ctx ~where ~kind:"guard operand" b
+  | _ -> ()
+
+let exec_stmts ctx ~quiet ~check_defs ~region idx0 st stmts =
+  Dataflow.forward
+    ~leaf:(fun ~idx st s -> exec_leaf ctx ~quiet ~check_defs ~region ~idx st s)
+    ~guard:(fun ~idx st s -> guard_checks ctx ~quiet ~region ~idx st s)
+    ~join:(join_xstate ctx) ~idx0 st stmts
 
 let exec_region ctx ~quiet ~check_defs ~region st stmts =
   exec_stmts ctx ~quiet ~check_defs ~region 0 st stmts
@@ -589,30 +567,6 @@ let exec_region ctx ~quiet ~check_defs ~region st stmts =
 (* ------------------------------------------------------------------ *)
 (* Body well-formedness: the carried-temp seam discipline               *)
 (* ------------------------------------------------------------------ *)
-
-(* Temps read by a statement, paired with the statement's position. *)
-let rec stmt_reads acc = function
-  | Expr.Store (_, e) | Expr.Assign (_, e) ->
-    Expr.fold_vexpr
-      (fun acc e ->
-        match e with Expr.Temp x -> x :: acc | _ -> acc)
-      acc e
-  | Expr.Storem (_, e, m) ->
-    let note acc e =
-      Expr.fold_vexpr
-        (fun acc e ->
-          match e with Expr.Temp x -> x :: acc | _ -> acc)
-        acc e
-    in
-    note (note acc e) m
-  | Expr.If (_, t, f) ->
-    let acc = List.fold_left stmt_reads acc t in
-    List.fold_left stmt_reads acc f
-
-let stmt_defs = function
-  | Expr.Assign (x, _) -> [ x ]
-  | Expr.Store _ | Expr.Storem _ -> []
-  | Expr.If (_, t, f) -> Expr.temps_written t @ Expr.temps_written f
 
 (* A temp that is live into the body (read before any body definition)
    names a loop-carried register. The unroll pass keeps every seam restore
@@ -622,55 +576,27 @@ let stmt_defs = function
    (unrolling's seam-restore coalescer legitimately renames a later
    definition onto a carried name, so re-definition is a lint, not an
    error; the seam *semantics* are verified separately by
-   {!check_unroll}'s translation validation). *)
+   {!check_unroll}'s translation validation). The carried-temp discovery
+   itself is the reaching-definitions analysis of the dataflow library. *)
 let body_wf ctx ~prologue_defined body =
-  let n = List.length body in
-  let reads = Array.make n [] and defs = Array.make n [] in
-  List.iteri
-    (fun i s ->
-      reads.(i) <- List.rev (stmt_reads [] s);
-      defs.(i) <- stmt_defs s)
-    body;
-  let first_def = Hashtbl.create 16 and def_count = Hashtbl.create 16 in
-  Array.iteri
-    (fun i ds ->
-      List.iter
-        (fun x ->
-          if not (Hashtbl.mem first_def x) then Hashtbl.add first_def x i;
-          Hashtbl.replace def_count x
-            (1 + Option.value ~default:0 (Hashtbl.find_opt def_count x)))
-        ds)
-    defs;
-  let seen = Hashtbl.create 16 in
-  Array.iteri
-    (fun i rs ->
-      List.iter
-        (fun x ->
-          if not (Hashtbl.mem seen x) then begin
-            Hashtbl.add seen x ();
-            let fd = Hashtbl.find_opt first_def x in
-            let live_in = match fd with None -> true | Some d -> i <= d in
-            if live_in then begin
-              if not (SS.mem x prologue_defined) then
-                report ctx ~rule:"def-before-use" ~severity:Error
-                  ~where:(Printf.sprintf "body#%d" i)
-                  (Printf.sprintf
-                     "loop-carried temporary %s is read before any \
-                      definition (not initialized by the prologue)"
-                     x);
-              match fd with
-              | None -> ()
-              | Some d ->
-                if Hashtbl.find def_count x > 1 then
-                  report ctx ~rule:"multi-def" ~severity:Warning
-                    ~where:(Printf.sprintf "body#%d" d)
-                    (Printf.sprintf
-                       "loop-carried temporary %s has multiple body \
-                        definitions" x)
-            end
-          end)
-        rs)
-    reads
+  List.iter
+    (fun (c : Dataflow.Reach.carried) ->
+      if not (SS.mem c.ca_name prologue_defined) then
+        report ctx ~rule:"def-before-use" ~severity:Error
+          ~where:(Printf.sprintf "body#%d" c.ca_first_read)
+          (Printf.sprintf
+             "loop-carried temporary %s is read before any definition (not \
+              initialized by the prologue)"
+             c.ca_name);
+      match c.ca_first_def with
+      | Some d when c.ca_def_count > 1 ->
+        report ctx ~rule:"multi-def" ~severity:Warning
+          ~where:(Printf.sprintf "body#%d" d)
+          (Printf.sprintf
+             "loop-carried temporary %s has multiple body definitions"
+             c.ca_name)
+      | Some _ | None -> ())
+    (Dataflow.Reach.carried_temps body)
 
 (* ------------------------------------------------------------------ *)
 (* Unroll translation validation                                       *)
@@ -771,17 +697,9 @@ let check_unroll ~analysis ~factor ~(pre : Expr.stmt list)
        original body. Each must end the unrolled body holding the value
        [factor] original iterations would have left in it. *)
     let live_in =
-      let defined = ref SS.empty and live = ref [] in
-      List.iter
-        (fun s ->
-          List.iter
-            (fun x ->
-              if (not (SS.mem x !defined)) && not (List.mem x !live) then
-                live := x :: !live)
-            (List.rev (stmt_reads [] s));
-          List.iter (fun x -> defined := SS.add x !defined) (stmt_defs s))
-        pre;
-      List.rev !live
+      List.map
+        (fun c -> c.Dataflow.Reach.ca_name)
+        (Dataflow.Reach.carried_temps pre)
     in
     let final env x =
       match SM.find_opt x env with Some id -> id | None -> vn (K_init x)
@@ -822,30 +740,20 @@ let check_unroll ~analysis ~factor ~(pre : Expr.stmt list)
 (* Body environment fixpoint                                            *)
 (* ------------------------------------------------------------------ *)
 
-let env_equal a b = SM.equal Absoff.equal a b
-
-let widen_env prev next =
-  SM.merge
-    (fun _ a b ->
-      match (a, b) with
-      | Some a, Some b -> if Absoff.equal a b then Some a else Some Absoff.Top
-      | Some _, None | None, Some _ -> Some Absoff.Top
-      | None, None -> None)
-    prev next
-
+(* The loop-entry environment is the offset analysis's widened fixpoint:
+   its [eval] is the diagnostic-free mirror of [eval_vexpr], so the
+   checked body pass below sees exactly the environment the quiet
+   iteration settled on. *)
 let body_entry_env ctx st0 body =
-  let step env =
-    (exec_region ctx ~quiet:true ~check_defs:false ~region:"body"
-       { st0 with env } body)
-      .env
+  let octx =
+    {
+      Dataflow.Offsets.v = ctx.v;
+      elem = ctx.elem;
+      lookup = lookup_base ctx;
+      opaque_loads = ctx.opaque_loads;
+    }
   in
-  let rec go n env =
-    let env' = step env in
-    if env_equal env env' then env
-    else if n = 0 then widen_env env env'
-    else go (n - 1) env'
-  in
-  go 4 st0.env
+  Dataflow.Offsets.entry octx st0.env body
 
 (* ------------------------------------------------------------------ *)
 (* Region driver                                                        *)

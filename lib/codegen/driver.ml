@@ -47,6 +47,10 @@ type config = {
   peel_baseline : bool;
       (** simdize only if loop peeling (prior work) is applicable — the
           baseline scheme; the policy is forced to eager *)
+  cleanup : bool;
+      (** dataflow-backed VIR cleanup after placement: copy propagation,
+          no-op/adjacent shift combining, invariant hoisting, DCE
+          ({!Passes.vir_cleanup}) *)
 }
 
 let default =
@@ -61,6 +65,7 @@ let default =
     unroll = 1;
     specialize_epilogue = true;
     peel_baseline = false;
+    cleanup = false;
   }
 
 (** Why a loop was left scalar. *)
@@ -222,6 +227,16 @@ let run_passes ?(trace = Trace.none) ?(on_stage = fun ~name:_ _ -> ()) config
   let st =
     stage ~name:"dce" ~enabled:true st (fun st ->
         { st with st_epilogues = Passes.dce st.st_epilogues })
+  in
+  let st =
+    stage ~name:"vir_cleanup" ~enabled:config.cleanup st (fun st ->
+        let p, b, e =
+          Passes.vir_cleanup
+            ~v:(Simd_machine.Config.vector_len config.machine)
+            ~block:prog.Prog.block ~prologue:st.st_prologue ~body:st.st_body
+            ~epilogues:st.st_epilogues
+        in
+        { st_prologue = p; st_body = b; st_epilogues = e })
   in
   {
     prog with

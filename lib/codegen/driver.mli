@@ -32,6 +32,9 @@ type config = {
   unroll : int;  (** ≥ 1; 2 removes depth-1 pipelining copies (§4.5) *)
   specialize_epilogue : bool;
   peel_baseline : bool;  (** prior-work baseline: require peeling applicability *)
+  cleanup : bool;
+      (** dataflow-backed VIR cleanup after placement
+          ({!Passes.vir_cleanup}) *)
 }
 
 val default : config

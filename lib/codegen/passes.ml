@@ -797,3 +797,20 @@ let dce (segments : Expr.stmt list list) : Expr.stmt list list =
       (live, seg' :: later')
   in
   snd (go segments)
+
+(* ------------------------------------------------------------------ *)
+(* Whole-program VIR cleanup (dataflow-backed)                         *)
+(* ------------------------------------------------------------------ *)
+
+(** [vir_cleanup ~v ~block ~prologue ~body ~epilogues] — the
+    dataflow-backed cleanup pass: copy propagation through single-def
+    temp copies, folding of no-op shifts, combining of adjacent (and
+    carried, software-pipelined) [vshiftpair] chains, loop-invariant
+    hoisting into the prologue, and whole-program liveness DCE that
+    closes over the steady loop's back edge. Every rewrite is
+    value-exact; the driver re-validates the result with [Simd.Check]
+    at the pass boundary. Implemented by
+    {!Simd_dataflow.Dataflow.Cleanup}. *)
+let vir_cleanup ~v ~block ~prologue ~body ~epilogues =
+  fst
+    (Simd_dataflow.Dataflow.Cleanup.run ~v ~block ~prologue ~body ~epilogues)

@@ -67,3 +67,15 @@ val specialize :
 val dce : Expr.stmt list list -> Expr.stmt list list
 (** Backward liveness over consecutive tail segments: drop dead
     assignments and emptied conditionals. *)
+
+val vir_cleanup :
+  v:int ->
+  block:int ->
+  prologue:Expr.stmt list ->
+  body:Expr.stmt list ->
+  epilogues:Expr.stmt list list ->
+  Expr.stmt list * Expr.stmt list * Expr.stmt list list
+(** The dataflow-backed whole-program cleanup (copy propagation, shift
+    combining, invariant hoisting, back-edge-aware DCE); value-exact and
+    re-validated by the checker at its pass boundary. Preserves the
+    epilogue segment count. *)

@@ -20,7 +20,9 @@
     - {!Gen}/{!Passes}/{!Driver}/{!Peel}: code generation;
     - {!Retarget}: vector-length-agnostic re-instantiation of a placed
       compilation at another V (the backend matrix's engine);
-    - {!Check}/{!Absoff}: the pass-boundary static verifier;
+    - {!Dataflow}/{!Absoff}: the VIR dataflow engine and its offset
+      lattice; {!Check}: the pass-boundary static verifier; {!Lint}: the
+      registry-based lint driver;
     - {!Vir_expr}/{!Vir_prog}: the vector IR;
     - {!Exec}/{!Sim_run}: the simulator;
     - {!Emit_portable}/{!Emit_altivec}/{!Emit_sse}/{!Emit_avx2}/
@@ -70,10 +72,16 @@ module Vir_prog = Simd_vir.Prog
 (* Pass-pipeline tracing ({!Trace.Diff} for the structural line diffs) *)
 module Trace = Simd_trace.Trace
 
-(* Static verification ({!Check} at every pass boundary via
-   [Driver.simdize ~check:true]; {!Absoff} is its offset lattice) *)
+(* Static analysis: the generic VIR dataflow engine ({!Dataflow.Live},
+   {!Dataflow.Reach}, {!Dataflow.Avail}, {!Dataflow.Offsets},
+   {!Dataflow.Cleanup}) and its offset lattice ({!Absoff}); the
+   pass-boundary verifier ({!Check}, run at every boundary via
+   [Driver.simdize ~check:true]); the registry-based linter ({!Lint},
+   surfaced as [simdize --lint] and [bin/simdlint.exe]) *)
+module Dataflow = Simd_dataflow.Dataflow
+module Absoff = Simd_dataflow.Absoff
 module Check = Simd_check.Check
-module Absoff = Simd_check.Absoff
+module Lint = Simd_lint.Lint
 
 (* Predication: if-conversion of guarded statements into selects and
    masked stores (run by {!Driver.simdize} before legality analysis) *)

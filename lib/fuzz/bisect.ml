@@ -50,6 +50,7 @@ let disable name (c : Driver.config) : Driver.config =
     else c
   | "unroll" -> { c with Driver.unroll = 1 }
   | "specialize_epilogue" -> { c with Driver.specialize_epilogue = false }
+  | "vir_cleanup" -> { c with Driver.cleanup = false }
   | _ -> invalid_arg ("Bisect.disable: unknown pass " ^ name)
 
 (* Is this pass actually on in the case's configuration? Disabled passes
@@ -63,6 +64,7 @@ let enabled_in (c : Driver.config) name =
   | "predictive_commoning" -> c.Driver.reuse = Driver.Predictive_commoning
   | "unroll" -> c.Driver.unroll > 1
   | "specialize_epilogue" -> c.Driver.specialize_epilogue
+  | "vir_cleanup" -> c.Driver.cleanup
   | _ -> false
 
 let with_prefix (case : Case.t) k : Case.t =

@@ -54,7 +54,7 @@ let bool_field b = if b then "1" else "0"
 let config_to_string (cfg : Driver.config) =
   Printf.sprintf
     "vl=%d policy=%s reuse=%s memnorm=%s reassoc=%s cse=%s hoist=%s \
-     unroll=%d specialize=%s peel=%s"
+     unroll=%d specialize=%s peel=%s cleanup=%s"
     (Simd_machine.Config.vector_len cfg.Driver.machine)
     (Policy.name cfg.Driver.policy)
     (Driver.reuse_name cfg.Driver.reuse)
@@ -64,6 +64,7 @@ let config_to_string (cfg : Driver.config) =
     cfg.Driver.unroll
     (bool_field cfg.Driver.specialize_epilogue)
     (bool_field cfg.Driver.peel_baseline)
+    (bool_field cfg.Driver.cleanup)
 
 (* ------------------------------------------------------------------ *)
 (* Serialization                                                       *)
@@ -121,6 +122,7 @@ let apply_field (cfg, seed) (key, v) =
   | "unroll" -> ({ cfg with unroll = parse_int key v }, seed)
   | "specialize" -> ({ cfg with specialize_epilogue = parse_bool key v }, seed)
   | "peel" -> ({ cfg with peel_baseline = parse_bool key v }, seed)
+  | "cleanup" -> ({ cfg with cleanup = parse_bool key v }, seed)
   | "seed" -> (cfg, parse_int key v)
   | _ -> fail "unknown field %S" key
 

@@ -51,6 +51,10 @@ let gen_config prng ~machine : Driver.config =
     unroll = Prng.pick_array prng [| 1; 1; 1; 1; 2; 2; 3; 4 |];
     specialize_epilogue = Prng.bool prng;
     peel_baseline = Prng.chance prng 0.05;
+    (* [gen_case] flips this from the setup seed's parity: deriving it
+       instead of drawing keeps every historical seed's program/config
+       stream intact while still exercising the pass on half the cases. *)
+    cleanup = false;
   }
 
 (* ------------------------------------------------------------------ *)
@@ -288,6 +292,7 @@ let gen_case prng : Case.t =
     let program, trip = gen_program prng ~machine in
     let config = gen_config prng ~machine in
     let setup_seed = Prng.int prng ~bound:1_000_000 in
+    let config = { config with Driver.cleanup = setup_seed land 1 = 1 } in
     (* Check the if-converted program, exactly as the driver will: raw
        guarded reductions are rejected by design until normalized. *)
     match Analysis.check ~machine (Simd_mask.Mask.apply program) with

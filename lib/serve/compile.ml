@@ -19,6 +19,7 @@ type artifact = {
   report : Json.t;
   check_ok : bool;
   check : Json.t;
+  lint : Json.t;
 }
 
 type outcome = Artifact of artifact | Scalar of string | Invalid of string
@@ -96,6 +97,7 @@ let run (r : Protocol.request) : outcome =
           report = Report.to_json (Driver.report o);
           check_ok;
           check;
+          lint = Simd_lint.Lint.report_to_json (Simd_lint.Lint.run o);
         }
     | exception e -> Invalid ("compile: " ^ Printexc.to_string e))
 
@@ -125,6 +127,7 @@ let outcome_to_json = function
                      a.outputs) );
               ("report", a.report);
               ("check", a.check);
+              ("lint", a.lint);
             ] );
       ]
   | Scalar reason ->

@@ -27,6 +27,7 @@ type artifact = {
   report : Json.t;  (** the {!Simd_opt.Report} cost document *)
   check_ok : bool;  (** no error-severity static-verifier violations *)
   check : Json.t;  (** per-boundary violations + discharged facts *)
+  lint : Json.t;  (** the simd-lint/1 report ({!Simd_lint.Lint}) *)
 }
 
 type outcome =

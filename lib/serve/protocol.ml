@@ -8,7 +8,7 @@ module Json = Simd_support.Json
 let schema = "simd-serve/1"
 
 (* Folded into every cache key. Bump when compilation output changes. *)
-let library_version = "simd_align/9"
+let library_version = "simd_align/10"
 
 type emit = Vir | C | Altivec | Sse | Avx2 | Neon
 
@@ -70,6 +70,7 @@ let config_to_json (cfg : Driver.config) =
       ("unroll", Json.Int cfg.Driver.unroll);
       ("specialize", Json.Bool cfg.Driver.specialize_epilogue);
       ("peel", Json.Bool cfg.Driver.peel_baseline);
+      ("cleanup", Json.Bool cfg.Driver.cleanup);
     ]
 
 exception Bad_field of string
@@ -113,6 +114,7 @@ let apply_config_field cfg (key, v) =
   | "unroll" -> { cfg with unroll = as_int key v }
   | "specialize" -> { cfg with specialize_epilogue = as_bool key v }
   | "peel" -> { cfg with peel_baseline = as_bool key v }
+  | "cleanup" -> { cfg with cleanup = as_bool key v }
   | _ -> bad "unknown config field %S" key
 
 let config_of_json = function
@@ -127,7 +129,7 @@ let bool_field b = if b then "1" else "0"
 let config_canonical (cfg : Driver.config) =
   Printf.sprintf
     "vl=%d policy=%s reuse=%s memnorm=%s reassoc=%s cse=%s hoist=%s \
-     unroll=%d specialize=%s peel=%s"
+     unroll=%d specialize=%s peel=%s cleanup=%s"
     (Machine.vector_len cfg.Driver.machine)
     (Policy.name cfg.Driver.policy)
     (reuse_name cfg.Driver.reuse)
@@ -138,6 +140,7 @@ let config_canonical (cfg : Driver.config) =
     cfg.Driver.unroll
     (bool_field cfg.Driver.specialize_epilogue)
     (bool_field cfg.Driver.peel_baseline)
+    (bool_field cfg.Driver.cleanup)
 
 (* ------------------------------------------------------------------ *)
 (* Request parsing                                                     *)

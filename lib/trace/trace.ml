@@ -47,6 +47,9 @@ let pipeline : (string * string) list =
     ("predictive_commoning", "cross-iteration value reuse via carried temps");
     ("unroll", "steady-body unrolling with seam-restore coalescing (§4.5)");
     ("specialize_epilogue", "guard folding for compile-time trip counts");
+    ( "vir_cleanup",
+      "dataflow-backed cleanup: copy propagation, shift combining, \
+       invariant hoisting, DCE" );
   ]
 
 let pass_names = List.map fst pipeline

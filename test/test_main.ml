@@ -33,4 +33,7 @@ let () =
          Test_check.suite;
          Test_mask.suite;
          Test_serve.suite;
+         Test_dataflow.suite;
+         Test_cleanup.suite;
+         Test_lint.suite;
        ])

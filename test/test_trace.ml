@@ -194,6 +194,7 @@ let test_schema () =
         "predictive_commoning";
         "cse";
         "unroll";
+        "vir_cleanup";
       ])
 
 let test_placement_provenance () =
